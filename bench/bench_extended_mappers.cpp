@@ -1,0 +1,75 @@
+// Extended comparison beyond the paper's three algorithms: every mapper
+// the library ships — Block/Cyclic schedulers, Greedy, MPIPP, simulated
+// annealing (Bollinger & Midkiff-style), and Geo-distributed — on all
+// five applications, reporting communication improvement and
+// optimization overhead. Annealing gauges how close the O(kappa!·N^2)
+// heuristic gets to an expensive global search.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "mapping/annealing_mapper.h"
+#include "mapping/round_robin_mapper.h"
+
+using namespace geomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("extended mapper comparison (all library algorithms)");
+  cli.add_int("ranks", 64, "number of processes");
+  cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
+  cli.add_int("seed", 2017, "random seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const bench::Ec2Context ctx((ranks + 3) / 4);
+
+  std::vector<std::pair<std::string, std::unique_ptr<mapping::Mapper>>>
+      mappers;
+  mappers.emplace_back("Block", std::make_unique<mapping::BlockMapper>());
+  mappers.emplace_back("Cyclic", std::make_unique<mapping::CyclicMapper>());
+  mappers.emplace_back("Greedy", std::make_unique<mapping::GreedyMapper>());
+  mappers.emplace_back("MPIPP", std::make_unique<mapping::MpippMapper>());
+  mappers.emplace_back("Annealing",
+                       std::make_unique<mapping::AnnealingMapper>());
+  mappers.emplace_back("Geo-distributed",
+                       std::make_unique<core::GeoDistMapper>());
+
+  print_banner(std::cout,
+               "Extended comparison — communication improvement over "
+               "Baseline (%) / optimize (ms)");
+  std::vector<std::string> header = {"app"};
+  for (const auto& [name, mapper] : mappers) header.push_back(name);
+  Table table(header);
+
+  for (const apps::App* app : apps::all_apps()) {
+    apps::AppConfig cfg = app->default_config(ranks);
+    trace::CommMatrix comm = bench::profile_app(*app, cfg, ctx.calib.model);
+    Rng rng(seed);
+    const mapping::MappingProblem problem = core::make_problem(
+        ctx.topo, ctx.calib.model, std::move(comm),
+        mapping::make_random_constraints(ranks, ctx.topo.capacities(),
+                                         cli.get_double("constraint-ratio"),
+                                         rng));
+    const RunningStats base = bench::baseline_cost_stats(problem, 20, seed);
+
+    std::vector<std::string> row = {app->name()};
+    for (auto& [name, mapper] : mappers) {
+      const mapping::MapperRun run = mapping::run_mapper(*mapper, problem);
+      row.push_back(
+          format_double(mapping::improvement_percent(base.mean(), run.cost),
+                        1) +
+          " / " + format_double(run.optimize_seconds * 1e3, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print_table(table, cli.get_bool("csv"));
+  std::cout << "\nReading: annealing approaches (or matches) Geo-distributed "
+               "quality at orders of magnitude more\noptimization time; "
+               "Block accidentally suits near-diagonal NPB patterns; Cyclic "
+               "is adversarial for them.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Beyond the paper's five applications: the additional NPB-style kernels
+// CG (irregular sparse halo), MG (multilevel + hub traffic to rank 0)
+// and FT (dense all-to-all transposes), profiled on the runtime and
+// mapped with the paper's comparison set. FT is the stress case: its
+// uniform dense pattern leaves locality heuristics nothing to grab, so
+// improvements collapse toward the traffic-balancing floor.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+
+using namespace geomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("extra workloads: CG / MG / FT under the paper's algorithms");
+  cli.add_int("ranks", 64, "number of processes");
+  cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
+  cli.add_int("seed", 2017, "random seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const bench::Ec2Context ctx((ranks + 3) / 4);
+
+  print_banner(std::cout,
+               "Extra workloads — communication improvement over Baseline "
+               "(%), profiled patterns");
+  Table table({"app", "pattern", "nnz", "Greedy", "MPIPP",
+               "Geo-distributed"});
+
+  struct Row {
+    const char* name;
+    const char* klass;
+  };
+  for (const Row row : {Row{"CG", "irregular sparse halo"},
+                        Row{"MG", "multilevel + hub"},
+                        Row{"FT", "dense all-to-all"}}) {
+    const apps::App& app = apps::app_by_name(row.name);
+    apps::AppConfig cfg = app.default_config(ranks);
+    trace::CommMatrix comm = bench::profile_app(app, cfg, ctx.calib.model);
+    const std::size_t nnz = comm.nnz();
+
+    Rng rng(seed);
+    const mapping::MappingProblem problem = core::make_problem(
+        ctx.topo, ctx.calib.model, std::move(comm),
+        mapping::make_random_constraints(ranks, ctx.topo.capacities(),
+                                         cli.get_double("constraint-ratio"),
+                                         rng));
+    const RunningStats base = bench::baseline_cost_stats(problem, 20, seed);
+    const mapping::CostEvaluator eval(problem);
+    const bench::AlgorithmSet algos = bench::paper_algorithms(ranks);
+
+    std::vector<std::string> cells = {row.name, row.klass,
+                                      std::to_string(nnz)};
+    for (mapping::Mapper* mapper : algos.all()) {
+      cells.push_back(format_double(
+          mapping::improvement_percent(base.mean(),
+                                       eval.total_cost(mapper->map(problem))),
+          1));
+    }
+    table.add_row(std::move(cells));
+  }
+  bench::print_table(table, cli.get_bool("csv"));
+  std::cout << "\nReading: CG behaves between LU and K-means (halo locality "
+               "plus an irregular tail); MG's hub traffic\nrewards placing "
+               "rank 0's region well; FT's uniform all-to-all bounds every "
+               "mapper near the same floor.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Paper Figure 10: normalized minimal execution time of best-of-K random
+// mapping as K grows — the decay is ~log(K), demonstrating random search
+// needs K ~ 10^4+ draws to approach what Geo-distributed finds in one
+// optimization run ("the deep point of each application").
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "core/montecarlo.h"
+
+using namespace geomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("Figure 10: best-of-K Monte Carlo vs Geo-distributed");
+  cli.add_int("ranks", 64, "number of processes");
+  cli.add_int("samples", 200000, "Monte Carlo draws (max K)");
+  cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
+  cli.add_int("seed", 2017, "random seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::int64_t samples = cli.get_int("samples");
+  const bench::Ec2Context ctx((ranks + 3) / 4);
+
+  print_banner(std::cout,
+               "Figure 10 — normalized minimal communication time of "
+               "best-of-K random mappings");
+  Table table({"K", "LU", "K-means", "DNN"});
+
+  std::vector<std::int64_t> ks;
+  for (std::int64_t k = 1; k <= samples; k *= 10) ks.push_back(k);
+  if (ks.back() != samples) ks.push_back(samples);
+
+  std::vector<std::vector<double>> columns;
+  std::vector<double> geo_rows;
+  for (const char* app_name : {"LU", "K-means", "DNN"}) {
+    const apps::App& app = apps::app_by_name(app_name);
+    apps::AppConfig cfg = app.default_config(ranks);
+    trace::CommMatrix comm = bench::profile_app(app, cfg, ctx.calib.model);
+
+    Rng rng(seed);
+    const mapping::MappingProblem problem = core::make_problem(
+        ctx.topo, ctx.calib.model, std::move(comm),
+        mapping::make_random_constraints(
+            ranks, ctx.topo.capacities(), cli.get_double("constraint-ratio"),
+            rng));
+
+    core::MonteCarloOptions mc_opts;
+    mc_opts.samples = samples;
+    mc_opts.seed = seed;
+    const core::MonteCarloResult mc = core::run_monte_carlo(problem, mc_opts);
+
+    // Normalize against the worst observed cost, as the paper's
+    // "normalized minimal execution time" does.
+    std::vector<double> column;
+    for (const double best : mc.best_of_k(ks)) column.push_back(best / mc.worst);
+    columns.push_back(std::move(column));
+
+    core::GeoDistMapper geo;
+    geo_rows.push_back(
+        mapping::CostEvaluator(problem).total_cost(geo.map(problem)) /
+        mc.worst);
+  }
+
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    table.row()
+        .cell(static_cast<long long>(ks[ki]))
+        .cell(columns[0][ki], 4)
+        .cell(columns[1][ki], 4)
+        .cell(columns[2][ki], 4);
+  }
+  table.row()
+      .cell("Geo-distributed (1 run)")
+      .cell(geo_rows[0], 4)
+      .cell(geo_rows[1], 4)
+      .cell(geo_rows[2], 4);
+  bench::print_table(table, cli.get_bool("csv"));
+  std::cout << "\nPaper shapes: the best-of-K curve decays ~log(K); "
+               "Geo-distributed's single run sits at or below the\ncurve's "
+               "deep point, which random search only nears after K ~ 10^4 "
+               "draws.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Paper Figure 3: communication pattern matrices of the five
+// applications at 64 processes, from actual profiled executions on the
+// minimpi runtime. Rendered as ASCII heatmaps (darker character = heavier
+// traffic) plus the structural statistics the paper highlights: the NPB
+// trio's near-diagonal locality with two LU message sizes, K-means'
+// complex pattern, and DNN's small total volume.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+
+using namespace geomap;
+
+namespace {
+
+void print_heatmap(const trace::CommMatrix& m, int bucket_count) {
+  // Downsample the N x N volume matrix into bucket_count^2 cells.
+  const int n = m.num_processes();
+  const int bucket = std::max(1, n / bucket_count);
+  std::vector<double> cells(static_cast<std::size_t>(bucket_count) *
+                            bucket_count, 0.0);
+  double max_cell = 0;
+  for (const trace::CommEdge& e : m.edges()) {
+    const int bi = std::min(e.src / bucket, bucket_count - 1);
+    const int bj = std::min(e.dst / bucket, bucket_count - 1);
+    auto& cell = cells[static_cast<std::size_t>(bi) * bucket_count + bj];
+    cell += e.volume;
+    max_cell = std::max(max_cell, cell);
+  }
+  const char* shades = " .:-=+*#%@";
+  for (int i = 0; i < bucket_count; ++i) {
+    std::cout << "    ";
+    for (int j = 0; j < bucket_count; ++j) {
+      const double v =
+          cells[static_cast<std::size_t>(i) * bucket_count + j];
+      // Log scale so the light collective trees stay visible next to the
+      // heavy halo edges.
+      const int shade =
+          v <= 0 ? 0
+                 : 1 + static_cast<int>(8.0 * std::log1p(v) /
+                                        std::log1p(max_cell));
+      std::cout << shades[std::min(shade, 9)];
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Figure 3: communication pattern matrices (profiled @64)");
+  cli.add_int("ranks", 64, "number of processes to profile");
+  cli.add_int("heatmap-size", 32, "heatmap buckets per axis");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const bench::Ec2Context ctx((ranks + 3) / 4);
+
+  print_banner(std::cout, "Figure 3 — communication pattern matrices");
+  Table stats({"app", "nnz pairs", "total MiB", "msgs", "diag volume %",
+               "avg msg KB"});
+
+  for (const apps::App* app : apps::all_apps()) {
+    apps::AppConfig cfg = app->default_config(ranks);
+    const trace::CommMatrix m = bench::profile_app(*app, cfg, ctx.calib.model);
+
+    const apps::ProcessGrid grid = apps::make_process_grid(ranks);
+    Bytes neighbour = 0, total = 0;
+    for (const trace::CommEdge& e : m.edges()) {
+      const int dx = std::abs(grid.x(e.src) - grid.x(e.dst));
+      const int dy = std::abs(grid.y(e.src) - grid.y(e.dst));
+      if (dx + dy == 1) neighbour += e.volume;
+      total += e.volume;
+    }
+    stats.row()
+        .cell(app->name())
+        .cell(static_cast<long long>(m.nnz()))
+        .cell(m.total_volume() / kMiB, 2)
+        .cell(static_cast<long long>(m.total_messages()))
+        .cell(total > 0 ? 100.0 * neighbour / total : 0.0, 1)
+        .cell(m.total_volume() / std::max(1.0, m.total_messages()) / 1024, 1);
+
+    std::cout << "\n  " << app->name() << " (" << ranks << " processes):\n";
+    print_heatmap(m, static_cast<int>(cli.get_int("heatmap-size")));
+  }
+  std::cout << '\n';
+  stats.print(std::cout);
+  std::cout << "\nPaper shapes: BT/SP/LU near-diagonal (grid-neighbour "
+               "volume dominates); LU has exactly two message\nsizes (43/83 "
+               "KB); K-means complex (off-diagonal dominates); DNN tiny "
+               "total volume.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Paper Figure 6: communication-only performance improvement in
+// simulation (computation and I/O excluded), same setup as Figure 5 but
+// evaluated with the alpha-beta cost model — the paper's ns-2
+// experiments. Improvements are larger than Figure 5's because nothing
+// dilutes the communication gain.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+
+using namespace geomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("Figure 6: communication-only improvement (simulation)");
+  cli.add_int("ranks", 64, "number of processes");
+  cli.add_int("trials", 20, "baseline random mappings averaged");
+  cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
+  cli.add_int("seed", 2017, "random seed");
+  cli.add_bool("csv", false, "emit CSV");
+  cli.add_bool("contention", false,
+               "also report the contention-aware replay improvement");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const bench::Ec2Context ctx((ranks + 3) / 4);
+  const bool with_contention = cli.get_bool("contention");
+
+  print_banner(std::cout,
+               "Figure 6 — communication improvement over Baseline (%)");
+  std::vector<std::string> header = {"app", "Greedy", "MPIPP",
+                                     "Geo-distributed"};
+  if (with_contention) header.push_back("Geo (contention replay)");
+  Table table(header);
+
+  for (const apps::App* app : apps::all_apps()) {
+    apps::AppConfig cfg = app->default_config(ranks);
+    trace::CommMatrix comm = bench::profile_app(*app, cfg, ctx.calib.model);
+
+    Rng rng(seed);
+    ConstraintVector constraints = mapping::make_random_constraints(
+        ranks, ctx.topo.capacities(), cli.get_double("constraint-ratio"),
+        rng);
+    const mapping::MappingProblem problem = core::make_problem(
+        ctx.topo, ctx.calib.model, std::move(comm), std::move(constraints));
+
+    const RunningStats base = bench::baseline_cost_stats(
+        problem, static_cast<int>(cli.get_int("trials")), seed + 1);
+    const mapping::CostEvaluator eval(problem);
+
+    const bench::AlgorithmSet algos = bench::paper_algorithms(ranks);
+    std::vector<std::string> row = {app->name()};
+    Mapping geo_mapping;
+    for (mapping::Mapper* mapper : algos.all()) {
+      const Mapping m = mapper->map(problem);
+      row.push_back(format_double(
+          mapping::improvement_percent(base.mean(), eval.total_cost(m)), 1));
+      geo_mapping = m;  // last = Geo-distributed
+    }
+    if (with_contention) {
+      Rng crng(seed + 2);
+      const Mapping random_map = mapping::RandomMapper::draw(problem, crng);
+      const double base_mk =
+          sim::replay_with_contention(problem.comm, problem.network,
+                                      random_map)
+              .makespan;
+      const double geo_mk =
+          sim::replay_with_contention(problem.comm, problem.network,
+                                      geo_mapping)
+              .makespan;
+      row.push_back(
+          format_double(mapping::improvement_percent(base_mk, geo_mk), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print_table(table, cli.get_bool("csv"));
+  std::cout << "\nPaper shapes: Geo-distributed >60% on every app; Greedy "
+               ">40% on BT/SP/LU but <10% on K-means/DNN;\nMPIPP 20-30% "
+               "across the board; all improvements exceed their Figure 5 "
+               "(total-time) counterparts.\n";
+  return 0;
+}

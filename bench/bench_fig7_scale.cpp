@@ -1,0 +1,89 @@
+// Paper Figure 7: communication improvement at different scales — 64 to
+// 8192 machines, 4 regions, machines evenly distributed — for LU,
+// K-means and DNN. MPIPP is excluded beyond 1000 processes (the paper:
+// "very inefficient for its large runtime overhead"). Synthetic patterns
+// stand in for profiled runs at sizes where thread-per-rank execution is
+// impractical; the alpha-beta model evaluates the mappings.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/timer.h"
+
+using namespace geomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("Figure 7: improvement at scale (64..8192 machines)");
+  cli.add_int("max-scale", 8192, "largest machine count");
+  cli.add_int("trials", 10, "baseline random mappings averaged");
+  cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
+  cli.add_int("seed", 2017, "random seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto max_scale = cli.get_int("max-scale");
+  const int trials = static_cast<int>(cli.get_int("trials"));
+
+  print_banner(std::cout,
+               "Figure 7 — improvement over Baseline at scale (%)");
+  Table table({"app", "machines", "Greedy", "MPIPP", "Geo-distributed",
+               "geo optimize (s)"});
+
+  for (const char* app_name : {"LU", "K-means", "DNN"}) {
+    const apps::App& app = apps::app_by_name(app_name);
+    for (std::int64_t n = 64; n <= max_scale; n *= 2) {
+      const int ranks = static_cast<int>(n);
+      const net::CloudTopology topo(net::aws_experiment_profile(ranks / 4));
+      const net::CalibrationResult calib = net::Calibrator().calibrate(topo);
+
+      Rng rng(seed);
+      mapping::MappingProblem problem;
+      problem.comm = app.synthetic_pattern(ranks, app.default_config(ranks));
+      problem.network = calib.model;
+      problem.capacities = topo.capacities();
+      problem.site_coords = topo.coordinates();
+      problem.constraints = mapping::make_random_constraints(
+          ranks, problem.capacities, cli.get_double("constraint-ratio"), rng);
+      problem.validate();
+
+      const RunningStats base =
+          bench::baseline_cost_stats(problem, trials, seed + 1);
+      const mapping::CostEvaluator eval(problem);
+      const bench::AlgorithmSet algos = bench::paper_algorithms(ranks);
+
+      double greedy_imp = 0, mpipp_imp = 0, geo_imp = 0, geo_seconds = 0;
+      {
+        const Mapping m = algos.greedy->map(problem);
+        greedy_imp = mapping::improvement_percent(base.mean(),
+                                                  eval.total_cost(m));
+      }
+      if (algos.mpipp) {
+        const Mapping m = algos.mpipp->map(problem);
+        mpipp_imp = mapping::improvement_percent(base.mean(),
+                                                 eval.total_cost(m));
+      }
+      {
+        Timer timer;
+        const Mapping m = algos.geo->map(problem);
+        geo_seconds = timer.elapsed_seconds();
+        geo_imp =
+            mapping::improvement_percent(base.mean(), eval.total_cost(m));
+      }
+      table.row()
+          .cell(app_name)
+          .cell(static_cast<long long>(ranks))
+          .cell(greedy_imp, 1)
+          .cell(algos.mpipp ? format_double(mpipp_imp, 1) : std::string("-"))
+          .cell(geo_imp, 1)
+          .cell(geo_seconds, 2);
+    }
+  }
+  bench::print_table(table, cli.get_bool("csv"));
+  std::cout << "\nPaper shapes: improvements shrink slowly with scale (the "
+               "O(N!) space grows); Geo-distributed stays >50%\neven at 8192 "
+               "machines; Greedy holds >30% on LU but <10% on K-means/DNN; "
+               "MPIPP infeasible beyond 1024.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Paper Figure 8: Geo-distributed's improvement over Greedy as the
+// data-movement constraint ratio sweeps 0..100%. Expected shapes:
+// concave decay for LU and K-means (small ratios barely hurt), near-
+// linear decay for DNN; 100% pinned leaves no optimization space.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+
+using namespace geomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("Figure 8: improvement vs data-movement constraint ratio");
+  cli.add_int("ranks", 64, "number of processes");
+  cli.add_int("trials", 5, "constraint draws averaged per ratio");
+  cli.add_int("seed", 2017, "random seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const bench::Ec2Context ctx((ranks + 3) / 4);
+
+  print_banner(std::cout,
+               "Figure 8 — Geo-distributed improvement over Greedy (%) vs "
+               "constraint ratio");
+  Table table({"constraint ratio (%)", "LU", "K-means", "DNN"});
+
+  const std::vector<double> ratios = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  std::vector<std::vector<double>> results(
+      ratios.size(), std::vector<double>(3, 0.0));
+
+  int app_idx = 0;
+  for (const char* app_name : {"LU", "K-means", "DNN"}) {
+    const apps::App& app = apps::app_by_name(app_name);
+    apps::AppConfig cfg = app.default_config(ranks);
+    trace::CommMatrix comm = bench::profile_app(app, cfg, ctx.calib.model);
+
+    for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+      RunningStats improvement;
+      for (int t = 0; t < trials; ++t) {
+        Rng rng(seed + static_cast<std::uint64_t>(t) * 7919);
+        mapping::MappingProblem problem = core::make_problem(
+            ctx.topo, ctx.calib.model, comm,
+            mapping::make_random_constraints(ranks, ctx.topo.capacities(),
+                                             ratios[ri], rng));
+        const mapping::CostEvaluator eval(problem);
+        mapping::GreedyMapper greedy;
+        core::GeoDistMapper geo;
+        const double greedy_cost = eval.total_cost(greedy.map(problem));
+        const double geo_cost = eval.total_cost(geo.map(problem));
+        improvement.add(
+            mapping::improvement_percent(greedy_cost, geo_cost));
+      }
+      results[ri][static_cast<std::size_t>(app_idx)] = improvement.mean();
+    }
+    ++app_idx;
+  }
+
+  for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+    table.row()
+        .cell(ratios[ri] * 100, 0)
+        .cell(results[ri][0], 1)
+        .cell(results[ri][1], 1)
+        .cell(results[ri][2], 1);
+  }
+  bench::print_table(table, cli.get_bool("csv"));
+  std::cout << "\nPaper shapes: LU/K-means curves concave (gentle loss at "
+               "small ratios); DNN near-linear; at 100%\nthe mapping is "
+               "fully determined and the gap closes to ~0.\n";
+  return 0;
+}

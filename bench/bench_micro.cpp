@@ -1,0 +1,172 @@
+// google-benchmark micro benchmarks of the library's hot kernels: cost
+// evaluation, incremental deltas, the two fill engines, k-means
+// grouping, Monte Carlo draws and the contention replay.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/app.h"
+#include "common/rng.h"
+#include "core/geodist_mapper.h"
+#include "core/grouping.h"
+#include "mapping/cost.h"
+#include "mapping/random_mapper.h"
+#include "net/cloud.h"
+#include "net/loggp.h"
+#include "net/network_model.h"
+#include "runtime/comm.h"
+#include "sim/netsim.h"
+#include "sim/replay.h"
+
+namespace geomap {
+namespace {
+
+mapping::MappingProblem problem_for(int n, const char* app_name) {
+  const net::CloudTopology topo(net::aws_experiment_profile((n + 3) / 4));
+  const apps::App& app = apps::app_by_name(app_name);
+  mapping::MappingProblem p;
+  p.comm = app.synthetic_pattern(n, app.default_config(n));
+  p.network = net::NetworkModel::from_ground_truth(topo);
+  p.capacities = topo.capacities();
+  p.site_coords = topo.coordinates();
+  p.validate();
+  return p;
+}
+
+void BM_TotalCost(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const mapping::MappingProblem p = problem_for(n, "K-means");
+  const mapping::CostEvaluator eval(p);
+  Rng rng(1);
+  const Mapping m = mapping::RandomMapper::draw(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.total_cost(m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.comm.nnz()));
+}
+BENCHMARK(BM_TotalCost)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_DeltaMove(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const mapping::MappingProblem p = problem_for(n, "K-means");
+  const mapping::CostEvaluator eval(p);
+  Rng rng(2);
+  const Mapping m = mapping::RandomMapper::draw(p, rng);
+  ProcessId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.delta_move(m, i, (m[static_cast<std::size_t>(i)] + 1) % 4));
+    i = (i + 1) % n;
+  }
+}
+BENCHMARK(BM_DeltaMove)->Arg(64)->Arg(4096);
+
+void BM_FillNaive(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const mapping::MappingProblem p = problem_for(n, "K-means");
+  const core::Grouping g = core::group_sites(p.site_coords, 4);
+  std::vector<GroupId> order;
+  for (int i = 0; i < g.num_groups; ++i) order.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fill_for_order(
+        p, g, order, core::GeoDistOptions::FillEngine::kNaive));
+  }
+}
+BENCHMARK(BM_FillNaive)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_FillHeap(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const mapping::MappingProblem p = problem_for(n, "K-means");
+  const core::Grouping g = core::group_sites(p.site_coords, 4);
+  std::vector<GroupId> order;
+  for (int i = 0; i < g.num_groups; ++i) order.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fill_for_order(
+        p, g, order, core::GeoDistOptions::FillEngine::kHeap));
+  }
+}
+BENCHMARK(BM_FillHeap)->Arg(64)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_GroupSites(benchmark::State& state) {
+  const net::CloudTopology topo(
+      net::synthetic_profile(static_cast<int>(state.range(0)), 4, 3));
+  const auto coords = topo.coordinates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::group_sites(coords, 4));
+  }
+}
+BENCHMARK(BM_GroupSites)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_MonteCarloDraw(benchmark::State& state) {
+  const mapping::MappingProblem p = problem_for(64, "LU");
+  const mapping::CostEvaluator eval(p);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval.total_cost(mapping::RandomMapper::draw(p, rng)));
+  }
+}
+BENCHMARK(BM_MonteCarloDraw);
+
+void BM_OpTraceReplay(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const net::CloudTopology topo(net::aws_experiment_profile((n + 3) / 4));
+  const net::NetworkModel model = net::NetworkModel::from_ground_truth(topo);
+  const apps::App& lu = apps::app_by_name("LU");
+  apps::AppConfig cfg = lu.default_config(n);
+  cfg.iterations = 4;
+  trace::OpTraceLog ops(n);
+  Mapping capture(static_cast<std::size_t>(n), 0);
+  runtime::Runtime rt(model, capture, 45.0);
+  rt.capture_ops(&ops);
+  rt.run([&](runtime::Comm& c) { (void)lu.run(c, cfg); });
+  Mapping scattered(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) scattered[static_cast<std::size_t>(r)] = r % 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::replay_ops(ops, model, scattered));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops.total_ops()));
+}
+BENCHMARK(BM_OpTraceReplay)->Arg(16)->Arg(64);
+
+void BM_AllreduceVirtualTime(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const net::CloudTopology topo(net::aws_experiment_profile((n + 3) / 4));
+  const net::NetworkModel model = net::NetworkModel::from_ground_truth(topo);
+  Mapping mapping(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    mapping[static_cast<std::size_t>(r)] = r / ((n + 3) / 4);
+  runtime::Runtime rt(model, mapping);
+  for (auto _ : state) {
+    rt.run([](runtime::Comm& c) {
+      std::vector<double> v(128, 1.0);
+      c.allreduce(v, runtime::ReduceOp::kSum);
+    });
+  }
+}
+BENCHMARK(BM_AllreduceVirtualTime)->Arg(16)->Arg(64);
+
+void BM_LogGPCalibration(benchmark::State& state) {
+  const net::CloudTopology topo(net::aws_experiment_profile(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::calibrate_loggp(topo));
+  }
+}
+BENCHMARK(BM_LogGPCalibration);
+
+void BM_ContentionReplay(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const mapping::MappingProblem p = problem_for(n, "LU");
+  Rng rng(7);
+  const Mapping m = mapping::RandomMapper::draw(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::replay_with_contention(p.comm, p.network, m));
+  }
+}
+BENCHMARK(BM_ContentionReplay)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace geomap
+
+BENCHMARK_MAIN();

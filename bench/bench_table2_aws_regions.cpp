@@ -1,0 +1,63 @@
+// Paper Table 2: average bandwidth (MB/s) and latency of c3.8xlarge
+// instances between US East and three regions at increasing geographic
+// distance (US West / Ireland / Singapore) — Observation 2: cross-region
+// performance tracks distance.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+
+using namespace geomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("Table 2: EC2 cross-region performance vs distance");
+  cli.add_bool("csv", false, "emit CSV instead of the aligned table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const net::CloudTopology topo(net::aws2016_profile("c3.8xlarge", 2));
+  const net::CalibrationResult calib = net::Calibrator().calibrate(topo);
+
+  SiteId east = -1;
+  struct Target {
+    const char* prefix;
+    const char* label;
+    const char* distance_class;
+    double paper_bw;
+    double paper_lat_ms;
+  };
+  const Target targets[] = {
+      {"us-west-1", "US West", "Short", 21.0, 0.16},
+      {"eu-west-1", "Ireland", "Medium", 19.0, 0.17},
+      {"ap-southeast-1", "Singapore", "Long", 6.6, 0.35},
+  };
+  for (SiteId s = 0; s < topo.num_sites(); ++s)
+    if (topo.site(s).name.rfind("us-east-1", 0) == 0) east = s;
+
+  print_banner(std::cout,
+               "Table 2 — c3.8xlarge from US East: bandwidth/latency vs "
+               "distance");
+  Table table({"region", "distance", "km", "bandwidth MB/s", "latency ms",
+               "paper bw", "paper lat"});
+  for (const Target& t : targets) {
+    SiteId dst = -1;
+    for (SiteId s = 0; s < topo.num_sites(); ++s)
+      if (topo.site(s).name.rfind(t.prefix, 0) == 0) dst = s;
+    table.row()
+        .cell(t.label)
+        .cell(t.distance_class)
+        .cell(topo.distance_km(east, dst), 0)
+        .cell(calib.model.bandwidth(east, dst) / 1e6, 1)
+        .cell(calib.model.latency(east, dst) * 1e3, 2)
+        .cell(t.paper_bw, 1)
+        .cell(t.paper_lat_ms, 2);
+  }
+  bench::print_table(table, cli.get_bool("csv"));
+  std::cout
+      << "\nNote: the paper prints sub-millisecond cross-continental "
+         "latencies (0.16-0.35 ms), which are\nphysically implausible; our "
+         "model uses distance-proportional latency (~1 ms per 150 km).\n"
+         "The bandwidth ordering and ratios — the inputs that drive the "
+         "mapping algorithms — match.\n";
+  return 0;
+}

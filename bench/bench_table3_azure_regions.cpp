@@ -1,0 +1,55 @@
+// Paper Table 3: Windows Azure Standard D2 — bandwidth/latency within
+// East US and from East US to West Europe / Japan East, demonstrating
+// that the geo-distributed observations generalize across providers.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+
+using namespace geomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("Table 3: Azure cross-region performance");
+  cli.add_bool("csv", false, "emit CSV instead of the aligned table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const net::CloudTopology topo(net::azure2016_profile(2));
+  const net::CalibrationResult calib = net::Calibrator().calibrate(topo);
+
+  SiteId east = -1;
+  for (SiteId s = 0; s < topo.num_sites(); ++s)
+    if (topo.site(s).name.rfind("East US", 0) == 0) east = s;
+
+  struct Target {
+    const char* prefix;
+    const char* label;
+    const char* distance_class;
+    double paper_bw;
+    double paper_lat_ms;
+  };
+  const Target targets[] = {
+      {"East US", "East US (intra)", "Intra-Region", 62.0, 0.82},
+      {"West Europe", "West Europe", "Medium", 2.9, 42.0},
+      {"Japan East", "Japan East", "Long", 1.3, 77.0},
+  };
+
+  print_banner(std::cout,
+               "Table 3 — Azure Standard D2 from East US: bandwidth/latency");
+  Table table({"region", "distance", "bandwidth MB/s", "latency ms",
+               "paper bw", "paper lat"});
+  for (const Target& t : targets) {
+    SiteId dst = -1;
+    for (SiteId s = 0; s < topo.num_sites(); ++s)
+      if (topo.site(s).name.rfind(t.prefix, 0) == 0) dst = s;
+    table.row()
+        .cell(t.label)
+        .cell(t.distance_class)
+        .cell(calib.model.bandwidth(east, dst) / 1e6, 1)
+        .cell(calib.model.latency(east, dst) * 1e3, 2)
+        .cell(t.paper_bw, 1)
+        .cell(t.paper_lat_ms, 2);
+  }
+  bench::print_table(table, cli.get_bool("csv"));
+  return 0;
+}

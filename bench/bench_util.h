@@ -1,0 +1,105 @@
+#pragma once
+// Shared scaffolding for the experiment harnesses. Every bench binary
+// reproduces one paper table or figure: it prints the same rows/series
+// the paper reports, using this module's common setup (the 4-region EC2
+// deployment, calibrated network model, app profiling and the
+// Baseline/Greedy/MPIPP/Geo-distributed comparison set).
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/geodist_mapper.h"
+#include "core/pipeline.h"
+#include "mapping/cost.h"
+#include "mapping/greedy_mapper.h"
+#include "mapping/metrics.h"
+#include "mapping/mpipp_mapper.h"
+#include "mapping/problem.h"
+#include "mapping/random_mapper.h"
+#include "net/calibration.h"
+#include "net/cloud.h"
+#include "runtime/comm.h"
+#include "sim/netsim.h"
+#include "trace/profile.h"
+
+namespace geomap::bench {
+
+/// The paper's EC2 deployment: 4 regions x `nodes_per_site` m4.xlarge.
+struct Ec2Context {
+  net::CloudTopology topo;
+  net::CalibrationResult calib;
+
+  explicit Ec2Context(int nodes_per_site)
+      : topo(net::aws_experiment_profile(nodes_per_site)),
+        calib(net::Calibrator().calibrate(topo)) {}
+};
+
+/// Profile `app` with the tracer attached (one execution under a trivial
+/// mapping; the pattern is mapping-independent for these apps).
+inline trace::CommMatrix profile_app(const apps::App& app,
+                                     const apps::AppConfig& cfg,
+                                     const net::NetworkModel& model) {
+  trace::ApplicationProfile profile(cfg.num_ranks);
+  Mapping trivial(static_cast<std::size_t>(cfg.num_ranks), 0);
+  runtime::Runtime rt(model, trivial, 50.0, &profile);
+  rt.run([&](runtime::Comm& comm) { (void)app.run(comm, cfg); });
+  return profile.build_comm_matrix();
+}
+
+/// The paper's comparison set (Section 5.1), in presentation order.
+/// MPIPP is omitted above `mpipp_limit` processes — the paper notes it is
+/// "very inefficient" beyond ~1000 processes.
+struct AlgorithmSet {
+  std::unique_ptr<mapping::Mapper> greedy;
+  std::unique_ptr<mapping::Mapper> mpipp;  // may be null at large N
+  std::unique_ptr<mapping::Mapper> geo;
+
+  std::vector<mapping::Mapper*> all() const {
+    std::vector<mapping::Mapper*> out = {greedy.get()};
+    if (mpipp) out.push_back(mpipp.get());
+    out.push_back(geo.get());
+    return out;
+  }
+};
+
+inline AlgorithmSet paper_algorithms(int num_processes,
+                                     int mpipp_limit = 1000) {
+  AlgorithmSet set;
+  set.greedy = std::make_unique<mapping::GreedyMapper>();
+  if (num_processes <= mpipp_limit)
+    set.mpipp = std::make_unique<mapping::MpippMapper>();
+  set.geo = std::make_unique<core::GeoDistMapper>();
+  return set;
+}
+
+/// Mean cost of `trials` random (Baseline) mappings — the paper
+/// normalizes all improvements against the Baseline average.
+inline RunningStats baseline_cost_stats(const mapping::MappingProblem& p,
+                                        int trials, std::uint64_t seed) {
+  const mapping::CostEvaluator eval(p);
+  Rng rng(seed);
+  RunningStats stats;
+  for (int t = 0; t < trials; ++t)
+    stats.add(eval.total_cost(mapping::RandomMapper::draw(p, rng)));
+  return stats;
+}
+
+/// Parse the standard bench flags shared by all harnesses.
+struct BenchFlags {
+  int trials = 5;
+  std::uint64_t seed = 2017;
+  bool csv = false;
+};
+
+inline void print_table(const Table& table, bool csv) {
+  if (csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+}
+
+}  // namespace geomap::bench

@@ -1,0 +1,214 @@
+// mapping_tool: the library as a command-line utility for downstream
+// users — feed it a communication matrix (and optionally constraints),
+// pick a deployment and an algorithm, get a process->site mapping.
+//
+//   $ mapping_tool --comm pattern.txt --profile aws4 --algorithm geo
+//   $ mapping_tool --app LU --ranks 64 --profile aws11 --csv
+//
+// Input format for --comm (CommMatrix::from_text):
+//   commmatrix <N> <nnz>
+//   <src> <dst> <volume_bytes> <message_count>
+//   ...
+// Constraint file for --constraints: one "<process> <site>" pair per
+// line (single-site pins). Writes "process site" lines to stdout or
+// --output.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "apps/app.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/geodist_mapper.h"
+#include "core/pipeline.h"
+#include "mapping/annealing_mapper.h"
+#include "mapping/cost.h"
+#include "mapping/greedy_mapper.h"
+#include "mapping/metrics.h"
+#include "mapping/mpipp_mapper.h"
+#include "mapping/random_mapper.h"
+#include "net/calibration.h"
+#include "net/model_io.h"
+
+using namespace geomap;
+
+namespace {
+
+net::CloudTopology make_topology(const std::string& profile,
+                                 int nodes_per_site) {
+  if (profile == "aws4") {
+    return net::CloudTopology(net::aws_experiment_profile(nodes_per_site));
+  }
+  if (profile == "aws11") {
+    return net::CloudTopology(
+        net::aws2016_profile("m4.xlarge", nodes_per_site));
+  }
+  if (profile == "azure") {
+    return net::CloudTopology(net::azure2016_profile(nodes_per_site));
+  }
+  if (profile == "multi") {
+    const net::CloudTopology aws(net::aws_experiment_profile(nodes_per_site));
+    const net::CloudTopology azure(net::azure2016_profile(nodes_per_site));
+    return net::CloudTopology::merge({&aws, &azure});
+  }
+  throw InvalidArgument("unknown --profile '" + profile +
+                        "' (aws4 | aws11 | azure | multi)");
+}
+
+std::unique_ptr<mapping::Mapper> make_mapper(const std::string& name,
+                                             std::uint64_t seed) {
+  if (name == "geo") return std::make_unique<core::GeoDistMapper>();
+  if (name == "greedy") return std::make_unique<mapping::GreedyMapper>();
+  if (name == "mpipp") return std::make_unique<mapping::MpippMapper>();
+  if (name == "annealing")
+    return std::make_unique<mapping::AnnealingMapper>();
+  if (name == "random") return std::make_unique<mapping::RandomMapper>(seed);
+  throw InvalidArgument("unknown --algorithm '" + name +
+                        "' (geo | greedy | mpipp | annealing | random)");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  GEOMAP_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliParser cli("geomap mapping tool: communication matrix in, mapping out");
+  cli.add_string("comm", "", "communication matrix file (commmatrix format)");
+  cli.add_string("app", "",
+                 "alternatively: built-in app pattern (BT|SP|LU|K-means|DNN)");
+  cli.add_int("ranks", 64, "process count when --app is used");
+  cli.add_string("profile", "aws4", "deployment: aws4 | aws11 | azure | multi");
+  cli.add_string("network", "",
+                 "use a geomap-network spec file instead of --profile");
+  cli.add_string("save-network", "",
+                 "write the calibrated deployment spec here and exit");
+  cli.add_int("nodes-per-site", 0,
+              "nodes per region (0 = just enough for the process count)");
+  cli.add_string("algorithm", "geo",
+                 "geo | greedy | mpipp | annealing | random");
+  cli.add_string("constraints", "", "pin file: '<process> <site>' per line");
+  cli.add_string("output", "", "write mapping here instead of stdout");
+  cli.add_int("seed", 1, "seed for randomized algorithms");
+  cli.add_bool("quiet", false, "suppress the summary, print only the mapping");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // 1. Communication matrix.
+  trace::CommMatrix comm;
+  if (!cli.get_string("comm").empty()) {
+    comm = trace::CommMatrix::from_text(read_file(cli.get_string("comm")));
+  } else if (!cli.get_string("app").empty()) {
+    const apps::App& app = apps::app_by_name(cli.get_string("app"));
+    const int ranks = static_cast<int>(cli.get_int("ranks"));
+    comm = app.synthetic_pattern(ranks, app.default_config(ranks));
+  } else {
+    std::cerr << "need --comm <file> or --app <name> (try --help)\n";
+    return 2;
+  }
+  const int n = comm.num_processes();
+
+  // 2. Deployment: a built-in profile (calibrated here) or a user spec.
+  net::NetworkSpec spec;
+  if (!cli.get_string("network").empty()) {
+    spec = net::network_spec_from_text(read_file(cli.get_string("network")));
+    if (spec.capacities.empty()) {
+      const int per_site =
+          (n + spec.model.num_sites() - 1) / spec.model.num_sites();
+      spec.capacities.assign(static_cast<std::size_t>(spec.model.num_sites()),
+                             per_site);
+    }
+  } else {
+    int nodes = static_cast<int>(cli.get_int("nodes-per-site"));
+    net::CloudTopology probe = make_topology(cli.get_string("profile"), 1);
+    if (nodes == 0) nodes = (n + probe.num_sites() - 1) / probe.num_sites();
+    const net::CloudTopology topo =
+        make_topology(cli.get_string("profile"), nodes);
+    const net::CalibrationResult calib = net::Calibrator().calibrate(topo);
+    spec = net::make_spec(topo, calib.model);
+  }
+  if (spec.site_names.empty()) {
+    for (SiteId s = 0; s < spec.model.num_sites(); ++s)
+      spec.site_names.push_back("site-" + std::to_string(s));
+  }
+  if (!cli.get_string("save-network").empty()) {
+    std::ofstream out(cli.get_string("save-network"));
+    GEOMAP_CHECK_MSG(out.good(),
+                     "cannot write " << cli.get_string("save-network"));
+    out << net::to_text(spec);
+    std::cerr << "wrote deployment spec ("
+              << spec.model.num_sites() << " sites) to "
+              << cli.get_string("save-network") << "\n";
+    return 0;
+  }
+  int total_nodes = 0;
+  for (const int c : spec.capacities) total_nodes += c;
+  GEOMAP_CHECK_MSG(total_nodes >= n, "deployment has "
+                                         << total_nodes << " nodes for " << n
+                                         << " processes");
+
+  // 3. Constraints.
+  ConstraintVector constraints;
+  if (!cli.get_string("constraints").empty()) {
+    constraints.assign(static_cast<std::size_t>(n), kUnconstrained);
+    std::istringstream in(read_file(cli.get_string("constraints")));
+    ProcessId p;
+    SiteId s;
+    while (in >> p >> s) {
+      GEOMAP_CHECK_MSG(p >= 0 && p < n, "constraint names process " << p);
+      constraints[static_cast<std::size_t>(p)] = s;
+    }
+  }
+
+  // 4. Optimize.
+  mapping::MappingProblem problem;
+  problem.comm = std::move(comm);
+  problem.network = spec.model;
+  problem.capacities = spec.capacities;
+  problem.site_coords = spec.coords;
+  problem.constraints = std::move(constraints);
+  problem.validate();
+  auto mapper = make_mapper(cli.get_string("algorithm"),
+                            static_cast<std::uint64_t>(cli.get_int("seed")));
+  const mapping::MapperRun run = mapping::run_mapper(*mapper, problem);
+
+  // 5. Report + emit.
+  if (!cli.get_bool("quiet")) {
+    mapping::RandomMapper baseline(
+        static_cast<std::uint64_t>(cli.get_int("seed")) + 1);
+    const mapping::MapperRun base = mapping::run_mapper(baseline, problem);
+    std::cerr << run.mapper << ": cost " << run.cost << " s ("
+              << format_double(
+                     mapping::improvement_percent(base.cost, run.cost), 1)
+              << "% better than random), optimized in "
+              << format_double(run.optimize_seconds * 1e3, 2) << " ms\n";
+    std::vector<int> per_site(static_cast<std::size_t>(spec.model.num_sites()),
+                              0);
+    for (const SiteId s : run.mapping) ++per_site[static_cast<std::size_t>(s)];
+    for (SiteId s = 0; s < spec.model.num_sites(); ++s) {
+      if (per_site[static_cast<std::size_t>(s)] > 0)
+        std::cerr << "  " << spec.site_names[static_cast<std::size_t>(s)]
+                  << ": " << per_site[static_cast<std::size_t>(s)]
+                  << " processes\n";
+    }
+  }
+
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (!cli.get_string("output").empty()) {
+    file.open(cli.get_string("output"));
+    GEOMAP_CHECK_MSG(file.good(), "cannot write " << cli.get_string("output"));
+    out = &file;
+  }
+  for (ProcessId i = 0; i < n; ++i)
+    *out << i << ' ' << run.mapping[static_cast<std::size_t>(i)] << '\n';
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

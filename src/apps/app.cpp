@@ -1,0 +1,61 @@
+#include "apps/app.h"
+
+#include <cmath>
+
+#include "apps/bt.h"
+#include "apps/cg.h"
+#include "apps/dnn.h"
+#include "apps/ft.h"
+#include "apps/kmeans.h"
+#include "apps/lu.h"
+#include "apps/mg.h"
+#include "apps/sp.h"
+#include "common/error.h"
+
+namespace geomap::apps {
+
+AppConfig App::default_config(int num_ranks) const {
+  AppConfig cfg;
+  cfg.num_ranks = num_ranks;
+  return cfg;
+}
+
+const std::vector<const App*>& all_apps() {
+  static const BtApp bt;
+  static const SpApp sp;
+  static const LuApp lu;
+  static const KMeansApp kmeans;
+  static const DnnApp dnn;
+  static const std::vector<const App*> kApps = {&bt, &sp, &lu, &kmeans, &dnn};
+  return kApps;
+}
+
+const std::vector<const App*>& extended_apps() {
+  static const CgApp cg;
+  static const MgApp mg;
+  static const FtApp ft;
+  static const std::vector<const App*> kApps = [] {
+    std::vector<const App*> apps = all_apps();
+    apps.push_back(&cg);
+    apps.push_back(&mg);
+    apps.push_back(&ft);
+    return apps;
+  }();
+  return kApps;
+}
+
+const App& app_by_name(const std::string& name) {
+  for (const App* app : extended_apps()) {
+    if (app->name() == name) return *app;
+  }
+  throw InvalidArgument("unknown application: " + name);
+}
+
+ProcessGrid make_process_grid(int p) {
+  GEOMAP_CHECK_MSG(p >= 1, "p=" << p);
+  int px = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while (px > 1 && p % px != 0) --px;
+  return ProcessGrid{px, p / px};
+}
+
+}  // namespace geomap::apps

@@ -1,0 +1,80 @@
+#pragma once
+// Workload interface for the paper's five benchmark applications
+// (Section 5.1): NPB-style LU, BT and SP pseudo-applications, parallel
+// K-means clustering, and DNN training. Each app
+//   * runs for real on the minimpi runtime (real numeric kernels, real
+//     messages) — used for the "EC2" experiments at up to a few hundred
+//     ranks — and
+//   * emits a synthetic CG/AG pattern for arbitrary N — used by the
+//     ns-2-style simulation experiments at up to 8192 processes, where
+//     thread-per-rank execution is no longer sensible.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/comm.h"
+#include "trace/comm_matrix.h"
+
+namespace geomap::apps {
+
+struct AppConfig {
+  int num_ranks = 64;
+  /// Iterations / time steps / training epochs.
+  int iterations = 10;
+  /// App-specific size knob (local grid edge, points per rank, ...).
+  int problem_size = 32;
+  std::uint64_t seed = 1;
+  /// Scale factor applied to message payloads so laptop-sized local
+  /// compute can still exercise CLASS-C-like message sizes (the paper
+  /// reports 43 KB / 83 KB LU messages at 64 processes). 1.0 keeps
+  /// payloads at their natural size.
+  double payload_scale = 1.0;
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Execute the app body on one rank. Must be called by every rank of
+  /// the runtime with identical config. Returns the app's global
+  /// convergence metric after the final iteration (identical on every
+  /// rank): LU residual, BT/SP step-to-step change norm, K-means inertia,
+  /// DNN training loss — all of which must decrease as iterations grow.
+  virtual double run(runtime::Comm& comm, const AppConfig& config) const = 0;
+
+  /// The communication pattern this app would produce on `num_ranks`
+  /// processes with `config.iterations` steps, without executing.
+  virtual trace::CommMatrix synthetic_pattern(int num_ranks,
+                                              const AppConfig& config) const = 0;
+
+  /// Default configuration tuned so tests/benches finish quickly.
+  virtual AppConfig default_config(int num_ranks) const;
+};
+
+/// The five paper workloads, in the paper's order: BT, SP, LU, K-means,
+/// DNN. Pointers remain valid for the program lifetime.
+const std::vector<const App*>& all_apps();
+
+/// All eight workloads: the paper's five plus the additional NPB-style
+/// kernels CG (irregular sparse halo), MG (multilevel + hub traffic) and
+/// FT (dense all-to-all transposes).
+const std::vector<const App*>& extended_apps();
+
+/// Look up by name ("BT", "SP", "LU", "K-means", "DNN", "CG", "MG",
+/// "FT").
+const App& app_by_name(const std::string& name);
+
+/// Near-square process grid factorization px * py == p with px <= py.
+struct ProcessGrid {
+  int px = 1;
+  int py = 1;
+  int x(int rank) const { return rank % px; }
+  int y(int rank) const { return rank / px; }
+  int rank_of(int gx, int gy) const { return gy * px + gx; }
+};
+ProcessGrid make_process_grid(int p);
+
+}  // namespace geomap::apps

@@ -1,0 +1,26 @@
+#pragma once
+// BT: the NPB Block Tri-diagonal pseudo-application. Alternating-
+// direction implicit time stepping where each directional phase solves
+// block-tridiagonal systems along grid lines (our mini version uses
+// 3x3 blocks instead of NPB's 5x5), with face halo exchanges between the
+// four 2D-grid neighbours before each phase and a per-step norm
+// reduction. The resulting pattern matrix is near-diagonal.
+
+#include "apps/app.h"
+
+namespace geomap::apps {
+
+class BtApp : public App {
+ public:
+  std::string name() const override { return "BT"; }
+  double run(runtime::Comm& comm, const AppConfig& config) const override;
+  trace::CommMatrix synthetic_pattern(int num_ranks,
+                                      const AppConfig& config) const override;
+  AppConfig default_config(int num_ranks) const override;
+
+  static constexpr double kFaceMsgBytes = 58.0 * 1024;
+  /// The change-norm allreduce runs every kNormEvery time steps.
+  static constexpr int kNormEvery = 5;
+};
+
+}  // namespace geomap::apps

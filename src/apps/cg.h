@@ -1,0 +1,27 @@
+#pragma once
+// CG: an NPB Conjugate Gradient-style workload (beyond the paper's three
+// pseudo-applications). A real CG solve of a sparse SPD system whose
+// sparsity is a 2D Laplacian plus deterministic random long-range
+// couplings — so the halo exchange is *irregular*: mostly neighbour
+// traffic with a scattering of arbitrary pairs, sitting between LU's
+// clean diagonal and K-means' complexity. Two scalar allreduces per
+// iteration carry the dot products. run() returns the final residual
+// norm, which decreases with iterations (CG converges).
+
+#include "apps/app.h"
+
+namespace geomap::apps {
+
+class CgApp : public App {
+ public:
+  std::string name() const override { return "CG"; }
+  double run(runtime::Comm& comm, const AppConfig& config) const override;
+  trace::CommMatrix synthetic_pattern(int num_ranks,
+                                      const AppConfig& config) const override;
+  AppConfig default_config(int num_ranks) const override;
+
+  /// Long-range couplings per rank (the irregular part of the pattern).
+  static constexpr int kRandomCouplingsPerRank = 3;
+};
+
+}  // namespace geomap::apps

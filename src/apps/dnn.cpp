@@ -1,0 +1,200 @@
+#include "apps/dnn.h"
+
+#include <cmath>
+
+#include "apps/synthetic.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace geomap::apps {
+
+namespace {
+
+/// A tiny but real MLP: tanh hidden layers, softmax-free two-class output
+/// with squared loss (keeps the backward pass short and stable).
+class Mlp {
+ public:
+  explicit Mlp(const std::vector<int>& layers, Rng& rng) : layers_(layers) {
+    for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+      const int in = layers[l];
+      const int out = layers[l + 1];
+      const double scale = 1.0 / std::sqrt(static_cast<double>(in));
+      std::vector<double> w(static_cast<std::size_t>(in * out + out));
+      for (auto& v : w) v = rng.normal() * scale;
+      weights_.push_back(std::move(w));
+    }
+  }
+
+  /// Flattened parameter vector (for allreduce averaging).
+  std::vector<double> flatten() const {
+    std::vector<double> out;
+    for (const auto& w : weights_) out.insert(out.end(), w.begin(), w.end());
+    return out;
+  }
+
+  void unflatten(std::span<const double> flat) {
+    std::size_t off = 0;
+    for (auto& w : weights_) {
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                flat.begin() + static_cast<std::ptrdiff_t>(off + w.size()),
+                w.begin());
+      off += w.size();
+    }
+    GEOMAP_CHECK(off == flat.size());
+  }
+
+  /// One SGD step on (x, y); returns the squared loss before the update.
+  double train_step(std::span<const double> x, std::span<const double> y,
+                    double lr) {
+    // Forward pass, keeping activations.
+    std::vector<std::vector<double>> acts;
+    acts.emplace_back(x.begin(), x.end());
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+      const int in = layers_[l];
+      const int out = layers_[l + 1];
+      const auto& w = weights_[l];
+      std::vector<double> z(static_cast<std::size_t>(out));
+      for (int o = 0; o < out; ++o) {
+        double acc = w[static_cast<std::size_t>(in * out + o)];  // bias
+        for (int i = 0; i < in; ++i)
+          acc += w[static_cast<std::size_t>(i * out + o)] *
+                 acts.back()[static_cast<std::size_t>(i)];
+        const bool last = (l + 1 == weights_.size());
+        z[static_cast<std::size_t>(o)] = last ? acc : std::tanh(acc);
+      }
+      acts.push_back(std::move(z));
+    }
+
+    // Squared loss and output delta.
+    const std::vector<double>& out_act = acts.back();
+    double loss = 0;
+    std::vector<double> delta(out_act.size());
+    for (std::size_t o = 0; o < out_act.size(); ++o) {
+      const double e = out_act[o] - y[o];
+      loss += e * e;
+      delta[o] = 2.0 * e;
+    }
+
+    // Backward pass with immediate SGD update.
+    for (std::size_t l = weights_.size(); l-- > 0;) {
+      const int in = layers_[l];
+      const int out = layers_[l + 1];
+      auto& w = weights_[l];
+      std::vector<double> prev_delta(static_cast<std::size_t>(in), 0.0);
+      for (int o = 0; o < out; ++o) {
+        const double g = delta[static_cast<std::size_t>(o)];
+        for (int i = 0; i < in; ++i) {
+          prev_delta[static_cast<std::size_t>(i)] +=
+              g * w[static_cast<std::size_t>(i * out + o)];
+          w[static_cast<std::size_t>(i * out + o)] -=
+              lr * g * acts[l][static_cast<std::size_t>(i)];
+        }
+        w[static_cast<std::size_t>(in * out + o)] -= lr * g;  // bias
+      }
+      if (l > 0) {
+        // Through the tanh of the previous layer.
+        for (int i = 0; i < in; ++i) {
+          const double a = acts[l][static_cast<std::size_t>(i)];
+          prev_delta[static_cast<std::size_t>(i)] *= (1.0 - a * a);
+        }
+        delta = std::move(prev_delta);
+      }
+    }
+    return loss;
+  }
+
+ private:
+  std::vector<int> layers_;
+  std::vector<std::vector<double>> weights_;
+};
+
+/// Synthetic two-class data: class decided by a fixed random hyperplane
+/// with margin, so the problem is learnable.
+void make_sample(Rng& rng, std::span<double> x, std::span<double> y) {
+  static const std::vector<double> kPlane = {0.7, -0.4, 0.5, 0.3,
+                                             -0.6, 0.2, -0.3, 0.5};
+  double dot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    dot += kPlane[i % kPlane.size()] * x[i];
+  }
+  y[0] = dot > 0 ? 1.0 : 0.0;
+  y[1] = dot > 0 ? 0.0 : 1.0;
+}
+
+}  // namespace
+
+const std::vector<int>& DnnApp::layers() {
+  static const std::vector<int> kLayers = {8, 16, 8, 2};
+  return kLayers;
+}
+
+int DnnApp::num_parameters() {
+  int total = 0;
+  const auto& l = layers();
+  for (std::size_t i = 0; i + 1 < l.size(); ++i)
+    total += l[i] * l[i + 1] + l[i + 1];
+  return total;
+}
+
+double DnnApp::run(runtime::Comm& comm, const AppConfig& config) const {
+  Rng rng(config.seed * 7919ULL + static_cast<std::uint64_t>(comm.rank()));
+  Mlp net(layers(), rng);
+
+  // Every rank starts from the same parameters (bcast from rank 0).
+  std::vector<double> params = net.flatten();
+  comm.bcast(params, 0);
+  net.unflatten(params);
+
+  const int samples = config.problem_size;
+  const int in_dim = layers().front();
+  const int out_dim = layers().back();
+  std::vector<double> x(static_cast<std::size_t>(in_dim));
+  std::vector<double> y(static_cast<std::size_t>(out_dim));
+
+  double global_loss = 0.0;
+  for (int epoch = 0; epoch < config.iterations; ++epoch) {
+    double loss = 0;
+    for (int s = 0; s < samples; ++s) {
+      make_sample(rng, x, y);
+      loss += net.train_step(x, y, 0.02);
+    }
+    // Model the epoch's training flops (the tiny MLP stands in for the
+    // paper's ResNet-scale CIFAR-10 job, which is compute-bound: the
+    // virtual compute dominates the per-epoch allreduce, reproducing the
+    // paper's small communication ratio for DNN).
+    comm.compute(4e8 * static_cast<double>(samples));
+
+    // Parameter averaging (parallel SGD): allreduce + scale by 1/p.
+    params = net.flatten();
+    comm.allreduce(params, runtime::ReduceOp::kSum);
+    for (auto& v : params) v /= comm.size();
+    net.unflatten(params);
+
+    std::vector<double> gl{loss / samples};
+    comm.allreduce(gl, runtime::ReduceOp::kSum);
+    global_loss = gl[0] / comm.size();
+  }
+  return global_loss;
+}
+
+trace::CommMatrix DnnApp::synthetic_pattern(int num_ranks,
+                                            const AppConfig& config) const {
+  trace::CommMatrix::Builder builder(num_ranks);
+  const double param_bytes =
+      static_cast<double>(num_parameters()) * sizeof(double);
+  add_bcast_edges(builder, num_ranks, 0, param_bytes);
+  add_allreduce_edges(builder, num_ranks, param_bytes, config.iterations);
+  add_allreduce_edges(builder, num_ranks, sizeof(double), config.iterations);
+  return builder.build();
+}
+
+AppConfig DnnApp::default_config(int num_ranks) const {
+  AppConfig cfg;
+  cfg.num_ranks = num_ranks;
+  cfg.iterations = 10;
+  cfg.problem_size = 256;  // samples per rank per epoch
+  return cfg;
+}
+
+}  // namespace geomap::apps

@@ -1,0 +1,27 @@
+#pragma once
+// DNN: deep neural network training with parallelized stochastic gradient
+// descent (paper Section 5.1, references [4, 52] — Zinkevich et al.'s
+// parameter-averaging scheme). Each rank trains a small MLP on its local
+// shard for an epoch, then all ranks average their weights with one
+// allreduce. Computation dominates communication — the paper's Figure 3
+// shows DNN's total message volume is small — so mapping gains on total
+// time are modest while the communication part still benefits.
+
+#include "apps/app.h"
+
+namespace geomap::apps {
+
+class DnnApp : public App {
+ public:
+  std::string name() const override { return "DNN"; }
+  double run(runtime::Comm& comm, const AppConfig& config) const override;
+  trace::CommMatrix synthetic_pattern(int num_ranks,
+                                      const AppConfig& config) const override;
+  AppConfig default_config(int num_ranks) const override;
+
+  /// Layer sizes of the MLP (input ... output).
+  static const std::vector<int>& layers();
+  static int num_parameters();
+};
+
+}  // namespace geomap::apps

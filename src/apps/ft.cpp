@@ -1,0 +1,199 @@
+#include "apps/ft.h"
+
+#include <cmath>
+
+#include "apps/synthetic.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace geomap::apps {
+
+void fft_radix2(std::vector<double>& a, bool inverse) {
+  const std::size_t n = a.size() / 2;
+  GEOMAP_CHECK_MSG(n >= 1 && (n & (n - 1)) == 0, "FFT size must be 2^k");
+
+  // Bit-reversal permutation over complex pairs.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(a[2 * i], a[2 * j]);
+      std::swap(a[2 * i + 1], a[2 * j + 1]);
+    }
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * M_PI / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const double w_re = std::cos(angle);
+    const double w_im = std::sin(angle);
+    for (std::size_t i = 0; i < n; i += len) {
+      double cur_re = 1.0, cur_im = 0.0;
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::size_t u = i + k;
+        const std::size_t v = i + k + len / 2;
+        const double v_re = a[2 * v] * cur_re - a[2 * v + 1] * cur_im;
+        const double v_im = a[2 * v] * cur_im + a[2 * v + 1] * cur_re;
+        a[2 * v] = a[2 * u] - v_re;
+        a[2 * v + 1] = a[2 * u + 1] - v_im;
+        a[2 * u] += v_re;
+        a[2 * u + 1] += v_im;
+        const double next_re = cur_re * w_re - cur_im * w_im;
+        cur_im = cur_re * w_im + cur_im * w_re;
+        cur_re = next_re;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : a) v /= static_cast<double>(n);
+  }
+}
+
+namespace {
+
+constexpr int kTagTranspose = 31;
+
+/// Row ownership: rank r holds rows [begin(r), begin(r+1)).
+int row_begin(int rank, int n, int p) {
+  return static_cast<int>(static_cast<std::int64_t>(rank) * n / p);
+}
+
+/// Distributed square transpose of an n x n complex matrix stored
+/// row-block by rank (interleaved re/im). Pairwise exchange rounds keep
+/// it deadlock-free for any rank count.
+void transpose(runtime::Comm& comm, std::vector<double>& local, int n) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const int r0 = row_begin(rank, n, p);
+  const int r1 = row_begin(rank + 1, n, p);
+  const int my_rows = r1 - r0;
+
+  std::vector<double> next(local.size());
+  auto pack_block = [&](int c0, int c1) {
+    // Transposed order: for each of my future rows (current columns),
+    // the entries from my current rows.
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(2 * my_rows * (c1 - c0)));
+    for (int c = c0; c < c1; ++c) {
+      for (int r = 0; r < my_rows; ++r) {
+        out.push_back(local[static_cast<std::size_t>(2 * (r * n + c))]);
+        out.push_back(local[static_cast<std::size_t>(2 * (r * n + c) + 1)]);
+      }
+    }
+    return out;
+  };
+  auto unpack_block = [&](const std::vector<double>& in, int peer) {
+    // Block from `peer`: my rows x peer's column count, already
+    // transposed; columns land at peer's row offsets.
+    const int c0 = row_begin(peer, n, p);
+    const int c1 = row_begin(peer + 1, n, p);
+    std::size_t idx = 0;
+    for (int r = 0; r < my_rows; ++r) {
+      for (int c = c0; c < c1; ++c) {
+        next[static_cast<std::size_t>(2 * (r * n + c))] = in[idx++];
+        next[static_cast<std::size_t>(2 * (r * n + c) + 1)] = in[idx++];
+      }
+    }
+  };
+
+  // Own diagonal block transposes locally.
+  unpack_block(pack_block(r0, r1), rank);
+  // Pairwise rounds with every other rank.
+  for (int step = 1; step < p; ++step) {
+    const int to = (rank + step) % p;
+    const int from = (rank - step + p) % p;
+    const std::vector<double> out =
+        pack_block(row_begin(to, n, p), row_begin(to + 1, n, p));
+    const std::vector<double> in =
+        comm.sendrecv(to, kTagTranspose, out, from, kTagTranspose);
+    unpack_block(in, from);
+  }
+  local = std::move(next);
+}
+
+}  // namespace
+
+double FtApp::run(runtime::Comm& comm, const AppConfig& config) const {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  // Grid edge: power of two, at least the rank count and problem size.
+  int n = 1;
+  while (n < std::max(config.problem_size, p)) n <<= 1;
+  const int my_rows = row_begin(rank + 1, n, p) - row_begin(rank, n, p);
+
+  // Deterministic pseudo-random initial field (NPB FT starts the same
+  // way), identical across iterations.
+  Rng rng(config.seed * 40503ULL + static_cast<std::uint64_t>(rank));
+  std::vector<double> original(static_cast<std::size_t>(2 * my_rows * n));
+  for (auto& v : original) v = rng.uniform(-1.0, 1.0);
+
+  double max_error = 0.0;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    std::vector<double> field = original;
+    auto fft_rows = [&](bool inverse) {
+      for (int r = 0; r < my_rows; ++r) {
+        std::vector<double> row(
+            field.begin() + static_cast<std::ptrdiff_t>(2 * r * n),
+            field.begin() + static_cast<std::ptrdiff_t>(2 * (r + 1) * n));
+        fft_radix2(row, inverse);
+        std::copy(row.begin(), row.end(),
+                  field.begin() + static_cast<std::ptrdiff_t>(2 * r * n));
+      }
+      // ~5 n log2(n) flops per row.
+      comm.compute(5.0 * my_rows * n * std::log2(static_cast<double>(n)));
+    };
+
+    // Forward 2D FFT: row transforms, transpose, row transforms.
+    fft_rows(false);
+    transpose(comm, field, n);
+    fft_rows(false);
+    // Inverse: undo both, restoring the original (up to round-off).
+    fft_rows(true);
+    transpose(comm, field, n);
+    fft_rows(true);
+
+    double err = 0.0;
+    for (std::size_t i = 0; i < field.size(); ++i)
+      err = std::max(err, std::abs(field[i] - original[i]));
+    std::vector<double> acc{err};
+    comm.allreduce(acc, runtime::ReduceOp::kMax);
+    max_error = acc[0];
+  }
+  return max_error;
+}
+
+trace::CommMatrix FtApp::synthetic_pattern(int num_ranks,
+                                           const AppConfig& config) const {
+  // Dense transpose traffic: every ordered pair exchanges its
+  // intersection block twice per iteration (forward + inverse
+  // transpose). O(p^2) edges by nature — FT is not meant for the 8192-
+  // process synthetic scale studies.
+  int n = 1;
+  while (n < std::max(config.problem_size, num_ranks)) n <<= 1;
+  trace::CommMatrix::Builder builder(num_ranks);
+  const double iters = config.iterations;
+  for (int r = 0; r < num_ranks; ++r) {
+    const int rows_r = row_begin(r + 1, n, num_ranks) - row_begin(r, n, num_ranks);
+    for (int d = 0; d < num_ranks; ++d) {
+      if (d == r) continue;
+      const int rows_d =
+          row_begin(d + 1, n, num_ranks) - row_begin(d, n, num_ranks);
+      const double block_bytes =
+          2.0 * rows_r * rows_d * sizeof(double);
+      builder.add_message(r, d, block_bytes * 2.0 * iters, 2.0 * iters);
+    }
+  }
+  add_allreduce_edges(builder, num_ranks, sizeof(double), iters);
+  return builder.build();
+}
+
+AppConfig FtApp::default_config(int num_ranks) const {
+  AppConfig cfg;
+  cfg.num_ranks = num_ranks;
+  cfg.iterations = 5;
+  cfg.problem_size = 256;  // global grid edge (rounded up to 2^k)
+  return cfg;
+}
+
+}  // namespace geomap::apps

@@ -1,0 +1,33 @@
+#pragma once
+// FT: an NPB Fourier Transform-style workload (beyond the paper's three
+// pseudo-applications — included because its communication is the
+// opposite extreme of BT/SP/LU: each iteration performs a distributed 2D
+// FFT whose transpose step is one large personalized all-to-all, so the
+// pattern matrix is dense and uniform. Bandwidth-greedy and
+// locality-greedy mappers have almost nothing to exploit; only balancing
+// traffic across the fast site pairs helps.
+//
+// The numeric kernel is a real radix-2 complex FFT; run() returns the
+// forward+inverse round-trip error (machine-precision small when the
+// transform is correct — a correctness metric rather than a convergence
+// metric).
+
+#include "apps/app.h"
+
+namespace geomap::apps {
+
+class FtApp : public App {
+ public:
+  std::string name() const override { return "FT"; }
+  double run(runtime::Comm& comm, const AppConfig& config) const override;
+  trace::CommMatrix synthetic_pattern(int num_ranks,
+                                      const AppConfig& config) const override;
+  AppConfig default_config(int num_ranks) const override;
+};
+
+/// In-place iterative radix-2 FFT over interleaved (re, im) pairs.
+/// `n` complex points (n must be a power of two); inverse applies the
+/// conjugate transform and 1/n scaling.
+void fft_radix2(std::vector<double>& interleaved, bool inverse);
+
+}  // namespace geomap::apps

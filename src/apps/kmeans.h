@@ -1,0 +1,26 @@
+#pragma once
+// Parallel K-means clustering (paper Section 5.1, reference [29]):
+// geo-partitioned observations, per-iteration centroid allreduce, and a
+// cluster-major repartition phase that ships points toward their
+// cluster's owner ranks. The repartition's data-dependent, irregular
+// exchanges are what give K-means the "complex" communication matrix of
+// paper Figure 3 — the pattern class on which bandwidth-greedy mapping
+// struggles.
+
+#include "apps/app.h"
+
+namespace geomap::apps {
+
+class KMeansApp : public App {
+ public:
+  std::string name() const override { return "K-means"; }
+  double run(runtime::Comm& comm, const AppConfig& config) const override;
+  trace::CommMatrix synthetic_pattern(int num_ranks,
+                                      const AppConfig& config) const override;
+  AppConfig default_config(int num_ranks) const override;
+
+  static constexpr int kClusters = 8;
+  static constexpr int kDims = 4;
+};
+
+}  // namespace geomap::apps

@@ -1,0 +1,343 @@
+#include "apps/mg.h"
+
+#include <cmath>
+
+#include "apps/solvers.h"
+#include "apps/synthetic.h"
+#include "common/error.h"
+
+namespace geomap::apps {
+
+namespace {
+
+constexpr int kTagHaloBase = 50;  // +level*4 + direction
+constexpr int kTagGather = 90;
+constexpr int kTagScatter = 91;
+
+/// One distributed level: a local (edge x edge) interior block with a
+/// one-deep halo, part of a (px*edge x py*edge) global grid.
+struct Level {
+  int edge = 0;
+  std::vector<double> u;    // (edge+2)^2 with halo
+  std::vector<double> rhs;  // edge^2
+  double h2 = 1.0;          // grid spacing squared
+
+  explicit Level(int e, double spacing_sq)
+      : edge(e),
+        u(static_cast<std::size_t>((e + 2) * (e + 2)), 0.0),
+        rhs(static_cast<std::size_t>(e * e), 0.0),
+        h2(spacing_sq) {}
+
+  double& at(int i, int j) {
+    return u[static_cast<std::size_t>(i * (edge + 2) + j)];
+  }
+  double at(int i, int j) const {
+    return u[static_cast<std::size_t>(i * (edge + 2) + j)];
+  }
+};
+
+struct MgContext {
+  runtime::Comm* comm;
+  ProcessGrid grid;
+  int gx, gy;
+  int north, south, west, east;
+
+  explicit MgContext(runtime::Comm& c)
+      : comm(&c), grid(make_process_grid(c.size())) {
+    gx = grid.x(c.rank());
+    gy = grid.y(c.rank());
+    north = gy > 0 ? grid.rank_of(gx, gy - 1) : -1;
+    south = gy + 1 < grid.py ? grid.rank_of(gx, gy + 1) : -1;
+    west = gx > 0 ? grid.rank_of(gx - 1, gy) : -1;
+    east = gx + 1 < grid.px ? grid.rank_of(gx + 1, gy) : -1;
+  }
+
+  /// Refresh all four halo sides of a level (deadlock-free: post the
+  /// sends, then receive).
+  void exchange_halo(Level& level, int level_idx) const {
+    const int e = level.edge;
+    const int tag = kTagHaloBase + level_idx;
+    auto pack_row = [&](int i) {
+      std::vector<double> out(static_cast<std::size_t>(e));
+      for (int j = 1; j <= e; ++j)
+        out[static_cast<std::size_t>(j - 1)] = level.at(i, j);
+      return out;
+    };
+    auto pack_col = [&](int j) {
+      std::vector<double> out(static_cast<std::size_t>(e));
+      for (int i = 1; i <= e; ++i)
+        out[static_cast<std::size_t>(i - 1)] = level.at(i, j);
+      return out;
+    };
+
+    std::vector<runtime::Request> sends;
+    if (north >= 0) sends.push_back(comm->isend(north, tag, pack_row(1)));
+    if (south >= 0) sends.push_back(comm->isend(south, tag, pack_row(e)));
+    if (west >= 0) sends.push_back(comm->isend(west, tag, pack_col(1)));
+    if (east >= 0) sends.push_back(comm->isend(east, tag, pack_col(e)));
+    if (north >= 0) {
+      const std::vector<double> in = comm->recv(north, tag);
+      for (int j = 1; j <= e; ++j) level.at(0, j) = in[static_cast<std::size_t>(j - 1)];
+    }
+    if (south >= 0) {
+      const std::vector<double> in = comm->recv(south, tag);
+      for (int j = 1; j <= e; ++j) level.at(e + 1, j) = in[static_cast<std::size_t>(j - 1)];
+    }
+    if (west >= 0) {
+      const std::vector<double> in = comm->recv(west, tag);
+      for (int i = 1; i <= e; ++i) level.at(i, 0) = in[static_cast<std::size_t>(i - 1)];
+    }
+    if (east >= 0) {
+      const std::vector<double> in = comm->recv(east, tag);
+      for (int i = 1; i <= e; ++i) level.at(i, e + 1) = in[static_cast<std::size_t>(i - 1)];
+    }
+    for (auto& s : sends) comm->wait(s);
+  }
+};
+
+/// Damped Jacobi sweep (weight 0.8): u += w/4 (rhs h2 + neighbours - 4u).
+void jacobi_sweep(Level& level) {
+  const int e = level.edge;
+  std::vector<double> next = level.u;
+  for (int i = 1; i <= e; ++i) {
+    for (int j = 1; j <= e; ++j) {
+      const double r = level.rhs[static_cast<std::size_t>((i - 1) * e + (j - 1))] *
+                           level.h2 +
+                       level.at(i - 1, j) + level.at(i + 1, j) +
+                       level.at(i, j - 1) + level.at(i, j + 1) -
+                       4.0 * level.at(i, j);
+      next[static_cast<std::size_t>(i * (e + 2) + j)] =
+          level.at(i, j) + 0.2 * r;
+    }
+  }
+  level.u = std::move(next);
+}
+
+/// Residual rhs - A u into `out` (edge^2), halo assumed fresh.
+void residual(const Level& level, std::vector<double>& out) {
+  const int e = level.edge;
+  out.resize(static_cast<std::size_t>(e * e));
+  for (int i = 1; i <= e; ++i) {
+    for (int j = 1; j <= e; ++j) {
+      out[static_cast<std::size_t>((i - 1) * e + (j - 1))] =
+          level.rhs[static_cast<std::size_t>((i - 1) * e + (j - 1))] +
+          (level.at(i - 1, j) + level.at(i + 1, j) + level.at(i, j - 1) +
+           level.at(i, j + 1) - 4.0 * level.at(i, j)) /
+              level.h2;
+    }
+  }
+}
+
+/// Full-weighting restriction of a fine residual (edge^2) to the coarse
+/// rhs (edge/2)^2 by 2x2 averaging.
+void restrict_to(const std::vector<double>& fine, int fine_edge,
+                 std::vector<double>& coarse) {
+  const int ce = fine_edge / 2;
+  coarse.assign(static_cast<std::size_t>(ce * ce), 0.0);
+  for (int i = 0; i < ce; ++i) {
+    for (int j = 0; j < ce; ++j) {
+      coarse[static_cast<std::size_t>(i * ce + j)] =
+          0.25 * (fine[static_cast<std::size_t>((2 * i) * fine_edge + 2 * j)] +
+                  fine[static_cast<std::size_t>((2 * i + 1) * fine_edge + 2 * j)] +
+                  fine[static_cast<std::size_t>((2 * i) * fine_edge + 2 * j + 1)] +
+                  fine[static_cast<std::size_t>((2 * i + 1) * fine_edge + 2 * j + 1)]);
+    }
+  }
+}
+
+/// Prolong a coarse correction into the fine solution with cell-centered
+/// bilinear interpolation (9/16, 3/16, 3/16, 1/16 weights toward the
+/// quadrant's coarse neighbours). Requires a fresh coarse halo; piecewise-
+/// constant injection is too crude for a stable distributed V-cycle.
+void prolong_add(Level& fine, const Level& coarse) {
+  for (int i = 1; i <= coarse.edge; ++i) {
+    for (int j = 1; j <= coarse.edge; ++j) {
+      for (int di = 0; di < 2; ++di) {
+        for (int dj = 0; dj < 2; ++dj) {
+          const int ni = di == 0 ? i - 1 : i + 1;
+          const int nj = dj == 0 ? j - 1 : j + 1;
+          const double v = (9.0 * coarse.at(i, j) + 3.0 * coarse.at(ni, j) +
+                            3.0 * coarse.at(i, nj) + coarse.at(ni, nj)) /
+                           16.0;
+          fine.at(2 * i - 1 + di, 2 * j - 1 + dj) += v;
+        }
+      }
+    }
+  }
+}
+
+/// Gathered coarse solve: every rank ships its block to rank 0, which
+/// assembles the global coarse grid, runs Gauss-Seidel, and ships the
+/// corrections back.
+void coarse_solve(const MgContext& ctx, Level& level) {
+  runtime::Comm& comm = *ctx.comm;
+  const int e = level.edge;
+  const int p = comm.size();
+
+  if (comm.rank() != 0) {
+    comm.send(0, kTagGather, level.rhs);
+    const std::vector<double> sol = comm.recv(0, kTagScatter);
+    for (int i = 1; i <= e; ++i)
+      for (int j = 1; j <= e; ++j)
+        level.at(i, j) = sol[static_cast<std::size_t>((i - 1) * e + (j - 1))];
+    return;
+  }
+
+  // Rank 0: assemble the (px*e) x (py*e) global grid.
+  const int gnx = ctx.grid.px * e;
+  const int gny = ctx.grid.py * e;
+  std::vector<double> grhs(static_cast<std::size_t>(gnx * gny), 0.0);
+  auto place = [&](int rank, const std::vector<double>& block) {
+    const int bx = ctx.grid.x(rank) * e;
+    const int by = ctx.grid.y(rank) * e;
+    for (int i = 0; i < e; ++i)
+      for (int j = 0; j < e; ++j)
+        grhs[static_cast<std::size_t>((by + i) * gnx + (bx + j))] =
+            block[static_cast<std::size_t>(i * e + j)];
+  };
+  place(0, level.rhs);
+  for (int src = 1; src < p; ++src) place(src, comm.recv(src, kTagGather));
+
+  std::vector<double> gu(static_cast<std::size_t>((gny + 2) * (gnx + 2)), 0.0);
+  for (int sweep = 0; sweep < MgApp::kCoarseSweeps; ++sweep)
+    gauss_seidel_sweep(gu, grhs, gny, gnx, level.h2);
+  comm.compute(10.0 * MgApp::kCoarseSweeps * gnx * gny);
+
+  auto extract = [&](int rank) {
+    const int bx = ctx.grid.x(rank) * e;
+    const int by = ctx.grid.y(rank) * e;
+    std::vector<double> block(static_cast<std::size_t>(e * e));
+    for (int i = 0; i < e; ++i)
+      for (int j = 0; j < e; ++j)
+        block[static_cast<std::size_t>(i * e + j)] =
+            gu[static_cast<std::size_t>((by + i + 1) * (gnx + 2) + (bx + j + 1))];
+    return block;
+  };
+  {
+    const std::vector<double> mine = extract(0);
+    for (int i = 1; i <= e; ++i)
+      for (int j = 1; j <= e; ++j)
+        level.at(i, j) = mine[static_cast<std::size_t>((i - 1) * e + (j - 1))];
+  }
+  for (int dst = 1; dst < p; ++dst) comm.send(dst, kTagScatter, extract(dst));
+}
+
+/// One V-cycle from `level_idx` down.
+void v_cycle(const MgContext& ctx, std::vector<Level>& levels,
+             std::size_t level_idx) {
+  Level& level = levels[level_idx];
+  runtime::Comm& comm = *ctx.comm;
+
+  if (level.edge < MgApp::kMinLocalEdge || level_idx + 1 == levels.size()) {
+    coarse_solve(ctx, level);
+    return;
+  }
+
+  for (int s = 0; s < MgApp::kSmoothSweeps; ++s) {
+    ctx.exchange_halo(level, static_cast<int>(level_idx));
+    jacobi_sweep(level);
+  }
+  comm.compute(8.0 * MgApp::kSmoothSweeps * level.edge * level.edge);
+
+  ctx.exchange_halo(level, static_cast<int>(level_idx));
+  std::vector<double> res;
+  residual(level, res);
+
+  Level& coarse = levels[level_idx + 1];
+  std::fill(coarse.u.begin(), coarse.u.end(), 0.0);
+  restrict_to(res, level.edge, coarse.rhs);
+  v_cycle(ctx, levels, level_idx + 1);
+  ctx.exchange_halo(coarse, static_cast<int>(level_idx + 1));
+  prolong_add(level, coarse);
+
+  for (int s = 0; s < MgApp::kSmoothSweeps; ++s) {
+    ctx.exchange_halo(level, static_cast<int>(level_idx));
+    jacobi_sweep(level);
+  }
+  comm.compute(8.0 * MgApp::kSmoothSweeps * level.edge * level.edge);
+}
+
+}  // namespace
+
+double MgApp::run(runtime::Comm& comm, const AppConfig& config) const {
+  const MgContext ctx(comm);
+  // Local fine edge: power of two >= problem_size.
+  int edge = 1;
+  while (edge < config.problem_size) edge <<= 1;
+
+  // Level stack down to the coarse-solve threshold.
+  std::vector<Level> levels;
+  double h2 = 1.0 / static_cast<double>(edge * edge * comm.size());
+  for (int e = edge; e >= 2; e /= 2) {
+    levels.emplace_back(e, h2);
+    h2 *= 4.0;
+    if (e < kMinLocalEdge) break;
+  }
+  levels.front().rhs.assign(levels.front().rhs.size(), 1.0);  // f = 1
+
+  double res_norm = 0.0;
+  for (int cycle = 0; cycle < config.iterations; ++cycle) {
+    v_cycle(ctx, levels, 0);
+    ctx.exchange_halo(levels.front(), 0);
+    std::vector<double> res;
+    residual(levels.front(), res);
+    double local = 0;
+    for (const double v : res) local += v * v;
+    std::vector<double> acc{local};
+    comm.allreduce(acc, runtime::ReduceOp::kSum);
+    res_norm = std::sqrt(acc[0]);
+  }
+  return res_norm;
+}
+
+trace::CommMatrix MgApp::synthetic_pattern(int num_ranks,
+                                           const AppConfig& config) const {
+  const ProcessGrid grid = make_process_grid(num_ranks);
+  int edge = 1;
+  while (edge < config.problem_size) edge <<= 1;
+
+  trace::CommMatrix::Builder builder(num_ranks);
+  const double iters = config.iterations;
+
+  // Distributed levels: halo exchanges shrink with the level edge.
+  // Per V-cycle and level: 2*kSmoothSweeps+1 exchanges down + the
+  // post-smooth exchanges (folded into the same count on the way up),
+  // plus the residual exchange at the top.
+  for (int e = edge; e >= kMinLocalEdge; e /= 2) {
+    const double exchanges =
+        (e == edge ? 2.0 * kSmoothSweeps + 2.0 : 2.0 * kSmoothSweeps + 1.0) *
+        iters;
+    const double bytes = static_cast<double>(e) * sizeof(double) * exchanges;
+    for (int r = 0; r < num_ranks; ++r) {
+      const int gx = grid.x(r);
+      const int gy = grid.y(r);
+      if (gy > 0) builder.add_message(r, grid.rank_of(gx, gy - 1), bytes, exchanges);
+      if (gy + 1 < grid.py)
+        builder.add_message(r, grid.rank_of(gx, gy + 1), bytes, exchanges);
+      if (gx > 0) builder.add_message(r, grid.rank_of(gx - 1, gy), bytes, exchanges);
+      if (gx + 1 < grid.px)
+        builder.add_message(r, grid.rank_of(gx + 1, gy), bytes, exchanges);
+    }
+  }
+  // Coarse gather/scatter hub traffic to and from rank 0.
+  int coarse_edge = edge;
+  while (coarse_edge >= kMinLocalEdge) coarse_edge /= 2;
+  const double block_bytes =
+      static_cast<double>(coarse_edge * coarse_edge) * sizeof(double);
+  for (int r = 1; r < num_ranks; ++r) {
+    builder.add_message(r, 0, block_bytes * iters, iters);
+    builder.add_message(0, r, block_bytes * iters, iters);
+  }
+  add_allreduce_edges(builder, num_ranks, sizeof(double), iters);
+  return builder.build();
+}
+
+AppConfig MgApp::default_config(int num_ranks) const {
+  AppConfig cfg;
+  cfg.num_ranks = num_ranks;
+  cfg.iterations = 5;
+  cfg.problem_size = 32;  // local fine-grid edge (rounded up to 2^k)
+  return cfg;
+}
+
+}  // namespace geomap::apps

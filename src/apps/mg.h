@@ -1,0 +1,32 @@
+#pragma once
+// MG: an NPB Multi-Grid-style workload (beyond the paper's three pseudo-
+// applications). A real geometric multigrid V-cycle for the 2D Poisson
+// problem: damped-Jacobi smoothing with neighbour halo exchanges on the
+// fine (distributed) levels, and a gather-to-root coarse solve once the
+// per-rank blocks get too small — so the communication pattern combines
+// LU-like grid locality with hub traffic into rank 0, the multilevel
+// structure NPB MG is known for. run() returns the final global residual
+// norm, which decreases with the number of V-cycles.
+
+#include "apps/app.h"
+
+namespace geomap::apps {
+
+class MgApp : public App {
+ public:
+  std::string name() const override { return "MG"; }
+  double run(runtime::Comm& comm, const AppConfig& config) const override;
+  trace::CommMatrix synthetic_pattern(int num_ranks,
+                                      const AppConfig& config) const override;
+  AppConfig default_config(int num_ranks) const override;
+
+  /// Smoothing sweeps before and after each coarse-grid correction.
+  static constexpr int kSmoothSweeps = 2;
+  /// Distributed levels stop when the local block edge would drop below
+  /// this; the remaining grid is gathered to rank 0 and solved there.
+  static constexpr int kMinLocalEdge = 4;
+  /// Gauss-Seidel sweeps of the gathered coarse solve.
+  static constexpr int kCoarseSweeps = 60;
+};
+
+}  // namespace geomap::apps

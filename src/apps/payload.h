@@ -1,0 +1,26 @@
+#pragma once
+// Payload padding: the mini-apps run CLASS-C-like message sizes (what the
+// mapping cost actually depends on) over laptop-sized local grids by
+// padding halo payloads with zeros up to a target size. Receivers read
+// only the leading `content.size()` values.
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace geomap::apps {
+
+inline std::vector<double> pad_payload(std::span<const double> content,
+                                       std::size_t target_elems) {
+  std::vector<double> out(std::max(content.size(), target_elems), 0.0);
+  std::copy(content.begin(), content.end(), out.begin());
+  return out;
+}
+
+/// Elements needed so a payload of doubles reaches `bytes`.
+inline std::size_t elems_for_bytes(double bytes) {
+  return static_cast<std::size_t>(bytes / sizeof(double) + 0.5);
+}
+
+}  // namespace geomap::apps

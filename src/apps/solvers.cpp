@@ -1,0 +1,237 @@
+#include "apps/solvers.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace geomap::apps {
+
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs) {
+  const std::size_t n = diag.size();
+  GEOMAP_CHECK(lower.size() == n && upper.size() == n && rhs.size() == n);
+  GEOMAP_CHECK_MSG(n >= 1, "empty system");
+
+  std::vector<double> c_prime(n, 0.0);
+  std::vector<double> x(rhs.begin(), rhs.end());
+
+  double denom = diag[0];
+  GEOMAP_CHECK_MSG(std::abs(denom) > 1e-300, "singular tridiagonal system");
+  c_prime[0] = upper[0] / denom;
+  x[0] = rhs[0] / denom;
+  for (std::size_t i = 1; i < n; ++i) {
+    denom = diag[i] - lower[i] * c_prime[i - 1];
+    GEOMAP_CHECK_MSG(std::abs(denom) > 1e-300, "singular tridiagonal system");
+    c_prime[i] = upper[i] / denom;
+    x[i] = (rhs[i] - lower[i] * x[i - 1]) / denom;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] -= c_prime[i] * x[i + 1];
+  }
+  return x;
+}
+
+std::vector<double> solve_pentadiagonal(std::span<const double> d2,
+                                        std::span<const double> d1,
+                                        std::span<const double> d0,
+                                        std::span<const double> u1,
+                                        std::span<const double> u2,
+                                        std::span<const double> rhs) {
+  const std::size_t n = d0.size();
+  GEOMAP_CHECK(d2.size() == n && d1.size() == n && u1.size() == n &&
+               u2.size() == n && rhs.size() == n);
+  GEOMAP_CHECK_MSG(n >= 1, "empty system");
+
+  // Banded storage copies we can eliminate in.
+  std::vector<double> a(d2.begin(), d2.end());   // (i, i-2)
+  std::vector<double> b(d1.begin(), d1.end());   // (i, i-1)
+  std::vector<double> c(d0.begin(), d0.end());   // (i, i)
+  std::vector<double> d(u1.begin(), u1.end());   // (i, i+1)
+  std::vector<double> e(u2.begin(), u2.end());   // (i, i+2)
+  std::vector<double> x(rhs.begin(), rhs.end());
+
+  // Forward elimination (no pivoting; systems from SP are diagonally
+  // dominant).
+  for (std::size_t i = 0; i < n; ++i) {
+    GEOMAP_CHECK_MSG(std::abs(c[i]) > 1e-300, "singular pentadiagonal system");
+    // Eliminate b[i+1] (row i+1, col i).
+    if (i + 1 < n) {
+      const double m = b[i + 1] / c[i];
+      c[i + 1] -= m * d[i];
+      d[i + 1] -= m * e[i];
+      x[i + 1] -= m * x[i];
+      b[i + 1] = 0.0;
+    }
+    // Eliminate a[i+2] (row i+2, col i).
+    if (i + 2 < n) {
+      const double m = a[i + 2] / c[i];
+      b[i + 2] -= m * d[i];
+      c[i + 2] -= m * e[i];
+      x[i + 2] -= m * x[i];
+      a[i + 2] = 0.0;
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    if (i + 1 < n) acc -= d[i] * x[i + 1];
+    if (i + 2 < n) acc -= e[i] * x[i + 2];
+    x[i] = acc / c[i];
+  }
+  return x;
+}
+
+std::array<double, 3> solve3x3(std::span<const double, 9> a,
+                               std::span<const double, 3> b) {
+  // Gaussian elimination with partial pivoting on a 3x3 copy.
+  std::array<std::array<double, 4>, 3> m{};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = a[static_cast<std::size_t>(r * 3 + c)];
+    m[static_cast<std::size_t>(r)][3] = b[static_cast<std::size_t>(r)];
+  }
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(m[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)]) >
+          std::abs(m[static_cast<std::size_t>(pivot)][static_cast<std::size_t>(col)]))
+        pivot = r;
+    }
+    std::swap(m[static_cast<std::size_t>(col)], m[static_cast<std::size_t>(pivot)]);
+    const double p = m[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    GEOMAP_CHECK_MSG(std::abs(p) > 1e-300, "singular 3x3 block");
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = m[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] / p;
+      for (int c = col; c < 4; ++c)
+        m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] -=
+            f * m[static_cast<std::size_t>(col)][static_cast<std::size_t>(c)];
+    }
+  }
+  return {m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]};
+}
+
+namespace {
+
+/// 3x3 matrix helpers for the block-Thomas solver (row-major arrays).
+using Mat3 = std::array<double, 9>;
+using Vec3 = std::array<double, 3>;
+
+Mat3 mat_inverse(const Mat3& a) {
+  // Invert by solving for the three unit vectors.
+  Mat3 inv{};
+  for (int c = 0; c < 3; ++c) {
+    Vec3 e{0, 0, 0};
+    e[static_cast<std::size_t>(c)] = 1.0;
+    const Vec3 col = solve3x3(std::span<const double, 9>(a),
+                              std::span<const double, 3>(e));
+    for (int r = 0; r < 3; ++r)
+      inv[static_cast<std::size_t>(r * 3 + c)] = col[static_cast<std::size_t>(r)];
+  }
+  return inv;
+}
+
+Mat3 mat_mul(const Mat3& a, const Mat3& b) {
+  Mat3 out{};
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) {
+      double acc = 0;
+      for (int k = 0; k < 3; ++k)
+        acc += a[static_cast<std::size_t>(r * 3 + k)] *
+               b[static_cast<std::size_t>(k * 3 + c)];
+      out[static_cast<std::size_t>(r * 3 + c)] = acc;
+    }
+  return out;
+}
+
+Vec3 mat_vec(const Mat3& a, const Vec3& v) {
+  Vec3 out{};
+  for (int r = 0; r < 3; ++r) {
+    double acc = 0;
+    for (int k = 0; k < 3; ++k)
+      acc += a[static_cast<std::size_t>(r * 3 + k)] * v[static_cast<std::size_t>(k)];
+    out[static_cast<std::size_t>(r)] = acc;
+  }
+  return out;
+}
+
+Mat3 mat_sub(const Mat3& a, const Mat3& b) {
+  Mat3 out{};
+  for (std::size_t i = 0; i < 9; ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec3 vec_sub(const Vec3& a, const Vec3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+
+Mat3 load_mat(std::span<const double> data, std::size_t block) {
+  Mat3 m{};
+  for (std::size_t i = 0; i < 9; ++i) m[i] = data[block * 9 + i];
+  return m;
+}
+
+Vec3 load_vec(std::span<const double> data, std::size_t block) {
+  return {data[block * 3], data[block * 3 + 1], data[block * 3 + 2]};
+}
+
+}  // namespace
+
+std::vector<double> solve_block_tridiagonal(std::span<const double> lower,
+                                            std::span<const double> diag,
+                                            std::span<const double> upper,
+                                            std::span<const double> rhs) {
+  GEOMAP_CHECK(diag.size() % 9 == 0);
+  const std::size_t n = diag.size() / 9;
+  GEOMAP_CHECK(lower.size() == diag.size() && upper.size() == diag.size());
+  GEOMAP_CHECK(rhs.size() == n * 3);
+  GEOMAP_CHECK_MSG(n >= 1, "empty block system");
+
+  // Block Thomas: D'_0 = D_0; D'_i = D_i - L_i D'^-1_{i-1} U_{i-1}
+  //               y_0 = b_0;  y_i = b_i - L_i D'^-1_{i-1} y_{i-1}
+  std::vector<Mat3> dp(n);
+  std::vector<Vec3> y(n);
+  dp[0] = load_mat(diag, 0);
+  y[0] = load_vec(rhs, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    const Mat3 li = load_mat(lower, i);
+    const Mat3 inv_prev = mat_inverse(dp[i - 1]);
+    const Mat3 li_inv = mat_mul(li, inv_prev);
+    dp[i] = mat_sub(load_mat(diag, i), mat_mul(li_inv, load_mat(upper, i - 1)));
+    y[i] = vec_sub(load_vec(rhs, i), mat_vec(li_inv, y[i - 1]));
+  }
+  // Back substitution: x_n-1 = D'^-1 y; x_i = D'^-1 (y_i - U_i x_{i+1}).
+  std::vector<double> x(n * 3);
+  Vec3 xi = mat_vec(mat_inverse(dp[n - 1]), y[n - 1]);
+  for (int c = 0; c < 3; ++c) x[(n - 1) * 3 + static_cast<std::size_t>(c)] = xi[static_cast<std::size_t>(c)];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const Vec3 ux = mat_vec(load_mat(upper, i), xi);
+    xi = mat_vec(mat_inverse(dp[i]), vec_sub(y[i], ux));
+    for (int c = 0; c < 3; ++c) x[i * 3 + static_cast<std::size_t>(c)] = xi[static_cast<std::size_t>(c)];
+  }
+  return x;
+}
+
+double gauss_seidel_sweep(std::vector<double>& u, std::span<const double> f,
+                          int nx, int ny, double h2) {
+  GEOMAP_CHECK(static_cast<int>(u.size()) == (nx + 2) * (ny + 2));
+  GEOMAP_CHECK(static_cast<int>(f.size()) == nx * ny);
+  const int stride = ny + 2;
+  double residual_sq = 0.0;
+  for (int i = 1; i <= nx; ++i) {
+    for (int j = 1; j <= ny; ++j) {
+      const std::size_t c = static_cast<std::size_t>(i * stride + j);
+      const double fij = f[static_cast<std::size_t>((i - 1) * ny + (j - 1))];
+      const double r = fij * h2 + u[c - static_cast<std::size_t>(stride)] +
+                       u[c + static_cast<std::size_t>(stride)] + u[c - 1] +
+                       u[c + 1] - 4.0 * u[c];
+      residual_sq += r * r;
+      u[c] += 0.25 * r;
+    }
+  }
+  return residual_sq;
+}
+
+}  // namespace geomap::apps

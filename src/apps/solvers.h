@@ -1,0 +1,52 @@
+#pragma once
+// Sequential numeric kernels used by the NPB-style mini-apps: Thomas
+// tridiagonal solve (BT's block lines, simplified to 3x3 blocks), scalar
+// pentadiagonal solve (SP), and a Gauss-Seidel relaxation sweep (LU's
+// SSOR). All are real solvers with unit tests against dense references.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace geomap::apps {
+
+/// Solve a tridiagonal system in place. `lower[i] x[i-1] + diag[i] x[i] +
+/// upper[i] x[i+1] = rhs[i]`; lower[0] and upper[n-1] are ignored.
+/// Returns the solution. Requires diagonal dominance for stability.
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs);
+
+/// Solve a pentadiagonal system (bandwidth 2) in place via banded
+/// Gaussian elimination without pivoting. Bands: d2 (i,i-2), d1 (i,i-1),
+/// d0 (i,i), u1 (i,i+1), u2 (i,i+2); out-of-range entries ignored.
+std::vector<double> solve_pentadiagonal(std::span<const double> d2,
+                                        std::span<const double> d1,
+                                        std::span<const double> d0,
+                                        std::span<const double> u1,
+                                        std::span<const double> u2,
+                                        std::span<const double> rhs);
+
+/// Solve a block-tridiagonal system with 3x3 blocks via block Thomas.
+/// Blocks are row-major 3x3; vectors are length-3 chunks. n blocks.
+/// lower/upper have n blocks each (first/last ignored respectively).
+std::vector<double> solve_block_tridiagonal(std::span<const double> lower,
+                                            std::span<const double> diag,
+                                            std::span<const double> upper,
+                                            std::span<const double> rhs);
+
+/// One Gauss-Seidel sweep of the 5-point Laplacian on an (nx+2)x(ny+2)
+/// array with halo (row-major, u[(i)*(ny+2)+j]); f is nx*ny. Interior
+/// points i in [1,nx], j in [1,ny] updated in lexicographic order.
+/// Returns the sum of squared residuals *before* the sweep.
+double gauss_seidel_sweep(std::vector<double>& u, std::span<const double> f,
+                          int nx, int ny, double h2);
+
+/// 3x3 linear solve helper (Gaussian elimination with partial pivoting):
+/// returns A^-1 b. A row-major 9 values.
+std::array<double, 3> solve3x3(std::span<const double, 9> a,
+                               std::span<const double, 3> b);
+
+}  // namespace geomap::apps

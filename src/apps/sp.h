@@ -1,0 +1,25 @@
+#pragma once
+// SP: the NPB Scalar Penta-diagonal pseudo-application. Same ADI skeleton
+// as BT but each directional phase solves scalar pentadiagonal systems
+// along grid lines (NPB SP's factored form), with slightly smaller face
+// messages — near-diagonal communication with a different weight profile
+// than BT.
+
+#include "apps/app.h"
+
+namespace geomap::apps {
+
+class SpApp : public App {
+ public:
+  std::string name() const override { return "SP"; }
+  double run(runtime::Comm& comm, const AppConfig& config) const override;
+  trace::CommMatrix synthetic_pattern(int num_ranks,
+                                      const AppConfig& config) const override;
+  AppConfig default_config(int num_ranks) const override;
+
+  static constexpr double kFaceMsgBytes = 38.0 * 1024;
+  /// The change-norm allreduce runs every kNormEvery time steps.
+  static constexpr int kNormEvery = 5;
+};
+
+}  // namespace geomap::apps

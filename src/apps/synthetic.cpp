@@ -1,0 +1,169 @@
+#include "apps/synthetic.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace geomap::apps {
+
+void add_bcast_edges(trace::CommMatrix::Builder& builder, int p, int root,
+                     Bytes bytes, double times) {
+  GEOMAP_CHECK(p >= 1 && root >= 0 && root < p);
+  if (p == 1) return;
+  int mask = 1;
+  while (mask < p) mask <<= 1;
+  mask >>= 1;
+  for (int vrank = 0; vrank < p; ++vrank) {
+    bool received = (vrank == 0);
+    for (int stride = mask; stride >= 1; stride >>= 1) {
+      if (received) {
+        if (vrank + stride < p && vrank % (stride << 1) == 0) {
+          const int src = (vrank + root) % p;
+          const int dst = (vrank + stride + root) % p;
+          builder.add_message(src, dst, bytes * times, times);
+        }
+      } else if (vrank % (stride << 1) == stride) {
+        received = true;
+      }
+    }
+  }
+}
+
+void add_reduce_edges(trace::CommMatrix::Builder& builder, int p, int root,
+                      Bytes bytes, double times) {
+  GEOMAP_CHECK(p >= 1 && root >= 0 && root < p);
+  for (int vrank = 0; vrank < p; ++vrank) {
+    for (int stride = 1; stride < p; stride <<= 1) {
+      if (vrank % (stride << 1) == 0) {
+        continue;  // receiver side; edge added by the sender's iteration
+      }
+      if (vrank % (stride << 1) == stride) {
+        const int src = (vrank + root) % p;
+        const int dst = (vrank - stride + root) % p;
+        builder.add_message(src, dst, bytes * times, times);
+        break;
+      }
+    }
+  }
+}
+
+void add_allreduce_edges(trace::CommMatrix::Builder& builder, int p,
+                         Bytes bytes, double times) {
+  // Mirrors Comm::allreduce: recursive doubling over the largest power
+  // of two <= p, with fold/unfold edges for the remainder ranks.
+  if (p == 1) return;
+  int p2 = 1;
+  while (p2 * 2 <= p) p2 *= 2;
+  for (int r = p2; r < p; ++r) {
+    builder.add_message(r, r - p2, bytes * times, times);  // fold
+    builder.add_message(r - p2, r, bytes * times, times);  // result back
+  }
+  for (int r = 0; r < p2; ++r) {
+    for (int mask = 1; mask < p2; mask <<= 1) {
+      builder.add_message(r, r ^ mask, bytes * times, times);
+    }
+  }
+}
+
+void add_barrier_edges(trace::CommMatrix::Builder& builder, int p,
+                       double times) {
+  for (int r = 0; r < p; ++r) {
+    for (int stride = 1; stride < p; stride <<= 1) {
+      builder.add_message(r, (r + stride) % p, 0.0, times);
+    }
+  }
+}
+
+void add_scatter_edges(trace::CommMatrix::Builder& builder, int p, int root,
+                       Bytes block_bytes, double times) {
+  GEOMAP_CHECK(p >= 1 && root >= 0 && root < p);
+  // Simulate Comm::scatter's block-count propagation per vrank.
+  std::vector<int> count(static_cast<std::size_t>(p), 0);
+  count[0] = p;
+  int mask = 1;
+  while (mask < p) mask <<= 1;
+  for (int stride = mask; stride >= 1; stride >>= 1) {
+    for (int vrank = 0; vrank < p; ++vrank) {
+      if (count[static_cast<std::size_t>(vrank)] > stride &&
+          vrank % (stride << 1) == 0 && vrank + stride < p) {
+        const int nsend = count[static_cast<std::size_t>(vrank)] - stride;
+        builder.add_message((vrank + root) % p, (vrank + stride + root) % p,
+                            nsend * block_bytes * times, times);
+        count[static_cast<std::size_t>(vrank)] = stride;
+        count[static_cast<std::size_t>(vrank + stride)] = nsend;
+      }
+    }
+  }
+}
+
+void add_gather_edges(trace::CommMatrix::Builder& builder, int p, int root,
+                      Bytes block_bytes, double times) {
+  GEOMAP_CHECK(p >= 1 && root >= 0 && root < p);
+  // Simulate Comm::gather's accumulation per vrank.
+  std::vector<int> count(static_cast<std::size_t>(p), 1);
+  std::vector<char> done(static_cast<std::size_t>(p), 0);
+  for (int stride = 1; stride < p; stride <<= 1) {
+    for (int vrank = 0; vrank < p; ++vrank) {
+      if (done[static_cast<std::size_t>(vrank)]) continue;
+      if (vrank % (stride << 1) == stride) {
+        builder.add_message(
+            (vrank + root) % p, (vrank - stride + root) % p,
+            count[static_cast<std::size_t>(vrank)] * block_bytes * times,
+            times);
+        count[static_cast<std::size_t>(vrank - stride)] +=
+            count[static_cast<std::size_t>(vrank)];
+        done[static_cast<std::size_t>(vrank)] = 1;
+      }
+    }
+  }
+}
+
+void add_reduce_scatter_edges(trace::CommMatrix::Builder& builder, int p,
+                              Bytes block_bytes, double times) {
+  add_reduce_edges(builder, p, 0, block_bytes * p, times);
+  add_scatter_edges(builder, p, 0, block_bytes, times);
+}
+
+void add_scan_edges(trace::CommMatrix::Builder& builder, int p, Bytes bytes,
+                    double times) {
+  for (int r = 0; r + 1 < p; ++r)
+    builder.add_message(r, r + 1, bytes * times, times);
+}
+
+void add_allgather_edges(trace::CommMatrix::Builder& builder, int p,
+                         Bytes block_bytes, double times) {
+  if (p == 1) return;
+  for (int r = 0; r < p; ++r) {
+    builder.add_message(r, (r + 1) % p, times * block_bytes * (p - 1),
+                        times * (p - 1));
+  }
+}
+
+void add_alltoall_edges(trace::CommMatrix::Builder& builder, int p,
+                        Bytes block_bytes, double times) {
+  for (int r = 0; r < p; ++r) {
+    for (int d = 0; d < p; ++d) {
+      if (d == r) continue;
+      builder.add_message(r, d, block_bytes * times, times);
+    }
+  }
+}
+
+void add_alltoall_bruck_edges(trace::CommMatrix::Builder& builder, int p,
+                              Bytes block_bytes, double times) {
+  if (p <= 1) return;
+  for (int stride = 1; stride < p; stride <<= 1) {
+    // Exactly the blocks Comm::alltoall_bruck forwards in this round:
+    // indices in [0, p) with the stride bit set.
+    int blocks = 0;
+    for (int i = 0; i < p; ++i) {
+      if (i & stride) ++blocks;
+    }
+    const double round_bytes = block_bytes * blocks;
+    for (int r = 0; r < p; ++r) {
+      builder.add_message(r, (r + stride) % p, round_bytes * times, times);
+    }
+  }
+}
+
+}  // namespace geomap::apps

@@ -1,0 +1,70 @@
+#pragma once
+// Synthetic communication-pattern construction.
+//
+// The scale experiments (paper Section 5.4, up to 8192 processes) need
+// CG/AG matrices without executing thread-per-rank runs. These helpers
+// emit the exact edges the minimpi collectives produce — same binomial
+// trees, same ring, same pairwise exchange — so a synthetic pattern for
+// N ranks matches what profiling a real run would capture (asserted by
+// the integration tests at small N).
+
+#include "common/types.h"
+#include "trace/comm_matrix.h"
+
+namespace geomap::apps {
+
+/// Edges of a binomial-tree broadcast of `bytes` from `root`, repeated
+/// `times`.
+void add_bcast_edges(trace::CommMatrix::Builder& builder, int p, int root,
+                     Bytes bytes, double times = 1.0);
+
+/// Edges of a binomial-tree reduction of `bytes` to `root`.
+void add_reduce_edges(trace::CommMatrix::Builder& builder, int p, int root,
+                      Bytes bytes, double times = 1.0);
+
+/// Recursive-doubling allreduce with non-power-of-two fold (mirrors the
+/// runtime's allreduce).
+void add_allreduce_edges(trace::CommMatrix::Builder& builder, int p,
+                         Bytes bytes, double times = 1.0);
+
+/// Dissemination barrier edges (zero-byte messages, latency-only cost).
+void add_barrier_edges(trace::CommMatrix::Builder& builder, int p,
+                       double times = 1.0);
+
+/// Binomial scatter from `root` of p blocks of `block_bytes` (payloads
+/// halve down the tree, mirroring Comm::scatter).
+void add_scatter_edges(trace::CommMatrix::Builder& builder, int p, int root,
+                       Bytes block_bytes, double times = 1.0);
+
+/// Binomial gather to `root` (payloads grow up the tree, mirroring
+/// Comm::gather).
+void add_gather_edges(trace::CommMatrix::Builder& builder, int p, int root,
+                      Bytes block_bytes, double times = 1.0);
+
+/// reduce-to-0 + scatter (the runtime's reduce_scatter).
+void add_reduce_scatter_edges(trace::CommMatrix::Builder& builder, int p,
+                              Bytes block_bytes, double times = 1.0);
+
+/// Linear-chain inclusive scan (mirrors Comm::scan).
+void add_scan_edges(trace::CommMatrix::Builder& builder, int p, Bytes bytes,
+                    double times = 1.0);
+
+/// Ring allgather: each rank forwards p-1 blocks to its right neighbour.
+void add_allgather_edges(trace::CommMatrix::Builder& builder, int p,
+                         Bytes block_bytes, double times = 1.0);
+
+/// Pairwise-exchange all-to-all: every ordered pair once per round.
+/// Matches the runtime's alltoall but produces O(p^2) edges — use only
+/// at executable scales.
+void add_alltoall_edges(trace::CommMatrix::Builder& builder, int p,
+                        Bytes block_bytes, double times = 1.0);
+
+/// Bruck-algorithm all-to-all: ceil(log2 p) rounds of (p/2)-block
+/// exchanges with power-of-two-distant partners. O(p log p) edges and the
+/// same total traffic order — the representation the large-N synthetic
+/// patterns use, since an 8192-process pairwise pattern would hold 67M
+/// edges.
+void add_alltoall_bruck_edges(trace::CommMatrix::Builder& builder, int p,
+                              Bytes block_bytes, double times = 1.0);
+
+}  // namespace geomap::apps

@@ -1,0 +1,68 @@
+#pragma once
+// Small row-major dense matrix used for the M×M site-level latency and
+// bandwidth matrices (M is at most a few dozen sites, so dense storage is
+// the right tool; process-level communication matrices are sparse and live
+// in trace/comm_matrix.h).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace geomap {
+
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  DenseMatrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  static DenseMatrix square(std::size_t n, T init = T{}) {
+    return DenseMatrix(n, n, init);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    GEOMAP_CHECK_MSG(r < rows_ && c < cols_,
+                     "index (" << r << "," << c << ") out of " << rows_ << "x"
+                               << cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const T& operator()(std::size_t r, std::size_t c) const {
+    GEOMAP_CHECK_MSG(r < rows_ && c < cols_,
+                     "index (" << r << "," << c << ") out of " << rows_ << "x"
+                               << cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked access for hot loops.
+  T& at_unchecked(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& at_unchecked(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  bool operator==(const DenseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrix = DenseMatrix<double>;
+
+}  // namespace geomap

@@ -1,0 +1,58 @@
+#pragma once
+// Checked error handling for geomap.
+//
+// Library code throws geomap::Error (an std::runtime_error) on contract
+// violations; the GEOMAP_CHECK* macros build a message with the failing
+// expression and source location.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace geomap {
+
+/// Base exception for all geomap errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a mapping violates capacity or pin constraints.
+class ConstraintViolation : public Error {
+ public:
+  explicit ConstraintViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "geomap check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace geomap
+
+#define GEOMAP_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::geomap::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GEOMAP_CHECK_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream geomap_os_;                                     \
+      geomap_os_ << msg;                                                 \
+      ::geomap::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                            geomap_os_.str());           \
+    }                                                                    \
+  } while (0)

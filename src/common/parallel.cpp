@@ -1,0 +1,79 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geomap {
+
+namespace {
+std::size_t g_worker_override = 0;
+
+std::size_t hardware_workers() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+}  // namespace
+
+std::size_t parallel_workers() {
+  return g_worker_override != 0 ? g_worker_override : hardware_workers();
+}
+
+void set_parallel_workers(std::size_t n) { g_worker_override = n; }
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t workers = std::min(parallel_workers(), total);
+
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  // Dynamic scheduling over fixed-size chunks: workers pull the next chunk
+  // from an atomic cursor, which balances irregular per-chunk cost (e.g.
+  // different group orders explore differently shaped search trees).
+  const std::size_t chunk =
+      std::max<std::size_t>(1, total / (workers * 8));
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(lo + chunk, end);
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunked(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace geomap

@@ -1,0 +1,56 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace geomap {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zero outputs from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) return 0;
+  const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::split() {
+  const std::uint64_t derived = (*this)() ^ 0xa0761d6478bd642fULL;
+  return Rng(derived);
+}
+
+}  // namespace geomap

@@ -1,0 +1,58 @@
+#pragma once
+// Descriptive statistics used by the calibration, evaluation, and Monte
+// Carlo components: running accumulators, percentiles, and empirical CDFs.
+
+#include <cstddef>
+#include <vector>
+
+namespace geomap {
+
+/// Welford-style running accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (0 for n < 2).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean (paper error bars), 0 for n < 2.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile (0..100) of a sample by linear interpolation. Sorts a copy.
+double percentile(std::vector<double> sample, double pct);
+
+/// Empirical cumulative distribution function over a fixed sample.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> sample);
+
+  /// P(X <= x) over the sample.
+  double at(double x) const;
+
+  /// Inverse CDF (quantile), q in [0,1].
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace geomap

@@ -1,0 +1,60 @@
+#pragma once
+// Aligned text tables and CSV output for the benchmark harnesses. Every
+// bench binary prints the rows of the paper table / the series of the paper
+// figure through this writer so outputs are uniform and diffable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace geomap {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell; doubles use fixed precision.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(double v, int precision = 2);
+    RowBuilder& cell(long long v);
+    RowBuilder& cell(int v) { return cell(static_cast<long long>(v)); }
+    RowBuilder& cell(std::size_t v) {
+      return cell(static_cast<long long>(v));
+    }
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render as an aligned, pipe-separated text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-ish; cells with commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for ad-hoc cells).
+std::string format_double(double v, int precision = 2);
+
+/// Print a section banner ("== title ==") used by bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace geomap

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing for the optimization-overhead experiments (Figure 4)
+// and the micro benchmarks.
+
+#include <chrono>
+
+namespace geomap {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace geomap

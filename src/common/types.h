@@ -1,0 +1,40 @@
+#pragma once
+// Fundamental index and unit types shared across geomap libraries.
+
+#include <cstdint>
+#include <vector>
+
+namespace geomap {
+
+/// Index of a parallel process (paper: vertex of the communication graph G).
+using ProcessId = std::int32_t;
+
+/// Index of a cloud site / region (paper: vertex of the network graph T).
+using SiteId = std::int32_t;
+
+/// Index of a site group produced by the k-means grouping optimization.
+using GroupId = std::int32_t;
+
+/// A process→site assignment; element i is the site hosting process i
+/// (paper: the vector P). kUnmapped marks a not-yet-placed process.
+using Mapping = std::vector<SiteId>;
+
+inline constexpr SiteId kUnmapped = -1;
+
+/// Constraint vector (paper: C). kUnconstrained (== kUnmapped) means the
+/// process may be placed anywhere; any other value pins it to that site.
+inline constexpr SiteId kUnconstrained = -1;
+using ConstraintVector = std::vector<SiteId>;
+
+/// Bytes of communication volume.
+using Bytes = double;
+
+/// Seconds of (virtual or wall) time.
+using Seconds = double;
+
+/// Bandwidth in bytes per second.
+using BytesPerSecond = double;
+
+inline constexpr double kMiB = 1024.0 * 1024.0;
+
+}  // namespace geomap

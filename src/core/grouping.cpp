@@ -1,0 +1,191 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace geomap::core {
+
+namespace {
+
+/// Assign every site to its nearest centroid; returns true if any
+/// assignment changed.
+bool assign_step(const std::vector<net::GeoCoordinate>& coords,
+                 const std::vector<net::GeoCoordinate>& centroids,
+                 std::vector<GroupId>& assignment) {
+  bool changed = false;
+  for (std::size_t s = 0; s < coords.size(); ++s) {
+    GroupId best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      const double d = net::euclidean_deg_sq(coords[s], centroids[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<GroupId>(c);
+      }
+    }
+    if (assignment[s] != best) {
+      assignment[s] = best;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Grouping group_sites(const std::vector<net::GeoCoordinate>& coords, int kappa,
+                     const KMeansOptions& options) {
+  const int m = static_cast<int>(coords.size());
+  GEOMAP_CHECK_MSG(m > 0, "no sites to group");
+  GEOMAP_CHECK_MSG(kappa >= 1, "kappa=" << kappa);
+  if (kappa >= m) return singleton_groups(m);
+
+  // Forgy initialization (paper Section 4.2): κ distinct sites drawn
+  // uniformly become the initial means.
+  Rng rng(options.seed);
+  std::vector<SiteId> order(static_cast<std::size_t>(m));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<net::GeoCoordinate> centroids;
+  centroids.reserve(static_cast<std::size_t>(kappa));
+  for (int c = 0; c < kappa; ++c)
+    centroids.push_back(coords[static_cast<std::size_t>(order[static_cast<std::size_t>(c)])]);
+
+  std::vector<GroupId> assignment(static_cast<std::size_t>(m), -1);
+  assign_step(coords, centroids, assignment);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Update step: centroid = mean of members.
+    std::vector<double> lat(centroids.size(), 0.0), lon(centroids.size(), 0.0);
+    std::vector<int> count(centroids.size(), 0);
+    for (std::size_t s = 0; s < coords.size(); ++s) {
+      const auto g = static_cast<std::size_t>(assignment[s]);
+      lat[g] += coords[s].latitude_deg;
+      lon[g] += coords[s].longitude_deg;
+      ++count[g];
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (count[c] == 0) continue;  // keep stale centroid for empty cluster
+      centroids[c] = {lat[c] / count[c], lon[c] / count[c]};
+    }
+    if (!assign_step(coords, centroids, assignment)) break;
+  }
+
+  // Compact away empty clusters and build the result.
+  Grouping g;
+  std::vector<GroupId> remap(centroids.size(), -1);
+  g.group_of_site.assign(static_cast<std::size_t>(m), -1);
+  for (std::size_t s = 0; s < coords.size(); ++s) {
+    const auto c = static_cast<std::size_t>(assignment[s]);
+    if (remap[c] == -1) {
+      remap[c] = g.num_groups++;
+      g.members.emplace_back();
+      g.centroids.push_back(centroids[c]);
+    }
+    g.group_of_site[s] = remap[c];
+    g.members[static_cast<std::size_t>(remap[c])].push_back(
+        static_cast<SiteId>(s));
+  }
+  for (std::size_t s = 0; s < coords.size(); ++s) {
+    const auto c = static_cast<std::size_t>(assignment[s]);
+    g.inertia += net::euclidean_deg_sq(
+        coords[s], centroids[c]);
+  }
+  return g;
+}
+
+Grouping group_sites_by_latency(const net::NetworkModel& model, int kappa,
+                                const KMeansOptions& options) {
+  const int m = model.num_sites();
+  GEOMAP_CHECK_MSG(m > 0, "no sites to group");
+  GEOMAP_CHECK_MSG(kappa >= 1, "kappa=" << kappa);
+  if (kappa >= m) return singleton_groups(m);
+
+  auto dist = [&](SiteId a, SiteId b) {
+    return 0.5 * (model.latency(a, b) + model.latency(b, a));
+  };
+
+  // Forgy-style initial medoids: kappa distinct sites.
+  Rng rng(options.seed);
+  std::vector<SiteId> order(static_cast<std::size_t>(m));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<SiteId> medoids(order.begin(),
+                              order.begin() + static_cast<std::ptrdiff_t>(kappa));
+
+  std::vector<GroupId> assignment(static_cast<std::size_t>(m), -1);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Assign each site to the nearest medoid.
+    bool changed = false;
+    for (SiteId s = 0; s < m; ++s) {
+      GroupId best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < medoids.size(); ++c) {
+        const double d = dist(s, medoids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<GroupId>(c);
+        }
+      }
+      if (assignment[static_cast<std::size_t>(s)] != best) {
+        assignment[static_cast<std::size_t>(s)] = best;
+        changed = true;
+      }
+    }
+    // Update each medoid to the member minimizing total in-group latency.
+    for (std::size_t c = 0; c < medoids.size(); ++c) {
+      SiteId best_site = medoids[c];
+      double best_total = std::numeric_limits<double>::max();
+      for (SiteId cand = 0; cand < m; ++cand) {
+        if (assignment[static_cast<std::size_t>(cand)] !=
+            static_cast<GroupId>(c))
+          continue;
+        double total = 0;
+        for (SiteId other = 0; other < m; ++other) {
+          if (assignment[static_cast<std::size_t>(other)] ==
+              static_cast<GroupId>(c))
+            total += dist(cand, other);
+        }
+        if (total < best_total) {
+          best_total = total;
+          best_site = cand;
+        }
+      }
+      medoids[c] = best_site;
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  // Compact into the Grouping structure (inertia: latency-based).
+  Grouping g;
+  std::vector<GroupId> remap(medoids.size(), -1);
+  g.group_of_site.assign(static_cast<std::size_t>(m), -1);
+  for (SiteId s = 0; s < m; ++s) {
+    const auto c = static_cast<std::size_t>(assignment[static_cast<std::size_t>(s)]);
+    if (remap[c] == -1) {
+      remap[c] = g.num_groups++;
+      g.members.emplace_back();
+    }
+    g.group_of_site[static_cast<std::size_t>(s)] = remap[c];
+    g.members[static_cast<std::size_t>(remap[c])].push_back(s);
+    g.inertia += dist(s, medoids[c]);
+  }
+  return g;
+}
+
+Grouping singleton_groups(int num_sites) {
+  Grouping g;
+  g.num_groups = num_sites;
+  g.group_of_site.resize(static_cast<std::size_t>(num_sites));
+  g.members.resize(static_cast<std::size_t>(num_sites));
+  for (SiteId s = 0; s < num_sites; ++s) {
+    g.group_of_site[static_cast<std::size_t>(s)] = s;
+    g.members[static_cast<std::size_t>(s)] = {s};
+  }
+  return g;
+}
+
+}  // namespace geomap::core

@@ -1,0 +1,47 @@
+#pragma once
+// Grouping optimization (paper Section 4.2 "Grouping Optimization"):
+// cluster nearby sites into κ groups with k-means over their physical
+// coordinates (Forgy initialization, Euclidean distance), so the order
+// search explores κ! group orders instead of M! site orders.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/geo.h"
+#include "net/network_model.h"
+
+namespace geomap::core {
+
+struct Grouping {
+  int num_groups = 0;                        // κ actually produced
+  std::vector<GroupId> group_of_site;        // size M
+  std::vector<std::vector<SiteId>> members;  // size num_groups
+  std::vector<net::GeoCoordinate> centroids;
+
+  /// Sum of squared distances of sites to their centroids.
+  double inertia = 0.0;
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  std::uint64_t seed = 2017;
+};
+
+/// K-means over site coordinates. Produces at most `kappa` groups (fewer
+/// when M < kappa or clusters empty out). Deterministic in the seed.
+Grouping group_sites(const std::vector<net::GeoCoordinate>& coords, int kappa,
+                     const KMeansOptions& options = {});
+
+/// Degenerate grouping: every site its own group (grouping disabled).
+Grouping singleton_groups(int num_sites);
+
+/// Extension: group sites by measured network latency instead of
+/// physical coordinates — k-medoids (PAM-style) over the symmetrized LT
+/// matrix. Useful when provider coordinates are unavailable; latency is
+/// the operative proxy for distance anyway (paper Observation 2).
+/// Centroids in the result are unset (no coordinates exist).
+Grouping group_sites_by_latency(const net::NetworkModel& model, int kappa,
+                                const KMeansOptions& options = {});
+
+}  // namespace geomap::core

@@ -1,0 +1,73 @@
+#include "core/montecarlo.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "mapping/cost.h"
+#include "mapping/random_mapper.h"
+
+namespace geomap::core {
+
+MonteCarloResult run_monte_carlo(const mapping::MappingProblem& problem,
+                                 const MonteCarloOptions& options) {
+  GEOMAP_CHECK_MSG(options.samples > 0, "samples=" << options.samples);
+  problem.validate();
+  const mapping::CostEvaluator eval(problem);
+
+  MonteCarloResult result;
+  result.costs.resize(static_cast<std::size_t>(options.samples));
+
+  // Each fixed-size block draws from its own stream seeded by (seed,
+  // block index), so the sampled sequence is identical regardless of the
+  // worker count.
+  constexpr std::size_t kBlock = 1024;
+  const auto total = static_cast<std::size_t>(options.samples);
+  const std::size_t blocks = (total + kBlock - 1) / kBlock;
+
+  auto run_block = [&](std::size_t b) {
+    Rng rng(options.seed ^ (0x517cc1b727220a95ULL * (b + 1)));
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(lo + kBlock, total);
+    for (std::size_t s = lo; s < hi; ++s) {
+      const Mapping m = mapping::RandomMapper::draw(problem, rng);
+      result.costs[s] = eval.total_cost(m);
+    }
+  };
+
+  if (options.parallel) {
+    parallel_for(0, blocks, run_block);
+  } else {
+    for (std::size_t b = 0; b < blocks; ++b) run_block(b);
+  }
+
+  result.best = *std::min_element(result.costs.begin(), result.costs.end());
+  result.worst = *std::max_element(result.costs.begin(), result.costs.end());
+  double sum = 0;
+  for (const double c : result.costs) sum += c;
+  result.mean = sum / static_cast<double>(result.costs.size());
+  return result;
+}
+
+double MonteCarloResult::fraction_below(Seconds cost) const {
+  std::size_t below = 0;
+  for (const double c : costs)
+    if (c < cost) ++below;
+  return static_cast<double>(below) / static_cast<double>(costs.size());
+}
+
+std::vector<Seconds> MonteCarloResult::best_of_k(
+    const std::vector<std::int64_t>& ks) const {
+  std::vector<Seconds> out;
+  out.reserve(ks.size());
+  for (const std::int64_t k : ks) {
+    GEOMAP_CHECK_MSG(k > 0 && k <= static_cast<std::int64_t>(costs.size()),
+                     "best_of_k needs 0 < k <= samples, got " << k);
+    out.push_back(*std::min_element(
+        costs.begin(), costs.begin() + static_cast<std::ptrdiff_t>(k)));
+  }
+  return out;
+}
+
+}  // namespace geomap::core

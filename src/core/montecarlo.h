@@ -1,0 +1,47 @@
+#pragma once
+// Monte Carlo exploration of the mapping solution space (paper Section
+// 5.4, Figures 9-10): draw feasible mappings uniformly at random, record
+// the cost distribution, and derive (a) the CDF that positions each
+// algorithm's solution within the space and (b) the best-of-K curve that
+// shows random search needs K ≈ 10^4-10^7 draws to match the proposed
+// algorithm.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mapping/problem.h"
+
+namespace geomap::core {
+
+struct MonteCarloOptions {
+  /// Paper uses 10^7 draws; the default here keeps single-core bench
+  /// runs interactive while the distribution is already stable.
+  std::int64_t samples = 200000;
+  std::uint64_t seed = 12345;
+  bool parallel = true;
+};
+
+struct MonteCarloResult {
+  std::vector<double> costs;  // one per sample, sample order
+  Seconds best = 0;
+  Seconds worst = 0;
+  double mean = 0;
+
+  /// Fraction of random mappings strictly cheaper than `cost` — "the
+  /// probability that a random mapping beats this algorithm".
+  double fraction_below(Seconds cost) const;
+
+  /// Empirical CDF of the (raw) costs.
+  EmpiricalCdf cdf() const { return EmpiricalCdf(costs); }
+
+  /// min(costs[0..k)) for each requested k — the best-of-K curve, using
+  /// the stream's own sample order (paper Figure 10).
+  std::vector<Seconds> best_of_k(const std::vector<std::int64_t>& ks) const;
+};
+
+MonteCarloResult run_monte_carlo(const mapping::MappingProblem& problem,
+                                 const MonteCarloOptions& options = {});
+
+}  // namespace geomap::core

@@ -1,0 +1,34 @@
+#include "core/pipeline.h"
+
+namespace geomap::core {
+
+mapping::MappingProblem make_problem(const net::CloudTopology& topo,
+                                     const net::NetworkModel& model,
+                                     trace::CommMatrix comm,
+                                     ConstraintVector constraints) {
+  mapping::MappingProblem problem;
+  problem.comm = std::move(comm);
+  problem.network = model;
+  problem.capacities = topo.capacities();
+  problem.constraints = std::move(constraints);
+  problem.site_coords = topo.coordinates();
+  problem.validate();
+  return problem;
+}
+
+PipelineResult Pipeline::execute(const net::CloudTopology& topo,
+                                 trace::CommMatrix comm,
+                                 ConstraintVector constraints) const {
+  PipelineResult result;
+  const net::Calibrator calibrator(options_.calibration);
+  result.calibration = calibrator.calibrate(topo);
+
+  mapping::MappingProblem problem = make_problem(
+      topo, result.calibration.model, std::move(comm), std::move(constraints));
+
+  GeoDistMapper mapper(options_.mapper);
+  result.run = mapping::run_mapper(mapper, problem);
+  return result;
+}
+
+}  // namespace geomap::core

@@ -1,0 +1,127 @@
+#include "mapping/allowed_sites.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "mapping/mapper.h"
+#include "mapping/problem.h"
+
+namespace geomap::mapping {
+
+bool site_allowed(const AllowedSites& allowed, ProcessId i, SiteId s) {
+  if (allowed.empty()) return true;
+  const auto& list = allowed[static_cast<std::size_t>(i)];
+  if (list.empty()) return true;
+  return std::binary_search(list.begin(), list.end(), s);
+}
+
+namespace {
+
+/// Occupancy index: which movable processes currently live on each site.
+struct Occupancy {
+  std::vector<std::vector<ProcessId>> by_site;
+
+  Occupancy(const Mapping& mapping, const std::vector<char>& movable, int m) {
+    by_site.resize(static_cast<std::size_t>(m));
+    for (ProcessId i = 0; i < static_cast<ProcessId>(mapping.size()); ++i) {
+      const SiteId s = mapping[static_cast<std::size_t>(i)];
+      if (s != kUnmapped && movable[static_cast<std::size_t>(i)])
+        by_site[static_cast<std::size_t>(s)].push_back(i);
+    }
+  }
+
+  void remove(ProcessId p, SiteId s) {
+    auto& v = by_site[static_cast<std::size_t>(s)];
+    v.erase(std::find(v.begin(), v.end(), p));
+  }
+
+  void add(ProcessId p, SiteId s) {
+    by_site[static_cast<std::size_t>(s)].push_back(p);
+  }
+};
+
+struct Augmenter {
+  const MappingProblem& problem;
+  Mapping& mapping;
+  std::vector<int>& free;
+  const std::vector<char>& movable;
+  Occupancy occupancy;
+  std::vector<char> visited;  // per site, reset per root placement
+
+  Augmenter(const MappingProblem& p, Mapping& m, std::vector<int>& f,
+            const std::vector<char>& mv)
+      : problem(p),
+        mapping(m),
+        free(f),
+        movable(mv),
+        occupancy(m, mv, p.num_sites()),
+        visited(static_cast<std::size_t>(p.num_sites()), 0) {}
+
+  std::vector<SiteId> candidate_sites(ProcessId p) const {
+    const auto& allowed = problem.allowed_sites;
+    if (!allowed.empty() && !allowed[static_cast<std::size_t>(p)].empty())
+      return allowed[static_cast<std::size_t>(p)];
+    std::vector<SiteId> all(static_cast<std::size_t>(problem.num_sites()));
+    for (SiteId s = 0; s < problem.num_sites(); ++s)
+      all[static_cast<std::size_t>(s)] = s;
+    return all;
+  }
+
+  /// Kuhn augmenting step: place p on some allowed site, evicting a
+  /// movable occupant along an augmenting path when every allowed site
+  /// is full.
+  bool place(ProcessId p) {
+    for (const SiteId s : candidate_sites(p)) {
+      if (visited[static_cast<std::size_t>(s)]) continue;
+      visited[static_cast<std::size_t>(s)] = 1;
+      if (free[static_cast<std::size_t>(s)] > 0) {
+        mapping[static_cast<std::size_t>(p)] = s;
+        if (movable[static_cast<std::size_t>(p)]) occupancy.add(p, s);
+        --free[static_cast<std::size_t>(s)];
+        return true;
+      }
+      // Try to relocate one movable occupant of s elsewhere.
+      const std::vector<ProcessId> occupants =
+          occupancy.by_site[static_cast<std::size_t>(s)];
+      for (const ProcessId q : occupants) {
+        occupancy.remove(q, s);
+        mapping[static_cast<std::size_t>(q)] = kUnmapped;
+        if (place(q)) {
+          mapping[static_cast<std::size_t>(p)] = s;
+          if (movable[static_cast<std::size_t>(p)]) occupancy.add(p, s);
+          return true;  // q's old slot taken by p; capacity unchanged
+        }
+        mapping[static_cast<std::size_t>(q)] = s;  // restore
+        occupancy.add(q, s);
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool complete_assignment(const MappingProblem& problem, Mapping& mapping,
+                         std::vector<int>& free,
+                         const std::vector<char>& movable) {
+  GEOMAP_CHECK(mapping.size() ==
+               static_cast<std::size_t>(problem.num_processes()));
+  GEOMAP_CHECK(movable.size() == mapping.size());
+  Augmenter aug(problem, mapping, free, movable);
+  for (ProcessId p = 0; p < problem.num_processes(); ++p) {
+    if (mapping[static_cast<std::size_t>(p)] != kUnmapped) continue;
+    std::fill(aug.visited.begin(), aug.visited.end(), 0);
+    if (!aug.place(p)) return false;
+  }
+  return true;
+}
+
+bool constraints_feasible(const MappingProblem& problem) {
+  auto [mapping, free] = apply_constraints(problem);
+  std::vector<char> movable(mapping.size(), 0);
+  for (std::size_t i = 0; i < mapping.size(); ++i)
+    movable[i] = mapping[i] == kUnmapped ? 1 : 0;
+  return complete_assignment(problem, mapping, free, movable);
+}
+
+}  // namespace geomap::mapping

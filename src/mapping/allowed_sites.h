@@ -1,0 +1,44 @@
+#pragma once
+// Multi-site data-movement constraints — the extension the paper leaves
+// as future work ("we only consider the data movement constraint on
+// individual sites and leave the extension to multiple site constraints").
+//
+// A process may carry an *allowed-site set*: any subset of sites it may
+// legally run in (e.g. "any EU region"). The single-site pins of the
+// paper's constraint vector C are the special case of a one-element set.
+// Feasibility becomes a bipartite matching question (processes vs site
+// slots), so completion/repair uses Kuhn's augmenting-path algorithm with
+// site capacities.
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace geomap::mapping {
+
+struct MappingProblem;
+
+/// allowed[i] lists the sites process i may run on (ascending, unique);
+/// an empty list means unrestricted. The whole vector may be empty.
+using AllowedSites = std::vector<std::vector<SiteId>>;
+
+/// True when process i may run on site s under `allowed` (empty list or
+/// vector = unrestricted).
+bool site_allowed(const AllowedSites& allowed, ProcessId i, SiteId s);
+
+/// Complete a partial mapping (kUnmapped entries) so every process lands
+/// on an allowed site without exceeding `free` capacities, reassigning
+/// already-placed *unpinned* processes along augmenting paths when needed.
+/// `free` counts remaining capacity per site for the unmapped processes;
+/// `movable[i]` says whether an already-placed process may be relocated
+/// during repair (pinned processes never move). Returns false when no
+/// feasible completion exists (mapping is left partially filled).
+bool complete_assignment(const MappingProblem& problem, Mapping& mapping,
+                         std::vector<int>& free,
+                         const std::vector<char>& movable);
+
+/// Convenience: feasibility check of the constraint system itself —
+/// does any assignment satisfy capacities, pins and allowed sets?
+bool constraints_feasible(const MappingProblem& problem);
+
+}  // namespace geomap::mapping

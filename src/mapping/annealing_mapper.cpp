@@ -1,0 +1,78 @@
+#include "mapping/annealing_mapper.h"
+
+#include <cmath>
+
+#include "mapping/cost.h"
+#include "mapping/random_mapper.h"
+
+namespace geomap::mapping {
+
+Mapping AnnealingMapper::map(const MappingProblem& problem) {
+  const CostEvaluator eval(problem);
+  Rng rng(options_.seed);
+
+  Mapping current = RandomMapper::draw(problem, rng);
+  Seconds cost = eval.total_cost(current);
+  Mapping best = current;
+  Seconds best_cost = cost;
+
+  const int n = problem.num_processes();
+  const int m = problem.num_sites();
+  std::vector<char> pinned(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < problem.constraints.size(); ++i)
+    pinned[i] = problem.constraints[i] != kUnconstrained;
+
+  // Track per-site free capacity so single-process moves stay feasible.
+  std::vector<int> free = problem.capacities;
+  for (const SiteId s : current) --free[static_cast<std::size_t>(s)];
+
+  double temperature =
+      std::max(1e-12, cost * options_.initial_temperature_fraction);
+
+  for (int step = 0; step < options_.temperature_steps; ++step) {
+    for (int move = 0; move < options_.moves_per_temperature; ++move) {
+      // Half swaps, half single-process relocations into spare slots.
+      if (rng.uniform() < 0.5) {
+        const auto a = static_cast<ProcessId>(rng.uniform_index(n));
+        const auto b = static_cast<ProcessId>(rng.uniform_index(n));
+        if (a == b || pinned[static_cast<std::size_t>(a)] ||
+            pinned[static_cast<std::size_t>(b)])
+          continue;
+        const SiteId sa = current[static_cast<std::size_t>(a)];
+        const SiteId sb = current[static_cast<std::size_t>(b)];
+        if (sa == sb) continue;
+        if (!problem.placement_allowed(a, sb) ||
+            !problem.placement_allowed(b, sa))
+          continue;
+        const Seconds delta = eval.delta_swap(current, a, b);
+        if (delta <= 0 || rng.uniform() < std::exp(-delta / temperature)) {
+          std::swap(current[static_cast<std::size_t>(a)],
+                    current[static_cast<std::size_t>(b)]);
+          cost += delta;
+        }
+      } else {
+        const auto a = static_cast<ProcessId>(rng.uniform_index(n));
+        if (pinned[static_cast<std::size_t>(a)]) continue;
+        const auto to = static_cast<SiteId>(rng.uniform_index(m));
+        const SiteId from = current[static_cast<std::size_t>(a)];
+        if (to == from || free[static_cast<std::size_t>(to)] == 0) continue;
+        if (!problem.placement_allowed(a, to)) continue;
+        const Seconds delta = eval.delta_move(current, a, to);
+        if (delta <= 0 || rng.uniform() < std::exp(-delta / temperature)) {
+          current[static_cast<std::size_t>(a)] = to;
+          ++free[static_cast<std::size_t>(from)];
+          --free[static_cast<std::size_t>(to)];
+          cost += delta;
+        }
+      }
+      if (cost < best_cost) {
+        best = current;
+        best_cost = cost;
+      }
+    }
+    temperature *= options_.cooling;
+  }
+  return best;
+}
+
+}  // namespace geomap::mapping

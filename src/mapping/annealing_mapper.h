@@ -1,0 +1,41 @@
+#pragma once
+// Simulated-annealing process mapping, after Bollinger & Midkiff,
+// "Heuristic technique for processor and link assignment in
+// multicomputers" (IEEE TOC 1991) — the paper's reference [8] and a
+// natural upper-quality/higher-cost baseline beyond MPIPP's local search:
+// Metropolis-accepted random swaps and moves over the alpha-beta cost,
+// with a geometric cooling schedule. Slow but hard to trap; useful to
+// gauge how close the O(kappa!·N^2) heuristic gets to what an expensive
+// global search finds.
+
+#include <cstdint>
+
+#include "mapping/mapper.h"
+
+namespace geomap::mapping {
+
+struct AnnealingOptions {
+  /// Moves attempted per temperature step.
+  int moves_per_temperature = 400;
+  /// Temperature steps.
+  int temperature_steps = 60;
+  /// Geometric cooling factor per step.
+  double cooling = 0.90;
+  /// Initial temperature as a fraction of the starting cost.
+  double initial_temperature_fraction = 0.05;
+  std::uint64_t seed = 17;
+};
+
+class AnnealingMapper : public Mapper {
+ public:
+  explicit AnnealingMapper(AnnealingOptions options = {})
+      : options_(options) {}
+
+  Mapping map(const MappingProblem& problem) override;
+  std::string name() const override { return "Annealing"; }
+
+ private:
+  AnnealingOptions options_;
+};
+
+}  // namespace geomap::mapping

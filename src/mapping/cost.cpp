@@ -1,0 +1,72 @@
+#include "mapping/cost.h"
+
+#include "common/error.h"
+
+namespace geomap::mapping {
+
+Seconds CostEvaluator::total_cost(const Mapping& mapping) const {
+  const int n = p_->num_processes();
+  GEOMAP_CHECK_MSG(static_cast<int>(mapping.size()) == n,
+                   "mapping size mismatch");
+  Seconds total = 0;
+  for (ProcessId i = 0; i < n; ++i) {
+    const SiteId si = mapping[static_cast<std::size_t>(i)];
+    const trace::CommMatrix::Row out = p_->comm.row(i);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const SiteId sj = mapping[static_cast<std::size_t>(out.dst[k])];
+      total += edge_cost(si, sj, out.volume[k], out.count[k]);
+    }
+  }
+  return total;
+}
+
+Seconds CostEvaluator::incident_cost(const Mapping& mapping,
+                                     ProcessId i) const {
+  const SiteId si = mapping[static_cast<std::size_t>(i)];
+  Seconds total = 0;
+  const trace::CommMatrix::Row out = p_->comm.row(i);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const SiteId sj = mapping[static_cast<std::size_t>(out.dst[k])];
+    total += edge_cost(si, sj, out.volume[k], out.count[k]);
+  }
+  const trace::CommMatrix::Row in = p_->comm.in_row(i);
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    const SiteId sj = mapping[static_cast<std::size_t>(in.dst[k])];
+    total += edge_cost(sj, si, in.volume[k], in.count[k]);
+  }
+  return total;
+}
+
+Seconds CostEvaluator::delta_move(const Mapping& mapping, ProcessId i,
+                                  SiteId to) const {
+  const SiteId from = mapping[static_cast<std::size_t>(i)];
+  if (from == to) return 0.0;
+  Seconds delta = 0;
+  const trace::CommMatrix::Row out = p_->comm.row(i);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const SiteId sj = mapping[static_cast<std::size_t>(out.dst[k])];
+    delta += edge_cost(to, sj, out.volume[k], out.count[k]) -
+             edge_cost(from, sj, out.volume[k], out.count[k]);
+  }
+  const trace::CommMatrix::Row in = p_->comm.in_row(i);
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    const SiteId sj = mapping[static_cast<std::size_t>(in.dst[k])];
+    delta += edge_cost(sj, to, in.volume[k], in.count[k]) -
+             edge_cost(sj, from, in.volume[k], in.count[k]);
+  }
+  return delta;
+}
+
+Seconds CostEvaluator::delta_swap(Mapping& mapping, ProcessId a,
+                                  ProcessId b) const {
+  const SiteId sa = mapping[static_cast<std::size_t>(a)];
+  const SiteId sb = mapping[static_cast<std::size_t>(b)];
+  if (sa == sb) return 0.0;
+  const Seconds d1 = delta_move(mapping, a, sb);
+  mapping[static_cast<std::size_t>(a)] = sb;
+  const Seconds d2 = delta_move(mapping, b, sa);
+  mapping[static_cast<std::size_t>(a)] = sa;
+  return d1 + d2;
+}
+
+}  // namespace geomap::mapping

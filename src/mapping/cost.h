@@ -1,0 +1,45 @@
+#pragma once
+// The paper's cost function (Equations 2-3):
+//
+//   COST(P) = Σ_{i,j} f(w_ij, d_{P_i P_j})
+//           = Σ_{i,j} AG(i,j) · LT(P_i, P_j) + CG(i,j) / BT(P_i, P_j)
+//
+// plus O(degree) incremental evaluation for move/swap local search
+// (MPIPP's pairwise exchange and the Monte Carlo sampler both live on
+// these deltas).
+
+#include "common/types.h"
+#include "mapping/problem.h"
+
+namespace geomap::mapping {
+
+class CostEvaluator {
+ public:
+  explicit CostEvaluator(const MappingProblem& problem) : p_(&problem) {}
+
+  /// Full cost, O(nnz). `mapping` must be complete (no kUnmapped).
+  Seconds total_cost(const Mapping& mapping) const;
+
+  /// Cost contribution of all edges incident to process i under `mapping`
+  /// (both directions). O(deg(i)).
+  Seconds incident_cost(const Mapping& mapping, ProcessId i) const;
+
+  /// Cost change if process i moved to site `to` (everything else fixed).
+  /// O(deg(i)). Negative = improvement.
+  Seconds delta_move(const Mapping& mapping, ProcessId i, SiteId to) const;
+
+  /// Cost change if processes a and b swapped sites. O(deg(a)+deg(b)).
+  /// `mapping` is temporarily mutated and restored before returning.
+  Seconds delta_swap(Mapping& mapping, ProcessId a, ProcessId b) const;
+
+  const MappingProblem& problem() const { return *p_; }
+
+ private:
+  Seconds edge_cost(SiteId from, SiteId to, Bytes volume, double count) const {
+    return p_->network.message_cost(from, to, count, volume);
+  }
+
+  const MappingProblem* p_;
+};
+
+}  // namespace geomap::mapping

@@ -1,0 +1,49 @@
+#include "mapping/exhaustive_mapper.h"
+
+#include "common/error.h"
+#include "mapping/cost.h"
+
+namespace geomap::mapping {
+
+Mapping ExhaustiveMapper::map(const MappingProblem& problem) {
+  auto [mapping, free] = apply_constraints(problem);
+  std::vector<ProcessId> free_procs;
+  for (ProcessId i = 0; i < problem.num_processes(); ++i)
+    if (mapping[static_cast<std::size_t>(i)] == kUnmapped)
+      free_procs.push_back(i);
+  GEOMAP_CHECK_MSG(static_cast<int>(free_procs.size()) <= max_free_,
+                   "exhaustive search over " << free_procs.size()
+                                             << " free processes refused");
+
+  const CostEvaluator eval(problem);
+  Mapping best;
+  Seconds best_cost = 0;
+  Mapping current = mapping;
+
+  // Depth-first over site choices with capacity pruning.
+  auto recurse = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == free_procs.size()) {
+      const Seconds cost = eval.total_cost(current);
+      if (best.empty() || cost < best_cost) {
+        best = current;
+        best_cost = cost;
+      }
+      return;
+    }
+    const ProcessId p = free_procs[depth];
+    for (SiteId s = 0; s < problem.num_sites(); ++s) {
+      if (free[static_cast<std::size_t>(s)] == 0) continue;
+      if (!problem.placement_allowed(p, s)) continue;
+      --free[static_cast<std::size_t>(s)];
+      current[static_cast<std::size_t>(p)] = s;
+      self(self, depth + 1);
+      current[static_cast<std::size_t>(p)] = kUnmapped;
+      ++free[static_cast<std::size_t>(s)];
+    }
+  };
+  recurse(recurse, 0);
+  GEOMAP_CHECK_MSG(!best.empty(), "no feasible assignment found");
+  return best;
+}
+
+}  // namespace geomap::mapping

@@ -1,0 +1,26 @@
+#pragma once
+// Exhaustive search over all feasible assignments. The solution space is
+// O(M^N) (paper Section 4.1), so this is only usable for tiny instances —
+// it exists as the ground-truth optimum for unit tests and for measuring
+// how close the heuristics get.
+
+#include <cstdint>
+
+#include "mapping/mapper.h"
+
+namespace geomap::mapping {
+
+class ExhaustiveMapper : public Mapper {
+ public:
+  /// Refuses instances whose free-process count exceeds `max_free`
+  /// (default keeps the search under ~10^7 assignments).
+  explicit ExhaustiveMapper(int max_free = 12) : max_free_(max_free) {}
+
+  Mapping map(const MappingProblem& problem) override;
+  std::string name() const override { return "Exhaustive"; }
+
+ private:
+  int max_free_;
+};
+
+}  // namespace geomap::mapping

@@ -1,0 +1,143 @@
+#include "mapping/greedy_mapper.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.h"
+#include "mapping/allowed_sites.h"
+
+namespace geomap::mapping {
+
+Mapping GreedyMapper::map(const MappingProblem& problem) {
+  auto [mapping, free] = apply_constraints(problem);
+  const int n = problem.num_processes();
+  const int m = problem.num_sites();
+
+  // Site quality: total bandwidth over all associated links (incoming and
+  // outgoing, the intra-site link weighted by its node count — a site
+  // with many fast local nodes is the "fattest" target). Sites are
+  // consumed fattest-first; this is the heuristic's blind spot in
+  // geo-distributed clouds: it never revisits the consumption order.
+  std::vector<double> site_bw(static_cast<std::size_t>(m), 0.0);
+  for (SiteId s = 0; s < m; ++s) {
+    double total = 0.0;
+    for (SiteId t = 0; t < m; ++t) {
+      if (t == s) {
+        total += problem.network.bandwidth(s, s) *
+                 std::max(1, problem.capacities[static_cast<std::size_t>(s)] - 1);
+      } else {
+        total += problem.network.bandwidth(s, t) +
+                 problem.network.bandwidth(t, s);
+      }
+    }
+    site_bw[static_cast<std::size_t>(s)] = total;
+  }
+  std::vector<SiteId> site_order(static_cast<std::size_t>(m));
+  std::iota(site_order.begin(), site_order.end(), 0);
+  std::stable_sort(site_order.begin(), site_order.end(),
+                   [&](SiteId a, SiteId b) {
+                     return site_bw[static_cast<std::size_t>(a)] >
+                            site_bw[static_cast<std::size_t>(b)];
+                   });
+
+  // Greedy graph growing (Hoefler & Snir): start from the process with
+  // the largest total data volume, then repeatedly take the unmapped
+  // process with the heaviest communication to the mapped set; each goes
+  // to the fattest site that still has a free node. Affinities update
+  // over the sparse undirected rows with a lazy-deletion max-heap.
+  std::vector<char> mapped(static_cast<std::size_t>(n), 0);
+  std::vector<Bytes> affinity(static_cast<std::size_t>(n), 0.0);
+  struct Entry {
+    Bytes affinity;
+    ProcessId id;
+    bool operator<(const Entry& other) const {
+      if (affinity != other.affinity) return affinity < other.affinity;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Entry> heap;
+
+  int remaining = 0;
+  for (ProcessId i = 0; i < n; ++i) {
+    if (mapping[static_cast<std::size_t>(i)] != kUnmapped)
+      mapped[static_cast<std::size_t>(i)] = 1;
+    else
+      ++remaining;
+  }
+  auto absorb = [&](ProcessId t) {
+    const trace::CommMatrix::Row row = problem.comm.undirected_row(t);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const ProcessId q = row.dst[k];
+      if (mapped[static_cast<std::size_t>(q)]) continue;
+      affinity[static_cast<std::size_t>(q)] += row.volume[k];
+      heap.push(Entry{affinity[static_cast<std::size_t>(q)], q});
+    }
+  };
+  // Pinned processes seed the affinities.
+  for (ProcessId i = 0; i < n; ++i) {
+    if (mapped[static_cast<std::size_t>(i)]) absorb(i);
+  }
+
+  // Heaviest-total-volume order for (re)seeding disconnected components.
+  std::vector<ProcessId> by_traffic(static_cast<std::size_t>(n));
+  std::iota(by_traffic.begin(), by_traffic.end(), 0);
+  std::stable_sort(by_traffic.begin(), by_traffic.end(),
+                   [&](ProcessId a, ProcessId b) {
+                     return problem.comm.process_traffic(a) >
+                            problem.comm.process_traffic(b);
+                   });
+  std::size_t seed_cursor = 0;
+
+  std::size_t site_idx = 0;
+  while (remaining > 0) {
+    // Next process: heaviest affinity to the mapped set; fall back to the
+    // heaviest unmapped process when the frontier is empty.
+    ProcessId pick = -1;
+    while (!heap.empty()) {
+      const Entry e = heap.top();
+      heap.pop();
+      if (mapped[static_cast<std::size_t>(e.id)]) continue;
+      if (e.affinity != affinity[static_cast<std::size_t>(e.id)]) continue;
+      if (e.affinity <= 0.0) break;  // frontier exhausted
+      pick = e.id;
+      break;
+    }
+    if (pick < 0) {
+      while (mapped[static_cast<std::size_t>(by_traffic[seed_cursor])])
+        ++seed_cursor;
+      pick = by_traffic[seed_cursor];
+    }
+
+    while (site_idx < site_order.size() &&
+           free[static_cast<std::size_t>(site_order[site_idx])] == 0)
+      ++site_idx;
+    // Fattest open site that may legally host the pick (allowed-site
+    // sets can force a detour down the quality order).
+    SiteId site = kUnmapped;
+    for (std::size_t c = site_idx; c < site_order.size(); ++c) {
+      const SiteId s = site_order[c];
+      if (free[static_cast<std::size_t>(s)] > 0 &&
+          problem.placement_allowed(pick, s)) {
+        site = s;
+        break;
+      }
+    }
+    mapped[static_cast<std::size_t>(pick)] = 1;
+    --remaining;
+    if (site == kUnmapped) continue;  // repaired below
+    mapping[static_cast<std::size_t>(pick)] = site;
+    --free[static_cast<std::size_t>(site)];
+    absorb(pick);
+  }
+  if (!problem.allowed_sites.empty()) {
+    std::vector<char> movable(mapping.size(), 1);
+    for (std::size_t i = 0; i < problem.constraints.size(); ++i)
+      if (problem.constraints[i] != kUnconstrained) movable[i] = 0;
+    GEOMAP_CHECK_MSG(complete_assignment(problem, mapping, free, movable),
+                     "allowed-site constraints are infeasible");
+  }
+  return mapping;
+}
+
+}  // namespace geomap::mapping

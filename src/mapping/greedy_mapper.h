@@ -1,0 +1,30 @@
+#pragma once
+// "Greedy": the heuristic of Hoefler & Snir, "Generic topology mapping
+// strategies for large-scale parallel architectures" (ICS'11), which the
+// paper uses as the state-of-the-art comparison for heterogeneous
+// networks (paper Section 5.1, reference [26]).
+//
+// As the paper describes it (Section 6): "the task with the largest data
+// volume to transfer is mapped to the machines with the highest total
+// bandwidth of all its associated links". Concretely:
+//   * processes are visited heaviest-total-traffic first, and
+//   * each is placed on the free site whose links have the largest total
+//     bandwidth.
+// The heuristic is bandwidth-driven and pattern-oblivious beyond per-
+// process traffic totals, which is why it excels on near-diagonal NPB
+// patterns (heavy processes are consecutive and land on the same fat
+// site) but degrades on complex patterns like K-means — the behaviour the
+// paper reports. Constraints are honoured by pre-assignment, as for all
+// mappers in this library.
+
+#include "mapping/mapper.h"
+
+namespace geomap::mapping {
+
+class GreedyMapper : public Mapper {
+ public:
+  Mapping map(const MappingProblem& problem) override;
+  std::string name() const override { return "Greedy"; }
+};
+
+}  // namespace geomap::mapping

@@ -1,0 +1,34 @@
+#include "mapping/mapper.h"
+
+#include "common/timer.h"
+#include "mapping/cost.h"
+
+namespace geomap::mapping {
+
+MapperRun run_mapper(Mapper& mapper, const MappingProblem& problem) {
+  problem.validate();
+  MapperRun run;
+  run.mapper = mapper.name();
+  Timer timer;
+  run.mapping = mapper.map(problem);
+  run.optimize_seconds = timer.elapsed_seconds();
+  validate_mapping(problem, run.mapping);
+  run.cost = CostEvaluator(problem).total_cost(run.mapping);
+  return run;
+}
+
+std::pair<Mapping, std::vector<int>> apply_constraints(
+    const MappingProblem& problem) {
+  Mapping partial(static_cast<std::size_t>(problem.num_processes()),
+                  kUnmapped);
+  std::vector<int> free = problem.capacities;
+  for (std::size_t i = 0; i < problem.constraints.size(); ++i) {
+    const SiteId c = problem.constraints[i];
+    if (c == kUnconstrained) continue;
+    partial[i] = c;
+    --free[static_cast<std::size_t>(c)];
+  }
+  return {std::move(partial), std::move(free)};
+}
+
+}  // namespace geomap::mapping

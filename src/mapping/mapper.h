@@ -1,0 +1,44 @@
+#pragma once
+// Mapper interface and shared machinery for all process-mapping
+// algorithms (the paper's Baseline/Greedy/MPIPP comparisons and the
+// proposed Geo-distributed algorithm).
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "mapping/problem.h"
+
+namespace geomap::mapping {
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Produce a feasible mapping (size N, capacities and pins respected).
+  virtual Mapping map(const MappingProblem& problem) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Timed, validated result of one mapper run.
+struct MapperRun {
+  std::string mapper;
+  Mapping mapping;
+  Seconds cost = 0;               // alpha-beta COST(P)
+  Seconds optimize_seconds = 0;   // wall-clock optimization overhead
+};
+
+/// Run `mapper` on `problem`, validate the result, time the optimization,
+/// and evaluate the cost function.
+MapperRun run_mapper(Mapper& mapper, const MappingProblem& problem);
+
+/// Pre-assign all pinned processes (Algorithm 1 lines 4-6): returns the
+/// partial mapping (kUnmapped for free processes) and the per-site
+/// capacity remaining after the pins.
+std::pair<Mapping, std::vector<int>> apply_constraints(
+    const MappingProblem& problem);
+
+}  // namespace geomap::mapping

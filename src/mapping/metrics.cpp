@@ -1,0 +1,17 @@
+#include "mapping/metrics.h"
+
+#include "common/error.h"
+
+namespace geomap::mapping {
+
+double improvement_percent(Seconds baseline_cost, Seconds cost) {
+  GEOMAP_CHECK_MSG(baseline_cost > 0, "baseline cost must be positive");
+  return (baseline_cost - cost) / baseline_cost * 100.0;
+}
+
+double normalize(Seconds cost, Seconds best, Seconds worst) {
+  if (worst <= best) return 0.0;
+  return (cost - best) / (worst - best);
+}
+
+}  // namespace geomap::mapping

@@ -1,0 +1,28 @@
+#pragma once
+// Evaluation metrics shared by the benches: improvement over Baseline
+// (how all paper figures are normalized) and comparison summaries.
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geomap::mapping {
+
+/// Percentage improvement of `cost` over `baseline_cost`
+/// ((baseline - cost) / baseline * 100; paper Figures 5-8).
+double improvement_percent(Seconds baseline_cost, Seconds cost);
+
+/// Cost normalized into [0, 1] against the worst/best of a sample
+/// (paper Figures 9-10 "normalized communication time").
+double normalize(Seconds cost, Seconds best, Seconds worst);
+
+struct AlgorithmScore {
+  std::string name;
+  Seconds mean_cost = 0;
+  Seconds stderr_cost = 0;
+  double improvement_over_baseline_pct = 0;
+  Seconds mean_overhead_seconds = 0;
+};
+
+}  // namespace geomap::mapping

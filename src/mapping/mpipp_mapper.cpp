@@ -1,0 +1,113 @@
+#include "mapping/mpipp_mapper.h"
+
+#include "mapping/cost.h"
+#include "mapping/random_mapper.h"
+
+namespace geomap::mapping {
+
+namespace {
+
+/// One steepest-descent pairwise-exchange pass to convergence.
+/// Returns the final cost. Pinned processes never move.
+Seconds refine(const MappingProblem& problem, const CostEvaluator& eval,
+               Mapping& mapping, int max_swaps) {
+  const int n = problem.num_processes();
+  std::vector<bool> pinned(static_cast<std::size_t>(n), false);
+  for (std::size_t i = 0; i < problem.constraints.size(); ++i)
+    pinned[i] = problem.constraints[i] != kUnconstrained;
+
+  Seconds cost = eval.total_cost(mapping);
+  for (int swap = 0; swap < max_swaps; ++swap) {
+    Seconds best_gain = 0.0;
+    ProcessId best_a = -1;
+    ProcessId best_b = -1;
+    for (ProcessId a = 0; a < n; ++a) {
+      if (pinned[static_cast<std::size_t>(a)]) continue;
+      for (ProcessId b = a + 1; b < n; ++b) {
+        if (pinned[static_cast<std::size_t>(b)]) continue;
+        if (mapping[static_cast<std::size_t>(a)] ==
+            mapping[static_cast<std::size_t>(b)])
+          continue;
+        if (!problem.placement_allowed(a, mapping[static_cast<std::size_t>(b)]) ||
+            !problem.placement_allowed(b, mapping[static_cast<std::size_t>(a)]))
+          continue;
+        const Seconds delta = eval.delta_swap(mapping, a, b);
+        if (delta < best_gain) {
+          best_gain = delta;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a < 0) break;  // local optimum
+    std::swap(mapping[static_cast<std::size_t>(best_a)],
+              mapping[static_cast<std::size_t>(best_b)]);
+    cost += best_gain;
+  }
+  return cost;
+}
+
+}  // namespace
+
+namespace {
+
+/// MPIPP's multicluster network view: one averaged intra-site link class
+/// and one averaged inter-site link class (see header).
+MappingProblem class_averaged(const MappingProblem& problem) {
+  const int m = problem.num_sites();
+  double intra_lat = 0, intra_bw = 0, inter_lat = 0, inter_bw = 0;
+  int inter_links = 0;
+  for (SiteId k = 0; k < m; ++k) {
+    intra_lat += problem.network.latency(k, k);
+    intra_bw += problem.network.bandwidth(k, k);
+    for (SiteId l = 0; l < m; ++l) {
+      if (k == l) continue;
+      inter_lat += problem.network.latency(k, l);
+      inter_bw += problem.network.bandwidth(k, l);
+      ++inter_links;
+    }
+  }
+  intra_lat /= m;
+  intra_bw /= m;
+  if (inter_links > 0) {
+    inter_lat /= inter_links;
+    inter_bw /= inter_links;
+  } else {
+    inter_lat = intra_lat;
+    inter_bw = intra_bw;
+  }
+
+  Matrix lat = Matrix::square(static_cast<std::size_t>(m), inter_lat);
+  Matrix bw = Matrix::square(static_cast<std::size_t>(m), inter_bw);
+  for (std::size_t k = 0; k < static_cast<std::size_t>(m); ++k) {
+    lat(k, k) = intra_lat;
+    bw(k, k) = intra_bw;
+  }
+
+  MappingProblem surrogate = problem;
+  surrogate.network = net::NetworkModel(std::move(lat), std::move(bw));
+  return surrogate;
+}
+
+}  // namespace
+
+Mapping MpippMapper::map(const MappingProblem& problem) {
+  const MappingProblem surrogate = class_averaged(problem);
+  const CostEvaluator eval(surrogate);
+  Rng rng(options_.seed);
+  const int max_swaps = options_.max_swaps_factor * problem.num_processes();
+
+  Mapping best;
+  Seconds best_cost = 0;
+  for (int r = 0; r < options_.restarts; ++r) {
+    Mapping candidate = RandomMapper::draw(surrogate, rng);
+    const Seconds cost = refine(surrogate, eval, candidate, max_swaps);
+    if (best.empty() || cost < best_cost) {
+      best = std::move(candidate);
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace geomap::mapping

@@ -1,0 +1,182 @@
+#include "mapping/problem.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace geomap::mapping {
+
+void MappingProblem::validate() const {
+  const int n = num_processes();
+  const int m = num_sites();
+  GEOMAP_CHECK_MSG(n > 0, "no processes");
+  GEOMAP_CHECK_MSG(m > 0, "no sites");
+  GEOMAP_CHECK_MSG(static_cast<int>(capacities.size()) == m,
+                   "capacity vector size " << capacities.size()
+                                           << " != num sites " << m);
+  GEOMAP_CHECK_MSG(constraints.empty() ||
+                       static_cast<int>(constraints.size()) == n,
+                   "constraint vector size " << constraints.size()
+                                             << " != num processes " << n);
+  GEOMAP_CHECK_MSG(site_coords.empty() ||
+                       static_cast<int>(site_coords.size()) == m,
+                   "site coordinate vector size "
+                       << site_coords.size() << " != num sites " << m);
+  int total_capacity = 0;
+  for (int j = 0; j < m; ++j) {
+    GEOMAP_CHECK_MSG(capacities[static_cast<std::size_t>(j)] >= 0,
+                     "negative capacity at site " << j);
+    total_capacity += capacities[static_cast<std::size_t>(j)];
+  }
+  GEOMAP_CHECK_MSG(total_capacity >= n, "total capacity " << total_capacity
+                                                          << " < N " << n);
+  // Constraints must reference valid sites and not overflow any site.
+  std::vector<int> pinned(static_cast<std::size_t>(m), 0);
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const SiteId c = constraints[i];
+    if (c == kUnconstrained) continue;
+    GEOMAP_CHECK_MSG(c >= 0 && c < m,
+                     "constraint for process " << i << " names bad site " << c);
+    ++pinned[static_cast<std::size_t>(c)];
+  }
+  for (int j = 0; j < m; ++j) {
+    GEOMAP_CHECK_MSG(
+        pinned[static_cast<std::size_t>(j)] <= capacities[static_cast<std::size_t>(j)],
+        "constraints pin " << pinned[static_cast<std::size_t>(j)]
+                           << " processes to site " << j << " with capacity "
+                           << capacities[static_cast<std::size_t>(j)]);
+  }
+  // Allowed-site sets (multi-site constraint extension).
+  if (!allowed_sites.empty()) {
+    GEOMAP_CHECK_MSG(static_cast<int>(allowed_sites.size()) == n,
+                     "allowed_sites size " << allowed_sites.size()
+                                           << " != num processes " << n);
+    for (int i = 0; i < n; ++i) {
+      const auto& list = allowed_sites[static_cast<std::size_t>(i)];
+      for (std::size_t k = 0; k < list.size(); ++k) {
+        GEOMAP_CHECK_MSG(list[k] >= 0 && list[k] < m,
+                         "allowed site " << list[k] << " of process " << i
+                                         << " out of range");
+        GEOMAP_CHECK_MSG(k == 0 || list[k - 1] < list[k],
+                         "allowed list of process "
+                             << i << " must be sorted ascending and unique");
+      }
+      if (!constraints.empty() &&
+          constraints[static_cast<std::size_t>(i)] != kUnconstrained) {
+        GEOMAP_CHECK_MSG(
+            site_allowed(allowed_sites, i, constraints[static_cast<std::size_t>(i)]),
+            "process " << i << " pinned to a site outside its allowed set");
+      }
+    }
+    GEOMAP_CHECK_MSG(constraints_feasible(*this),
+                     "no feasible assignment satisfies the allowed-site "
+                     "constraints and capacities");
+  }
+}
+
+std::vector<int> MappingProblem::free_capacities() const {
+  std::vector<int> free = capacities;
+  for (const SiteId c : constraints) {
+    if (c != kUnconstrained) --free[static_cast<std::size_t>(c)];
+  }
+  return free;
+}
+
+int MappingProblem::num_constrained() const {
+  int count = 0;
+  for (const SiteId c : constraints)
+    if (c != kUnconstrained) ++count;
+  return count;
+}
+
+void validate_mapping(const MappingProblem& problem, const Mapping& mapping) {
+  const int n = problem.num_processes();
+  const int m = problem.num_sites();
+  if (static_cast<int>(mapping.size()) != n) {
+    throw ConstraintViolation("mapping size " + std::to_string(mapping.size()) +
+                              " != N " + std::to_string(n));
+  }
+  std::vector<int> used(static_cast<std::size_t>(m), 0);
+  for (int i = 0; i < n; ++i) {
+    const SiteId s = mapping[static_cast<std::size_t>(i)];
+    if (s < 0 || s >= m) {
+      throw ConstraintViolation("process " + std::to_string(i) +
+                                " mapped to invalid site " + std::to_string(s));
+    }
+    ++used[static_cast<std::size_t>(s)];
+  }
+  for (int j = 0; j < m; ++j) {
+    if (used[static_cast<std::size_t>(j)] >
+        problem.capacities[static_cast<std::size_t>(j)]) {
+      throw ConstraintViolation(
+          "site " + std::to_string(j) + " hosts " +
+          std::to_string(used[static_cast<std::size_t>(j)]) + " > capacity " +
+          std::to_string(problem.capacities[static_cast<std::size_t>(j)]));
+    }
+  }
+  for (std::size_t i = 0; i < problem.constraints.size(); ++i) {
+    const SiteId c = problem.constraints[i];
+    if (c != kUnconstrained && mapping[i] != c) {
+      throw ConstraintViolation("process " + std::to_string(i) +
+                                " pinned to site " + std::to_string(c) +
+                                " but mapped to " + std::to_string(mapping[i]));
+    }
+  }
+  if (!problem.allowed_sites.empty()) {
+    for (int i = 0; i < n; ++i) {
+      if (!site_allowed(problem.allowed_sites, i,
+                        mapping[static_cast<std::size_t>(i)])) {
+        throw ConstraintViolation(
+            "process " + std::to_string(i) + " mapped to disallowed site " +
+            std::to_string(mapping[static_cast<std::size_t>(i)]));
+      }
+    }
+  }
+}
+
+bool is_feasible(const MappingProblem& problem, const Mapping& mapping) {
+  try {
+    validate_mapping(problem, mapping);
+    return true;
+  } catch (const ConstraintViolation&) {
+    return false;
+  }
+}
+
+ConstraintVector make_random_constraints(int num_processes,
+                                         const std::vector<int>& capacities,
+                                         double ratio, Rng& rng) {
+  GEOMAP_CHECK_MSG(ratio >= 0.0 && ratio <= 1.0, "ratio=" << ratio);
+  const int m = static_cast<int>(capacities.size());
+  ConstraintVector constraints(static_cast<std::size_t>(num_processes),
+                               kUnconstrained);
+  const int pins = static_cast<int>(ratio * num_processes + 0.5);
+
+  std::vector<ProcessId> order(static_cast<std::size_t>(num_processes));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<int> free = capacities;
+  int placed = 0;
+  for (int k = 0; k < num_processes && placed < pins; ++k) {
+    const ProcessId p = order[static_cast<std::size_t>(k)];
+    // Pick a site uniformly among those with spare capacity.
+    int spare_sites = 0;
+    for (int j = 0; j < m; ++j)
+      if (free[static_cast<std::size_t>(j)] > 0) ++spare_sites;
+    if (spare_sites == 0) break;
+    auto pick = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(spare_sites)));
+    for (int j = 0; j < m; ++j) {
+      if (free[static_cast<std::size_t>(j)] > 0 && pick-- == 0) {
+        constraints[static_cast<std::size_t>(p)] = j;
+        --free[static_cast<std::size_t>(j)];
+        ++placed;
+        break;
+      }
+    }
+  }
+  return constraints;
+}
+
+}  // namespace geomap::mapping

@@ -1,0 +1,77 @@
+#pragma once
+// The geo-distributed process mapping problem (paper Section 3.2):
+//
+//   minimize COST(P)
+//   subject to (P - C) ∘ C = 0            (data-movement constraints)
+//              count(j, P) <= I_j  ∀j     (site capacities)
+//
+// A MappingProblem bundles the application side (CG/AG communication
+// matrices), the platform side (calibrated LT/BT network model), the site
+// capacity vector I, and the constraint vector C.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "mapping/allowed_sites.h"
+#include "net/geo.h"
+#include "net/network_model.h"
+#include "trace/comm_matrix.h"
+
+namespace geomap::mapping {
+
+struct MappingProblem {
+  trace::CommMatrix comm;     // CG and AG
+  net::NetworkModel network;  // LT and BT
+  std::vector<int> capacities;  // I: physical nodes per site
+  ConstraintVector constraints;  // C: pins, kUnconstrained when free
+  /// PC: physical coordinates of each site (paper Table 4). Required by
+  /// the grouping optimization; may be empty when grouping is disabled or
+  /// kappa >= M.
+  std::vector<net::GeoCoordinate> site_coords;
+
+  /// Extension (paper future work): multi-site constraints. allowed[i]
+  /// lists the sites process i may run in (sorted ascending); empty list
+  /// or empty vector = unrestricted. Single-site pins in `constraints`
+  /// remain the fast path and must be members of their allowed list.
+  AllowedSites allowed_sites;
+
+  /// True when process i may be placed on site s (pin + allowed set).
+  bool placement_allowed(ProcessId i, SiteId s) const {
+    if (!constraints.empty()) {
+      const SiteId pin = constraints[static_cast<std::size_t>(i)];
+      if (pin != kUnconstrained) return pin == s;
+    }
+    return site_allowed(allowed_sites, i, s);
+  }
+
+  int num_processes() const { return comm.num_processes(); }
+  int num_sites() const { return network.num_sites(); }
+
+  /// Throws InvalidArgument when the instance is malformed (dimension
+  /// mismatches, capacity shortfall, infeasible constraints).
+  void validate() const;
+
+  /// Remaining per-site capacity after honouring all constraints.
+  std::vector<int> free_capacities() const;
+
+  /// Number of constrained (pinned) processes.
+  int num_constrained() const;
+};
+
+/// Throws ConstraintViolation if `mapping` is not a feasible solution of
+/// `problem` (wrong size, invalid site, capacity overflow, or pin broken).
+void validate_mapping(const MappingProblem& problem, const Mapping& mapping);
+
+/// True when `mapping` is feasible (non-throwing form).
+bool is_feasible(const MappingProblem& problem, const Mapping& mapping);
+
+/// Draw a random constraint vector pinning ~`ratio` of the N processes to
+/// uniformly chosen sites with available capacity (paper Section 5.1:
+/// "Given a constraint ratio, we randomly choose the constrained
+/// processes and their mapped sites"; default ratio 0.2).
+ConstraintVector make_random_constraints(int num_processes,
+                                         const std::vector<int>& capacities,
+                                         double ratio, Rng& rng);
+
+}  // namespace geomap::mapping

@@ -1,0 +1,59 @@
+#include "mapping/random_mapper.h"
+
+#include "common/error.h"
+#include "mapping/allowed_sites.h"
+
+namespace geomap::mapping {
+
+Mapping RandomMapper::draw(const MappingProblem& problem, Rng& rng) {
+  auto [mapping, free] = apply_constraints(problem);
+
+  if (problem.allowed_sites.empty()) {
+    // Fast path: lay out the free node slots (site j appears free[j]
+    // times), shuffle, and deal them to the free processes in order —
+    // a uniform draw over all feasible assignments.
+    std::vector<SiteId> slots;
+    for (std::size_t j = 0; j < free.size(); ++j)
+      for (int k = 0; k < free[j]; ++k)
+        slots.push_back(static_cast<SiteId>(j));
+    rng.shuffle(slots);
+    std::size_t next = 0;
+    for (auto& site : mapping) {
+      if (site == kUnmapped) site = slots[next++];
+    }
+    return mapping;
+  }
+
+  // Multi-site constraints: randomized greedy — visit free processes in
+  // random order, pick a uniform allowed site with spare capacity — then
+  // close any stragglers with the augmenting-path repair.
+  std::vector<ProcessId> order;
+  for (ProcessId i = 0; i < problem.num_processes(); ++i)
+    if (mapping[static_cast<std::size_t>(i)] == kUnmapped) order.push_back(i);
+  rng.shuffle(order);
+  std::vector<char> movable(mapping.size(), 0);
+  for (const ProcessId i : order) movable[static_cast<std::size_t>(i)] = 1;
+
+  for (const ProcessId i : order) {
+    std::vector<SiteId> open;
+    for (SiteId s = 0; s < problem.num_sites(); ++s) {
+      if (free[static_cast<std::size_t>(s)] > 0 &&
+          problem.placement_allowed(i, s))
+        open.push_back(s);
+    }
+    if (open.empty()) continue;  // repaired below
+    const SiteId s = open[rng.uniform_index(open.size())];
+    mapping[static_cast<std::size_t>(i)] = s;
+    --free[static_cast<std::size_t>(s)];
+  }
+  GEOMAP_CHECK_MSG(complete_assignment(problem, mapping, free, movable),
+                   "allowed-site constraints are infeasible");
+  return mapping;
+}
+
+Mapping RandomMapper::map(const MappingProblem& problem) {
+  Rng rng(seed_);
+  return draw(problem, rng);
+}
+
+}  // namespace geomap::mapping

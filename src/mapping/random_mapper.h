@@ -1,0 +1,29 @@
+#pragma once
+// Baseline: random mapping (paper Section 5.1 "Baseline" — "maps each
+// vertex in the communication pattern graph to a vertex in the physical
+// node graph randomly"), i.e. running in the geo-distributed data centers
+// without any optimization.
+
+#include <cstdint>
+
+#include "mapping/mapper.h"
+
+namespace geomap::mapping {
+
+class RandomMapper : public Mapper {
+ public:
+  explicit RandomMapper(std::uint64_t seed = 1) : seed_(seed) {}
+
+  Mapping map(const MappingProblem& problem) override;
+  std::string name() const override { return "Baseline"; }
+
+  /// Stateless helper: one feasible uniform-random mapping drawn with
+  /// `rng`. Used by the Monte Carlo sampler, which needs millions of
+  /// draws from one stream.
+  static Mapping draw(const MappingProblem& problem, Rng& rng);
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace geomap::mapping

@@ -1,0 +1,65 @@
+#include "mapping/round_robin_mapper.h"
+
+#include "common/error.h"
+#include "mapping/allowed_sites.h"
+
+namespace geomap::mapping {
+
+namespace {
+
+/// Close any processes left unplaced by allowed-site detours.
+void repair_leftovers(const MappingProblem& problem, Mapping& mapping,
+                      std::vector<int>& free) {
+  if (problem.allowed_sites.empty()) return;
+  std::vector<char> movable(mapping.size(), 1);
+  for (std::size_t i = 0; i < problem.constraints.size(); ++i)
+    if (problem.constraints[i] != kUnconstrained) movable[i] = 0;
+  GEOMAP_CHECK_MSG(complete_assignment(problem, mapping, free, movable),
+                   "allowed-site constraints are infeasible");
+}
+
+}  // namespace
+
+Mapping BlockMapper::map(const MappingProblem& problem) {
+  auto [mapping, free] = apply_constraints(problem);
+  const int m = problem.num_sites();
+  for (ProcessId i = 0; i < problem.num_processes(); ++i) {
+    auto& assigned = mapping[static_cast<std::size_t>(i)];
+    if (assigned != kUnmapped) continue;
+    for (SiteId s = 0; s < m; ++s) {
+      if (free[static_cast<std::size_t>(s)] > 0 &&
+          problem.placement_allowed(i, s)) {
+        assigned = s;
+        --free[static_cast<std::size_t>(s)];
+        break;
+      }
+    }
+  }
+  repair_leftovers(problem, mapping, free);
+  return mapping;
+}
+
+Mapping CyclicMapper::map(const MappingProblem& problem) {
+  auto [mapping, free] = apply_constraints(problem);
+  const int m = problem.num_sites();
+  SiteId site = 0;
+  for (ProcessId i = 0; i < problem.num_processes(); ++i) {
+    auto& assigned = mapping[static_cast<std::size_t>(i)];
+    if (assigned != kUnmapped) continue;
+    // Next site (wrapping) with spare capacity that may host i.
+    for (int scanned = 0; scanned < m; ++scanned) {
+      const SiteId s = static_cast<SiteId>((site + scanned) % m);
+      if (free[static_cast<std::size_t>(s)] > 0 &&
+          problem.placement_allowed(i, s)) {
+        assigned = s;
+        --free[static_cast<std::size_t>(s)];
+        site = static_cast<SiteId>((s + 1) % m);
+        break;
+      }
+    }
+  }
+  repair_leftovers(problem, mapping, free);
+  return mapping;
+}
+
+}  // namespace geomap::mapping

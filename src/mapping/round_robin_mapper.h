@@ -1,0 +1,26 @@
+#pragma once
+// Round-robin mappers: the default placements an unaware scheduler (or
+// plain mpirun over a hostfile) would produce. Not part of the paper's
+// comparison set but a useful reference point in the benches: block
+// placement accidentally helps near-diagonal patterns, cyclic placement
+// is close to worst-case for them.
+
+#include "mapping/mapper.h"
+
+namespace geomap::mapping {
+
+/// Block: fill site 0 to capacity, then site 1, ... (rank order).
+class BlockMapper : public Mapper {
+ public:
+  Mapping map(const MappingProblem& problem) override;
+  std::string name() const override { return "Block"; }
+};
+
+/// Cyclic: deal processes to sites with spare capacity in turn.
+class CyclicMapper : public Mapper {
+ public:
+  Mapping map(const MappingProblem& problem) override;
+  std::string name() const override { return "Cyclic"; }
+};
+
+}  // namespace geomap::mapping

@@ -1,0 +1,140 @@
+#pragma once
+// Geo-distributed cloud substrate: sites (regions) with physical
+// coordinates and a ground-truth pairwise link model.
+//
+// This replaces the paper's Amazon EC2 / Windows Azure testbeds. The
+// ground truth reproduces the paper's empirical observations:
+//   1. intra-region bandwidth is ~10-20x cross-region bandwidth (Table 1);
+//   2. cross-region bandwidth decays and latency grows with geographic
+//      distance (Tables 2-3), modeled as a power law fitted to the paper's
+//      measured values.
+// Experiments never read the ground truth directly; they consume the LT/BT
+// matrices produced by the calibrator (net/calibration.h), mirroring the
+// paper's pipeline.
+
+#include <string>
+#include <vector>
+
+#include "common/dense_matrix.h"
+#include "common/types.h"
+#include "net/geo.h"
+#include "net/instance.h"
+
+namespace geomap::net {
+
+struct Site {
+  std::string name;
+  GeoCoordinate coord;
+  int node_count = 1;
+  /// Region-local multiplier on the instance's intra-region bandwidth
+  /// (paper Table 1: Singapore's intra bandwidth differs from US East's).
+  double intra_bandwidth_factor = 1.0;
+};
+
+/// Parameters of a provider's ground-truth link model.
+struct CloudProfile {
+  std::string provider;
+  InstanceType instance;
+  std::vector<Site> sites;
+
+  /// Cross-region bandwidth (MB/s) this instance type would see between
+  /// two regions 1000 km apart; decays as (1000/d)^exponent.
+  double cross_bw_mbps_at_1000km = 65.8;
+  double cross_bw_exponent = 0.84;
+
+  /// WAN ceiling: cross-region bandwidth never exceeds this fraction of
+  /// the intra-region bandwidth, however close the regions (paper
+  /// Observation 1).
+  double cross_bw_ceiling_fraction = 0.25;
+
+  /// Cross-region one-way latency slope: lat_ms = intra + d_km / slope.
+  double latency_km_per_ms = 150.0;
+
+  /// Deterministic relative asymmetry applied to (k,l) vs (l,k) links;
+  /// the paper notes LT and BT are asymmetric matrices.
+  double asymmetry = 0.02;
+};
+
+/// Ground-truth network of one provider deployment. Immutable once built.
+class CloudTopology {
+ public:
+  explicit CloudTopology(CloudProfile profile);
+
+  /// Extension (paper future work: "the more complicated geo-distributed
+  /// environment with multiple cloud providers"): merge several
+  /// single-provider deployments into one topology. Intra-provider links
+  /// keep their ground truth; cross-provider links traverse public
+  /// peering — bandwidth is the *more pessimistic* provider's
+  /// distance-model value scaled by `peering_bw_factor`, latency the more
+  /// pessimistic latency plus `peering_latency_ms`. The merged
+  /// deployment keeps the first part's instance type (the paper assumes
+  /// a uniform instance type across the job).
+  static CloudTopology merge(const std::vector<const CloudTopology*>& parts,
+                             double peering_bw_factor = 0.7,
+                             double peering_latency_ms = 2.0);
+
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+  const std::vector<Site>& sites() const { return sites_; }
+  const Site& site(SiteId s) const;
+  const InstanceType& instance() const { return profile_.instance; }
+  const CloudProfile& profile() const { return profile_; }
+
+  /// Number of physical nodes per site (paper vector I).
+  std::vector<int> capacities() const;
+  int total_nodes() const;
+
+  /// Physical coordinates per site (paper matrix PC).
+  std::vector<GeoCoordinate> coordinates() const;
+
+  /// Ground-truth one-way latency in seconds between sites k and l
+  /// (diagonal = intra-site).
+  Seconds true_latency(SiteId k, SiteId l) const {
+    return latency_s_(static_cast<std::size_t>(k),
+                      static_cast<std::size_t>(l));
+  }
+
+  /// Ground-truth bandwidth in bytes/second between sites k and l.
+  BytesPerSecond true_bandwidth(SiteId k, SiteId l) const {
+    return bandwidth_bps_(static_cast<std::size_t>(k),
+                          static_cast<std::size_t>(l));
+  }
+
+  /// Ground-truth alpha-beta transfer time of an n-byte message k -> l.
+  Seconds true_transfer_time(SiteId k, SiteId l, Bytes bytes) const {
+    return true_latency(k, l) + bytes / true_bandwidth(k, l);
+  }
+
+  double distance_km(SiteId k, SiteId l) const;
+
+ private:
+  CloudTopology(CloudProfile profile, std::vector<Site> sites,
+                Matrix latency_s, Matrix bandwidth_bps)
+      : profile_(std::move(profile)),
+        sites_(std::move(sites)),
+        latency_s_(std::move(latency_s)),
+        bandwidth_bps_(std::move(bandwidth_bps)) {}
+
+  CloudProfile profile_;
+  std::vector<Site> sites_;
+  Matrix latency_s_;
+  Matrix bandwidth_bps_;
+};
+
+/// All 11 Amazon EC2 regions as of Nov 2015 (paper Figure 1), with the
+/// given instance type and nodes per site.
+CloudProfile aws2016_profile(const std::string& instance_type = "c3.8xlarge",
+                             int nodes_per_site = 16);
+
+/// The paper's EC2 experiment deployment (Section 5.1): 4 regions —
+/// US East, US West, Ireland, Singapore — 16 m4.xlarge instances each.
+CloudProfile aws_experiment_profile(int nodes_per_site = 16);
+
+/// Windows Azure regions with Standard D2 instances (paper Table 3).
+CloudProfile azure2016_profile(int nodes_per_site = 16);
+
+/// Synthetic world for scale studies: `num_sites` regions at pseudo-random
+/// coordinates (deterministic in `seed`), AWS-like link parameters.
+CloudProfile synthetic_profile(int num_sites, int nodes_per_site,
+                               std::uint64_t seed = 42);
+
+}  // namespace geomap::net

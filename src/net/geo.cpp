@@ -1,0 +1,33 @@
+#include "net/geo.h"
+
+#include <cmath>
+
+namespace geomap::net {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double haversine_km(const GeoCoordinate& a, const GeoCoordinate& b) {
+  const double lat1 = a.latitude_deg * kDegToRad;
+  const double lat2 = b.latitude_deg * kDegToRad;
+  const double dlat = (b.latitude_deg - a.latitude_deg) * kDegToRad;
+  const double dlon = (b.longitude_deg - a.longitude_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double euclidean_deg_sq(const GeoCoordinate& a, const GeoCoordinate& b) {
+  const double dlat = a.latitude_deg - b.latitude_deg;
+  // Wrap longitude difference into [-180, 180] so clusters spanning the
+  // antimeridian (e.g. Tokyo vs. Oregon) measure their true separation.
+  double dlon = a.longitude_deg - b.longitude_deg;
+  while (dlon > 180.0) dlon -= 360.0;
+  while (dlon < -180.0) dlon += 360.0;
+  return dlat * dlat + dlon * dlon;
+}
+
+}  // namespace geomap::net

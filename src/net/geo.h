@@ -1,0 +1,25 @@
+#pragma once
+// Geographic coordinates and great-circle distances.
+//
+// The paper's Observation 2 — cross-region network performance is highly
+// related to geographic distance — makes physical coordinates a first-class
+// input: the grouping optimization clusters sites by (latitude, longitude)
+// and the synthetic ground-truth link model derives latency/bandwidth from
+// great-circle distance.
+
+namespace geomap::net {
+
+struct GeoCoordinate {
+  double latitude_deg = 0.0;   // [-90, 90]
+  double longitude_deg = 0.0;  // [-180, 180]
+};
+
+/// Great-circle distance between two coordinates (haversine), in km.
+double haversine_km(const GeoCoordinate& a, const GeoCoordinate& b);
+
+/// Squared Euclidean distance in (lat, lon) degree space. This is what the
+/// paper's k-means grouping uses ("the Euclidean distance" over physical
+/// coordinates); adequate for clustering nearby sites.
+double euclidean_deg_sq(const GeoCoordinate& a, const GeoCoordinate& b);
+
+}  // namespace geomap::net

@@ -1,0 +1,37 @@
+#include "net/instance.h"
+
+#include "common/error.h"
+
+namespace geomap::net {
+
+const std::vector<InstanceType>& ec2_instance_types() {
+  // Intra-region bandwidths are the US East column of paper Table 1;
+  // cross-region caps are its "Cross-region" column. Latency and compute
+  // ratings are representative of the 2015-era instances.
+  static const std::vector<InstanceType> kTypes = {
+      {"m1.small", 15.0, 5.4, 0.40, 4.0},
+      {"m1.medium", 80.0, 6.3, 0.30, 8.0},
+      {"m1.large", 84.0, 6.3, 0.30, 16.0},
+      {"m1.xlarge", 102.0, 6.4, 0.25, 32.0},
+      {"c3.8xlarge", 148.0, 6.6, 0.15, 230.0},
+      // m4.xlarge: the type used in the paper's EC2 experiments (Sec 5.1).
+      {"m4.xlarge", 95.0, 6.4, 0.25, 45.0},
+  };
+  return kTypes;
+}
+
+const InstanceType& ec2_instance(const std::string& name) {
+  for (const auto& t : ec2_instance_types()) {
+    if (t.name == name) return t;
+  }
+  throw InvalidArgument("unknown EC2 instance type: " + name);
+}
+
+const InstanceType& azure_standard_d2() {
+  // Paper Table 3: intra East US bandwidth 62 MB/s, latency 0.82 ms;
+  // cross-region bandwidth 1.3-2.9 MB/s.
+  static const InstanceType kD2{"Standard_D2", 62.0, 2.9, 0.82, 25.0};
+  return kD2;
+}
+
+}  // namespace geomap::net

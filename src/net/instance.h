@@ -1,0 +1,46 @@
+#pragma once
+// Cloud instance (VM) types.
+//
+// The paper's Table 1 shows intra-region bandwidth varying by an order of
+// magnitude across EC2 instance types while cross-region bandwidth stays
+// almost flat (the WAN, not the NIC, is the bottleneck). Instance types
+// therefore carry an intra-region bandwidth, a cross-region cap, and a
+// compute rate used by the performance model.
+
+#include <string>
+#include <vector>
+
+namespace geomap::net {
+
+struct InstanceType {
+  std::string name;
+
+  /// Intra-region point-to-point bandwidth in MB/s (paper Table 1 columns
+  /// "US East" / "Singapore"; region-dependent wobble is produced by the
+  /// per-region factor in CloudProfile).
+  double intra_bandwidth_mbps = 100.0;
+
+  /// Ceiling on cross-region bandwidth in MB/s (paper Table 1
+  /// "Cross-region" column: 5.4-6.6 MB/s regardless of type).
+  double cross_bandwidth_cap_mbps = 6.6;
+
+  /// Intra-region one-way latency in ms.
+  double intra_latency_ms = 0.25;
+
+  /// Sustained compute rate in GFLOP/s, used to model computation time in
+  /// the EC2-like total-time experiments (Figure 5).
+  double gflops = 50.0;
+};
+
+/// The five EC2 instance types measured in paper Table 1. Values embed the
+/// table's US East column; the Singapore column is reproduced through the
+/// region factor (see aws2016_profile).
+const std::vector<InstanceType>& ec2_instance_types();
+
+/// Look up an EC2 instance type by name (e.g. "c3.8xlarge", "m4.xlarge").
+const InstanceType& ec2_instance(const std::string& name);
+
+/// Azure "Standard D2" from paper Table 3.
+const InstanceType& azure_standard_d2();
+
+}  // namespace geomap::net

@@ -1,0 +1,101 @@
+#pragma once
+// LogGP network model (Alexandrov et al., SPAA'95) — the "more
+// sophisticated" alternative the paper's Section 3.1 declines in favour
+// of alpha-beta because it "involves more parameters and thus has higher
+// calibration cost". We build it anyway so that trade-off is measurable:
+// per site pair the model carries L (wire latency), o (per-message CPU
+// overhead), g (gap between messages) and G (gap per byte), calibrated
+// with an extra message-rate probe on top of the pingpongs.
+//
+// A LogGP model projects onto the alpha-beta form the mapping cost
+// function consumes — alpha = 2o + L, beta = 1/G — so the experiments
+// can quantify both the calibration overhead delta and the (near-zero)
+// mapping-quality delta, which is exactly the paper's argument.
+
+#include "common/dense_matrix.h"
+#include "common/types.h"
+#include "net/network_model.h"
+
+namespace geomap::net {
+
+class CloudTopology;
+
+class LogGPModel {
+ public:
+  LogGPModel() = default;
+
+  /// All matrices M x M, seconds (G: seconds per byte).
+  LogGPModel(Matrix latency_s, Matrix overhead_s, Matrix gap_s,
+             Matrix gap_per_byte_s);
+
+  int num_sites() const { return static_cast<int>(latency_s_.rows()); }
+
+  Seconds latency(SiteId k, SiteId l) const {
+    return latency_s_.at_unchecked(static_cast<std::size_t>(k),
+                                   static_cast<std::size_t>(l));
+  }
+  Seconds overhead(SiteId k, SiteId l) const {
+    return overhead_s_.at_unchecked(static_cast<std::size_t>(k),
+                                    static_cast<std::size_t>(l));
+  }
+  Seconds gap(SiteId k, SiteId l) const {
+    return gap_s_.at_unchecked(static_cast<std::size_t>(k),
+                               static_cast<std::size_t>(l));
+  }
+  Seconds gap_per_byte(SiteId k, SiteId l) const {
+    return gap_per_byte_s_.at_unchecked(static_cast<std::size_t>(k),
+                                        static_cast<std::size_t>(l));
+  }
+
+  /// End-to-end time of one n-byte message: o + (n-1)G + L + o.
+  Seconds transfer_time(SiteId k, SiteId l, Bytes bytes) const {
+    const Bytes extra = bytes > 1 ? bytes - 1 : 0;
+    return 2 * overhead(k, l) + latency(k, l) + extra * gap_per_byte(k, l);
+  }
+
+  /// Cost of `count` back-to-back messages of total `volume` bytes: the
+  /// sender is gap-limited between messages, each pays overheads+wire.
+  Seconds message_cost(SiteId k, SiteId l, double count, Bytes volume) const {
+    if (count <= 0) return 0;
+    return count * (2 * overhead(k, l) + latency(k, l)) +
+           (count - 1) * gap(k, l) + volume * gap_per_byte(k, l);
+  }
+
+  /// Projection onto the alpha-beta form used by the mapping cost
+  /// function: alpha = 2o + L (per-message), beta = 1/G (bandwidth).
+  NetworkModel to_alpha_beta() const;
+
+ private:
+  Matrix latency_s_;
+  Matrix overhead_s_;
+  Matrix gap_s_;
+  Matrix gap_per_byte_s_;
+};
+
+struct LogGPCalibrationOptions {
+  int rounds = 5;
+  int samples_per_round = 4;
+  /// Messages fired in the message-rate (gap) probe per pair per sample.
+  int rate_probe_messages = 64;
+  Bytes bandwidth_probe_bytes = 8.0 * 1024 * 1024;
+  double inter_site_noise = 0.03;
+  double intra_site_noise = 0.08;
+  std::uint64_t seed = 2016;
+};
+
+struct LogGPCalibrationResult {
+  LogGPModel model;
+  /// Probes performed: pingpong (latency) + large-message (G) + message-
+  /// rate (o, g) per ordered pair per round — 1.5x the alpha-beta
+  /// calibrator's budget, the paper's "higher calibration cost".
+  std::int64_t measurements = 0;
+};
+
+/// Calibrate a LogGP model against the ground truth (simulated probes
+/// with the same noise model as net::Calibrator). The ground truth
+/// assigns o and g from the instance type (per-message CPU costs), L and
+/// G from the link.
+LogGPCalibrationResult calibrate_loggp(
+    const CloudTopology& topo, const LogGPCalibrationOptions& options = {});
+
+}  // namespace geomap::net

@@ -1,0 +1,165 @@
+#include "net/model_io.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace geomap::net {
+
+std::string to_text(const NetworkSpec& spec) {
+  const int m = spec.model.num_sites();
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "geomap-network 1\n";
+  os << "sites " << m << "\n";
+  os << "latency-seconds\n";
+  for (SiteId k = 0; k < m; ++k) {
+    for (SiteId l = 0; l < m; ++l) os << spec.model.latency(k, l) << ' ';
+    os << '\n';
+  }
+  os << "bandwidth-bytes-per-second\n";
+  for (SiteId k = 0; k < m; ++k) {
+    for (SiteId l = 0; l < m; ++l) os << spec.model.bandwidth(k, l) << ' ';
+    os << '\n';
+  }
+  if (!spec.capacities.empty()) {
+    os << "capacities\n";
+    for (const int c : spec.capacities) os << c << ' ';
+    os << '\n';
+  }
+  if (!spec.coords.empty()) {
+    os << "coordinates\n";
+    for (const GeoCoordinate& c : spec.coords)
+      os << c.latitude_deg << ' ' << c.longitude_deg << '\n';
+  }
+  if (!spec.site_names.empty()) {
+    os << "names\n";
+    for (const std::string& name : spec.site_names)
+      os << std::quoted(name) << '\n';
+  }
+  return os.str();
+}
+
+NetworkSpec make_spec(const CloudTopology& topo, const NetworkModel& model) {
+  GEOMAP_CHECK_MSG(model.num_sites() == topo.num_sites(),
+                   "model/topology site count mismatch");
+  NetworkSpec spec;
+  spec.model = model;
+  spec.capacities = topo.capacities();
+  spec.coords = topo.coordinates();
+  for (const Site& s : topo.sites()) spec.site_names.push_back(s.name);
+  return spec;
+}
+
+namespace {
+
+/// Skip comment lines; read the next non-comment token.
+class TokenReader {
+ public:
+  explicit TokenReader(const std::string& text) : in_(text) {}
+
+  std::string next() {
+    std::string token;
+    while (in_ >> token) {
+      if (token[0] == '#') {
+        std::string rest;
+        std::getline(in_, rest);
+        continue;
+      }
+      return token;
+    }
+    throw InvalidArgument("network spec: unexpected end of input");
+  }
+
+  bool try_next(std::string& token) {
+    try {
+      token = next();
+      return true;
+    } catch (const InvalidArgument&) {
+      return false;
+    }
+  }
+
+  double next_double() {
+    const std::string t = next();
+    try {
+      return std::stod(t);
+    } catch (const std::exception&) {
+      throw InvalidArgument("network spec: expected a number, got '" + t + "'");
+    }
+  }
+
+  std::string next_quoted() {
+    // Names were written with std::quoted; re-read via stream extraction.
+    std::string name;
+    in_ >> std::ws;
+    in_ >> std::quoted(name);
+    GEOMAP_CHECK_MSG(static_cast<bool>(in_), "network spec: bad quoted name");
+    return name;
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+}  // namespace
+
+NetworkSpec network_spec_from_text(const std::string& text) {
+  TokenReader reader(text);
+  if (reader.next() != "geomap-network")
+    throw InvalidArgument("network spec: missing 'geomap-network' header");
+  if (reader.next() != "1")
+    throw InvalidArgument("network spec: unsupported version");
+  if (reader.next() != "sites")
+    throw InvalidArgument("network spec: expected 'sites'");
+  const int m = static_cast<int>(reader.next_double());
+  GEOMAP_CHECK_MSG(m > 0 && m < 100000, "network spec: bad site count " << m);
+
+  Matrix lat, bw;
+  NetworkSpec spec;
+  std::string section;
+  bool have_lat = false, have_bw = false;
+  while (reader.try_next(section)) {
+    if (section == "latency-seconds") {
+      lat = Matrix::square(static_cast<std::size_t>(m));
+      for (std::size_t k = 0; k < static_cast<std::size_t>(m); ++k)
+        for (std::size_t l = 0; l < static_cast<std::size_t>(m); ++l)
+          lat(k, l) = reader.next_double();
+      have_lat = true;
+    } else if (section == "bandwidth-bytes-per-second") {
+      bw = Matrix::square(static_cast<std::size_t>(m));
+      for (std::size_t k = 0; k < static_cast<std::size_t>(m); ++k)
+        for (std::size_t l = 0; l < static_cast<std::size_t>(m); ++l)
+          bw(k, l) = reader.next_double();
+      have_bw = true;
+    } else if (section == "capacities") {
+      spec.capacities.resize(static_cast<std::size_t>(m));
+      for (int k = 0; k < m; ++k)
+        spec.capacities[static_cast<std::size_t>(k)] =
+            static_cast<int>(reader.next_double());
+    } else if (section == "coordinates") {
+      spec.coords.resize(static_cast<std::size_t>(m));
+      for (int k = 0; k < m; ++k) {
+        spec.coords[static_cast<std::size_t>(k)].latitude_deg =
+            reader.next_double();
+        spec.coords[static_cast<std::size_t>(k)].longitude_deg =
+            reader.next_double();
+      }
+    } else if (section == "names") {
+      spec.site_names.resize(static_cast<std::size_t>(m));
+      for (int k = 0; k < m; ++k)
+        spec.site_names[static_cast<std::size_t>(k)] = reader.next_quoted();
+    } else {
+      throw InvalidArgument("network spec: unknown section '" + section + "'");
+    }
+  }
+  if (!have_lat || !have_bw)
+    throw InvalidArgument(
+        "network spec: latency-seconds and bandwidth-bytes-per-second "
+        "sections are required");
+  spec.model = NetworkModel(std::move(lat), std::move(bw));
+  return spec;
+}
+
+}  // namespace geomap::net

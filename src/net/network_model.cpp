@@ -1,0 +1,39 @@
+#include "net/network_model.h"
+
+#include "common/error.h"
+#include "net/cloud.h"
+
+namespace geomap::net {
+
+NetworkModel::NetworkModel(Matrix latency_s, Matrix bandwidth_bps)
+    : latency_s_(std::move(latency_s)), bandwidth_bps_(std::move(bandwidth_bps)) {
+  GEOMAP_CHECK(latency_s_.rows() == latency_s_.cols());
+  GEOMAP_CHECK(bandwidth_bps_.rows() == bandwidth_bps_.cols());
+  GEOMAP_CHECK_MSG(latency_s_.rows() == bandwidth_bps_.rows(),
+                   "LT and BT must have identical dimensions");
+  for (std::size_t k = 0; k < bandwidth_bps_.rows(); ++k) {
+    for (std::size_t l = 0; l < bandwidth_bps_.cols(); ++l) {
+      GEOMAP_CHECK_MSG(bandwidth_bps_(k, l) > 0.0,
+                       "non-positive bandwidth at (" << k << "," << l << ")");
+      GEOMAP_CHECK_MSG(latency_s_(k, l) >= 0.0,
+                       "negative latency at (" << k << "," << l << ")");
+    }
+  }
+}
+
+NetworkModel NetworkModel::from_ground_truth(const CloudTopology& topo) {
+  const auto m = static_cast<std::size_t>(topo.num_sites());
+  Matrix lat = Matrix::square(m);
+  Matrix bw = Matrix::square(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t l = 0; l < m; ++l) {
+      lat(k, l) = topo.true_latency(static_cast<SiteId>(k),
+                                    static_cast<SiteId>(l));
+      bw(k, l) = topo.true_bandwidth(static_cast<SiteId>(k),
+                                     static_cast<SiteId>(l));
+    }
+  }
+  return NetworkModel(std::move(lat), std::move(bw));
+}
+
+}  // namespace geomap::net

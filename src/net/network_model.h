@@ -1,0 +1,61 @@
+#pragma once
+// The calibrated site-level network model: the paper's LT (latency) and BT
+// (bandwidth) M×M matrices plus the alpha-beta transfer-time formula
+//
+//   t(n bytes, k -> l) = LT(k,l) + n / BT(k,l)
+//
+// This is the only view of the network the mapping algorithms see;
+// replacing the O(N^2) all-pairs interconnection graph with these O(M^2)
+// matrices is the paper's Section 3.1 measurement-overhead reduction.
+
+#include "common/dense_matrix.h"
+#include "common/types.h"
+
+namespace geomap::net {
+
+class CloudTopology;
+
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+
+  /// Takes ownership of calibrated latency (seconds) and bandwidth
+  /// (bytes/second) matrices; both must be square and of equal size with
+  /// strictly positive bandwidths.
+  NetworkModel(Matrix latency_s, Matrix bandwidth_bps);
+
+  /// Exact model read straight from the ground truth (zero calibration
+  /// error); used by tests and by the simulator's oracle runs.
+  static NetworkModel from_ground_truth(const CloudTopology& topo);
+
+  int num_sites() const { return static_cast<int>(latency_s_.rows()); }
+
+  Seconds latency(SiteId k, SiteId l) const {
+    return latency_s_.at_unchecked(static_cast<std::size_t>(k),
+                                   static_cast<std::size_t>(l));
+  }
+
+  BytesPerSecond bandwidth(SiteId k, SiteId l) const {
+    return bandwidth_bps_.at_unchecked(static_cast<std::size_t>(k),
+                                       static_cast<std::size_t>(l));
+  }
+
+  /// Alpha-beta time for one n-byte message from site k to site l.
+  Seconds transfer_time(SiteId k, SiteId l, Bytes bytes) const {
+    return latency(k, l) + bytes / bandwidth(k, l);
+  }
+
+  /// Paper Equation (3): cost of `count` messages totaling `volume` bytes.
+  Seconds message_cost(SiteId k, SiteId l, double count, Bytes volume) const {
+    return count * latency(k, l) + volume / bandwidth(k, l);
+  }
+
+  const Matrix& latency_matrix() const { return latency_s_; }
+  const Matrix& bandwidth_matrix() const { return bandwidth_bps_; }
+
+ private:
+  Matrix latency_s_;
+  Matrix bandwidth_bps_;
+};
+
+}  // namespace geomap::net

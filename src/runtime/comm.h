@@ -1,0 +1,222 @@
+#pragma once
+// minimpi: an in-process message-passing runtime with virtual time.
+//
+// This substrate replaces "MPI on EC2" in the paper's real-cloud
+// experiments. Ranks are threads; every point-to-point operation advances
+// virtual clocks by the alpha-beta transfer time of the mapped site pair:
+//
+//   completion = max(sender_ready, receiver_clock) + LT(s,d) + n/BT(s,d)
+//
+// (synchronous-send rendezvous semantics; both clocks jump to
+// completion). Collectives are built from point-to-point with standard
+// algorithms (binomial trees, dissemination, ring, pairwise), so their
+// cost reacts to the process mapping exactly as real MPI trees would.
+// Executions are deterministic: matching is FIFO per (src, tag) and
+// virtual time depends only on program order, never on host scheduling.
+//
+// Inter-site transfers contend: each ordered site pair is a serializing
+// WAN link (its calibrated BT is a pair bandwidth, and the regions'
+// cross-section is shared), so a mapping that pushes many flows onto one
+// pair pays queueing delay — the effect that makes volume-minimizing
+// mappings fast in practice. Intra-site transfers never queue (full
+// bisection LAN). Executions whose concurrent transfers share an
+// inter-site link acquire it in host scheduling order, so their virtual
+// times are reproducible only up to queueing order; single-site (or
+// contention-free) executions are exactly deterministic.
+//
+// An optional tracer (trace::ApplicationProfile) records every
+// point-to-point send — the dynamic trace CYPRESS would capture — from
+// which CG/AG are profiled.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network_model.h"
+#include "runtime/mailbox.h"
+#include "trace/optrace.h"
+#include "trace/profile.h"
+
+namespace geomap::runtime {
+
+/// Reduction operators for reduce/allreduce.
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// Per-rank accounting reported after a run.
+struct RankStats {
+  Seconds finish_time = 0;   // final virtual clock
+  Seconds comm_seconds = 0;  // clock advanced inside communication calls
+  Seconds compute_seconds = 0;
+  std::uint64_t messages_sent = 0;
+  Bytes bytes_sent = 0;
+};
+
+class Runtime;
+
+/// The per-rank communicator handed to application bodies.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Current virtual time of this rank.
+  Seconds now() const { return now_; }
+
+  /// Blocking synchronous send (completes when the receiver matched).
+  void send(int dst, int tag, std::span<const double> data);
+
+  /// Post a send and return immediately; wait() on the Request completes
+  /// it. Required for deadlock-free symmetric exchanges.
+  Request isend(int dst, int tag, std::span<const double> data);
+
+  /// Blocking receive from a specific source and tag.
+  std::vector<double> recv(int src, int tag);
+
+  /// Complete an isend, advancing this rank's clock.
+  void wait(Request& request);
+
+  /// Simultaneous exchange (deadlock-free): send `data` to dst, receive
+  /// from src.
+  std::vector<double> sendrecv(int dst, int send_tag,
+                               std::span<const double> data, int src,
+                               int recv_tag);
+
+  /// Model `flops` floating-point operations of local work: advances the
+  /// clock by flops / instance compute rate.
+  void compute(double flops);
+
+  /// Advance the clock by raw seconds (I/O or fixed-cost phases).
+  void advance(Seconds seconds);
+
+  // -- Collectives (all ranks must call in the same program order) --
+  void barrier();
+  void bcast(std::vector<double>& data, int root);
+  void reduce(std::vector<double>& data, ReduceOp op, int root);
+  void allreduce(std::vector<double>& data, ReduceOp op);
+  std::vector<double> allgather(std::span<const double> mine);
+  /// Scatter from root: root's `sendbuf` holds size() blocks of
+  /// `block_elems` doubles; every rank returns its own block. Binomial
+  /// tree, halving payloads down the levels.
+  std::vector<double> scatter(std::span<const double> sendbuf,
+                              std::size_t block_elems, int root);
+
+  /// Gather to root: every rank contributes `mine`; root returns the
+  /// rank-ordered concatenation (others return empty). Binomial tree.
+  std::vector<double> gather(std::span<const double> mine, int root);
+
+  /// Reduce-scatter: element-wise reduction of `data` (size() blocks of
+  /// `block_elems`); each rank returns its own reduced block.
+  std::vector<double> reduce_scatter(std::span<const double> data,
+                                     std::size_t block_elems, ReduceOp op);
+
+  /// Inclusive prefix scan over ranks (linear chain).
+  void scan(std::vector<double>& data, ReduceOp op);
+
+  /// Personalized all-to-all: `sendbuf` holds size() blocks of
+  /// `block_elems` doubles; returns the same layout gathered from peers.
+  /// Uses pairwise exchange (p-1 rounds), switching to Bruck's algorithm
+  /// (ceil(log2 p) rounds, blocks re-forwarded) for small blocks at
+  /// p >= 8 where latency dominates.
+  std::vector<double> alltoall(std::span<const double> sendbuf,
+                               std::size_t block_elems);
+
+  /// Block size at or below which alltoall uses Bruck's algorithm.
+  static constexpr std::size_t kBruckThresholdBytes = 1024;
+
+  RankStats stats() const { return stats_; }
+
+  /// Maximum tag usable by applications; larger tags are reserved for
+  /// collectives.
+  static constexpr int kMaxUserTag = (1 << 20) - 1;
+
+ private:
+  friend class Runtime;
+  Comm(Runtime* runtime, int rank, int size)
+      : runtime_(runtime), rank_(rank), size_(size) {}
+
+  int collective_tag() { return (1 << 20) + collective_seq_++; }
+
+  std::vector<double> alltoall_bruck(std::span<const double> sendbuf,
+                                     std::size_t block_elems);
+
+  Runtime* runtime_;
+  int rank_;
+  int size_;
+  Seconds now_ = 0;
+  int collective_seq_ = 0;
+  std::int64_t sends_posted_ = 0;
+  RankStats stats_;
+};
+
+/// Result of one application run.
+struct RunResult {
+  std::vector<RankStats> ranks;
+  /// Maximum finish time over ranks — the modeled job execution time.
+  Seconds makespan = 0;
+  /// Maximum per-rank communication time — the paper's simulated
+  /// communication-only metric (Figure 6).
+  Seconds max_comm_seconds = 0;
+  Seconds total_comm_seconds = 0;
+};
+
+class Runtime {
+ public:
+  /// `rank_to_site` maps each rank to its hosting site under the chosen
+  /// process mapping; `model` provides LT/BT (copied — the runtime owns
+  /// its network view). `gflops` is the per-node compute rate for
+  /// Comm::compute. `profile`, when given, receives every p2p send for
+  /// CG/AG profiling and must outlive the runtime.
+  Runtime(net::NetworkModel model, Mapping rank_to_site, double gflops = 50.0,
+          trace::ApplicationProfile* profile = nullptr);
+
+  /// Capture an operation-level trace of the next run() into `ops`
+  /// (pre-sized to the rank count); replayable under any mapping with
+  /// sim::replay_ops. Pass nullptr to stop capturing.
+  void capture_ops(trace::OpTraceLog* ops) { ops_ = ops; }
+
+  /// Execute `body` on `num_ranks` rank threads. Rank count must match
+  /// the mapping size. Exceptions from rank bodies are rethrown.
+  RunResult run(const std::function<void(Comm&)>& body);
+
+  int num_ranks() const { return static_cast<int>(rank_to_site_.size()); }
+
+ private:
+  friend class Comm;
+
+  SiteId site_of(int rank) const {
+    return rank_to_site_[static_cast<std::size_t>(rank)];
+  }
+
+  Seconds transfer_time(int src, int dst, Bytes bytes) const {
+    return model_.transfer_time(site_of(src), site_of(dst), bytes);
+  }
+
+  /// Serialize an inter-site transfer of `wire_seconds` on link
+  /// (src_site, dst_site), earliest start `ready`: returns completion.
+  Seconds acquire_link(SiteId src_site, SiteId dst_site, Seconds ready,
+                       Seconds wire_seconds);
+
+  net::NetworkModel model_;
+  Mapping rank_to_site_;
+  double gflops_;
+  trace::ApplicationProfile* profile_;
+  trace::OpTraceLog* ops_ = nullptr;
+  std::vector<Mailbox> mailboxes_;
+
+  /// Busy intervals of one inter-site link, kept sorted by start time.
+  /// Transfers reserve the first gap that fits at or after their ready
+  /// time — so a transfer that is early in *virtual* time is never queued
+  /// behind one that merely executed earlier in *host* time (threads
+  /// reach the link in arbitrary real order when their virtual clocks
+  /// diverge).
+  struct LinkState {
+    std::mutex mutex;
+    std::vector<std::pair<Seconds, Seconds>> busy;
+  };
+  std::vector<std::unique_ptr<LinkState>> links_;  // m*m ordered pairs
+};
+
+}  // namespace geomap::runtime

@@ -1,0 +1,56 @@
+#pragma once
+// Per-rank mailbox: senders deposit messages, the owning rank blocks on
+// (src, tag) matches. FIFO per (src, tag) key — combined with one thread
+// per sender this yields MPI's non-overtaking guarantee, and with it a
+// deterministic virtual-time execution.
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "runtime/message.h"
+
+namespace geomap::runtime {
+
+class Mailbox {
+ public:
+  void deposit(Message message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queues_[{message.src, message.tag}].push_back(std::move(message));
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until a message from `src` with `tag` is available; pop it.
+  Message match(int src, int tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::pair<int, int> key{src, tag};
+    cv_.wait(lock, [&] {
+      const auto it = queues_.find(key);
+      return it != queues_.end() && !it->second.empty();
+    });
+    auto it = queues_.find(key);
+    Message m = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) queues_.erase(it);
+    return m;
+  }
+
+  /// Count of undelivered messages (test/diagnostic hook).
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& [key, q] : queues_) total += q.size();
+    return total;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::pair<int, int>, std::deque<Message>> queues_;
+};
+
+}  // namespace geomap::runtime

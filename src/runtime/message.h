@@ -1,0 +1,75 @@
+#pragma once
+// Message envelope and rendezvous synchronization state for the minimpi
+// runtime (see runtime/comm.h for the execution model).
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geomap::runtime {
+
+/// Rendezvous handshake shared between one send and its matching recv:
+/// the receiver computes the virtual completion time and hands it back so
+/// the sender's clock advances identically (synchronous-send semantics).
+struct RendezvousState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool completed = false;
+  Seconds completion_time = 0;
+
+  void complete(Seconds time) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      completed = true;
+      completion_time = time;
+    }
+    cv.notify_all();
+  }
+
+  Seconds wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return completed; });
+    return completion_time;
+  }
+};
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::vector<double> payload;
+  /// Sender's virtual clock when the send was posted.
+  Seconds sender_ready = 0;
+  std::shared_ptr<RendezvousState> rendezvous;
+};
+
+/// Handle of an in-flight isend; wait() blocks until the matching recv
+/// ran and returns the virtual completion time.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RendezvousState> state,
+                   std::int64_t send_index = -1)
+      : state_(std::move(state)), send_index_(send_index) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Index of the originating send in its rank's posting order (used by
+  /// operation-level trace capture).
+  std::int64_t send_index() const { return send_index_; }
+
+  Seconds wait() {
+    Seconds t = state_->wait();
+    state_.reset();
+    return t;
+  }
+
+ private:
+  std::shared_ptr<RendezvousState> state_;
+  std::int64_t send_index_ = -1;
+};
+
+}  // namespace geomap::runtime

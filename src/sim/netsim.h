@@ -1,0 +1,51 @@
+#pragma once
+// Network simulation (the paper's ns-2 substitute, Section 5.4).
+//
+// Two estimators of an application's communication time under a mapping:
+//
+//  * alpha_beta_cost — the paper's own cost model, Equation (2)/(3): the
+//    sum over process pairs of AG·LT + CG/BT. This is what the paper's
+//    simulation results normalize and compare.
+//
+//  * replay_with_contention — a discrete-event replay where each ordered
+//    site pair is a serializing link of bandwidth BT: each process issues
+//    its messages in pattern order, messages queue on busy links, and the
+//    makespan is the last completion. This adds the congestion effect the
+//    analytic sum ignores and serves as a robustness check: improvements
+//    should keep their ordering under contention.
+
+#include "common/types.h"
+#include "mapping/problem.h"
+#include "net/network_model.h"
+#include "trace/comm_matrix.h"
+
+namespace geomap::sim {
+
+/// Paper Equation (2): total alpha-beta communication cost of `mapping`.
+Seconds alpha_beta_cost(const trace::CommMatrix& comm,
+                        const net::NetworkModel& model, const Mapping& mapping);
+
+struct ContentionResult {
+  /// Last message completion over all processes.
+  Seconds makespan = 0;
+  /// Busy time of the most loaded inter-site link.
+  Seconds busiest_link_seconds = 0;
+  /// Sum of per-message latencies+transfer (equals alpha_beta_cost).
+  Seconds total_transfer_seconds = 0;
+};
+
+/// Event-driven replay with per-site-pair link serialization. Messages of
+/// one source process issue sequentially in CSR row order; intra-site
+/// traffic uses the (infinite-parallelism) intra link and never queues.
+ContentionResult replay_with_contention(const trace::CommMatrix& comm,
+                                        const net::NetworkModel& model,
+                                        const Mapping& mapping);
+
+/// Communication improvement of `mapping` over `baseline` in percent,
+/// under the alpha-beta model.
+double comm_improvement_percent(const trace::CommMatrix& comm,
+                                const net::NetworkModel& model,
+                                const Mapping& baseline,
+                                const Mapping& mapping);
+
+}  // namespace geomap::sim

@@ -1,0 +1,15 @@
+#include "sim/perf_model.h"
+
+#include "common/error.h"
+
+namespace geomap::sim {
+
+double total_improvement_percent(const PerfBreakdown& baseline,
+                                 Seconds optimized_comm) {
+  const Seconds base_total = baseline.total();
+  GEOMAP_CHECK_MSG(base_total > 0, "baseline total must be positive");
+  const Seconds new_total = optimized_comm + baseline.compute + baseline.io;
+  return (base_total - new_total) / base_total * 100.0;
+}
+
+}  // namespace geomap::sim

@@ -1,0 +1,27 @@
+#pragma once
+// Total-time performance model for "EC2-like" results at scales where the
+// thread-per-rank runtime is impractical: combines a mapping-dependent
+// communication estimate with mapping-independent computation and I/O
+// components measured (or modeled) per application — the decomposition
+// behind the paper's observation that simulation-only improvements exceed
+// the EC2 ones because computation and I/O dilute the gain (Section 5.4).
+
+#include <string>
+
+#include "common/types.h"
+
+namespace geomap::sim {
+
+struct PerfBreakdown {
+  Seconds comm = 0;
+  Seconds compute = 0;
+  Seconds io = 0;
+
+  Seconds total() const { return comm + compute + io; }
+};
+
+/// Improvement on total time when only the communication part changes.
+double total_improvement_percent(const PerfBreakdown& baseline,
+                                 Seconds optimized_comm);
+
+}  // namespace geomap::sim

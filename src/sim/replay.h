@@ -1,0 +1,41 @@
+#pragma once
+// Deterministic trace replay: re-evaluate one captured execution
+// (trace::OpTraceLog) under any process mapping without re-running the
+// application.
+//
+// The replay engine simulates the minimpi runtime's virtual-time
+// semantics sequentially — rendezvous point-to-point completion
+// `max(sender_ready, receiver_ready) + wire`, FIFO matching per
+// (src, dst, tag), intra-site transfers contention-free, inter-site
+// transfers first-fit scheduled on serializing per-site-pair WAN links —
+// but with a canonical (round-robin) execution order, so results are
+// bit-reproducible across runs and machines. Link-allocation order can
+// differ from the threaded runtime's under contention; contention-free
+// executions match the runtime exactly (asserted by tests).
+//
+// Capture once (Runtime::capture_ops), replay per candidate mapping:
+// this is how many mappings can be scored with *execution-level*
+// fidelity (dependencies, pipelining, contention) at cost O(total ops)
+// each, instead of re-running thread-per-rank executions.
+
+#include "common/types.h"
+#include "net/network_model.h"
+#include "trace/optrace.h"
+
+namespace geomap::sim {
+
+struct ReplayResult {
+  /// Final virtual clock per rank; makespan = max.
+  std::vector<Seconds> finish_times;
+  Seconds makespan = 0;
+  /// Clock advanced inside communication, max over ranks.
+  Seconds max_comm_seconds = 0;
+};
+
+/// Replay `ops` under `mapping` over `model`. Throws Error on malformed
+/// traces (unmatched operations, deadlock).
+ReplayResult replay_ops(const trace::OpTraceLog& ops,
+                        const net::NetworkModel& model,
+                        const Mapping& mapping);
+
+}  // namespace geomap::sim

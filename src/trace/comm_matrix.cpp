@@ -1,0 +1,238 @@
+#include "trace/comm_matrix.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace geomap::trace {
+
+CommMatrix::Builder::Builder(int num_processes) : n_(num_processes) {
+  GEOMAP_CHECK_MSG(num_processes > 0, "num_processes=" << num_processes);
+}
+
+void CommMatrix::Builder::add_message(ProcessId src, ProcessId dst,
+                                      Bytes bytes, double messages) {
+  GEOMAP_CHECK_MSG(src >= 0 && src < n_, "src=" << src << " N=" << n_);
+  GEOMAP_CHECK_MSG(dst >= 0 && dst < n_, "dst=" << dst << " N=" << n_);
+  GEOMAP_CHECK_MSG(bytes >= 0, "bytes=" << bytes);
+  GEOMAP_CHECK_MSG(messages > 0, "messages=" << messages);
+  if (src == dst) return;  // self-communication is free in the model
+  edges_.push_back(CommEdge{src, dst, bytes, messages});
+}
+
+CommMatrix CommMatrix::Builder::build() {
+  std::sort(edges_.begin(), edges_.end(),
+            [](const CommEdge& a, const CommEdge& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  // Coalesce duplicates in place.
+  std::vector<CommEdge> unique;
+  unique.reserve(edges_.size());
+  for (const CommEdge& e : edges_) {
+    if (!unique.empty() && unique.back().src == e.src &&
+        unique.back().dst == e.dst) {
+      unique.back().volume += e.volume;
+      unique.back().count += e.count;
+    } else {
+      unique.push_back(e);
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  CommMatrix m;
+  m.finalize(n_, std::move(unique));
+  return m;
+}
+
+void CommMatrix::finalize(int n, std::vector<CommEdge> sorted_unique) {
+  n_ = n;
+  row_begin_.assign(static_cast<std::size_t>(n) + 1, 0);
+  dst_.resize(sorted_unique.size());
+  volume_.resize(sorted_unique.size());
+  count_.resize(sorted_unique.size());
+
+  for (const CommEdge& e : sorted_unique)
+    ++row_begin_[static_cast<std::size_t>(e.src) + 1];
+  for (std::size_t i = 1; i < row_begin_.size(); ++i)
+    row_begin_[i] += row_begin_[i - 1];
+
+  for (std::size_t idx = 0; idx < sorted_unique.size(); ++idx) {
+    const CommEdge& e = sorted_unique[idx];
+    dst_[idx] = e.dst;
+    volume_[idx] = e.volume;
+    count_[idx] = e.count;
+    total_volume_ += e.volume;
+    total_messages_ += e.count;
+  }
+  build_transpose(sorted_unique);
+  build_undirected();
+}
+
+void CommMatrix::build_transpose(const std::vector<CommEdge>& edges_by_src) {
+  std::vector<CommEdge> by_dst = edges_by_src;
+  std::sort(by_dst.begin(), by_dst.end(),
+            [](const CommEdge& a, const CommEdge& b) {
+              return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+            });
+  t_row_begin_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  t_src_.resize(by_dst.size());
+  t_volume_.resize(by_dst.size());
+  t_count_.resize(by_dst.size());
+  for (const CommEdge& e : by_dst)
+    ++t_row_begin_[static_cast<std::size_t>(e.dst) + 1];
+  for (std::size_t i = 1; i < t_row_begin_.size(); ++i)
+    t_row_begin_[i] += t_row_begin_[i - 1];
+  for (std::size_t idx = 0; idx < by_dst.size(); ++idx) {
+    t_src_[idx] = by_dst[idx].src;
+    t_volume_[idx] = by_dst[idx].volume;
+    t_count_[idx] = by_dst[idx].count;
+  }
+}
+
+void CommMatrix::build_undirected() {
+  // Merge (i,j) and (j,i) into one undirected neighbour list per process.
+  struct UEdge {
+    ProcessId a, b;
+    Bytes volume;
+    double count;
+  };
+  std::vector<UEdge> half;
+  half.reserve(nnz());
+  for (ProcessId i = 0; i < n_; ++i) {
+    const Row r = row(i);
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      const ProcessId j = r.dst[k];
+      // Store canonically (min, max) and coalesce below.
+      const ProcessId a = std::min(i, j);
+      const ProcessId b = std::max(i, j);
+      half.push_back(UEdge{a, b, r.volume[k], r.count[k]});
+    }
+  }
+  std::sort(half.begin(), half.end(), [](const UEdge& x, const UEdge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  std::vector<UEdge> merged;
+  merged.reserve(half.size());
+  for (const UEdge& e : half) {
+    if (!merged.empty() && merged.back().a == e.a && merged.back().b == e.b) {
+      merged.back().volume += e.volume;
+      merged.back().count += e.count;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  u_row_begin_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  traffic_.assign(static_cast<std::size_t>(n_), 0.0);
+  for (const UEdge& e : merged) {
+    ++u_row_begin_[static_cast<std::size_t>(e.a) + 1];
+    ++u_row_begin_[static_cast<std::size_t>(e.b) + 1];
+    traffic_[static_cast<std::size_t>(e.a)] += e.volume;
+    traffic_[static_cast<std::size_t>(e.b)] += e.volume;
+  }
+  for (std::size_t i = 1; i < u_row_begin_.size(); ++i)
+    u_row_begin_[i] += u_row_begin_[i - 1];
+
+  const std::size_t total = u_row_begin_.back();
+  u_dst_.resize(total);
+  u_volume_.resize(total);
+  u_count_.resize(total);
+  std::vector<std::size_t> cursor(u_row_begin_.begin(), u_row_begin_.end() - 1);
+  for (const UEdge& e : merged) {
+    auto put = [&](ProcessId from, ProcessId to) {
+      const std::size_t pos = cursor[static_cast<std::size_t>(from)]++;
+      u_dst_[pos] = to;
+      u_volume_[pos] = e.volume;
+      u_count_[pos] = e.count;
+    };
+    put(e.a, e.b);
+    put(e.b, e.a);
+  }
+}
+
+CommMatrix::Row CommMatrix::row(ProcessId i) const {
+  GEOMAP_CHECK_MSG(i >= 0 && i < n_, "process " << i << " out of range");
+  const std::size_t b = row_begin_[static_cast<std::size_t>(i)];
+  const std::size_t e = row_begin_[static_cast<std::size_t>(i) + 1];
+  return Row{std::span(dst_).subspan(b, e - b),
+             std::span(volume_).subspan(b, e - b),
+             std::span(count_).subspan(b, e - b)};
+}
+
+CommMatrix::Row CommMatrix::in_row(ProcessId i) const {
+  GEOMAP_CHECK_MSG(i >= 0 && i < n_, "process " << i << " out of range");
+  const std::size_t b = t_row_begin_[static_cast<std::size_t>(i)];
+  const std::size_t e = t_row_begin_[static_cast<std::size_t>(i) + 1];
+  return Row{std::span(t_src_).subspan(b, e - b),
+             std::span(t_volume_).subspan(b, e - b),
+             std::span(t_count_).subspan(b, e - b)};
+}
+
+CommMatrix::Row CommMatrix::undirected_row(ProcessId i) const {
+  GEOMAP_CHECK_MSG(i >= 0 && i < n_, "process " << i << " out of range");
+  const std::size_t b = u_row_begin_[static_cast<std::size_t>(i)];
+  const std::size_t e = u_row_begin_[static_cast<std::size_t>(i) + 1];
+  return Row{std::span(u_dst_).subspan(b, e - b),
+             std::span(u_volume_).subspan(b, e - b),
+             std::span(u_count_).subspan(b, e - b)};
+}
+
+namespace {
+std::size_t find_in_row(const CommMatrix::Row& r, ProcessId j) {
+  const auto it = std::lower_bound(r.dst.begin(), r.dst.end(), j);
+  if (it == r.dst.end() || *it != j) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - r.dst.begin());
+}
+}  // namespace
+
+Bytes CommMatrix::volume(ProcessId i, ProcessId j) const {
+  const Row r = row(i);
+  const std::size_t k = find_in_row(r, j);
+  return k == static_cast<std::size_t>(-1) ? 0.0 : r.volume[k];
+}
+
+double CommMatrix::count(ProcessId i, ProcessId j) const {
+  const Row r = row(i);
+  const std::size_t k = find_in_row(r, j);
+  return k == static_cast<std::size_t>(-1) ? 0.0 : r.count[k];
+}
+
+std::vector<CommEdge> CommMatrix::edges() const {
+  std::vector<CommEdge> out;
+  out.reserve(nnz());
+  for (ProcessId i = 0; i < n_; ++i) {
+    const Row r = row(i);
+    for (std::size_t k = 0; k < r.size(); ++k)
+      out.push_back(CommEdge{i, r.dst[k], r.volume[k], r.count[k]});
+  }
+  return out;
+}
+
+std::string CommMatrix::to_text() const {
+  std::ostringstream os;
+  os << "commmatrix " << n_ << ' ' << nnz() << '\n';
+  for (const CommEdge& e : edges())
+    os << e.src << ' ' << e.dst << ' ' << e.volume << ' ' << e.count << '\n';
+  return os.str();
+}
+
+CommMatrix CommMatrix::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  int n = 0;
+  std::size_t nnz = 0;
+  is >> magic >> n >> nnz;
+  GEOMAP_CHECK_MSG(magic == "commmatrix", "bad comm matrix header");
+  Builder b(n);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    CommEdge e;
+    is >> e.src >> e.dst >> e.volume >> e.count;
+    GEOMAP_CHECK_MSG(static_cast<bool>(is), "truncated comm matrix text");
+    b.add_message(e.src, e.dst, e.volume, e.count);
+  }
+  return b.build();
+}
+
+}  // namespace geomap::trace

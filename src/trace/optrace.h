@@ -1,0 +1,91 @@
+#pragma once
+// Operation-level execution traces.
+//
+// Where CommMatrix (CG/AG) aggregates *how much* ranks communicate, an
+// OpTrace records *what each rank did, in order*: every point-to-point
+// post, blocking receive, send-completion wait and modeled compute block.
+// Collectives appear as their underlying point-to-point operations. The
+// trace is mapping-independent (the apps' control flow does not depend on
+// where ranks run), so one captured trace can be replayed under many
+// candidate mappings by the deterministic simulator in sim/replay.h —
+// the cheap way to evaluate mapping decisions that the virtual-time
+// runtime would otherwise re-execute from scratch.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geomap::trace {
+
+struct Op {
+  enum class Kind : std::uint8_t {
+    kSend,     // non-blocking post: peer, tag, bytes
+    kRecv,     // blocking receive: peer, tag
+    kWait,     // blocking completion of this rank's send #send_index
+    kCompute,  // local work: seconds
+  };
+
+  Kind kind = Kind::kCompute;
+  ProcessId peer = -1;
+  int tag = 0;
+  Bytes bytes = 0;
+  Seconds seconds = 0;
+  /// For kWait: index into this rank's sends (0-based, in posting order).
+  std::int64_t send_index = -1;
+
+  static Op send(ProcessId peer, int tag, Bytes bytes) {
+    Op op;
+    op.kind = Kind::kSend;
+    op.peer = peer;
+    op.tag = tag;
+    op.bytes = bytes;
+    return op;
+  }
+  static Op recv(ProcessId peer, int tag) {
+    Op op;
+    op.kind = Kind::kRecv;
+    op.peer = peer;
+    op.tag = tag;
+    return op;
+  }
+  static Op wait(std::int64_t send_index) {
+    Op op;
+    op.kind = Kind::kWait;
+    op.send_index = send_index;
+    return op;
+  }
+  static Op compute(Seconds seconds) {
+    Op op;
+    op.kind = Kind::kCompute;
+    op.seconds = seconds;
+    return op;
+  }
+};
+
+/// Per-rank op sequences of one execution.
+class OpTraceLog {
+ public:
+  explicit OpTraceLog(int num_ranks)
+      : ops_(static_cast<std::size_t>(num_ranks)) {}
+
+  int num_ranks() const { return static_cast<int>(ops_.size()); }
+
+  std::vector<Op>& rank(ProcessId r) {
+    return ops_[static_cast<std::size_t>(r)];
+  }
+  const std::vector<Op>& rank(ProcessId r) const {
+    return ops_[static_cast<std::size_t>(r)];
+  }
+
+  std::size_t total_ops() const {
+    std::size_t total = 0;
+    for (const auto& v : ops_) total += v.size();
+    return total;
+  }
+
+ private:
+  std::vector<std::vector<Op>> ops_;
+};
+
+}  // namespace geomap::trace

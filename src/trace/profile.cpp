@@ -1,0 +1,51 @@
+#include "trace/profile.h"
+
+#include "common/error.h"
+
+namespace geomap::trace {
+
+ApplicationProfile::ApplicationProfile(int num_ranks)
+    : recorders_(static_cast<std::size_t>(num_ranks)) {
+  GEOMAP_CHECK_MSG(num_ranks > 0, "num_ranks=" << num_ranks);
+}
+
+Recorder& ApplicationProfile::recorder(ProcessId rank) {
+  GEOMAP_CHECK_MSG(rank >= 0 && rank < num_ranks(), "rank " << rank);
+  return recorders_[static_cast<std::size_t>(rank)];
+}
+
+const Recorder& ApplicationProfile::recorder(ProcessId rank) const {
+  GEOMAP_CHECK_MSG(rank >= 0 && rank < num_ranks(), "rank " << rank);
+  return recorders_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t ApplicationProfile::total_records() const {
+  std::size_t total = 0;
+  for (const auto& r : recorders_) total += r.size();
+  return total;
+}
+
+double ApplicationProfile::aggregate_compression_ratio(
+    std::size_t max_pattern) const {
+  std::uint64_t expanded = 0;
+  std::uint64_t stored = 0;
+  for (const auto& r : recorders_) {
+    const CompressedTrace t = r.compress(max_pattern);
+    expanded += t.expanded_size();
+    stored += t.stored_size();
+  }
+  if (stored == 0) return 1.0;
+  return static_cast<double>(expanded) / static_cast<double>(stored);
+}
+
+CommMatrix ApplicationProfile::build_comm_matrix() const {
+  CommMatrix::Builder builder(num_ranks());
+  for (ProcessId rank = 0; rank < num_ranks(); ++rank) {
+    for (const SendRecord& rec : recorders_[static_cast<std::size_t>(rank)].raw()) {
+      builder.add_message(rank, rec.peer, rec.bytes);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace geomap::trace

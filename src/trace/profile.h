@@ -1,0 +1,37 @@
+#pragma once
+// Application profiling: merge per-rank (compressed) traces into the CG/AG
+// communication matrices consumed by the mapping algorithms (the paper's
+// "Application Profiling" box in Figure 2).
+
+#include <vector>
+
+#include "trace/comm_matrix.h"
+#include "trace/recorder.h"
+
+namespace geomap::trace {
+
+/// Profile of one application execution on N ranks.
+class ApplicationProfile {
+ public:
+  explicit ApplicationProfile(int num_ranks);
+
+  int num_ranks() const { return static_cast<int>(recorders_.size()); }
+
+  /// Per-rank recorder the runtime's tracing shim writes into.
+  Recorder& recorder(ProcessId rank);
+  const Recorder& recorder(ProcessId rank) const;
+
+  /// Total records across ranks (pre-compression).
+  std::size_t total_records() const;
+
+  /// Compress every rank's trace and report the aggregate ratio.
+  double aggregate_compression_ratio(std::size_t max_pattern = 64) const;
+
+  /// Build CG/AG from the recorded sends.
+  CommMatrix build_comm_matrix() const;
+
+ private:
+  std::vector<Recorder> recorders_;
+};
+
+}  // namespace geomap::trace

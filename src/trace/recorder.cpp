@@ -1,0 +1,84 @@
+#include "trace/recorder.h"
+
+#include <algorithm>
+
+namespace geomap::trace {
+
+std::uint64_t CompressedTrace::expanded_size() const {
+  std::uint64_t total = 0;
+  for (const auto& seg : segments)
+    total += seg.repeat * static_cast<std::uint64_t>(seg.pattern.size());
+  return total;
+}
+
+std::uint64_t CompressedTrace::stored_size() const {
+  std::uint64_t total = 0;
+  for (const auto& seg : segments)
+    total += static_cast<std::uint64_t>(seg.pattern.size());
+  return total;
+}
+
+double CompressedTrace::compression_ratio() const {
+  const std::uint64_t stored = stored_size();
+  if (stored == 0) return 1.0;
+  return static_cast<double>(expanded_size()) / static_cast<double>(stored);
+}
+
+std::vector<SendRecord> CompressedTrace::expand() const {
+  std::vector<SendRecord> out;
+  out.reserve(expanded_size());
+  for (const auto& seg : segments)
+    for (std::uint64_t r = 0; r < seg.repeat; ++r)
+      out.insert(out.end(), seg.pattern.begin(), seg.pattern.end());
+  return out;
+}
+
+CompressedTrace Recorder::compress(std::size_t max_pattern) const {
+  CompressedTrace out;
+  const std::size_t n = raw_.size();
+  std::size_t pos = 0;
+  while (pos < n) {
+    // Find the (pattern length, repeats) pair starting at pos that covers
+    // the most records, requiring at least 2 repeats to fold.
+    std::size_t best_len = 1;
+    std::uint64_t best_rep = 1;
+    std::uint64_t best_cover = 1;
+    const std::size_t max_len = std::min(max_pattern, (n - pos) / 2);
+    for (std::size_t len = 1; len <= max_len; ++len) {
+      std::uint64_t rep = 1;
+      while (pos + (rep + 1) * len <= n &&
+             std::equal(raw_.begin() + static_cast<std::ptrdiff_t>(pos),
+                        raw_.begin() + static_cast<std::ptrdiff_t>(pos + len),
+                        raw_.begin() +
+                            static_cast<std::ptrdiff_t>(pos + rep * len))) {
+        ++rep;
+      }
+      const std::uint64_t cover = rep * len;
+      if (rep >= 2 && cover > best_cover) {
+        best_len = len;
+        best_rep = rep;
+        best_cover = cover;
+      }
+    }
+
+    if (best_rep >= 2) {
+      CompressedTrace::Segment seg;
+      seg.pattern.assign(
+          raw_.begin() + static_cast<std::ptrdiff_t>(pos),
+          raw_.begin() + static_cast<std::ptrdiff_t>(pos + best_len));
+      seg.repeat = best_rep;
+      out.segments.push_back(std::move(seg));
+      pos += best_len * best_rep;
+    } else {
+      // No repeat here; extend (or start) a literal segment.
+      if (out.segments.empty() || out.segments.back().repeat != 1) {
+        out.segments.push_back(CompressedTrace::Segment{{}, 1});
+      }
+      out.segments.back().pattern.push_back(raw_[pos]);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace geomap::trace

@@ -1,0 +1,61 @@
+#pragma once
+// Per-rank communication trace recording with loop compression.
+//
+// This stands in for CYPRESS (Zhai et al., SC'14), which the paper uses to
+// obtain CG and AG offline: CYPRESS exploits loop/branch structure to
+// compress repeated communication patterns. Our recorder captures the same
+// information dynamically: each rank appends (peer, bytes) send records,
+// and compress() folds repeated blocks — the dynamic image of the loops of
+// LU/BT/SP time steps — into (pattern, repeat-count) segments.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geomap::trace {
+
+/// One point-to-point send as seen by the tracing shim.
+struct SendRecord {
+  ProcessId peer = 0;
+  Bytes bytes = 0;
+
+  bool operator==(const SendRecord&) const = default;
+};
+
+/// A compressed trace: a sequence of segments, each repeating a pattern of
+/// SendRecords `repeat` times. Expansion reproduces the raw trace exactly.
+struct CompressedTrace {
+  struct Segment {
+    std::vector<SendRecord> pattern;
+    std::uint64_t repeat = 1;
+  };
+  std::vector<Segment> segments;
+
+  std::uint64_t expanded_size() const;
+  std::uint64_t stored_size() const;
+  /// expanded/stored; >1 means the compressor found structure.
+  double compression_ratio() const;
+  std::vector<SendRecord> expand() const;
+};
+
+/// Records one rank's sends.
+class Recorder {
+ public:
+  void record_send(ProcessId peer, Bytes bytes) {
+    raw_.push_back(SendRecord{peer, bytes});
+  }
+
+  std::size_t size() const { return raw_.size(); }
+  const std::vector<SendRecord>& raw() const { return raw_; }
+
+  /// Greedy block-repeat compression: at each position try pattern lengths
+  /// 1..max_pattern and fold maximal repeats, preferring the fold that
+  /// consumes the most records. O(n * max_pattern) worst case.
+  CompressedTrace compress(std::size_t max_pattern = 64) const;
+
+ private:
+  std::vector<SendRecord> raw_;
+};
+
+}  // namespace geomap::trace

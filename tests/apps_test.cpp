@@ -1,0 +1,408 @@
+// Tests for the mini-apps: numeric solver kernels against dense
+// references, app convergence on the runtime, and pattern structure
+// (near-diagonal for the NPB trio, complex for K-means, sparse/low-volume
+// for DNN — paper Figure 3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app.h"
+#include "apps/dnn.h"
+#include "apps/kmeans.h"
+#include "apps/lu.h"
+#include "apps/solvers.h"
+#include "apps/synthetic.h"
+#include "common/rng.h"
+#include "net/cloud.h"
+#include "net/network_model.h"
+#include "runtime/comm.h"
+
+namespace geomap::apps {
+namespace {
+
+// ---------- Solver kernels ----------
+
+TEST(Solvers, TridiagonalMatchesDenseReference) {
+  // System: x[i-1]*l + x[i]*d + x[i+1]*u = rhs, n=5, diagonally dominant.
+  const std::vector<double> lower = {0, -1, -1, -1, -1};
+  const std::vector<double> diag = {4, 4, 4, 4, 4};
+  const std::vector<double> upper = {-1, -1, -1, -1, 0};
+  const std::vector<double> rhs = {3, 2, 1, 2, 3};
+  const std::vector<double> x = solve_tridiagonal(lower, diag, upper, rhs);
+  ASSERT_EQ(x.size(), 5u);
+  // Verify A x == rhs.
+  for (int i = 0; i < 5; ++i) {
+    double acc = 4 * x[static_cast<std::size_t>(i)];
+    if (i > 0) acc -= x[static_cast<std::size_t>(i - 1)];
+    if (i < 4) acc -= x[static_cast<std::size_t>(i + 1)];
+    EXPECT_NEAR(acc, rhs[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Solvers, TridiagonalSizeOne) {
+  const std::vector<double> one = {2.0};
+  const std::vector<double> zero = {0.0};
+  const std::vector<double> rhs = {6.0};
+  EXPECT_DOUBLE_EQ(solve_tridiagonal(zero, one, zero, rhs)[0], 3.0);
+}
+
+TEST(Solvers, PentadiagonalResidualIsZero) {
+  Rng rng(13);
+  const std::size_t n = 12;
+  std::vector<double> d2(n), d1(n), d0(n), u1(n), u2(n), rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d2[i] = rng.uniform(-0.5, 0.5);
+    d1[i] = rng.uniform(-1.0, 1.0);
+    u1[i] = rng.uniform(-1.0, 1.0);
+    u2[i] = rng.uniform(-0.5, 0.5);
+    d0[i] = 6.0;  // dominance
+    rhs[i] = rng.uniform(-5, 5);
+  }
+  const std::vector<double> x = solve_pentadiagonal(d2, d1, d0, u1, u2, rhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = d0[i] * x[i];
+    if (i >= 1) acc += d1[i] * x[i - 1];
+    if (i >= 2) acc += d2[i] * x[i - 2];
+    if (i + 1 < n) acc += u1[i] * x[i + 1];
+    if (i + 2 < n) acc += u2[i] * x[i + 2];
+    EXPECT_NEAR(acc, rhs[i], 1e-10);
+  }
+}
+
+TEST(Solvers, Solve3x3AgainstKnownSystem) {
+  // A = [[2,0,1],[0,3,0],[1,0,2]], b = [5,6,7] -> x = [1,2,3].
+  const std::array<double, 9> a = {2, 0, 1, 0, 3, 0, 1, 0, 2};
+  const std::array<double, 3> b = {5, 6, 7};
+  const std::array<double, 3> x = solve3x3(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Solvers, BlockTridiagonalResidualIsZero) {
+  Rng rng(31);
+  const std::size_t n = 6;
+  std::vector<double> lower(n * 9, 0.0), diag(n * 9, 0.0), upper(n * 9, 0.0),
+      rhs(n * 3);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) {
+        const double off = rng.uniform(-0.3, 0.3);
+        diag[b * 9 + static_cast<std::size_t>(r * 3 + c)] =
+            (r == c) ? 5.0 : off;
+        if (b > 0)
+          lower[b * 9 + static_cast<std::size_t>(r * 3 + c)] =
+              (r == c) ? -1.0 : 0.1;
+        if (b + 1 < n)
+          upper[b * 9 + static_cast<std::size_t>(r * 3 + c)] =
+              (r == c) ? -1.0 : 0.1;
+      }
+    for (int c = 0; c < 3; ++c)
+      rhs[b * 3 + static_cast<std::size_t>(c)] = rng.uniform(-2, 2);
+  }
+  const std::vector<double> x = solve_block_tridiagonal(lower, diag, upper, rhs);
+  // Residual check A x == rhs block-row by block-row.
+  for (std::size_t b = 0; b < n; ++b) {
+    for (int r = 0; r < 3; ++r) {
+      double acc = 0;
+      for (int c = 0; c < 3; ++c) {
+        acc += diag[b * 9 + static_cast<std::size_t>(r * 3 + c)] *
+               x[b * 3 + static_cast<std::size_t>(c)];
+        if (b > 0)
+          acc += lower[b * 9 + static_cast<std::size_t>(r * 3 + c)] *
+                 x[(b - 1) * 3 + static_cast<std::size_t>(c)];
+        if (b + 1 < n)
+          acc += upper[b * 9 + static_cast<std::size_t>(r * 3 + c)] *
+                 x[(b + 1) * 3 + static_cast<std::size_t>(c)];
+      }
+      EXPECT_NEAR(acc, rhs[b * 3 + static_cast<std::size_t>(r)], 1e-10);
+    }
+  }
+}
+
+TEST(Solvers, GaussSeidelReducesResidual) {
+  const int n = 16;
+  std::vector<double> u((n + 2) * (n + 2), 0.0);
+  std::vector<double> f(n * n, 1.0);
+  const double h2 = 1.0 / (n * n);
+  const double first = gauss_seidel_sweep(u, f, n, n, h2);
+  double prev = first;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double r = gauss_seidel_sweep(u, f, n, n, h2);
+    EXPECT_LE(r, prev * 1.0000001);  // monotone decrease
+    prev = r;
+  }
+  EXPECT_LT(prev, first * 0.02);  // two orders down after 100 sweeps
+}
+
+// ---------- Registry / grid ----------
+
+TEST(Registry, HasTheFivePaperApps) {
+  ASSERT_EQ(all_apps().size(), 5u);
+  EXPECT_EQ(all_apps()[0]->name(), "BT");
+  EXPECT_EQ(all_apps()[2]->name(), "LU");
+  EXPECT_EQ(app_by_name("K-means").name(), "K-means");
+  EXPECT_THROW(app_by_name("nonexistent"), Error);
+}
+
+TEST(ProcessGrid, NearSquareFactorization) {
+  EXPECT_EQ(make_process_grid(64).px, 8);
+  EXPECT_EQ(make_process_grid(64).py, 8);
+  EXPECT_EQ(make_process_grid(12).px, 3);
+  EXPECT_EQ(make_process_grid(12).py, 4);
+  EXPECT_EQ(make_process_grid(7).px, 1);
+  EXPECT_EQ(make_process_grid(1).px, 1);
+  const ProcessGrid g = make_process_grid(12);
+  EXPECT_EQ(g.rank_of(g.x(7), g.y(7)), 7);
+}
+
+// ---------- App execution + convergence ----------
+
+runtime::RunResult execute(const App& app, const AppConfig& cfg,
+                           double* metric_out = nullptr) {
+  const net::CloudTopology topo(
+      net::aws_experiment_profile((cfg.num_ranks + 3) / 4));
+  const net::NetworkModel model = net::NetworkModel::from_ground_truth(topo);
+  Mapping mapping(static_cast<std::size_t>(cfg.num_ranks));
+  for (int r = 0; r < cfg.num_ranks; ++r)
+    mapping[static_cast<std::size_t>(r)] =
+        r / ((cfg.num_ranks + 3) / 4);
+  std::mutex metric_mutex;
+  runtime::Runtime rt(model, mapping, topo.instance().gflops);
+  return rt.run([&](runtime::Comm& comm) {
+    const double metric = app.run(comm, cfg);
+    if (metric_out != nullptr && comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(metric_mutex);
+      *metric_out = metric;
+    }
+  });
+}
+
+class AppConvergence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppConvergence, MetricDecreasesWithMoreIterations) {
+  const App& app = app_by_name(GetParam());
+  AppConfig short_cfg = app.default_config(16);
+  short_cfg.iterations = 2;
+  short_cfg.payload_scale = 0.01;  // keep tests fast
+  AppConfig long_cfg = short_cfg;
+  long_cfg.iterations = 12;
+
+  double short_metric = 0, long_metric = 0;
+  execute(app, short_cfg, &short_metric);
+  execute(app, long_cfg, &long_metric);
+  EXPECT_GT(short_metric, 0.0);
+  EXPECT_LT(long_metric, short_metric)
+      << app.name() << " did not converge with more iterations";
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AppConvergence,
+                         ::testing::Values("BT", "SP", "LU", "K-means",
+                                           "DNN"));
+
+class AppExecution : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppExecution, RunsAtAwkwardRankCounts) {
+  const App& app = app_by_name(GetParam());
+  for (const int ranks : {2, 6, 12}) {
+    AppConfig cfg = app.default_config(ranks);
+    cfg.iterations = 2;
+    cfg.problem_size = std::min(cfg.problem_size, 64);
+    cfg.payload_scale = 0.01;
+    EXPECT_NO_THROW(execute(app, cfg)) << app.name() << " @" << ranks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AppExecution,
+                         ::testing::Values("BT", "SP", "LU", "K-means",
+                                           "DNN"));
+
+// ---------- Pattern structure (paper Figure 3) ----------
+
+TEST(Patterns, NpbTrioIsNearDiagonal) {
+  for (const char* name : {"BT", "SP", "LU"}) {
+    const App& app = app_by_name(name);
+    const trace::CommMatrix m =
+        app.synthetic_pattern(64, app.default_config(64));
+    const ProcessGrid grid = make_process_grid(64);
+    // Heavy edges only between grid neighbours: |dx|+|dy| == 1.
+    Bytes neighbour_volume = 0, other_volume = 0;
+    for (const trace::CommEdge& e : m.edges()) {
+      const int dx = std::abs(grid.x(e.src) - grid.x(e.dst));
+      const int dy = std::abs(grid.y(e.src) - grid.y(e.dst));
+      if (dx + dy == 1) neighbour_volume += e.volume;
+      else other_volume += e.volume;
+    }
+    EXPECT_GT(neighbour_volume, 50 * other_volume) << name;
+  }
+}
+
+TEST(Patterns, LuHasTwoMessageSizes) {
+  // The paper reports exactly two LU message sizes at 64 processes,
+  // 43 KB and 83 KB. Inspect two neighbour edges that no collective tree
+  // touches (1->2 east-west and 1->9 north-south on the 8x8 grid).
+  const App& lu = app_by_name("LU");
+  AppConfig cfg = lu.default_config(64);
+  const trace::CommMatrix m = lu.synthetic_pattern(64, cfg);
+  // (1->2 east-west and 9->17 north-south: neither pair appears in the
+  // recursive-doubling allreduce tree, whose edges are r <-> r^2^k.)
+  const double east_msg = m.volume(1, 2) / m.count(1, 2);
+  const double south_msg = m.volume(9, 17) / m.count(9, 17);
+  EXPECT_NEAR(east_msg, 43.0 * 1024, 512);
+  EXPECT_NEAR(south_msg, 83.0 * 1024, 512);
+}
+
+TEST(Patterns, KmeansIsComplexNotGridLocal) {
+  const App& km = app_by_name("K-means");
+  const trace::CommMatrix m =
+      km.synthetic_pattern(64, km.default_config(64));
+  // Many long-range pairs: far denser than the ~4 neighbours of NPB.
+  EXPECT_GT(m.nnz(), 64u * 8u);
+  const ProcessGrid grid = make_process_grid(64);
+  Bytes neighbour_volume = 0, other_volume = 0;
+  for (const trace::CommEdge& e : m.edges()) {
+    const int dx = std::abs(grid.x(e.src) - grid.x(e.dst));
+    const int dy = std::abs(grid.y(e.src) - grid.y(e.dst));
+    (dx + dy == 1 ? neighbour_volume : other_volume) += e.volume;
+  }
+  EXPECT_GT(other_volume, neighbour_volume);
+}
+
+TEST(Patterns, DnnHasSmallTotalVolume) {
+  const App& dnn = app_by_name("DNN");
+  const App& lu = app_by_name("LU");
+  const trace::CommMatrix m_dnn =
+      dnn.synthetic_pattern(64, dnn.default_config(64));
+  const trace::CommMatrix m_lu =
+      lu.synthetic_pattern(64, lu.default_config(64));
+  EXPECT_LT(m_dnn.total_volume(), m_lu.total_volume() / 10.0);
+}
+
+TEST(Patterns, SyntheticScalesToLargeN) {
+  for (const char* name : {"LU", "K-means", "DNN"}) {
+    const App& app = app_by_name(name);
+    const trace::CommMatrix m =
+        app.synthetic_pattern(1024, app.default_config(1024));
+    EXPECT_EQ(m.num_processes(), 1024);
+    EXPECT_GT(m.nnz(), 512u);
+    // Sparse: average degree bounded.
+    EXPECT_LT(m.nnz(), 1024u * 64u) << name;
+  }
+}
+
+// ---------- Collective edge helpers mirror the runtime ----------
+
+TEST(SyntheticCollectives, BcastEdgesMatchProfiledBcast) {
+  for (const int p : {3, 4, 7, 8}) {
+    trace::ApplicationProfile profile(p);
+    Mapping mapping(static_cast<std::size_t>(p), 0);
+    Matrix lat = Matrix::square(1, 1e-3);
+    Matrix bw = Matrix::square(1, 1e8);
+    net::NetworkModel model(lat, bw);
+    runtime::Runtime rt(model, mapping, 50.0, &profile);
+    rt.run([](runtime::Comm& comm) {
+      std::vector<double> v(16, 0.0);
+      comm.bcast(v, 0);
+      comm.allreduce(v, runtime::ReduceOp::kSum);
+    });
+    const trace::CommMatrix profiled = profile.build_comm_matrix();
+
+    trace::CommMatrix::Builder builder(p);
+    add_bcast_edges(builder, p, 0, 16 * sizeof(double));
+    add_allreduce_edges(builder, p, 16 * sizeof(double));
+    const trace::CommMatrix synthetic = builder.build();
+
+    ASSERT_EQ(profiled.nnz(), synthetic.nnz()) << "p=" << p;
+    const auto pe = profiled.edges();
+    const auto se = synthetic.edges();
+    for (std::size_t i = 0; i < pe.size(); ++i) {
+      EXPECT_EQ(pe[i].src, se[i].src);
+      EXPECT_EQ(pe[i].dst, se[i].dst);
+      EXPECT_DOUBLE_EQ(pe[i].volume, se[i].volume);
+      EXPECT_DOUBLE_EQ(pe[i].count, se[i].count);
+    }
+  }
+}
+
+TEST(SyntheticCollectives, AllgatherAndAlltoallAndBarrier) {
+  const int p = 6;
+  trace::ApplicationProfile profile(p);
+  Mapping mapping(static_cast<std::size_t>(p), 0);
+  Matrix lat = Matrix::square(1, 1e-3);
+  Matrix bw = Matrix::square(1, 1e8);
+  net::NetworkModel model(lat, bw);
+  runtime::Runtime rt(model, mapping, 50.0, &profile);
+  rt.run([p](runtime::Comm& comm) {
+    (void)comm.allgather(std::vector<double>(4, 1.0));
+    (void)comm.alltoall(std::vector<double>(static_cast<std::size_t>(4 * p), 1.0), 4);
+    comm.barrier();
+  });
+  const trace::CommMatrix profiled = profile.build_comm_matrix();
+
+  trace::CommMatrix::Builder builder(p);
+  add_allgather_edges(builder, p, 4 * sizeof(double));
+  add_alltoall_edges(builder, p, 4 * sizeof(double));
+  add_barrier_edges(builder, p);
+  const trace::CommMatrix synthetic = builder.build();
+
+  ASSERT_EQ(profiled.nnz(), synthetic.nnz());
+  EXPECT_DOUBLE_EQ(profiled.total_volume(), synthetic.total_volume());
+  EXPECT_DOUBLE_EQ(profiled.total_messages(), synthetic.total_messages());
+}
+
+TEST(SyntheticCollectives, ScatterGatherScanMirrorTheRuntime) {
+  for (const int p : {3, 4, 6, 8}) {
+    trace::ApplicationProfile profile(p);
+    Mapping mapping(static_cast<std::size_t>(p), 0);
+    Matrix lat = Matrix::square(1, 1e-3);
+    Matrix bw = Matrix::square(1, 1e8);
+    net::NetworkModel model(lat, bw);
+    runtime::Runtime rt(model, mapping, 50.0, &profile);
+    rt.run([p](runtime::Comm& comm) {
+      std::vector<double> send;
+      if (comm.rank() == 1)
+        send.assign(static_cast<std::size_t>(3 * p), 1.0);
+      (void)comm.scatter(send, 3, 1);
+      (void)comm.gather(std::vector<double>(3, 2.0), 0);
+      std::vector<double> v(2, 1.0);
+      comm.scan(v, runtime::ReduceOp::kSum);
+      (void)comm.reduce_scatter(
+          std::vector<double>(static_cast<std::size_t>(p), 1.0), 1,
+          runtime::ReduceOp::kSum);
+    });
+    const trace::CommMatrix profiled = profile.build_comm_matrix();
+
+    trace::CommMatrix::Builder builder(p);
+    add_scatter_edges(builder, p, 1, 3 * sizeof(double));
+    add_gather_edges(builder, p, 0, 3 * sizeof(double));
+    add_scan_edges(builder, p, 2 * sizeof(double));
+    add_reduce_scatter_edges(builder, p, sizeof(double));
+    const trace::CommMatrix synthetic = builder.build();
+
+    ASSERT_EQ(profiled.nnz(), synthetic.nnz()) << "p=" << p;
+    EXPECT_DOUBLE_EQ(profiled.total_volume(), synthetic.total_volume())
+        << "p=" << p;
+    EXPECT_DOUBLE_EQ(profiled.total_messages(), synthetic.total_messages())
+        << "p=" << p;
+    const auto pe = profiled.edges();
+    const auto se = synthetic.edges();
+    for (std::size_t i = 0; i < pe.size(); ++i) {
+      EXPECT_EQ(pe[i].src, se[i].src) << "p=" << p;
+      EXPECT_EQ(pe[i].dst, se[i].dst) << "p=" << p;
+      EXPECT_DOUBLE_EQ(pe[i].volume, se[i].volume)
+          << "p=" << p << " " << pe[i].src << "->" << pe[i].dst;
+    }
+  }
+}
+
+TEST(Dnn, ParameterCountMatchesLayers) {
+  const auto& layers = DnnApp::layers();
+  int expected = 0;
+  for (std::size_t i = 0; i + 1 < layers.size(); ++i)
+    expected += layers[i] * layers[i + 1] + layers[i + 1];
+  EXPECT_EQ(DnnApp::num_parameters(), expected);
+}
+
+}  // namespace
+}  // namespace geomap::apps

@@ -1,0 +1,313 @@
+// Tests for the paper's algorithm: k-means grouping, Algorithm 1 fill
+// engines (naive == heap property), order search, Monte Carlo sampling
+// and the end-to-end pipeline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+#include "core/geodist_mapper.h"
+#include "core/grouping.h"
+#include "core/montecarlo.h"
+#include "core/pipeline.h"
+#include "mapping/cost.h"
+#include "mapping/random_mapper.h"
+#include "test_util.h"
+
+namespace geomap::core {
+namespace {
+
+using testutil::random_problem;
+
+TEST(Grouping, SingletonWhenKappaCoversAllSites) {
+  const std::vector<net::GeoCoordinate> coords = {
+      {0, 0}, {10, 10}, {20, 20}};
+  const Grouping g = group_sites(coords, 5);
+  EXPECT_EQ(g.num_groups, 3);
+  for (int s = 0; s < 3; ++s)
+    EXPECT_EQ(g.members[static_cast<std::size_t>(g.group_of_site[static_cast<std::size_t>(s)])][0], s);
+}
+
+TEST(Grouping, MembersPartitionTheSites) {
+  const net::CloudTopology topo(net::aws2016_profile());
+  const Grouping g = group_sites(topo.coordinates(), 4);
+  EXPECT_LE(g.num_groups, 4);
+  std::set<SiteId> seen;
+  for (const auto& members : g.members) {
+    EXPECT_FALSE(members.empty());
+    for (const SiteId s : members) {
+      EXPECT_TRUE(seen.insert(s).second) << "site in two groups";
+      EXPECT_EQ(g.group_of_site[static_cast<std::size_t>(s)],
+                g.group_of_site[static_cast<std::size_t>(members[0])]);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(topo.num_sites()));
+}
+
+TEST(Grouping, ClustersGeographicNeighbours) {
+  // Two US coasts, Europe, Asia: with kappa=2 the two US regions must
+  // land in the same group (they are far closer to each other than to
+  // Singapore or Ireland).
+  const net::CloudTopology topo(net::aws_experiment_profile());
+  const auto coords = topo.coordinates();
+  const Grouping g = group_sites(coords, 2);
+  ASSERT_EQ(g.num_groups, 2);
+  EXPECT_EQ(g.group_of_site[0], g.group_of_site[1]);  // us-east, us-west
+}
+
+TEST(Grouping, DeterministicInSeed) {
+  const net::CloudTopology topo(net::aws2016_profile());
+  const Grouping a = group_sites(topo.coordinates(), 4);
+  const Grouping b = group_sites(topo.coordinates(), 4);
+  EXPECT_EQ(a.group_of_site, b.group_of_site);
+}
+
+TEST(Grouping, RejectsBadInput) {
+  EXPECT_THROW(group_sites({}, 2), Error);
+  EXPECT_THROW(group_sites({{0, 0}}, 0), Error);
+}
+
+// The central implementation property: the heap-accelerated fill engine
+// reproduces the paper's naive O(N^2) loop pick-for-pick.
+class FillEngineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FillEngineEquivalence, HeapMatchesNaiveExactly) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  for (const double ratio : {0.0, 0.3}) {
+    const mapping::MappingProblem p = random_problem(24, ratio, seed, 5);
+    const Grouping g = group_sites(p.site_coords, 2);
+    // Try every order of the groups.
+    std::vector<GroupId> order(static_cast<std::size_t>(g.num_groups));
+    for (int i = 0; i < g.num_groups; ++i) order[static_cast<std::size_t>(i)] = i;
+    do {
+      const Mapping naive = fill_for_order(
+          p, g, order, GeoDistOptions::FillEngine::kNaive);
+      const Mapping heap =
+          fill_for_order(p, g, order, GeoDistOptions::FillEngine::kHeap);
+      EXPECT_EQ(naive, heap);
+    } while (std::next_permutation(order.begin(), order.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FillEngineEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FillEngines, AgreeUnderAllowedSiteSets) {
+  for (const std::uint64_t seed : {4ULL, 9ULL, 14ULL}) {
+    mapping::MappingProblem p = random_problem(20, 0.0, seed, 4);
+    Rng rng(seed * 31);
+    p.allowed_sites.assign(20, {});
+    for (ProcessId i = 0; i < 20; ++i) {
+      if (rng.uniform() < 0.5) continue;
+      std::vector<SiteId> list;
+      for (SiteId s = 0; s < 4; ++s)
+        if (rng.uniform() < 0.6) list.push_back(s);
+      if (list.empty()) list.push_back(static_cast<SiteId>(rng.uniform_index(4)));
+      p.allowed_sites[static_cast<std::size_t>(i)] = std::move(list);
+    }
+    p.validate();
+    const Grouping g = group_sites(p.site_coords, 2);
+    std::vector<GroupId> order(static_cast<std::size_t>(g.num_groups));
+    std::iota(order.begin(), order.end(), 0);
+    do {
+      const Mapping naive =
+          fill_for_order(p, g, order, GeoDistOptions::FillEngine::kNaive);
+      const Mapping heap =
+          fill_for_order(p, g, order, GeoDistOptions::FillEngine::kHeap);
+      EXPECT_EQ(naive, heap) << "seed " << seed;
+      EXPECT_NO_THROW(mapping::validate_mapping(p, naive));
+    } while (std::next_permutation(order.begin(), order.end()));
+  }
+}
+
+TEST(GeoDist, RespectsConstraintsAndCapacities) {
+  const mapping::MappingProblem p = random_problem(32, 0.4, 77);
+  GeoDistMapper mapper;
+  const Mapping m = mapper.map(p);
+  EXPECT_NO_THROW(mapping::validate_mapping(p, m));
+}
+
+TEST(GeoDist, EvaluatesKappaFactorialOrders) {
+  const mapping::MappingProblem p = random_problem(16, 0.0, 5);
+  GeoDistOptions opts;
+  opts.kappa = 3;
+  GeoDistMapper mapper(opts);
+  (void)mapper.map(p);
+  const int kappa = mapper.last_grouping().num_groups;
+  int expected = 1;
+  for (int i = 2; i <= kappa; ++i) expected *= i;
+  EXPECT_EQ(mapper.last_orders_evaluated(), expected);
+}
+
+TEST(GeoDist, SingleOrderWhenSearchDisabled) {
+  const mapping::MappingProblem p = random_problem(16, 0.0, 5);
+  GeoDistOptions opts;
+  opts.search_orders = false;
+  GeoDistMapper mapper(opts);
+  (void)mapper.map(p);
+  EXPECT_EQ(mapper.last_orders_evaluated(), 1);
+}
+
+TEST(GeoDist, OrderSearchNeverHurts) {
+  for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    const mapping::MappingProblem p = random_problem(24, 0.2, seed);
+    GeoDistOptions search;
+    GeoDistOptions no_search;
+    no_search.search_orders = false;
+    GeoDistMapper with(search), without(no_search);
+    const mapping::CostEvaluator eval(p);
+    EXPECT_LE(eval.total_cost(with.map(p)), eval.total_cost(without.map(p)));
+  }
+}
+
+TEST(GeoDist, ParallelOrdersMatchesSerial) {
+  const mapping::MappingProblem p = random_problem(24, 0.2, 55);
+  GeoDistOptions par, ser;
+  par.parallel_orders = true;
+  ser.parallel_orders = false;
+  GeoDistMapper a(par), b(ser);
+  EXPECT_EQ(a.map(p), b.map(p));
+}
+
+TEST(GeoDist, BeatsRandomBaselineOnAverage) {
+  double geo_total = 0, base_total = 0;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    const mapping::MappingProblem p = random_problem(24, 0.2, seed);
+    const mapping::CostEvaluator eval(p);
+    GeoDistMapper geo;
+    mapping::RandomMapper baseline(seed);
+    geo_total += eval.total_cost(geo.map(p));
+    base_total += eval.total_cost(baseline.map(p));
+  }
+  EXPECT_LT(geo_total, base_total * 0.8);
+}
+
+TEST(GeoDist, GroupingSourceSelection) {
+  mapping::MappingProblem p = random_problem(16, 0.0, 5);
+  p.site_coords.clear();
+  GeoDistOptions opts;
+  opts.kappa = 2;  // < M, so grouping is active
+  // Explicit coordinates grouping without coordinates: hard error.
+  opts.grouping_source = GeoDistOptions::GroupingSource::kCoordinates;
+  GeoDistMapper strict(opts);
+  EXPECT_THROW(strict.map(p), Error);
+  // Auto falls back to latency-based k-medoids.
+  opts.grouping_source = GeoDistOptions::GroupingSource::kAuto;
+  GeoDistMapper fallback(opts);
+  EXPECT_NO_THROW(fallback.map(p));
+  EXPECT_EQ(fallback.last_grouping().num_groups, 2);
+  // With kappa >= M no clustering is needed at all.
+  opts.kappa = 4;
+  GeoDistMapper no_cluster(opts);
+  EXPECT_NO_THROW(no_cluster.map(p));
+}
+
+TEST(Grouping, LatencyMedoidsClusterNearbySites) {
+  // On the 4-region cloud, the two US coasts have far lower mutual
+  // latency than either has to Ireland or Singapore.
+  const net::CloudTopology topo(net::aws_experiment_profile());
+  const net::NetworkModel model = net::NetworkModel::from_ground_truth(topo);
+  const Grouping g = group_sites_by_latency(model, 2);
+  ASSERT_EQ(g.num_groups, 2);
+  EXPECT_EQ(g.group_of_site[0], g.group_of_site[1]);  // us-east, us-west
+  // Partition invariants.
+  std::size_t total = 0;
+  for (const auto& members : g.members) total += members.size();
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Grouping, LatencyMedoidsSingletonWhenKappaCoversAll) {
+  const net::CloudTopology topo(net::aws_experiment_profile());
+  const net::NetworkModel model = net::NetworkModel::from_ground_truth(topo);
+  EXPECT_EQ(group_sites_by_latency(model, 9).num_groups, 4);
+}
+
+TEST(GeoDist, GuardsFactorialExplosion) {
+  Rng rng(5);
+  const net::CloudTopology topo(net::synthetic_profile(10, 2, 7));
+  mapping::MappingProblem p;
+  p.comm = testutil::random_comm(20, 3, rng);
+  p.network = net::NetworkModel::from_ground_truth(topo);
+  p.capacities = topo.capacities();
+  p.site_coords = topo.coordinates();
+  GeoDistOptions opts;
+  opts.use_grouping = false;  // 10! orders
+  opts.max_orders = 5040;
+  GeoDistMapper mapper(opts);
+  EXPECT_THROW(mapper.map(p), Error);
+}
+
+TEST(MonteCarlo, DeterministicAndParallelConsistent) {
+  const mapping::MappingProblem p = random_problem(16, 0.2, 9);
+  MonteCarloOptions opts;
+  opts.samples = 4000;
+  opts.parallel = true;
+  const MonteCarloResult a = run_monte_carlo(p, opts);
+  opts.parallel = false;
+  const MonteCarloResult b = run_monte_carlo(p, opts);
+  EXPECT_EQ(a.costs, b.costs);
+  EXPECT_LE(a.best, a.mean);
+  EXPECT_LE(a.mean, a.worst);
+}
+
+TEST(MonteCarlo, FractionBelowAndBestOfK) {
+  const mapping::MappingProblem p = random_problem(16, 0.0, 19);
+  MonteCarloOptions opts;
+  opts.samples = 2000;
+  const MonteCarloResult result = run_monte_carlo(p, opts);
+  EXPECT_DOUBLE_EQ(result.fraction_below(result.best), 0.0);
+  EXPECT_DOUBLE_EQ(result.fraction_below(result.worst * 1.01), 1.0);
+  const auto curve = result.best_of_k({1, 10, 100, 2000});
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_LE(curve[i], curve[i - 1]);
+  EXPECT_DOUBLE_EQ(curve.back(), result.best);
+  EXPECT_THROW(result.best_of_k({0}), Error);
+  EXPECT_THROW(result.best_of_k({99999}), Error);
+}
+
+TEST(MonteCarlo, GeoDistLandsInTheBestTail) {
+  const mapping::MappingProblem p = random_problem(24, 0.2, 4, 5);
+  MonteCarloOptions opts;
+  opts.samples = 5000;
+  const MonteCarloResult mc = run_monte_carlo(p, opts);
+  GeoDistMapper geo;
+  const double geo_cost =
+      mapping::CostEvaluator(p).total_cost(geo.map(p));
+  // The paper reports <1% of random mappings beat the algorithm.
+  EXPECT_LT(mc.fraction_below(geo_cost), 0.05);
+}
+
+TEST(Pipeline, EndToEndProducesValidatedRun) {
+  const net::CloudTopology topo(net::aws_experiment_profile(4));
+  Rng rng(8);
+  trace::CommMatrix comm = testutil::random_comm(16, 4, rng);
+  ConstraintVector constraints = mapping::make_random_constraints(
+      16, topo.capacities(), 0.2, rng);
+
+  Pipeline pipeline;
+  const PipelineResult result = pipeline.execute(topo, std::move(comm),
+                                                 std::move(constraints));
+  EXPECT_EQ(result.run.mapper, "Geo-distributed");
+  EXPECT_GT(result.run.cost, 0.0);
+  // 16 ordered site pairs x 5 default calibration rounds.
+  EXPECT_EQ(result.calibration.measurements, 80);
+  EXPECT_EQ(static_cast<int>(result.run.mapping.size()), 16);
+}
+
+TEST(Pipeline, MakeProblemWiresTopologyFields) {
+  const net::CloudTopology topo(net::aws_experiment_profile(4));
+  Rng rng(8);
+  const mapping::MappingProblem p = make_problem(
+      topo, net::NetworkModel::from_ground_truth(topo),
+      testutil::random_comm(16, 4, rng));
+  EXPECT_EQ(p.num_sites(), 4);
+  EXPECT_EQ(p.capacities, topo.capacities());
+  EXPECT_EQ(p.site_coords.size(), 4u);
+  EXPECT_TRUE(p.constraints.empty());
+}
+
+}  // namespace
+}  // namespace geomap::core

@@ -1,0 +1,102 @@
+// Tests for the LogGP model: parameter semantics, calibration accuracy,
+// the alpha-beta projection, and the calibration-budget accounting that
+// motivates the paper's model choice.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/calibration.h"
+#include "net/cloud.h"
+#include "net/loggp.h"
+
+namespace geomap::net {
+namespace {
+
+LogGPModel tiny_model() {
+  Matrix lat = Matrix::square(2, 1e-3);
+  Matrix ovh = Matrix::square(2, 1e-6);
+  Matrix gap = Matrix::square(2, 5e-6);
+  Matrix gpb = Matrix::square(2, 1e-8);  // 100 MB/s
+  lat(0, 1) = 0.05;
+  gpb(0, 1) = 1e-6;  // 1 MB/s
+  return LogGPModel(std::move(lat), std::move(ovh), std::move(gap),
+                    std::move(gpb));
+}
+
+TEST(LogGP, TransferTimeFollowsTheModel) {
+  const LogGPModel m = tiny_model();
+  // 2o + L + (n-1) G.
+  EXPECT_NEAR(m.transfer_time(0, 1, 1001), 2e-6 + 0.05 + 1000 * 1e-6, 1e-12);
+  EXPECT_NEAR(m.transfer_time(0, 0, 1), 2e-6 + 1e-3, 1e-12);
+}
+
+TEST(LogGP, MessageCostAddsGapBetweenMessages) {
+  const LogGPModel m = tiny_model();
+  // count (2o+L) + (count-1) g + volume G.
+  EXPECT_NEAR(m.message_cost(0, 0, 10, 1e4),
+              10 * (2e-6 + 1e-3) + 9 * 5e-6 + 1e4 * 1e-8, 1e-12);
+  EXPECT_DOUBLE_EQ(m.message_cost(0, 1, 0, 0), 0.0);
+}
+
+TEST(LogGP, AlphaBetaProjection) {
+  const NetworkModel ab = tiny_model().to_alpha_beta();
+  EXPECT_NEAR(ab.latency(0, 1), 0.05 + 2e-6, 1e-12);
+  EXPECT_NEAR(ab.bandwidth(0, 1), 1e6, 1e-3);
+  EXPECT_NEAR(ab.bandwidth(0, 0), 1e8, 1.0);
+}
+
+TEST(LogGP, ValidatesParameters) {
+  Matrix ok = Matrix::square(2, 1e-6);
+  Matrix bad_g = Matrix::square(2, 0.0);  // G must be positive
+  EXPECT_THROW(LogGPModel(ok, ok, ok, bad_g), Error);
+  Matrix mismatched = Matrix::square(3, 1e-6);
+  EXPECT_THROW(LogGPModel(mismatched, ok, ok, ok), Error);
+}
+
+TEST(LogGP, CalibrationRecoversGroundTruthShape) {
+  const CloudTopology topo(aws_experiment_profile(4));
+  LogGPCalibrationOptions opts;
+  opts.rounds = 8;
+  const LogGPCalibrationResult result = calibrate_loggp(topo, opts);
+  ASSERT_EQ(result.model.num_sites(), 4);
+
+  for (SiteId k = 0; k < 4; ++k) {
+    for (SiteId l = 0; l < 4; ++l) {
+      // G tracks 1/bandwidth within the probe noise.
+      const double g_true = 1.0 / topo.true_bandwidth(k, l);
+      EXPECT_NEAR(result.model.gap_per_byte(k, l) / g_true, 1.0, 0.12)
+          << k << "," << l;
+      // Parameters are sane: o <= pingpong/2, g >= 2o.
+      EXPECT_GT(result.model.overhead(k, l), 0.0);
+      EXPECT_GE(result.model.gap(k, l), result.model.overhead(k, l));
+    }
+  }
+  // The projection reproduces the alpha-beta calibrator's view closely.
+  const NetworkModel projected = result.model.to_alpha_beta();
+  const CalibrationResult ab = Calibrator().calibrate(topo);
+  for (SiteId k = 0; k < 4; ++k) {
+    for (SiteId l = 0; l < 4; ++l) {
+      EXPECT_NEAR(projected.bandwidth(k, l) / ab.model.bandwidth(k, l), 1.0,
+                  0.15);
+    }
+  }
+}
+
+TEST(LogGP, CalibrationBudgetIsLarger) {
+  const CloudTopology topo(aws_experiment_profile(2));
+  const CalibrationResult ab = Calibrator().calibrate(topo);
+  const LogGPCalibrationResult lg = calibrate_loggp(topo);
+  // Three probes per pair-round vs one: the paper's "higher calibration
+  // cost" for the more sophisticated model.
+  EXPECT_EQ(lg.measurements, 3 * ab.measurements);
+}
+
+TEST(LogGP, DeterministicInSeed) {
+  const CloudTopology topo(aws_experiment_profile(2));
+  const LogGPCalibrationResult a = calibrate_loggp(topo);
+  const LogGPCalibrationResult b = calibrate_loggp(topo);
+  EXPECT_DOUBLE_EQ(a.model.gap(0, 1), b.model.gap(0, 1));
+}
+
+}  // namespace
+}  // namespace geomap::net

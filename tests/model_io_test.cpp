@@ -1,0 +1,102 @@
+// Tests for the network-spec text format: round-trip fidelity, optional
+// sections, comments, and malformed-input rejection.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/calibration.h"
+#include "net/cloud.h"
+#include "net/model_io.h"
+
+namespace geomap::net {
+namespace {
+
+TEST(ModelIo, FullRoundTrip) {
+  const CloudTopology topo(aws_experiment_profile(4));
+  const CalibrationResult calib = Calibrator().calibrate(topo);
+  const NetworkSpec original = make_spec(topo, calib.model);
+
+  const NetworkSpec back = network_spec_from_text(to_text(original));
+  ASSERT_EQ(back.model.num_sites(), 4);
+  for (SiteId k = 0; k < 4; ++k) {
+    for (SiteId l = 0; l < 4; ++l) {
+      EXPECT_DOUBLE_EQ(back.model.latency(k, l),
+                       original.model.latency(k, l));
+      EXPECT_DOUBLE_EQ(back.model.bandwidth(k, l),
+                       original.model.bandwidth(k, l));
+    }
+  }
+  EXPECT_EQ(back.capacities, original.capacities);
+  ASSERT_EQ(back.coords.size(), original.coords.size());
+  for (std::size_t i = 0; i < back.coords.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.coords[i].latitude_deg,
+                     original.coords[i].latitude_deg);
+    EXPECT_DOUBLE_EQ(back.coords[i].longitude_deg,
+                     original.coords[i].longitude_deg);
+  }
+  EXPECT_EQ(back.site_names, original.site_names);
+  EXPECT_NE(back.site_names[0].find("us-east-1"), std::string::npos);
+}
+
+TEST(ModelIo, OptionalSectionsMayBeOmitted) {
+  Matrix lat = Matrix::square(2, 1e-3);
+  Matrix bw = Matrix::square(2, 1e7);
+  NetworkSpec spec;
+  spec.model = NetworkModel(std::move(lat), std::move(bw));
+  const NetworkSpec back = network_spec_from_text(to_text(spec));
+  EXPECT_EQ(back.model.num_sites(), 2);
+  EXPECT_TRUE(back.capacities.empty());
+  EXPECT_TRUE(back.coords.empty());
+  EXPECT_TRUE(back.site_names.empty());
+}
+
+TEST(ModelIo, CommentsAreSkipped) {
+  const std::string text =
+      "# produced by hand\n"
+      "geomap-network 1\n"
+      "sites 1\n"
+      "# one lonely site\n"
+      "latency-seconds\n0.001\n"
+      "bandwidth-bytes-per-second\n1e8\n";
+  const NetworkSpec spec = network_spec_from_text(text);
+  EXPECT_EQ(spec.model.num_sites(), 1);
+  EXPECT_DOUBLE_EQ(spec.model.bandwidth(0, 0), 1e8);
+}
+
+TEST(ModelIo, RejectsMalformedInput) {
+  EXPECT_THROW(network_spec_from_text("not-a-spec"), InvalidArgument);
+  EXPECT_THROW(network_spec_from_text("geomap-network 2\nsites 1\n"),
+               InvalidArgument);
+  // Missing bandwidth section.
+  EXPECT_THROW(network_spec_from_text(
+                   "geomap-network 1\nsites 1\nlatency-seconds\n0.001\n"),
+               InvalidArgument);
+  // Truncated matrix.
+  EXPECT_THROW(network_spec_from_text("geomap-network 1\nsites 2\n"
+                                      "latency-seconds\n0.001\n"),
+               InvalidArgument);
+  // Unknown section.
+  EXPECT_THROW(
+      network_spec_from_text("geomap-network 1\nsites 1\nlatency-seconds\n"
+                             "0.001\nbandwidth-bytes-per-second\n1e8\n"
+                             "bogus-section\n1\n"),
+      InvalidArgument);
+  // Bandwidth must be positive (NetworkModel validation).
+  EXPECT_THROW(
+      network_spec_from_text("geomap-network 1\nsites 1\nlatency-seconds\n"
+                             "0.001\nbandwidth-bytes-per-second\n0\n"),
+      Error);
+}
+
+TEST(ModelIo, NamesWithSpacesRoundTrip) {
+  Matrix lat = Matrix::square(1, 1e-3);
+  Matrix bw = Matrix::square(1, 1e7);
+  NetworkSpec spec;
+  spec.model = NetworkModel(std::move(lat), std::move(bw));
+  spec.site_names = {"us-east-1 (N. Virginia) \"primary\""};
+  const NetworkSpec back = network_spec_from_text(to_text(spec));
+  EXPECT_EQ(back.site_names, spec.site_names);
+}
+
+}  // namespace
+}  // namespace geomap::net

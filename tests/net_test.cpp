@@ -1,0 +1,199 @@
+// Tests for the network substrate: geography, instance catalogs, cloud
+// ground truth reproducing the paper's Tables 1-3 shapes, and the
+// simulated SKaMPI calibration.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/calibration.h"
+#include "net/cloud.h"
+#include "net/geo.h"
+#include "net/instance.h"
+#include "net/network_model.h"
+
+namespace geomap::net {
+namespace {
+
+SiteId find_site(const CloudTopology& topo, const std::string& prefix) {
+  for (SiteId s = 0; s < topo.num_sites(); ++s) {
+    if (topo.site(s).name.rfind(prefix, 0) == 0) return s;
+  }
+  throw InvalidArgument("no site with prefix " + prefix);
+}
+
+TEST(Geo, HaversineKnownDistances) {
+  const GeoCoordinate nyc{40.7, -74.0};
+  const GeoCoordinate london{51.5, -0.1};
+  EXPECT_NEAR(haversine_km(nyc, london), 5570, 60);
+  EXPECT_DOUBLE_EQ(haversine_km(nyc, nyc), 0.0);
+}
+
+TEST(Geo, HaversineSymmetric) {
+  const GeoCoordinate a{1.35, 103.8};
+  const GeoCoordinate b{38.9, -77.4};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Geo, EuclideanWrapsAntimeridian) {
+  const GeoCoordinate tokyo{35.6, 139.7};
+  const GeoCoordinate oregon{45.9, -119.3};
+  // Through the antimeridian the longitude gap is ~101 degrees, not 259.
+  EXPECT_LT(euclidean_deg_sq(tokyo, oregon), 102.0 * 102.0 + 11.0 * 11.0);
+}
+
+TEST(Instance, CatalogHasPaperTypes) {
+  EXPECT_EQ(ec2_instance_types().size(), 6u);
+  EXPECT_DOUBLE_EQ(ec2_instance("m1.small").intra_bandwidth_mbps, 15.0);
+  EXPECT_DOUBLE_EQ(ec2_instance("c3.8xlarge").intra_bandwidth_mbps, 148.0);
+  EXPECT_THROW(ec2_instance("t2.nano"), InvalidArgument);
+}
+
+TEST(Cloud, Aws2016HasElevenRegions) {
+  const CloudTopology topo(aws2016_profile());
+  EXPECT_EQ(topo.num_sites(), 11);
+  EXPECT_EQ(topo.total_nodes(), 11 * 16);
+}
+
+TEST(Cloud, ExperimentProfileIsTheFourPaperRegions) {
+  const CloudTopology topo(aws_experiment_profile(16));
+  EXPECT_EQ(topo.num_sites(), 4);
+  EXPECT_EQ(topo.instance().name, "m4.xlarge");
+  for (const char* prefix :
+       {"us-east-1", "us-west-1", "eu-west-1", "ap-southeast-1"}) {
+    EXPECT_NO_THROW(find_site(topo, prefix)) << prefix;
+  }
+}
+
+// Paper Observation 1: intra-region bandwidth >> cross-region bandwidth.
+TEST(Cloud, IntraBandwidthDominatesCrossRegion) {
+  const CloudTopology topo(aws2016_profile("c3.8xlarge"));
+  for (SiteId k = 0; k < topo.num_sites(); ++k) {
+    for (SiteId l = 0; l < topo.num_sites(); ++l) {
+      if (k == l) continue;
+      EXPECT_GT(topo.true_bandwidth(k, k), 3.0 * topo.true_bandwidth(k, l))
+          << topo.site(k).name << " -> " << topo.site(l).name;
+    }
+  }
+}
+
+// Paper Observation 2 / Table 2: bandwidth decays and latency grows with
+// geographic distance (US East -> US West vs Ireland vs Singapore).
+TEST(Cloud, Table2ShapeBandwidthDecaysWithDistance) {
+  const CloudTopology topo(aws2016_profile("c3.8xlarge"));
+  const SiteId east = find_site(topo, "us-east-1");
+  const SiteId west = find_site(topo, "us-west-1");
+  const SiteId ireland = find_site(topo, "eu-west-1");
+  const SiteId singapore = find_site(topo, "ap-southeast-1");
+
+  const double bw_west = topo.true_bandwidth(east, west) / 1e6;
+  const double bw_ire = topo.true_bandwidth(east, ireland) / 1e6;
+  const double bw_sgp = topo.true_bandwidth(east, singapore) / 1e6;
+  EXPECT_GT(bw_west, bw_ire);
+  EXPECT_GT(bw_ire, bw_sgp);
+  // Close to the paper's measured 21 / 19 / 6.6 MB/s (power-law fit).
+  EXPECT_NEAR(bw_west, 21.0, 5.0);
+  EXPECT_NEAR(bw_ire, 19.0, 5.0);
+  EXPECT_NEAR(bw_sgp, 6.6, 1.5);
+
+  EXPECT_LT(topo.true_latency(east, west), topo.true_latency(east, ireland));
+  EXPECT_LT(topo.true_latency(east, ireland),
+            topo.true_latency(east, singapore));
+}
+
+// Paper Table 3 shape for Azure Standard D2.
+TEST(Cloud, Table3ShapeAzure) {
+  const CloudTopology topo(azure2016_profile());
+  const SiteId east_us = find_site(topo, "East US");
+  const SiteId west_eu = find_site(topo, "West Europe");
+  const SiteId japan = find_site(topo, "Japan East");
+
+  EXPECT_NEAR(topo.true_bandwidth(east_us, east_us) / 1e6, 62.0, 1.0);
+  EXPECT_NEAR(topo.true_bandwidth(east_us, west_eu) / 1e6, 2.9, 1.0);
+  EXPECT_NEAR(topo.true_bandwidth(east_us, japan) / 1e6, 1.3, 0.6);
+  // Latencies ~0.82 / ~42 / ~77 ms.
+  EXPECT_NEAR(topo.true_latency(east_us, east_us) * 1e3, 0.82, 0.1);
+  EXPECT_NEAR(topo.true_latency(east_us, west_eu) * 1e3, 42.0, 10.0);
+  EXPECT_NEAR(topo.true_latency(east_us, japan) * 1e3, 77.0, 12.0);
+}
+
+TEST(Cloud, GroundTruthIsAsymmetric) {
+  const CloudTopology topo(aws_experiment_profile());
+  bool any_asymmetric = false;
+  for (SiteId k = 0; k < topo.num_sites(); ++k)
+    for (SiteId l = 0; l < topo.num_sites(); ++l)
+      if (k != l && topo.true_bandwidth(k, l) != topo.true_bandwidth(l, k))
+        any_asymmetric = true;
+  EXPECT_TRUE(any_asymmetric);
+}
+
+TEST(Cloud, SyntheticProfileDeterministicInSeed) {
+  const CloudProfile a = synthetic_profile(6, 8, 99);
+  const CloudProfile b = synthetic_profile(6, 8, 99);
+  const CloudProfile c = synthetic_profile(6, 8, 100);
+  ASSERT_EQ(a.sites.size(), 6u);
+  EXPECT_DOUBLE_EQ(a.sites[3].coord.latitude_deg, b.sites[3].coord.latitude_deg);
+  EXPECT_NE(a.sites[3].coord.latitude_deg, c.sites[3].coord.latitude_deg);
+}
+
+TEST(NetworkModel, ValidatesInputs) {
+  Matrix lat = Matrix::square(2, 0.001);
+  Matrix bw = Matrix::square(2, 1e6);
+  EXPECT_NO_THROW(NetworkModel(lat, bw));
+  bw(0, 1) = 0.0;
+  EXPECT_THROW(NetworkModel(lat, bw), Error);
+  Matrix lat3 = Matrix::square(3, 0.001);
+  EXPECT_THROW(NetworkModel(lat3, Matrix::square(2, 1e6)), Error);
+}
+
+TEST(NetworkModel, AlphaBetaTransferTime) {
+  Matrix lat = Matrix::square(2, 0.0);
+  lat(0, 1) = 0.05;
+  Matrix bw = Matrix::square(2, 1e6);
+  bw(0, 1) = 2e6;
+  const NetworkModel model(lat, bw);
+  EXPECT_DOUBLE_EQ(model.transfer_time(0, 1, 4e6), 0.05 + 2.0);
+  EXPECT_DOUBLE_EQ(model.message_cost(0, 1, 10, 4e6), 0.5 + 2.0);
+}
+
+TEST(Calibration, RecoverGroundTruthWithinNoise) {
+  const CloudTopology topo(aws_experiment_profile());
+  CalibrationOptions opts;
+  opts.rounds = 10;
+  opts.samples_per_round = 8;
+  const CalibrationResult result = Calibrator(opts).calibrate(topo);
+  for (SiteId k = 0; k < topo.num_sites(); ++k) {
+    for (SiteId l = 0; l < topo.num_sites(); ++l) {
+      const double true_bw = topo.true_bandwidth(k, l);
+      const double measured_bw = result.model.bandwidth(k, l);
+      EXPECT_NEAR(measured_bw / true_bw, 1.0, 0.05) << k << "," << l;
+      const double true_lat = topo.true_latency(k, l);
+      EXPECT_NEAR(result.model.latency(k, l) / true_lat, 1.0, 0.08)
+          << k << "," << l;
+    }
+  }
+}
+
+TEST(Calibration, DeterministicInSeed) {
+  const CloudTopology topo(aws_experiment_profile());
+  const CalibrationResult a = Calibrator().calibrate(topo);
+  const CalibrationResult b = Calibrator().calibrate(topo);
+  EXPECT_EQ(a.model.bandwidth(0, 1), b.model.bandwidth(0, 1));
+}
+
+// The paper's Section 4.2 overhead claim: site-pair calibration is
+// O(M^2), all-node-pairs is O(N^2) — 4 sites with 128 nodes each need
+// 16 site pairs instead of 130816 node pairs.
+TEST(Calibration, MeasurementBudgetClaim) {
+  EXPECT_EQ(Calibrator::site_pair_measurements(4), 16);
+  EXPECT_EQ(Calibrator::node_pair_measurements(4 * 128), 130816);
+  const CloudTopology topo(aws_experiment_profile());
+  CalibrationOptions opts;
+  opts.rounds = 1;
+  const CalibrationResult result = Calibrator(opts).calibrate(topo);
+  EXPECT_EQ(result.measurements, 16);
+  // Critical path ~ minutes (the paper quotes 12 minutes for 4 sites).
+  EXPECT_LE(result.modeled_overhead_seconds, 15 * 60.0);
+}
+
+}  // namespace
+}  // namespace geomap::net

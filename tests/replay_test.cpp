@@ -1,0 +1,195 @@
+// Tests for operation-level trace capture and the deterministic replay
+// engine: hand-built traces with known timings, capture-vs-runtime
+// agreement, mapping re-evaluation, and malformed-trace detection.
+
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "common/error.h"
+#include "net/cloud.h"
+#include "net/network_model.h"
+#include "runtime/comm.h"
+#include "sim/replay.h"
+#include "trace/optrace.h"
+
+namespace geomap::sim {
+namespace {
+
+net::NetworkModel simple_model() {
+  Matrix lat = Matrix::square(2, 1e-3);
+  lat(0, 1) = lat(1, 0) = 0.1;
+  Matrix bw = Matrix::square(2, 100e6);
+  bw(0, 1) = bw(1, 0) = 1e6;
+  return net::NetworkModel(std::move(lat), std::move(bw));
+}
+
+TEST(Replay, HandBuiltPingMatchesAlphaBeta) {
+  trace::OpTraceLog ops(2);
+  ops.rank(0).push_back(trace::Op::send(1, 7, 8000));
+  ops.rank(0).push_back(trace::Op::wait(0));
+  ops.rank(1).push_back(trace::Op::recv(0, 7));
+
+  const ReplayResult r = replay_ops(ops, simple_model(), {0, 1});
+  EXPECT_NEAR(r.makespan, 0.1 + 8000 / 1e6, 1e-12);
+  EXPECT_NEAR(r.finish_times[0], r.finish_times[1], 1e-12);  // rendezvous
+}
+
+TEST(Replay, ComputeDelaysTheSender) {
+  trace::OpTraceLog ops(2);
+  ops.rank(0).push_back(trace::Op::compute(2.0));
+  ops.rank(0).push_back(trace::Op::send(1, 1, 1000));
+  ops.rank(0).push_back(trace::Op::wait(0));
+  ops.rank(1).push_back(trace::Op::recv(0, 1));
+
+  const ReplayResult r = replay_ops(ops, simple_model(), {0, 0});
+  EXPECT_NEAR(r.makespan, 2.0 + 1e-3 + 1000 / 100e6, 1e-12);
+}
+
+TEST(Replay, RecvBeforeSendInProgramOrderStillMatches) {
+  // Rank 1's recv appears "first" in round-robin order; it must block
+  // until rank 0 posts, then complete correctly.
+  trace::OpTraceLog ops(2);
+  ops.rank(0).push_back(trace::Op::compute(1.0));
+  ops.rank(0).push_back(trace::Op::send(1, 3, 800));
+  ops.rank(0).push_back(trace::Op::wait(0));
+  ops.rank(1).push_back(trace::Op::recv(0, 3));
+  const ReplayResult r = replay_ops(ops, simple_model(), {0, 1});
+  EXPECT_NEAR(r.makespan, 1.0 + 0.1 + 800 / 1e6, 1e-12);
+}
+
+TEST(Replay, FifoMatchingPerTagAndPeer) {
+  // Two sends same (src, dst, tag): first posted must match first recv.
+  trace::OpTraceLog ops(2);
+  ops.rank(0).push_back(trace::Op::send(1, 5, 1e6));  // 1 MB
+  ops.rank(0).push_back(trace::Op::send(1, 5, 8));    // tiny
+  ops.rank(0).push_back(trace::Op::wait(0));
+  ops.rank(0).push_back(trace::Op::wait(1));
+  ops.rank(1).push_back(trace::Op::recv(0, 5));
+  ops.rank(1).push_back(trace::Op::recv(0, 5));
+  const ReplayResult r = replay_ops(ops, simple_model(), {0, 1});
+  // First recv pays the 1 MB transfer, second the tiny one after it.
+  EXPECT_NEAR(r.makespan, (0.1 + 1.0) + (0.1 + 8 / 1e6), 1e-9);
+}
+
+TEST(Replay, InterSiteLinkSerializesConcurrentFlows) {
+  // Ranks 0,1 on site 0 send 1 MB each to ranks 2,3 on site 1
+  // concurrently: the shared WAN link serializes them.
+  trace::OpTraceLog ops(4);
+  ops.rank(0).push_back(trace::Op::send(2, 1, 1e6));
+  ops.rank(0).push_back(trace::Op::wait(0));
+  ops.rank(1).push_back(trace::Op::send(3, 1, 1e6));
+  ops.rank(1).push_back(trace::Op::wait(0));
+  ops.rank(2).push_back(trace::Op::recv(0, 1));
+  ops.rank(3).push_back(trace::Op::recv(1, 1));
+
+  const ReplayResult contended = replay_ops(ops, simple_model(), {0, 0, 1, 1});
+  EXPECT_NEAR(contended.makespan, 2 * (0.1 + 1.0), 1e-9);
+  // Intra-site placement removes the queueing entirely.
+  const ReplayResult local = replay_ops(ops, simple_model(), {0, 0, 0, 0});
+  EXPECT_NEAR(local.makespan, 1e-3 + 1e6 / 100e6, 1e-9);
+}
+
+TEST(Replay, DetectsDeadlockAndUnmatchedSends) {
+  {
+    trace::OpTraceLog ops(2);  // recv with no send anywhere
+    ops.rank(0).push_back(trace::Op::recv(1, 1));
+    EXPECT_THROW(replay_ops(ops, simple_model(), {0, 1}), Error);
+  }
+  {
+    trace::OpTraceLog ops(2);  // send never received
+    ops.rank(0).push_back(trace::Op::send(1, 1, 8));
+    EXPECT_THROW(replay_ops(ops, simple_model(), {0, 1}), Error);
+  }
+}
+
+TEST(Replay, DeterministicAcrossInvocations) {
+  const net::CloudTopology topo(net::aws_experiment_profile(4));
+  const net::NetworkModel model = net::NetworkModel::from_ground_truth(topo);
+  const apps::App& lu = apps::app_by_name("LU");
+  apps::AppConfig cfg = lu.default_config(16);
+  cfg.iterations = 3;
+
+  trace::OpTraceLog ops(16);
+  Mapping capture_map(16, 0);
+  runtime::Runtime rt(model, capture_map, 45.0);
+  rt.capture_ops(&ops);
+  rt.run([&](runtime::Comm& c) { (void)lu.run(c, cfg); });
+  EXPECT_GT(ops.total_ops(), 100u);
+
+  Mapping scattered(16);
+  for (int r = 0; r < 16; ++r) scattered[static_cast<std::size_t>(r)] = r % 4;
+  const ReplayResult a = replay_ops(ops, model, scattered);
+  const ReplayResult b = replay_ops(ops, model, scattered);
+  EXPECT_EQ(a.finish_times, b.finish_times);
+}
+
+TEST(Replay, MatchesRuntimeExactlyWithoutContention) {
+  // Single-site mapping: no WAN queueing in either engine, so the replay
+  // must reproduce the threaded runtime's virtual times exactly.
+  const net::CloudTopology topo(net::aws_experiment_profile(16));
+  const net::NetworkModel model = net::NetworkModel::from_ground_truth(topo);
+  for (const char* name : {"LU", "BT", "DNN"}) {
+    const apps::App& app = apps::app_by_name(name);
+    apps::AppConfig cfg = app.default_config(8);
+    cfg.iterations = 2;
+    cfg.payload_scale = 0.05;
+
+    Mapping single_site(8, 0);
+    trace::OpTraceLog ops(8);
+    runtime::Runtime rt(model, single_site, 45.0);
+    rt.capture_ops(&ops);
+    const runtime::RunResult executed =
+        rt.run([&](runtime::Comm& c) { (void)app.run(c, cfg); });
+
+    const ReplayResult replayed = replay_ops(ops, model, single_site);
+    EXPECT_NEAR(replayed.makespan, executed.makespan,
+                executed.makespan * 1e-12)
+        << name;
+    for (int r = 0; r < 8; ++r) {
+      EXPECT_NEAR(replayed.finish_times[static_cast<std::size_t>(r)],
+                  executed.ranks[static_cast<std::size_t>(r)].finish_time,
+                  1e-12)
+          << name << " rank " << r;
+    }
+  }
+}
+
+TEST(Replay, TracksRuntimeUnderContention) {
+  // Cross-site mappings queue on WAN links; allocation order may differ
+  // between the engines, but the makespans must agree closely and order
+  // mappings identically.
+  const net::CloudTopology topo(net::aws_experiment_profile(4));
+  const net::NetworkModel model = net::NetworkModel::from_ground_truth(topo);
+  const apps::App& lu = apps::app_by_name("LU");
+  apps::AppConfig cfg = lu.default_config(16);
+  cfg.iterations = 4;
+
+  trace::OpTraceLog ops(16);
+  {
+    Mapping capture_map(16, 0);
+    runtime::Runtime rt(model, capture_map, 45.0);
+    rt.capture_ops(&ops);
+    rt.run([&](runtime::Comm& c) { (void)lu.run(c, cfg); });
+  }
+
+  Mapping block(16), cyclic(16);
+  for (int r = 0; r < 16; ++r) {
+    block[static_cast<std::size_t>(r)] = r / 4;
+    cyclic[static_cast<std::size_t>(r)] = r % 4;
+  }
+  auto runtime_makespan = [&](const Mapping& m) {
+    runtime::Runtime rt(model, m, 45.0);
+    return rt.run([&](runtime::Comm& c) { (void)lu.run(c, cfg); }).makespan;
+  };
+  const double rt_block = runtime_makespan(block);
+  const double rt_cyclic = runtime_makespan(cyclic);
+  const double rp_block = replay_ops(ops, model, block).makespan;
+  const double rp_cyclic = replay_ops(ops, model, cyclic).makespan;
+
+  EXPECT_NEAR(rp_block / rt_block, 1.0, 0.1);
+  EXPECT_NEAR(rp_cyclic / rt_cyclic, 1.0, 0.1);
+  EXPECT_EQ(rp_block < rp_cyclic, rt_block < rt_cyclic);
+}
+
+}  // namespace
+}  // namespace geomap::sim

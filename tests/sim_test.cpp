@@ -1,0 +1,103 @@
+// Tests for the simulator: analytic alpha-beta cost agreement with the
+// CostEvaluator, contention replay invariants, and the perf model.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mapping/cost.h"
+#include "mapping/random_mapper.h"
+#include "sim/netsim.h"
+#include "sim/perf_model.h"
+#include "test_util.h"
+
+namespace geomap::sim {
+namespace {
+
+using testutil::random_problem;
+
+TEST(NetSim, AlphaBetaCostEqualsCostEvaluator) {
+  const mapping::MappingProblem p = random_problem(20, 0.2, 3);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Mapping m = mapping::RandomMapper::draw(p, rng);
+    EXPECT_DOUBLE_EQ(alpha_beta_cost(p.comm, p.network, m),
+                     mapping::CostEvaluator(p).total_cost(m));
+  }
+}
+
+TEST(NetSim, ReplayTotalTransferEqualsAnalyticCost) {
+  const mapping::MappingProblem p = random_problem(20, 0.2, 7);
+  Rng rng(9);
+  const Mapping m = mapping::RandomMapper::draw(p, rng);
+  const ContentionResult r = replay_with_contention(p.comm, p.network, m);
+  EXPECT_NEAR(r.total_transfer_seconds, alpha_beta_cost(p.comm, p.network, m),
+              1e-9);
+}
+
+TEST(NetSim, ReplayMakespanBounds) {
+  const mapping::MappingProblem p = random_problem(24, 0.0, 11);
+  Rng rng(13);
+  const Mapping m = mapping::RandomMapper::draw(p, rng);
+  const ContentionResult r = replay_with_contention(p.comm, p.network, m);
+  // Makespan at least the busiest link's serialized work, at most the
+  // total serialized work.
+  EXPECT_GE(r.makespan, r.busiest_link_seconds * (1 - 1e-12));
+  EXPECT_LE(r.makespan, r.total_transfer_seconds * (1 + 1e-12));
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(NetSim, ContentionSerializesSharedLink) {
+  // Two processes on site 0 each send 1 MB to two processes on site 1:
+  // both flows share link (0,1) and must serialize; with the flows on
+  // disjoint site pairs they run concurrently.
+  trace::CommMatrix::Builder b(4);
+  b.add_message(0, 1, 1e6, 1);
+  b.add_message(2, 3, 1e6, 1);
+  const trace::CommMatrix comm = b.build();
+
+  Matrix lat = Matrix::square(3, 0.0);
+  Matrix bw = Matrix::square(3, 1e6);
+  const net::NetworkModel model(lat, bw);
+
+  const ContentionResult shared =
+      replay_with_contention(comm, model, {0, 1, 0, 1});
+  const ContentionResult disjoint =
+      replay_with_contention(comm, model, {0, 1, 2, 1});
+  EXPECT_NEAR(shared.makespan, 2.0, 1e-9);    // serialized
+  EXPECT_NEAR(disjoint.makespan, 1.0, 1e-9);  // parallel links
+}
+
+TEST(NetSim, IntraSiteTrafficNeverQueues) {
+  trace::CommMatrix::Builder b(4);
+  b.add_message(0, 1, 1e6, 1);
+  b.add_message(2, 3, 1e6, 1);
+  const trace::CommMatrix comm = b.build();
+  Matrix lat = Matrix::square(1, 0.0);
+  Matrix bw = Matrix::square(1, 1e6);
+  const net::NetworkModel model(lat, bw);
+  const ContentionResult r =
+      replay_with_contention(comm, model, {0, 0, 0, 0});
+  EXPECT_NEAR(r.makespan, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.busiest_link_seconds, 0.0);
+}
+
+TEST(NetSim, ImprovementPercent) {
+  const mapping::MappingProblem p = random_problem(16, 0.0, 21);
+  Rng rng(23);
+  const Mapping base = mapping::RandomMapper::draw(p, rng);
+  EXPECT_DOUBLE_EQ(comm_improvement_percent(p.comm, p.network, base, base),
+                   0.0);
+}
+
+TEST(PerfModel, TotalImprovementDilutedByComputeShare) {
+  // 10 s comm + 30 s compute; halving comm saves 5/40 = 12.5% total.
+  const PerfBreakdown base{10.0, 30.0, 0.0};
+  EXPECT_DOUBLE_EQ(total_improvement_percent(base, 5.0), 12.5);
+  // Pure communication job: the full 50%.
+  const PerfBreakdown pure{10.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(total_improvement_percent(pure, 5.0), 50.0);
+  EXPECT_THROW(total_improvement_percent(PerfBreakdown{}, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace geomap::sim

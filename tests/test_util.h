@@ -1,0 +1,70 @@
+#pragma once
+// Shared fixtures for the geomap test suite: deterministic random
+// problems over the AWS experiment cloud and synthetic worlds.
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "mapping/problem.h"
+#include "net/calibration.h"
+#include "net/cloud.h"
+
+namespace geomap::testutil {
+
+/// Random communication matrix: `n` processes, ~`degree` undirected
+/// neighbours each, volumes in [1 KB, 1 MB], counts in [1, 50].
+inline trace::CommMatrix random_comm(int n, int degree, Rng& rng) {
+  trace::CommMatrix::Builder b(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    for (int d = 0; d < degree; ++d) {
+      const auto j = static_cast<ProcessId>(rng.uniform_index(n));
+      if (j == i) continue;
+      b.add_message(i, j, rng.uniform(1024, 1 << 20),
+                    static_cast<double>(rng.uniform_int(1, 50)));
+    }
+  }
+  // Guarantee at least one edge so cost is never trivially zero.
+  b.add_message(0, n > 1 ? 1 : 0, 4096, 2);
+  return b.build();
+}
+
+/// A full random problem over the 4-region AWS cloud with `n` processes,
+/// optional constraint ratio. Capacities sized to fit exactly unless
+/// `slack` extra nodes per site are requested.
+inline mapping::MappingProblem random_problem(int n, double constraint_ratio,
+                                              std::uint64_t seed,
+                                              int degree = 4, int slack = 0) {
+  Rng rng(seed);
+  const int nodes_per_site = (n + 3) / 4 + slack;
+  const net::CloudTopology topo(net::aws_experiment_profile(nodes_per_site));
+  const net::NetworkModel model = net::NetworkModel::from_ground_truth(topo);
+
+  mapping::MappingProblem p;
+  p.comm = random_comm(n, degree, rng);
+  p.network = model;
+  p.capacities = topo.capacities();
+  p.site_coords = topo.coordinates();
+  if (constraint_ratio > 0) {
+    p.constraints =
+        mapping::make_random_constraints(n, p.capacities, constraint_ratio, rng);
+  }
+  p.validate();
+  return p;
+}
+
+/// A tiny problem (for exhaustive search) over a 3-site synthetic world.
+inline mapping::MappingProblem tiny_problem(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  const net::CloudTopology topo(
+      net::synthetic_profile(3, (n + 2) / 3 + 1, seed));
+  mapping::MappingProblem p;
+  p.comm = random_comm(n, 3, rng);
+  p.network = net::NetworkModel::from_ground_truth(topo);
+  p.capacities = topo.capacities();
+  p.site_coords = topo.coordinates();
+  p.validate();
+  return p;
+}
+
+}  // namespace geomap::testutil
