@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_grouping.cpp" "bench/CMakeFiles/bench_ablation_grouping.dir/bench_ablation_grouping.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_grouping.dir/bench_ablation_grouping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geomap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/geomap_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/geomap_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/geomap_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/geomap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geomap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geomap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geomap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_mappers.dir/bench_extended_mappers.cpp.o"
+  "CMakeFiles/bench_extended_mappers.dir/bench_extended_mappers.cpp.o.d"
+  "bench_extended_mappers"
+  "bench_extended_mappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_mappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bestofk.dir/bench_fig10_bestofk.cpp.o"
+  "CMakeFiles/bench_fig10_bestofk.dir/bench_fig10_bestofk.cpp.o.d"
+  "bench_fig10_bestofk"
+  "bench_fig10_bestofk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bestofk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sim_improvement.dir/bench_fig6_sim_improvement.cpp.o"
+  "CMakeFiles/bench_fig6_sim_improvement.dir/bench_fig6_sim_improvement.cpp.o.d"
+  "bench_fig6_sim_improvement"
+  "bench_fig6_sim_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sim_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

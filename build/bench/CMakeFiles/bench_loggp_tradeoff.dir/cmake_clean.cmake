@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loggp_tradeoff.dir/bench_loggp_tradeoff.cpp.o"
+  "CMakeFiles/bench_loggp_tradeoff.dir/bench_loggp_tradeoff.cpp.o.d"
+  "bench_loggp_tradeoff"
+  "bench_loggp_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loggp_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replay_eval.dir/bench_replay_eval.cpp.o"
+  "CMakeFiles/bench_replay_eval.dir/bench_replay_eval.cpp.o.d"
+  "bench_replay_eval"
+  "bench_replay_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replay_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_instance_bw.dir/bench_table1_instance_bw.cpp.o"
+  "CMakeFiles/bench_table1_instance_bw.dir/bench_table1_instance_bw.cpp.o.d"
+  "bench_table1_instance_bw"
+  "bench_table1_instance_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_instance_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

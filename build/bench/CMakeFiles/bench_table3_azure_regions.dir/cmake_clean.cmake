@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_azure_regions.dir/bench_table3_azure_regions.cpp.o"
+  "CMakeFiles/bench_table3_azure_regions.dir/bench_table3_azure_regions.cpp.o.d"
+  "bench_table3_azure_regions"
+  "bench_table3_azure_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_azure_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

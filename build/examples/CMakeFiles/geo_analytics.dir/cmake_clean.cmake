@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_analytics.dir/geo_analytics.cpp.o"
+  "CMakeFiles/geo_analytics.dir/geo_analytics.cpp.o.d"
+  "geo_analytics"
+  "geo_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

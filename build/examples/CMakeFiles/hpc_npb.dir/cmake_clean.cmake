@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_npb.dir/hpc_npb.cpp.o"
+  "CMakeFiles/hpc_npb.dir/hpc_npb.cpp.o.d"
+  "hpc_npb"
+  "hpc_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_tool.dir/mapping_tool.cpp.o"
+  "CMakeFiles/mapping_tool.dir/mapping_tool.cpp.o.d"
+  "mapping_tool"
+  "mapping_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

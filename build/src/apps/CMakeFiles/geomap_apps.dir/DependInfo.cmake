@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cpp" "src/apps/CMakeFiles/geomap_apps.dir/app.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/app.cpp.o.d"
+  "/root/repo/src/apps/bt.cpp" "src/apps/CMakeFiles/geomap_apps.dir/bt.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/bt.cpp.o.d"
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/geomap_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/dnn.cpp" "src/apps/CMakeFiles/geomap_apps.dir/dnn.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/dnn.cpp.o.d"
+  "/root/repo/src/apps/ft.cpp" "src/apps/CMakeFiles/geomap_apps.dir/ft.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/ft.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/geomap_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/geomap_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/mg.cpp" "src/apps/CMakeFiles/geomap_apps.dir/mg.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/mg.cpp.o.d"
+  "/root/repo/src/apps/solvers.cpp" "src/apps/CMakeFiles/geomap_apps.dir/solvers.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/solvers.cpp.o.d"
+  "/root/repo/src/apps/sp.cpp" "src/apps/CMakeFiles/geomap_apps.dir/sp.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/sp.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/apps/CMakeFiles/geomap_apps.dir/synthetic.cpp.o" "gcc" "src/apps/CMakeFiles/geomap_apps.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/geomap_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geomap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geomap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geomap_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geomap_apps.dir/app.cpp.o"
+  "CMakeFiles/geomap_apps.dir/app.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/bt.cpp.o"
+  "CMakeFiles/geomap_apps.dir/bt.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/cg.cpp.o"
+  "CMakeFiles/geomap_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/dnn.cpp.o"
+  "CMakeFiles/geomap_apps.dir/dnn.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/ft.cpp.o"
+  "CMakeFiles/geomap_apps.dir/ft.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/geomap_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/lu.cpp.o"
+  "CMakeFiles/geomap_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/mg.cpp.o"
+  "CMakeFiles/geomap_apps.dir/mg.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/solvers.cpp.o"
+  "CMakeFiles/geomap_apps.dir/solvers.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/sp.cpp.o"
+  "CMakeFiles/geomap_apps.dir/sp.cpp.o.d"
+  "CMakeFiles/geomap_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/geomap_apps.dir/synthetic.cpp.o.d"
+  "libgeomap_apps.a"
+  "libgeomap_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geomap_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

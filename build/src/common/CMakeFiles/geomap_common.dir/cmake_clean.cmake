@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geomap_common.dir/cli.cpp.o"
+  "CMakeFiles/geomap_common.dir/cli.cpp.o.d"
+  "CMakeFiles/geomap_common.dir/parallel.cpp.o"
+  "CMakeFiles/geomap_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/geomap_common.dir/rng.cpp.o"
+  "CMakeFiles/geomap_common.dir/rng.cpp.o.d"
+  "CMakeFiles/geomap_common.dir/stats.cpp.o"
+  "CMakeFiles/geomap_common.dir/stats.cpp.o.d"
+  "CMakeFiles/geomap_common.dir/table.cpp.o"
+  "CMakeFiles/geomap_common.dir/table.cpp.o.d"
+  "libgeomap_common.a"
+  "libgeomap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geomap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/geodist_mapper.cpp" "src/core/CMakeFiles/geomap_core.dir/geodist_mapper.cpp.o" "gcc" "src/core/CMakeFiles/geomap_core.dir/geodist_mapper.cpp.o.d"
+  "/root/repo/src/core/grouping.cpp" "src/core/CMakeFiles/geomap_core.dir/grouping.cpp.o" "gcc" "src/core/CMakeFiles/geomap_core.dir/grouping.cpp.o.d"
+  "/root/repo/src/core/montecarlo.cpp" "src/core/CMakeFiles/geomap_core.dir/montecarlo.cpp.o" "gcc" "src/core/CMakeFiles/geomap_core.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/geomap_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/geomap_core.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/geomap_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geomap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geomap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geomap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

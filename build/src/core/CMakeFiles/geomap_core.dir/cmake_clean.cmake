@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geomap_core.dir/geodist_mapper.cpp.o"
+  "CMakeFiles/geomap_core.dir/geodist_mapper.cpp.o.d"
+  "CMakeFiles/geomap_core.dir/grouping.cpp.o"
+  "CMakeFiles/geomap_core.dir/grouping.cpp.o.d"
+  "CMakeFiles/geomap_core.dir/montecarlo.cpp.o"
+  "CMakeFiles/geomap_core.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/geomap_core.dir/pipeline.cpp.o"
+  "CMakeFiles/geomap_core.dir/pipeline.cpp.o.d"
+  "libgeomap_core.a"
+  "libgeomap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geomap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

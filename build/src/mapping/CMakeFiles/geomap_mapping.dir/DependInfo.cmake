@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/allowed_sites.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/allowed_sites.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/allowed_sites.cpp.o.d"
+  "/root/repo/src/mapping/annealing_mapper.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/annealing_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/annealing_mapper.cpp.o.d"
+  "/root/repo/src/mapping/cost.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/cost.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/cost.cpp.o.d"
+  "/root/repo/src/mapping/exhaustive_mapper.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/exhaustive_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/exhaustive_mapper.cpp.o.d"
+  "/root/repo/src/mapping/greedy_mapper.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/greedy_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/greedy_mapper.cpp.o.d"
+  "/root/repo/src/mapping/mapper.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/mapper.cpp.o.d"
+  "/root/repo/src/mapping/metrics.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/metrics.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/metrics.cpp.o.d"
+  "/root/repo/src/mapping/mpipp_mapper.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/mpipp_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/mpipp_mapper.cpp.o.d"
+  "/root/repo/src/mapping/problem.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/problem.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/problem.cpp.o.d"
+  "/root/repo/src/mapping/random_mapper.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/random_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/random_mapper.cpp.o.d"
+  "/root/repo/src/mapping/round_robin_mapper.cpp" "src/mapping/CMakeFiles/geomap_mapping.dir/round_robin_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/geomap_mapping.dir/round_robin_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/geomap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geomap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geomap_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geomap_mapping.dir/allowed_sites.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/allowed_sites.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/annealing_mapper.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/annealing_mapper.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/cost.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/cost.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/exhaustive_mapper.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/exhaustive_mapper.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/greedy_mapper.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/greedy_mapper.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/mapper.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/mapper.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/metrics.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/metrics.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/mpipp_mapper.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/mpipp_mapper.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/problem.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/problem.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/random_mapper.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/random_mapper.cpp.o.d"
+  "CMakeFiles/geomap_mapping.dir/round_robin_mapper.cpp.o"
+  "CMakeFiles/geomap_mapping.dir/round_robin_mapper.cpp.o.d"
+  "libgeomap_mapping.a"
+  "libgeomap_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geomap_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

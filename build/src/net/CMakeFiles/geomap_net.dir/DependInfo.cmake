@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/calibration.cpp" "src/net/CMakeFiles/geomap_net.dir/calibration.cpp.o" "gcc" "src/net/CMakeFiles/geomap_net.dir/calibration.cpp.o.d"
+  "/root/repo/src/net/cloud.cpp" "src/net/CMakeFiles/geomap_net.dir/cloud.cpp.o" "gcc" "src/net/CMakeFiles/geomap_net.dir/cloud.cpp.o.d"
+  "/root/repo/src/net/geo.cpp" "src/net/CMakeFiles/geomap_net.dir/geo.cpp.o" "gcc" "src/net/CMakeFiles/geomap_net.dir/geo.cpp.o.d"
+  "/root/repo/src/net/instance.cpp" "src/net/CMakeFiles/geomap_net.dir/instance.cpp.o" "gcc" "src/net/CMakeFiles/geomap_net.dir/instance.cpp.o.d"
+  "/root/repo/src/net/loggp.cpp" "src/net/CMakeFiles/geomap_net.dir/loggp.cpp.o" "gcc" "src/net/CMakeFiles/geomap_net.dir/loggp.cpp.o.d"
+  "/root/repo/src/net/model_io.cpp" "src/net/CMakeFiles/geomap_net.dir/model_io.cpp.o" "gcc" "src/net/CMakeFiles/geomap_net.dir/model_io.cpp.o.d"
+  "/root/repo/src/net/network_model.cpp" "src/net/CMakeFiles/geomap_net.dir/network_model.cpp.o" "gcc" "src/net/CMakeFiles/geomap_net.dir/network_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/geomap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geomap_net.dir/calibration.cpp.o"
+  "CMakeFiles/geomap_net.dir/calibration.cpp.o.d"
+  "CMakeFiles/geomap_net.dir/cloud.cpp.o"
+  "CMakeFiles/geomap_net.dir/cloud.cpp.o.d"
+  "CMakeFiles/geomap_net.dir/geo.cpp.o"
+  "CMakeFiles/geomap_net.dir/geo.cpp.o.d"
+  "CMakeFiles/geomap_net.dir/instance.cpp.o"
+  "CMakeFiles/geomap_net.dir/instance.cpp.o.d"
+  "CMakeFiles/geomap_net.dir/loggp.cpp.o"
+  "CMakeFiles/geomap_net.dir/loggp.cpp.o.d"
+  "CMakeFiles/geomap_net.dir/model_io.cpp.o"
+  "CMakeFiles/geomap_net.dir/model_io.cpp.o.d"
+  "CMakeFiles/geomap_net.dir/network_model.cpp.o"
+  "CMakeFiles/geomap_net.dir/network_model.cpp.o.d"
+  "libgeomap_net.a"
+  "libgeomap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geomap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geomap_runtime.dir/comm.cpp.o"
+  "CMakeFiles/geomap_runtime.dir/comm.cpp.o.d"
+  "libgeomap_runtime.a"
+  "libgeomap_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geomap_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

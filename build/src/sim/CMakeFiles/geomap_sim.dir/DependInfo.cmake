@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/netsim.cpp" "src/sim/CMakeFiles/geomap_sim.dir/netsim.cpp.o" "gcc" "src/sim/CMakeFiles/geomap_sim.dir/netsim.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/geomap_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/geomap_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/sim/CMakeFiles/geomap_sim.dir/replay.cpp.o" "gcc" "src/sim/CMakeFiles/geomap_sim.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/geomap_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geomap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geomap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geomap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

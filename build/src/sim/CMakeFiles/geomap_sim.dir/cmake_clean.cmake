@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geomap_sim.dir/netsim.cpp.o"
+  "CMakeFiles/geomap_sim.dir/netsim.cpp.o.d"
+  "CMakeFiles/geomap_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/geomap_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/geomap_sim.dir/replay.cpp.o"
+  "CMakeFiles/geomap_sim.dir/replay.cpp.o.d"
+  "libgeomap_sim.a"
+  "libgeomap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geomap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geomap_trace.dir/comm_matrix.cpp.o"
+  "CMakeFiles/geomap_trace.dir/comm_matrix.cpp.o.d"
+  "CMakeFiles/geomap_trace.dir/profile.cpp.o"
+  "CMakeFiles/geomap_trace.dir/profile.cpp.o.d"
+  "CMakeFiles/geomap_trace.dir/recorder.cpp.o"
+  "CMakeFiles/geomap_trace.dir/recorder.cpp.o.d"
+  "libgeomap_trace.a"
+  "libgeomap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geomap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

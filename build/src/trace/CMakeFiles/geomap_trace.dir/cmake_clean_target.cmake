@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeomap_trace.a"
+)

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/geomap_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/geomap_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/geomap_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/geomap_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/extra_apps_test.cpp" "tests/CMakeFiles/geomap_tests.dir/extra_apps_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/extra_apps_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/geomap_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/loggp_test.cpp" "tests/CMakeFiles/geomap_tests.dir/loggp_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/loggp_test.cpp.o.d"
+  "/root/repo/tests/mapping_test.cpp" "tests/CMakeFiles/geomap_tests.dir/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/mapping_test.cpp.o.d"
+  "/root/repo/tests/matrix_test.cpp" "tests/CMakeFiles/geomap_tests.dir/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/matrix_test.cpp.o.d"
+  "/root/repo/tests/model_io_test.cpp" "tests/CMakeFiles/geomap_tests.dir/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/model_io_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/geomap_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/replay_test.cpp" "tests/CMakeFiles/geomap_tests.dir/replay_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/replay_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/geomap_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/geomap_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/geomap_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/geomap_tests.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geomap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/geomap_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/geomap_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/geomap_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/geomap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geomap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/geomap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geomap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
