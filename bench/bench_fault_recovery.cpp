@@ -1,0 +1,121 @@
+// Fault-recovery sweep: how expensive is losing a site, and how much of
+// that cost does remapping claw back?
+//
+// For each app the geo-distributed mapping is computed on the healthy
+// 4-region EC2 deployment, then a fault scenario is injected: the
+// busiest site browns out (its links degrade by --factor at t=0 and by
+// --factor again at t=60) and finally fails at the swept outage time.
+// remap_on_outage() rebuilds the instance and reruns the mapper over the
+// survivors. The deployment is provisioned with ceil(ranks/3) nodes per
+// site so that any single-site outage leaves enough capacity.
+//
+// Output is a JSON array (stdout), one object per (app, factor,
+// outage-time) cell with the pre-fault / degraded / post-remap
+// alpha-beta costs and the one-time migration bill.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "core/remap.h"
+#include "fault/fault_plan.h"
+
+using namespace geomap;
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(9) << v;
+  return os.str();
+}
+
+/// Site hosting the most processes — losing it is the worst case.
+SiteId busiest_site(const Mapping& mapping, int num_sites) {
+  std::vector<int> load(static_cast<std::size_t>(num_sites), 0);
+  for (const SiteId s : mapping) load[static_cast<std::size_t>(s)] += 1;
+  SiteId best = 0;
+  for (SiteId s = 1; s < num_sites; ++s) {
+    if (load[static_cast<std::size_t>(s)] > load[static_cast<std::size_t>(best)])
+      best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Fault recovery: outage/degradation sweep with remapping");
+  cli.add_int("ranks", 64, "number of processes");
+  cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
+  cli.add_int("seed", 2017, "random seed");
+  cli.add_double("state-mib", 64.0, "migrated state per process (MiB)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  // Headroom: survivors of a single-site outage must still fit `ranks`.
+  const bench::Ec2Context ctx((ranks + 2) / 3);
+
+  const std::vector<double> factors = {0.5, 0.25, 0.1};
+  const std::vector<Seconds> outage_times = {5.0, 30.0, 120.0};
+
+  core::RemapOptions options;
+  options.bytes_per_process = cli.get_double("state-mib") * kMiB;
+
+  std::cout << "[\n";
+  bool first = true;
+  for (const apps::App* app : apps::all_apps()) {
+    apps::AppConfig cfg = app->default_config(ranks);
+    trace::CommMatrix comm = bench::profile_app(*app, cfg, ctx.calib.model);
+
+    Rng rng(seed);
+    ConstraintVector constraints = mapping::make_random_constraints(
+        ranks, ctx.topo.capacities(), cli.get_double("constraint-ratio"), rng);
+    const mapping::MappingProblem problem = core::make_problem(
+        ctx.topo, ctx.calib.model, std::move(comm), std::move(constraints));
+
+    const Mapping current = core::GeoDistMapper().map(problem);
+    const SiteId failed = busiest_site(current, problem.num_sites());
+
+    for (const double factor : factors) {
+      for (const Seconds t_out : outage_times) {
+        fault::FaultPlan plan(seed);
+        plan.add_site_degradation(failed, 0.0, fault::kNoEnd, factor);
+        if (t_out > 60.0) {  // the brownout deepens before the failure
+          plan.add_site_degradation(failed, 60.0, fault::kNoEnd, factor);
+        }
+        plan.add_site_outage(failed, t_out);
+
+        const core::RemapResult r =
+            core::remap_on_outage(problem, current, plan, failed, t_out,
+                                  options);
+
+        if (!first) std::cout << ",\n";
+        first = false;
+        std::cout << "  {\"app\": \"" << app->name() << "\""
+                  << ", \"ranks\": " << ranks
+                  << ", \"failed_site\": " << failed
+                  << ", \"outage_time\": " << num(t_out)
+                  << ", \"degradation_factor\": " << num(factor)
+                  << ", \"pre_fault_cost\": " << num(r.pre_fault_cost)
+                  << ", \"degraded_cost\": " << num(r.degraded_cost)
+                  << ", \"post_remap_cost\": " << num(r.post_remap_cost)
+                  << ", \"migration_seconds\": " << num(r.migration_seconds)
+                  << ", \"bytes_moved\": " << num(r.bytes_moved)
+                  << ", \"processes_moved\": " << r.processes_moved
+                  << ", \"recovered_percent\": "
+                  << num(r.degraded_cost > 0
+                             ? 100.0 * (r.degraded_cost - r.post_remap_cost) /
+                                   r.degraded_cost
+                             : 0.0)
+                  << "}";
+      }
+    }
+  }
+  std::cout << "\n]\n";
+  return 0;
+}

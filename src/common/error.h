@@ -30,12 +30,23 @@ class ConstraintViolation : public Error {
 };
 
 namespace detail {
-[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
-                                             int line, const std::string& msg) {
+inline std::string check_failure_message(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
   std::ostringstream os;
   os << "geomap check failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  return os.str();
+}
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  throw Error(check_failure_message(expr, file, line, msg));
+}
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  throw InvalidArgument(check_failure_message(expr, file, line, msg));
 }
 }  // namespace detail
 
@@ -55,4 +66,17 @@ namespace detail {
       ::geomap::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
                                             geomap_os_.str());           \
     }                                                                    \
+  } while (0)
+
+/// Precondition check on caller-supplied arguments: throws
+/// geomap::InvalidArgument (an Error) instead of plain Error so callers
+/// can distinguish bad input from internal invariant failures.
+#define GEOMAP_CHECK_ARG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream geomap_os_;                                        \
+      geomap_os_ << msg;                                                    \
+      ::geomap::detail::throw_invalid_argument(#expr, __FILE__, __LINE__,   \
+                                               geomap_os_.str());           \
+    }                                                                       \
   } while (0)

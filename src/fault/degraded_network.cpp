@@ -1,0 +1,18 @@
+#include "fault/degraded_network.h"
+
+namespace geomap::fault {
+
+net::NetworkModel DegradedNetworkModel::snapshot(Seconds t) const {
+  const auto m = static_cast<std::size_t>(num_sites());
+  Matrix lat = Matrix::square(m);
+  Matrix bw = Matrix::square(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t l = 0; l < m; ++l) {
+      lat(k, l) = latency(static_cast<SiteId>(k), static_cast<SiteId>(l), t);
+      bw(k, l) = bandwidth(static_cast<SiteId>(k), static_cast<SiteId>(l), t);
+    }
+  }
+  return net::NetworkModel(std::move(lat), std::move(bw));
+}
+
+}  // namespace geomap::fault

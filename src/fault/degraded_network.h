@@ -1,0 +1,75 @@
+#pragma once
+// Time-varying decorator over net::NetworkModel: answers LT/BT and
+// alpha-beta queries *as of a virtual timestamp*, applying whatever
+// degradation the FaultPlan schedules at that instant. Outside every
+// event window (and for an empty plan) it returns the base model's values
+// bit-for-bit, so fault-free behaviour is unchanged.
+//
+// Holds non-owning references: both the base model and the plan must
+// outlive the decorator.
+
+#include "common/types.h"
+#include "fault/fault_plan.h"
+#include "net/network_model.h"
+
+namespace geomap::fault {
+
+class DegradedNetworkModel {
+ public:
+  DegradedNetworkModel(const net::NetworkModel& base, const FaultPlan& plan)
+      : base_(&base), plan_(&plan) {}
+
+  int num_sites() const { return base_->num_sites(); }
+  const net::NetworkModel& base() const { return *base_; }
+  const FaultPlan& plan() const { return *plan_; }
+
+  /// False when either endpoint site is out at time t.
+  bool available(SiteId k, SiteId l, Seconds t) const {
+    return !plan_->site_down(k, t) && !plan_->site_down(l, t);
+  }
+
+  Seconds latency(SiteId k, SiteId l, Seconds t) const {
+    const LinkCondition c = plan_->link_condition(k, l, t);
+    return c.latency_factor == 1.0 ? base_->latency(k, l)
+                                   : base_->latency(k, l) * c.latency_factor;
+  }
+
+  BytesPerSecond bandwidth(SiteId k, SiteId l, Seconds t) const {
+    const LinkCondition c = plan_->link_condition(k, l, t);
+    return c.bandwidth_factor == 1.0
+               ? base_->bandwidth(k, l)
+               : base_->bandwidth(k, l) * c.bandwidth_factor;
+  }
+
+  /// Alpha-beta time of one n-byte message on link (k, l) at time t.
+  Seconds transfer_time(SiteId k, SiteId l, Bytes bytes, Seconds t) const {
+    const LinkCondition c = plan_->link_condition(k, l, t);
+    if (c.latency_factor == 1.0 && c.bandwidth_factor == 1.0)
+      return base_->transfer_time(k, l, bytes);
+    return base_->latency(k, l) * c.latency_factor +
+           bytes / (base_->bandwidth(k, l) * c.bandwidth_factor);
+  }
+
+  /// Paper Equation (3) under the condition at time t.
+  Seconds message_cost(SiteId k, SiteId l, double count, Bytes volume,
+                       Seconds t) const {
+    const LinkCondition c = plan_->link_condition(k, l, t);
+    if (c.latency_factor == 1.0 && c.bandwidth_factor == 1.0)
+      return base_->message_cost(k, l, count, volume);
+    return count * base_->latency(k, l) * c.latency_factor +
+           volume / (base_->bandwidth(k, l) * c.bandwidth_factor);
+  }
+
+  /// Materialize the degraded LT/BT matrices as of time t into a plain
+  /// NetworkModel — the view the remap-on-outage policy optimizes
+  /// against. Outage status is not baked into the matrices (a dead site
+  /// is excluded by zeroing its capacity in the rebuilt problem, not by
+  /// poisoning its links).
+  net::NetworkModel snapshot(Seconds t) const;
+
+ private:
+  const net::NetworkModel* base_;
+  const FaultPlan* plan_;
+};
+
+}  // namespace geomap::fault

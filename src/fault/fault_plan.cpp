@@ -1,0 +1,175 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace geomap::fault {
+
+namespace {
+bool active(const FaultEvent& e, Seconds t) {
+  return t >= e.start && t < e.end;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void check_window(Seconds start, Seconds end) {
+  GEOMAP_CHECK_MSG(start >= 0, "fault event start " << start << " < 0");
+  GEOMAP_CHECK_MSG(end > start,
+                   "fault event window [" << start << ", " << end << ") empty");
+}
+}  // namespace
+
+Seconds RetryPolicy::backoff(int attempt) const {
+  Seconds delay = backoff_base;
+  for (int k = 0; k < attempt; ++k) delay *= backoff_multiplier;
+  return delay;
+}
+
+FaultPlan& FaultPlan::add_site_outage(SiteId site, Seconds start, Seconds end) {
+  GEOMAP_CHECK_MSG(site >= 0, "outage of invalid site " << site);
+  check_window(start, end);
+  FaultEvent e;
+  e.kind = FaultKind::kSiteOutage;
+  e.site = site;
+  e.start = start;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_link_degradation(SiteId src, SiteId dst,
+                                           Seconds start, Seconds end,
+                                           double bandwidth_factor,
+                                           double latency_factor) {
+  check_window(start, end);
+  GEOMAP_CHECK_MSG(bandwidth_factor > 0 && bandwidth_factor <= 1.0,
+                   "bandwidth factor " << bandwidth_factor << " not in (0, 1]");
+  GEOMAP_CHECK_MSG(latency_factor >= 1.0,
+                   "latency factor " << latency_factor << " < 1");
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDegradation;
+  e.src = src;
+  e.dst = dst;
+  e.start = start;
+  e.end = end;
+  e.bandwidth_factor = bandwidth_factor;
+  e.latency_factor = latency_factor;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_site_degradation(SiteId site, Seconds start,
+                                           Seconds end,
+                                           double bandwidth_factor,
+                                           double latency_factor) {
+  GEOMAP_CHECK_MSG(site >= 0, "degradation of invalid site " << site);
+  add_link_degradation(-1, -1, start, end, bandwidth_factor, latency_factor);
+  events_.back().site = site;
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_message_loss(SiteId src, SiteId dst, Seconds start,
+                                       Seconds end, double probability) {
+  check_window(start, end);
+  GEOMAP_CHECK_MSG(probability >= 0.0 && probability <= 1.0,
+                   "loss probability " << probability << " not in [0, 1]");
+  FaultEvent e;
+  e.kind = FaultKind::kMessageLoss;
+  e.src = src;
+  e.dst = dst;
+  e.start = start;
+  e.end = end;
+  e.loss_probability = probability;
+  events_.push_back(e);
+  return *this;
+}
+
+bool FaultPlan::site_down(SiteId site, Seconds t) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kSiteOutage && e.site == site && active(e, t))
+      return true;
+  }
+  return false;
+}
+
+Seconds FaultPlan::next_site_up(SiteId site, Seconds t) const {
+  // Chase overlapping outage windows forward until none covers t.
+  Seconds up = t;
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (const FaultEvent& e : events_) {
+      if (e.kind != FaultKind::kSiteOutage || e.site != site) continue;
+      if (active(e, up)) {
+        if (e.end == kNoEnd) return kNoEnd;
+        up = e.end;
+        advanced = true;
+      }
+    }
+  }
+  return up;
+}
+
+bool FaultPlan::link_event_matches(const FaultEvent& e, SiteId src,
+                                   SiteId dst) const {
+  if (e.site >= 0) return src == e.site || dst == e.site;
+  return (e.src < 0 || e.src == src) && (e.dst < 0 || e.dst == dst);
+}
+
+LinkCondition FaultPlan::link_condition(SiteId src, SiteId dst,
+                                        Seconds t) const {
+  LinkCondition cond;
+  for (const FaultEvent& e : events_) {
+    if (!active(e, t)) continue;
+    switch (e.kind) {
+      case FaultKind::kSiteOutage:
+        if (e.site == src || e.site == dst) cond.down = true;
+        break;
+      case FaultKind::kLinkDegradation:
+        if (link_event_matches(e, src, dst)) {
+          cond.latency_factor *= e.latency_factor;
+          cond.bandwidth_factor *= e.bandwidth_factor;
+        }
+        break;
+      case FaultKind::kMessageLoss:
+        if (link_event_matches(e, src, dst)) {
+          cond.loss_probability =
+              1.0 - (1.0 - cond.loss_probability) * (1.0 - e.loss_probability);
+        }
+        break;
+    }
+  }
+  return cond;
+}
+
+bool FaultPlan::message_lost(SiteId src, SiteId dst, Seconds t,
+                             std::uint64_t stream,
+                             std::uint64_t attempt) const {
+  const double p = link_condition(src, dst, t).loss_probability;
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::uint64_t h = seed_;
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))));
+  h = splitmix64(h ^ stream);
+  h = splitmix64(h ^ attempt);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+Seconds FaultPlan::outage_start(SiteId site) const {
+  Seconds earliest = kNoEnd;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kSiteOutage && e.site == site)
+      earliest = std::min(earliest, e.start);
+  }
+  return earliest;
+}
+
+}  // namespace geomap::fault

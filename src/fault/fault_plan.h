@@ -1,0 +1,128 @@
+#pragma once
+// Deterministic fault injection for the geo-distributed substrate.
+//
+// The paper's evaluation assumes every site and WAN link stays healthy
+// for the whole run; production geo-distributed deployments do not. A
+// FaultPlan is a seeded, reproducible schedule of fault events against
+// which the runtime, the simulator, and the remapping policy can all be
+// exercised:
+//
+//   * site outage      — a region goes dark for [start, end);
+//   * link degradation — LT inflates and/or BT deflates by constant
+//                        factors on a link, a site's links, or all links;
+//   * message loss     — inter-site messages are dropped with probability
+//                        p; the drop decision is a pure hash of
+//                        (plan seed, link, message stream, attempt), so
+//                        replays are bit-identical across runs.
+//
+// All times are *virtual* seconds on the runtime's clocks. A plan with no
+// events is inert: consumers are required to reproduce the fault-free
+// execution exactly (asserted by tests).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geomap::fault {
+
+inline constexpr Seconds kNoEnd = std::numeric_limits<double>::infinity();
+
+enum class FaultKind { kSiteOutage, kLinkDegradation, kMessageLoss };
+
+/// One scheduled event, active over the half-open window [start, end).
+/// Link events select their links by, in precedence order:
+///   site >= 0            — every inter-site link touching `site`;
+///   src/dst (-1 = any)   — the ordered pairs matching the wildcards.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDegradation;
+  Seconds start = 0;
+  Seconds end = kNoEnd;
+  SiteId site = -1;
+  SiteId src = -1;
+  SiteId dst = -1;
+  /// kLinkDegradation: multiplies LT (>= 1 slows the link down).
+  double latency_factor = 1.0;
+  /// kLinkDegradation: multiplies BT (in (0, 1] — 0.25 = quarter speed).
+  double bandwidth_factor = 1.0;
+  /// kMessageLoss: per-message drop probability in [0, 1].
+  double loss_probability = 0.0;
+};
+
+/// The health of one ordered site pair as of a virtual timestamp:
+/// overlapping degradations compose multiplicatively, loss probabilities
+/// compose as independent drops.
+struct LinkCondition {
+  double latency_factor = 1.0;
+  double bandwidth_factor = 1.0;
+  double loss_probability = 0.0;
+  bool down = false;  // either endpoint site is out
+
+  bool degraded() const {
+    return down || latency_factor != 1.0 || bandwidth_factor != 1.0 ||
+           loss_probability > 0.0;
+  }
+};
+
+/// Retry behaviour for lost messages, all in virtual time: a loss costs
+/// `detect_timeout` to notice, then exponential backoff before each
+/// reattempt. After `max_retries` failed attempts the transfer is forced
+/// through (and accounted as a timeout) so runs always terminate.
+struct RetryPolicy {
+  int max_retries = 8;
+  Seconds detect_timeout = 0.2;
+  Seconds backoff_base = 0.05;
+  double backoff_multiplier = 2.0;
+
+  Seconds backoff(int attempt) const;  // delay before reattempt `attempt`
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // -- Schedule construction (fluent; validates arguments) --
+  FaultPlan& add_site_outage(SiteId site, Seconds start, Seconds end = kNoEnd);
+  FaultPlan& add_link_degradation(SiteId src, SiteId dst, Seconds start,
+                                  Seconds end, double bandwidth_factor,
+                                  double latency_factor = 1.0);
+  /// Degrade every inter-site link touching `site` (brownout).
+  FaultPlan& add_site_degradation(SiteId site, Seconds start, Seconds end,
+                                  double bandwidth_factor,
+                                  double latency_factor = 1.0);
+  FaultPlan& add_message_loss(SiteId src, SiteId dst, Seconds start,
+                              Seconds end, double probability);
+
+  // -- Queries as of a virtual timestamp --
+  bool site_down(SiteId site, Seconds t) const;
+
+  /// Earliest time >= t at which `site` has no active outage; +inf when a
+  /// permanent outage covers t.
+  Seconds next_site_up(SiteId site, Seconds t) const;
+
+  /// Combined condition of ordered link (src, dst) at time t.
+  LinkCondition link_condition(SiteId src, SiteId dst, Seconds t) const;
+
+  /// Deterministic drop decision for attempt `attempt` of the message
+  /// identified by `stream` (any caller-stable sequence key) on link
+  /// (src, dst) at time t. Pure in all arguments and the plan seed.
+  bool message_lost(SiteId src, SiteId dst, Seconds t, std::uint64_t stream,
+                    std::uint64_t attempt) const;
+
+  /// Start of the earliest outage of `site`, or +inf if none scheduled.
+  Seconds outage_start(SiteId site) const;
+
+ private:
+  bool link_event_matches(const FaultEvent& e, SiteId src, SiteId dst) const;
+
+  std::uint64_t seed_ = 0x5eedfa41u;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace geomap::fault

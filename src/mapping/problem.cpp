@@ -9,38 +9,38 @@ namespace geomap::mapping {
 void MappingProblem::validate() const {
   const int n = num_processes();
   const int m = num_sites();
-  GEOMAP_CHECK_MSG(n > 0, "no processes");
-  GEOMAP_CHECK_MSG(m > 0, "no sites");
-  GEOMAP_CHECK_MSG(static_cast<int>(capacities.size()) == m,
+  GEOMAP_CHECK_ARG(n > 0, "no processes");
+  GEOMAP_CHECK_ARG(m > 0, "no sites");
+  GEOMAP_CHECK_ARG(static_cast<int>(capacities.size()) == m,
                    "capacity vector size " << capacities.size()
                                            << " != num sites " << m);
-  GEOMAP_CHECK_MSG(constraints.empty() ||
+  GEOMAP_CHECK_ARG(constraints.empty() ||
                        static_cast<int>(constraints.size()) == n,
                    "constraint vector size " << constraints.size()
                                              << " != num processes " << n);
-  GEOMAP_CHECK_MSG(site_coords.empty() ||
+  GEOMAP_CHECK_ARG(site_coords.empty() ||
                        static_cast<int>(site_coords.size()) == m,
                    "site coordinate vector size "
                        << site_coords.size() << " != num sites " << m);
   int total_capacity = 0;
   for (int j = 0; j < m; ++j) {
-    GEOMAP_CHECK_MSG(capacities[static_cast<std::size_t>(j)] >= 0,
+    GEOMAP_CHECK_ARG(capacities[static_cast<std::size_t>(j)] >= 0,
                      "negative capacity at site " << j);
     total_capacity += capacities[static_cast<std::size_t>(j)];
   }
-  GEOMAP_CHECK_MSG(total_capacity >= n, "total capacity " << total_capacity
+  GEOMAP_CHECK_ARG(total_capacity >= n, "total capacity " << total_capacity
                                                           << " < N " << n);
   // Constraints must reference valid sites and not overflow any site.
   std::vector<int> pinned(static_cast<std::size_t>(m), 0);
   for (std::size_t i = 0; i < constraints.size(); ++i) {
     const SiteId c = constraints[i];
     if (c == kUnconstrained) continue;
-    GEOMAP_CHECK_MSG(c >= 0 && c < m,
+    GEOMAP_CHECK_ARG(c >= 0 && c < m,
                      "constraint for process " << i << " names bad site " << c);
     ++pinned[static_cast<std::size_t>(c)];
   }
   for (int j = 0; j < m; ++j) {
-    GEOMAP_CHECK_MSG(
+    GEOMAP_CHECK_ARG(
         pinned[static_cast<std::size_t>(j)] <= capacities[static_cast<std::size_t>(j)],
         "constraints pin " << pinned[static_cast<std::size_t>(j)]
                            << " processes to site " << j << " with capacity "
@@ -48,27 +48,27 @@ void MappingProblem::validate() const {
   }
   // Allowed-site sets (multi-site constraint extension).
   if (!allowed_sites.empty()) {
-    GEOMAP_CHECK_MSG(static_cast<int>(allowed_sites.size()) == n,
+    GEOMAP_CHECK_ARG(static_cast<int>(allowed_sites.size()) == n,
                      "allowed_sites size " << allowed_sites.size()
                                            << " != num processes " << n);
     for (int i = 0; i < n; ++i) {
       const auto& list = allowed_sites[static_cast<std::size_t>(i)];
       for (std::size_t k = 0; k < list.size(); ++k) {
-        GEOMAP_CHECK_MSG(list[k] >= 0 && list[k] < m,
+        GEOMAP_CHECK_ARG(list[k] >= 0 && list[k] < m,
                          "allowed site " << list[k] << " of process " << i
                                          << " out of range");
-        GEOMAP_CHECK_MSG(k == 0 || list[k - 1] < list[k],
+        GEOMAP_CHECK_ARG(k == 0 || list[k - 1] < list[k],
                          "allowed list of process "
                              << i << " must be sorted ascending and unique");
       }
       if (!constraints.empty() &&
           constraints[static_cast<std::size_t>(i)] != kUnconstrained) {
-        GEOMAP_CHECK_MSG(
+        GEOMAP_CHECK_ARG(
             site_allowed(allowed_sites, i, constraints[static_cast<std::size_t>(i)]),
             "process " << i << " pinned to a site outside its allowed set");
       }
     }
-    GEOMAP_CHECK_MSG(constraints_feasible(*this),
+    GEOMAP_CHECK_ARG(constraints_feasible(*this),
                      "no feasible assignment satisfies the allowed-site "
                      "constraints and capacities");
   }

@@ -77,13 +77,55 @@ std::vector<double> Comm::recv(int src, int tag) {
   Message m = runtime_->mailboxes_[static_cast<std::size_t>(rank_)].match(src, tag);
   const Bytes bytes = static_cast<Bytes>(m.payload.size() * sizeof(double));
   const Seconds ready = std::max(m.sender_ready, now_);
-  const Seconds wire = runtime_->transfer_time(src, rank_, bytes);
   const SiteId src_site = runtime_->site_of(src);
   const SiteId dst_site = runtime_->site_of(rank_);
+  Seconds start = ready;
+  Seconds wire = runtime_->transfer_time(src, rank_, bytes);
+  if (runtime_->fault_plan_ != nullptr && src_site != dst_site) {
+    // Inter-site transfers consult the fault plan at their virtual issue
+    // time. A lost (or outage-blocked) attempt costs detect_timeout plus
+    // exponential backoff; the decision is a pure hash of (plan seed,
+    // link, receive stream, attempt), so reruns are bit-identical. After
+    // max_retries the transfer is forced through — runs always terminate;
+    // surviving a permanent outage is the remap policy's job, not the
+    // transport's — and accounted as a timeout.
+    const fault::FaultPlan& plan = *runtime_->fault_plan_;
+    const fault::RetryPolicy& policy = runtime_->retry_policy_;
+    const std::uint64_t seq = recv_seq_[static_cast<std::size_t>(src)]++;
+    const std::uint64_t stream =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) ^
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank_)) << 21) ^
+        seq;
+    for (int attempt = 0;; ++attempt) {
+      const bool lost =
+          plan.site_down(src_site, start) || plan.site_down(dst_site, start) ||
+          plan.message_lost(src_site, dst_site, start, stream,
+                            static_cast<std::uint64_t>(attempt));
+      if (!lost) break;
+      if (attempt >= policy.max_retries) {
+        stats_.timeouts += 1;
+        break;
+      }
+      const Seconds delay = policy.detect_timeout + policy.backoff(attempt);
+      start += delay;
+      stats_.retries += 1;
+      stats_.fault_seconds += delay;
+    }
+    const fault::LinkCondition cond =
+        plan.link_condition(src_site, dst_site, start);
+    if (cond.latency_factor != 1.0 || cond.bandwidth_factor != 1.0) {
+      const Seconds degraded =
+          runtime_->model_.latency(src_site, dst_site) * cond.latency_factor +
+          bytes / (runtime_->model_.bandwidth(src_site, dst_site) *
+                   cond.bandwidth_factor);
+      stats_.fault_seconds += degraded - wire;
+      wire = degraded;
+    }
+  }
   const Seconds completion =
       src_site == dst_site
-          ? ready + wire  // intra-site LAN: full bisection, no queueing
-          : runtime_->acquire_link(src_site, dst_site, ready, wire);
+          ? start + wire  // intra-site LAN: full bisection, no queueing
+          : runtime_->acquire_link(src_site, dst_site, start, wire);
   const Seconds before = now_;
   now_ = completion;
   stats_.comm_seconds += now_ - before;
@@ -459,8 +501,9 @@ Seconds Runtime::acquire_link(SiteId src_site, SiteId dst_site, Seconds ready,
 
 RunResult Runtime::run(const std::function<void(Comm&)>& body) {
   const int p = num_ranks();
-  // Each run starts at virtual time zero with idle links.
+  // Each run starts at virtual time zero with idle links and mailboxes.
   for (auto& link : links_) link->busy.clear();
+  for (auto& mailbox : mailboxes_) mailbox.reset();
   std::vector<RankStats> stats(static_cast<std::size_t>(p));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
 
@@ -473,14 +516,25 @@ RunResult Runtime::run(const std::function<void(Comm&)>& body) {
         body(comm);
         comm.stats_.finish_time = comm.now_;
         stats[static_cast<std::size_t>(r)] = comm.stats();
+      } catch (const RankAborted&) {
+        // Teardown signal from a peer's failure: nothing to record.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Release every peer blocked in recv/wait/collectives so the run
+        // terminates instead of hanging on the dead rank.
+        for (auto& mailbox : mailboxes_) mailbox.abort();
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  for (int r = 0; r < p; ++r) {
+    const auto& e = errors[static_cast<std::size_t>(r)];
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      throw Error("rank " + std::to_string(r) + ": " + ex.what());
+    }
   }
 
   RunResult result;
@@ -489,6 +543,9 @@ RunResult Runtime::run(const std::function<void(Comm&)>& body) {
     result.makespan = std::max(result.makespan, rs.finish_time);
     result.max_comm_seconds = std::max(result.max_comm_seconds, rs.comm_seconds);
     result.total_comm_seconds += rs.comm_seconds;
+    result.total_retries += rs.retries;
+    result.total_timeouts += rs.timeouts;
+    result.total_fault_seconds += rs.fault_seconds;
   }
   return result;
 }

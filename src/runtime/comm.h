@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "fault/fault_plan.h"
 #include "net/network_model.h"
 #include "runtime/mailbox.h"
 #include "trace/optrace.h"
@@ -52,6 +53,13 @@ struct RankStats {
   Seconds compute_seconds = 0;
   std::uint64_t messages_sent = 0;
   Bytes bytes_sent = 0;
+  /// Fault accounting (receiver side; zero when no FaultPlan is attached):
+  /// reattempts after deterministic message loss, transfers that exhausted
+  /// the retry budget, and virtual seconds lost to faults (loss detection
+  /// + backoff delays plus degraded-minus-healthy wire time).
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  Seconds fault_seconds = 0;
 };
 
 class Runtime;
@@ -135,7 +143,10 @@ class Comm {
  private:
   friend class Runtime;
   Comm(Runtime* runtime, int rank, int size)
-      : runtime_(runtime), rank_(rank), size_(size) {}
+      : runtime_(runtime),
+        rank_(rank),
+        size_(size),
+        recv_seq_(static_cast<std::size_t>(size), 0) {}
 
   int collective_tag() { return (1 << 20) + collective_seq_++; }
 
@@ -148,6 +159,10 @@ class Comm {
   Seconds now_ = 0;
   int collective_seq_ = 0;
   std::int64_t sends_posted_ = 0;
+  /// Per-source receive sequence numbers: the deterministic stream key for
+  /// fault-plan loss decisions (program order, independent of host
+  /// scheduling).
+  std::vector<std::uint64_t> recv_seq_;
   RankStats stats_;
 };
 
@@ -160,6 +175,10 @@ struct RunResult {
   /// communication-only metric (Figure 6).
   Seconds max_comm_seconds = 0;
   Seconds total_comm_seconds = 0;
+  /// Fault accounting summed over ranks (all zero without a FaultPlan).
+  std::uint64_t total_retries = 0;
+  std::uint64_t total_timeouts = 0;
+  Seconds total_fault_seconds = 0;
 };
 
 class Runtime {
@@ -177,8 +196,23 @@ class Runtime {
   /// sim::replay_ops. Pass nullptr to stop capturing.
   void capture_ops(trace::OpTraceLog* ops) { ops_ = ops; }
 
+  /// Inject faults: inter-site transfers consult `plan` at their virtual
+  /// issue time — degraded links pay the inflated alpha-beta cost, lost
+  /// messages are retried with exponential backoff in virtual time per
+  /// `policy` (down links behave as lossy until the outage ends). The
+  /// plan must outlive the runtime; pass nullptr to detach. An empty plan
+  /// reproduces the fault-free execution exactly.
+  void set_fault_plan(const fault::FaultPlan* plan,
+                      fault::RetryPolicy policy = {}) {
+    fault_plan_ = (plan != nullptr && plan->empty()) ? nullptr : plan;
+    retry_policy_ = policy;
+  }
+
   /// Execute `body` on `num_ranks` rank threads. Rank count must match
-  /// the mapping size. Exceptions from rank bodies are rethrown.
+  /// the mapping size. If any rank body throws, the run is aborted —
+  /// peers blocked in recv/wait/collectives are released, never left
+  /// hanging — and the lowest-ranked failure is rethrown as a
+  /// geomap::Error prefixed with its rank id.
   RunResult run(const std::function<void(Comm&)>& body);
 
   int num_ranks() const { return static_cast<int>(rank_to_site_.size()); }
@@ -204,6 +238,8 @@ class Runtime {
   double gflops_;
   trace::ApplicationProfile* profile_;
   trace::OpTraceLog* ops_ = nullptr;
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  fault::RetryPolicy retry_policy_;
   std::vector<Mailbox> mailboxes_;
 
   /// Busy intervals of one inter-site link, kept sorted by start time.

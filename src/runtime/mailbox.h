@@ -19,24 +19,56 @@ class Mailbox {
   void deposit(Message message) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (aborted_) {
+        // Run teardown in progress: fail the sender instead of queueing.
+        if (message.rendezvous) message.rendezvous->abort();
+        return;
+      }
       queues_[{message.src, message.tag}].push_back(std::move(message));
     }
     cv_.notify_all();
   }
 
   /// Block until a message from `src` with `tag` is available; pop it.
+  /// Throws RankAborted if the run is torn down while blocked (or after).
   Message match(int src, int tag) {
     std::unique_lock<std::mutex> lock(mutex_);
     const std::pair<int, int> key{src, tag};
     cv_.wait(lock, [&] {
+      if (aborted_) return true;
       const auto it = queues_.find(key);
       return it != queues_.end() && !it->second.empty();
     });
+    if (aborted_) throw RankAborted();
     auto it = queues_.find(key);
     Message m = std::move(it->second.front());
     it->second.pop_front();
     if (it->second.empty()) queues_.erase(it);
     return m;
+  }
+
+  /// Tear down: wake the owner if blocked in match(), fail every queued
+  /// (and future) sender's rendezvous. Called when any rank body throws so
+  /// peers blocked in recv/barrier cannot hang forever.
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+      for (auto& [key, q] : queues_) {
+        for (Message& m : q) {
+          if (m.rendezvous) m.rendezvous->abort();
+        }
+      }
+      queues_.clear();
+    }
+    cv_.notify_all();
+  }
+
+  /// Fresh state for the next run (clears the aborted flag and leftovers).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = false;
+    queues_.clear();
   }
 
   /// Count of undelivered messages (test/diagnostic hook).
@@ -50,6 +82,7 @@ class Mailbox {
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  bool aborted_ = false;
   std::map<std::pair<int, int>, std::deque<Message>> queues_;
 };
 

@@ -8,9 +8,18 @@
 #include <mutex>
 #include <vector>
 
+#include "common/error.h"
 #include "common/types.h"
 
 namespace geomap::runtime {
+
+/// Internal teardown signal: thrown out of blocking runtime calls when a
+/// peer rank's body failed and the run is being aborted. Runtime::run
+/// swallows it on peer ranks and rethrows the originating rank's error.
+class RankAborted : public Error {
+ public:
+  RankAborted() : Error("rank aborted: a peer rank's body threw") {}
+};
 
 /// Rendezvous handshake shared between one send and its matching recv:
 /// the receiver computes the virtual completion time and hands it back so
@@ -19,6 +28,7 @@ struct RendezvousState {
   std::mutex mutex;
   std::condition_variable cv;
   bool completed = false;
+  bool aborted = false;
   Seconds completion_time = 0;
 
   void complete(Seconds time) {
@@ -30,9 +40,19 @@ struct RendezvousState {
     cv.notify_all();
   }
 
+  /// Release a sender blocked in wait() during run teardown.
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      aborted = true;
+    }
+    cv.notify_all();
+  }
+
   Seconds wait() {
     std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [this] { return completed; });
+    cv.wait(lock, [this] { return completed || aborted; });
+    if (!completed) throw RankAborted();
     return completion_time;
   }
 };

@@ -27,19 +27,27 @@ Seconds alpha_beta_cost(const trace::CommMatrix& comm,
   return total;
 }
 
-ContentionResult replay_with_contention(const trace::CommMatrix& comm,
-                                        const net::NetworkModel& model,
-                                        const Mapping& mapping) {
+namespace {
+
+// Shared discrete-event engine: `wire_at(src, dst, count, volume, t)`
+// prices one CSR edge issued at virtual time t, `stall_until(src, dst, t)`
+// may push the issue time forward (outage stalls). The fault-free overload
+// instantiates both as time-independent, which reproduces the historical
+// arithmetic exactly.
+template <typename WireFn, typename StallFn>
+ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
+                               const Mapping& mapping, Seconds start_time,
+                               WireFn&& wire_at, StallFn&& stall_until) {
   GEOMAP_CHECK_MSG(static_cast<int>(mapping.size()) == comm.num_processes(),
                    "mapping size mismatch");
   const int n = comm.num_processes();
-  const int m = model.num_sites();
+  const int m = num_sites;
 
   // Per ordered inter-site pair: time the link frees up; per process:
   // time the process can issue its next message.
-  std::vector<Seconds> link_free(static_cast<std::size_t>(m) * m, 0.0);
+  std::vector<Seconds> link_free(static_cast<std::size_t>(m) * m, start_time);
   std::vector<Seconds> link_busy(static_cast<std::size_t>(m) * m, 0.0);
-  std::vector<Seconds> proc_ready(static_cast<std::size_t>(n), 0.0);
+  std::vector<Seconds> proc_ready(static_cast<std::size_t>(n), start_time);
 
   // Priority queue of (issue_time, process, edge_index) — processes
   // replay their rows in order; globally we process the earliest
@@ -52,7 +60,7 @@ ContentionResult replay_with_contention(const trace::CommMatrix& comm,
   };
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>> q;
   for (ProcessId i = 0; i < n; ++i) {
-    if (comm.row(i).size() > 0) q.push(Pending{0.0, i, 0});
+    if (comm.row(i).size() > 0) q.push(Pending{start_time, i, 0});
   }
 
   ContentionResult result;
@@ -62,23 +70,27 @@ ContentionResult replay_with_contention(const trace::CommMatrix& comm,
     const trace::CommMatrix::Row row = comm.row(p.proc);
     const SiteId src = mapping[static_cast<std::size_t>(p.proc)];
     const SiteId dst = mapping[static_cast<std::size_t>(row.dst[p.edge])];
-    // The CSR edge aggregates count[k] messages of total volume[k]; its
-    // serialized wire time is count·LT + volume/BT.
-    const Seconds wire =
-        model.message_cost(src, dst, row.count[p.edge], row.volume[p.edge]);
-    result.total_transfer_seconds += wire;
 
-    Seconds start = p.ready;
+    Seconds start = stall_until(src, dst, p.ready);
     if (src != dst) {
       const std::size_t link =
           static_cast<std::size_t>(src) * m + static_cast<std::size_t>(dst);
       start = std::max(start, link_free[link]);
+    }
+    // The CSR edge aggregates count[k] messages of total volume[k]; its
+    // serialized wire time is count·LT + volume/BT, priced as of `start`.
+    const Seconds wire =
+        wire_at(src, dst, row.count[p.edge], row.volume[p.edge], start);
+    result.total_transfer_seconds += wire;
+    if (src != dst) {
+      const std::size_t link =
+          static_cast<std::size_t>(src) * m + static_cast<std::size_t>(dst);
       link_free[link] = start + wire;
       link_busy[link] += wire;
     }
     const Seconds end = start + wire;
     proc_ready[static_cast<std::size_t>(p.proc)] = end;
-    result.makespan = std::max(result.makespan, end);
+    result.makespan = std::max(result.makespan, end - start_time);
 
     if (p.edge + 1 < row.size()) q.push(Pending{end, p.proc, p.edge + 1});
   }
@@ -86,6 +98,49 @@ ContentionResult replay_with_contention(const trace::CommMatrix& comm,
       link_busy.empty() ? 0.0
                         : *std::max_element(link_busy.begin(), link_busy.end());
   return result;
+}
+
+}  // namespace
+
+ContentionResult replay_with_contention(const trace::CommMatrix& comm,
+                                        const net::NetworkModel& model,
+                                        const Mapping& mapping) {
+  return replay_engine(
+      comm, model.num_sites(), mapping, 0.0,
+      [&](SiteId src, SiteId dst, double count, Bytes volume, Seconds) {
+        return model.message_cost(src, dst, count, volume);
+      },
+      [](SiteId, SiteId, Seconds t) { return t; });
+}
+
+ContentionResult replay_with_contention(
+    const trace::CommMatrix& comm, const fault::DegradedNetworkModel& model,
+    const Mapping& mapping, Seconds start_time) {
+  const fault::FaultPlan& plan = model.plan();
+  return replay_engine(
+      comm, model.num_sites(), mapping, start_time,
+      [&](SiteId src, SiteId dst, double count, Bytes volume, Seconds t) {
+        return model.message_cost(src, dst, count, volume, t);
+      },
+      [&](SiteId src, SiteId dst, Seconds t) {
+        // Outage stall: wait until both endpoints are back up. Permanent
+        // outages cannot be replayed through — callers must remap the
+        // dead site away first.
+        Seconds up = t;
+        for (int guard = 0; guard < 64; ++guard) {
+          const Seconds src_up = plan.next_site_up(src, up);
+          const Seconds dst_up = plan.next_site_up(dst, src_up);
+          GEOMAP_CHECK_MSG(dst_up != fault::kNoEnd,
+                           "replay crosses a permanent outage of site "
+                               << (plan.next_site_up(src, up) == fault::kNoEnd
+                                       ? src
+                                       : dst)
+                               << " — remap before replaying");
+          if (dst_up == up) return up;
+          up = dst_up;
+        }
+        return up;
+      });
 }
 
 double comm_improvement_percent(const trace::CommMatrix& comm,

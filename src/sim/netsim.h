@@ -15,6 +15,7 @@
 //    should keep their ordering under contention.
 
 #include "common/types.h"
+#include "fault/degraded_network.h"
 #include "mapping/problem.h"
 #include "net/network_model.h"
 #include "trace/comm_matrix.h"
@@ -40,6 +41,23 @@ struct ContentionResult {
 ContentionResult replay_with_contention(const trace::CommMatrix& comm,
                                         const net::NetworkModel& model,
                                         const Mapping& mapping);
+
+/// Fault-aware replay: identical discrete-event engine, but every edge's
+/// wire time is evaluated under `model`'s fault plan as of the edge's
+/// virtual issue time (`start_time` offsets the whole replay into the
+/// plan's schedule), so analytic estimates stay comparable with the
+/// runtime's degraded executions. Edges issuing while an endpoint site is
+/// out stall until the outage ends; a permanent outage in the replayed
+/// window throws Error — remap first (core/remap.h), then replay the
+/// surviving mapping. Per-message loss is not modeled here: CSR edges
+/// aggregate many messages, so loss shows up only in the runtime's
+/// accounting. The returned makespan is the replay *duration* (last
+/// completion minus start_time). With an empty plan and start_time 0 this
+/// reproduces the fault-free overload bit-for-bit.
+ContentionResult replay_with_contention(const trace::CommMatrix& comm,
+                                        const fault::DegradedNetworkModel& model,
+                                        const Mapping& mapping,
+                                        Seconds start_time = 0);
 
 /// Communication improvement of `mapping` over `baseline` in percent,
 /// under the alpha-beta model.

@@ -1,0 +1,432 @@
+// Tests for the fault-injection substrate: FaultPlan query semantics,
+// the time-varying DegradedNetworkModel, runtime retry/degradation
+// accounting and its determinism, the fault-aware contention replay, and
+// the remap-on-outage recovery policy.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "core/geodist_mapper.h"
+#include "core/remap.h"
+#include "fault/degraded_network.h"
+#include "fault/fault_plan.h"
+#include "net/cloud.h"
+#include "net/network_model.h"
+#include "runtime/comm.h"
+#include "sim/netsim.h"
+#include "test_util.h"
+#include "trace/comm_matrix.h"
+
+namespace geomap::fault {
+namespace {
+
+/// Two-site model with checkable numbers: intra 1 ms / 100 MB/s, inter
+/// 100 ms / 1 MB/s (symmetric) — mirrors the runtime test fixture.
+net::NetworkModel simple_model() {
+  Matrix lat = Matrix::square(2, 1e-3);
+  lat(0, 1) = lat(1, 0) = 0.1;
+  Matrix bw = Matrix::square(2, 100e6);
+  bw(0, 1) = bw(1, 0) = 1e6;
+  return net::NetworkModel(std::move(lat), std::move(bw));
+}
+
+TEST(FaultPlan, SiteOutageWindowsAreHalfOpen) {
+  FaultPlan plan;
+  plan.add_site_outage(1, 10.0, 20.0);
+  EXPECT_FALSE(plan.site_down(1, 9.999));
+  EXPECT_TRUE(plan.site_down(1, 10.0));
+  EXPECT_TRUE(plan.site_down(1, 19.999));
+  EXPECT_FALSE(plan.site_down(1, 20.0));
+  EXPECT_FALSE(plan.site_down(0, 15.0));
+  EXPECT_DOUBLE_EQ(plan.outage_start(1), 10.0);
+  EXPECT_EQ(plan.outage_start(0), kNoEnd);
+}
+
+TEST(FaultPlan, NextSiteUpChasesOverlappingOutages) {
+  FaultPlan plan;
+  plan.add_site_outage(0, 5.0, 10.0);
+  plan.add_site_outage(0, 8.0, 15.0);
+  EXPECT_DOUBLE_EQ(plan.next_site_up(0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(plan.next_site_up(0, 6.0), 15.0);
+  plan.add_site_outage(0, 30.0);  // permanent
+  EXPECT_EQ(plan.next_site_up(0, 31.0), kNoEnd);
+}
+
+TEST(FaultPlan, LinkConditionComposesAndMatches) {
+  FaultPlan plan;
+  plan.add_link_degradation(0, 1, 0.0, 100.0, 0.5, 2.0);
+  plan.add_link_degradation(0, 1, 50.0, 100.0, 0.5);  // overlaps second half
+
+  LinkCondition early = plan.link_condition(0, 1, 10.0);
+  EXPECT_DOUBLE_EQ(early.bandwidth_factor, 0.5);
+  EXPECT_DOUBLE_EQ(early.latency_factor, 2.0);
+  LinkCondition late = plan.link_condition(0, 1, 60.0);
+  EXPECT_DOUBLE_EQ(late.bandwidth_factor, 0.25);  // multiplicative
+
+  // Ordered pair: the reverse link is healthy.
+  EXPECT_FALSE(plan.link_condition(1, 0, 10.0).degraded());
+  // Outside every window: identity.
+  EXPECT_FALSE(plan.link_condition(0, 1, 100.0).degraded());
+}
+
+TEST(FaultPlan, SiteDegradationHitsEveryTouchingLink) {
+  FaultPlan plan;
+  plan.add_site_degradation(2, 0.0, kNoEnd, 0.1);
+  EXPECT_DOUBLE_EQ(plan.link_condition(2, 0, 1.0).bandwidth_factor, 0.1);
+  EXPECT_DOUBLE_EQ(plan.link_condition(1, 2, 1.0).bandwidth_factor, 0.1);
+  EXPECT_DOUBLE_EQ(plan.link_condition(0, 1, 1.0).bandwidth_factor, 1.0);
+}
+
+TEST(FaultPlan, OutageMarksLinksDown) {
+  FaultPlan plan;
+  plan.add_site_outage(1, 0.0, 5.0);
+  EXPECT_TRUE(plan.link_condition(0, 1, 1.0).down);
+  EXPECT_TRUE(plan.link_condition(1, 0, 1.0).down);
+  EXPECT_FALSE(plan.link_condition(0, 2, 1.0).down);
+  EXPECT_FALSE(plan.link_condition(0, 1, 6.0).down);
+}
+
+TEST(FaultPlan, MessageLossIsDeterministicInSeedAndArguments) {
+  FaultPlan a(42), b(42), other(43);
+  for (FaultPlan* p : {&a, &b, &other})
+    p->add_message_loss(0, 1, 0.0, kNoEnd, 0.5);
+
+  int differs = 0;
+  for (std::uint64_t stream = 0; stream < 200; ++stream) {
+    const bool la = a.message_lost(0, 1, 1.0, stream, 0);
+    EXPECT_EQ(la, b.message_lost(0, 1, 1.0, stream, 0));
+    if (la != other.message_lost(0, 1, 1.0, stream, 0)) ++differs;
+  }
+  EXPECT_GT(differs, 20);  // different seeds give a different stream
+
+  // No loss event active => never lost; p = 1 => always lost.
+  EXPECT_FALSE(a.message_lost(1, 0, 1.0, 7, 0));
+  FaultPlan certain(1);
+  certain.add_message_loss(0, 1, 0.0, kNoEnd, 1.0);
+  EXPECT_TRUE(certain.message_lost(0, 1, 1.0, 7, 3));
+}
+
+TEST(FaultPlan, RejectsMalformedEvents) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.add_site_outage(-1, 0.0), Error);
+  EXPECT_THROW(plan.add_site_outage(0, 5.0, 5.0), Error);  // empty window
+  EXPECT_THROW(plan.add_link_degradation(0, 1, 0.0, 1.0, 0.0), Error);
+  EXPECT_THROW(plan.add_link_degradation(0, 1, 0.0, 1.0, 1.5), Error);
+  EXPECT_THROW(plan.add_link_degradation(0, 1, 0.0, 1.0, 0.5, 0.5), Error);
+  EXPECT_THROW(plan.add_message_loss(0, 1, 0.0, 1.0, 1.5), Error);
+}
+
+TEST(DegradedNetwork, PassthroughIsExactOutsideEventWindows) {
+  const net::NetworkModel base = simple_model();
+  FaultPlan plan;
+  plan.add_link_degradation(1, 0, 5.0, 10.0, 0.5);  // reverse link only
+  const DegradedNetworkModel degraded(base, plan);
+
+  // Different link and different time: bit-identical to the base model.
+  EXPECT_EQ(degraded.latency(0, 1, 7.0), base.latency(0, 1));
+  EXPECT_EQ(degraded.bandwidth(0, 1, 7.0), base.bandwidth(0, 1));
+  EXPECT_EQ(degraded.transfer_time(0, 1, 8000.0, 7.0),
+            base.transfer_time(0, 1, 8000.0));
+  EXPECT_EQ(degraded.transfer_time(1, 0, 8000.0, 20.0),
+            base.transfer_time(1, 0, 8000.0));
+}
+
+TEST(DegradedNetwork, AppliesFactorsInsideWindow) {
+  const net::NetworkModel base = simple_model();
+  FaultPlan plan;
+  plan.add_link_degradation(0, 1, 5.0, 10.0, 0.5, 2.0);
+  const DegradedNetworkModel degraded(base, plan);
+
+  EXPECT_DOUBLE_EQ(degraded.latency(0, 1, 6.0), 0.2);
+  EXPECT_DOUBLE_EQ(degraded.bandwidth(0, 1, 6.0), 0.5e6);
+  EXPECT_DOUBLE_EQ(degraded.transfer_time(0, 1, 8000.0, 6.0),
+                   0.2 + 8000.0 / 0.5e6);
+  EXPECT_DOUBLE_EQ(degraded.message_cost(0, 1, 3.0, 8000.0, 6.0),
+                   3 * 0.2 + 8000.0 / 0.5e6);
+
+  const net::NetworkModel snap = degraded.snapshot(6.0);
+  EXPECT_DOUBLE_EQ(snap.latency(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(snap.bandwidth(0, 1), 0.5e6);
+  EXPECT_EQ(snap.latency(1, 0), base.latency(1, 0));
+
+  EXPECT_TRUE(degraded.available(0, 1, 6.0));
+  plan.add_site_outage(1, 20.0, 30.0);
+  EXPECT_FALSE(degraded.available(0, 1, 25.0));
+}
+
+// -- Runtime integration --
+
+TEST(RuntimeFaults, DegradedLinkPaysInflatedAlphaBetaCost) {
+  FaultPlan plan;
+  plan.add_link_degradation(0, 1, 0.0, kNoEnd, 0.5, 2.0);
+  runtime::Runtime rt(simple_model(), {0, 1});
+  rt.set_fault_plan(&plan);
+  const runtime::RunResult r = rt.run([](runtime::Comm& comm) {
+    std::vector<double> payload(1000, 1.0);  // 8000 bytes
+    if (comm.rank() == 0) comm.send(1, 1, payload);
+    else (void)comm.recv(0, 1);
+  });
+  const double healthy = 0.1 + 8000.0 / 1e6;
+  const double degraded = 0.2 + 8000.0 / 0.5e6;
+  EXPECT_NEAR(r.makespan, degraded, 1e-12);
+  EXPECT_EQ(r.total_retries, 0u);
+  EXPECT_NEAR(r.total_fault_seconds, degraded - healthy, 1e-12);
+}
+
+TEST(RuntimeFaults, InertPlanReproducesFaultFreeRunExactly) {
+  // Events whose windows the run never reaches (the job lasts well under
+  // a second) must leave the execution bit-identical to a detached
+  // runtime.
+  FaultPlan plan;
+  plan.add_link_degradation(1, 0, 1e6, 1e7, 0.25);
+  plan.add_message_loss(1, 0, 1e6, 1e7, 0.9);
+  plan.add_site_outage(0, 1e6, 1e7);
+  auto body = [](runtime::Comm& comm) {
+    std::vector<double> v(64, 1.0);
+    comm.allreduce(v, runtime::ReduceOp::kSum);
+    comm.barrier();
+  };
+  runtime::Runtime with(simple_model(), {0, 0, 0, 1});
+  with.set_fault_plan(&plan);
+  runtime::Runtime without(simple_model(), {0, 0, 0, 1});
+  const runtime::RunResult a = with.run(body);
+  const runtime::RunResult b = without.run(body);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_retries, 0u);
+  EXPECT_EQ(a.total_timeouts, 0u);
+  EXPECT_EQ(a.total_fault_seconds, 0.0);
+  for (std::size_t r = 0; r < a.ranks.size(); ++r)
+    EXPECT_EQ(a.ranks[r].finish_time, b.ranks[r].finish_time);
+}
+
+TEST(RuntimeFaults, LostMessagesRetryWithBackoffInVirtualTime) {
+  FaultPlan plan(7);
+  plan.add_message_loss(0, 1, 0.0, 0.5, 1.0);  // certain loss before 0.5
+  RetryPolicy policy;
+  policy.detect_timeout = 0.2;
+  policy.backoff_base = 0.05;
+  policy.backoff_multiplier = 2.0;
+  policy.max_retries = 8;
+  runtime::Runtime rt(simple_model(), {0, 1});
+  rt.set_fault_plan(&plan, policy);
+  const runtime::RunResult r = rt.run([](runtime::Comm& comm) {
+    std::vector<double> payload(1000, 1.0);
+    if (comm.rank() == 0) comm.send(1, 1, payload);
+    else (void)comm.recv(0, 1);
+  });
+  // Attempt 0 at t=0 lost (0.25 delay), attempt 1 at 0.25 lost (0.3
+  // delay), attempt 2 at 0.55 is past the loss window and goes through.
+  EXPECT_EQ(r.total_retries, 2u);
+  EXPECT_EQ(r.total_timeouts, 0u);
+  EXPECT_NEAR(r.makespan, 0.55 + 0.108, 1e-12);
+  EXPECT_NEAR(r.total_fault_seconds, 0.55, 1e-12);
+}
+
+TEST(RuntimeFaults, ExhaustedRetriesCountAsTimeoutAndTerminate) {
+  FaultPlan plan(7);
+  plan.add_message_loss(0, 1, 0.0, kNoEnd, 1.0);
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.detect_timeout = 0.1;
+  policy.backoff_base = 0.1;
+  runtime::Runtime rt(simple_model(), {0, 1});
+  rt.set_fault_plan(&plan, policy);
+  const runtime::RunResult r = rt.run([](runtime::Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 1, std::vector<double>{1.0});
+    else (void)comm.recv(0, 1);
+  });
+  EXPECT_EQ(r.total_retries, 2u);
+  EXPECT_EQ(r.total_timeouts, 1u);
+  EXPECT_GT(r.total_fault_seconds, 0.0);
+}
+
+TEST(RuntimeFaults, OutageStallsTransfersUntilSiteReturns) {
+  FaultPlan plan;
+  plan.add_site_outage(1, 0.0, 0.5);
+  RetryPolicy policy;  // 0.2 detect + 0.05/0.1/... backoff
+  runtime::Runtime rt(simple_model(), {0, 1});
+  rt.set_fault_plan(&plan, policy);
+  const runtime::RunResult r = rt.run([](runtime::Comm& comm) {
+    std::vector<double> payload(1000, 1.0);
+    if (comm.rank() == 0) comm.send(1, 1, payload);
+    else (void)comm.recv(0, 1);
+  });
+  // Attempts at 0 and 0.25 hit the outage; 0.55 is past it.
+  EXPECT_EQ(r.total_retries, 2u);
+  EXPECT_NEAR(r.makespan, 0.55 + 0.108, 1e-12);
+}
+
+TEST(RuntimeFaults, SeededLossIsBitIdenticalAcrossRuns) {
+  FaultPlan plan(2026);
+  plan.add_message_loss(0, 1, 0.0, kNoEnd, 0.4);
+  plan.add_message_loss(1, 0, 0.0, kNoEnd, 0.4);
+  // Sequential ping-pong: one transfer in flight at a time, so virtual
+  // time is contention-free deterministic.
+  auto body = [](runtime::Comm& comm) {
+    std::vector<double> v(256, 1.0);
+    for (int round = 0; round < 16; ++round) {
+      if (comm.rank() == 0) {
+        comm.send(1, round, v);
+        v = comm.recv(1, round);
+      } else {
+        v = comm.recv(0, round);
+        comm.send(0, round, v);
+      }
+    }
+  };
+  runtime::Runtime rt1(simple_model(), {0, 1}), rt2(simple_model(), {0, 1});
+  rt1.set_fault_plan(&plan);
+  rt2.set_fault_plan(&plan);
+  const runtime::RunResult a = rt1.run(body);
+  const runtime::RunResult b = rt2.run(body);
+  EXPECT_GT(a.total_retries, 0u);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.total_timeouts, b.total_timeouts);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_fault_seconds, b.total_fault_seconds);
+}
+
+// -- Fault-aware contention replay --
+
+trace::CommMatrix two_proc_pattern(int messages) {
+  trace::CommMatrix::Builder b(2);
+  for (int k = 0; k < messages; ++k) b.add_message(0, 1, 8000.0);
+  return b.build();
+}
+
+TEST(FaultReplay, EmptyPlanMatchesFaultFreeReplayBitForBit) {
+  Rng rng(5);
+  const trace::CommMatrix comm = testutil::random_comm(16, 4, rng);
+  const net::NetworkModel model = simple_model();
+  Mapping mapping(16);
+  for (int i = 0; i < 16; ++i) mapping[static_cast<std::size_t>(i)] = i % 2;
+
+  const FaultPlan empty;
+  const DegradedNetworkModel degraded(model, empty);
+  const sim::ContentionResult base =
+      sim::replay_with_contention(comm, model, mapping);
+  const sim::ContentionResult faulty =
+      sim::replay_with_contention(comm, degraded, mapping);
+  EXPECT_EQ(base.makespan, faulty.makespan);
+  EXPECT_EQ(base.busiest_link_seconds, faulty.busiest_link_seconds);
+  EXPECT_EQ(base.total_transfer_seconds, faulty.total_transfer_seconds);
+}
+
+TEST(FaultReplay, DegradationWindowInflatesMakespan) {
+  const net::NetworkModel model = simple_model();
+  const trace::CommMatrix comm = two_proc_pattern(8);
+  const Mapping mapping = {0, 1};
+
+  FaultPlan plan;
+  plan.add_link_degradation(0, 1, 0.0, kNoEnd, 0.5, 2.0);
+  const DegradedNetworkModel degraded(model, plan);
+  const double healthy =
+      sim::replay_with_contention(comm, model, mapping).makespan;
+  const double slowed =
+      sim::replay_with_contention(comm, degraded, mapping).makespan;
+  EXPECT_NEAR(slowed, 8 * (0.2 + 8000.0 / 0.5e6), 1e-9);
+  EXPECT_GT(slowed, healthy);
+}
+
+TEST(FaultReplay, TransientOutageStallsAndStartTimeShiftsSchedule) {
+  const net::NetworkModel model = simple_model();
+  const trace::CommMatrix comm = two_proc_pattern(1);
+  const Mapping mapping = {0, 1};
+
+  FaultPlan plan;
+  plan.add_site_outage(1, 0.0, 2.0);
+  const DegradedNetworkModel degraded(model, plan);
+  // Issued at t=0 into the outage: stalls until t=2.
+  const sim::ContentionResult stalled =
+      sim::replay_with_contention(comm, degraded, mapping);
+  EXPECT_NEAR(stalled.makespan, 2.0 + 0.108, 1e-9);
+  // Replay offset past the outage: no stall (makespan is a duration).
+  const sim::ContentionResult after =
+      sim::replay_with_contention(comm, degraded, mapping, 5.0);
+  EXPECT_NEAR(after.makespan, 0.108, 1e-9);
+}
+
+TEST(FaultReplay, PermanentOutageThrows) {
+  const net::NetworkModel model = simple_model();
+  const trace::CommMatrix comm = two_proc_pattern(1);
+  FaultPlan plan;
+  plan.add_site_outage(1, 0.0);  // never ends
+  const DegradedNetworkModel degraded(model, plan);
+  EXPECT_THROW(sim::replay_with_contention(comm, degraded, {0, 1}), Error);
+}
+
+// -- Remap-on-outage --
+
+TEST(RemapOnOutage, ProducesFeasibleMappingAvoidingTheDeadSite) {
+  // Capacity headroom so one site's loss is survivable: 4 sites x 16
+  // nodes for 32 processes.
+  const mapping::MappingProblem problem =
+      testutil::random_problem(32, 0.25, 11, 4, /*slack=*/8);
+  const Mapping current = core::GeoDistMapper().map(problem);
+
+  // Fail the site hosting process 0 so some processes are stranded.
+  const SiteId failed = current[0];
+  FaultPlan plan(3);
+  plan.add_site_degradation(failed, 5.0, kNoEnd, 0.25, 2.0);
+  plan.add_site_outage(failed, 10.0);
+
+  const core::RemapResult r =
+      core::remap_on_outage(problem, current, plan, failed, 10.0);
+
+  // Feasible under the rebuilt problem, dead site unused.
+  EXPECT_NO_THROW(mapping::validate_mapping(r.problem, r.mapping));
+  EXPECT_EQ(r.problem.capacities[static_cast<std::size_t>(failed)], 0);
+  for (const SiteId s : r.mapping) EXPECT_NE(s, failed);
+
+  // Surviving pins are honoured; pins to the dead site were released.
+  for (std::size_t i = 0; i < problem.constraints.size(); ++i) {
+    const SiteId pin = problem.constraints[i];
+    if (pin != kUnconstrained && pin != failed) {
+      EXPECT_EQ(r.mapping[i], pin);
+    }
+  }
+
+  // Every process stranded on the dead site moved and was billed.
+  int stranded = 0;
+  for (const SiteId s : current) stranded += (s == failed);
+  EXPECT_GT(stranded, 0);
+  EXPECT_GE(r.processes_moved, stranded);
+  EXPECT_DOUBLE_EQ(r.bytes_moved, r.processes_moved * 64.0 * kMiB);
+  EXPECT_GT(r.migration_seconds, 0.0);
+
+  // Brownout made the old mapping more expensive; the remap recovers some
+  // of that under the degraded network.
+  EXPECT_GT(r.degraded_cost, r.pre_fault_cost);
+  EXPECT_GT(r.post_remap_cost, 0.0);
+  EXPECT_LT(r.post_remap_cost, r.degraded_cost);
+}
+
+TEST(RemapOnOutage, IsDeterministic) {
+  const mapping::MappingProblem problem =
+      testutil::random_problem(24, 0.2, 5, 4, /*slack=*/6);
+  const Mapping current = core::GeoDistMapper().map(problem);
+  FaultPlan plan(9);
+  plan.add_site_outage(1, 4.0);
+  const core::RemapResult a =
+      core::remap_on_outage(problem, current, plan, 1, 4.0);
+  const core::RemapResult b =
+      core::remap_on_outage(problem, current, plan, 1, 4.0);
+  EXPECT_EQ(a.mapping, b.mapping);
+  EXPECT_EQ(a.post_remap_cost, b.post_remap_cost);
+  EXPECT_EQ(a.migration_seconds, b.migration_seconds);
+}
+
+TEST(RemapOnOutage, ThrowsWhenSurvivorsLackCapacity) {
+  // Exact-fit capacities: losing any site is unsurvivable.
+  const mapping::MappingProblem problem = testutil::random_problem(32, 0.0, 3);
+  const Mapping current = core::GeoDistMapper().map(problem);
+  FaultPlan plan;
+  plan.add_site_outage(0, 1.0);
+  EXPECT_THROW(core::remap_on_outage(problem, current, plan, 0, 1.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace geomap::fault

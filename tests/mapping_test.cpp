@@ -48,6 +48,42 @@ TEST(Problem, ValidateCatchesMalformedInstances) {
   EXPECT_THROW(overfull_pin.validate(), Error);
 }
 
+TEST(Problem, ValidateThrowsInvalidArgumentForBadInput) {
+  // Malformed instances are caller errors: validate() must throw the
+  // InvalidArgument subclass, not just the Error base.
+  MappingProblem p = random_problem(8, 0.0, 1);
+
+  MappingProblem negative_cap = p;
+  negative_cap.capacities[1] = -3;
+  EXPECT_THROW(negative_cap.validate(), InvalidArgument);
+
+  MappingProblem infeasible = p;
+  for (auto& c : infeasible.capacities) c = 1;  // total 4 < 8 processes
+  EXPECT_THROW(infeasible.validate(), InvalidArgument);
+
+  MappingProblem pin_out_of_range = p;
+  pin_out_of_range.constraints.assign(8, kUnconstrained);
+  pin_out_of_range.constraints[2] = p.num_sites();
+  EXPECT_THROW(pin_out_of_range.validate(), InvalidArgument);
+
+  MappingProblem pins_overflow_site = p;
+  pins_overflow_site.constraints.assign(8, 0);  // site 0 holds only 2
+  EXPECT_THROW(pins_overflow_site.validate(), InvalidArgument);
+
+  MappingProblem wrong_constraint_len = p;
+  wrong_constraint_len.constraints.assign(5, kUnconstrained);
+  EXPECT_THROW(wrong_constraint_len.validate(), InvalidArgument);
+}
+
+TEST(Problem, CapacityViolatingMappingThrowsConstraintViolation) {
+  const MappingProblem p = random_problem(8, 0.0, 4);
+  // Cram everything onto site 1 (capacity 2): feasibility, not input
+  // shape, is what breaks — so this is ConstraintViolation.
+  const Mapping crammed(8, 1);
+  EXPECT_THROW(validate_mapping(p, crammed), ConstraintViolation);
+  EXPECT_FALSE(is_feasible(p, crammed));
+}
+
 TEST(Problem, ValidateMappingCatchesViolations) {
   MappingProblem p = random_problem(8, 0.0, 2);
   p.constraints.assign(8, kUnconstrained);

@@ -402,5 +402,67 @@ TEST(Runtime, RankErrorsPropagate) {
                Error);
 }
 
+TEST(Runtime, ThrowMidCollectiveDoesNotHangPeers) {
+  // Regression: a rank dying while its peers are blocked inside a
+  // collective must abort those peers instead of deadlocking the run,
+  // and the original exception must surface with its rank id.
+  Runtime rt(simple_model(), {0, 0, 1, 1});
+  try {
+    rt.run([](Comm& comm) {
+      if (comm.rank() == 2) throw Error("boom in rank body");
+      comm.barrier();  // peers would block here forever without abort
+    });
+    FAIL() << "expected the rank error to propagate";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom in rank body"), std::string::npos) << what;
+  }
+  // The runtime is reusable after an aborted run.
+  const RunResult r = rt.run([](Comm& comm) { comm.barrier(); });
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(Runtime, LowestRankErrorWinsWhenSeveralThrow) {
+  Runtime rt(simple_model(), {0, 0, 1, 1});
+  try {
+    rt.run([](Comm& comm) {
+      if (comm.rank() == 1) throw Error("first");
+      if (comm.rank() == 3) throw Error("second");
+      comm.barrier();
+    });
+    FAIL() << "expected the rank error to propagate";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Runtime, SenderBlockedOnDeadReceiverIsReleased) {
+  // The sender parks in rendezvous wait for a matching recv that will
+  // never be posted; the abort path must fail that wait.
+  Runtime rt(simple_model(), {0, 1});
+  EXPECT_THROW(rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<double>{1.0, 2.0});
+    } else {
+      throw Error("receiver died before posting recv");
+    }
+  }),
+               Error);
+}
+
+TEST(Runtime, ReceiverBlockedOnDeadSenderIsReleased) {
+  Runtime rt(simple_model(), {0, 1});
+  EXPECT_THROW(rt.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      (void)comm.recv(0, 1);  // no matching send will ever arrive
+    } else {
+      throw Error("sender died before sending");
+    }
+  }),
+               Error);
+}
+
 }  // namespace
 }  // namespace geomap::runtime
