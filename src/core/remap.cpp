@@ -1,0 +1,102 @@
+#include "core/remap.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "fault/degraded_network.h"
+#include "sim/netsim.h"
+
+namespace geomap::core {
+
+namespace {
+
+/// Cheapest surviving source site for a replica fetch into `dst`.
+SiteId cheapest_survivor(const net::NetworkModel& model, SiteId dst,
+                         SiteId failed_site, Bytes bytes) {
+  SiteId best = -1;
+  Seconds best_time = std::numeric_limits<double>::infinity();
+  for (SiteId s = 0; s < model.num_sites(); ++s) {
+    if (s == failed_site || s == dst) continue;
+    const Seconds t = model.transfer_time(s, dst, bytes);
+    if (t < best_time) {
+      best_time = t;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RemapResult remap_on_outage(const mapping::MappingProblem& problem,
+                            const Mapping& current,
+                            const fault::FaultPlan& plan, SiteId failed_site,
+                            Seconds outage_time, const RemapOptions& options) {
+  GEOMAP_CHECK_MSG(failed_site >= 0 && failed_site < problem.num_sites(),
+                   "failed site " << failed_site << " out of range");
+  GEOMAP_CHECK_ARG(options.bytes_per_process >= 0,
+                   "bytes_per_process must be non-negative, got "
+                       << options.bytes_per_process);
+  mapping::validate_mapping(problem, current);
+
+  const fault::DegradedNetworkModel degraded(problem.network, plan);
+
+  RemapResult result;
+  result.pre_fault_cost =
+      sim::alpha_beta_cost(problem.comm, problem.network, current);
+
+  // Rebuild the instance as of the outage: degraded LT/BT snapshot, dead
+  // site excluded by capacity, surviving pins kept (pins to the dead site
+  // are released).
+  result.problem = problem;
+  result.problem.network = degraded.snapshot(outage_time);
+  result.problem.capacities[static_cast<std::size_t>(failed_site)] = 0;
+  if (!result.problem.constraints.empty()) {
+    for (SiteId& pin : result.problem.constraints) {
+      if (pin == failed_site) pin = kUnconstrained;
+    }
+  }
+  if (!result.problem.allowed_sites.empty()) {
+    for (auto& allowed : result.problem.allowed_sites) {
+      allowed.erase(std::remove(allowed.begin(), allowed.end(), failed_site),
+                    allowed.end());
+      // A list that only named the dead site becomes unrestricted: the
+      // data residency it encoded can no longer be honoured anywhere.
+    }
+  }
+  result.problem.validate();  // throws when survivors lack capacity
+
+  result.degraded_cost =
+      sim::alpha_beta_cost(problem.comm, result.problem.network, current);
+
+  GeoDistMapper mapper(options.mapper);
+  result.mapping = mapper.map(result.problem);
+  mapping::validate_mapping(result.problem, result.mapping);
+
+  result.post_remap_cost =
+      sim::alpha_beta_cost(problem.comm, result.problem.network, result.mapping);
+
+  // Relocation bill: every moved process ships its state over the
+  // degraded network; state stranded on the dead site is fetched from the
+  // cheapest surviving replica site instead.
+  const Bytes bytes = options.bytes_per_process;
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    const SiteId from = current[i];
+    const SiteId to = result.mapping[i];
+    if (from == to) continue;
+    const SiteId src =
+        from == failed_site
+            ? cheapest_survivor(result.problem.network, to, failed_site, bytes)
+            : from;
+    if (src >= 0) {
+      result.migration_seconds +=
+          result.problem.network.transfer_time(src, to, bytes);
+    }
+    result.bytes_moved += bytes;
+    result.processes_moved += 1;
+  }
+  return result;
+}
+
+}  // namespace geomap::core

@@ -1,0 +1,64 @@
+#pragma once
+// Remap-on-outage: graceful degradation for the one-shot mapper.
+//
+// When a site fails mid-plan the original mapping is infeasible — every
+// process it hosted is homeless and every flow through it is dead. The
+// recovery policy rebuilds the MappingProblem as of the outage instant:
+// the failed site's capacity is zeroed, the network model is the
+// fault-degraded snapshot, surviving data-constrained processes keep
+// their pins from the paper's constraint vector C (pins to the failed
+// site are released — that data's residency can no longer be honoured),
+// and the geo-distributed mapper is rerun over the survivors. The result
+// reports the relocation bill (bytes moved × inter-site alpha-beta time)
+// next to the new mapping's cost so callers can weigh migrating now
+// against limping along degraded.
+
+#include "core/geodist_mapper.h"
+#include "fault/fault_plan.h"
+#include "mapping/problem.h"
+
+namespace geomap::core {
+
+struct RemapOptions {
+  GeoDistOptions mapper;
+  /// Application state migrated per relocated process (bytes).
+  Bytes bytes_per_process = 64.0 * kMiB;
+};
+
+struct RemapResult {
+  /// Feasible post-remap mapping (failed site unused, pins honoured).
+  Mapping mapping;
+  /// The rebuilt problem the mapper solved: degraded network snapshot,
+  /// failed site's capacity zeroed, surviving pins kept.
+  mapping::MappingProblem problem;
+
+  /// Alpha-beta cost of the old mapping under the healthy network.
+  Seconds pre_fault_cost = 0;
+  /// Alpha-beta cost of the old mapping under the degraded snapshot —
+  /// the price of limping along (meaningful for brownouts; the outage
+  /// itself makes the old mapping infeasible).
+  Seconds degraded_cost = 0;
+  /// Alpha-beta cost of the new mapping under the degraded snapshot.
+  Seconds post_remap_cost = 0;
+
+  /// One-time relocation bill: Σ over moved processes of the alpha-beta
+  /// time of `bytes_per_process` on the degraded snapshot. Processes
+  /// stranded on the dead site are fetched from the cheapest surviving
+  /// site (replica fetch — the dead site cannot serve its state).
+  Seconds migration_seconds = 0;
+  Bytes bytes_moved = 0;
+  int processes_moved = 0;
+};
+
+/// Recover from the outage of `failed_site` at virtual time `outage_time`
+/// under `plan`. `problem` is the original (healthy) instance, `current`
+/// the mapping in effect when the site died. Throws InvalidArgument when
+/// the surviving capacity cannot host all processes (no headroom — the
+/// deployment cannot survive this outage).
+RemapResult remap_on_outage(const mapping::MappingProblem& problem,
+                            const Mapping& current,
+                            const fault::FaultPlan& plan, SiteId failed_site,
+                            Seconds outage_time,
+                            const RemapOptions& options = {});
+
+}  // namespace geomap::core

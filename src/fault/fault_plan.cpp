@@ -23,6 +23,17 @@ void check_window(Seconds start, Seconds end) {
   GEOMAP_CHECK_MSG(end > start,
                    "fault event window [" << start << ", " << end << ") empty");
 }
+
+// Link endpoints must be a real site id or the -1 wildcard; anything more
+// negative is a caller bug that would otherwise silently match every link.
+void check_endpoints(SiteId src, SiteId dst) {
+  GEOMAP_CHECK_MSG(src >= -1,
+                   "link event src " << src << " is neither a site id nor the "
+                                        "-1 wildcard");
+  GEOMAP_CHECK_MSG(dst >= -1,
+                   "link event dst " << dst << " is neither a site id nor the "
+                                        "-1 wildcard");
+}
 }  // namespace
 
 Seconds RetryPolicy::backoff(int attempt) const {
@@ -47,6 +58,7 @@ FaultPlan& FaultPlan::add_link_degradation(SiteId src, SiteId dst,
                                            Seconds start, Seconds end,
                                            double bandwidth_factor,
                                            double latency_factor) {
+  check_endpoints(src, dst);
   check_window(start, end);
   GEOMAP_CHECK_MSG(bandwidth_factor > 0 && bandwidth_factor <= 1.0,
                    "bandwidth factor " << bandwidth_factor << " not in (0, 1]");
@@ -76,6 +88,7 @@ FaultPlan& FaultPlan::add_site_degradation(SiteId site, Seconds start,
 
 FaultPlan& FaultPlan::add_message_loss(SiteId src, SiteId dst, Seconds start,
                                        Seconds end, double probability) {
+  check_endpoints(src, dst);
   check_window(start, end);
   GEOMAP_CHECK_MSG(probability >= 0.0 && probability <= 1.0,
                    "loss probability " << probability << " not in [0, 1]");

@@ -530,10 +530,21 @@ RunResult Runtime::run(const std::function<void(Comm&)>& body) {
   for (int r = 0; r < p; ++r) {
     const auto& e = errors[static_cast<std::size_t>(r)];
     if (!e) continue;
+    const std::string prefix = "rank " + std::to_string(r) + ": ";
     try {
       std::rethrow_exception(e);
+    } catch (const InvalidArgument& ex) {
+      throw InvalidArgument(prefix + ex.what());
+    } catch (const ConstraintViolation& ex) {
+      throw ConstraintViolation(prefix + ex.what());
+    } catch (const Error& ex) {
+      throw Error(prefix + ex.what());
     } catch (const std::exception& ex) {
-      throw Error("rank " + std::to_string(r) + ": " + ex.what());
+      // Foreign exception type: keep the original reachable via the nested
+      // pointer while still reporting which rank failed.
+      std::throw_with_nested(Error(prefix + ex.what()));
+    } catch (...) {
+      throw Error(prefix + "unknown exception");
     }
   }
 

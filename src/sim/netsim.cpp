@@ -139,7 +139,11 @@ ContentionResult replay_with_contention(
           if (dst_up == up) return up;
           up = dst_up;
         }
-        return up;
+        GEOMAP_CHECK_MSG(false,
+                         "alternating outages of sites "
+                             << src << " and " << dst
+                             << " did not converge after 64 iterations");
+        return up;  // unreachable
       });
 }
 

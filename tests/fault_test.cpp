@@ -116,6 +116,11 @@ TEST(FaultPlan, RejectsMalformedEvents) {
   EXPECT_THROW(plan.add_link_degradation(0, 1, 0.0, 1.0, 1.5), Error);
   EXPECT_THROW(plan.add_link_degradation(0, 1, 0.0, 1.0, 0.5, 0.5), Error);
   EXPECT_THROW(plan.add_message_loss(0, 1, 0.0, 1.0, 1.5), Error);
+  // Endpoints below the -1 wildcard would silently match every link.
+  EXPECT_THROW(plan.add_link_degradation(-5, 1, 0.0, 1.0, 0.5), Error);
+  EXPECT_THROW(plan.add_link_degradation(0, -2, 0.0, 1.0, 0.5), Error);
+  EXPECT_THROW(plan.add_message_loss(-5, 1, 0.0, 1.0, 0.5), Error);
+  EXPECT_THROW(plan.add_message_loss(0, -2, 0.0, 1.0, 0.5), Error);
 }
 
 TEST(DegradedNetwork, PassthroughIsExactOutsideEventWindows) {

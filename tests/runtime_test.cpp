@@ -402,6 +402,29 @@ TEST(Runtime, RankErrorsPropagate) {
                Error);
 }
 
+TEST(Runtime, RankErrorsKeepConcreteTypeAndRankId) {
+  Runtime rt(simple_model(), {0, 0});
+  try {
+    rt.run([](Comm& comm) {
+      if (comm.rank() == 1) throw InvalidArgument("bad rank input");
+    });
+    FAIL() << "expected InvalidArgument to propagate";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad rank input"), std::string::npos) << what;
+  }
+  // Exceptions outside the geomap hierarchy still surface with a rank id.
+  try {
+    rt.run([](Comm& comm) {
+      if (comm.rank() == 0) throw 42;
+    });
+    FAIL() << "expected the non-std exception to be wrapped";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos);
+  }
+}
+
 TEST(Runtime, ThrowMidCollectiveDoesNotHangPeers) {
   // Regression: a rank dying while its peers are blocked inside a
   // collective must abort those peers instead of deadlocking the run,
