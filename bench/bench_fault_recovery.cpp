@@ -13,25 +13,18 @@
 // outage-time) cell with the pre-fault / degraded / post-remap
 // alpha-beta costs and the one-time migration bill.
 
-#include <iomanip>
 #include <iostream>
-#include <sstream>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/cli.h"
+#include "common/json_writer.h"
 #include "core/remap.h"
 #include "fault/fault_plan.h"
 
 using namespace geomap;
 
 namespace {
-
-std::string num(double v) {
-  std::ostringstream os;
-  os << std::setprecision(9) << v;
-  return os.str();
-}
 
 /// Site hosting the most processes — losing it is the worst case.
 SiteId busiest_site(const Mapping& mapping, int num_sites) {
@@ -53,7 +46,9 @@ int main(int argc, char** argv) {
   cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
   cli.add_int("seed", 2017, "random seed");
   cli.add_double("state-mib", 64.0, "migrated state per process (MiB)");
+  bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs(cli);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -66,8 +61,8 @@ int main(int argc, char** argv) {
   core::RemapOptions options;
   options.bytes_per_process = cli.get_double("state-mib") * kMiB;
 
-  std::cout << "[\n";
-  bool first = true;
+  JsonWriter w(std::cout);
+  w.begin_array();
   for (const apps::App* app : apps::all_apps()) {
     apps::AppConfig cfg = app->default_config(ranks);
     trace::CommMatrix comm = bench::profile_app(*app, cfg, ctx.calib.model);
@@ -78,7 +73,9 @@ int main(int argc, char** argv) {
     const mapping::MappingProblem problem = core::make_problem(
         ctx.topo, ctx.calib.model, std::move(comm), std::move(constraints));
 
-    const Mapping current = core::GeoDistMapper().map(problem);
+    core::GeoDistOptions geo_options;
+    geo_options.collector = obs.collector();
+    const Mapping current = core::GeoDistMapper(geo_options).map(problem);
     const SiteId failed = busiest_site(current, problem.num_sites());
 
     for (const double factor : factors) {
@@ -94,28 +91,29 @@ int main(int argc, char** argv) {
             core::remap_on_outage(problem, current, plan, failed, t_out,
                                   options);
 
-        if (!first) std::cout << ",\n";
-        first = false;
-        std::cout << "  {\"app\": \"" << app->name() << "\""
-                  << ", \"ranks\": " << ranks
-                  << ", \"failed_site\": " << failed
-                  << ", \"outage_time\": " << num(t_out)
-                  << ", \"degradation_factor\": " << num(factor)
-                  << ", \"pre_fault_cost\": " << num(r.pre_fault_cost)
-                  << ", \"degraded_cost\": " << num(r.degraded_cost)
-                  << ", \"post_remap_cost\": " << num(r.post_remap_cost)
-                  << ", \"migration_seconds\": " << num(r.migration_seconds)
-                  << ", \"bytes_moved\": " << num(r.bytes_moved)
-                  << ", \"processes_moved\": " << r.processes_moved
-                  << ", \"recovered_percent\": "
-                  << num(r.degraded_cost > 0
-                             ? 100.0 * (r.degraded_cost - r.post_remap_cost) /
-                                   r.degraded_cost
-                             : 0.0)
-                  << "}";
+        w.begin_object();
+        w.field("app", app->name());
+        w.field("ranks", ranks);
+        w.field("failed_site", failed);
+        w.field("outage_time", t_out);
+        w.field("degradation_factor", factor);
+        w.field("pre_fault_cost", r.pre_fault_cost);
+        w.field("degraded_cost", r.degraded_cost);
+        w.field("post_remap_cost", r.post_remap_cost);
+        w.field("migration_seconds", r.migration_seconds);
+        w.field("bytes_moved", r.bytes_moved);
+        w.field("processes_moved", r.processes_moved);
+        w.field("recovered_percent",
+                r.degraded_cost > 0
+                    ? 100.0 * (r.degraded_cost - r.post_remap_cost) /
+                          r.degraded_cost
+                    : 0.0);
+        w.end_object();
       }
     }
   }
-  std::cout << "\n]\n";
+  w.end_array();
+  w.done();
+  std::cout << "\n";
   return 0;
 }

@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
   cli.add_int("reps", 3, "timing repetitions per algorithm");
   cli.add_int("seed", 2017, "random seed");
   cli.add_bool("csv", false, "emit CSV");
+  bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs(cli);
 
   const int reps = static_cast<int>(cli.get_int("reps"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -64,7 +66,11 @@ int main(int argc, char** argv) {
     mapping::RandomMapper baseline(seed);
     mapping::GreedyMapper greedy;
     mapping::MpippMapper mpipp;
-    core::GeoDistMapper geo;
+    // Note: an attached collector audits every timed map() call, so the
+    // reported Geo overhead then includes the observability tax.
+    core::GeoDistOptions geo_options;
+    geo_options.collector = obs.collector();
+    core::GeoDistMapper geo(geo_options);
 
     const double t_base = time_mapper(baseline, problem, reps);
     const double t_greedy = time_mapper(greedy, problem, reps);

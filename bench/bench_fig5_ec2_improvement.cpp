@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
   cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
   cli.add_int("seed", 2017, "random seed");
   cli.add_bool("csv", false, "emit CSV");
+  bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs(cli);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const int trials = static_cast<int>(cli.get_int("trials"));
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
     auto execute = [&](const Mapping& mapping) {
       runtime::Runtime rt(ctx.calib.model, mapping,
                           ctx.topo.instance().gflops);
+      rt.set_collector(obs.collector());
       return rt.run([&](runtime::Comm& c) { (void)app->run(c, cfg); })
           .makespan;
     };
@@ -56,7 +59,8 @@ int main(int argc, char** argv) {
     for (int t = 0; t < trials; ++t)
       base.add(execute(mapping::RandomMapper::draw(problem, base_rng)));
 
-    const bench::AlgorithmSet algos = bench::paper_algorithms(ranks);
+    const bench::AlgorithmSet algos =
+        bench::paper_algorithms(ranks, 1000, obs.collector());
     std::vector<double> improvements;
     for (mapping::Mapper* mapper : algos.all()) {
       const Mapping m = mapper->map(problem);

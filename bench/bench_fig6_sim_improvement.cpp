@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   cli.add_bool("csv", false, "emit CSV");
   cli.add_bool("contention", false,
                "also report the contention-aware replay improvement");
+  bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs(cli);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -49,7 +51,8 @@ int main(int argc, char** argv) {
         problem, static_cast<int>(cli.get_int("trials")), seed + 1);
     const mapping::CostEvaluator eval(problem);
 
-    const bench::AlgorithmSet algos = bench::paper_algorithms(ranks);
+    const bench::AlgorithmSet algos =
+        bench::paper_algorithms(ranks, 1000, obs.collector());
     std::vector<std::string> row = {app->name()};
     Mapping geo_mapping;
     for (mapping::Mapper* mapper : algos.all()) {
@@ -63,11 +66,11 @@ int main(int argc, char** argv) {
       const Mapping random_map = mapping::RandomMapper::draw(problem, crng);
       const double base_mk =
           sim::replay_with_contention(problem.comm, problem.network,
-                                      random_map)
+                                      random_map, obs.collector())
               .makespan;
       const double geo_mk =
           sim::replay_with_contention(problem.comm, problem.network,
-                                      geo_mapping)
+                                      geo_mapping, obs.collector())
               .makespan;
       row.push_back(
           format_double(mapping::improvement_percent(base_mk, geo_mk), 1));

@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
   cli.add_int("seed", 2017, "random seed");
   cli.add_bool("csv", false, "emit CSV");
+  bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs(cli);
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto max_scale = cli.get_int("max-scale");
@@ -51,7 +53,8 @@ int main(int argc, char** argv) {
       const RunningStats base =
           bench::baseline_cost_stats(problem, trials, seed + 1);
       const mapping::CostEvaluator eval(problem);
-      const bench::AlgorithmSet algos = bench::paper_algorithms(ranks);
+      const bench::AlgorithmSet algos =
+          bench::paper_algorithms(ranks, 1000, obs.collector());
 
       double greedy_imp = 0, mpipp_imp = 0, geo_imp = 0, geo_seconds = 0;
       {

@@ -5,15 +5,19 @@
 // deployment, calibrated network model, app profiling and the
 // Baseline/Greedy/MPIPP/Geo-distributed comparison set).
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/app.h"
+#include "common/cli.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/collector.h"
 #include "core/geodist_mapper.h"
 #include "core/pipeline.h"
 #include "mapping/cost.h"
@@ -68,13 +72,15 @@ struct AlgorithmSet {
   }
 };
 
-inline AlgorithmSet paper_algorithms(int num_processes,
-                                     int mpipp_limit = 1000) {
+inline AlgorithmSet paper_algorithms(int num_processes, int mpipp_limit = 1000,
+                                     obs::Collector* collector = nullptr) {
   AlgorithmSet set;
   set.greedy = std::make_unique<mapping::GreedyMapper>();
   if (num_processes <= mpipp_limit)
     set.mpipp = std::make_unique<mapping::MpippMapper>();
-  set.geo = std::make_unique<core::GeoDistMapper>();
+  core::GeoDistOptions geo_options;
+  geo_options.collector = collector;
+  set.geo = std::make_unique<core::GeoDistMapper>(geo_options);
   return set;
 }
 
@@ -101,5 +107,68 @@ inline void print_table(const Table& table, bool csv) {
   if (csv) table.print_csv(std::cout);
   else table.print(std::cout);
 }
+
+/// Register the shared observability flags. Empty path = exporter off.
+inline void add_obs_flags(CliParser& cli) {
+  cli.add_string("metrics-out", "",
+                 "write a metrics-registry JSON snapshot to this file");
+  cli.add_string("trace-out", "",
+                 "write a Chrome trace-event JSON file (Perfetto-loadable)");
+  cli.add_string("audit-out", "",
+                 "write the mapper decision audit trail JSON to this file");
+}
+
+/// Collector wired from the parsed --metrics-out/--trace-out/--audit-out
+/// flags. collector() is nullptr when every flag is empty, so benches
+/// stay on the exact uninstrumented path unless asked; flush() (also run
+/// at destruction) writes whichever files were requested.
+class ObsSink {
+ public:
+  explicit ObsSink(const CliParser& cli)
+      : metrics_path_(cli.get_string("metrics-out")),
+        trace_path_(cli.get_string("trace-out")),
+        audit_path_(cli.get_string("audit-out")) {
+    if (!metrics_path_.empty() || !trace_path_.empty() ||
+        !audit_path_.empty()) {
+      collector_ = std::make_unique<obs::Collector>();
+    }
+  }
+
+  ObsSink(const ObsSink&) = delete;
+  ObsSink& operator=(const ObsSink&) = delete;
+  ~ObsSink() { flush(); }
+
+  obs::Collector* collector() { return collector_.get(); }
+
+  void flush() {
+    if (collector_ == nullptr || flushed_) return;
+    flushed_ = true;
+    write(metrics_path_, [&](std::ostream& os) {
+      collector_->write_metrics_json(os);
+    });
+    write(trace_path_, [&](std::ostream& os) {
+      collector_->write_trace_json(os);
+    });
+    write(audit_path_, [&](std::ostream& os) {
+      collector_->write_audit_json(os);
+    });
+  }
+
+ private:
+  template <typename WriteFn>
+  void write(const std::string& path, WriteFn&& fn) {
+    if (path.empty()) return;
+    std::ofstream os(path);
+    GEOMAP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+    fn(os);
+    os << "\n";
+  }
+
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::string audit_path_;
+  std::unique_ptr<obs::Collector> collector_;
+  bool flushed_ = false;
+};
 
 }  // namespace geomap::bench

@@ -34,8 +34,10 @@ double RunningStats::stderr_mean() const {
 }
 
 double percentile(std::vector<double> sample, double pct) {
-  GEOMAP_CHECK_MSG(!sample.empty(), "percentile of empty sample");
-  GEOMAP_CHECK_MSG(pct >= 0.0 && pct <= 100.0, "pct=" << pct);
+  GEOMAP_CHECK_ARG(!sample.empty(), "percentile of empty sample");
+  // Rejects NaN too: !(NaN >= 0) is true.
+  GEOMAP_CHECK_ARG(pct >= 0.0 && pct <= 100.0,
+                   "percentile pct must be in [0, 100], got " << pct);
   std::sort(sample.begin(), sample.end());
   if (sample.size() == 1) return sample.front();
   const double pos = pct / 100.0 * static_cast<double>(sample.size() - 1);

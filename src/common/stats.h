@@ -32,7 +32,10 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Percentile (0..100) of a sample by linear interpolation. Sorts a copy.
+/// Percentile of a sample by linear interpolation over the sorted copy
+/// (pct 0 = min, 100 = max). Throws InvalidArgument on an empty sample or
+/// when `pct` is outside [0, 100] (NaN included) — out-of-range requests
+/// are caller bugs, never clamped silently.
 double percentile(std::vector<double> sample, double pct);
 
 /// Empirical cumulative distribution function over a fixed sample.

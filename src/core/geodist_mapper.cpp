@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "mapping/allowed_sites.h"
 #include "mapping/cost.h"
+#include "obs/collector.h"
 
 namespace geomap::core {
 
@@ -510,15 +511,44 @@ Mapping GeoDistMapper::map(const MappingProblem& problem) {
                                         << "; enable grouping or raise kappa");
   last_orders_ = static_cast<int>(num_orders);
 
+  obs::Collector* const col = options_.collector;
+  obs::Span search_span;
+  if (col != nullptr) search_span = col->tracer().span("mapper/order-search",
+                                                       "mapper");
+
   const mapping::CostEvaluator eval(problem);
   std::vector<Seconds> costs(static_cast<std::size_t>(num_orders));
+  // Parallel order evaluations write disjoint slots; no lock needed.
+  std::vector<obs::OrderDecision> decisions(
+      col != nullptr ? static_cast<std::size_t>(num_orders) : 0);
 
   auto evaluate = [&](std::size_t idx) {
     const std::vector<GroupId> order =
         nth_permutation(kappa, static_cast<std::int64_t>(idx));
     const Mapping mapped =
         fill_for_order(problem, last_grouping_, order, options_.fill);
-    costs[idx] = eval.total_cost(mapped);
+    if (col == nullptr) {
+      costs[idx] = eval.total_cost(mapped);
+      return;
+    }
+    // Audited path: breakdown() folds the identical edge sequence, so
+    // costs (and therefore the winning order) match the plain path
+    // bit-for-bit.
+    const mapping::CostBreakdown b = eval.breakdown(mapped);
+    costs[idx] = b.total;
+    obs::OrderDecision& d = decisions[idx];
+    d.order.assign(order.begin(), order.end());
+    d.cost_seconds = b.total;
+    for (SiteId src = 0; src < b.num_sites; ++src) {
+      for (SiteId dst = 0; dst < b.num_sites; ++dst) {
+        const std::size_t cell = static_cast<std::size_t>(src) *
+                                     static_cast<std::size_t>(b.num_sites) +
+                                 static_cast<std::size_t>(dst);
+        if (b.messages[cell] == 0.0 && b.bytes[cell] == 0.0) continue;
+        d.pairs.push_back(obs::PairTerm{src, dst, b.alpha[cell], b.beta[cell],
+                                        b.messages[cell], b.bytes[cell]});
+      }
+    }
   };
 
   if (options_.parallel_orders && num_orders > 1) {
@@ -532,6 +562,32 @@ Mapping GeoDistMapper::map(const MappingProblem& problem) {
   std::size_t best = 0;
   for (std::size_t i = 1; i < costs.size(); ++i)
     if (costs[i] < costs[best]) best = i;
+
+  if (col != nullptr) {
+    col->metrics().counter("mapper.map_calls").add();
+    col->metrics()
+        .counter("mapper.orders_evaluated")
+        .add(static_cast<std::uint64_t>(num_orders));
+    obs::Histogram& order_costs =
+        col->metrics().histogram("mapper.order_cost_seconds");
+    for (const Seconds c : costs) order_costs.record(c);
+    if (options_.use_grouping && options_.kappa < m) {
+      col->metrics()
+          .histogram("mapper.kmeans_iterations")
+          .record(last_grouping_.iterations);
+    }
+
+    obs::MapCallRecord record;
+    record.mapper = name();
+    record.num_processes = problem.num_processes();
+    record.num_sites = m;
+    record.num_groups = kappa;
+    record.kmeans_iterations = last_grouping_.iterations;
+    record.orders_enumerated = num_orders;
+    decisions[best].winner = true;
+    record.orders = std::move(decisions);
+    col->audit().add(std::move(record));
+  }
 
   return fill_for_order(problem, last_grouping_,
                         nth_permutation(kappa, static_cast<std::int64_t>(best)),

@@ -22,6 +22,10 @@
 #include "core/grouping.h"
 #include "mapping/mapper.h"
 
+namespace geomap::obs {
+class Collector;
+}
+
 namespace geomap::core {
 
 struct GeoDistOptions {
@@ -63,6 +67,13 @@ struct GeoDistOptions {
   int max_orders = 40320;
 
   KMeansOptions kmeans;
+
+  /// Observability (opt-in, not owned): when set, map() traces its order
+  /// search, records mapper metrics, and files a decision audit entry —
+  /// every enumerated group order with its per-site-pair alpha/beta cost
+  /// decomposition. With nullptr (default) the search runs the exact
+  /// uninstrumented code path and produces bit-identical mappings.
+  obs::Collector* collector = nullptr;
 };
 
 class GeoDistMapper : public mapping::Mapper {

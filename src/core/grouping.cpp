@@ -57,7 +57,9 @@ Grouping group_sites(const std::vector<net::GeoCoordinate>& coords, int kappa,
 
   std::vector<GroupId> assignment(static_cast<std::size_t>(m), -1);
   assign_step(coords, centroids, assignment);
+  int iterations = 0;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++iterations;
     // Update step: centroid = mean of members.
     std::vector<double> lat(centroids.size(), 0.0), lon(centroids.size(), 0.0);
     std::vector<int> count(centroids.size(), 0);
@@ -76,6 +78,7 @@ Grouping group_sites(const std::vector<net::GeoCoordinate>& coords, int kappa,
 
   // Compact away empty clusters and build the result.
   Grouping g;
+  g.iterations = iterations;
   std::vector<GroupId> remap(centroids.size(), -1);
   g.group_of_site.assign(static_cast<std::size_t>(m), -1);
   for (std::size_t s = 0; s < coords.size(); ++s) {
@@ -117,7 +120,9 @@ Grouping group_sites_by_latency(const net::NetworkModel& model, int kappa,
                               order.begin() + static_cast<std::ptrdiff_t>(kappa));
 
   std::vector<GroupId> assignment(static_cast<std::size_t>(m), -1);
+  int iterations = 0;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++iterations;
     // Assign each site to the nearest medoid.
     bool changed = false;
     for (SiteId s = 0; s < m; ++s) {
@@ -161,6 +166,7 @@ Grouping group_sites_by_latency(const net::NetworkModel& model, int kappa,
 
   // Compact into the Grouping structure (inertia: latency-based).
   Grouping g;
+  g.iterations = iterations;
   std::vector<GroupId> remap(medoids.size(), -1);
   g.group_of_site.assign(static_cast<std::size_t>(m), -1);
   for (SiteId s = 0; s < m; ++s) {

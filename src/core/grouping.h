@@ -21,6 +21,10 @@ struct Grouping {
 
   /// Sum of squared distances of sites to their centroids.
   double inertia = 0.0;
+
+  /// Update/assign rounds the clustering ran before converging (0 for
+  /// singleton groupings) — exported by the observability layer.
+  int iterations = 0;
 };
 
 struct KMeansOptions {

@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include "obs/collector.h"
+
 namespace geomap::core {
 
 mapping::MappingProblem make_problem(const net::CloudTopology& topo,
@@ -19,15 +21,27 @@ mapping::MappingProblem make_problem(const net::CloudTopology& topo,
 PipelineResult Pipeline::execute(const net::CloudTopology& topo,
                                  trace::CommMatrix comm,
                                  ConstraintVector constraints) const {
+  obs::Collector* const col = options_.collector;
   PipelineResult result;
-  const net::Calibrator calibrator(options_.calibration);
-  result.calibration = calibrator.calibrate(topo);
+  {
+    obs::Span s;
+    if (col != nullptr) s = col->tracer().span("pipeline/calibrate");
+    const net::Calibrator calibrator(options_.calibration);
+    result.calibration = calibrator.calibrate(topo);
+  }
 
   mapping::MappingProblem problem = make_problem(
       topo, result.calibration.model, std::move(comm), std::move(constraints));
 
-  GeoDistMapper mapper(options_.mapper);
-  result.run = mapping::run_mapper(mapper, problem);
+  GeoDistOptions mapper_options = options_.mapper;
+  if (col != nullptr && mapper_options.collector == nullptr)
+    mapper_options.collector = col;
+  GeoDistMapper mapper(mapper_options);
+  {
+    obs::Span s;
+    if (col != nullptr) s = col->tracer().span("pipeline/map");
+    result.run = mapping::run_mapper(mapper, problem);
+  }
   return result;
 }
 

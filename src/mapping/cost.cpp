@@ -20,6 +20,39 @@ Seconds CostEvaluator::total_cost(const Mapping& mapping) const {
   return total;
 }
 
+CostBreakdown CostEvaluator::breakdown(const Mapping& mapping) const {
+  const int n = p_->num_processes();
+  GEOMAP_CHECK_MSG(static_cast<int>(mapping.size()) == n,
+                   "mapping size mismatch");
+  CostBreakdown b;
+  b.num_sites = p_->network.num_sites();
+  const auto cells = static_cast<std::size_t>(b.num_sites) *
+                     static_cast<std::size_t>(b.num_sites);
+  b.alpha.assign(cells, 0.0);
+  b.beta.assign(cells, 0.0);
+  b.messages.assign(cells, 0.0);
+  b.bytes.assign(cells, 0.0);
+  // Same edge order and per-edge arithmetic as total_cost: the running
+  // total reproduces it bit-for-bit, and the pair cells just receive the
+  // two addends of each edge separately.
+  for (ProcessId i = 0; i < n; ++i) {
+    const SiteId si = mapping[static_cast<std::size_t>(i)];
+    const trace::CommMatrix::Row out = p_->comm.row(i);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const SiteId sj = mapping[static_cast<std::size_t>(out.dst[k])];
+      b.total += edge_cost(si, sj, out.volume[k], out.count[k]);
+      const std::size_t cell =
+          static_cast<std::size_t>(si) * static_cast<std::size_t>(b.num_sites) +
+          static_cast<std::size_t>(sj);
+      b.alpha[cell] += out.count[k] * p_->network.latency(si, sj);
+      b.beta[cell] += out.volume[k] / p_->network.bandwidth(si, sj);
+      b.messages[cell] += out.count[k];
+      b.bytes[cell] += out.volume[k];
+    }
+  }
+  return b;
+}
+
 Seconds CostEvaluator::incident_cost(const Mapping& mapping,
                                      ProcessId i) const {
   const SiteId si = mapping[static_cast<std::size_t>(i)];

@@ -13,12 +13,41 @@
 
 namespace geomap::mapping {
 
+/// COST(P) split per ordered site pair into its Equation (3) terms —
+/// the attribution view behind the mapper decision audit trail. All
+/// matrices are num_sites × num_sites, row-major, indexed [src*M + dst].
+struct CostBreakdown {
+  int num_sites = 0;
+  std::vector<Seconds> alpha;   // Σ over pair's edges of AG · LT
+  std::vector<Seconds> beta;    // Σ over pair's edges of CG / BT
+  std::vector<double> messages;  // Σ AG (message counts)
+  std::vector<Bytes> bytes;      // Σ CG (volumes)
+  /// Accumulated with the identical edge order and arithmetic as
+  /// CostEvaluator::total_cost, so it reproduces that value bit-for-bit.
+  Seconds total = 0;
+
+  Seconds alpha_at(SiteId src, SiteId dst) const {
+    return alpha[static_cast<std::size_t>(src) *
+                     static_cast<std::size_t>(num_sites) +
+                 static_cast<std::size_t>(dst)];
+  }
+  Seconds beta_at(SiteId src, SiteId dst) const {
+    return beta[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(num_sites) +
+                static_cast<std::size_t>(dst)];
+  }
+};
+
 class CostEvaluator {
  public:
   explicit CostEvaluator(const MappingProblem& problem) : p_(&problem) {}
 
   /// Full cost, O(nnz). `mapping` must be complete (no kUnmapped).
   Seconds total_cost(const Mapping& mapping) const;
+
+  /// Full cost plus its per-site-pair alpha/beta attribution. The
+  /// returned total is bit-identical to total_cost(mapping).
+  CostBreakdown breakdown(const Mapping& mapping) const;
 
   /// Cost contribution of all edges incident to process i under `mapping`
   /// (both directions). O(deg(i)).

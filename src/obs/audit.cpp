@@ -1,0 +1,67 @@
+#include "obs/audit.h"
+
+#include <ostream>
+
+#include "common/json_writer.h"
+
+namespace geomap::obs {
+
+void MapperAudit::add(MapCallRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  calls_.push_back(std::move(record));
+}
+
+std::vector<MapCallRecord> MapperAudit::calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return calls_;
+}
+
+bool MapperAudit::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return calls_.empty();
+}
+
+void MapperAudit::write_json(std::ostream& os) const {
+  const std::vector<MapCallRecord> calls = this->calls();
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("map_calls").begin_array();
+  for (const MapCallRecord& call : calls) {
+    w.begin_object();
+    w.field("mapper", call.mapper);
+    w.field("num_processes", call.num_processes);
+    w.field("num_sites", call.num_sites);
+    w.field("num_groups", call.num_groups);
+    w.field("kmeans_iterations", call.kmeans_iterations);
+    w.field("orders_enumerated", call.orders_enumerated);
+    w.key("orders").begin_array();
+    for (const OrderDecision& order : call.orders) {
+      w.begin_object();
+      w.key("order").begin_array();
+      for (const int g : order.order) w.value(g);
+      w.end_array();
+      w.field("cost_seconds", order.cost_seconds);
+      w.field("winner", order.winner);
+      w.key("pairs").begin_array();
+      for (const PairTerm& pair : order.pairs) {
+        w.begin_object();
+        w.field("src", pair.src);
+        w.field("dst", pair.dst);
+        w.field("alpha_seconds", pair.alpha_seconds);
+        w.field("beta_seconds", pair.beta_seconds);
+        w.field("messages", pair.messages);
+        w.field("bytes", pair.bytes);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace geomap::obs

@@ -1,0 +1,82 @@
+#pragma once
+// Mapper decision audit trail: why did Algorithm 1 pick this group order?
+//
+// For every map() call of the geo-distributed mapper, the audit stores
+// every group order the order search enumerated, each with its COST(P^θ)
+// and the per-ordered-site-pair decomposition of that cost into the two
+// terms of paper Equation (3):
+//
+//   alpha(k,l) = Σ_{edges i→j mapped to (k,l)} AG(i,j) · LT(k,l)
+//   beta(k,l)  = Σ_{edges i→j mapped to (k,l)} CG(i,j) / BT(k,l)
+//
+// The schema contract (asserted by tests): each order's stored
+// cost_seconds is bit-identical to CostEvaluator::total_cost of that
+// candidate mapping, and Σ_pairs (alpha + beta) reproduces it up to
+// floating-point summation order (pair-major vs edge-major folds of the
+// same addends; relative error ~1e-15 per fold, asserted < 1e-12 in
+// tests), so the exported JSON is a faithful
+// cost attribution — which WAN pair, and which term (latency or volume),
+// every candidate paid.
+//
+// The audit stores plain data only; the decomposition itself is computed
+// by mapping::CostEvaluator::breakdown at the instrumentation site, which
+// keeps this library free of mapping/net dependencies.
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geomap::obs {
+
+/// Cost contribution of one ordered site pair under one candidate order.
+/// Zero-cost pairs are omitted from the trail.
+struct PairTerm {
+  int src = 0;
+  int dst = 0;
+  double alpha_seconds = 0;  // Σ count · LT(src, dst)
+  double beta_seconds = 0;   // Σ volume / BT(src, dst)
+  double messages = 0;       // Σ AG over contributing edges
+  double bytes = 0;          // Σ CG over contributing edges
+};
+
+/// One enumerated group order and its evaluation.
+struct OrderDecision {
+  std::vector<int> order;  // permutation of group ids, visit order
+  double cost_seconds = 0;  // COST(P^θ) as the mapper computed it
+  bool winner = false;
+  std::vector<PairTerm> pairs;
+};
+
+/// One audited map() call (hierarchical recursion records one per level).
+struct MapCallRecord {
+  std::string mapper;
+  int num_processes = 0;
+  int num_sites = 0;
+  int num_groups = 0;
+  int kmeans_iterations = 0;
+  std::int64_t orders_enumerated = 0;
+  std::vector<OrderDecision> orders;
+};
+
+class MapperAudit {
+ public:
+  /// Append one finished map() call (thread-safe).
+  void add(MapCallRecord record);
+
+  std::vector<MapCallRecord> calls() const;  // copy, for tests
+  bool empty() const;
+
+  /// {"map_calls": [ {mapper, ..., "orders": [ {order, cost_seconds,
+  /// winner, "pairs": [...]}, ... ]}, ... ]}
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<MapCallRecord> calls_;
+};
+
+}  // namespace geomap::obs

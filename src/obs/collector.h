@@ -1,0 +1,49 @@
+#pragma once
+// The opt-in observability handle threaded through Pipeline, Runtime, and
+// the mapper options: one Collector bundles the metrics registry, the
+// span tracer, and the mapper decision audit trail.
+//
+// Contract: every instrumented component takes a `Collector*` that
+// defaults to nullptr, and with no collector attached executes the exact
+// pre-observability code path — mappings, RunResults, and replay results
+// are bit-identical to an uninstrumented build (asserted by tests). With
+// a collector attached, instrumentation only observes; it never alters a
+// decision.
+//
+// The collector is thread-safe: rank threads and parallel order
+// evaluations record into the same instance concurrently.
+
+#include <iosfwd>
+
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace geomap::obs {
+
+class Collector {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  SpanTracer& tracer() { return tracer_; }
+  const SpanTracer& tracer() const { return tracer_; }
+
+  MapperAudit& audit() { return audit_; }
+  const MapperAudit& audit() const { return audit_; }
+
+  /// Exporters (one JSON document each; see the member classes for the
+  /// schemas). Streams are flushed by the caller.
+  void write_metrics_json(std::ostream& os) const { metrics_.write_json(os); }
+  void write_trace_json(std::ostream& os) const {
+    tracer_.write_chrome_trace(os);
+  }
+  void write_audit_json(std::ostream& os) const { audit_.write_json(os); }
+
+ private:
+  MetricsRegistry metrics_;
+  SpanTracer tracer_;
+  MapperAudit audit_;
+};
+
+}  // namespace geomap::obs

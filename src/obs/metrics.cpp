@@ -1,0 +1,110 @@
+#include "obs/metrics.h"
+
+#include <ostream>
+
+#include "common/error.h"
+#include "common/json_writer.h"
+#include "common/stats.h"
+
+namespace geomap::obs {
+
+void Histogram::record(double x) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(x);
+}
+
+Histogram::Summary Histogram::summary() const {
+  std::vector<double> copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy = samples_;
+  }
+  Summary s;
+  s.count = copy.size();
+  if (copy.empty()) return s;
+  RunningStats stats;
+  for (const double x : copy) stats.add(x);
+  s.sum = stats.sum();
+  s.min = stats.min();
+  s.max = stats.max();
+  s.mean = stats.mean();
+  s.p50 = percentile(copy, 50.0);
+  s.p90 = percentile(copy, 90.0);
+  s.p99 = percentile(copy, 99.0);
+  return s;
+}
+
+std::vector<double> Histogram::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+namespace {
+
+template <typename Map, typename Factory>
+auto& find_or_create(Map& map, const std::string& name, Factory&& make,
+                     const char* kind, bool taken_elsewhere) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    GEOMAP_CHECK_MSG(!taken_elsewhere, "metric '" << name
+                                                  << "' already registered as "
+                                                     "a different kind than "
+                                                  << kind);
+    it = map.emplace(name, make()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(
+      counters_, name, [] { return std::make_unique<Counter>(); }, "counter",
+      gauges_.count(name) > 0 || histograms_.count(name) > 0);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(
+      gauges_, name, [] { return std::make_unique<Gauge>(); }, "gauge",
+      counters_.count(name) > 0 || histograms_.count(name) > 0);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(
+      histograms_, name, [] { return std::make_unique<Histogram>(); },
+      "histogram", counters_.count(name) > 0 || gauges_.count(name) > 0);
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Summary s = h->summary();
+    w.key(name).begin_object();
+    w.field("count", s.count);
+    w.field("sum", s.sum);
+    w.field("min", s.min);
+    w.field("max", s.max);
+    w.field("mean", s.mean);
+    w.field("p50", s.p50);
+    w.field("p90", s.p90);
+    w.field("p99", s.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace geomap::obs

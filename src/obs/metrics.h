@@ -1,0 +1,94 @@
+#pragma once
+// Thread-safe metrics registry: named counters, gauges, and histograms
+// for the pipeline's hot paths (mapper order search, minimpi transfers,
+// replay engines, fault accounting).
+//
+// Handles returned by the registry are stable for its lifetime, so hot
+// paths resolve a metric once (one map lookup under the registry mutex)
+// and then update it lock-free: counters and gauges are single atomics,
+// histograms take a short mutex per sample. With no registry in reach
+// (the Collector is opt-in) instrumented code never touches any of this.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace geomap::obs {
+
+/// Monotonic event count. Lock-free, relaxed ordering: totals are exact
+/// once the writing threads are joined (asserted by tests).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Sample distribution; exports count/sum/extrema plus interpolated
+/// percentiles (common/stats) at summary time. Stores raw samples —
+/// exact percentiles, bounded use-cases (per-order costs, per-rank
+/// times, backoff delays), no bucket-boundary tuning.
+class Histogram {
+ public:
+  void record(double x);
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+  };
+  Summary summary() const;
+
+  std::vector<double> samples() const;  // copy, for tests
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name. The returned reference stays valid for the
+  /// registry's lifetime. A name is bound to one metric kind; asking for
+  /// the same name as a different kind throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99}}}.
+  /// Keys sorted (std::map order) for diffable output.
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace geomap::obs

@@ -1,0 +1,164 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "common/json_writer.h"
+
+namespace geomap::obs {
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span::Span(SpanTracer* tracer, std::string name, std::string category)
+    : tracer_(tracer) {
+  record_.name = std::move(name);
+  record_.category = std::move(category);
+  record_.tid = tracer_->thread_index();
+  record_.wall_start_us = tracer_->now_us();
+}
+
+void Span::set_virtual(int rank, Seconds vt_start, Seconds vt_end) {
+  if (tracer_ == nullptr) return;
+  record_.rank = rank;
+  record_.vt_start = vt_start;
+  record_.vt_end = vt_end;
+  record_.has_virtual = true;
+}
+
+void Span::set_args_json(std::string args_json) {
+  if (tracer_ == nullptr) return;
+  record_.args_json = std::move(args_json);
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  record_.wall_end_us = tracer_->now_us();
+  tracer_->finish(std::move(record_));
+  tracer_ = nullptr;
+}
+
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Span SpanTracer::span(std::string name, std::string category) {
+  return Span(this, std::move(name), std::move(category));
+}
+
+void SpanTracer::record_virtual(int rank, std::string name,
+                                std::string category, Seconds vt_start,
+                                Seconds vt_end, std::string args_json) {
+  SpanRecord r;
+  r.name = std::move(name);
+  r.category = std::move(category);
+  r.has_wall = false;
+  r.rank = rank;
+  r.tid = rank;
+  r.vt_start = vt_start;
+  r.vt_end = vt_end;
+  r.has_virtual = true;
+  r.args_json = std::move(args_json);
+  finish(std::move(r));
+}
+
+double SpanTracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void SpanTracer::finish(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+int SpanTracer::thread_index() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto id = std::this_thread::get_id();
+  auto it = thread_index_.find(id);
+  if (it == thread_index_.end())
+    it = thread_index_.emplace(id, static_cast<int>(thread_index_.size()))
+             .first;
+  return it->second;
+}
+
+namespace {
+
+constexpr int kWallPid = 0;
+constexpr int kVirtualPid = 1;
+
+void write_event(JsonWriter& w, const SpanRecord& r, int pid, int tid,
+                 double ts_us, double dur_us) {
+  w.begin_object();
+  w.field("name", r.name);
+  w.field("cat", r.category);
+  w.field("ph", "X");
+  w.field("pid", pid);
+  w.field("tid", tid);
+  w.field("ts", ts_us);
+  w.field("dur", dur_us);
+  if (!r.args_json.empty()) w.key("args").raw(r.args_json);
+  w.end_object();
+}
+
+void write_metadata(JsonWriter& w, int pid, int tid, const char* what,
+                    const std::string& name) {
+  w.begin_object();
+  w.field("name", what);
+  w.field("ph", "M");
+  w.field("pid", pid);
+  if (tid >= 0) w.field("tid", tid);
+  w.key("args").begin_object().field("name", name).end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::vector<SpanRecord> SpanTracer::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void SpanTracer::write_chrome_trace(std::ostream& os) const {
+  const std::vector<SpanRecord> records = this->records();
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  write_metadata(w, kWallPid, -1, "process_name", "wall clock");
+  write_metadata(w, kVirtualPid, -1, "process_name", "virtual time");
+  std::vector<int> ranks;
+  for (const SpanRecord& r : records)
+    if (r.has_virtual) ranks.push_back(r.rank);
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  for (const int rank : ranks)
+    write_metadata(w, kVirtualPid, rank, "thread_name",
+                   "rank " + std::to_string(rank));
+
+  for (const SpanRecord& r : records) {
+    if (r.has_wall) {
+      write_event(w, r, kWallPid, r.tid, r.wall_start_us,
+                  r.wall_end_us - r.wall_start_us);
+    }
+    if (r.has_virtual) {
+      // Virtual clocks are seconds; the trace unit is microseconds.
+      write_event(w, r, kVirtualPid, r.rank, r.vt_start * 1e6,
+                  (r.vt_end - r.vt_start) * 1e6);
+    }
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace geomap::obs

@@ -1,0 +1,118 @@
+#pragma once
+// RAII spans with wall-clock *and* virtual-time intervals, exported as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Two timelines coexist in one trace file:
+//
+//   pid 0 "wall clock"   — host time per thread: pipeline phases, mapper
+//                          order searches, runtime runs.
+//   pid 1 "virtual time" — the runtime's per-rank virtual clocks:
+//                          transfers, retry backoffs, outage stalls. A
+//                          faulted run renders as a per-rank timeline
+//                          where a retry storm is a pile of nested
+//                          "retry"/"outage-stall" spans inside the
+//                          enclosing "recv".
+//
+// A Span records its wall interval from construction to destruction (or
+// end()); set_virtual() attaches a rank-scoped virtual interval before it
+// closes. record_virtual() emits a closed virtual-only span directly —
+// the runtime uses it because virtual intervals are known only after the
+// fact. All entry points are thread-safe; rank threads trace
+// concurrently.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geomap::obs {
+
+class SpanTracer;
+
+/// One finished interval as stored by the tracer.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  int tid = 0;  // wall: small per-thread index; virtual: rank id
+  double wall_start_us = 0;
+  double wall_end_us = 0;
+  bool has_wall = true;
+  int rank = -1;  // >= 0 when a virtual interval is attached
+  Seconds vt_start = 0;
+  Seconds vt_end = 0;
+  bool has_virtual = false;
+  /// Preformatted JSON object for the event's "args" (empty = none).
+  std::string args_json;
+};
+
+/// Movable RAII handle; the disengaged (default-constructed) span is a
+/// no-op, which lets instrumented code write
+/// `obs::Span s; if (collector) s = collector->tracer().span(...);`.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Attach a virtual-time interval on `rank`'s timeline.
+  void set_virtual(int rank, Seconds vt_start, Seconds vt_end);
+
+  /// Attach a preformatted JSON object as the trace event's "args".
+  void set_args_json(std::string args_json);
+
+  /// Close early (records the span; further calls are no-ops).
+  void end();
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class SpanTracer;
+  Span(SpanTracer* tracer, std::string name, std::string category);
+
+  SpanTracer* tracer_ = nullptr;
+  SpanRecord record_;
+};
+
+class SpanTracer {
+ public:
+  SpanTracer();
+
+  /// Open a wall-clock span on the calling thread's timeline.
+  Span span(std::string name, std::string category = "pipeline");
+
+  /// Record a closed virtual-time interval on `rank`'s timeline.
+  void record_virtual(int rank, std::string name, std::string category,
+                      Seconds vt_start, Seconds vt_end,
+                      std::string args_json = {});
+
+  /// Microseconds of wall clock since tracer construction.
+  double now_us() const;
+
+  /// Finished spans in completion order (copy, for tests).
+  std::vector<SpanRecord> records() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], "displayTimeUnit":
+  /// "ms"} with process/thread metadata naming the two timelines.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  friend class Span;
+  void finish(SpanRecord record);
+  int thread_index();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::unordered_map<std::thread::id, int> thread_index_;
+};
+
+}  // namespace geomap::obs

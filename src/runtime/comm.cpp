@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "common/error.h"
+#include "obs/collector.h"
 
 namespace geomap::runtime {
 
@@ -42,6 +44,10 @@ Request Comm::isend(int dst, int tag, std::span<const double> data) {
 
   stats_.messages_sent += 1;
   stats_.bytes_sent += bytes;
+  if (runtime_->collector_ != nullptr) {
+    runtime_->obs_.messages->add();
+    runtime_->obs_.bytes->add(static_cast<std::uint64_t>(bytes));
+  }
   if (runtime_->profile_ != nullptr) {
     runtime_->profile_->recorder(rank_).record_send(dst, bytes);
   }
@@ -97,16 +103,31 @@ std::vector<double> Comm::recv(int src, int tag) {
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank_)) << 21) ^
         seq;
     for (int attempt = 0;; ++attempt) {
+      const bool down =
+          plan.site_down(src_site, start) || plan.site_down(dst_site, start);
       const bool lost =
-          plan.site_down(src_site, start) || plan.site_down(dst_site, start) ||
-          plan.message_lost(src_site, dst_site, start, stream,
-                            static_cast<std::uint64_t>(attempt));
+          down || plan.message_lost(src_site, dst_site, start, stream,
+                                    static_cast<std::uint64_t>(attempt));
       if (!lost) break;
       if (attempt >= policy.max_retries) {
         stats_.timeouts += 1;
+        if (runtime_->collector_ != nullptr) runtime_->obs_.timeouts->add();
         break;
       }
       const Seconds delay = policy.detect_timeout + policy.backoff(attempt);
+      if (runtime_->collector_ != nullptr) {
+        runtime_->obs_.retries->add();
+        if (down)
+          runtime_->obs_.outage_blocks->add();
+        else
+          runtime_->obs_.losses->add();
+        runtime_->obs_.backoff_seconds->record(delay);
+        runtime_->collector_->tracer().record_virtual(
+            rank_, down ? "outage-stall" : "retry", "fault", start,
+            start + delay,
+            "{\"src\":" + std::to_string(src) +
+                ",\"attempt\":" + std::to_string(attempt) + "}");
+      }
       start += delay;
       stats_.retries += 1;
       stats_.fault_seconds += delay;
@@ -119,6 +140,8 @@ std::vector<double> Comm::recv(int src, int tag) {
           bytes / (runtime_->model_.bandwidth(src_site, dst_site) *
                    cond.bandwidth_factor);
       stats_.fault_seconds += degraded - wire;
+      if (runtime_->collector_ != nullptr)
+        runtime_->obs_.degraded_extra_seconds->record(degraded - wire);
       wire = degraded;
     }
   }
@@ -129,6 +152,15 @@ std::vector<double> Comm::recv(int src, int tag) {
   const Seconds before = now_;
   now_ = completion;
   stats_.comm_seconds += now_ - before;
+  if (runtime_->collector_ != nullptr && src_site != dst_site) {
+    // One WAN transfer on the receiver's virtual timeline; retry and
+    // outage-stall spans recorded above nest inside [before, completion].
+    runtime_->collector_->tracer().record_virtual(
+        rank_, "recv", "comm", before, completion,
+        "{\"src\":" + std::to_string(src) +
+            ",\"bytes\":" + std::to_string(static_cast<long long>(bytes)) +
+            "}");
+  }
   m.rendezvous->complete(completion);
   return std::move(m.payload);
 }
@@ -477,6 +509,25 @@ Runtime::Runtime(net::NetworkModel model, Mapping rank_to_site, double gflops,
     links_.push_back(std::make_unique<LinkState>());
 }
 
+void Runtime::set_collector(obs::Collector* collector) {
+  collector_ = collector;
+  if (collector_ == nullptr) {
+    obs_ = ObsHandles{};
+    return;
+  }
+  obs::MetricsRegistry& m = collector_->metrics();
+  obs_.messages = &m.counter("comm.messages_sent");
+  obs_.bytes = &m.counter("comm.bytes_sent");
+  obs_.retries = &m.counter("comm.retries");
+  obs_.timeouts = &m.counter("comm.timeouts");
+  obs_.losses = &m.counter("fault.losses");
+  obs_.outage_blocks = &m.counter("fault.outage_blocks");
+  obs_.backoff_seconds = &m.histogram("comm.backoff_seconds");
+  obs_.degraded_extra_seconds = &m.histogram("fault.degraded_extra_seconds");
+  obs_.rank_finish_seconds = &m.histogram("runtime.rank_finish_seconds");
+  obs_.rank_comm_seconds = &m.histogram("runtime.rank_comm_seconds");
+}
+
 Seconds Runtime::acquire_link(SiteId src_site, SiteId dst_site, Seconds ready,
                               Seconds wire_seconds) {
   LinkState& link =
@@ -501,6 +552,11 @@ Seconds Runtime::acquire_link(SiteId src_site, SiteId dst_site, Seconds ready,
 
 RunResult Runtime::run(const std::function<void(Comm&)>& body) {
   const int p = num_ranks();
+  obs::Span run_span;
+  if (collector_ != nullptr) {
+    run_span = collector_->tracer().span("runtime/run", "runtime");
+    run_span.set_args_json("{\"ranks\":" + std::to_string(p) + "}");
+  }
   // Each run starts at virtual time zero with idle links and mailboxes.
   for (auto& link : links_) link->busy.clear();
   for (auto& mailbox : mailboxes_) mailbox.reset();
@@ -557,6 +613,18 @@ RunResult Runtime::run(const std::function<void(Comm&)>& body) {
     result.total_retries += rs.retries;
     result.total_timeouts += rs.timeouts;
     result.total_fault_seconds += rs.fault_seconds;
+  }
+  if (collector_ != nullptr) {
+    collector_->metrics().counter("runtime.runs").add();
+    for (int r = 0; r < p; ++r) {
+      const RankStats& rs = result.ranks[static_cast<std::size_t>(r)];
+      obs_.rank_finish_seconds->record(rs.finish_time);
+      obs_.rank_comm_seconds->record(rs.comm_seconds);
+      // Per-rank envelope on the virtual timeline: every transfer/retry
+      // span recorded during the run nests inside it.
+      collector_->tracer().record_virtual(r, "rank", "runtime", 0,
+                                          rs.finish_time);
+    }
   }
   return result;
 }

@@ -41,6 +41,12 @@
 #include "trace/optrace.h"
 #include "trace/profile.h"
 
+namespace geomap::obs {
+class Collector;
+class Counter;
+class Histogram;
+}  // namespace geomap::obs
+
 namespace geomap::runtime {
 
 /// Reduction operators for reduce/allreduce.
@@ -208,6 +214,16 @@ class Runtime {
     retry_policy_ = policy;
   }
 
+  /// Observability (opt-in, not owned; pass nullptr to detach): transfers
+  /// bump comm/fault counters, retry backoffs and outage stalls become
+  /// virtual-time spans on the receiving rank's timeline, and run() wraps
+  /// itself in a wall span and exports per-rank finish/comm histograms.
+  /// Metric handles are resolved here, once — the per-message hot path
+  /// only dereferences cached pointers. Without a collector the runtime
+  /// executes the exact uninstrumented path (virtual times and RunResult
+  /// are bit-identical).
+  void set_collector(obs::Collector* collector);
+
   /// Execute `body` on `num_ranks` rank threads. Rank count must match
   /// the mapping size. If any rank body throws, the run is aborted —
   /// peers blocked in recv/wait/collectives are released, never left
@@ -241,6 +257,22 @@ class Runtime {
   const fault::FaultPlan* fault_plan_ = nullptr;
   fault::RetryPolicy retry_policy_;
   std::vector<Mailbox> mailboxes_;
+
+  obs::Collector* collector_ = nullptr;
+  /// Metric handles cached by set_collector (valid while collector_ set).
+  struct ObsHandles {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* losses = nullptr;
+    obs::Counter* outage_blocks = nullptr;
+    obs::Histogram* backoff_seconds = nullptr;
+    obs::Histogram* degraded_extra_seconds = nullptr;
+    obs::Histogram* rank_finish_seconds = nullptr;
+    obs::Histogram* rank_comm_seconds = nullptr;
+  };
+  ObsHandles obs_;
 
   /// Busy intervals of one inter-site link, kept sorted by start time.
   /// Transfers reserve the first gap that fits at or after their ready

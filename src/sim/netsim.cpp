@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "mapping/cost.h"
 #include "mapping/metrics.h"
+#include "obs/collector.h"
 
 namespace geomap::sim {
 
@@ -37,11 +38,25 @@ namespace {
 template <typename WireFn, typename StallFn>
 ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
                                const Mapping& mapping, Seconds start_time,
-                               WireFn&& wire_at, StallFn&& stall_until) {
+                               WireFn&& wire_at, StallFn&& stall_until,
+                               obs::Collector* collector) {
   GEOMAP_CHECK_MSG(static_cast<int>(mapping.size()) == comm.num_processes(),
                    "mapping size mismatch");
   const int n = comm.num_processes();
   const int m = num_sites;
+
+  // Handles resolved once; the per-edge loop only dereferences them.
+  obs::Span replay_span;
+  obs::Counter* edges_replayed = nullptr;
+  obs::Histogram* queue_stalls = nullptr;
+  obs::Histogram* outage_stalls = nullptr;
+  if (collector != nullptr) {
+    replay_span = collector->tracer().span("sim/replay", "sim");
+    edges_replayed = &collector->metrics().counter("sim.edges_replayed");
+    queue_stalls =
+        &collector->metrics().histogram("sim.contention_stall_seconds");
+    outage_stalls = &collector->metrics().histogram("sim.outage_stall_seconds");
+  }
 
   // Per ordered inter-site pair: time the link frees up; per process:
   // time the process can issue its next message.
@@ -72,9 +87,13 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
     const SiteId dst = mapping[static_cast<std::size_t>(row.dst[p.edge])];
 
     Seconds start = stall_until(src, dst, p.ready);
+    if (outage_stalls != nullptr && start > p.ready)
+      outage_stalls->record(start - p.ready);
     if (src != dst) {
       const std::size_t link =
           static_cast<std::size_t>(src) * m + static_cast<std::size_t>(dst);
+      if (queue_stalls != nullptr && link_free[link] > start)
+        queue_stalls->record(link_free[link] - start);
       start = std::max(start, link_free[link]);
     }
     // The CSR edge aggregates count[k] messages of total volume[k]; its
@@ -91,6 +110,7 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
     const Seconds end = start + wire;
     proc_ready[static_cast<std::size_t>(p.proc)] = end;
     result.makespan = std::max(result.makespan, end - start_time);
+    if (edges_replayed != nullptr) edges_replayed->add();
 
     if (p.edge + 1 < row.size()) q.push(Pending{end, p.proc, p.edge + 1});
   }
@@ -104,18 +124,19 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
 
 ContentionResult replay_with_contention(const trace::CommMatrix& comm,
                                         const net::NetworkModel& model,
-                                        const Mapping& mapping) {
+                                        const Mapping& mapping,
+                                        obs::Collector* collector) {
   return replay_engine(
       comm, model.num_sites(), mapping, 0.0,
       [&](SiteId src, SiteId dst, double count, Bytes volume, Seconds) {
         return model.message_cost(src, dst, count, volume);
       },
-      [](SiteId, SiteId, Seconds t) { return t; });
+      [](SiteId, SiteId, Seconds t) { return t; }, collector);
 }
 
 ContentionResult replay_with_contention(
     const trace::CommMatrix& comm, const fault::DegradedNetworkModel& model,
-    const Mapping& mapping, Seconds start_time) {
+    const Mapping& mapping, Seconds start_time, obs::Collector* collector) {
   const fault::FaultPlan& plan = model.plan();
   return replay_engine(
       comm, model.num_sites(), mapping, start_time,
@@ -144,7 +165,8 @@ ContentionResult replay_with_contention(
                              << src << " and " << dst
                              << " did not converge after 64 iterations");
         return up;  // unreachable
-      });
+      },
+      collector);
 }
 
 double comm_improvement_percent(const trace::CommMatrix& comm,

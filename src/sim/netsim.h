@@ -20,6 +20,10 @@
 #include "net/network_model.h"
 #include "trace/comm_matrix.h"
 
+namespace geomap::obs {
+class Collector;
+}
+
 namespace geomap::sim {
 
 /// Paper Equation (2): total alpha-beta communication cost of `mapping`.
@@ -38,9 +42,13 @@ struct ContentionResult {
 /// Event-driven replay with per-site-pair link serialization. Messages of
 /// one source process issue sequentially in CSR row order; intra-site
 /// traffic uses the (infinite-parallelism) intra link and never queues.
+/// `collector` (opt-in, not owned) wraps the replay in a wall span and
+/// records edge counts plus contention-stall histograms; nullptr replays
+/// the exact uninstrumented path with bit-identical results.
 ContentionResult replay_with_contention(const trace::CommMatrix& comm,
                                         const net::NetworkModel& model,
-                                        const Mapping& mapping);
+                                        const Mapping& mapping,
+                                        obs::Collector* collector = nullptr);
 
 /// Fault-aware replay: identical discrete-event engine, but every edge's
 /// wire time is evaluated under `model`'s fault plan as of the edge's
@@ -57,7 +65,8 @@ ContentionResult replay_with_contention(const trace::CommMatrix& comm,
 ContentionResult replay_with_contention(const trace::CommMatrix& comm,
                                         const fault::DegradedNetworkModel& model,
                                         const Mapping& mapping,
-                                        Seconds start_time = 0);
+                                        Seconds start_time = 0,
+                                        obs::Collector* collector = nullptr);
 
 /// Communication improvement of `mapping` over `baseline` in percent,
 /// under the alpha-beta model.

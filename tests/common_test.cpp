@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -13,6 +14,7 @@
 #include "common/cli.h"
 #include "common/dense_matrix.h"
 #include "common/error.h"
+#include "common/json_writer.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -119,8 +121,17 @@ TEST(Stats, PercentileInterpolates) {
 }
 
 TEST(Stats, PercentileRejectsBadInput) {
-  EXPECT_THROW(percentile({}, 50), Error);
-  EXPECT_THROW(percentile({1.0}, 101), Error);
+  // The contract (common/stats.h): empty samples and pct outside [0, 100]
+  // throw InvalidArgument — never a silent clamp or an out-of-bounds read.
+  EXPECT_THROW(percentile({}, 50), InvalidArgument);
+  EXPECT_THROW(percentile({}, 0), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 101), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 100.0000001), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, -0.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, std::nan("")), InvalidArgument);
+  // Boundary percentiles remain valid on a single-element sample.
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
 }
 
 TEST(EmpiricalCdf, AtAndQuantileAreConsistent) {
@@ -244,6 +255,66 @@ TEST(Checks, MacrosThrowWithContext) {
     FAIL() << "should have thrown";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(JsonWriter, EmitsNestedStructuresCompact) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("name", "geo");
+  w.field("count", 3);
+  w.field("ok", true);
+  w.key("costs").begin_array();
+  w.value(1.5).value(static_cast<std::int64_t>(-2)).null();
+  w.end_array();
+  w.key("nested").begin_object().field("x", 1).end_object();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"geo\",\"count\":3,\"ok\":true,"
+            "\"costs\":[1.5,-2,null],\"nested\":{\"x\":1}}");
+}
+
+TEST(JsonWriter, EscapesStringsAndHandlesNonFinite) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\n\t\x01"),
+            "a\\\"b\\\\c\\n\\t\\u0001");
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");  // non-finite is not JSON
+}
+
+TEST(JsonWriter, DoubleFormattingRoundTrips) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 12345.6789, 2.0, -0.0}) {
+    const std::string s = JsonWriter::format_double(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+  // Integer-valued doubles read back as JSON numbers, not strings.
+  EXPECT_EQ(JsonWriter::format_double(3.0), "3.0");
+}
+
+TEST(JsonWriter, RejectsMalformedSequences) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), Error);  // member value without a key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), Error);  // mismatched close
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.value(1.0);
+    EXPECT_THROW(w.value(2.0), Error);  // two top-level values
   }
 }
 
