@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
 
   core::RemapOptions options;
   options.bytes_per_process = cli.get_double("state-mib") * kMiB;
+  options.collector = obs.collector();
 
   JsonWriter w(std::cout);
   w.begin_array();
@@ -100,6 +101,8 @@ int main(int argc, char** argv) {
         w.field("pre_fault_cost", r.pre_fault_cost);
         w.field("degraded_cost", r.degraded_cost);
         w.field("post_remap_cost", r.post_remap_cost);
+        w.field("pre_fault_makespan", r.pre_fault_makespan);
+        w.field("post_remap_makespan", r.post_remap_makespan);
         w.field("migration_seconds", r.migration_seconds);
         w.field("bytes_moved", r.bytes_moved);
         w.field("processes_moved", r.processes_moved);

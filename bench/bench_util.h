@@ -5,6 +5,7 @@
 // deployment, calibrated network model, app profiling and the
 // Baseline/Greedy/MPIPP/Geo-distributed comparison set).
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -116,21 +117,45 @@ inline void add_obs_flags(CliParser& cli) {
                  "write a Chrome trace-event JSON file (Perfetto-loadable)");
   cli.add_string("audit-out", "",
                  "write the mapper decision audit trail JSON to this file");
+  cli.add_string("critpath-out", "",
+                 "write the causal critical-path JSON (geomap-obsctl input) "
+                 "to this file");
+  cli.add_string("obs-dir", "",
+                 "write all four observability artifacts into this directory "
+                 "as metrics.json, trace.json, audit.json, critpath.json "
+                 "(per-artifact --*-out flags override individual paths)");
 }
 
-/// Collector wired from the parsed --metrics-out/--trace-out/--audit-out
-/// flags. collector() is nullptr when every flag is empty, so benches
+/// Collector wired from the parsed observability flags (--obs-dir plus the
+/// per-artifact --metrics-out/--trace-out/--audit-out/--critpath-out
+/// overrides). collector() is nullptr when every flag is empty, so benches
 /// stay on the exact uninstrumented path unless asked; flush() (also run
-/// at destruction) writes whichever files were requested.
+/// at destruction) writes whichever files were requested, each stamped
+/// with the run-metadata header (bench name from argv[0], the bench's
+/// --seed when it has one, geomap version, git describe, timestamp).
 class ObsSink {
  public:
   explicit ObsSink(const CliParser& cli)
       : metrics_path_(cli.get_string("metrics-out")),
         trace_path_(cli.get_string("trace-out")),
-        audit_path_(cli.get_string("audit-out")) {
+        audit_path_(cli.get_string("audit-out")),
+        critpath_path_(cli.get_string("critpath-out")) {
+    const std::string dir = cli.get_string("obs-dir");
+    if (!dir.empty()) {
+      std::filesystem::create_directories(dir);
+      if (metrics_path_.empty()) metrics_path_ = dir + "/metrics.json";
+      if (trace_path_.empty()) trace_path_ = dir + "/trace.json";
+      if (audit_path_.empty()) audit_path_ = dir + "/audit.json";
+      if (critpath_path_.empty()) critpath_path_ = dir + "/critpath.json";
+    }
     if (!metrics_path_.empty() || !trace_path_.empty() ||
-        !audit_path_.empty()) {
+        !audit_path_.empty() || !critpath_path_.empty()) {
       collector_ = std::make_unique<obs::Collector>();
+      const bool has_seed = cli.has("seed");
+      collector_->set_meta(obs::make_run_meta(
+          cli.program_name(),
+          has_seed ? static_cast<std::uint64_t>(cli.get_int("seed")) : 0,
+          has_seed));
     }
   }
 
@@ -152,6 +177,9 @@ class ObsSink {
     write(audit_path_, [&](std::ostream& os) {
       collector_->write_audit_json(os);
     });
+    write(critpath_path_, [&](std::ostream& os) {
+      collector_->write_critpath_json(os);
+    });
   }
 
  private:
@@ -161,12 +189,12 @@ class ObsSink {
     std::ofstream os(path);
     GEOMAP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
     fn(os);
-    os << "\n";
   }
 
   std::string metrics_path_;
   std::string trace_path_;
   std::string audit_path_;
+  std::string critpath_path_;
   std::unique_ptr<obs::Collector> collector_;
   bool flushed_ = false;
 };

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Bench regression gate: run the fast benches with the observability
+# exporters on, reduce each critpath artifact to its compact analysis
+# summary (geomap-obsctl analyze --json — events dropped, per-run
+# makespan + component decomposition kept), and `geomap-obsctl check`
+# every summary against the blessed copy in bench/baselines/. The gate
+# fails (exit 1) when any watched leaf — a run's makespan or one of its
+# alpha / beta / contention / fault / local components — grows more than
+# the threshold over its baseline.
+#
+# Usage:
+#   scripts/bench_regress.sh [--build-dir DIR] [--out-dir DIR]
+#                            [--threshold PCT] [--bless]
+#
+#   --bless   regenerate bench/baselines/ from this machine's run instead
+#             of checking (commit the result; review the diff like code).
+#
+# The run metadata header is pinned (GEOMAP_TIMESTAMP, and a fixed
+# GEOMAP_GIT_DESCRIBE under --bless) so blessed baselines only diff when
+# the numbers do. Checks ignore the header entirely.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+OUT_DIR=bench-regress-artifacts
+BASELINE_DIR=bench/baselines
+THRESHOLD=10
+BLESS=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --out-dir) OUT_DIR=$2; shift 2 ;;
+    --threshold) THRESHOLD=$2; shift 2 ;;
+    --bless) BLESS=1; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+OBSCTL=$BUILD_DIR/src/apps/geomap-obsctl
+[[ -x $OBSCTL ]] || { echo "missing $OBSCTL — build first" >&2; exit 2; }
+
+export GEOMAP_TIMESTAMP=${GEOMAP_TIMESTAMP:-1970-01-01T00:00:00Z}
+if [[ $BLESS -eq 1 ]]; then
+  export GEOMAP_GIT_DESCRIBE=blessed-baseline
+else
+  export GEOMAP_GIT_DESCRIBE=${GEOMAP_GIT_DESCRIBE:-$(git describe --always --dirty 2>/dev/null || echo unknown)}
+fi
+
+mkdir -p "$OUT_DIR" "$BASELINE_DIR"
+FAILED=0
+
+# run_gate <name> <bench binary> [bench flags...]
+run_gate() {
+  local name=$1 bench=$2
+  shift 2
+  echo "== $name =="
+  mkdir -p "$OUT_DIR/$name"
+  "$BUILD_DIR/bench/$bench" "$@" --obs-dir "$OUT_DIR/$name" \
+    > "$OUT_DIR/$name/stdout.json"
+  "$OBSCTL" analyze --json "$OUT_DIR/$name/critpath.json" \
+    > "$OUT_DIR/$name/critpath.summary.json"
+  if [[ $BLESS -eq 1 ]]; then
+    cp "$OUT_DIR/$name/critpath.summary.json" \
+       "$BASELINE_DIR/$name.critpath.json"
+    echo "blessed $BASELINE_DIR/$name.critpath.json"
+  elif [[ -f $BASELINE_DIR/$name.critpath.json ]]; then
+    "$OBSCTL" check --threshold "$THRESHOLD" \
+      "$BASELINE_DIR/$name.critpath.json" \
+      "$OUT_DIR/$name/critpath.summary.json" || FAILED=1
+  else
+    echo "no baseline $BASELINE_DIR/$name.critpath.json — run with --bless" >&2
+    FAILED=1
+  fi
+}
+
+# The gate set: one healthy contention-replay bench and one faulted
+# remap-on-outage bench, both small enough to finish in seconds.
+run_gate fig6_sim_improvement bench_fig6_sim_improvement \
+  --ranks=16 --trials=3 --contention
+run_gate fault_recovery bench_fault_recovery --ranks=16
+
+if [[ $BLESS -eq 1 ]]; then
+  echo "baselines written to $BASELINE_DIR/"
+  exit 0
+fi
+if [[ $FAILED -ne 0 ]]; then
+  echo "bench-regress: FAILED (see tables above)" >&2
+  exit 1
+fi
+echo "bench-regress: all gates passed"

@@ -1,0 +1,343 @@
+// geomap-obsctl: offline analysis of exported observability artifacts.
+//
+//   analyze <critpath.json>            critical-path summary per run: the
+//                                      makespan's alpha / beta / contention /
+//                                      fault / local decomposition, per
+//                                      site-pair and per-rank attribution,
+//                                      top-k slowest path steps. --json emits
+//                                      the compact (event-free) form used as
+//                                      a checked-in regression baseline.
+//   diff <baseline> <current>          regression table over the numeric
+//                                      leaves of any two artifacts of the
+//                                      same kind (percent deltas; "meta" is
+//                                      ignored).
+//   check <baseline> <current>         like diff, but exits 1 when a watched
+//                                      leaf regressed past --threshold (or
+//                                      vanished). CI's bench-regress gate.
+//
+// Exit codes: 0 ok / no regression, 1 regression detected (check only),
+// 2 usage or load error.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "obs/critpath.h"
+#include "obs/regress.h"
+
+using namespace geomap;
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "Usage:\n"
+        "  geomap-obsctl analyze <critpath.json> [--run N] [--top K] "
+        "[--json]\n"
+        "  geomap-obsctl diff <baseline.json> <current.json> [--all]\n"
+        "  geomap-obsctl check <baseline.json> <current.json>\n"
+        "\n"
+        "Shared flags for diff/check:\n"
+        "  --threshold PCT   relative increase that fails check "
+        "(default 10)\n"
+        "  --watch PATTERNS  comma-separated dotted-key globs; only "
+        "matching\n"
+        "                    leaves can fail (default: "
+        "runs.*.analysis.makespan_seconds\n"
+        "                    and runs.*.analysis.components.*)\n";
+  return code;
+}
+
+/// Re-emit a parsed JSON value verbatim (used to pass an input artifact's
+/// meta header through to derived outputs).
+void write_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      w.null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.as_bool());
+      break;
+    case JsonValue::Kind::kNumber:
+      w.value(v.as_number());
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.as_string());
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& item : v.items()) write_value(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, child] : v.members()) {
+        w.key(key);
+        write_value(w, child);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+struct AnalyzedRun {
+  int run = 0;
+  std::string label;
+  Seconds origin = 0;
+  obs::CriticalPath path;
+};
+
+std::vector<AnalyzedRun> analyze_runs(const JsonValue& doc, int only_run) {
+  GEOMAP_CHECK_ARG(doc.is_object() && doc.find("runs") != nullptr,
+                   "not a critpath artifact (no top-level 'runs' array)");
+  std::vector<AnalyzedRun> out;
+  for (const JsonValue& run : doc.at("runs").items()) {
+    AnalyzedRun a;
+    a.run = static_cast<int>(run.number_or("run", 0));
+    if (only_run >= 0 && a.run != only_run) continue;
+    a.label = run.string_or("label", "");
+    a.origin = run.number_or("origin", 0);
+    const JsonValue* events = run.find("events");
+    GEOMAP_CHECK_ARG(events != nullptr,
+                     "run " << a.run
+                            << " has no 'events' array — this artifact is a "
+                               "compact baseline; analyze the full export");
+    a.path = obs::extract_critical_path(
+        obs::critpath_events_from_json(*events), a.origin);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+void print_components_row(Table::RowBuilder&& row, const std::string& name,
+                          const obs::ComponentTotals& c, Seconds makespan) {
+  const Seconds total = c.total();
+  row.cell(name)
+      .cell(total, 6)
+      .cell(makespan > 0 ? 100.0 * total / makespan : 0.0, 1)
+      .cell(c.alpha, 6)
+      .cell(c.beta, 6)
+      .cell(c.contention_stall, 6)
+      .cell(c.fault_stall, 6)
+      .cell(c.local, 6);
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  std::string path;
+  int top = 5;
+  int only_run = -1;
+  bool as_json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      as_json = true;
+    } else if (args[i] == "--top" && i + 1 < args.size()) {
+      top = std::stoi(args[++i]);
+    } else if (args[i] == "--run" && i + 1 < args.size()) {
+      only_run = std::stoi(args[++i]);
+    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
+      path = args[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty()) return usage(std::cerr, 2);
+
+  const JsonValue doc = parse_json_file(path);
+  const std::vector<AnalyzedRun> runs = analyze_runs(doc, only_run);
+
+  if (as_json) {
+    JsonWriter w(std::cout);
+    w.begin_object();
+    if (const JsonValue* meta = doc.find("meta")) {
+      w.key("meta");
+      write_value(w, *meta);
+    }
+    w.key("runs").begin_array();
+    for (const AnalyzedRun& a : runs) {
+      w.begin_object();
+      w.field("run", a.run);
+      w.field("label", a.label);
+      w.field("origin", a.origin);
+      obs::write_analysis_member(w, a.path);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::cout << "\n";
+    return 0;
+  }
+
+  for (const AnalyzedRun& a : runs) {
+    print_banner(std::cout,
+                 "run " + std::to_string(a.run) + " (" + a.label + ")");
+    std::cout << "makespan: " << format_double(a.path.makespan, 6)
+              << " s   critical path: "
+              << format_double(a.path.path_seconds, 6) << " s over "
+              << a.path.steps.size() << " steps\n\n";
+
+    Table components({"scope", "seconds", "% of makespan", "alpha", "beta",
+                      "contention", "fault", "local"});
+    print_components_row(components.row(), "total", a.path.totals,
+                         a.path.makespan);
+    for (const obs::PairAttribution& pa : a.path.by_pair) {
+      const std::string name =
+          pa.src_site < 0 ? "(local)"
+                          : "site " + std::to_string(pa.src_site) + " -> " +
+                                std::to_string(pa.dst_site);
+      print_components_row(components.row(), name, pa.components,
+                           a.path.makespan);
+    }
+    components.print(std::cout);
+    std::cout << "\n";
+
+    Table ranks({"rank", "seconds", "% of makespan", "alpha", "beta",
+                 "contention", "fault", "local"});
+    for (const obs::RankAttribution& ra : a.path.by_rank) {
+      print_components_row(ranks.row(), "rank " + std::to_string(ra.rank),
+                           ra.components, a.path.makespan);
+    }
+    ranks.print(std::cout);
+    std::cout << "\n";
+
+    if (top > 0 && !a.path.steps.empty()) {
+      std::vector<const obs::CritPathStep*> slowest;
+      for (const obs::CritPathStep& s : a.path.steps) slowest.push_back(&s);
+      std::stable_sort(slowest.begin(), slowest.end(),
+                       [](const obs::CritPathStep* x,
+                          const obs::CritPathStep* y) {
+                         return x->duration() > y->duration();
+                       });
+      if (slowest.size() > static_cast<std::size_t>(top))
+        slowest.resize(static_cast<std::size_t>(top));
+      Table steps({"kind", "rank", "peer", "link", "start", "end",
+                   "seconds", "dominant"});
+      for (const obs::CritPathStep* s : slowest) {
+        const obs::ComponentTotals c = s->components();
+        const char* dominant = "local";
+        Seconds best = c.local;
+        if (c.alpha > best) { best = c.alpha; dominant = "alpha"; }
+        if (c.beta > best) { best = c.beta; dominant = "beta"; }
+        if (c.contention_stall > best) {
+          best = c.contention_stall;
+          dominant = "contention";
+        }
+        if (c.fault_stall > best) { best = c.fault_stall; dominant = "fault"; }
+        steps.row()
+            .cell(s->event.kind)
+            .cell(s->event.rank)
+            .cell(s->event.peer)
+            .cell(s->event.src_site < 0
+                      ? std::string("-")
+                      : std::to_string(s->event.src_site) + "->" +
+                            std::to_string(s->event.dst_site))
+            .cell(s->event.start, 6)
+            .cell(s->event.end, 6)
+            .cell(s->duration(), 6)
+            .cell(dominant);
+      }
+      print_banner(std::cout, "slowest path steps");
+      steps.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
+std::vector<std::string> split_patterns(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (from <= csv.size()) {
+    const std::size_t comma = csv.find(',', from);
+    const std::string part = csv.substr(
+        from, comma == std::string::npos ? std::string::npos : comma - from);
+    if (!part.empty()) out.push_back(part);
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  return out;
+}
+
+int cmd_compare(const std::vector<std::string>& args, bool gate) {
+  std::vector<std::string> paths;
+  obs::RegressOptions options;
+  options.watch = {"runs.*.analysis.makespan_seconds",
+                   "runs.*.analysis.components.*"};
+  bool all_rows = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold" && i + 1 < args.size()) {
+      options.threshold = std::stod(args[++i]) / 100.0;
+    } else if (args[i] == "--watch" && i + 1 < args.size()) {
+      options.watch = split_patterns(args[++i]);
+    } else if (args[i] == "--all") {
+      all_rows = true;
+    } else if (args[i].rfind("--", 0) != 0) {
+      paths.push_back(args[i]);
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (paths.size() != 2) return usage(std::cerr, 2);
+
+  const JsonValue baseline = parse_json_file(paths[0]);
+  const JsonValue current = parse_json_file(paths[1]);
+  const obs::RegressReport report =
+      obs::compare_artifacts(baseline, current, options);
+
+  Table table({"key", "baseline", "current", "delta", "delta %", "status"});
+  for (const obs::RegressRow& row : report.rows) {
+    if (!all_rows && row.delta == 0 && !row.regressed) continue;
+    table.row()
+        .cell(row.key)
+        .cell(row.baseline, 6)
+        .cell(row.current, 6)
+        .cell(row.delta, 6)
+        .cell(row.delta_pct, 2)
+        .cell(row.regressed ? "REGRESSED" : (row.watched ? "ok" : "info"));
+  }
+  if (table.num_rows() > 0) {
+    table.print(std::cout);
+  } else {
+    std::cout << "no differences ("
+              << report.rows.size() << " keys compared)\n";
+  }
+  for (const std::string& key : report.missing)
+    std::cout << "missing from current: " << key << "\n";
+  for (const std::string& key : report.added)
+    std::cout << "new in current: " << key << "\n";
+
+  if (gate) {
+    if (report.failed) {
+      std::cout << "FAIL: regression past "
+                << format_double(options.threshold * 100.0, 1)
+                << "% threshold\n";
+      return 1;
+    }
+    std::cout << "PASS: no watched leaf regressed past "
+              << format_double(options.threshold * 100.0, 1)
+              << "% threshold\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "diff") return cmd_compare(args, /*gate=*/false);
+    if (cmd == "check") return cmd_compare(args, /*gate=*/true);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help")
+      return usage(std::cout, 0);
+  } catch (const std::exception& e) {
+    std::cerr << "geomap-obsctl: " << e.what() << "\n";
+    return 2;
+  }
+  return usage(std::cerr, 2);
+}

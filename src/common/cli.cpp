@@ -119,6 +119,16 @@ bool CliParser::get_bool(const std::string& name) const {
   return v == "true" || v == "1";
 }
 
+bool CliParser::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CliParser::program_name() const {
+  const auto slash = program_name_.find_last_of('/');
+  return slash == std::string::npos ? program_name_
+                                    : program_name_.substr(slash + 1);
+}
+
 void CliParser::print_usage(std::ostream& os) const {
   os << description_ << "\n\nUsage: " << program_name_ << " [flags]\n";
   for (const auto& [name, flag] : flags_) {

@@ -34,6 +34,13 @@ class CliParser {
   std::string get_string(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
+  /// True when `name` is a registered flag (of any kind).
+  bool has(const std::string& name) const;
+
+  /// Basename of argv[0] as seen by parse() — the producing binary's
+  /// name, stamped into exported artifacts as run metadata.
+  std::string program_name() const;
+
   void print_usage(std::ostream& os) const;
 
  private:

@@ -1,0 +1,76 @@
+#pragma once
+// Minimal recursive-descent JSON parser — the read side of
+// common/json_writer. Parses exactly the RFC 8259 grammar the repo's
+// exporters emit into an owning JsonValue tree. Used by the obsctl
+// toolkit to load metrics / critpath artifacts back; it is not a
+// general-purpose streaming parser (documents are a few MB at most).
+//
+// Malformed input throws geomap::InvalidArgument with a byte offset, so
+// a truncated artifact fails loudly at load time instead of producing a
+// silently partial analysis.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace geomap {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw InvalidArgument on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  /// Object members in document order (duplicate keys are kept as-is).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Member lookup (first match); nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Member lookup that throws InvalidArgument when the key is absent.
+  const JsonValue& at(std::string_view key) const;
+
+  /// `find(key)->as_number()` with a default when absent.
+  double number_or(std::string_view key, double fallback) const;
+  /// `find(key)->as_string()` with a default when absent.
+  std::string string_or(std::string_view key,
+                        const std::string& fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, any
+/// other trailing content throws).
+JsonValue parse_json(std::string_view text);
+
+/// Read and parse `path`; throws InvalidArgument when the file cannot be
+/// opened or does not contain one valid JSON document.
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace geomap

@@ -70,12 +70,29 @@ RemapResult remap_on_outage(const mapping::MappingProblem& problem,
   result.degraded_cost =
       sim::alpha_beta_cost(problem.comm, result.problem.network, current);
 
-  GeoDistMapper mapper(options.mapper);
+  GeoDistOptions mapper_options = options.mapper;
+  if (mapper_options.collector == nullptr)
+    mapper_options.collector = options.collector;
+  GeoDistMapper mapper(mapper_options);
   result.mapping = mapper.map(result.problem);
   mapping::validate_mapping(result.problem, result.mapping);
 
   result.post_remap_cost =
       sim::alpha_beta_cost(problem.comm, result.problem.network, result.mapping);
+
+  // Replay makespans: the healthy pre-fault execution of the old mapping,
+  // and the recovered execution — the post-remap mapping replayed
+  // fault-aware from the outage instant (it avoids the dead site, so the
+  // permanent outage is never crossed).
+  result.pre_fault_makespan =
+      sim::replay_with_contention(problem.comm, problem.network, current,
+                                  options.collector, "remap/pre_fault")
+          .makespan;
+  result.post_remap_makespan =
+      sim::replay_with_contention(problem.comm, degraded, result.mapping,
+                                  outage_time, options.collector,
+                                  "remap/post_remap")
+          .makespan;
 
   // Relocation bill: every moved process ships its state over the
   // degraded network; state stranded on the dead site is fetched from the

@@ -17,12 +17,20 @@
 #include "fault/fault_plan.h"
 #include "mapping/problem.h"
 
+namespace geomap::obs {
+class Collector;
+}
+
 namespace geomap::core {
 
 struct RemapOptions {
   GeoDistOptions mapper;
   /// Application state migrated per relocated process (bytes).
   Bytes bytes_per_process = 64.0 * kMiB;
+  /// Observability (opt-in, not owned): the mapper rerun is audited and
+  /// the two contention replays record critical-path runs labeled
+  /// "remap/pre_fault" and "remap/post_remap".
+  obs::Collector* collector = nullptr;
 };
 
 struct RemapResult {
@@ -40,6 +48,14 @@ struct RemapResult {
   Seconds degraded_cost = 0;
   /// Alpha-beta cost of the new mapping under the degraded snapshot.
   Seconds post_remap_cost = 0;
+
+  /// Contention-replay makespans complementing the analytic costs: the
+  /// old mapping replayed under the healthy network, and the post-remap
+  /// mapping replayed fault-aware from the outage instant (the degraded
+  /// replay of the *old* mapping is undefined — its traffic crosses the
+  /// permanent outage).
+  Seconds pre_fault_makespan = 0;
+  Seconds post_remap_makespan = 0;
 
   /// One-time relocation bill: Σ over moved processes of the alpha-beta
   /// time of `bytes_per_process` on the degraded snapshot. Processes

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/json_writer.h"
+#include "obs/run_meta.h"
 
 namespace geomap::obs {
 
@@ -21,10 +22,11 @@ bool MapperAudit::empty() const {
   return calls_.empty();
 }
 
-void MapperAudit::write_json(std::ostream& os) const {
+void MapperAudit::write_json(std::ostream& os, const RunMeta* meta) const {
   const std::vector<MapCallRecord> calls = this->calls();
   JsonWriter w(os);
   w.begin_object();
+  if (meta != nullptr) meta->write_member(w);
   w.key("map_calls").begin_array();
   for (const MapCallRecord& call : calls) {
     w.begin_object();

@@ -32,6 +32,8 @@
 
 namespace geomap::obs {
 
+struct RunMeta;
+
 /// Cost contribution of one ordered site pair under one candidate order.
 /// Zero-cost pairs are omitted from the trail.
 struct PairTerm {
@@ -70,9 +72,10 @@ class MapperAudit {
   std::vector<MapCallRecord> calls() const;  // copy, for tests
   bool empty() const;
 
-  /// {"map_calls": [ {mapper, ..., "orders": [ {order, cost_seconds,
-  /// winner, "pairs": [...]}, ... ]}, ... ]}
-  void write_json(std::ostream& os) const;
+  /// {"meta": {...}, "map_calls": [ {mapper, ..., "orders": [ {order,
+  /// cost_seconds, winner, "pairs": [...]}, ... ]}, ... ]} — `meta` is
+  /// omitted when null.
+  void write_json(std::ostream& os, const RunMeta* meta = nullptr) const;
 
  private:
   mutable std::mutex mutex_;

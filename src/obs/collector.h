@@ -14,9 +14,12 @@
 // evaluations record into the same instance concurrently.
 
 #include <iosfwd>
+#include <utility>
 
 #include "obs/audit.h"
+#include "obs/critpath.h"
 #include "obs/metrics.h"
+#include "obs/run_meta.h"
 #include "obs/span.h"
 
 namespace geomap::obs {
@@ -32,18 +35,35 @@ class Collector {
   MapperAudit& audit() { return audit_; }
   const MapperAudit& audit() const { return audit_; }
 
+  CritGraph& critpath() { return critpath_; }
+  const CritGraph& critpath() const { return critpath_; }
+
+  /// Run metadata stamped into every exported artifact. Set once by the
+  /// bench harness before the first export; default is an empty header.
+  void set_meta(RunMeta meta) { meta_ = std::move(meta); }
+  const RunMeta& meta() const { return meta_; }
+
   /// Exporters (one JSON document each; see the member classes for the
   /// schemas). Streams are flushed by the caller.
-  void write_metrics_json(std::ostream& os) const { metrics_.write_json(os); }
-  void write_trace_json(std::ostream& os) const {
-    tracer_.write_chrome_trace(os);
+  void write_metrics_json(std::ostream& os) const {
+    metrics_.write_json(os, &meta_);
   }
-  void write_audit_json(std::ostream& os) const { audit_.write_json(os); }
+  void write_trace_json(std::ostream& os) const {
+    tracer_.write_chrome_trace(os, &meta_);
+  }
+  void write_audit_json(std::ostream& os) const {
+    audit_.write_json(os, &meta_);
+  }
+  void write_critpath_json(std::ostream& os, bool include_events = true) const {
+    critpath_.write_json(os, &meta_, include_events);
+  }
 
  private:
   MetricsRegistry metrics_;
   SpanTracer tracer_;
   MapperAudit audit_;
+  CritGraph critpath_;
+  RunMeta meta_;
 };
 
 }  // namespace geomap::obs

@@ -1,0 +1,400 @@
+#include "obs/critpath.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+
+namespace geomap::obs {
+
+// ---------------------------------------------------------------------------
+// CritGraph
+// ---------------------------------------------------------------------------
+
+int CritGraph::begin_run(std::string label, Seconds origin) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = static_cast<int>(runs_.size());
+  runs_.push_back(Run{id, std::move(label), origin});
+  return id;
+}
+
+std::int64_t CritGraph::next_id() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_++;
+}
+
+void CritGraph::add(CritEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+bool CritGraph::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty();
+}
+
+std::vector<CritGraph::Run> CritGraph::runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return runs_;
+}
+
+std::vector<CritEvent> CritGraph::canonical_events(int run) const {
+  std::vector<CritEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const CritEvent& e : events_) {
+      if (e.run == run) out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CritEvent& a, const CritEvent& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.seq < b.seq;
+  });
+  std::unordered_map<std::int64_t, std::int64_t> remap;
+  remap.reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    remap[out[i].id] = static_cast<std::int64_t>(i);
+  }
+  const auto translate = [&remap](std::int64_t id) -> std::int64_t {
+    if (id < 0) return -1;
+    const auto it = remap.find(id);
+    return it == remap.end() ? -1 : it->second;
+  };
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].id = static_cast<std::int64_t>(i);
+    out[i].pred_program = translate(out[i].pred_program);
+    out[i].pred_message = translate(out[i].pred_message);
+    out[i].pred_link = translate(out[i].pred_link);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Components / steps
+// ---------------------------------------------------------------------------
+
+ComponentTotals& ComponentTotals::operator+=(const ComponentTotals& o) {
+  alpha += o.alpha;
+  beta += o.beta;
+  contention_stall += o.contention_stall;
+  fault_stall += o.fault_stall;
+  local += o.local;
+  return *this;
+}
+
+ComponentTotals CritPathStep::components() const {
+  ComponentTotals c;
+  c.alpha = event.alpha_seconds;
+  c.beta = event.beta_seconds;
+  c.contention_stall = event.contention_stall_seconds;
+  c.fault_stall = event.fault_stall_seconds;
+  c.local = local_gap;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Seconds wire_seconds(const CritEvent& e) {
+  return e.alpha_seconds + e.beta_seconds + e.contention_stall_seconds +
+         e.fault_stall_seconds;
+}
+
+}  // namespace
+
+CriticalPath extract_critical_path(const std::vector<CritEvent>& events,
+                                   Seconds origin) {
+  CriticalPath path;
+  path.origin = origin;
+  if (events.empty()) return path;
+
+  std::unordered_map<std::int64_t, const CritEvent*> by_id;
+  by_id.reserve(events.size());
+  for (const CritEvent& e : events) by_id[e.id] = &e;
+
+  // Terminal event: the latest completion; ties break toward the smallest
+  // id so extraction is deterministic for canonicalized inputs.
+  const CritEvent* last = &events.front();
+  for (const CritEvent& e : events) {
+    if (e.end > last->end || (e.end == last->end && e.id < last->id)) {
+      last = &e;
+    }
+  }
+  path.makespan = last->end - origin;
+
+  // Backward walk along binding predecessors. The binding dependency is
+  // whichever of {program-order pred, message pred} finished later — that
+  // is the one that actually gated this event's readiness. pred_link is
+  // deliberately not followed: link occupancy shows up as the contention
+  // component of the waiting event, not as a detour through an unrelated
+  // transfer's chain.
+  std::vector<CritPathStep> reversed;
+  std::unordered_set<std::int64_t> visited;
+  const CritEvent* cur = last;
+  while (cur != nullptr) {
+    GEOMAP_CHECK_MSG(visited.insert(cur->id).second,
+                     "critpath: cycle detected at event " << cur->id);
+    const CritEvent* prog = nullptr;
+    const CritEvent* msg = nullptr;
+    if (cur->pred_program >= 0) {
+      const auto it = by_id.find(cur->pred_program);
+      if (it != by_id.end()) prog = it->second;
+    }
+    if (cur->pred_message >= 0) {
+      const auto it = by_id.find(cur->pred_message);
+      if (it != by_id.end()) msg = it->second;
+    }
+    const CritEvent* pred = prog;
+    if (msg != nullptr && (prog == nullptr || msg->end > prog->end)) {
+      pred = msg;
+    }
+
+    CritPathStep step;
+    step.event = *cur;
+    const Seconds pred_end = (pred != nullptr) ? pred->end : origin;
+    // Everything of [pred_end, cur->end] not covered by the recorded
+    // wire components is local time (compute, idle, recording slack):
+    // this makes each step span exactly cur->end − pred_end, so the sum
+    // over the chain telescopes to the makespan.
+    step.local_gap = (cur->end - pred_end) - wire_seconds(*cur);
+    step.gap_rank = (pred != nullptr) ? pred->rank : cur->rank;
+    reversed.push_back(std::move(step));
+    cur = pred;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  path.steps = std::move(reversed);
+
+  // Aggregate.
+  std::unordered_map<std::int64_t, PairAttribution> pairs;
+  std::unordered_map<int, RankAttribution> ranks;
+  for (const CritPathStep& step : path.steps) {
+    const ComponentTotals c = step.components();
+    path.totals += c;
+    path.path_seconds += c.total();
+
+    const std::int64_t pair_key =
+        (static_cast<std::int64_t>(step.event.src_site) << 32) ^
+        static_cast<std::int64_t>(static_cast<std::uint32_t>(
+            step.event.dst_site));
+    PairAttribution& pa = pairs[pair_key];
+    pa.src_site = step.event.src_site;
+    pa.dst_site = step.event.dst_site;
+    pa.components += c;
+    pa.messages += step.event.messages;
+    pa.bytes += step.event.bytes;
+    pa.events += 1;
+
+    // Wire time belongs to the event's executing rank; the local gap
+    // elapsed on whichever rank was computing between path events.
+    ComponentTotals wire = c;
+    wire.local = 0;
+    RankAttribution& ra = ranks[step.event.rank];
+    ra.rank = step.event.rank;
+    ra.components += wire;
+    ra.events += 1;
+    if (step.local_gap != 0) {
+      const int gr = (step.gap_rank >= 0) ? step.gap_rank : step.event.rank;
+      RankAttribution& gra = ranks[gr];
+      gra.rank = gr;
+      gra.components.local += step.local_gap;
+    }
+  }
+  for (auto& [key, pa] : pairs) path.by_pair.push_back(pa);
+  for (auto& [key, ra] : ranks) path.by_rank.push_back(ra);
+  std::sort(path.by_pair.begin(), path.by_pair.end(),
+            [](const PairAttribution& a, const PairAttribution& b) {
+              const Seconds ta = a.components.total();
+              const Seconds tb = b.components.total();
+              if (ta != tb) return ta > tb;
+              if (a.src_site != b.src_site) return a.src_site < b.src_site;
+              return a.dst_site < b.dst_site;
+            });
+  std::sort(path.by_rank.begin(), path.by_rank.end(),
+            [](const RankAttribution& a, const RankAttribution& b) {
+              const Seconds ta = a.components.total();
+              const Seconds tb = b.components.total();
+              if (ta != tb) return ta > tb;
+              return a.rank < b.rank;
+            });
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_components_member(JsonWriter& w, const ComponentTotals& c) {
+  w.key("components").begin_object();
+  w.field("alpha_seconds", c.alpha);
+  w.field("beta_seconds", c.beta);
+  w.field("contention_stall_seconds", c.contention_stall);
+  w.field("fault_stall_seconds", c.fault_stall);
+  w.field("local_seconds", c.local);
+  w.end_object();
+}
+
+void write_step_object(JsonWriter& w, const CritPathStep& step) {
+  w.begin_object();
+  w.field("id", step.event.id);
+  w.field("kind", step.event.kind);
+  w.field("rank", step.event.rank);
+  w.field("peer", step.event.peer);
+  w.field("src_site", step.event.src_site);
+  w.field("dst_site", step.event.dst_site);
+  w.field("messages", step.event.messages);
+  w.field("bytes", step.event.bytes);
+  w.field("start", step.event.start);
+  w.field("end", step.event.end);
+  w.field("duration_seconds", step.duration());
+  write_components_member(w, step.components());
+  w.end_object();
+}
+
+void write_event_object(JsonWriter& w, const CritEvent& e) {
+  w.begin_object();
+  w.field("id", e.id);
+  w.field("seq", e.seq);
+  w.field("kind", e.kind);
+  w.field("rank", e.rank);
+  w.field("peer", e.peer);
+  w.field("src_site", e.src_site);
+  w.field("dst_site", e.dst_site);
+  w.field("messages", e.messages);
+  w.field("bytes", e.bytes);
+  w.field("ready", e.ready);
+  w.field("start", e.start);
+  w.field("end", e.end);
+  w.field("alpha_seconds", e.alpha_seconds);
+  w.field("beta_seconds", e.beta_seconds);
+  w.field("fault_stall_seconds", e.fault_stall_seconds);
+  w.field("contention_stall_seconds", e.contention_stall_seconds);
+  w.field("pred_program", e.pred_program);
+  w.field("pred_message", e.pred_message);
+  w.field("pred_link", e.pred_link);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_analysis_member(JsonWriter& w, const CriticalPath& path,
+                           std::size_t top_steps) {
+  w.key("analysis").begin_object();
+  w.field("makespan_seconds", path.makespan);
+  w.field("path_seconds", path.path_seconds);
+  w.field("path_steps", static_cast<std::int64_t>(path.steps.size()));
+  write_components_member(w, path.totals);
+  w.key("by_pair").begin_array();
+  for (const PairAttribution& pa : path.by_pair) {
+    w.begin_object();
+    w.field("src_site", pa.src_site);
+    w.field("dst_site", pa.dst_site);
+    w.field("seconds", pa.components.total());
+    write_components_member(w, pa.components);
+    w.field("messages", pa.messages);
+    w.field("bytes", pa.bytes);
+    w.field("events", pa.events);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("by_rank").begin_array();
+  for (const RankAttribution& ra : path.by_rank) {
+    w.begin_object();
+    w.field("rank", ra.rank);
+    w.field("seconds", ra.components.total());
+    write_components_member(w, ra.components);
+    w.field("events", ra.events);
+    w.end_object();
+  }
+  w.end_array();
+  if (top_steps > 0) {
+    std::vector<const CritPathStep*> slowest;
+    slowest.reserve(path.steps.size());
+    for (const CritPathStep& s : path.steps) slowest.push_back(&s);
+    std::stable_sort(slowest.begin(), slowest.end(),
+                     [](const CritPathStep* a, const CritPathStep* b) {
+                       return a->duration() > b->duration();
+                     });
+    if (slowest.size() > top_steps) slowest.resize(top_steps);
+    w.key("top_steps").begin_array();
+    for (const CritPathStep* s : slowest) write_step_object(w, *s);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void CritGraph::write_json(std::ostream& os, const RunMeta* meta,
+                           bool include_events) const {
+  JsonWriter w(os);
+  w.begin_object();
+  if (meta != nullptr) meta->write_member(w);
+  w.key("runs").begin_array();
+  for (const Run& run : runs()) {
+    const std::vector<CritEvent> events = canonical_events(run.id);
+    const CriticalPath path = extract_critical_path(events, run.origin);
+    w.begin_object();
+    w.field("run", run.id);
+    w.field("label", run.label);
+    w.field("origin", run.origin);
+    w.field("event_count", static_cast<std::int64_t>(events.size()));
+    write_analysis_member(w, path);
+    if (include_events) {
+      w.key("events").begin_array();
+      for (const CritEvent& e : events) write_event_object(w, e);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// JSON import (obsctl)
+// ---------------------------------------------------------------------------
+
+std::vector<CritEvent> critpath_events_from_json(const JsonValue& events) {
+  GEOMAP_CHECK_ARG(events.is_array(), "critpath: 'events' is not an array");
+  std::vector<CritEvent> out;
+  out.reserve(events.items().size());
+  for (const JsonValue& item : events.items()) {
+    GEOMAP_CHECK_ARG(item.is_object(), "critpath: event is not an object");
+    CritEvent e;
+    e.id = static_cast<std::int64_t>(item.at("id").as_number());
+    e.seq = static_cast<std::int64_t>(item.number_or("seq", 0));
+    e.kind = item.string_or("kind", "");
+    e.rank = static_cast<int>(item.number_or("rank", -1));
+    e.peer = static_cast<int>(item.number_or("peer", -1));
+    e.src_site = static_cast<int>(item.number_or("src_site", -1));
+    e.dst_site = static_cast<int>(item.number_or("dst_site", -1));
+    e.messages = item.number_or("messages", 0);
+    e.bytes = item.number_or("bytes", 0);
+    e.ready = item.number_or("ready", 0);
+    e.start = item.number_or("start", 0);
+    e.end = item.at("end").as_number();
+    e.alpha_seconds = item.number_or("alpha_seconds", 0);
+    e.beta_seconds = item.number_or("beta_seconds", 0);
+    e.fault_stall_seconds = item.number_or("fault_stall_seconds", 0);
+    e.contention_stall_seconds =
+        item.number_or("contention_stall_seconds", 0);
+    e.pred_program =
+        static_cast<std::int64_t>(item.number_or("pred_program", -1));
+    e.pred_message =
+        static_cast<std::int64_t>(item.number_or("pred_message", -1));
+    e.pred_link = static_cast<std::int64_t>(item.number_or("pred_link", -1));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace geomap::obs

@@ -1,0 +1,191 @@
+#pragma once
+// Causal critical-path analysis of virtual-time executions.
+//
+// Both execution engines — the threaded minimpi runtime and the
+// sequential contention replay — tag every message / CSR edge with a
+// causal id and record it as a node of the happened-before DAG:
+//
+//   CritEvent.pred_program — previous event of the executing rank
+//                            (program order),
+//   CritEvent.pred_message — the sender-side event the received message
+//                            causally depends on (runtime only),
+//   CritEvent.pred_link    — the transfer that occupied the WAN link
+//                            immediately before this one (contention).
+//
+// Each node carries its virtual interval [ready, start, end] and the
+// exact decomposition of end − ready into four components:
+//
+//   alpha    — latency term of the healthy wire time (count · LT)
+//   beta     — volume term of the healthy wire time (volume / BT)
+//   fault    — retry backoff + outage stalls + (degraded − healthy) wire
+//   contention — waiting for the serializing WAN link
+//
+// extract_critical_path() walks the DAG backwards from the last-finishing
+// event along *binding* dependencies (the predecessor whose completion
+// actually gated readiness) and reports the path as a chain of steps plus
+// a fifth component, `local`, covering clock advance between events
+// (compute / advance calls, or startup before the first message). The
+// decomposition telescopes: the sum of all step components equals the
+// run's makespan *exactly* up to floating-point reassociation — asserted
+// by tests against both engines — so "where did the makespan go" always
+// has a complete answer, aggregated per site pair and per rank.
+//
+// A CritGraph groups events into runs (one per Runtime::run or replay
+// call); ids are assigned in host arrival order but the export is
+// canonicalized — events sorted by (rank, per-rank sequence), ids
+// renumbered, predecessors remapped — so two identical seeded executions
+// produce byte-identical artifacts regardless of thread scheduling.
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/run_meta.h"
+
+namespace geomap {
+class JsonValue;
+class JsonWriter;
+}
+
+namespace geomap::obs {
+
+/// One node of the happened-before DAG: a completed message delivery
+/// (runtime), one replayed CSR edge (sim), or a rank-finish marker.
+struct CritEvent {
+  std::int64_t id = -1;   // causal id, unique within the graph
+  int run = 0;            // which begin_run() segment this belongs to
+  std::int64_t seq = 0;   // per-(run, rank) program-order sequence
+  std::string kind;       // "recv" | "edge" | "finish"
+  int rank = -1;          // executing rank (receiver / issuing process)
+  int peer = -1;          // sender rank / destination process (-1: none)
+  int src_site = -1;
+  int dst_site = -1;
+  double messages = 0;    // aggregated message count (1 for runtime recv)
+  Bytes bytes = 0;
+
+  Seconds ready = 0;      // dependencies satisfied (virtual time)
+  Seconds start = 0;      // wire transfer begins
+  Seconds end = 0;        // completion
+
+  Seconds alpha_seconds = 0;
+  Seconds beta_seconds = 0;
+  Seconds fault_stall_seconds = 0;
+  Seconds contention_stall_seconds = 0;
+
+  std::int64_t pred_program = -1;
+  std::int64_t pred_message = -1;
+  std::int64_t pred_link = -1;
+};
+
+/// Thread-safe happened-before recorder shared by runtime and replay.
+class CritGraph {
+ public:
+  struct Run {
+    int id = 0;
+    std::string label;
+    Seconds origin = 0;  // virtual time the run starts at
+  };
+
+  /// Open a new run segment (thread-safe); subsequent events recorded
+  /// with this run id belong to it. `origin` is the virtual timestamp
+  /// the execution starts at (nonzero for fault replays offset into a
+  /// plan's schedule).
+  int begin_run(std::string label, Seconds origin = 0);
+
+  /// Allocate the next causal id (lock-free after the call).
+  std::int64_t next_id();
+
+  /// Append one finished event (thread-safe).
+  void add(CritEvent event);
+
+  bool empty() const;
+  std::vector<Run> runs() const;
+
+  /// Events of `run` in canonical order — sorted by (rank, seq), ids
+  /// renumbered densely from 0, predecessor ids remapped (dangling
+  /// references become -1). Deterministic for deterministic executions.
+  std::vector<CritEvent> canonical_events(int run) const;
+
+  /// {"meta": {...}, "runs": [{run, label, origin, analysis: {...},
+  /// events: [...]}]}. `include_events` drops the raw DAG (analysis
+  /// summaries only) for compact regression baselines.
+  void write_json(std::ostream& os, const RunMeta* meta = nullptr,
+                  bool include_events = true) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Run> runs_;
+  std::vector<CritEvent> events_;
+  std::int64_t next_id_ = 0;
+};
+
+/// Per-component seconds of one step or aggregate.
+struct ComponentTotals {
+  Seconds alpha = 0;
+  Seconds beta = 0;
+  Seconds contention_stall = 0;
+  Seconds fault_stall = 0;
+  Seconds local = 0;  // compute / idle between path events
+
+  Seconds total() const {
+    return alpha + beta + contention_stall + fault_stall + local;
+  }
+  ComponentTotals& operator+=(const ComponentTotals& o);
+};
+
+/// One event on the critical path plus the local gap that preceded it.
+struct CritPathStep {
+  CritEvent event;
+  Seconds local_gap = 0;  // event.ready − binding predecessor's end
+  int gap_rank = -1;      // rank the gap elapsed on
+
+  ComponentTotals components() const;
+  Seconds duration() const { return components().total(); }
+};
+
+struct PairAttribution {
+  int src_site = -1;
+  int dst_site = -1;
+  ComponentTotals components;
+  double messages = 0;
+  Bytes bytes = 0;
+  std::int64_t events = 0;
+};
+
+struct RankAttribution {
+  int rank = -1;
+  ComponentTotals components;
+  std::int64_t events = 0;
+};
+
+struct CriticalPath {
+  Seconds origin = 0;
+  /// Last event completion minus origin (0 for an empty DAG).
+  Seconds makespan = 0;
+  /// Sum of all step components; equals makespan up to reassociation.
+  Seconds path_seconds = 0;
+  ComponentTotals totals;
+  std::vector<CritPathStep> steps;        // chronological order
+  std::vector<PairAttribution> by_pair;   // sorted by total desc
+  std::vector<RankAttribution> by_rank;   // sorted by total desc
+};
+
+/// Extract the critical path of one run's events (any order; ids must be
+/// internally consistent). `origin` anchors the chain start.
+CriticalPath extract_critical_path(const std::vector<CritEvent>& events,
+                                   Seconds origin = 0);
+
+/// Emit `"analysis": {...}` for one extracted path as the next member of
+/// the currently open JSON object (shared by the artifact writer and
+/// `obsctl analyze --json`).
+void write_analysis_member(JsonWriter& w, const CriticalPath& path,
+                           std::size_t top_steps = 0);
+
+/// Parse one run's events back from the "events" array of a critpath
+/// artifact (inverse of CritGraph::write_json).
+std::vector<CritEvent> critpath_events_from_json(const JsonValue& events);
+
+}  // namespace geomap::obs

@@ -1,10 +1,12 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/error.h"
 #include "common/json_writer.h"
 #include "common/stats.h"
+#include "obs/run_meta.h"
 
 namespace geomap::obs {
 
@@ -22,6 +24,10 @@ Histogram::Summary Histogram::summary() const {
   Summary s;
   s.count = copy.size();
   if (copy.empty()) return s;
+  // Concurrent record() calls land in host arrival order; sort before
+  // folding so sum/mean are byte-identical across reruns of the same
+  // seeded workload (floating-point addition is not associative).
+  std::sort(copy.begin(), copy.end());
   RunningStats stats;
   for (const double x : copy) stats.add(x);
   s.sum = stats.sum();
@@ -78,10 +84,11 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
       "histogram", counters_.count(name) > 0 || gauges_.count(name) > 0);
 }
 
-void MetricsRegistry::write_json(std::ostream& os) const {
+void MetricsRegistry::write_json(std::ostream& os, const RunMeta* meta) const {
   std::lock_guard<std::mutex> lock(mutex_);
   JsonWriter w(os);
   w.begin_object();
+  if (meta != nullptr) meta->write_member(w);
   w.key("counters").begin_object();
   for (const auto& [name, c] : counters_) w.field(name, c->value());
   w.end_object();

@@ -20,6 +20,8 @@
 
 namespace geomap::obs {
 
+struct RunMeta;
+
 /// Monotonic event count. Lock-free, relaxed ordering: totals are exact
 /// once the writing threads are joined (asserted by tests).
 class Counter {
@@ -79,10 +81,13 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// One JSON object: {"meta": {...}, "counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99}}}.
-  /// Keys sorted (std::map order) for diffable output.
-  void write_json(std::ostream& os) const;
+  /// Keys sorted (std::map order) for diffable output; `meta` is omitted
+  /// when null. Deterministic for deterministic runs: histogram folds
+  /// sort their samples first, so parallel recording order cannot perturb
+  /// the floating-point sums.
+  void write_json(std::ostream& os, const RunMeta* meta = nullptr) const;
 
  private:
   mutable std::mutex mutex_;

@@ -1,0 +1,134 @@
+#include "obs/regress.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json_reader.h"
+
+namespace geomap::obs {
+
+namespace {
+
+void flatten_into(const JsonValue& node, std::string& prefix,
+                  std::vector<std::pair<std::string, double>>& out) {
+  switch (node.kind()) {
+    case JsonValue::Kind::kNumber:
+      out.emplace_back(prefix, node.as_number());
+      break;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, child] : node.members()) {
+        const std::size_t mark = prefix.size();
+        if (!prefix.empty()) prefix.push_back('.');
+        prefix.append(key);
+        flatten_into(child, prefix, out);
+        prefix.resize(mark);
+      }
+      break;
+    case JsonValue::Kind::kArray: {
+      std::size_t index = 0;
+      for (const JsonValue& child : node.items()) {
+        const std::size_t mark = prefix.size();
+        if (!prefix.empty()) prefix.push_back('.');
+        prefix.append(std::to_string(index++));
+        flatten_into(child, prefix, out);
+        prefix.resize(mark);
+      }
+      break;
+    }
+    default:
+      break;  // null / bool / string leaves carry no regressable value
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> flatten_numeric(
+    const JsonValue& root, bool skip_meta) {
+  std::vector<std::pair<std::string, double>> out;
+  std::string prefix;
+  if (skip_meta && root.is_object()) {
+    for (const auto& [key, child] : root.members()) {
+      if (key == "meta") continue;
+      prefix = key;
+      flatten_into(child, prefix, out);
+    }
+  } else {
+    flatten_into(root, prefix, out);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative wildcard match with single-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+RegressReport compare_artifacts(const JsonValue& baseline,
+                                const JsonValue& current,
+                                const RegressOptions& options) {
+  const auto base = flatten_numeric(baseline);
+  const auto cur = flatten_numeric(current);
+  const auto watched = [&options](const std::string& key) {
+    if (options.watch.empty()) return true;
+    for (const std::string& pattern : options.watch) {
+      if (glob_match(pattern, key)) return true;
+    }
+    return false;
+  };
+
+  RegressReport report;
+  std::size_t bi = 0, ci = 0;
+  while (bi < base.size() || ci < cur.size()) {
+    if (ci == cur.size() || (bi < base.size() && base[bi].first < cur[ci].first)) {
+      report.missing.push_back(base[bi].first);
+      if (watched(base[bi].first)) report.failed = true;
+      ++bi;
+      continue;
+    }
+    if (bi == base.size() || cur[ci].first < base[bi].first) {
+      report.added.push_back(cur[ci].first);
+      ++ci;
+      continue;
+    }
+    RegressRow row;
+    row.key = base[bi].first;
+    row.baseline = base[bi].second;
+    row.current = cur[ci].second;
+    row.delta = row.current - row.baseline;
+    row.watched = watched(row.key);
+    if (std::abs(row.baseline) < options.floor) {
+      row.delta_pct = 0;
+      row.regressed = row.watched && row.delta > options.floor;
+    } else {
+      row.delta_pct = 100.0 * row.delta / std::abs(row.baseline);
+      row.regressed =
+          row.watched && row.delta / std::abs(row.baseline) > options.threshold;
+    }
+    if (row.regressed) report.failed = true;
+    report.rows.push_back(std::move(row));
+    ++bi;
+    ++ci;
+  }
+  return report;
+}
+
+}  // namespace geomap::obs

@@ -1,0 +1,69 @@
+#pragma once
+// Regression comparison of observability artifacts, the engine behind
+// `geomap-obsctl diff` and `geomap-obsctl check`. Two JSON documents are
+// flattened into sorted (dotted-key, number) leaves — array elements get
+// numeric path segments, the top-level "meta" block is skipped because it
+// describes the run rather than the result — and compared leaf-by-leaf.
+//
+// A leaf *regresses* when it is watched (matches one of the glob
+// patterns; empty watch list = everything) and its relative increase over
+// the baseline exceeds the threshold. Lower-is-better is the repo-wide
+// convention for every exported quantity (costs, makespans, stall
+// seconds), so only increases fail; improvements are reported but never
+// fatal. Watched keys that disappear from the current artifact also fail:
+// a silently vanished metric must not read as a pass.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace geomap {
+class JsonValue;
+}
+
+namespace geomap::obs {
+
+/// Depth-first flatten of all numeric leaves under `root` into
+/// ("a.b.0.c", value) pairs sorted by key. `skip_meta` drops the
+/// top-level "meta" member (run metadata never participates in checks).
+std::vector<std::pair<std::string, double>> flatten_numeric(
+    const JsonValue& root, bool skip_meta = true);
+
+/// Glob match with `*` (any run, including dots) and `?` (one byte).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+struct RegressOptions {
+  /// Relative increase over baseline that counts as a regression.
+  double threshold = 0.10;
+  /// Values whose baseline magnitude is below this are compared
+  /// absolutely: regression iff current − baseline > floor.
+  double floor = 1e-9;
+  /// Dotted-key glob patterns selecting the leaves that can fail the
+  /// check; empty means every numeric leaf is watched. Unwatched leaves
+  /// still appear in the diff rows for context.
+  std::vector<std::string> watch;
+};
+
+struct RegressRow {
+  std::string key;
+  double baseline = 0;
+  double current = 0;
+  double delta = 0;      // current − baseline
+  double delta_pct = 0;  // delta / |baseline| · 100 (0 when floored)
+  bool watched = false;
+  bool regressed = false;
+};
+
+struct RegressReport {
+  std::vector<RegressRow> rows;       // keys present in both, sorted
+  std::vector<std::string> missing;   // baseline-only keys
+  std::vector<std::string> added;     // current-only keys
+  bool failed = false;  // any watched regression or watched missing key
+};
+
+RegressReport compare_artifacts(const JsonValue& baseline,
+                                const JsonValue& current,
+                                const RegressOptions& options);
+
+}  // namespace geomap::obs

@@ -1,0 +1,59 @@
+#include "obs/run_meta.h"
+
+#include <cstdlib>
+#include <ctime>
+
+#include "common/json_writer.h"
+
+#ifndef GEOMAP_VERSION
+#define GEOMAP_VERSION "0.0.0"
+#endif
+
+namespace geomap::obs {
+
+namespace {
+
+std::string env_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && v[0] != '\0') ? std::string(v)
+                                        : std::string(fallback);
+}
+
+std::string utc_now_iso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+}  // namespace
+
+RunMeta make_run_meta(std::string bench, std::uint64_t seed, bool has_seed) {
+  RunMeta meta;
+  meta.bench = std::move(bench);
+  meta.seed = seed;
+  meta.has_seed = has_seed;
+  meta.geomap_version = GEOMAP_VERSION;
+  meta.git_describe = env_or("GEOMAP_GIT_DESCRIBE", "unknown");
+  const std::string pinned = env_or("GEOMAP_TIMESTAMP", "");
+  meta.timestamp = pinned.empty() ? utc_now_iso8601() : pinned;
+  return meta;
+}
+
+void RunMeta::write_member(JsonWriter& w, const char* key) const {
+  w.key(key).begin_object();
+  w.field("bench", bench);
+  if (has_seed) w.field("seed", seed);
+  w.field("geomap_version", geomap_version);
+  w.field("git_describe", git_describe);
+  w.field("timestamp", timestamp);
+  w.end_object();
+}
+
+}  // namespace geomap::obs

@@ -1,0 +1,43 @@
+#pragma once
+// Run-metadata header stamped into every exported observability artifact
+// (metrics / trace / audit / critpath) so a JSON file picked up months
+// later — or diffed by `geomap-obsctl diff` — is self-describing: which
+// bench produced it, with which seed, from which source revision, when.
+//
+// Capture rules: `geomap_version` comes from the build (GEOMAP_VERSION);
+// `git_describe` from the GEOMAP_GIT_DESCRIBE environment variable (CI
+// exports `git describe --always --dirty`) falling back to "unknown";
+// `timestamp` is the current UTC time in ISO 8601 unless
+// GEOMAP_TIMESTAMP overrides it (regression baselines and the
+// byte-stability tests pin it). Comparison tooling ignores the "meta"
+// block entirely — it describes a run, it never participates in
+// regression checks.
+
+#include <cstdint>
+#include <string>
+
+namespace geomap {
+class JsonWriter;
+}
+
+namespace geomap::obs {
+
+struct RunMeta {
+  std::string bench;        // producing binary / tool name
+  std::uint64_t seed = 0;   // the run's root RNG seed
+  bool has_seed = false;    // benches without a --seed flag omit the field
+  std::string geomap_version;
+  std::string git_describe;
+  std::string timestamp;    // ISO 8601 UTC, e.g. "2026-08-06T12:00:00Z"
+
+  /// Emit `"<key>": {...}` as the next member of the currently open JSON
+  /// object. The Chrome trace exporter uses "geomapMeta" so viewers that
+  /// expect the trace-event schema skip it as vendor data.
+  void write_member(JsonWriter& w, const char* key = "meta") const;
+};
+
+/// Capture the environment-dependent fields (version, git, timestamp)
+/// around the given bench name and seed.
+RunMeta make_run_meta(std::string bench, std::uint64_t seed, bool has_seed);
+
+}  // namespace geomap::obs

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/json_writer.h"
+#include "obs/run_meta.h"
 
 namespace geomap::obs {
 
@@ -126,8 +127,42 @@ std::vector<SpanRecord> SpanTracer::records() const {
   return records_;
 }
 
-void SpanTracer::write_chrome_trace(std::ostream& os) const {
+void SpanTracer::write_chrome_trace(std::ostream& os,
+                                    const RunMeta* meta) const {
   const std::vector<SpanRecord> records = this->records();
+
+  // Records arrive in host completion order; flatten to the events we
+  // will emit and sort by (pid, tid, start, name) so the file layout is
+  // deterministic for deterministic runs (virtual timelines of two
+  // identical seeded executions lay out identically regardless of thread
+  // scheduling; wall timestamps still differ, by nature).
+  struct Emit {
+    int pid;
+    int tid;
+    double ts_us;
+    double dur_us;
+    const SpanRecord* record;
+  };
+  std::vector<Emit> emits;
+  emits.reserve(records.size());
+  for (const SpanRecord& r : records) {
+    if (r.has_wall) {
+      emits.push_back(Emit{kWallPid, r.tid, r.wall_start_us,
+                           r.wall_end_us - r.wall_start_us, &r});
+    }
+    if (r.has_virtual) {
+      // Virtual clocks are seconds; the trace unit is microseconds.
+      emits.push_back(Emit{kVirtualPid, r.rank, r.vt_start * 1e6,
+                           (r.vt_end - r.vt_start) * 1e6, &r});
+    }
+  }
+  std::stable_sort(emits.begin(), emits.end(),
+                   [](const Emit& a, const Emit& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.record->name < b.record->name;
+                   });
 
   JsonWriter w(os);
   w.begin_object();
@@ -144,19 +179,12 @@ void SpanTracer::write_chrome_trace(std::ostream& os) const {
     write_metadata(w, kVirtualPid, rank, "thread_name",
                    "rank " + std::to_string(rank));
 
-  for (const SpanRecord& r : records) {
-    if (r.has_wall) {
-      write_event(w, r, kWallPid, r.tid, r.wall_start_us,
-                  r.wall_end_us - r.wall_start_us);
-    }
-    if (r.has_virtual) {
-      // Virtual clocks are seconds; the trace unit is microseconds.
-      write_event(w, r, kVirtualPid, r.rank, r.vt_start * 1e6,
-                  (r.vt_end - r.vt_start) * 1e6);
-    }
+  for (const Emit& e : emits) {
+    write_event(w, *e.record, e.pid, e.tid, e.ts_us, e.dur_us);
   }
   w.end_array();
   w.field("displayTimeUnit", "ms");
+  if (meta != nullptr) meta->write_member(w, "geomapMeta");
   w.end_object();
   os << "\n";
 }

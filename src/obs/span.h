@@ -34,6 +34,7 @@
 namespace geomap::obs {
 
 class SpanTracer;
+struct RunMeta;
 
 /// One finished interval as stored by the tracer.
 struct SpanRecord {
@@ -101,8 +102,11 @@ class SpanTracer {
   std::vector<SpanRecord> records() const;
 
   /// Chrome trace-event JSON: {"traceEvents": [...], "displayTimeUnit":
-  /// "ms"} with process/thread metadata naming the two timelines.
-  void write_chrome_trace(std::ostream& os) const;
+  /// "ms", "geomapMeta": {...}} with process/thread metadata naming the
+  /// two timelines. Events are sorted (start time, then name/tid) so the
+  /// file layout does not depend on the host's thread completion order.
+  void write_chrome_trace(std::ostream& os, const RunMeta* meta = nullptr)
+      const;
 
  private:
   friend class Span;

@@ -39,6 +39,7 @@ Request Comm::isend(int dst, int tag, std::span<const double> data) {
   m.tag = tag;
   m.payload.assign(data.begin(), data.end());
   m.sender_ready = now_;
+  m.sender_event = crit_last_;
   m.rendezvous = std::make_shared<RendezvousState>();
   Request request(m.rendezvous, sends_posted_++);
 
@@ -68,6 +69,9 @@ void Comm::wait(Request& request) {
   const Seconds before = now_;
   now_ = std::max(now_, completion);
   stats_.comm_seconds += now_ - before;
+  // The clock now depends on the remote recv that completed the
+  // rendezvous; chain it so later events on this rank point at it.
+  if (request.completion_event() >= 0) crit_last_ = request.completion_event();
 }
 
 void Comm::send(int dst, int tag, std::span<const double> data) {
@@ -87,6 +91,12 @@ std::vector<double> Comm::recv(int src, int tag) {
   const SiteId dst_site = runtime_->site_of(rank_);
   Seconds start = ready;
   Seconds wire = runtime_->transfer_time(src, rank_, bytes);
+  const Seconds healthy_wire = wire;
+  const bool crit =
+      runtime_->collector_ != nullptr && runtime_->crit_run_ >= 0;
+  const std::int64_t crit_id =
+      crit ? runtime_->collector_->critpath().next_id() : -1;
+  std::int64_t link_pred = -1;
   if (runtime_->fault_plan_ != nullptr && src_site != dst_site) {
     // Inter-site transfers consult the fault plan at their virtual issue
     // time. A lost (or outage-blocked) attempt costs detect_timeout plus
@@ -148,10 +158,40 @@ std::vector<double> Comm::recv(int src, int tag) {
   const Seconds completion =
       src_site == dst_site
           ? start + wire  // intra-site LAN: full bisection, no queueing
-          : runtime_->acquire_link(src_site, dst_site, start, wire);
+          : runtime_->acquire_link(src_site, dst_site, start, wire, crit_id,
+                                   crit ? &link_pred : nullptr);
   const Seconds before = now_;
   now_ = completion;
   stats_.comm_seconds += now_ - before;
+  if (crit) {
+    // Happened-before node for this delivery with the exact decomposition
+    // of end − ready: retry/backoff delays and degraded wire extra are
+    // fault stall, link queueing is contention stall, the healthy wire
+    // time splits into its latency (alpha) and volume (beta) terms.
+    obs::CritEvent e;
+    e.id = crit_id;
+    e.run = runtime_->crit_run_;
+    e.seq = crit_seq_++;
+    e.kind = "recv";
+    e.rank = rank_;
+    e.peer = src;
+    e.src_site = src_site;
+    e.dst_site = dst_site;
+    e.messages = 1;
+    e.bytes = bytes;
+    e.ready = ready;
+    e.start = completion - wire;
+    e.end = completion;
+    e.alpha_seconds = runtime_->model_.latency(src_site, dst_site);
+    e.beta_seconds = healthy_wire - e.alpha_seconds;
+    e.fault_stall_seconds = (start - ready) + (wire - healthy_wire);
+    e.contention_stall_seconds = completion - start - wire;
+    e.pred_program = crit_last_;
+    e.pred_message = m.sender_event;
+    e.pred_link = link_pred;
+    runtime_->collector_->critpath().add(std::move(e));
+    crit_last_ = crit_id;
+  }
   if (runtime_->collector_ != nullptr && src_site != dst_site) {
     // One WAN transfer on the receiver's virtual timeline; retry and
     // outage-stall spans recorded above nest inside [before, completion].
@@ -161,7 +201,7 @@ std::vector<double> Comm::recv(int src, int tag) {
             ",\"bytes\":" + std::to_string(static_cast<long long>(bytes)) +
             "}");
   }
-  m.rendezvous->complete(completion);
+  m.rendezvous->complete(completion, crit_id);
   return std::move(m.payload);
 }
 
@@ -529,7 +569,8 @@ void Runtime::set_collector(obs::Collector* collector) {
 }
 
 Seconds Runtime::acquire_link(SiteId src_site, SiteId dst_site, Seconds ready,
-                              Seconds wire_seconds) {
+                              Seconds wire_seconds, std::int64_t event_id,
+                              std::int64_t* pred_out) {
   LinkState& link =
       *links_[static_cast<std::size_t>(src_site) *
                   static_cast<std::size_t>(model_.num_sites()) +
@@ -538,15 +579,18 @@ Seconds Runtime::acquire_link(SiteId src_site, SiteId dst_site, Seconds ready,
 
   // First-fit gap search over the sorted busy list.
   Seconds start = ready;
+  std::int64_t pred = -1;
   std::size_t insert_at = 0;
   for (; insert_at < link.busy.size(); ++insert_at) {
-    const auto& [busy_start, busy_end] = link.busy[insert_at];
-    if (start + wire_seconds <= busy_start) break;  // fits before this one
-    start = std::max(start, busy_end);
+    const BusyInterval& b = link.busy[insert_at];
+    if (start + wire_seconds <= b.start) break;  // fits before this one
+    if (b.end > start) pred = b.event;  // this occupancy pushed us back
+    start = std::max(start, b.end);
   }
   const Seconds completion = start + wire_seconds;
   link.busy.insert(link.busy.begin() + static_cast<std::ptrdiff_t>(insert_at),
-                   {start, completion});
+                   BusyInterval{start, completion, event_id});
+  if (pred_out != nullptr) *pred_out = (start > ready) ? pred : -1;
   return completion;
 }
 
@@ -556,6 +600,9 @@ RunResult Runtime::run(const std::function<void(Comm&)>& body) {
   if (collector_ != nullptr) {
     run_span = collector_->tracer().span("runtime/run", "runtime");
     run_span.set_args_json("{\"ranks\":" + std::to_string(p) + "}");
+    crit_run_ = collector_->critpath().begin_run("runtime/run");
+  } else {
+    crit_run_ = -1;
   }
   // Each run starts at virtual time zero with idle links and mailboxes.
   for (auto& link : links_) link->busy.clear();
@@ -572,6 +619,20 @@ RunResult Runtime::run(const std::function<void(Comm&)>& body) {
         body(comm);
         comm.stats_.finish_time = comm.now_;
         stats[static_cast<std::size_t>(r)] = comm.stats();
+        if (collector_ != nullptr && crit_run_ >= 0) {
+          // Zero-length terminal marker: trailing compute after the last
+          // message lands in the path's local component, and the latest
+          // finish event's end is exactly the run's makespan.
+          obs::CritEvent e;
+          e.id = collector_->critpath().next_id();
+          e.run = crit_run_;
+          e.seq = comm.crit_seq_++;
+          e.kind = "finish";
+          e.rank = r;
+          e.ready = e.start = e.end = comm.now_;
+          e.pred_program = comm.crit_last_;
+          collector_->critpath().add(std::move(e));
+        }
       } catch (const RankAborted&) {
         // Teardown signal from a peer's failure: nothing to record.
       } catch (...) {

@@ -28,6 +28,7 @@
 // point-to-point send — the dynamic trace CYPRESS would capture — from
 // which CG/AG are profiled.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -165,6 +166,12 @@ class Comm {
   Seconds now_ = 0;
   int collective_seq_ = 0;
   std::int64_t sends_posted_ = 0;
+  /// Critical-path recording state (used only with a collector attached):
+  /// the id of the last event this rank's clock depends on — its own
+  /// previous recv, or the remote recv a wait() jumped the clock to — and
+  /// the per-rank program-order sequence for canonical export.
+  std::int64_t crit_last_ = -1;
+  std::int64_t crit_seq_ = 0;
   /// Per-source receive sequence numbers: the deterministic stream key for
   /// fault-plan loss decisions (program order, independent of host
   /// scheduling).
@@ -246,8 +253,12 @@ class Runtime {
 
   /// Serialize an inter-site transfer of `wire_seconds` on link
   /// (src_site, dst_site), earliest start `ready`: returns completion.
+  /// `event_id` labels the reserved interval for critical-path recording
+  /// (-1 when off); when the transfer had to queue, `*pred_out` receives
+  /// the id of the transfer it queued behind.
   Seconds acquire_link(SiteId src_site, SiteId dst_site, Seconds ready,
-                       Seconds wire_seconds);
+                       Seconds wire_seconds, std::int64_t event_id = -1,
+                       std::int64_t* pred_out = nullptr);
 
   net::NetworkModel model_;
   Mapping rank_to_site_;
@@ -259,6 +270,9 @@ class Runtime {
   std::vector<Mailbox> mailboxes_;
 
   obs::Collector* collector_ = nullptr;
+  /// CritGraph run id of the in-progress run() (-1 outside a collected
+  /// run; one begin_run per Runtime::run call).
+  int crit_run_ = -1;
   /// Metric handles cached by set_collector (valid while collector_ set).
   struct ObsHandles {
     obs::Counter* messages = nullptr;
@@ -280,9 +294,14 @@ class Runtime {
   /// behind one that merely executed earlier in *host* time (threads
   /// reach the link in arbitrary real order when their virtual clocks
   /// diverge).
+  struct BusyInterval {
+    Seconds start = 0;
+    Seconds end = 0;
+    std::int64_t event = -1;  // critical-path event id of the transfer
+  };
   struct LinkState {
     std::mutex mutex;
-    std::vector<std::pair<Seconds, Seconds>> busy;
+    std::vector<BusyInterval> busy;
   };
   std::vector<std::unique_ptr<LinkState>> links_;  // m*m ordered pairs
 };

@@ -30,12 +30,17 @@ struct RendezvousState {
   bool completed = false;
   bool aborted = false;
   Seconds completion_time = 0;
+  /// Causal id of the recv event that completed the rendezvous (-1 when
+  /// critical-path recording is off): the sender's clock jump at wait()
+  /// is a happened-before edge from that event.
+  std::int64_t completion_event = -1;
 
-  void complete(Seconds time) {
+  void complete(Seconds time, std::int64_t event = -1) {
     {
       std::lock_guard<std::mutex> lock(mutex);
       completed = true;
       completion_time = time;
+      completion_event = event;
     }
     cv.notify_all();
   }
@@ -63,6 +68,10 @@ struct Message {
   std::vector<double> payload;
   /// Sender's virtual clock when the send was posted.
   Seconds sender_ready = 0;
+  /// Causal id of the sender rank's last event when the send was posted
+  /// (-1 when critical-path recording is off): the matching recv's
+  /// message predecessor in the happened-before DAG.
+  std::int64_t sender_event = -1;
   std::shared_ptr<RendezvousState> rendezvous;
 };
 
@@ -83,13 +92,22 @@ class Request {
 
   Seconds wait() {
     Seconds t = state_->wait();
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      completion_event_ = state_->completion_event;
+    }
     state_.reset();
     return t;
   }
 
+  /// Causal id of the recv event that completed this request; valid after
+  /// wait(), -1 when critical-path recording is off.
+  std::int64_t completion_event() const { return completion_event_; }
+
  private:
   std::shared_ptr<RendezvousState> state_;
   std::int64_t send_index_ = -1;
+  std::int64_t completion_event_ = -1;
 };
 
 }  // namespace geomap::runtime

@@ -30,6 +30,16 @@ Seconds alpha_beta_cost(const trace::CommMatrix& comm,
 
 namespace {
 
+// One priced CSR edge: total serialized wire time plus its healthy
+// alpha/beta split. Fault-aware pricing inflates `wire` above
+// alpha + beta; the engine attributes the excess to the fault-stall
+// component of the edge's critical-path event.
+struct WirePrice {
+  Seconds wire = 0;
+  Seconds alpha = 0;
+  Seconds beta = 0;
+};
+
 // Shared discrete-event engine: `wire_at(src, dst, count, volume, t)`
 // prices one CSR edge issued at virtual time t, `stall_until(src, dst, t)`
 // may push the issue time forward (outage stalls). The fault-free overload
@@ -39,7 +49,7 @@ template <typename WireFn, typename StallFn>
 ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
                                const Mapping& mapping, Seconds start_time,
                                WireFn&& wire_at, StallFn&& stall_until,
-                               obs::Collector* collector) {
+                               obs::Collector* collector, const char* label) {
   GEOMAP_CHECK_MSG(static_cast<int>(mapping.size()) == comm.num_processes(),
                    "mapping size mismatch");
   const int n = comm.num_processes();
@@ -50,12 +60,16 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
   obs::Counter* edges_replayed = nullptr;
   obs::Histogram* queue_stalls = nullptr;
   obs::Histogram* outage_stalls = nullptr;
+  obs::CritGraph* crit = nullptr;
+  int crit_run = -1;
   if (collector != nullptr) {
     replay_span = collector->tracer().span("sim/replay", "sim");
     edges_replayed = &collector->metrics().counter("sim.edges_replayed");
     queue_stalls =
         &collector->metrics().histogram("sim.contention_stall_seconds");
     outage_stalls = &collector->metrics().histogram("sim.outage_stall_seconds");
+    crit = &collector->critpath();
+    crit_run = crit->begin_run(label, start_time);
   }
 
   // Per ordered inter-site pair: time the link frees up; per process:
@@ -63,6 +77,14 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
   std::vector<Seconds> link_free(static_cast<std::size_t>(m) * m, start_time);
   std::vector<Seconds> link_busy(static_cast<std::size_t>(m) * m, 0.0);
   std::vector<Seconds> proc_ready(static_cast<std::size_t>(n), start_time);
+  // Critical-path bookkeeping: last event of each process chain and the
+  // event currently occupying each link (both -1 until recorded).
+  std::vector<std::int64_t> proc_last;
+  std::vector<std::int64_t> link_last;
+  if (crit != nullptr) {
+    proc_last.assign(static_cast<std::size_t>(n), -1);
+    link_last.assign(static_cast<std::size_t>(m) * m, -1);
+  }
 
   // Priority queue of (issue_time, process, edge_index) — processes
   // replay their rows in order; globally we process the earliest
@@ -86,31 +108,72 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
     const SiteId src = mapping[static_cast<std::size_t>(p.proc)];
     const SiteId dst = mapping[static_cast<std::size_t>(row.dst[p.edge])];
 
-    Seconds start = stall_until(src, dst, p.ready);
-    if (outage_stalls != nullptr && start > p.ready)
-      outage_stalls->record(start - p.ready);
+    const Seconds stalled = stall_until(src, dst, p.ready);
+    if (outage_stalls != nullptr && stalled > p.ready)
+      outage_stalls->record(stalled - p.ready);
+    Seconds start = stalled;
+    std::int64_t link_pred = -1;
     if (src != dst) {
       const std::size_t link =
           static_cast<std::size_t>(src) * m + static_cast<std::size_t>(dst);
-      if (queue_stalls != nullptr && link_free[link] > start)
-        queue_stalls->record(link_free[link] - start);
+      if (link_free[link] > start) {
+        if (queue_stalls != nullptr)
+          queue_stalls->record(link_free[link] - start);
+        if (crit != nullptr) link_pred = link_last[link];
+      }
       start = std::max(start, link_free[link]);
     }
     // The CSR edge aggregates count[k] messages of total volume[k]; its
     // serialized wire time is count·LT + volume/BT, priced as of `start`.
-    const Seconds wire =
+    const WirePrice price =
         wire_at(src, dst, row.count[p.edge], row.volume[p.edge], start);
+    const Seconds wire = price.wire;
     result.total_transfer_seconds += wire;
+    const Seconds end = start + wire;
     if (src != dst) {
       const std::size_t link =
           static_cast<std::size_t>(src) * m + static_cast<std::size_t>(dst);
-      link_free[link] = start + wire;
+      link_free[link] = end;
       link_busy[link] += wire;
     }
-    const Seconds end = start + wire;
     proc_ready[static_cast<std::size_t>(p.proc)] = end;
     result.makespan = std::max(result.makespan, end - start_time);
     if (edges_replayed != nullptr) edges_replayed->add();
+    if (crit != nullptr) {
+      obs::CritEvent e;
+      e.id = crit->next_id();
+      e.run = crit_run;
+      e.seq = static_cast<std::int64_t>(p.edge);
+      e.kind = "edge";
+      e.rank = p.proc;
+      e.peer = row.dst[p.edge];
+      e.src_site = src;
+      e.dst_site = dst;
+      e.messages = row.count[p.edge];
+      e.bytes = row.volume[p.edge];
+      e.ready = p.ready;
+      e.start = start;
+      e.end = end;
+      e.alpha_seconds = price.alpha;
+      e.beta_seconds = price.beta;
+      // Outage stall plus fault-inflated wire excess over the healthy
+      // alpha-beta price; link queueing is the contention component.
+      // Subtracting the re-formed sum (not alpha then beta) keeps the
+      // fault-free overload — where wire *is* fl(alpha + beta) — at an
+      // exact zero instead of a rounding residue.
+      e.fault_stall_seconds =
+          (stalled - p.ready) + (wire - (price.alpha + price.beta));
+      e.contention_stall_seconds = start - stalled;
+      e.pred_program = proc_last[static_cast<std::size_t>(p.proc)];
+      e.pred_link = link_pred;
+      proc_last[static_cast<std::size_t>(p.proc)] = e.id;
+      if (src != dst) {
+        const std::size_t link =
+            static_cast<std::size_t>(src) * m + static_cast<std::size_t>(dst);
+        link_last[link] = e.id;
+      }
+      crit->add(std::move(e));
+    }
 
     if (p.edge + 1 < row.size()) q.push(Pending{end, p.proc, p.edge + 1});
   }
@@ -125,23 +188,32 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
 ContentionResult replay_with_contention(const trace::CommMatrix& comm,
                                         const net::NetworkModel& model,
                                         const Mapping& mapping,
-                                        obs::Collector* collector) {
+                                        obs::Collector* collector,
+                                        const char* label) {
   return replay_engine(
       comm, model.num_sites(), mapping, 0.0,
       [&](SiteId src, SiteId dst, double count, Bytes volume, Seconds) {
-        return model.message_cost(src, dst, count, volume);
+        const Seconds alpha = count * model.latency(src, dst);
+        const Seconds beta = volume / model.bandwidth(src, dst);
+        return WirePrice{alpha + beta, alpha, beta};
       },
-      [](SiteId, SiteId, Seconds t) { return t; }, collector);
+      [](SiteId, SiteId, Seconds t) { return t; }, collector, label);
 }
 
 ContentionResult replay_with_contention(
     const trace::CommMatrix& comm, const fault::DegradedNetworkModel& model,
-    const Mapping& mapping, Seconds start_time, obs::Collector* collector) {
+    const Mapping& mapping, Seconds start_time, obs::Collector* collector,
+    const char* label) {
   const fault::FaultPlan& plan = model.plan();
   return replay_engine(
       comm, model.num_sites(), mapping, start_time,
       [&](SiteId src, SiteId dst, double count, Bytes volume, Seconds t) {
-        return model.message_cost(src, dst, count, volume, t);
+        // Healthy split from the base model; the degraded price's excess
+        // over it is the edge's fault component.
+        const Seconds alpha = count * model.base().latency(src, dst);
+        const Seconds beta = volume / model.base().bandwidth(src, dst);
+        return WirePrice{model.message_cost(src, dst, count, volume, t),
+                         alpha, beta};
       },
       [&](SiteId src, SiteId dst, Seconds t) {
         // Outage stall: wait until both endpoints are back up. Permanent
@@ -166,7 +238,7 @@ ContentionResult replay_with_contention(
                              << " did not converge after 64 iterations");
         return up;  // unreachable
       },
-      collector);
+      collector, label);
 }
 
 double comm_improvement_percent(const trace::CommMatrix& comm,

@@ -42,13 +42,16 @@ struct ContentionResult {
 /// Event-driven replay with per-site-pair link serialization. Messages of
 /// one source process issue sequentially in CSR row order; intra-site
 /// traffic uses the (infinite-parallelism) intra link and never queues.
-/// `collector` (opt-in, not owned) wraps the replay in a wall span and
-/// records edge counts plus contention-stall histograms; nullptr replays
-/// the exact uninstrumented path with bit-identical results.
+/// `collector` (opt-in, not owned) wraps the replay in a wall span,
+/// records edge counts plus contention-stall histograms, and records the
+/// replay's happened-before DAG as one critical-path run named `label`
+/// (see obs/critpath.h); nullptr replays the exact uninstrumented path
+/// with bit-identical results.
 ContentionResult replay_with_contention(const trace::CommMatrix& comm,
                                         const net::NetworkModel& model,
                                         const Mapping& mapping,
-                                        obs::Collector* collector = nullptr);
+                                        obs::Collector* collector = nullptr,
+                                        const char* label = "sim/replay");
 
 /// Fault-aware replay: identical discrete-event engine, but every edge's
 /// wire time is evaluated under `model`'s fault plan as of the edge's
@@ -66,7 +69,8 @@ ContentionResult replay_with_contention(const trace::CommMatrix& comm,
                                         const fault::DegradedNetworkModel& model,
                                         const Mapping& mapping,
                                         Seconds start_time = 0,
-                                        obs::Collector* collector = nullptr);
+                                        obs::Collector* collector = nullptr,
+                                        const char* label = "sim/replay");
 
 /// Communication improvement of `mapping` over `baseline` in percent,
 /// under the alpha-beta model.
