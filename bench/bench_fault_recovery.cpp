@@ -12,8 +12,20 @@
 // Output is a JSON array (stdout), one object per (app, factor,
 // outage-time) cell with the pre-fault / degraded / post-remap
 // alpha-beta costs and the one-time migration bill.
+//
+// --detector switches to the closed-loop head-to-head: the app actually
+// *executes* on the virtual-time runtime under the fault plan, the
+// degradation detector scans the per-link telemetry the run recorded
+// (never the plan), remap_on_detection recovers from what was detected,
+// and the oracle remap_on_outage recovers from the ground truth. Output
+// becomes {"cells": [...]} with per-cell detection quality
+// (precision/recall/latency vs the plan's truth windows) and the
+// oracle-recovery fraction — how much of the oracle's cost improvement
+// the detector-driven remap achieved.
 
+#include <algorithm>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -21,6 +33,7 @@
 #include "common/json_writer.h"
 #include "core/remap.h"
 #include "fault/fault_plan.h"
+#include "obs/detector.h"
 
 using namespace geomap;
 
@@ -38,6 +51,176 @@ SiteId busiest_site(const Mapping& mapping, int num_sites) {
   return best;
 }
 
+/// Fold every series a cell's private collector recorded into the shared
+/// export collector, so the --obs-dir timeline artifact carries one
+/// representative cell's telemetry (full keys round-trip as the name).
+void fold_timeline(const obs::TimeSeriesRegistry& from,
+                   obs::TimeSeriesRegistry& into) {
+  for (const std::string& key : from.keys()) {
+    const obs::TimeSeries* series = from.find(key);
+    obs::TimeSeries& out = into.series(key);
+    for (const obs::TimePoint& p : series->points()) out.record(p.t, p.value);
+  }
+}
+
+int run_detector_mode(const CliParser& cli, bench::ObsSink& obs) {
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const bench::Ec2Context ctx((ranks + 2) / 3);
+
+  // The brownout factor and the outage instants as fractions of each
+  // app's healthy runtime makespan (absolute times like the oracle
+  // sweep's 120 s would overshoot short virtual runs entirely).
+  const double factor = 0.25;
+  const std::vector<double> outage_fractions = {0.35, 0.65};
+
+  core::RemapOptions options;
+  options.bytes_per_process = cli.get_double("state-mib") * kMiB;
+  options.collector = obs.collector();
+
+  JsonWriter w(std::cout);
+  w.begin_object();
+  w.key("cells").begin_array();
+  bool exported_cell = false;
+  for (const apps::App* app : apps::all_apps()) {
+    apps::AppConfig cfg = app->default_config(ranks);
+    trace::CommMatrix comm = bench::profile_app(*app, cfg, ctx.calib.model);
+
+    Rng rng(seed);
+    ConstraintVector constraints = mapping::make_random_constraints(
+        ranks, ctx.topo.capacities(), cli.get_double("constraint-ratio"), rng);
+    const mapping::MappingProblem problem = core::make_problem(
+        ctx.topo, ctx.calib.model, std::move(comm), std::move(constraints));
+
+    core::GeoDistOptions geo_options;
+    geo_options.collector = obs.collector();
+    const Mapping current = core::GeoDistMapper(geo_options).map(problem);
+    const SiteId failed = busiest_site(current, problem.num_sites());
+
+    // Healthy execution: calibrates the fault schedule to this app's
+    // actual virtual duration.
+    runtime::Runtime healthy_rt(ctx.calib.model, current);
+    const Seconds healthy_makespan =
+        healthy_rt.run([&](runtime::Comm& c) { (void)app->run(c, cfg); })
+            .makespan;
+
+    for (const double fraction : outage_fractions) {
+      const Seconds t_out = fraction * healthy_makespan;
+      // The brownout persists past the death: the remap-time snapshot
+      // stays degraded, so both recovery policies have a real cost gain
+      // to claw back (a brownout that expired exactly at t_out would make
+      // the oracle's snapshot healthy and its "gain" vacuous).
+      fault::FaultPlan plan(seed);
+      plan.add_site_degradation(failed, 0.0, fault::kNoEnd, factor);
+      plan.add_site_outage(failed, t_out);
+
+      // The observed execution: the app rides through brownout, retry
+      // storms and forced-through timeouts; every inter-site transfer
+      // leaves a point on the cell's private timeline.
+      obs::Collector cell_obs;
+      runtime::Runtime rt(ctx.calib.model, current);
+      rt.set_fault_plan(&plan);
+      rt.set_collector(&cell_obs);
+      const runtime::RunResult faulted =
+          rt.run([&](runtime::Comm& c) { (void)app->run(c, cfg); });
+
+      // Detection sees telemetry only; scoring sees the plan.
+      obs::DegradationDetector detector;
+      detector.scan(cell_obs.timeline());
+      const std::vector<obs::DegradationEvent> events = detector.events();
+
+      obs::DetectionScoreOptions score_options;
+      for (const std::string& key : cell_obs.timeline().keys()) {
+        const std::size_t brace = key.find('{');
+        if (brace == std::string::npos ||
+            key.compare(0, brace, "link.latency_ratio") != 0) {
+          continue;
+        }
+        int src = -1, dst = -1;
+        if (obs::parse_link_label(key.substr(brace + 1, key.size() - brace - 2),
+                                  &src, &dst)) {
+          score_options.observable_links.emplace_back(src, dst);
+        }
+      }
+      const std::vector<obs::TruthWindow> truth =
+          plan.truth_windows(problem.num_sites());
+      const obs::DetectionScore score =
+          obs::score_detections(events, truth, score_options);
+
+      const core::RemapResult oracle =
+          core::remap_on_outage(problem, current, plan, failed, t_out, options);
+
+      bool detected = false;
+      core::DetectionRemapResult det;
+      try {
+        det = core::remap_on_detection(problem, current, events, plan, options);
+        detected = true;
+      } catch (const InvalidArgument&) {
+        // No actionable down event — the detector missed the outage; the
+        // cell reports detection quality with no recovery fields.
+      }
+
+      if (!exported_cell && obs.collector() != nullptr) {
+        // The exported timeline artifact carries the first cell's
+        // telemetry with its detection overlay and score.
+        exported_cell = true;
+        fold_timeline(cell_obs.timeline(), obs.collector()->timeline());
+        obs.collector()->detections().add_events(events);
+        obs.collector()->detections().add_truth(truth);
+        obs.collector()->detections().set_score(score);
+      }
+
+      w.begin_object();
+      w.field("app", app->name());
+      w.field("ranks", ranks);
+      w.field("failed_site", failed);
+      w.field("degradation_factor", factor);
+      w.field("outage_fraction", fraction);
+      w.field("outage_time", t_out);
+      w.field("healthy_makespan", healthy_makespan);
+      w.field("faulted_makespan", faulted.makespan);
+      w.field("runtime_retries", faulted.total_retries);
+      w.field("runtime_timeouts", faulted.total_timeouts);
+      w.field("events", static_cast<std::int64_t>(events.size()));
+      w.key("detection").begin_object();
+      w.field("precision", score.precision);
+      w.field("recall", score.recall);
+      w.field("mean_detection_latency", score.mean_detection_latency);
+      w.field("true_positive_events", score.true_positive_events);
+      w.field("false_positive_events", score.false_positive_events);
+      w.field("detected_windows", score.detected_windows);
+      w.field("missed_windows", score.missed_windows);
+      w.end_object();
+      w.field("detected", detected);
+      if (detected) {
+        w.field("suspected_site", det.suspected_site);
+        w.field("suspected_correct", det.suspected_site == failed);
+        w.field("detection_time", det.detection_time);
+        w.field("oracle_degraded_cost", oracle.degraded_cost);
+        w.field("oracle_post_remap_cost", oracle.post_remap_cost);
+        w.field("detection_post_remap_cost", det.remap.post_remap_cost);
+        w.field("oracle_post_remap_makespan", oracle.post_remap_makespan);
+        w.field("detection_post_remap_makespan",
+                det.remap.post_remap_makespan);
+        const double oracle_gain =
+            oracle.degraded_cost - oracle.post_remap_cost;
+        const double detection_gain =
+            det.remap.degraded_cost - det.remap.post_remap_cost;
+        w.field("oracle_gain", oracle_gain);
+        w.field("detection_gain", detection_gain);
+        w.field("oracle_recovery_fraction",
+                oracle_gain > 0 ? detection_gain / oracle_gain : 1.0);
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  w.done();
+  std::cout << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -46,9 +229,14 @@ int main(int argc, char** argv) {
   cli.add_double("constraint-ratio", 0.2, "pinned process fraction");
   cli.add_int("seed", 2017, "random seed");
   cli.add_double("state-mib", 64.0, "migrated state per process (MiB)");
+  cli.add_bool("detector", false,
+               "closed-loop mode: execute under the fault plan, detect "
+               "degradation from telemetry, and compare detection-driven "
+               "remapping against the oracle");
   bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   bench::ObsSink obs(cli);
+  if (cli.get_bool("detector")) return run_detector_mode(cli, obs);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));

@@ -120,10 +120,14 @@ inline void add_obs_flags(CliParser& cli) {
   cli.add_string("critpath-out", "",
                  "write the causal critical-path JSON (geomap-obsctl input) "
                  "to this file");
+  cli.add_string("timeline-out", "",
+                 "write the windowed time-series + detection timeline JSON "
+                 "(geomap-obsctl timeline input) to this file");
   cli.add_string("obs-dir", "",
-                 "write all four observability artifacts into this directory "
-                 "as metrics.json, trace.json, audit.json, critpath.json "
-                 "(per-artifact --*-out flags override individual paths)");
+                 "write all five observability artifacts into this directory "
+                 "as metrics.json, trace.json, audit.json, critpath.json, "
+                 "timeline.json (per-artifact --*-out flags override "
+                 "individual paths)");
 }
 
 /// Collector wired from the parsed observability flags (--obs-dir plus the
@@ -139,7 +143,8 @@ class ObsSink {
       : metrics_path_(cli.get_string("metrics-out")),
         trace_path_(cli.get_string("trace-out")),
         audit_path_(cli.get_string("audit-out")),
-        critpath_path_(cli.get_string("critpath-out")) {
+        critpath_path_(cli.get_string("critpath-out")),
+        timeline_path_(cli.get_string("timeline-out")) {
     const std::string dir = cli.get_string("obs-dir");
     if (!dir.empty()) {
       std::filesystem::create_directories(dir);
@@ -147,9 +152,11 @@ class ObsSink {
       if (trace_path_.empty()) trace_path_ = dir + "/trace.json";
       if (audit_path_.empty()) audit_path_ = dir + "/audit.json";
       if (critpath_path_.empty()) critpath_path_ = dir + "/critpath.json";
+      if (timeline_path_.empty()) timeline_path_ = dir + "/timeline.json";
     }
     if (!metrics_path_.empty() || !trace_path_.empty() ||
-        !audit_path_.empty() || !critpath_path_.empty()) {
+        !audit_path_.empty() || !critpath_path_.empty() ||
+        !timeline_path_.empty()) {
       collector_ = std::make_unique<obs::Collector>();
       const bool has_seed = cli.has("seed");
       collector_->set_meta(obs::make_run_meta(
@@ -180,6 +187,9 @@ class ObsSink {
     write(critpath_path_, [&](std::ostream& os) {
       collector_->write_critpath_json(os);
     });
+    write(timeline_path_, [&](std::ostream& os) {
+      collector_->write_timeline_json(os);
+    });
   }
 
  private:
@@ -195,6 +205,7 @@ class ObsSink {
   std::string trace_path_;
   std::string audit_path_;
   std::string critpath_path_;
+  std::string timeline_path_;
   std::unique_ptr<obs::Collector> collector_;
   bool flushed_ = false;
 };

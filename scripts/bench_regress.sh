@@ -74,11 +74,42 @@ run_gate() {
   fi
 }
 
-# The gate set: one healthy contention-replay bench and one faulted
-# remap-on-outage bench, both small enough to finish in seconds.
+# run_detector_gate <name>: the closed-loop detector bench. Detection
+# precision/recall are higher-is-better, so the watch patterns carry the
+# '-' prefix and the gate fails on a *drop* past the (laxer) threshold.
+# The faulted runtime's virtual times are reproducible only up to
+# link-queueing order, so the same artifact's makespans and costs are
+# reported as context but never fatal. The rendered timeline must also
+# parse — a timeline artifact obsctl cannot read is a gate failure.
+run_detector_gate() {
+  local name=$1
+  shift
+  echo "== $name =="
+  mkdir -p "$OUT_DIR/$name"
+  "$BUILD_DIR/bench/bench_fault_recovery" "$@" --detector \
+    --obs-dir "$OUT_DIR/$name" > "$OUT_DIR/$name/stdout.json"
+  "$OBSCTL" timeline "$OUT_DIR/$name/timeline.json" > /dev/null || FAILED=1
+  if [[ $BLESS -eq 1 ]]; then
+    cp "$OUT_DIR/$name/stdout.json" "$BASELINE_DIR/$name.detection.json"
+    echo "blessed $BASELINE_DIR/$name.detection.json"
+  elif [[ -f $BASELINE_DIR/$name.detection.json ]]; then
+    "$OBSCTL" check --threshold "${DETECTOR_THRESHOLD:-20}" \
+      --watch '-cells.*.detection.precision,-cells.*.detection.recall' \
+      "$BASELINE_DIR/$name.detection.json" \
+      "$OUT_DIR/$name/stdout.json" || FAILED=1
+  else
+    echo "no baseline $BASELINE_DIR/$name.detection.json — run with --bless" >&2
+    FAILED=1
+  fi
+}
+
+# The gate set: one healthy contention-replay bench, one faulted
+# remap-on-outage bench, and the closed-loop detector head-to-head — all
+# small enough to finish in seconds.
 run_gate fig6_sim_improvement bench_fig6_sim_improvement \
   --ranks=16 --trials=3 --contention
 run_gate fault_recovery bench_fault_recovery --ranks=16
+run_detector_gate detector_closed_loop --ranks=16
 
 if [[ $BLESS -eq 1 ]]; then
   echo "baselines written to $BASELINE_DIR/"

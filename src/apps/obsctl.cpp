@@ -7,10 +7,17 @@
 //                                      top-k slowest path steps. --json emits
 //                                      the compact (event-free) form used as
 //                                      a checked-in regression baseline.
+//   timeline <timeline.json>           renders the windowed per-link series
+//                                      as ASCII lanes with the detector's
+//                                      episodes overlaid against the
+//                                      injected ground-truth fault windows,
+//                                      plus the detection/truth tables and
+//                                      the precision/recall score block.
 //   diff <baseline> <current>          regression table over the numeric
 //                                      leaves of any two artifacts of the
 //                                      same kind (percent deltas; "meta" is
-//                                      ignored).
+//                                      ignored; one-side-only keys appear
+//                                      as added/removed rows).
 //   check <baseline> <current>         like diff, but exits 1 when a watched
 //                                      leaf regressed past --threshold (or
 //                                      vanished). CI's bench-regress gate.
@@ -19,8 +26,12 @@
 // 2 usage or load error.
 
 #include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <limits>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -29,6 +40,7 @@
 #include "common/table.h"
 #include "obs/critpath.h"
 #include "obs/regress.h"
+#include "obs/timeseries.h"
 
 using namespace geomap;
 
@@ -38,17 +50,28 @@ int usage(std::ostream& os, int code) {
   os << "Usage:\n"
         "  geomap-obsctl analyze <critpath.json> [--run N] [--top K] "
         "[--json]\n"
+        "  geomap-obsctl timeline <timeline.json> [--series NAME] "
+        "[--width N]\n"
         "  geomap-obsctl diff <baseline.json> <current.json> [--all]\n"
         "  geomap-obsctl check <baseline.json> <current.json>\n"
         "\n"
+        "Flags for timeline:\n"
+        "  --series NAME     metric whose per-link points feed the value "
+        "lane\n"
+        "                    (default link.latency_ratio)\n"
+        "  --width N         columns in the rendered lanes (default 64)\n"
+        "\n"
         "Shared flags for diff/check:\n"
-        "  --threshold PCT   relative increase that fails check "
+        "  --threshold PCT   relative change that fails check "
         "(default 10)\n"
         "  --watch PATTERNS  comma-separated dotted-key globs; only "
         "matching\n"
         "                    leaves can fail (default: "
         "runs.*.analysis.makespan_seconds\n"
-        "                    and runs.*.analysis.components.*)\n";
+        "                    and runs.*.analysis.components.*). Prefix a\n"
+        "                    pattern with '-' for higher-is-better leaves\n"
+        "                    (detection precision/recall): those fail on a\n"
+        "                    decrease past the threshold instead\n";
   return code;
 }
 
@@ -247,6 +270,301 @@ int cmd_analyze(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// timeline
+
+struct TimelineEpisode {
+  int src = -1, dst = -1;
+  std::string kind;  // "latency" | "down"
+  Seconds onset = 0, detect = 0;
+  Seconds end = std::numeric_limits<double>::infinity();  // inf = still open
+  double severity = 0, confidence = 0;
+};
+
+struct TimelineTruth {
+  int src = -1, dst = -1;
+  Seconds start = 0;
+  Seconds end = std::numeric_limits<double>::infinity();
+  bool down = false;
+};
+
+/// "end": null in the artifact means the episode/window never closed.
+Seconds end_or_inf(const JsonValue& v) {
+  const JsonValue* end = v.find("end");
+  return end != nullptr && end->is_number()
+             ? end->as_number()
+             : std::numeric_limits<double>::infinity();
+}
+
+/// Split a registry key "name{label}" into its parts; a bare key has an
+/// empty label.
+void split_series_key(const std::string& key, std::string* name,
+                      std::string* label) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos || key.empty() || key.back() != '}') {
+    *name = key;
+    label->clear();
+    return;
+  }
+  *name = key.substr(0, brace);
+  *label = key.substr(brace + 1, key.size() - brace - 2);
+}
+
+std::string format_end(Seconds end) {
+  return std::isfinite(end) ? format_double(end, 3) : std::string("open");
+}
+
+int cmd_timeline(const std::vector<std::string>& args) {
+  std::string path;
+  std::string series_name = "link.latency_ratio";
+  int width = 64;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--series" && i + 1 < args.size()) {
+      series_name = args[++i];
+    } else if (args[i] == "--width" && i + 1 < args.size()) {
+      width = std::stoi(args[++i]);
+    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
+      path = args[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty() || width < 8) return usage(std::cerr, 2);
+
+  const JsonValue doc = parse_json_file(path);
+  const JsonValue* series = doc.find("series");
+  GEOMAP_CHECK_ARG(series != nullptr && series->is_object(),
+                   "not a timeline artifact (no top-level 'series' object)");
+
+  // Per-link data for the lanes, keyed (src, dst). Links are the union of
+  // what the chosen metric observed, what the detector flagged and what
+  // the plan injected — a lane renders even when one side is empty, which
+  // is exactly the false-negative / false-positive picture.
+  using Link = std::pair<int, int>;
+  std::map<Link, std::vector<obs::TimePoint>> points;
+  std::map<Link, std::vector<const TimelineEpisode*>> lane_events;
+  std::map<Link, std::vector<const TimelineTruth*>> lane_truth;
+
+  Seconds t_min = std::numeric_limits<double>::infinity();
+  Seconds t_max = -std::numeric_limits<double>::infinity();
+  const auto widen = [&](Seconds t) {
+    if (!std::isfinite(t)) return;
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+  };
+
+  Table summary({"series", "points", "total", "dropped", "w.count", "w.mean",
+                 "w.max", "w.rate", "w.ewma"});
+  for (const auto& [key, s] : series->members()) {
+    std::string name, label;
+    split_series_key(key, &name, &label);
+    int src = -1, dst = -1;
+    const bool is_link = obs::parse_link_label(label, &src, &dst);
+    const JsonValue* pts = s.find("points");
+    std::size_t retained = 0;
+    if (pts != nullptr && pts->is_array()) {
+      retained = pts->items().size();
+      for (const JsonValue& p : pts->items()) {
+        if (!p.is_array() || p.items().size() != 2) continue;
+        const Seconds t = p.items()[0].as_number();
+        const double v = p.items()[1].as_number();
+        if (is_link && name == series_name) points[{src, dst}].push_back({t, v});
+        widen(t);
+      }
+    }
+    auto row = summary.row();
+    row.cell(key).cell(retained).cell(s.number_or("total", 0), 0)
+        .cell(s.number_or("dropped", 0), 0);
+    if (const JsonValue* w = s.find("last_window")) {
+      row.cell(w->number_or("count", 0), 0)
+          .cell(w->number_or("mean", 0), 4)
+          .cell(w->number_or("max", 0), 4)
+          .cell(w->number_or("rate", 0), 3)
+          .cell(w->number_or("ewma", 0), 4);
+    } else {
+      row.cell("-").cell("-").cell("-").cell("-").cell("-");
+    }
+  }
+
+  std::vector<TimelineEpisode> detections;
+  if (const JsonValue* dets = doc.find("detections")) {
+    for (const JsonValue& d : dets->items()) {
+      TimelineEpisode e;
+      e.src = static_cast<int>(d.number_or("src", -1));
+      e.dst = static_cast<int>(d.number_or("dst", -1));
+      e.kind = d.string_or("kind", "latency");
+      e.onset = d.number_or("onset", 0);
+      e.detect = d.number_or("detect", 0);
+      e.end = end_or_inf(d);
+      e.severity = d.number_or("severity", 0);
+      e.confidence = d.number_or("confidence", 0);
+      widen(e.onset);
+      widen(e.detect);
+      widen(e.end);
+      detections.push_back(e);
+    }
+  }
+  std::vector<TimelineTruth> truth;
+  if (const JsonValue* tw = doc.find("truth")) {
+    for (const JsonValue& t : tw->items()) {
+      TimelineTruth w;
+      w.src = static_cast<int>(t.number_or("src", -1));
+      w.dst = static_cast<int>(t.number_or("dst", -1));
+      w.start = t.number_or("start", 0);
+      w.end = end_or_inf(t);
+      const JsonValue* down = t.find("down");
+      w.down = down != nullptr && down->is_bool() && down->as_bool();
+      widen(w.start);
+      widen(w.end);
+      truth.push_back(w);
+    }
+  }
+  for (const TimelineEpisode& e : detections)
+    lane_events[{e.src, e.dst}].push_back(&e);
+  for (const TimelineTruth& w : truth) lane_truth[{w.src, w.dst}].push_back(&w);
+
+  print_banner(std::cout, "series (window over trailing " +
+                              format_double(doc.number_or("window_seconds", 0),
+                                            1) +
+                              " s)");
+  summary.print(std::cout);
+  std::cout << "\n";
+
+  if (std::isfinite(t_min) && t_max > t_min) {
+    // One lane block per link on a shared time axis. The value lane is a
+    // per-bucket-mean sparkline of the chosen metric; the detect lane
+    // paints open episodes ('~' latency, 'X' down); the truth lane paints
+    // the injected windows ('=' degradation, '#' outage). A detect lane
+    // that lags or overhangs its truth lane *is* the detector's latency
+    // and false-alarm picture.
+    std::map<Link, bool> links;
+    for (const auto& [link, unused] : points) links[link] = true;
+    for (const auto& [link, unused] : lane_events) links[link] = true;
+    for (const auto& [link, unused] : lane_truth) links[link] = true;
+
+    const Seconds span = t_max - t_min;
+    const auto column = [&](Seconds t) {
+      const int c = static_cast<int>((t - t_min) / span * width);
+      return std::min(width - 1, std::max(0, c));
+    };
+    // Nine levels, none of them a space: a bucket with data is always
+    // visibly distinct from a bucket with none.
+    static const char kLevels[] = ".:-=+*#%@";
+
+    print_banner(std::cout, "lanes  t in [" + format_double(t_min, 3) + ", " +
+                                format_double(t_max, 3) + "] s  (" +
+                                series_name +
+                                " | detect: ~ latency, X down | truth: = "
+                                "degraded, # outage)");
+    for (const auto& [link, unused] : links) {
+      std::cout << "link " << link.first << "->" << link.second << "\n";
+
+      const auto pit = points.find(link);
+      if (pit != points.end() && !pit->second.empty()) {
+        std::vector<double> sum(static_cast<std::size_t>(width), 0);
+        std::vector<int> count(static_cast<std::size_t>(width), 0);
+        double vmin = std::numeric_limits<double>::infinity();
+        double vmax = -std::numeric_limits<double>::infinity();
+        for (const obs::TimePoint& p : pit->second) {
+          const auto c = static_cast<std::size_t>(column(p.t));
+          sum[c] += p.value;
+          count[c] += 1;
+          vmin = std::min(vmin, p.value);
+          vmax = std::max(vmax, p.value);
+        }
+        std::string lane(static_cast<std::size_t>(width), ' ');
+        for (std::size_t c = 0; c < lane.size(); ++c) {
+          if (count[c] == 0) continue;
+          const double mean = sum[c] / count[c];
+          const double norm =
+              vmax > vmin ? (mean - vmin) / (vmax - vmin) : 0.5;
+          const auto level = static_cast<std::size_t>(norm * 8.0 + 0.5);
+          lane[c] = kLevels[std::min<std::size_t>(8, level)];
+        }
+        std::cout << "  value  |" << lane << "|  min "
+                  << format_double(vmin, 3) << "  max "
+                  << format_double(vmax, 3) << "\n";
+      }
+
+      const auto eit = lane_events.find(link);
+      std::string detect_lane(static_cast<std::size_t>(width), ' ');
+      if (eit != lane_events.end()) {
+        for (const TimelineEpisode* e : eit->second) {
+          const int from = column(e->onset);
+          const int to = column(std::isfinite(e->end) ? e->end : t_max);
+          const char mark = e->kind == "down" ? 'X' : '~';
+          for (int c = from; c <= to; ++c)
+            detect_lane[static_cast<std::size_t>(c)] = mark;
+        }
+      }
+      std::cout << "  detect |" << detect_lane << "|\n";
+
+      const auto tit = lane_truth.find(link);
+      std::string truth_lane(static_cast<std::size_t>(width), ' ');
+      if (tit != lane_truth.end()) {
+        for (const TimelineTruth* w : tit->second) {
+          const int from = column(w->start);
+          const int to = column(std::isfinite(w->end) ? w->end : t_max);
+          const char mark = w->down ? '#' : '=';
+          for (int c = from; c <= to; ++c)
+            truth_lane[static_cast<std::size_t>(c)] = mark;
+        }
+      }
+      std::cout << "  truth  |" << truth_lane << "|\n";
+    }
+    std::cout << "\n";
+  }
+
+  if (!detections.empty()) {
+    Table table({"link", "kind", "onset", "detect", "end", "severity",
+                 "confidence"});
+    for (const TimelineEpisode& e : detections) {
+      table.row()
+          .cell(std::to_string(e.src) + "->" + std::to_string(e.dst))
+          .cell(e.kind)
+          .cell(e.onset, 3)
+          .cell(e.detect, 3)
+          .cell(format_end(e.end))
+          .cell(e.severity, 2)
+          .cell(e.confidence, 2);
+    }
+    print_banner(std::cout, "detections");
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!truth.empty()) {
+    Table table({"link", "start", "end", "kind"});
+    for (const TimelineTruth& w : truth) {
+      table.row()
+          .cell(std::to_string(w.src) + "->" + std::to_string(w.dst))
+          .cell(w.start, 3)
+          .cell(format_end(w.end))
+          .cell(w.down ? "outage" : "degraded");
+    }
+    print_banner(std::cout, "ground-truth fault windows");
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  if (const JsonValue* score = doc.find("score")) {
+    print_banner(std::cout, "detection score");
+    std::cout << "precision: " << format_double(score->number_or("precision", 0), 3)
+              << "  recall: " << format_double(score->number_or("recall", 0), 3)
+              << "  mean detection latency: "
+              << format_double(score->number_or("mean_detection_latency", 0), 3)
+              << " s\n"
+              << "events: " << score->number_or("true_positive_events", 0)
+              << " true positive, "
+              << score->number_or("false_positive_events", 0)
+              << " false positive; windows: "
+              << score->number_or("detected_windows", 0) << " detected, "
+              << score->number_or("missed_windows", 0) << " missed\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// diff / check
+
 std::vector<std::string> split_patterns(const std::string& csv) {
   std::vector<std::string> out;
   std::size_t from = 0;
@@ -287,6 +605,19 @@ int cmd_compare(const std::vector<std::string>& args, bool gate) {
   const obs::RegressReport report =
       obs::compare_artifacts(baseline, current, options);
 
+  // One-side-only keys become rows too — with the value they have on the
+  // side that knows it, looked up from the flattened leaves.
+  const auto base_flat = obs::flatten_numeric(baseline);
+  const auto cur_flat = obs::flatten_numeric(current);
+  const auto lookup = [](const std::vector<std::pair<std::string, double>>& flat,
+                         const std::string& key) {
+    const auto it = std::lower_bound(
+        flat.begin(), flat.end(), key,
+        [](const std::pair<std::string, double>& leaf,
+           const std::string& k) { return leaf.first < k; });
+    return it != flat.end() && it->first == key ? it->second : 0.0;
+  };
+
   Table table({"key", "baseline", "current", "delta", "delta %", "status"});
   for (const obs::RegressRow& row : report.rows) {
     if (!all_rows && row.delta == 0 && !row.regressed) continue;
@@ -298,16 +629,30 @@ int cmd_compare(const std::vector<std::string>& args, bool gate) {
         .cell(row.delta_pct, 2)
         .cell(row.regressed ? "REGRESSED" : (row.watched ? "ok" : "info"));
   }
+  for (const std::string& key : report.missing) {
+    table.row()
+        .cell(key)
+        .cell(lookup(base_flat, key), 6)
+        .cell("-")
+        .cell("-")
+        .cell("-")
+        .cell("removed");
+  }
+  for (const std::string& key : report.added) {
+    table.row()
+        .cell(key)
+        .cell("-")
+        .cell(lookup(cur_flat, key), 6)
+        .cell("-")
+        .cell("-")
+        .cell("added");
+  }
   if (table.num_rows() > 0) {
     table.print(std::cout);
   } else {
     std::cout << "no differences ("
               << report.rows.size() << " keys compared)\n";
   }
-  for (const std::string& key : report.missing)
-    std::cout << "missing from current: " << key << "\n";
-  for (const std::string& key : report.added)
-    std::cout << "new in current: " << key << "\n";
 
   if (gate) {
     if (report.failed) {
@@ -331,6 +676,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "timeline") return cmd_timeline(args);
     if (cmd == "diff") return cmd_compare(args, /*gate=*/false);
     if (cmd == "check") return cmd_compare(args, /*gate=*/true);
     if (cmd == "--help" || cmd == "-h" || cmd == "help")

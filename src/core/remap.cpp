@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "common/error.h"
 #include "fault/degraded_network.h"
@@ -27,12 +30,20 @@ SiteId cheapest_survivor(const net::NetworkModel& model, SiteId dst,
   return best;
 }
 
-}  // namespace
-
-RemapResult remap_on_outage(const mapping::MappingProblem& problem,
+/// Shared recovery core: exclude `failed_site` as of `remap_time`, rerun
+/// the mapper over the survivors, evaluate under the true plan. The
+/// mapper optimizes `perceived` when given (a detector's estimate of the
+/// degraded network); the oracle policy passes nullptr and optimizes the
+/// true degraded snapshot. Evaluation (degraded/post-remap costs, replay
+/// makespans, migration pricing) always uses the truth, so oracle and
+/// detection recoveries are directly comparable.
+RemapResult remap_excluding(const mapping::MappingProblem& problem,
                             const Mapping& current,
                             const fault::FaultPlan& plan, SiteId failed_site,
-                            Seconds outage_time, const RemapOptions& options) {
+                            Seconds remap_time,
+                            const net::NetworkModel* perceived,
+                            const char* replay_label_prefix,
+                            const RemapOptions& options) {
   GEOMAP_CHECK_MSG(failed_site >= 0 && failed_site < problem.num_sites(),
                    "failed site " << failed_site << " out of range");
   GEOMAP_CHECK_ARG(options.bytes_per_process >= 0,
@@ -41,16 +52,17 @@ RemapResult remap_on_outage(const mapping::MappingProblem& problem,
   mapping::validate_mapping(problem, current);
 
   const fault::DegradedNetworkModel degraded(problem.network, plan);
+  const net::NetworkModel truth = degraded.snapshot(remap_time);
 
   RemapResult result;
   result.pre_fault_cost =
       sim::alpha_beta_cost(problem.comm, problem.network, current);
 
-  // Rebuild the instance as of the outage: degraded LT/BT snapshot, dead
-  // site excluded by capacity, surviving pins kept (pins to the dead site
-  // are released).
+  // Rebuild the instance as of the remap: the network view the policy
+  // acts on, dead site excluded by capacity, surviving pins kept (pins to
+  // the dead site are released).
   result.problem = problem;
-  result.problem.network = degraded.snapshot(outage_time);
+  result.problem.network = perceived != nullptr ? *perceived : truth;
   result.problem.capacities[static_cast<std::size_t>(failed_site)] = 0;
   if (!result.problem.constraints.empty()) {
     for (SiteId& pin : result.problem.constraints) {
@@ -67,8 +79,7 @@ RemapResult remap_on_outage(const mapping::MappingProblem& problem,
   }
   result.problem.validate();  // throws when survivors lack capacity
 
-  result.degraded_cost =
-      sim::alpha_beta_cost(problem.comm, result.problem.network, current);
+  result.degraded_cost = sim::alpha_beta_cost(problem.comm, truth, current);
 
   GeoDistOptions mapper_options = options.mapper;
   if (mapper_options.collector == nullptr)
@@ -78,20 +89,22 @@ RemapResult remap_on_outage(const mapping::MappingProblem& problem,
   mapping::validate_mapping(result.problem, result.mapping);
 
   result.post_remap_cost =
-      sim::alpha_beta_cost(problem.comm, result.problem.network, result.mapping);
+      sim::alpha_beta_cost(problem.comm, truth, result.mapping);
 
   // Replay makespans: the healthy pre-fault execution of the old mapping,
   // and the recovered execution — the post-remap mapping replayed
-  // fault-aware from the outage instant (it avoids the dead site, so the
+  // fault-aware from the remap instant (it avoids the dead site, so the
   // permanent outage is never crossed).
+  const std::string prefix = replay_label_prefix;
   result.pre_fault_makespan =
       sim::replay_with_contention(problem.comm, problem.network, current,
-                                  options.collector, "remap/pre_fault")
+                                  options.collector,
+                                  (prefix + "/pre_fault").c_str())
           .makespan;
   result.post_remap_makespan =
       sim::replay_with_contention(problem.comm, degraded, result.mapping,
-                                  outage_time, options.collector,
-                                  "remap/post_remap")
+                                  remap_time, options.collector,
+                                  (prefix + "/post_remap").c_str())
           .makespan;
 
   // Relocation bill: every moved process ships its state over the
@@ -102,17 +115,90 @@ RemapResult remap_on_outage(const mapping::MappingProblem& problem,
     const SiteId from = current[i];
     const SiteId to = result.mapping[i];
     if (from == to) continue;
-    const SiteId src =
-        from == failed_site
-            ? cheapest_survivor(result.problem.network, to, failed_site, bytes)
-            : from;
+    const SiteId src = from == failed_site
+                           ? cheapest_survivor(truth, to, failed_site, bytes)
+                           : from;
     if (src >= 0) {
-      result.migration_seconds +=
-          result.problem.network.transfer_time(src, to, bytes);
+      result.migration_seconds += truth.transfer_time(src, to, bytes);
     }
     result.bytes_moved += bytes;
     result.processes_moved += 1;
   }
+  return result;
+}
+
+}  // namespace
+
+RemapResult remap_on_outage(const mapping::MappingProblem& problem,
+                            const Mapping& current,
+                            const fault::FaultPlan& plan, SiteId failed_site,
+                            Seconds outage_time, const RemapOptions& options) {
+  return remap_excluding(problem, current, plan, failed_site, outage_time,
+                         /*perceived=*/nullptr, "remap", options);
+}
+
+DetectionRemapResult remap_on_detection(
+    const mapping::MappingProblem& problem, const Mapping& current,
+    const std::vector<obs::DegradationEvent>& events,
+    const fault::FaultPlan& plan, const RemapOptions& options) {
+  // Vote: a down site shows up as down events on *many* of its incident
+  // links; a single flaky link implicates each endpoint only once.
+  std::map<SiteId, std::set<std::pair<SiteId, SiteId>>> implicated;
+  for (const obs::DegradationEvent& e : events) {
+    if (e.kind != obs::DegradationKind::kDown) continue;
+    implicated[e.src].insert({e.src, e.dst});
+    implicated[e.dst].insert({e.src, e.dst});
+  }
+  GEOMAP_CHECK_ARG(!implicated.empty(),
+                   "remap_on_detection needs at least one down event — no "
+                   "actionable detection");
+
+  DetectionRemapResult result;
+  std::size_t best_links = 0;
+  for (const auto& [site, links] : implicated) {
+    if (links.size() > best_links) {  // std::map order breaks ties low
+      best_links = links.size();
+      result.suspected_site = site;
+    }
+  }
+
+  result.detection_time = std::numeric_limits<double>::infinity();
+  for (const obs::DegradationEvent& e : events) {
+    if (e.kind != obs::DegradationKind::kDown) continue;
+    if (e.src != result.suspected_site && e.dst != result.suspected_site)
+      continue;
+    result.down_events += 1;
+    result.detection_time = std::min(result.detection_time, e.detect_vtime);
+  }
+
+  // The perceived network: what the detector estimated, not the oracle
+  // snapshot. Each latency episode active at detection time inflates its
+  // link by the severity estimate s — LT' = s·LT and BT' = BT/s, so a
+  // message's perceived wire time is exactly s times healthy, matching
+  // the observed inflation ratio the severity was fitted to.
+  Matrix latency = problem.network.latency_matrix();
+  Matrix bandwidth = problem.network.bandwidth_matrix();
+  for (const obs::DegradationEvent& e : events) {
+    if (e.kind != obs::DegradationKind::kLatency) continue;
+    if (e.onset_vtime > result.detection_time ||
+        e.end_vtime < result.detection_time) {
+      continue;
+    }
+    if (e.src < 0 || e.src >= problem.num_sites() || e.dst < 0 ||
+        e.dst >= problem.num_sites()) {
+      continue;
+    }
+    const double severity = std::max(1.0, e.severity);
+    latency(static_cast<std::size_t>(e.src), static_cast<std::size_t>(e.dst)) *=
+        severity;
+    bandwidth(static_cast<std::size_t>(e.src),
+              static_cast<std::size_t>(e.dst)) /= severity;
+  }
+  const net::NetworkModel perceived(std::move(latency), std::move(bandwidth));
+
+  result.remap = remap_excluding(problem, current, plan, result.suspected_site,
+                                 result.detection_time, &perceived,
+                                 "detect_remap", options);
   return result;
 }
 

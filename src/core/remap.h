@@ -12,10 +12,26 @@
 // reports the relocation bill (bytes moved × inter-site alpha-beta time)
 // next to the new mapping's cost so callers can weigh migrating now
 // against limping along degraded.
+//
+// Two triggers share that core:
+//
+//   * remap_on_outage — the oracle policy: told exactly which site died
+//     and when (it reads the injected FaultPlan). An upper bound on
+//     recovery quality.
+//   * remap_on_detection — the production policy: driven solely by the
+//     degradation detector's events (obs/detector.h). It must *infer*
+//     the failed site and react at detection time (later than the true
+//     onset), and the mapper optimizes the network view the detector
+//     estimated, not the true degraded snapshot. The FaultPlan argument
+//     is used for evaluation only (true costs, fault-aware replay,
+//     migration pricing) — never for the decision.
+
+#include <vector>
 
 #include "core/geodist_mapper.h"
 #include "fault/fault_plan.h"
 #include "mapping/problem.h"
+#include "obs/detector.h"
 
 namespace geomap::obs {
 class Collector;
@@ -76,5 +92,33 @@ RemapResult remap_on_outage(const mapping::MappingProblem& problem,
                             const fault::FaultPlan& plan, SiteId failed_site,
                             Seconds outage_time,
                             const RemapOptions& options = {});
+
+/// Detection-driven recovery: remap_on_outage's result plus what the
+/// policy inferred from the events alone.
+struct DetectionRemapResult {
+  /// The site the down events implicate (most distinct incident links;
+  /// ties break to the smaller id).
+  SiteId suspected_site = -1;
+  /// When the policy acted: the earliest detect_vtime of a down event
+  /// touching the suspected site. Always >= the true onset — the price
+  /// of not reading the oracle plan.
+  Seconds detection_time = 0;
+  /// Number of down events that implicated the suspected site.
+  int down_events = 0;
+  RemapResult remap;
+};
+
+/// Recover using only what a detector observed. Picks the suspected
+/// failed site by voting over the events' down links, rebuilds the
+/// problem as of the detection time with the *perceived* network (the
+/// healthy model with each actively-degraded link's latency inflated by
+/// the event's severity estimate), reruns the mapper, then evaluates the
+/// result under the true plan exactly like remap_on_outage so the two
+/// policies are head-to-head comparable. Throws InvalidArgument when
+/// `events` contains no down event (nothing actionable).
+DetectionRemapResult remap_on_detection(
+    const mapping::MappingProblem& problem, const Mapping& current,
+    const std::vector<obs::DegradationEvent>& events,
+    const fault::FaultPlan& plan, const RemapOptions& options = {});
 
 }  // namespace geomap::core

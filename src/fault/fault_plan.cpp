@@ -176,6 +176,56 @@ bool FaultPlan::message_lost(SiteId src, SiteId dst, Seconds t,
   return u < p;
 }
 
+std::vector<obs::TruthWindow> FaultPlan::truth_windows(int num_sites) const {
+  GEOMAP_CHECK_ARG(num_sites > 0,
+                   "num_sites must be positive, got " << num_sites);
+  std::vector<obs::TruthWindow> windows;
+  const auto add = [&windows](SiteId src, SiteId dst, const FaultEvent& e,
+                              bool down) {
+    obs::TruthWindow w;
+    w.src = src;
+    w.dst = dst;
+    w.start = e.start;
+    w.end = e.end;
+    w.down = down;
+    windows.push_back(w);
+  };
+  for (const FaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultKind::kSiteOutage:
+        if (e.site >= num_sites) break;
+        for (SiteId other = 0; other < num_sites; ++other) {
+          if (other == e.site) continue;
+          add(e.site, other, e, /*down=*/true);
+          add(other, e.site, e, /*down=*/true);
+        }
+        break;
+      case FaultKind::kLinkDegradation:
+        if (e.latency_factor == 1.0 && e.bandwidth_factor == 1.0) break;
+        [[fallthrough]];
+      case FaultKind::kMessageLoss:
+        if (e.kind == FaultKind::kMessageLoss && e.loss_probability <= 0.0)
+          break;
+        for (SiteId src = 0; src < num_sites; ++src) {
+          for (SiteId dst = 0; dst < num_sites; ++dst) {
+            if (src == dst) continue;
+            if (link_event_matches(e, src, dst)) add(src, dst, e, false);
+          }
+        }
+        break;
+    }
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const obs::TruthWindow& a, const obs::TruthWindow& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              if (a.end != b.end) return a.end < b.end;
+              return a.down < b.down;
+            });
+  return windows;
+}
+
 Seconds FaultPlan::outage_start(SiteId site) const {
   Seconds earliest = kNoEnd;
   for (const FaultEvent& e : events_) {

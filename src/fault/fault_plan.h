@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/detector.h"
 
 namespace geomap::fault {
 
@@ -117,6 +118,14 @@ class FaultPlan {
 
   /// Start of the earliest outage of `site`, or +inf if none scheduled.
   Seconds outage_start(SiteId site) const;
+
+  /// Expand the schedule into per-ordered-link ground-truth windows for
+  /// scoring a degradation detector (obs::score_detections) — evaluation
+  /// only, never an input to detection. Site outages become `down`
+  /// windows on every inter-site link touching the site; link
+  /// degradations and message loss become non-down windows on the links
+  /// they match. Sorted by (start, src, dst, end, down).
+  std::vector<obs::TruthWindow> truth_windows(int num_sites) const;
 
  private:
   bool link_event_matches(const FaultEvent& e, SiteId src, SiteId dst) const;

@@ -18,9 +18,11 @@
 
 #include "obs/audit.h"
 #include "obs/critpath.h"
+#include "obs/detector.h"
 #include "obs/metrics.h"
 #include "obs/run_meta.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 
 namespace geomap::obs {
 
@@ -37,6 +39,12 @@ class Collector {
 
   CritGraph& critpath() { return critpath_; }
   const CritGraph& critpath() const { return critpath_; }
+
+  TimeSeriesRegistry& timeline() { return timeline_; }
+  const TimeSeriesRegistry& timeline() const { return timeline_; }
+
+  DetectionLog& detections() { return detections_; }
+  const DetectionLog& detections() const { return detections_; }
 
   /// Run metadata stamped into every exported artifact. Set once by the
   /// bench harness before the first export; default is an empty header.
@@ -57,12 +65,17 @@ class Collector {
   void write_critpath_json(std::ostream& os, bool include_events = true) const {
     critpath_.write_json(os, &meta_, include_events);
   }
+  void write_timeline_json(std::ostream& os) const {
+    obs::write_timeline_json(os, timeline_, detections_, &meta_);
+  }
 
  private:
   MetricsRegistry metrics_;
   SpanTracer tracer_;
   MapperAudit audit_;
   CritGraph critpath_;
+  TimeSeriesRegistry timeline_;
+  DetectionLog detections_;
   RunMeta meta_;
 };
 

@@ -1,0 +1,448 @@
+#include "obs/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/json_writer.h"
+#include "obs/run_meta.h"
+
+namespace geomap::obs {
+
+namespace {
+
+constexpr Seconds kInf = std::numeric_limits<double>::infinity();
+
+bool event_order(const DegradationEvent& a, const DegradationEvent& b) {
+  return std::tie(a.onset_vtime, a.src, a.dst, a.kind) <
+         std::tie(b.onset_vtime, b.src, b.dst, b.kind);
+}
+
+}  // namespace
+
+const char* to_string(DegradationKind kind) {
+  return kind == DegradationKind::kDown ? "down" : "latency";
+}
+
+void DetectorOptions::validate() const {
+  GEOMAP_CHECK_ARG(ewma_lambda > 0 && ewma_lambda <= 1,
+                   "ewma_lambda must be in (0, 1], got " << ewma_lambda);
+  GEOMAP_CHECK_ARG(cusum_slack >= 0,
+                   "cusum_slack must be non-negative, got " << cusum_slack);
+  GEOMAP_CHECK_ARG(cusum_threshold > 0,
+                   "cusum_threshold must be positive, got " << cusum_threshold);
+  GEOMAP_CHECK_ARG(clear_fraction >= 0 && clear_fraction < 1,
+                   "clear_fraction must be in [0, 1), got " << clear_fraction);
+  GEOMAP_CHECK_ARG(retry_window > 0,
+                   "retry_window must be positive, got " << retry_window);
+  GEOMAP_CHECK_ARG(retry_count_threshold > 0,
+                   "retry_count_threshold must be positive, got "
+                       << retry_count_threshold);
+  GEOMAP_CHECK_ARG(down_quiet > 0,
+                   "down_quiet must be positive, got " << down_quiet);
+  GEOMAP_CHECK_ARG(down_severity >= 1,
+                   "down_severity must be >= 1, got " << down_severity);
+}
+
+DegradationDetector::DegradationDetector(DetectorOptions options)
+    : options_(options) {
+  options_.validate();
+}
+
+DegradationDetector::LinkState& DegradationDetector::state(SiteId src,
+                                                           SiteId dst) {
+  return links_[{src, dst}];
+}
+
+void DegradationDetector::maybe_close_down(LinkState& s, Seconds t) {
+  if (s.open_down < 0) return;
+  if (t - s.last_down_signal <= options_.down_quiet) return;
+  events_[static_cast<std::size_t>(s.open_down)].end_vtime =
+      s.last_down_signal + options_.down_quiet;
+  s.open_down = -1;
+  s.recent_retries.clear();
+}
+
+void DegradationDetector::observe_latency_ratio(SiteId src, SiteId dst,
+                                                Seconds t, double ratio) {
+  GEOMAP_CHECK_ARG(ratio >= 0 && std::isfinite(ratio),
+                   "latency ratio must be finite and non-negative, got "
+                       << ratio);
+  LinkState& s = state(src, dst);
+  maybe_close_down(s, t);
+
+  if (!s.ewma_primed) {
+    s.ewma = ratio;
+    s.ewma_primed = true;
+  } else {
+    s.ewma = options_.ewma_lambda * ratio +
+             (1 - options_.ewma_lambda) * s.ewma;
+  }
+
+  // One-sided CUSUM against the known-healthy baseline ratio of 1.0,
+  // capped at 2h: a long excursion otherwise accumulates an unbounded
+  // backlog that delays recovery detection arbitrarily, and 2h is where
+  // the confidence estimate saturates anyway.
+  const double h = options_.cusum_threshold;
+  s.cusum = std::min(
+      2 * h, std::max(0.0, s.cusum + (ratio - 1.0 - options_.cusum_slack)));
+  if (s.cusum > 0) {
+    if (s.excursion_start < 0) s.excursion_start = t;
+  } else {
+    s.excursion_start = -1;
+  }
+  if (s.open_latency < 0) {
+    if (s.cusum >= h) {
+      DegradationEvent e;
+      e.src = src;
+      e.dst = dst;
+      e.kind = DegradationKind::kLatency;
+      e.onset_vtime = s.excursion_start >= 0 ? s.excursion_start : t;
+      e.detect_vtime = t;
+      e.end_vtime = kInf;
+      e.severity = std::max(1.0, s.ewma);
+      e.confidence = std::min(1.0, s.cusum / (2 * h));
+      s.open_latency = static_cast<std::ptrdiff_t>(events_.size());
+      events_.push_back(e);
+    }
+    return;
+  }
+
+  DegradationEvent& open = events_[static_cast<std::size_t>(s.open_latency)];
+  open.severity = std::max(open.severity, std::max(1.0, s.ewma));
+  open.confidence = std::max(open.confidence, std::min(1.0, s.cusum / (2 * h)));
+  if (s.cusum <= options_.clear_fraction * h) {
+    open.end_vtime = t;
+    s.open_latency = -1;
+    s.cusum = 0;
+    s.excursion_start = -1;
+  }
+}
+
+void DegradationDetector::observe_retry(SiteId src, SiteId dst, Seconds t,
+                                        double count) {
+  GEOMAP_CHECK_ARG(count > 0, "retry count must be positive, got " << count);
+  LinkState& s = state(src, dst);
+  maybe_close_down(s, t);
+  s.recent_retries.emplace_back(t, count);
+  // Prune the sliding window (points arrive in non-decreasing t).
+  std::size_t keep = 0;
+  while (keep < s.recent_retries.size() &&
+         s.recent_retries[keep].first <= t - options_.retry_window) {
+    ++keep;
+  }
+  s.recent_retries.erase(s.recent_retries.begin(),
+                         s.recent_retries.begin() +
+                             static_cast<std::ptrdiff_t>(keep));
+  double in_window = 0;
+  for (const auto& [rt, rc] : s.recent_retries) in_window += rc;
+
+  if (s.open_down >= 0) {
+    DegradationEvent& open = events_[static_cast<std::size_t>(s.open_down)];
+    open.confidence = std::max(
+        open.confidence,
+        std::min(1.0, in_window / (2 * options_.retry_count_threshold)));
+    s.last_down_signal = t;
+    return;
+  }
+  if (in_window >= options_.retry_count_threshold) {
+    DegradationEvent e;
+    e.src = src;
+    e.dst = dst;
+    e.kind = DegradationKind::kDown;
+    e.onset_vtime = s.recent_retries.front().first;
+    e.detect_vtime = t;
+    e.end_vtime = kInf;
+    e.severity = options_.down_severity;
+    e.confidence =
+        std::min(1.0, in_window / (2 * options_.retry_count_threshold));
+    s.open_down = static_cast<std::ptrdiff_t>(events_.size());
+    s.last_down_signal = t;
+    events_.push_back(e);
+  }
+}
+
+void DegradationDetector::observe_timeout(SiteId src, SiteId dst, Seconds t) {
+  LinkState& s = state(src, dst);
+  maybe_close_down(s, t);
+  if (s.open_down >= 0) {
+    events_[static_cast<std::size_t>(s.open_down)].confidence = 1.0;
+    s.last_down_signal = t;
+    return;
+  }
+  DegradationEvent e;
+  e.src = src;
+  e.dst = dst;
+  e.kind = DegradationKind::kDown;
+  // A timeout is the end of an exhausted retry ladder; back-date the
+  // onset to the earliest retry still in the window when there is one.
+  e.onset_vtime = s.recent_retries.empty() ? t : s.recent_retries.front().first;
+  e.detect_vtime = t;
+  e.end_vtime = kInf;
+  e.severity = options_.down_severity;
+  e.confidence = 1.0;
+  s.open_down = static_cast<std::ptrdiff_t>(events_.size());
+  s.last_down_signal = t;
+  events_.push_back(e);
+}
+
+void DegradationDetector::scan(const TimeSeriesRegistry& timeline) {
+  // Merge each link's latency / retry / timeout series into one
+  // virtual-time-ordered stream, so the cross-signal episode logic
+  // (retry-quiet closing, etc.) sees the same order an in-run observer
+  // would.
+  enum class Signal { kLatency = 0, kRetry = 1, kTimeout = 2 };
+  struct Sample {
+    Seconds t;
+    int signal;
+    double value;
+    bool operator<(const Sample& o) const {
+      return std::tie(t, signal, value) < std::tie(o.t, o.signal, o.value);
+    }
+  };
+  std::map<std::pair<SiteId, SiteId>, std::vector<Sample>> per_link;
+  for (const std::string& key : timeline.keys()) {
+    const std::size_t brace = key.find('{');
+    if (brace == std::string::npos || key.back() != '}') continue;
+    const std::string name = key.substr(0, brace);
+    Signal signal;
+    if (name == "link.latency_ratio") {
+      signal = Signal::kLatency;
+    } else if (name == "link.retry") {
+      signal = Signal::kRetry;
+    } else if (name == "link.timeout") {
+      signal = Signal::kTimeout;
+    } else {
+      continue;
+    }
+    int src = -1, dst = -1;
+    if (!parse_link_label(key.substr(brace + 1, key.size() - brace - 2), &src,
+                          &dst)) {
+      continue;
+    }
+    const TimeSeries* series = timeline.find(key);
+    if (series == nullptr) continue;
+    std::vector<Sample>& stream = per_link[{src, dst}];
+    for (const TimePoint& p : series->points()) {
+      stream.push_back(Sample{p.t, static_cast<int>(signal), p.value});
+    }
+  }
+  for (auto& [link, stream] : per_link) {
+    std::sort(stream.begin(), stream.end());
+    for (const Sample& s : stream) {
+      switch (static_cast<Signal>(s.signal)) {
+        case Signal::kLatency:
+          observe_latency_ratio(link.first, link.second, s.t, s.value);
+          break;
+        case Signal::kRetry:
+          observe_retry(link.first, link.second, s.t, s.value);
+          break;
+        case Signal::kTimeout:
+          observe_timeout(link.first, link.second, s.t);
+          break;
+      }
+    }
+  }
+}
+
+std::vector<DegradationEvent> DegradationDetector::events() const {
+  std::vector<DegradationEvent> out = events_;
+  std::sort(out.begin(), out.end(), event_order);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scoring
+
+DetectionScore score_detections(const std::vector<DegradationEvent>& events,
+                                const std::vector<TruthWindow>& truth,
+                                const DetectionScoreOptions& options) {
+  GEOMAP_CHECK_ARG(options.match_slack >= 0,
+                   "match_slack must be non-negative, got "
+                       << options.match_slack);
+  const auto observable = [&options](SiteId src, SiteId dst) {
+    if (options.observable_links.empty()) return true;
+    for (const auto& [s, d] : options.observable_links) {
+      if (s == src && d == dst) return true;
+    }
+    return false;
+  };
+  const auto overlaps = [&options](const DegradationEvent& e,
+                                   const TruthWindow& w) {
+    if (e.src != w.src || e.dst != w.dst) return false;
+    return e.onset_vtime <= w.end + options.match_slack &&
+           e.end_vtime >= w.start - options.match_slack;
+  };
+
+  DetectionScore score;
+  for (const DegradationEvent& e : events) {
+    bool matched = false;
+    for (const TruthWindow& w : truth) {
+      if (overlaps(e, w)) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      score.true_positive_events += 1;
+    } else {
+      score.false_positive_events += 1;
+    }
+  }
+
+  Seconds latency_sum = 0;
+  for (const TruthWindow& w : truth) {
+    if (!observable(w.src, w.dst)) continue;
+    Seconds best_detect = kInf;
+    for (const DegradationEvent& e : events) {
+      // A down window is only *proven* detected by a down event; a
+      // degradation window is detected by either kind.
+      if (w.down && e.kind != DegradationKind::kDown) continue;
+      if (overlaps(e, w)) best_detect = std::min(best_detect, e.detect_vtime);
+    }
+    if (best_detect == kInf) {
+      score.missed_windows += 1;
+    } else {
+      score.detected_windows += 1;
+      latency_sum += std::max(0.0, best_detect - w.start);
+    }
+  }
+
+  const int total_events =
+      score.true_positive_events + score.false_positive_events;
+  if (total_events > 0) {
+    score.precision =
+        static_cast<double>(score.true_positive_events) / total_events;
+  }
+  const int total_windows = score.detected_windows + score.missed_windows;
+  if (total_windows > 0) {
+    score.recall = static_cast<double>(score.detected_windows) / total_windows;
+  }
+  if (score.detected_windows > 0) {
+    latency_sum /= score.detected_windows;
+    score.mean_detection_latency = latency_sum;
+  }
+  return score;
+}
+
+// ---------------------------------------------------------------------------
+// DetectionLog + timeline artifact
+
+void DetectionLog::add_events(const std::vector<DegradationEvent>& events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.insert(events_.end(), events.begin(), events.end());
+}
+
+void DetectionLog::add_truth(const std::vector<TruthWindow>& windows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  truth_.insert(truth_.end(), windows.begin(), windows.end());
+}
+
+void DetectionLog::set_score(const DetectionScore& score) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  has_score_ = true;
+  score_ = score;
+}
+
+std::vector<DegradationEvent> DetectionLog::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DegradationEvent> out = events_;
+  std::sort(out.begin(), out.end(), event_order);
+  return out;
+}
+
+std::vector<TruthWindow> DetectionLog::truth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TruthWindow> out = truth_;
+  std::sort(out.begin(), out.end(), [](const TruthWindow& a,
+                                       const TruthWindow& b) {
+    return std::tie(a.start, a.src, a.dst, a.end, a.down) <
+           std::tie(b.start, b.src, b.dst, b.end, b.down);
+  });
+  return out;
+}
+
+bool DetectionLog::has_score() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return has_score_;
+}
+
+DetectionScore DetectionLog::score() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return score_;
+}
+
+bool DetectionLog::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty() && truth_.empty() && !has_score_;
+}
+
+namespace {
+
+/// JSON-safe time: +inf (open episodes, permanent faults) becomes null.
+void time_field(JsonWriter& w, const char* key, Seconds t) {
+  w.key(key);
+  if (std::isfinite(t)) {
+    w.value(t);
+  } else {
+    w.null();
+  }
+}
+
+}  // namespace
+
+void write_timeline_json(std::ostream& os, const TimeSeriesRegistry& timeline,
+                         const DetectionLog& detections, const RunMeta* meta,
+                         Seconds window_seconds) {
+  JsonWriter w(os);
+  w.begin_object();
+  if (meta != nullptr) meta->write_member(w);
+  timeline.write_members(w, window_seconds);
+  w.key("detections").begin_array();
+  for (const DegradationEvent& e : detections.events()) {
+    w.begin_object();
+    w.field("src", e.src);
+    w.field("dst", e.dst);
+    w.field("kind", to_string(e.kind));
+    w.field("onset", e.onset_vtime);
+    w.field("detect", e.detect_vtime);
+    time_field(w, "end", e.end_vtime);
+    w.field("severity", e.severity);
+    w.field("confidence", e.confidence);
+    w.end_object();
+  }
+  w.end_array();
+  const std::vector<TruthWindow> truth = detections.truth();
+  if (!truth.empty()) {
+    w.key("truth").begin_array();
+    for (const TruthWindow& t : truth) {
+      w.begin_object();
+      w.field("src", t.src);
+      w.field("dst", t.dst);
+      w.field("start", t.start);
+      time_field(w, "end", t.end);
+      w.field("down", t.down);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (detections.has_score()) {
+    const DetectionScore score = detections.score();
+    w.key("score").begin_object();
+    w.field("precision", score.precision);
+    w.field("recall", score.recall);
+    w.field("true_positive_events", score.true_positive_events);
+    w.field("false_positive_events", score.false_positive_events);
+    w.field("detected_windows", score.detected_windows);
+    w.field("missed_windows", score.missed_windows);
+    w.field("mean_detection_latency", score.mean_detection_latency);
+    w.end_object();
+  }
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace geomap::obs

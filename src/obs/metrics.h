@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+
 namespace geomap::obs {
 
 struct RunMeta;
@@ -46,11 +48,22 @@ class Gauge {
 };
 
 /// Sample distribution; exports count/sum/extrema plus interpolated
-/// percentiles (common/stats) at summary time. Stores raw samples —
-/// exact percentiles, bounded use-cases (per-order costs, per-rank
-/// times, backoff delays), no bucket-boundary tuning.
+/// percentiles (common/stats) at summary time. Stores raw samples up to
+/// `sample_cap` — exact percentiles, bounded use-cases (per-order costs,
+/// per-rank times, backoff delays), no bucket-boundary tuning. Past the
+/// cap it degrades to a seeded reservoir (Algorithm R over a fixed
+/// xoshiro stream): memory stays bounded at `sample_cap` doubles,
+/// count/min/max remain exact (tracked by running accumulators),
+/// sum/mean/percentiles become reservoir estimates and the summary is
+/// flagged `sampled`. The kept set is deterministic for a given arrival
+/// order; concurrent recorders can permute arrivals, so byte-stable
+/// exports need either single-threaded recording or a cap above the
+/// sample count (the uncapped default).
 class Histogram {
  public:
+  /// `sample_cap` = 0 keeps every sample (the historical behavior).
+  explicit Histogram(std::size_t sample_cap = 0);
+
   void record(double x);
 
   struct Summary {
@@ -62,14 +75,22 @@ class Histogram {
     double p50 = 0;
     double p90 = 0;
     double p99 = 0;
+    /// True when the reservoir dropped samples: sum/mean/percentiles are
+    /// estimates (count/min/max are still exact).
+    bool sampled = false;
   };
   Summary summary() const;
 
-  std::vector<double> samples() const;  // copy, for tests
+  std::vector<double> samples() const;  // retained set (copy, for tests)
 
  private:
+  const std::size_t sample_cap_;
   mutable std::mutex mutex_;
   std::vector<double> samples_;
+  std::uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  Rng rng_;
 };
 
 class MetricsRegistry {
@@ -81,8 +102,15 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Reservoir cap for histograms created after this call (existing
+  /// histograms keep theirs; 0 = unbounded, the default). Bounds each
+  /// histogram's memory at `cap` doubles; summaries past the cap carry
+  /// "sampled": true.
+  void set_histogram_sample_cap(std::size_t cap);
+
   /// One JSON object: {"meta": {...}, "counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99}}}.
+  /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99}}}
+  /// (histograms past their reservoir cap add "sampled": true).
   /// Keys sorted (std::map order) for diffable output; `meta` is omitted
   /// when null. Deterministic for deterministic runs: histogram folds
   /// sort their samples first, so parallel recording order cannot perturb
@@ -91,6 +119,7 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mutex_;
+  std::size_t histogram_sample_cap_ = 0;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -87,12 +87,28 @@ RegressReport compare_artifacts(const JsonValue& baseline,
                                 const RegressOptions& options) {
   const auto base = flatten_numeric(baseline);
   const auto cur = flatten_numeric(current);
-  const auto watched = [&options](const std::string& key) {
-    if (options.watch.empty()) return true;
-    for (const std::string& pattern : options.watch) {
+  // Split the watch list by direction: plain patterns fail on increases
+  // (lower-is-better), '-'-prefixed ones fail on decreases.
+  std::vector<std::string> lower_patterns;
+  std::vector<std::string> higher_patterns;
+  for (const std::string& pattern : options.watch) {
+    if (!pattern.empty() && pattern.front() == '-') {
+      higher_patterns.push_back(pattern.substr(1));
+    } else {
+      lower_patterns.push_back(pattern);
+    }
+  }
+  const auto match_any = [](const std::vector<std::string>& patterns,
+                            const std::string& key) {
+    for (const std::string& pattern : patterns) {
       if (glob_match(pattern, key)) return true;
     }
     return false;
+  };
+  const bool watch_everything = options.watch.empty();
+  const auto watched = [&](const std::string& key) {
+    return watch_everything || match_any(lower_patterns, key) ||
+           match_any(higher_patterns, key);
   };
 
   RegressReport report;
@@ -115,14 +131,22 @@ RegressReport compare_artifacts(const JsonValue& baseline,
     row.current = cur[ci].second;
     row.delta = row.current - row.baseline;
     row.watched = watched(row.key);
-    if (std::abs(row.baseline) < options.floor) {
-      row.delta_pct = 0;
-      row.regressed = row.watched && row.delta > options.floor;
-    } else {
-      row.delta_pct = 100.0 * row.delta / std::abs(row.baseline);
-      row.regressed =
-          row.watched && row.delta / std::abs(row.baseline) > options.threshold;
-    }
+    // The failing direction: a '-'-watched (higher-is-better) leaf fails
+    // on decrease, everything else on increase. A leaf matched by both
+    // kinds of pattern fails in either direction.
+    const bool fail_on_increase =
+        watch_everything || match_any(lower_patterns, row.key);
+    const bool fail_on_decrease = match_any(higher_patterns, row.key);
+    const auto past = [&](double signed_delta) {
+      if (std::abs(row.baseline) < options.floor)
+        return signed_delta > options.floor;
+      return signed_delta / std::abs(row.baseline) > options.threshold;
+    };
+    row.delta_pct = std::abs(row.baseline) < options.floor
+                        ? 0
+                        : 100.0 * row.delta / std::abs(row.baseline);
+    row.regressed = row.watched && ((fail_on_increase && past(row.delta)) ||
+                                    (fail_on_decrease && past(-row.delta)));
     if (row.regressed) report.failed = true;
     report.rows.push_back(std::move(row));
     ++bi;

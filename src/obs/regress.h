@@ -10,8 +10,11 @@
 // the baseline exceeds the threshold. Lower-is-better is the repo-wide
 // convention for every exported quantity (costs, makespans, stall
 // seconds), so only increases fail; improvements are reported but never
-// fatal. Watched keys that disappear from the current artifact also fail:
-// a silently vanished metric must not read as a pass.
+// fatal. The exceptions are quality scores (detection precision/recall),
+// where *higher* is better: a watch pattern prefixed with '-' flips the
+// direction — a watched decrease past the threshold fails, increases
+// never do. Watched keys that disappear from the current artifact also
+// fail either way: a silently vanished metric must not read as a pass.
 
 #include <string>
 #include <string_view>
@@ -40,8 +43,10 @@ struct RegressOptions {
   /// absolutely: regression iff current − baseline > floor.
   double floor = 1e-9;
   /// Dotted-key glob patterns selecting the leaves that can fail the
-  /// check; empty means every numeric leaf is watched. Unwatched leaves
-  /// still appear in the diff rows for context.
+  /// check; empty means every numeric leaf is watched. A '-' prefix
+  /// marks a higher-is-better pattern: those leaves fail on a *decrease*
+  /// past the threshold instead. Unwatched leaves still appear in the
+  /// diff rows for context.
   std::vector<std::string> watch;
 };
 

@@ -121,7 +121,13 @@ std::vector<double> Comm::recv(int src, int tag) {
       if (!lost) break;
       if (attempt >= policy.max_retries) {
         stats_.timeouts += 1;
-        if (runtime_->collector_ != nullptr) runtime_->obs_.timeouts->add();
+        if (runtime_->collector_ != nullptr) {
+          runtime_->obs_.timeouts->add();
+          runtime_
+              ->timeline_series(runtime_->tl_timeout_, "link.timeout",
+                                src_site, dst_site)
+              .record(start, 1.0);
+        }
         break;
       }
       const Seconds delay = policy.detect_timeout + policy.backoff(attempt);
@@ -132,6 +138,10 @@ std::vector<double> Comm::recv(int src, int tag) {
         else
           runtime_->obs_.losses->add();
         runtime_->obs_.backoff_seconds->record(delay);
+        runtime_
+            ->timeline_series(runtime_->tl_retry_, "link.retry", src_site,
+                              dst_site)
+            .record(start, 1.0);
         runtime_->collector_->tracer().record_virtual(
             rank_, down ? "outage-stall" : "retry", "fault", start,
             start + delay,
@@ -154,6 +164,15 @@ std::vector<double> Comm::recv(int src, int tag) {
         runtime_->obs_.degraded_extra_seconds->record(degraded - wire);
       wire = degraded;
     }
+  }
+  if (runtime_->collector_ != nullptr && src_site != dst_site) {
+    // Observed-vs-calibrated wire inflation at the transfer's issue time:
+    // exactly 1.0 on a healthy link, so the degradation detector needs no
+    // oracle baseline.
+    runtime_
+        ->timeline_series(runtime_->tl_latency_, "link.latency_ratio",
+                          src_site, dst_site)
+        .record(start, wire / healthy_wire);
   }
   const Seconds completion =
       src_site == dst_site
@@ -553,8 +572,17 @@ void Runtime::set_collector(obs::Collector* collector) {
   collector_ = collector;
   if (collector_ == nullptr) {
     obs_ = ObsHandles{};
+    tl_latency_.clear();
+    tl_retry_.clear();
+    tl_timeout_.clear();
     return;
   }
+  const std::size_t pairs =
+      static_cast<std::size_t>(model_.num_sites()) *
+      static_cast<std::size_t>(model_.num_sites());
+  tl_latency_ = TimelineCache(pairs);
+  tl_retry_ = TimelineCache(pairs);
+  tl_timeout_ = TimelineCache(pairs);
   obs::MetricsRegistry& m = collector_->metrics();
   obs_.messages = &m.counter("comm.messages_sent");
   obs_.bytes = &m.counter("comm.bytes_sent");
@@ -566,6 +594,22 @@ void Runtime::set_collector(obs::Collector* collector) {
   obs_.degraded_extra_seconds = &m.histogram("fault.degraded_extra_seconds");
   obs_.rank_finish_seconds = &m.histogram("runtime.rank_finish_seconds");
   obs_.rank_comm_seconds = &m.histogram("runtime.rank_comm_seconds");
+}
+
+obs::TimeSeries& Runtime::timeline_series(TimelineCache& cache,
+                                          const char* name, SiteId src_site,
+                                          SiteId dst_site) {
+  const std::size_t idx =
+      static_cast<std::size_t>(src_site) *
+          static_cast<std::size_t>(model_.num_sites()) +
+      static_cast<std::size_t>(dst_site);
+  obs::TimeSeries* s = cache[idx].load(std::memory_order_acquire);
+  if (s == nullptr) {
+    s = &collector_->timeline().series(name,
+                                       obs::link_label(src_site, dst_site));
+    cache[idx].store(s, std::memory_order_release);
+  }
+  return *s;
 }
 
 Seconds Runtime::acquire_link(SiteId src_site, SiteId dst_site, Seconds ready,

@@ -28,6 +28,7 @@
 // point-to-point send — the dynamic trace CYPRESS would capture — from
 // which CG/AG are profiled.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -46,6 +47,7 @@ namespace geomap::obs {
 class Collector;
 class Counter;
 class Histogram;
+class TimeSeries;
 }  // namespace geomap::obs
 
 namespace geomap::runtime {
@@ -287,6 +289,18 @@ class Runtime {
     obs::Histogram* rank_comm_seconds = nullptr;
   };
   ObsHandles obs_;
+
+  /// Per-link timeline series ("link.latency_ratio" / "link.retry" /
+  /// "link.timeout" labeled "src->dst"), resolved lazily on first traffic
+  /// so untouched links do not export empty series. The caches are m*m
+  /// atomic pointer slots; racing first-touchers resolve the same
+  /// registry reference, so the benign double-store is idempotent.
+  using TimelineCache = std::vector<std::atomic<obs::TimeSeries*>>;
+  obs::TimeSeries& timeline_series(TimelineCache& cache, const char* name,
+                                   SiteId src_site, SiteId dst_site);
+  TimelineCache tl_latency_;
+  TimelineCache tl_retry_;
+  TimelineCache tl_timeout_;
 
   /// Busy intervals of one inter-site link, kept sorted by start time.
   /// Transfers reserve the first gap that fits at or after their ready

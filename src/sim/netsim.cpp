@@ -61,6 +61,7 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
   obs::Histogram* queue_stalls = nullptr;
   obs::Histogram* outage_stalls = nullptr;
   obs::CritGraph* crit = nullptr;
+  obs::TimeSeriesRegistry* timeline = nullptr;
   int crit_run = -1;
   if (collector != nullptr) {
     replay_span = collector->tracer().span("sim/replay", "sim");
@@ -70,7 +71,12 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
     outage_stalls = &collector->metrics().histogram("sim.outage_stall_seconds");
     crit = &collector->critpath();
     crit_run = crit->begin_run(label, start_time);
+    timeline = &collector->timeline();
   }
+  // Per-link latency-ratio series resolved on first inter-site traffic
+  // (the replay loop is single-threaded — a plain pointer cache is fine).
+  std::vector<obs::TimeSeries*> tl_latency(
+      timeline != nullptr ? static_cast<std::size_t>(m) * m : 0, nullptr);
 
   // Per ordered inter-site pair: time the link frees up; per process:
   // time the process can issue its next message.
@@ -139,6 +145,19 @@ ContentionResult replay_engine(const trace::CommMatrix& comm, int num_sites,
     proc_ready[static_cast<std::size_t>(p.proc)] = end;
     result.makespan = std::max(result.makespan, end - start_time);
     if (edges_replayed != nullptr) edges_replayed->add();
+    if (timeline != nullptr && src != dst) {
+      // Same wire-inflation signal the runtime records: priced wire over
+      // the healthy alpha-beta price, 1.0 on an unfaulted link.
+      const std::size_t link =
+          static_cast<std::size_t>(src) * m + static_cast<std::size_t>(dst);
+      obs::TimeSeries*& series = tl_latency[link];
+      if (series == nullptr) {
+        series = &timeline->series("link.latency_ratio",
+                                   obs::link_label(src, dst));
+      }
+      const Seconds healthy = price.alpha + price.beta;
+      if (healthy > 0) series->record(start, wire / healthy);
+    }
     if (crit != nullptr) {
       obs::CritEvent e;
       e.id = crit->next_id();

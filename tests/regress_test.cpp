@@ -190,6 +190,72 @@ TEST(Regress, NearZeroBaselinesCompareAbsolutelyAgainstFloor) {
   }
 }
 
+TEST(Regress, HigherIsBetterPatternsFailOnDecrease) {
+  const JsonValue baseline =
+      parse_json(R"({"detection": {"precision": 1.0, "recall": 1.0}})");
+  obs::RegressOptions options;
+  options.watch = {"-detection.*"};
+  // A 20% drop in a '-'-watched quality score fails the default 10% gate.
+  {
+    const obs::RegressReport report = obs::compare_artifacts(
+        baseline,
+        parse_json(R"({"detection": {"precision": 0.8, "recall": 1.0}})"),
+        options);
+    EXPECT_TRUE(report.failed);
+    bool found = false;
+    for (const obs::RegressRow& row : report.rows) {
+      if (row.key == "detection.precision") {
+        found = true;
+        EXPECT_TRUE(row.watched);
+        EXPECT_TRUE(row.regressed);
+      }
+      if (row.key == "detection.recall") EXPECT_FALSE(row.regressed);
+    }
+    EXPECT_TRUE(found);
+  }
+  // An increase in a higher-is-better leaf never fails.
+  {
+    const JsonValue low =
+        parse_json(R"({"detection": {"precision": 0.5, "recall": 0.5}})");
+    EXPECT_FALSE(obs::compare_artifacts(low, baseline, options).failed);
+  }
+  // Small drops inside the threshold pass.
+  {
+    const obs::RegressReport report = obs::compare_artifacts(
+        baseline,
+        parse_json(R"({"detection": {"precision": 0.95, "recall": 0.95}})"),
+        options);
+    EXPECT_FALSE(report.failed);
+  }
+}
+
+TEST(Regress, MixedDirectionWatchListsKeepBothSemantics) {
+  const JsonValue baseline =
+      parse_json(R"({"makespan": 10.0, "recall": 1.0})");
+  obs::RegressOptions options;
+  options.watch = {"makespan", "-recall"};
+  // Makespan up + recall down: both fail, each in its own direction.
+  const obs::RegressReport both = obs::compare_artifacts(
+      baseline, parse_json(R"({"makespan": 12.0, "recall": 0.8})"), options);
+  EXPECT_TRUE(both.failed);
+  int regressed = 0;
+  for (const obs::RegressRow& row : both.rows) regressed += row.regressed;
+  EXPECT_EQ(regressed, 2);
+  // Makespan down + recall up: both improvements, nothing fails.
+  const obs::RegressReport better = obs::compare_artifacts(
+      parse_json(R"({"makespan": 10.0, "recall": 0.8})"),
+      parse_json(R"({"makespan": 8.0, "recall": 1.0})"), options);
+  EXPECT_FALSE(better.failed);
+}
+
+TEST(Regress, HigherIsBetterWatchedMissingStillFails) {
+  const JsonValue baseline = parse_json(R"({"recall": 1.0})");
+  const JsonValue current = parse_json(R"({"other": 1.0})");
+  obs::RegressOptions options;
+  options.watch = {"-recall"};
+  EXPECT_TRUE(obs::compare_artifacts(baseline, current, options).failed);
+}
+
 TEST(Regress, ThresholdIsConfigurable) {
   const JsonValue baseline = critpath_like(10.0, 2.0);
   const JsonValue current = critpath_like(12.0, 2.0);  // +20%

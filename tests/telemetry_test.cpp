@@ -1,0 +1,528 @@
+// Online-telemetry tests: the windowed time-series ring (deterministic
+// eviction, windowed aggregates, byte-identical export), the degradation
+// detector on synthetic traces (clean step, slow ramp, noisy healthy
+// link, overlapping outages) and on real faulted runtime executions
+// (precision/recall bounds against the FaultPlan's truth windows), the
+// detection-driven remap's recovery relative to the oracle, and the
+// histogram reservoir's memory bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/app.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/geodist_mapper.h"
+#include "core/pipeline.h"
+#include "core/remap.h"
+#include "fault/fault_plan.h"
+#include "mapping/problem.h"
+#include "net/calibration.h"
+#include "net/cloud.h"
+#include "obs/collector.h"
+#include "obs/detector.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "runtime/comm.h"
+#include "trace/profile.h"
+
+namespace geomap {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Time series
+
+TEST(TimeSeries, PointsSortedAndWindowed) {
+  obs::TimeSeries s(16);
+  s.record(3.0, 30.0);
+  s.record(1.0, 10.0);
+  s.record(2.0, 20.0);
+  const std::vector<obs::TimePoint> pts = s.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].t, 1.0);
+  EXPECT_EQ(pts[2].t, 3.0);
+  EXPECT_EQ(s.total_recorded(), 3u);
+
+  const obs::WindowStats w = s.window(3.0, 1.5);
+  EXPECT_EQ(w.count, 2u);  // (1.5, 3.0] holds t=2 and t=3
+  EXPECT_EQ(w.min, 20.0);
+  EXPECT_EQ(w.max, 30.0);
+  EXPECT_EQ(w.sum, 50.0);
+  EXPECT_NEAR(w.rate, 2.0 / 1.5, 1e-12);
+}
+
+TEST(TimeSeries, EvictionKeepsNewestTimestamps) {
+  obs::TimeSeries s(4);
+  // Interleave old and new arrivals; the retained set must be the 4
+  // largest timestamps regardless of arrival order.
+  for (const double t : {9.0, 1.0, 7.0, 3.0, 8.0, 2.0, 10.0, 6.0})
+    s.record(t, t);
+  const std::vector<obs::TimePoint> pts = s.points();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0].t, 7.0);
+  EXPECT_EQ(pts[3].t, 10.0);
+  EXPECT_EQ(s.total_recorded(), 8u);
+}
+
+TEST(TimeSeries, RegistryKeysAndLinkLabels) {
+  obs::TimeSeriesRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.series("link.latency_ratio", obs::link_label(2, 0)).record(1.0, 1.0);
+  reg.series("bare").record(2.0, 5.0);
+  const std::vector<std::string> keys = reg.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "bare");
+  EXPECT_EQ(keys[1], "link.latency_ratio{2->0}");
+  EXPECT_NE(reg.find("bare"), nullptr);
+  EXPECT_EQ(reg.find("absent"), nullptr);
+
+  int src = -1, dst = -1;
+  EXPECT_TRUE(obs::parse_link_label("12->3", &src, &dst));
+  EXPECT_EQ(src, 12);
+  EXPECT_EQ(dst, 3);
+  EXPECT_FALSE(obs::parse_link_label("not a link", &src, &dst));
+}
+
+TEST(TimeSeries, ExportIsByteIdenticalAcrossArrivalOrder) {
+  // Same multiset of points, opposite recording orders: identical JSON.
+  obs::TimeSeriesRegistry a, b;
+  std::vector<std::pair<double, double>> pts;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) pts.emplace_back(rng.uniform(0, 50), i * 0.5);
+  for (const auto& [t, v] : pts) a.series("m", "0->1").record(t, v);
+  for (auto it = pts.rbegin(); it != pts.rend(); ++it)
+    b.series("m", "0->1").record(it->first, it->second);
+  std::ostringstream ja, jb;
+  a.write_json(ja);
+  b.write_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+// ---------------------------------------------------------------------------
+// Detector on synthetic traces
+
+/// Healthy ratio 1.0 until t_step, then a clean step to `ratio`.
+TEST(Detector, CleanStepIsDetectedWithBackdatedOnset) {
+  obs::DegradationDetector det;
+  for (int i = 0; i < 50; ++i)
+    det.observe_latency_ratio(0, 1, i * 0.1, 1.0);
+  for (int i = 50; i < 80; ++i)
+    det.observe_latency_ratio(0, 1, i * 0.1, 4.0);
+  const std::vector<obs::DegradationEvent> events = det.events();
+  ASSERT_EQ(events.size(), 1u);
+  const obs::DegradationEvent& e = events[0];
+  EXPECT_EQ(e.kind, obs::DegradationKind::kLatency);
+  EXPECT_EQ(e.src, 0);
+  EXPECT_EQ(e.dst, 1);
+  // Onset back-dated to the first excess point; alarm within a few
+  // points (excess per point is 4 − 1 − 0.25 = 2.75 against h = 2).
+  EXPECT_NEAR(e.onset_vtime, 5.0, 1e-9);
+  EXPECT_LE(e.detect_vtime, 5.3);
+  EXPECT_NEAR(e.severity, 4.0, 0.5);
+  EXPECT_EQ(e.end_vtime, kInf);  // never recovered
+}
+
+TEST(Detector, StepRecoveryClosesTheEpisode) {
+  obs::DegradationDetector det;
+  for (int i = 0; i < 20; ++i) det.observe_latency_ratio(0, 1, i * 0.1, 1.0);
+  for (int i = 20; i < 40; ++i) det.observe_latency_ratio(0, 1, i * 0.1, 3.0);
+  for (int i = 40; i < 80; ++i) det.observe_latency_ratio(0, 1, i * 0.1, 1.0);
+  const std::vector<obs::DegradationEvent> events = det.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(std::isfinite(events[0].end_vtime));
+  // The CUSUM is capped at 2h = 4, so from recovery at t = 4.0 it decays
+  // to the clear level in at most 2h / slack = 16 healthy points (1.6 s).
+  EXPECT_GE(events[0].end_vtime, 4.0);
+  EXPECT_LE(events[0].end_vtime, 5.7);
+}
+
+TEST(Detector, SlowRampIsEventuallyDetected) {
+  obs::DegradationDetector det;
+  // Ramp from 1.0 to 3.0 over 200 points: no single point screams, the
+  // CUSUM accumulates.
+  for (int i = 0; i < 100; ++i) det.observe_latency_ratio(1, 2, i * 0.1, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    const double ratio = 1.0 + 2.0 * (i / 199.0);
+    det.observe_latency_ratio(1, 2, 10.0 + i * 0.1, ratio);
+  }
+  const std::vector<obs::DegradationEvent> events = det.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, obs::DegradationKind::kLatency);
+  EXPECT_GE(events[0].onset_vtime, 10.0);  // within the ramp, not before
+  EXPECT_LT(events[0].detect_vtime, 30.0);
+  EXPECT_GT(events[0].severity, 1.2);
+}
+
+TEST(Detector, NoisyHealthyLinkRaisesNoAlarm) {
+  obs::DegradationDetector det;
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    // Zero-mean noise inside the CUSUM slack band.
+    det.observe_latency_ratio(2, 3, i * 0.05, 1.0 + rng.uniform(-0.2, 0.2));
+  }
+  EXPECT_TRUE(det.events().empty());
+}
+
+TEST(Detector, RetryBurstOpensDownEpisodeThatClosesWhenQuiet) {
+  obs::DegradationDetector det;
+  det.observe_retry(0, 2, 10.0);
+  det.observe_retry(0, 2, 10.2);
+  EXPECT_TRUE(det.events().empty());  // 2 retries in window: below threshold
+  det.observe_retry(0, 2, 10.4);
+  std::vector<obs::DegradationEvent> events = det.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, obs::DegradationKind::kDown);
+  EXPECT_NEAR(events[0].onset_vtime, 10.0, 1e-9);  // back-dated to burst start
+  EXPECT_EQ(events[0].end_vtime, kInf);
+
+  // A later healthy observation past down_quiet closes the episode at
+  // last signal + down_quiet.
+  det.observe_latency_ratio(0, 2, 15.0, 1.0);
+  events = det.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(events[0].end_vtime, 10.4 + 2.0, 1e-9);
+}
+
+TEST(Detector, TimeoutOpensDownWithFullConfidence) {
+  obs::DegradationDetector det;
+  det.observe_timeout(3, 1, 7.5);
+  const std::vector<obs::DegradationEvent> events = det.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, obs::DegradationKind::kDown);
+  EXPECT_EQ(events[0].confidence, 1.0);
+}
+
+TEST(Detector, OverlappingOutagesOnTwoLinksAreScoredPerfectly) {
+  // Two links go down in overlapping windows; each emits its own burst.
+  obs::DegradationDetector det;
+  for (int i = 0; i < 8; ++i) det.observe_retry(0, 1, 20.0 + i * 0.2);
+  for (int i = 0; i < 8; ++i) det.observe_retry(2, 3, 20.8 + i * 0.2);
+  const std::vector<obs::DegradationEvent> events = det.events();
+  ASSERT_EQ(events.size(), 2u);
+
+  const std::vector<obs::TruthWindow> truth = {
+      {0, 1, 20.0, 23.0, true},
+      {2, 3, 20.8, 24.0, true},
+  };
+  const obs::DetectionScore score = obs::score_detections(events, truth);
+  EXPECT_EQ(score.precision, 1.0);
+  EXPECT_EQ(score.recall, 1.0);
+  EXPECT_EQ(score.detected_windows, 2);
+  EXPECT_EQ(score.false_positive_events, 0);
+}
+
+TEST(Detector, ScanReplaysARegistryInTimeOrder) {
+  obs::TimeSeriesRegistry reg;
+  obs::TimeSeries& ratio = reg.series("link.latency_ratio", "1->0");
+  for (int i = 0; i < 30; ++i) ratio.record(i * 0.1, 1.0);
+  for (int i = 30; i < 60; ++i) ratio.record(i * 0.1, 5.0);
+  obs::TimeSeries& retry = reg.series("link.retry", "1->0");
+  for (int i = 0; i < 5; ++i) retry.record(8.0 + i * 0.1, 1.0);
+  reg.series("unrelated.metric").record(1.0, 99.0);  // must be ignored
+
+  obs::DegradationDetector det;
+  det.scan(reg);
+  const std::vector<obs::DegradationEvent> events = det.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::DegradationKind::kLatency);
+  EXPECT_EQ(events[1].kind, obs::DegradationKind::kDown);
+}
+
+TEST(Detector, ScorerSeparatesFalsePositivesAndMisses) {
+  const std::vector<obs::DegradationEvent> events = {
+      // True positive on (0,1).
+      {0, 1, obs::DegradationKind::kLatency, 10.0, 10.5, 20.0, 3.0, 0.9},
+      // False positive: no truth on (2,0).
+      {2, 0, obs::DegradationKind::kLatency, 40.0, 40.5, 41.0, 2.0, 0.5},
+      // Latency event overlapping a *down* window: does not detect it.
+      {1, 2, obs::DegradationKind::kLatency, 30.0, 30.5, kInf, 2.0, 0.5},
+  };
+  const std::vector<obs::TruthWindow> truth = {
+      {0, 1, 10.0, 20.0, false},
+      {1, 2, 30.0, kInf, true},  // needs a kDown event; only latency seen
+      {3, 1, 50.0, 60.0, false},  // nothing detected here
+  };
+  const obs::DetectionScore score = obs::score_detections(events, truth);
+  EXPECT_EQ(score.true_positive_events, 2);  // latency-overlap still matches
+  EXPECT_EQ(score.false_positive_events, 1);
+  EXPECT_EQ(score.detected_windows, 1);
+  EXPECT_EQ(score.missed_windows, 2);
+  EXPECT_NEAR(score.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(score.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Detector, ObservableLinkFilterExcludesBlindWindows) {
+  const std::vector<obs::DegradationEvent> events;
+  const std::vector<obs::TruthWindow> truth = {{0, 1, 1.0, 2.0, false},
+                                               {2, 3, 1.0, 2.0, false}};
+  obs::DetectionScoreOptions options;
+  options.observable_links = {{0, 1}};
+  const obs::DetectionScore score = obs::score_detections(events, truth, options);
+  // Only (0,1) is scored; it was missed. (2,3) carried no traffic.
+  EXPECT_EQ(score.missed_windows, 1);
+  EXPECT_EQ(score.recall, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Truth windows from a fault plan
+
+TEST(TruthWindows, ExpandOutagesDegradationsAndLoss) {
+  fault::FaultPlan plan(1);
+  plan.add_site_outage(1, 5.0, 9.0);
+  plan.add_link_degradation(0, 2, 1.0, 2.0, 0.5);
+  plan.add_message_loss(2, 0, 3.0, fault::kNoEnd, 0.4);
+  const std::vector<obs::TruthWindow> truth = plan.truth_windows(3);
+
+  int down = 0, degraded = 0;
+  std::set<std::pair<SiteId, SiteId>> down_links;
+  for (const obs::TruthWindow& w : truth) {
+    if (w.down) {
+      ++down;
+      down_links.insert({w.src, w.dst});
+      EXPECT_EQ(w.start, 5.0);
+      EXPECT_EQ(w.end, 9.0);
+    } else {
+      ++degraded;
+    }
+  }
+  // Site 1 outage touches both directions of links to sites 0 and 2.
+  EXPECT_EQ(down, 4);
+  EXPECT_TRUE(down_links.count({1, 0}));
+  EXPECT_TRUE(down_links.count({0, 1}));
+  EXPECT_TRUE(down_links.count({1, 2}));
+  EXPECT_TRUE(down_links.count({2, 1}));
+  EXPECT_EQ(degraded, 2);  // the degradation and the lossy link
+}
+
+// ---------------------------------------------------------------------------
+// Closed loop on real executions
+
+struct FaultedRun {
+  net::CloudTopology topo{net::aws_experiment_profile(2)};
+  net::CalibrationResult calib{net::Calibrator().calibrate(topo)};
+  Mapping mapping{0, 1, 2, 3};  // one rank per site: exactly reproducible
+  fault::FaultPlan plan{2017};
+
+  runtime::RunResult run(obs::Collector* collector) {
+    runtime::Runtime rt(calib.model, mapping, topo.instance().gflops);
+    rt.set_fault_plan(&plan);
+    if (collector != nullptr) rt.set_collector(collector);
+    const apps::App& app = apps::app_by_name("K-means");
+    const apps::AppConfig cfg = app.default_config(rt.num_ranks());
+    return rt.run([&](runtime::Comm& c) { (void)app.run(c, cfg); });
+  }
+};
+
+TEST(ClosedLoop, RuntimeTelemetryScoresWellAgainstTruth) {
+  FaultedRun f;
+  // Calibrate the fault schedule against the healthy duration.
+  fault::FaultPlan healthy_probe(2017);
+  f.plan = std::move(healthy_probe);
+  obs::Collector probe;
+  const Seconds healthy_makespan = f.run(&probe).makespan;
+
+  const Seconds t_out = 0.5 * healthy_makespan;
+  f.plan = fault::FaultPlan(2017);
+  f.plan.add_site_degradation(2, 0.0, t_out, 0.25);
+  f.plan.add_site_outage(2, t_out);
+
+  obs::Collector collector;
+  const runtime::RunResult faulted = f.run(&collector);
+  EXPECT_GT(faulted.total_retries, 0u);
+  EXPECT_FALSE(collector.timeline().empty());
+
+  obs::DegradationDetector detector;
+  detector.scan(collector.timeline());
+  const std::vector<obs::DegradationEvent> events = detector.events();
+  EXPECT_FALSE(events.empty());
+
+  obs::DetectionScoreOptions options;
+  for (const std::string& key : collector.timeline().keys()) {
+    const std::size_t brace = key.find('{');
+    if (brace == std::string::npos ||
+        key.compare(0, brace, "link.latency_ratio") != 0)
+      continue;
+    int src = -1, dst = -1;
+    if (obs::parse_link_label(key.substr(brace + 1, key.size() - brace - 2),
+                              &src, &dst))
+      options.observable_links.emplace_back(src, dst);
+  }
+  const obs::DetectionScore score = obs::score_detections(
+      events, f.plan.truth_windows(f.topo.num_sites()), options);
+  // The PR's acceptance bar: detection quality from telemetry alone.
+  EXPECT_GE(score.precision, 0.9);
+  EXPECT_GE(score.recall, 0.8);
+}
+
+TEST(ClosedLoop, TimelineExportIsByteIdenticalAcrossReruns) {
+  const auto run_once = [](std::string* out) {
+    FaultedRun f;
+    f.plan.add_site_degradation(1, 0.0, 0.05, 0.25);
+    f.plan.add_site_outage(1, 0.05);
+    obs::Collector collector;
+    (void)f.run(&collector);
+    obs::DegradationDetector detector;
+    detector.scan(collector.timeline());
+    collector.detections().add_events(detector.events());
+    std::ostringstream os;
+    collector.write_timeline_json(os);
+    *out = os.str();
+  };
+  std::string first, second;
+  run_once(&first);
+  run_once(&second);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(ClosedLoop, DetectionRemapRecoversMostOfOracleGain) {
+  // Bench-shaped instance: 16 ranks on the 4-region deployment, the
+  // busiest site browns out and then dies mid-run.
+  const int ranks = 16;
+  const net::CloudTopology topo(net::aws_experiment_profile((ranks + 2) / 3));
+  const net::CalibrationResult calib = net::Calibrator().calibrate(topo);
+  const apps::App& app = apps::app_by_name("K-means");
+  const apps::AppConfig cfg = app.default_config(ranks);
+  trace::CommMatrix comm = app.synthetic_pattern(ranks, cfg);
+  const mapping::MappingProblem problem =
+      core::make_problem(topo, calib.model, std::move(comm), {});
+  const Mapping current = core::GeoDistMapper().map(problem);
+
+  std::vector<int> load(static_cast<std::size_t>(problem.num_sites()), 0);
+  for (const SiteId s : current) load[static_cast<std::size_t>(s)] += 1;
+  SiteId failed = 0;
+  for (SiteId s = 1; s < problem.num_sites(); ++s) {
+    if (load[static_cast<std::size_t>(s)] > load[static_cast<std::size_t>(failed)])
+      failed = s;
+  }
+
+  runtime::Runtime healthy_rt(calib.model, current, topo.instance().gflops);
+  const Seconds healthy_makespan =
+      healthy_rt.run([&](runtime::Comm& c) { (void)app.run(c, cfg); })
+          .makespan;
+  const Seconds t_out = 0.5 * healthy_makespan;
+
+  // The brownout persists past the outage instant: the oracle's
+  // remap-time snapshot then really is degraded, so remapping away from
+  // the failed site has a genuine cost gain for detection to recover.
+  fault::FaultPlan plan(2017);
+  plan.add_site_degradation(failed, 0.0, fault::kNoEnd, 0.25);
+  plan.add_site_outage(failed, t_out);
+
+  obs::Collector collector;
+  runtime::Runtime rt(calib.model, current, topo.instance().gflops);
+  rt.set_fault_plan(&plan);
+  rt.set_collector(&collector);
+  (void)rt.run([&](runtime::Comm& c) { (void)app.run(c, cfg); });
+
+  obs::DegradationDetector detector;
+  detector.scan(collector.timeline());
+
+  const core::RemapResult oracle =
+      core::remap_on_outage(problem, current, plan, failed, t_out);
+  const core::DetectionRemapResult det =
+      core::remap_on_detection(problem, current, detector.events(), plan);
+
+  EXPECT_EQ(det.suspected_site, failed);
+  EXPECT_GT(det.down_events, 0);
+
+  const double oracle_gain = oracle.degraded_cost - oracle.post_remap_cost;
+  const double detection_gain =
+      det.remap.degraded_cost - det.remap.post_remap_cost;
+  ASSERT_GT(oracle_gain, 0.0);
+  // The PR's acceptance bar: the detector-driven remap recovers at least
+  // 70% of what the oracle recovers.
+  EXPECT_GE(detection_gain, 0.7 * oracle_gain);
+}
+
+TEST(ClosedLoop, RemapOnDetectionNeedsADownEvent) {
+  const net::CloudTopology topo(net::aws_experiment_profile(2));
+  const net::CalibrationResult calib = net::Calibrator().calibrate(topo);
+  const apps::App& app = apps::app_by_name("K-means");
+  const apps::AppConfig cfg = app.default_config(4);
+  trace::CommMatrix comm = app.synthetic_pattern(4, cfg);
+  const mapping::MappingProblem problem =
+      core::make_problem(topo, calib.model, std::move(comm), {});
+  const Mapping current{0, 1, 2, 3};
+  const fault::FaultPlan plan(1);
+
+  const std::vector<obs::DegradationEvent> latency_only = {
+      {0, 1, obs::DegradationKind::kLatency, 1.0, 1.5, kInf, 3.0, 0.9}};
+  EXPECT_THROW(
+      core::remap_on_detection(problem, current, latency_only, plan),
+      InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram reservoir
+
+TEST(HistogramReservoir, BoundsMemoryAndKeepsExactCountMinMax) {
+  obs::Histogram h(64);
+  for (int i = 0; i < 10000; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.samples().size(), 64u);
+  const obs::Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 10000u);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 9999.0);
+  EXPECT_TRUE(s.sampled);
+  // Percentiles are estimates; uniform input keeps them near truth.
+  EXPECT_NEAR(s.p50, 5000.0, 2000.0);
+  EXPECT_NEAR(s.sum, 10000.0 * 9999.0 / 2.0, 0.3 * 10000.0 * 9999.0 / 2.0);
+}
+
+TEST(HistogramReservoir, BelowCapBehaviorIsExactAndUnflagged) {
+  obs::Histogram capped(100), uncapped;
+  for (int i = 0; i < 50; ++i) {
+    capped.record(i * 1.5);
+    uncapped.record(i * 1.5);
+  }
+  const obs::Histogram::Summary a = capped.summary();
+  const obs::Histogram::Summary b = uncapped.summary();
+  EXPECT_FALSE(a.sampled);
+  EXPECT_FALSE(b.sampled);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+TEST(HistogramReservoir, SameArrivalOrderKeepsIdenticalSamples) {
+  obs::Histogram a(32), b(32);
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.uniform(0, 1));
+  for (const double x : xs) a.record(x);
+  for (const double x : xs) b.record(x);
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(HistogramReservoir, RegistryCapAppliesToNewHistogramsAndExportFlags) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& before = reg.histogram("before");  // unbounded
+  reg.set_histogram_sample_cap(16);
+  obs::Histogram& after = reg.histogram("after");
+  for (int i = 0; i < 1000; ++i) {
+    before.record(i);
+    after.record(i);
+  }
+  EXPECT_EQ(before.samples().size(), 1000u);
+  EXPECT_EQ(after.samples().size(), 16u);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  // Only the capped histogram carries the flag.
+  EXPECT_NE(json.find("\"sampled\": true"), std::string::npos);
+  EXPECT_EQ(json.find("sampled", json.find("\"before\"")), std::string::npos);
+  EXPECT_NE(json.find("sampled", json.find("\"after\"")), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geomap
