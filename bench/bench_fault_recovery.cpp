@@ -22,6 +22,20 @@
 // (precision/recall/latency vs the plan's truth windows) and the
 // oracle-recovery fraction — how much of the oracle's cost improvement
 // the detector-driven remap achieved.
+//
+// --migrate carries each oracle remap *out* with the migration executor:
+// every relocated process runs the prepare/copy/commit protocol as real
+// chunked flows on the degraded network, contending with the app's own
+// replayed traffic. Cells report downtime, makespan-with-migration and
+// rollback/replan counts, and every run's protocol journal is certified
+// by the invariant checker (any violation fails the bench). The executor
+// is deterministic, so this mode is the regression baseline for the
+// migration path.
+//
+// --chaos N runs the full observe → detect → remap → migrate soak over N
+// seeded random fault plans (src/migrate/soak.h) and exits 1 on any
+// invariant violation. Statistical (threaded runtime), so it is a safety
+// net, not a baseline.
 
 #include <algorithm>
 #include <iostream>
@@ -32,7 +46,10 @@
 #include "common/cli.h"
 #include "common/json_writer.h"
 #include "core/remap.h"
+#include "fault/chaos.h"
 #include "fault/fault_plan.h"
+#include "migrate/executor.h"
+#include "migrate/soak.h"
 #include "obs/detector.h"
 
 using namespace geomap;
@@ -221,6 +238,156 @@ int run_detector_mode(const CliParser& cli, bench::ObsSink& obs) {
   return 0;
 }
 
+int run_migrate_mode(const CliParser& cli, bench::ObsSink& obs) {
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const bench::Ec2Context ctx((ranks + 2) / 3);
+
+  const double factor = 0.25;
+  const std::vector<Seconds> outage_times = {5.0, 30.0};
+
+  core::RemapOptions options;
+  options.bytes_per_process = cli.get_double("state-mib") * kMiB;
+  options.collector = obs.collector();
+
+  int violations_total = 0;
+  bool exported_cell = false;
+  JsonWriter w(std::cout);
+  w.begin_object();
+  w.key("cells").begin_array();
+  for (const apps::App* app : apps::all_apps()) {
+    apps::AppConfig cfg = app->default_config(ranks);
+    trace::CommMatrix comm = bench::profile_app(*app, cfg, ctx.calib.model);
+
+    Rng rng(seed);
+    ConstraintVector constraints = mapping::make_random_constraints(
+        ranks, ctx.topo.capacities(), cli.get_double("constraint-ratio"), rng);
+    const mapping::MappingProblem problem = core::make_problem(
+        ctx.topo, ctx.calib.model, std::move(comm), std::move(constraints));
+
+    core::GeoDistOptions geo_options;
+    geo_options.collector = obs.collector();
+    const Mapping current = core::GeoDistMapper(geo_options).map(problem);
+    const SiteId failed = busiest_site(current, problem.num_sites());
+
+    for (const Seconds t_out : outage_times) {
+      fault::FaultPlan plan(seed);
+      plan.add_site_degradation(failed, 0.0, fault::kNoEnd, factor);
+      plan.add_site_outage(failed, t_out);
+
+      const core::RemapResult r =
+          core::remap_on_outage(problem, current, plan, failed, t_out, options);
+
+      migrate::MigrationOptions mopts;
+      mopts.bytes_per_process = options.bytes_per_process;
+      // The timeline artifact carries the first cell's migration lanes;
+      // the collector never changes the (deterministic) report.
+      mopts.collector = exported_cell ? nullptr : obs.collector();
+      exported_cell = true;
+      const migrate::MigrationReport report = migrate::execute_migration(
+          problem, current, r.mapping, plan, t_out, mopts);
+
+      fault::MigrationInvariantOptions inv;
+      inv.planned_bytes_per_process = mopts.bytes_per_process;
+      inv.chunk_bytes = mopts.chunk_bytes;
+      inv.max_retries = mopts.retry.max_retries;
+      inv.max_copy_attempts = mopts.max_copy_attempts + mopts.max_replans +
+                              mopts.max_emergency_attempts;
+      inv.horizon = report.finish_time;
+      const std::vector<fault::InvariantViolation> violations =
+          fault::check_migration_invariants(report.events, current,
+                                            problem.capacities, plan, inv);
+      for (const fault::InvariantViolation& v : violations) {
+        std::cerr << "INVARIANT VIOLATION (" << app->name() << ", t_out "
+                  << t_out << "): t=" << v.t << " " << v.message << "\n";
+      }
+      violations_total += static_cast<int>(violations.size());
+
+      w.begin_object();
+      w.field("app", app->name());
+      w.field("ranks", ranks);
+      w.field("failed_site", failed);
+      w.field("outage_time", t_out);
+      w.field("degradation_factor", factor);
+      w.field("processes_planned", report.processes_planned);
+      w.field("processes_committed", report.processes_committed);
+      w.field("processes_rolled_back", report.processes_rolled_back);
+      w.field("processes_abandoned", report.processes_abandoned);
+      w.field("rollbacks", report.rollbacks);
+      w.field("replans", report.replans);
+      w.field("chunk_retries", report.chunk_retries);
+      w.field("chunk_timeouts", report.chunk_timeouts);
+      w.field("bytes_planned", report.bytes_planned);
+      w.field("bytes_sent", report.bytes_sent);
+      w.field("migration_seconds", report.migration_seconds);
+      w.field("app_makespan", report.app_makespan);
+      w.field("app_blocked_seconds", report.app_blocked_seconds);
+      w.field("max_downtime", report.max_downtime);
+      w.field("total_downtime", report.total_downtime);
+      w.field("complete", report.complete);
+      w.field("violations", static_cast<std::int64_t>(violations.size()));
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.field("total_violations", violations_total);
+  w.end_object();
+  w.done();
+  std::cout << "\n";
+  return violations_total == 0 ? 0 : 1;
+}
+
+int run_chaos_mode(const CliParser& cli) {
+  const int num_seeds = static_cast<int>(cli.get_int("chaos"));
+  migrate::SoakOptions opts;
+  opts.ranks = static_cast<int>(cli.get_int("soak-ranks"));
+  opts.app_rounds = static_cast<int>(cli.get_int("soak-rounds"));
+
+  std::vector<std::uint64_t> seeds;
+  const auto base = static_cast<std::uint64_t>(cli.get_int("seed"));
+  for (int i = 0; i < num_seeds; ++i)
+    seeds.push_back(base + static_cast<std::uint64_t>(i));
+  const migrate::SoakReport report = migrate::run_chaos_soak(seeds, opts);
+
+  JsonWriter w(std::cout);
+  w.begin_object();
+  w.field("seeds", num_seeds);
+  w.field("ranks", opts.ranks);
+  w.key("cases").begin_array();
+  for (const migrate::SoakCase& c : report.cases) {
+    w.begin_object();
+    w.field("seed", static_cast<std::int64_t>(c.seed));
+    w.field("primary_site", c.primary_site);
+    w.field("outage_time", c.outage_time);
+    w.field("detected", c.detected);
+    w.field("suspected_correct", c.suspected_correct);
+    w.field("remap_time", c.remap_time);
+    w.field("committed", c.report.processes_committed);
+    w.field("rollbacks", c.report.rollbacks);
+    w.field("replans", c.report.replans);
+    w.field("abandoned", c.report.processes_abandoned);
+    w.field("violations", static_cast<std::int64_t>(c.violations.size()));
+    w.end_object();
+    for (const fault::InvariantViolation& v : c.violations) {
+      std::cerr << "INVARIANT VIOLATION (seed " << c.seed << "): t=" << v.t
+                << " " << v.message << "\n";
+    }
+  }
+  w.end_array();
+  w.field("detected_cases", report.detected_cases);
+  w.field("fallback_cases", report.fallback_cases);
+  w.field("total_committed", report.total_committed);
+  w.field("total_rollbacks", report.total_rollbacks);
+  w.field("total_replans", report.total_replans);
+  w.field("total_abandoned", report.total_abandoned);
+  w.field("total_violations", report.total_violations);
+  w.field("ok", report.ok());
+  w.end_object();
+  w.done();
+  std::cout << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,10 +400,21 @@ int main(int argc, char** argv) {
                "closed-loop mode: execute under the fault plan, detect "
                "degradation from telemetry, and compare detection-driven "
                "remapping against the oracle");
+  cli.add_bool("migrate", false,
+               "carry out each oracle remap with the migration executor "
+               "(deterministic; certifies every protocol journal and "
+               "exits 1 on any invariant violation)");
+  cli.add_int("chaos", 0,
+              "run the full detect/remap/migrate chaos soak over this "
+              "many seeds and exit 1 on any invariant violation");
+  cli.add_int("soak-ranks", 10, "processes per chaos-soak case");
+  cli.add_int("soak-rounds", 16, "app rounds per chaos-soak case");
   bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   bench::ObsSink obs(cli);
   if (cli.get_bool("detector")) return run_detector_mode(cli, obs);
+  if (cli.get_bool("migrate")) return run_migrate_mode(cli, obs);
+  if (cli.get_int("chaos") > 0) return run_chaos_mode(cli);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));

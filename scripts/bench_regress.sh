@@ -103,17 +103,49 @@ run_detector_gate() {
   fi
 }
 
+# run_migrate_gate <name>: the migration-executor bench. Fully
+# deterministic (single-threaded discrete-event executor), so every cell
+# leaf is stable and the default threshold applies; the watched leaves
+# are the migration outcomes the engine exists to bound. The bench also
+# certifies each run's protocol journal — a nonzero exit is an invariant
+# violation and fails the gate outright, baseline or not. The exported
+# timeline (with its migration lanes) must parse.
+run_migrate_gate() {
+  local name=$1
+  shift
+  echo "== $name =="
+  mkdir -p "$OUT_DIR/$name"
+  "$BUILD_DIR/bench/bench_fault_recovery" "$@" --migrate \
+    --obs-dir "$OUT_DIR/$name" > "$OUT_DIR/$name/stdout.json" \
+    || { echo "migration invariant violation" >&2; FAILED=1; }
+  "$OBSCTL" timeline "$OUT_DIR/$name/timeline.json" > /dev/null || FAILED=1
+  if [[ $BLESS -eq 1 ]]; then
+    cp "$OUT_DIR/$name/stdout.json" "$BASELINE_DIR/$name.migration.json"
+    echo "blessed $BASELINE_DIR/$name.migration.json"
+  elif [[ -f $BASELINE_DIR/$name.migration.json ]]; then
+    "$OBSCTL" check --threshold "$THRESHOLD" \
+      --watch 'cells.*.migration_seconds,cells.*.app_makespan,cells.*.max_downtime,cells.*.rollbacks,cells.*.violations,total_violations' \
+      "$BASELINE_DIR/$name.migration.json" \
+      "$OUT_DIR/$name/stdout.json" || FAILED=1
+  else
+    echo "no baseline $BASELINE_DIR/$name.migration.json — run with --bless" >&2
+    FAILED=1
+  fi
+}
+
 # The gate set: one healthy contention-replay bench, one faulted
-# remap-on-outage bench, and the closed-loop detector head-to-head — all
-# small enough to finish in seconds.
+# remap-on-outage bench, the closed-loop detector head-to-head, and the
+# migration executor carrying a remap out — all small enough to finish in
+# seconds.
 run_gate fig6_sim_improvement bench_fig6_sim_improvement \
   --ranks=16 --trials=3 --contention
 run_gate fault_recovery bench_fault_recovery --ranks=16
 run_detector_gate detector_closed_loop --ranks=16
+run_migrate_gate fault_recovery_migrate --ranks=16
 
 if [[ $BLESS -eq 1 ]]; then
   echo "baselines written to $BASELINE_DIR/"
-  exit 0
+  exit "$FAILED"  # nonzero: a bench failed outright (e.g. invariant violation)
 fi
 if [[ $FAILED -ne 0 ]]; then
   echo "bench-regress: FAILED (see tables above)" >&2

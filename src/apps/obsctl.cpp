@@ -10,9 +10,11 @@
 //   timeline <timeline.json>           renders the windowed per-link series
 //                                      as ASCII lanes with the detector's
 //                                      episodes overlaid against the
-//                                      injected ground-truth fault windows,
-//                                      plus the detection/truth tables and
-//                                      the precision/recall score block.
+//                                      injected ground-truth fault windows
+//                                      (plus a migration lane whenever the
+//                                      artifact carries migration.bytes
+//                                      flows), the detection/truth tables
+//                                      and the precision/recall score block.
 //   diff <baseline> <current>          regression table over the numeric
 //                                      leaves of any two artifacts of the
 //                                      same kind (percent deltas; "meta" is
@@ -23,7 +25,9 @@
 //                                      vanished). CI's bench-regress gate.
 //
 // Exit codes: 0 ok / no regression, 1 regression detected (check only),
-// 2 usage or load error.
+// 2 usage error or missing/unreadable artifact, 3 artifact found but its
+// JSON is malformed. Scripts can tell "the bench never ran" (2) from "the
+// bench wrote garbage" (3) without parsing stderr.
 
 #include <algorithm>
 #include <cmath>
@@ -71,7 +75,14 @@ int usage(std::ostream& os, int code) {
         "                    and runs.*.analysis.components.*). Prefix a\n"
         "                    pattern with '-' for higher-is-better leaves\n"
         "                    (detection precision/recall): those fail on a\n"
-        "                    decrease past the threshold instead\n";
+        "                    decrease past the threshold instead\n"
+        "\n"
+        "Exit codes:\n"
+        "  0   success / no regression\n"
+        "  1   check: a watched leaf regressed past the threshold (or "
+        "vanished)\n"
+        "  2   usage error, or an artifact is missing / unreadable\n"
+        "  3   an artifact was found but its JSON is malformed\n";
   return code;
 }
 
@@ -342,6 +353,7 @@ int cmd_timeline(const std::vector<std::string>& args) {
   // is exactly the false-negative / false-positive picture.
   using Link = std::pair<int, int>;
   std::map<Link, std::vector<obs::TimePoint>> points;
+  std::map<Link, std::vector<obs::TimePoint>> migration_points;
   std::map<Link, std::vector<const TimelineEpisode*>> lane_events;
   std::map<Link, std::vector<const TimelineTruth*>> lane_truth;
 
@@ -369,6 +381,8 @@ int cmd_timeline(const std::vector<std::string>& args) {
         const Seconds t = p.items()[0].as_number();
         const double v = p.items()[1].as_number();
         if (is_link && name == series_name) points[{src, dst}].push_back({t, v});
+        if (is_link && name == "migration.bytes")
+          migration_points[{src, dst}].push_back({t, v});
         widen(t);
       }
     }
@@ -439,6 +453,7 @@ int cmd_timeline(const std::vector<std::string>& args) {
     // and false-alarm picture.
     std::map<Link, bool> links;
     for (const auto& [link, unused] : points) links[link] = true;
+    for (const auto& [link, unused] : migration_points) links[link] = true;
     for (const auto& [link, unused] : lane_events) links[link] = true;
     for (const auto& [link, unused] : lane_truth) links[link] = true;
 
@@ -455,7 +470,7 @@ int cmd_timeline(const std::vector<std::string>& args) {
                                 format_double(t_max, 3) + "] s  (" +
                                 series_name +
                                 " | detect: ~ latency, X down | truth: = "
-                                "degraded, # outage)");
+                                "degraded, # outage | migrate: state bytes)");
     for (const auto& [link, unused] : links) {
       std::cout << "link " << link.first << "->" << link.second << "\n";
 
@@ -511,6 +526,32 @@ int cmd_timeline(const std::vector<std::string>& args) {
         }
       }
       std::cout << "  truth  |" << truth_lane << "|\n";
+
+      // Migration lane: per-bucket *sum* of migration.bytes chunk
+      // completions (bytes are additive, unlike the mean-bucketed metric
+      // lane), scaled to the busiest bucket. Read against the truth lane
+      // above it, this shows whether state copies dodged the injected
+      // fault windows or ploughed straight through them.
+      const auto mit = migration_points.find(link);
+      if (mit != migration_points.end() && !mit->second.empty()) {
+        std::vector<double> bytes(static_cast<std::size_t>(width), 0);
+        double total = 0;
+        for (const obs::TimePoint& p : mit->second) {
+          bytes[static_cast<std::size_t>(column(p.t))] += p.value;
+          total += p.value;
+        }
+        const double peak = *std::max_element(bytes.begin(), bytes.end());
+        std::string lane(static_cast<std::size_t>(width), ' ');
+        for (std::size_t c = 0; c < lane.size(); ++c) {
+          if (bytes[c] <= 0) continue;
+          const double norm = peak > 0 ? bytes[c] / peak : 0.0;
+          const auto level = static_cast<std::size_t>(norm * 8.0 + 0.5);
+          lane[c] = kLevels[std::min<std::size_t>(8, level)];
+        }
+        std::cout << "  migrate|" << lane << "|  total "
+                  << format_double(total / (1024.0 * 1024.0), 2) << " MiB in "
+                  << mit->second.size() << " chunks\n";
+      }
     }
     std::cout << "\n";
   }
@@ -681,6 +722,12 @@ int main(int argc, char** argv) {
     if (cmd == "check") return cmd_compare(args, /*gate=*/true);
     if (cmd == "--help" || cmd == "-h" || cmd == "help")
       return usage(std::cout, 0);
+  } catch (const JsonParseError& e) {
+    // The artifact exists but is not JSON — a half-written or corrupted
+    // export. Distinct from "missing" (2) so CI can tell the two failure
+    // modes apart without scraping stderr.
+    std::cerr << "geomap-obsctl: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "geomap-obsctl: " << e.what() << "\n";
     return 2;

@@ -1,5 +1,6 @@
 #include "common/json_reader.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -105,15 +106,28 @@ class Parser {
   JsonValue document() {
     const JsonValue v = value();
     skip_ws();
-    GEOMAP_CHECK_ARG(pos_ == text_.size(),
-                     "JSON: trailing content at byte " << pos_);
+    if (pos_ != text_.size()) fail("trailing content");
     return v;
   }
 
  private:
   [[noreturn]] void fail(const char* what) const {
-    throw InvalidArgument("JSON: " + std::string(what) + " at byte " +
-                          std::to_string(pos_));
+    // Line/column are recomputed only on the error path — the hot loop
+    // stays a plain byte scan.
+    int line = 1;
+    int column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::ostringstream os;
+    os << "JSON: " << what << " at byte " << pos_ << " (line " << line
+       << ", column " << column << ")";
+    throw JsonParseError(os.str(), pos_, line, column);
   }
 
   void skip_ws() {
@@ -147,8 +161,10 @@ class Parser {
     const char c = peek();
     switch (c) {
       case '{':
+        if (depth_ >= kJsonMaxDepth) fail("nesting too deep");
         return object();
       case '[':
+        if (depth_ >= kJsonMaxDepth) fail("nesting too deep");
         return array();
       case '"':
         return JsonValue::make_string(string());
@@ -168,9 +184,11 @@ class Parser {
 
   JsonValue object() {
     expect('{');
+    ++depth_;
     std::vector<std::pair<std::string, JsonValue>> members;
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return JsonValue::make_object(std::move(members));
     }
     while (true) {
@@ -183,14 +201,17 @@ class Parser {
       if (c == '}') break;
       if (c != ',') fail("expected ',' or '}'");
     }
+    --depth_;
     return JsonValue::make_object(std::move(members));
   }
 
   JsonValue array() {
     expect('[');
+    ++depth_;
     std::vector<JsonValue> items;
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return JsonValue::make_array(std::move(items));
     }
     while (true) {
@@ -200,6 +221,7 @@ class Parser {
       if (c == ']') break;
       if (c != ',') fail("expected ',' or ']'");
     }
+    --depth_;
     return JsonValue::make_array(std::move(items));
   }
 
@@ -281,11 +303,18 @@ class Parser {
       pos_ = start;
       fail("invalid number");
     }
+    if (!std::isfinite(v)) {
+      // Overflowing literals (1e999) fold to infinity under strtod;
+      // downstream arithmetic would propagate it silently. Reject.
+      pos_ = start;
+      fail("number out of range");
+    }
     return v;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
@@ -301,6 +330,9 @@ JsonValue parse_json_file(const std::string& path) {
   buffer << in.rdbuf();
   try {
     return parse_json(buffer.str());
+  } catch (const JsonParseError& e) {
+    throw JsonParseError(path + ": " + e.what(), e.offset(), e.line(),
+                         e.column());
   } catch (const InvalidArgument& e) {
     throw InvalidArgument(path + ": " + e.what());
   }

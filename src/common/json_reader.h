@@ -5,9 +5,14 @@
 // toolkit to load metrics / critpath artifacts back; it is not a
 // general-purpose streaming parser (documents are a few MB at most).
 //
-// Malformed input throws geomap::InvalidArgument with a byte offset, so
-// a truncated artifact fails loudly at load time instead of producing a
-// silently partial analysis.
+// Malformed input throws geomap::JsonParseError (an InvalidArgument)
+// carrying the byte offset plus 1-based line/column, so a truncated or
+// corrupted artifact fails loudly at load time — with a pointable
+// location — instead of producing a silently partial analysis. The
+// parser is hardened against hostile input: nesting is capped (a
+// deep-bracket bomb cannot overflow the stack), numbers must be finite
+// (1e999 is rejected, not folded to infinity), and every escape and
+// truncation path throws instead of reading past the buffer.
 
 #include <cstddef>
 #include <string>
@@ -15,7 +20,27 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.h"
+
 namespace geomap {
+
+/// Malformed JSON: InvalidArgument plus the parse position. `offset` is
+/// the byte index into the document; `line`/`column` are 1-based.
+class JsonParseError : public InvalidArgument {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset, int line,
+                 int column)
+      : InvalidArgument(what), offset_(offset), line_(line), column_(column) {}
+
+  std::size_t offset() const { return offset_; }
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  std::size_t offset_;
+  int line_;
+  int column_;
+};
 
 class JsonValue {
  public:
@@ -65,12 +90,17 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
+/// Containers deeper than this throw JsonParseError ("nesting too
+/// deep") instead of recursing toward a stack overflow.
+inline constexpr int kJsonMaxDepth = 256;
+
 /// Parse one complete JSON document (trailing whitespace allowed, any
-/// other trailing content throws).
+/// other trailing content throws JsonParseError).
 JsonValue parse_json(std::string_view text);
 
 /// Read and parse `path`; throws InvalidArgument when the file cannot be
-/// opened or does not contain one valid JSON document.
+/// opened and JsonParseError (prefixed with the path) when it does not
+/// contain one valid JSON document.
 JsonValue parse_json_file(const std::string& path);
 
 }  // namespace geomap

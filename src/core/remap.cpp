@@ -77,7 +77,22 @@ RemapResult remap_excluding(const mapping::MappingProblem& problem,
       // data residency it encoded can no longer be honoured anywhere.
     }
   }
-  result.problem.validate();  // throws when survivors lack capacity
+  // Feasibility first, with a typed error: the generic validate() below
+  // reports capacity shortfall as InvalidArgument, which callers cannot
+  // tell apart from malformed input.
+  int surviving_capacity = 0;
+  for (std::size_t s = 0; s < result.problem.capacities.size(); ++s) {
+    surviving_capacity += result.problem.capacities[s];
+  }
+  const int n = problem.num_processes();
+  if (surviving_capacity < n) {
+    std::ostringstream os;
+    os << "remap infeasible: surviving sites hold " << surviving_capacity
+       << " slots for " << n << " processes after excluding site "
+       << failed_site << " — the deployment cannot survive this outage";
+    throw RemapInfeasible(os.str());
+  }
+  result.problem.validate();
 
   result.degraded_cost = sim::alpha_beta_cost(problem.comm, truth, current);
 
@@ -142,22 +157,42 @@ DetectionRemapResult remap_on_detection(
     const std::vector<obs::DegradationEvent>& events,
     const fault::FaultPlan& plan, const RemapOptions& options) {
   // Vote: a down site shows up as down events on *many* of its incident
-  // links; a single flaky link implicates each endpoint only once.
-  std::map<SiteId, std::set<std::pair<SiteId, SiteId>>> implicated;
+  // links; a single flaky link implicates each endpoint only once. Ties
+  // on distinct links break by total down events (repeated episodes on
+  // one link outrank a single blip), then by earliest detection, then by
+  // smaller id — fully deterministic.
+  struct Vote {
+    std::set<std::pair<SiteId, SiteId>> links;
+    int down_events = 0;
+    Seconds earliest_detect = std::numeric_limits<double>::infinity();
+  };
+  std::map<SiteId, Vote> implicated;
   for (const obs::DegradationEvent& e : events) {
     if (e.kind != obs::DegradationKind::kDown) continue;
-    implicated[e.src].insert({e.src, e.dst});
-    implicated[e.dst].insert({e.src, e.dst});
+    for (const SiteId site : {e.src, e.dst}) {
+      Vote& vote = implicated[site];
+      vote.links.insert({e.src, e.dst});
+      vote.down_events += 1;
+      vote.earliest_detect = std::min(vote.earliest_detect, e.detect_vtime);
+    }
   }
   GEOMAP_CHECK_ARG(!implicated.empty(),
                    "remap_on_detection needs at least one down event — no "
                    "actionable detection");
 
   DetectionRemapResult result;
-  std::size_t best_links = 0;
-  for (const auto& [site, links] : implicated) {
-    if (links.size() > best_links) {  // std::map order breaks ties low
-      best_links = links.size();
+  const Vote* best = nullptr;
+  for (const auto& [site, vote] : implicated) {
+    const bool wins =
+        best == nullptr || vote.links.size() > best->links.size() ||
+        (vote.links.size() == best->links.size() &&
+         (vote.down_events > best->down_events ||
+          (vote.down_events == best->down_events &&
+           vote.earliest_detect < best->earliest_detect)));
+    // Equal on every criterion: keep the incumbent — std::map iterates
+    // ids ascending, so the smaller id wins the final tie.
+    if (wins) {
+      best = &vote;
       result.suspected_site = site;
     }
   }

@@ -39,6 +39,16 @@ class Collector;
 
 namespace geomap::core {
 
+/// Thrown by the remap policies when the surviving sites cannot host
+/// every process — the deployment has no headroom for this outage, and
+/// no mapper invocation can fix that. Distinct from InvalidArgument so
+/// callers can tell "recovery is infeasible" (page an operator, shed
+/// load) from "the inputs were malformed" (a bug).
+class RemapInfeasible : public Error {
+ public:
+  explicit RemapInfeasible(const std::string& what) : Error(what) {}
+};
+
 struct RemapOptions {
   GeoDistOptions mapper;
   /// Application state migrated per relocated process (bytes).
@@ -84,7 +94,7 @@ struct RemapResult {
 
 /// Recover from the outage of `failed_site` at virtual time `outage_time`
 /// under `plan`. `problem` is the original (healthy) instance, `current`
-/// the mapping in effect when the site died. Throws InvalidArgument when
+/// the mapping in effect when the site died. Throws RemapInfeasible when
 /// the surviving capacity cannot host all processes (no headroom — the
 /// deployment cannot survive this outage).
 RemapResult remap_on_outage(const mapping::MappingProblem& problem,
@@ -96,8 +106,12 @@ RemapResult remap_on_outage(const mapping::MappingProblem& problem,
 /// Detection-driven recovery: remap_on_outage's result plus what the
 /// policy inferred from the events alone.
 struct DetectionRemapResult {
-  /// The site the down events implicate (most distinct incident links;
-  /// ties break to the smaller id).
+  /// The site the down events implicate. Voting: most distinct incident
+  /// down links; ties break by most down events touching the site, then
+  /// by earliest detection (the site whose trouble was seen first), then
+  /// by smaller id — so equally-implicated sites resolve deterministically
+  /// and a site with repeated episodes on one link outranks a site with a
+  /// single blip.
   SiteId suspected_site = -1;
   /// When the policy acted: the earliest detect_vtime of a down event
   /// touching the suspected site. Always >= the true onset — the price

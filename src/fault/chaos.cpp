@@ -1,0 +1,382 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace geomap::fault {
+
+void ChaosOptions::validate() const {
+  GEOMAP_CHECK_ARG(num_sites >= 2, "chaos needs >= 2 sites, got " << num_sites);
+  GEOMAP_CHECK_ARG(horizon > 0, "horizon must be positive, got " << horizon);
+  GEOMAP_CHECK_ARG(primary_lo >= 0 && primary_hi <= 1 && primary_lo <= primary_hi,
+                   "primary window [" << primary_lo << ", " << primary_hi
+                                      << "] must be inside [0, 1]");
+  GEOMAP_CHECK_ARG(cascade_probability >= 0 && cascade_probability <= 1,
+                   "cascade_probability must be in [0, 1]");
+  GEOMAP_CHECK_ARG(max_permanent_outages >= 1 &&
+                       max_permanent_outages < num_sites,
+                   "max_permanent_outages must be in [1, num_sites), got "
+                       << max_permanent_outages);
+  GEOMAP_CHECK_ARG(transient_outages >= 0 && brownouts >= 0 &&
+                       loss_events >= 0 && migration_window_faults >= 0,
+                   "event counts must be non-negative");
+  GEOMAP_CHECK_ARG(min_bandwidth_factor > 0 && min_bandwidth_factor <= 1,
+                   "min_bandwidth_factor must be in (0, 1], got "
+                       << min_bandwidth_factor);
+  GEOMAP_CHECK_ARG(max_latency_factor >= 1,
+                   "max_latency_factor must be >= 1, got " << max_latency_factor);
+  GEOMAP_CHECK_ARG(max_loss_probability >= 0 && max_loss_probability <= 1,
+                   "max_loss_probability must be in [0, 1]");
+}
+
+namespace {
+
+/// A transient degradation or outage drawn in [lo, hi); returns [start,
+/// end) clamped so end stays finite and past start.
+std::pair<Seconds, Seconds> draw_window(Rng& rng, Seconds lo, Seconds hi,
+                                        Seconds min_len, Seconds max_len) {
+  const Seconds start = rng.uniform(lo, hi);
+  const Seconds len = rng.uniform(min_len, max_len);
+  return {start, start + len};
+}
+
+SiteId draw_site(Rng& rng, int num_sites) {
+  return static_cast<SiteId>(rng.uniform_index(
+      static_cast<std::uint64_t>(num_sites)));
+}
+
+/// A site not in `exclude` (assumes one exists).
+SiteId draw_surviving_site(Rng& rng, int num_sites,
+                           const std::set<SiteId>& exclude) {
+  for (;;) {
+    const SiteId s = draw_site(rng, num_sites);
+    if (exclude.count(s) == 0) return s;
+  }
+}
+
+void add_brownout(FaultPlan& plan, Rng& rng, SiteId site, Seconds start,
+                  Seconds end, const ChaosOptions& options) {
+  const double bw = rng.uniform(options.min_bandwidth_factor, 1.0);
+  const double lat = rng.uniform(1.0, options.max_latency_factor);
+  plan.add_site_degradation(site, start, end, bw, lat);
+}
+
+}  // namespace
+
+ChaosPlan make_chaos_plan(std::uint64_t seed, const ChaosOptions& options) {
+  options.validate();
+  Rng rng(seed ^ 0xc4a05c0ffee5ULL);
+
+  ChaosPlan result;
+  result.plan = FaultPlan(seed);
+  FaultPlan& plan = result.plan;
+  const Seconds h = options.horizon;
+  const int m = options.num_sites;
+
+  // Primary permanent outage, optionally preceded by a brownout cascade
+  // on the doomed site (degrade, then die).
+  result.primary_site = draw_site(rng, m);
+  result.primary_outage_time =
+      rng.uniform(options.primary_lo * h, options.primary_hi * h);
+  std::set<SiteId> dead = {result.primary_site};
+  if (rng.uniform() < options.cascade_probability) {
+    const Seconds precursor = rng.uniform(0.02 * h, 0.15 * h);
+    add_brownout(plan, rng,
+                 result.primary_site,
+                 std::max(0.0, result.primary_outage_time - precursor),
+                 result.primary_outage_time, options);
+  }
+  plan.add_site_outage(result.primary_site, result.primary_outage_time);
+
+  // Additional permanent outages (off by default): later than the
+  // primary, distinct sites, capped below num_sites so survivors exist.
+  for (int k = 1; k < options.max_permanent_outages; ++k) {
+    const SiteId site = draw_surviving_site(rng, m, dead);
+    const Seconds at =
+        rng.uniform(result.primary_outage_time, std::max(result.primary_outage_time, 0.9 * h));
+    plan.add_site_outage(site, at);
+    dead.insert(site);
+  }
+
+  // Background noise over the whole horizon. Transient outages avoid the
+  // permanently dead sites (an extra outage there is unobservable).
+  for (int k = 0; k < options.transient_outages; ++k) {
+    const SiteId site = draw_surviving_site(rng, m, dead);
+    const auto [start, end] = draw_window(rng, 0.0, h, 0.02 * h, 0.12 * h);
+    plan.add_site_outage(site, start, end);
+  }
+  for (int k = 0; k < options.brownouts; ++k) {
+    const SiteId site = draw_site(rng, m);
+    const auto [start, end] = draw_window(rng, 0.0, h, 0.05 * h, 0.3 * h);
+    add_brownout(plan, rng, site, start, end, options);
+  }
+  for (int k = 0; k < options.loss_events; ++k) {
+    const SiteId src = draw_site(rng, m);
+    SiteId dst = draw_site(rng, m);
+    if (dst == src) dst = static_cast<SiteId>((dst + 1) % m);
+    const auto [start, end] = draw_window(rng, 0.0, h, 0.03 * h, 0.2 * h);
+    plan.add_message_loss(src, dst, start, end,
+                          rng.uniform(0.05, options.max_loss_probability));
+  }
+
+  // Faults aimed into the expected migration window: transient trouble
+  // on *surviving* sites, which is exactly what forces rollbacks and
+  // re-prepares mid-copy.
+  if (options.migration_window_length > 0) {
+    const Seconds w0 = options.migration_window_start >= 0
+                           ? options.migration_window_start
+                           : result.primary_outage_time;
+    const Seconds w1 = w0 + options.migration_window_length;
+    for (int k = 0; k < options.migration_window_faults; ++k) {
+      const SiteId site = draw_surviving_site(rng, m, dead);
+      const auto [start, end] = draw_window(
+          rng, w0, w1, 0.05 * options.migration_window_length,
+          0.35 * options.migration_window_length);
+      if (rng.uniform() < 0.5) {
+        plan.add_site_outage(site, start, end);
+      } else {
+        add_brownout(plan, rng, site, start, end, options);
+      }
+    }
+  }
+
+  result.permanently_dead.assign(dead.begin(), dead.end());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+const char* to_string(MigrationEventKind kind) {
+  switch (kind) {
+    case MigrationEventKind::kReserve:
+      return "reserve";
+    case MigrationEventKind::kRelease:
+      return "release";
+    case MigrationEventKind::kCommit:
+      return "commit";
+    case MigrationEventKind::kChunk:
+      return "chunk";
+    case MigrationEventKind::kRollback:
+      return "rollback";
+    case MigrationEventKind::kReplan:
+      return "replan";
+  }
+  return "?";
+}
+
+void MigrationInvariantOptions::validate() const {
+  GEOMAP_CHECK_ARG(planned_bytes_per_process >= 0 && chunk_bytes >= 0,
+                   "byte sizes must be non-negative");
+  GEOMAP_CHECK_ARG(max_retries >= 0 && max_copy_attempts >= 1,
+                   "retry/attempt bounds must be positive");
+}
+
+namespace {
+
+bool permanently_down(const FaultPlan& plan, SiteId site, Seconds t) {
+  return plan.site_down(site, t) && plan.next_site_up(site, t) == kNoEnd;
+}
+
+std::string at(Seconds t) {
+  std::ostringstream os;
+  os << "t=" << t << ": ";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<InvariantViolation> check_migration_invariants(
+    const std::vector<MigrationEvent>& events, const Mapping& initial_mapping,
+    const std::vector<int>& capacities, const FaultPlan& plan,
+    const MigrationInvariantOptions& options) {
+  options.validate();
+  const int m = static_cast<int>(capacities.size());
+  const int n = static_cast<int>(initial_mapping.size());
+
+  std::vector<InvariantViolation> violations;
+  const auto flag = [&](Seconds t, const std::string& msg) {
+    violations.push_back({t, at(t) + msg});
+  };
+
+  // Replayed state: committed home of each process, per-site residents
+  // and reservations, per-process reservation ownership and wire bytes.
+  Mapping home = initial_mapping;
+  std::vector<int> resident(static_cast<std::size_t>(m), 0);
+  std::vector<int> reserved(static_cast<std::size_t>(m), 0);
+  std::vector<SiteId> reserved_site(static_cast<std::size_t>(n), -1);
+  std::vector<Bytes> wire_bytes(static_cast<std::size_t>(n), 0.0);
+
+  for (ProcessId p = 0; p < n; ++p) {
+    const SiteId s = home[static_cast<std::size_t>(p)];
+    GEOMAP_CHECK_ARG(s >= 0 && s < m,
+                     "initial mapping places process " << p << " on invalid site "
+                                                       << s);
+    resident[static_cast<std::size_t>(s)] += 1;
+  }
+  for (SiteId s = 0; s < m; ++s) {
+    if (resident[static_cast<std::size_t>(s)] > capacities[static_cast<std::size_t>(s)])
+      flag(0, "initial placement already exceeds capacity of site " +
+                  std::to_string(s));
+  }
+
+  const auto check_capacity = [&](Seconds t, SiteId s) {
+    const std::size_t i = static_cast<std::size_t>(s);
+    if (resident[i] + reserved[i] > capacities[i]) {
+      std::ostringstream os;
+      os << "site " << s << " over capacity: " << resident[i] << " residents + "
+         << reserved[i] << " reserved > " << capacities[i];
+      flag(t, os.str());
+    }
+    if (resident[i] < 0 || reserved[i] < 0) {
+      std::ostringstream os;
+      os << "site " << s << " accounting went negative (" << resident[i]
+         << " residents, " << reserved[i] << " reserved)";
+      flag(t, os.str());
+    }
+  };
+
+  Seconds last_t = 0;
+  bool first = true;
+  for (const MigrationEvent& e : events) {
+    if (!first && e.t < last_t) {
+      std::ostringstream os;
+      os << to_string(e.kind) << " event out of order (previous t=" << last_t
+         << ")";
+      flag(e.t, os.str());
+    }
+    first = false;
+    last_t = std::max(last_t, e.t);
+
+    const bool needs_process = e.kind != MigrationEventKind::kReplan;
+    if (needs_process && (e.process < 0 || e.process >= n)) {
+      flag(e.t, "event names invalid process " + std::to_string(e.process));
+      continue;
+    }
+    const std::size_t p = static_cast<std::size_t>(std::max<ProcessId>(e.process, 0));
+
+    switch (e.kind) {
+      case MigrationEventKind::kReserve: {
+        if (e.site_to < 0 || e.site_to >= m) {
+          flag(e.t, "reserve on invalid site " + std::to_string(e.site_to));
+          break;
+        }
+        if (reserved_site[p] != -1) {
+          std::ostringstream os;
+          os << "process " << e.process << " reserves site " << e.site_to
+             << " while already holding a reservation on site "
+             << reserved_site[p];
+          flag(e.t, os.str());
+          break;
+        }
+        reserved[static_cast<std::size_t>(e.site_to)] += 1;
+        reserved_site[p] = e.site_to;
+        check_capacity(e.t, e.site_to);
+        break;
+      }
+      case MigrationEventKind::kRelease: {
+        if (reserved_site[p] != e.site_to) {
+          std::ostringstream os;
+          os << "process " << e.process << " releases site " << e.site_to
+             << " but holds "
+             << (reserved_site[p] == -1 ? std::string("no reservation")
+                                        : "site " + std::to_string(reserved_site[p]));
+          flag(e.t, os.str());
+          break;
+        }
+        reserved[static_cast<std::size_t>(e.site_to)] -= 1;
+        reserved_site[p] = -1;
+        check_capacity(e.t, e.site_to);
+        break;
+      }
+      case MigrationEventKind::kCommit: {
+        const SiteId cur = home[p];
+        if (e.site_from != cur) {
+          std::ostringstream os;
+          os << "process " << e.process << " commits from site " << e.site_from
+             << " but its committed home is site " << cur
+             << " — two homes, or a stale commit";
+          flag(e.t, os.str());
+        }
+        if (reserved_site[p] != e.site_to) {
+          std::ostringstream os;
+          os << "process " << e.process << " commits onto site " << e.site_to
+             << " without a reservation there";
+          flag(e.t, os.str());
+        }
+        if (e.site_to < 0 || e.site_to >= m) {
+          flag(e.t, "commit onto invalid site " + std::to_string(e.site_to));
+          break;
+        }
+        if (cur >= 0 && cur < m) resident[static_cast<std::size_t>(cur)] -= 1;
+        if (reserved_site[p] == e.site_to)
+          reserved[static_cast<std::size_t>(e.site_to)] -= 1;
+        resident[static_cast<std::size_t>(e.site_to)] += 1;
+        reserved_site[p] = -1;
+        home[p] = e.site_to;
+        check_capacity(e.t, e.site_to);
+        if (cur >= 0 && cur < m) check_capacity(e.t, cur);
+        break;
+      }
+      case MigrationEventKind::kChunk: {
+        if (e.bytes < 0) {
+          flag(e.t, "chunk with negative bytes");
+          break;
+        }
+        wire_bytes[p] += e.bytes;
+        break;
+      }
+      case MigrationEventKind::kRollback:
+      case MigrationEventKind::kReplan:
+        break;  // informational
+    }
+  }
+
+  const Seconds horizon = options.horizon >= 0 ? options.horizon : last_t;
+
+  // End-state properties.
+  for (ProcessId p = 0; p < n; ++p) {
+    const std::size_t i = static_cast<std::size_t>(p);
+    if (reserved_site[i] != -1) {
+      std::ostringstream os;
+      os << "process " << p << " ends holding a leaked reservation on site "
+         << reserved_site[i];
+      flag(horizon, os.str());
+    }
+    if (permanently_down(plan, home[i], horizon)) {
+      std::ostringstream os;
+      os << "process " << p << " ends committed to site " << home[i]
+         << ", which is permanently dead";
+      flag(horizon, os.str());
+    }
+  }
+
+  if (options.planned_bytes_per_process > 0 && options.chunk_bytes > 0) {
+    const double chunks =
+        std::ceil(options.planned_bytes_per_process / options.chunk_bytes);
+    const Bytes bound = chunks * options.chunk_bytes *
+                        (1.0 + options.max_retries) * options.max_copy_attempts;
+    for (ProcessId p = 0; p < n; ++p) {
+      const std::size_t i = static_cast<std::size_t>(p);
+      if (wire_bytes[i] > bound) {
+        std::ostringstream os;
+        os << "process " << p << " shipped " << wire_bytes[i]
+           << " bytes, over the retry bound " << bound;
+        flag(horizon, os.str());
+      }
+    }
+  }
+
+  std::stable_sort(violations.begin(), violations.end(),
+                   [](const InvariantViolation& a, const InvariantViolation& b) {
+                     return a.t < b.t;
+                   });
+  return violations;
+}
+
+}  // namespace geomap::fault

@@ -1,0 +1,159 @@
+#pragma once
+// Chaos engineering for the recovery loop.
+//
+// A hand-written FaultPlan exercises one failure mode; a chaos plan
+// exercises the interactions — overlapping brownouts, cascades that
+// follow a site's death, message loss storms, and (the case the
+// migration executor exists for) faults that land *while a migration is
+// already in flight*. make_chaos_plan draws a reproducible plan from a
+// seed so a soak over many seeds covers the space deterministically.
+//
+// The second half is the referee: the migration executor journals every
+// protocol transition as a MigrationEvent, and check_migration_invariants
+// replays that journal against the safety properties the two-phase
+// protocol promises:
+//
+//   * single home    — every process has exactly one committed home at
+//                      every instant (commits move it atomically, and
+//                      only from the current home);
+//   * capacity       — residents + reservations never exceed a site's
+//                      capacity, and never go negative;
+//   * liveness homes — when the journal ends, no committed home is on a
+//                      permanently dead site (transient outages are fair
+//                      game — the site comes back);
+//   * byte budget    — per-process bytes on the wire never exceed the
+//                      planned state size times the chunk/retry/attempt
+//                      bound (runaway copy loops cannot hide).
+//
+// The checker is deliberately independent of the executor: it sees only
+// the journal, the initial placement, the capacities, and the plan. It
+// lives in src/fault (not src/migrate) so the fault layer defines the
+// contract and the executor merely satisfies it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "fault/fault_plan.h"
+
+namespace geomap::fault {
+
+// ---------------------------------------------------------------------------
+// Seeded chaos-plan generation
+
+struct ChaosOptions {
+  int num_sites = 4;
+  /// Virtual horizon the faults are scattered over.
+  Seconds horizon = 60.0;
+
+  /// Every chaos plan contains one *primary* permanent site outage — the
+  /// fault the detect→remap→migrate loop must recover from — at a
+  /// uniform time inside [primary_lo, primary_hi] · horizon.
+  double primary_lo = 0.25;
+  double primary_hi = 0.55;
+  /// With this probability the primary outage is preceded by a brownout
+  /// precursor on the same site (the realistic "degrade, then die"
+  /// cascade the detector sees as escalating severity).
+  double cascade_probability = 0.5;
+  /// Total permanent site outages (>= 1; the primary counts). Keep below
+  /// the capacity slack or every remap is infeasible by construction.
+  int max_permanent_outages = 1;
+
+  /// Background noise: transient site outages and link brownouts drawn
+  /// over the whole horizon (they may overlap each other and the
+  /// primary).
+  int transient_outages = 2;
+  int brownouts = 3;
+  int loss_events = 2;
+
+  /// Faults aimed into an active migration window: when
+  /// migration_window_length > 0, this many extra transient faults
+  /// (brownouts / short outages of *surviving* sites) start inside
+  /// [migration_window_start, migration_window_start +
+  /// migration_window_length). The soak driver sets the window to where
+  /// it expects the executor to be copying; a negative start means
+  /// "begin at the primary outage" — recovery starts there, so that is
+  /// where migrations are in flight.
+  Seconds migration_window_start = -1.0;
+  Seconds migration_window_length = 0.0;
+  int migration_window_faults = 0;
+
+  /// Severity ranges for generated degradations.
+  double min_bandwidth_factor = 0.15;
+  double max_latency_factor = 6.0;
+  double max_loss_probability = 0.4;
+
+  void validate() const;
+};
+
+/// A generated plan plus the ground truth a soak driver needs: which site
+/// the primary outage kills and when, and every permanently dead site.
+struct ChaosPlan {
+  FaultPlan plan;
+  SiteId primary_site = -1;
+  Seconds primary_outage_time = 0;
+  std::vector<SiteId> permanently_dead;  // sorted ascending
+};
+
+/// Draw a reproducible chaos plan. Pure in (seed, options): the same pair
+/// always yields an identical event schedule.
+ChaosPlan make_chaos_plan(std::uint64_t seed, const ChaosOptions& options);
+
+// ---------------------------------------------------------------------------
+// Migration journal + invariant checking
+
+/// Protocol transitions the migration executor journals. The checker
+/// consumes exactly these; the executor's internal states do not matter.
+enum class MigrationEventKind {
+  kReserve,   // prepare granted: one slot reserved on site_to
+  kRelease,   // reservation on site_to given back (rollback / abort)
+  kCommit,    // atomic cutover: home moves site_from -> site_to
+  kChunk,     // `bytes` of state landed on the wire site_from -> site_to
+  kRollback,  // copy abandoned, process stays at site_from (informational)
+  kReplan,    // mapper re-invoked at t (informational)
+};
+
+const char* to_string(MigrationEventKind kind);
+
+struct MigrationEvent {
+  MigrationEventKind kind = MigrationEventKind::kChunk;
+  Seconds t = 0;
+  ProcessId process = -1;  // -1 for process-less events (kReplan)
+  SiteId site_from = -1;
+  SiteId site_to = -1;
+  Bytes bytes = 0;  // kChunk only
+};
+
+struct MigrationInvariantOptions {
+  /// Planned state size per process and the chunk size it is shipped in
+  /// (the byte-budget bound rounds the plan up to whole chunks).
+  Bytes planned_bytes_per_process = 0;
+  Bytes chunk_bytes = 0;
+  /// Retry/attempt bounds the executor ran with: every chunk may be
+  /// re-sent up to 1 + max_retries times, and a whole copy restarted up
+  /// to max_copy_attempts times (fresh attempts after rollback/replan
+  /// resend everything).
+  int max_retries = 8;
+  int max_copy_attempts = 4;
+  /// Journal end time for the dead-home check; < 0 uses the last event's
+  /// timestamp.
+  Seconds horizon = -1.0;
+
+  void validate() const;
+};
+
+struct InvariantViolation {
+  Seconds t = 0;
+  std::string message;
+};
+
+/// Replay `events` (time-ordered) from `initial_mapping` and report every
+/// violated safety property. An empty result is the executor's
+/// certificate of crash consistency for this run.
+std::vector<InvariantViolation> check_migration_invariants(
+    const std::vector<MigrationEvent>& events, const Mapping& initial_mapping,
+    const std::vector<int>& capacities, const FaultPlan& plan,
+    const MigrationInvariantOptions& options);
+
+}  // namespace geomap::fault

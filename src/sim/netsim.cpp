@@ -238,26 +238,33 @@ ContentionResult replay_with_contention(
         // Outage stall: wait until both endpoints are back up. Permanent
         // outages cannot be replayed through — callers must remap the
         // dead site away first.
-        Seconds up = t;
-        for (int guard = 0; guard < 64; ++guard) {
-          const Seconds src_up = plan.next_site_up(src, up);
-          const Seconds dst_up = plan.next_site_up(dst, src_up);
-          GEOMAP_CHECK_MSG(dst_up != fault::kNoEnd,
-                           "replay crosses a permanent outage of site "
-                               << (plan.next_site_up(src, up) == fault::kNoEnd
-                                       ? src
-                                       : dst)
-                               << " — remap before replaying");
-          if (dst_up == up) return up;
-          up = dst_up;
-        }
-        GEOMAP_CHECK_MSG(false,
-                         "alternating outages of sites "
-                             << src << " and " << dst
-                             << " did not converge after 64 iterations");
-        return up;  // unreachable
+        const Seconds up = outage_clear_time(plan, src, dst, t);
+        GEOMAP_CHECK_MSG(up != fault::kNoEnd,
+                         "replay crosses a permanent outage of site "
+                             << (plan.next_site_up(src, t) == fault::kNoEnd
+                                     ? src
+                                     : dst)
+                             << " — remap before replaying");
+        return up;
       },
       collector, label);
+}
+
+Seconds outage_clear_time(const fault::FaultPlan& plan, SiteId src, SiteId dst,
+                          Seconds t) {
+  Seconds up = t;
+  for (int guard = 0; guard < 64; ++guard) {
+    const Seconds src_up = plan.next_site_up(src, up);
+    if (src_up == fault::kNoEnd) return fault::kNoEnd;
+    const Seconds dst_up = plan.next_site_up(dst, src_up);
+    if (dst_up == fault::kNoEnd) return fault::kNoEnd;
+    if (dst_up == up) return up;
+    up = dst_up;
+  }
+  GEOMAP_CHECK_MSG(false, "alternating outages of sites "
+                              << src << " and " << dst
+                              << " did not converge after 64 iterations");
+  return up;  // unreachable
 }
 
 double comm_improvement_percent(const trace::CommMatrix& comm,

@@ -72,6 +72,14 @@ ContentionResult replay_with_contention(const trace::CommMatrix& comm,
                                         obs::Collector* collector = nullptr,
                                         const char* label = "sim/replay");
 
+/// Earliest time >= t at which *both* endpoint sites of ordered link
+/// (src, dst) are simultaneously up under `plan`; fault::kNoEnd when a
+/// permanent outage makes the wait unbounded. Shared by the fault-aware
+/// replay (which treats kNoEnd as an error — remap first) and the
+/// migration executor (which parks the flow and replans instead).
+Seconds outage_clear_time(const fault::FaultPlan& plan, SiteId src, SiteId dst,
+                          Seconds t);
+
 /// Communication improvement of `mapping` over `baseline` in percent,
 /// under the alpha-beta model.
 double comm_improvement_percent(const trace::CommMatrix& comm,

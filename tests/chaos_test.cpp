@@ -1,0 +1,286 @@
+// Chaos-plan generation and the migration invariant checker
+// (src/fault/chaos.h): seeded determinism, structural bounds, and the
+// checker's ability to catch each class of protocol violation from a
+// hand-built journal.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
+
+namespace geomap::fault {
+namespace {
+
+TEST(ChaosPlanTest, DeterministicInSeedAndOptions) {
+  ChaosOptions options;
+  options.migration_window_length = 20.0;
+  options.migration_window_faults = 2;
+  const ChaosPlan a = make_chaos_plan(42, options);
+  const ChaosPlan b = make_chaos_plan(42, options);
+
+  EXPECT_EQ(a.primary_site, b.primary_site);
+  EXPECT_EQ(a.primary_outage_time, b.primary_outage_time);
+  EXPECT_EQ(a.permanently_dead, b.permanently_dead);
+  ASSERT_EQ(a.plan.events().size(), b.plan.events().size());
+  for (std::size_t i = 0; i < a.plan.events().size(); ++i) {
+    const FaultEvent& ea = a.plan.events()[i];
+    const FaultEvent& eb = b.plan.events()[i];
+    EXPECT_EQ(ea.kind, eb.kind);
+    EXPECT_EQ(ea.start, eb.start);
+    EXPECT_EQ(ea.end, eb.end);
+    EXPECT_EQ(ea.site, eb.site);
+    EXPECT_EQ(ea.latency_factor, eb.latency_factor);
+    EXPECT_EQ(ea.bandwidth_factor, eb.bandwidth_factor);
+    EXPECT_EQ(ea.loss_probability, eb.loss_probability);
+  }
+
+  const ChaosPlan c = make_chaos_plan(43, options);
+  EXPECT_TRUE(c.primary_site != a.primary_site ||
+              c.primary_outage_time != a.primary_outage_time ||
+              c.plan.events().size() != a.plan.events().size() ||
+              c.plan.events().front().start != a.plan.events().front().start);
+}
+
+TEST(ChaosPlanTest, PrimaryOutageInsideConfiguredWindow) {
+  ChaosOptions options;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const ChaosPlan plan = make_chaos_plan(seed, options);
+    EXPECT_GE(plan.primary_site, 0);
+    EXPECT_LT(plan.primary_site, options.num_sites);
+    EXPECT_GE(plan.primary_outage_time, options.primary_lo * options.horizon);
+    EXPECT_LE(plan.primary_outage_time, options.primary_hi * options.horizon);
+    // The primary outage is permanent.
+    EXPECT_TRUE(plan.plan.site_down(plan.primary_site,
+                                    plan.primary_outage_time + 1e-9));
+    EXPECT_EQ(plan.plan.next_site_up(plan.primary_site,
+                                     plan.primary_outage_time + 1e-9),
+              kNoEnd);
+    ASSERT_EQ(plan.permanently_dead.size(), 1u);
+    EXPECT_EQ(plan.permanently_dead[0], plan.primary_site);
+  }
+}
+
+TEST(ChaosPlanTest, OnlyListedSitesArePermanentlyDead) {
+  ChaosOptions options;
+  options.transient_outages = 3;
+  options.brownouts = 4;
+  options.migration_window_length = 25.0;
+  options.migration_window_faults = 3;
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    const ChaosPlan plan = make_chaos_plan(seed, options);
+    for (SiteId s = 0; s < options.num_sites; ++s) {
+      const bool listed_dead =
+          std::find(plan.permanently_dead.begin(), plan.permanently_dead.end(),
+                    s) != plan.permanently_dead.end();
+      // Sample the horizon: every outage of a surviving site must clear.
+      bool ever_permanent = false;
+      for (double t = 0; t < 2.5 * options.horizon; t += 0.37) {
+        if (plan.plan.site_down(s, t) &&
+            plan.plan.next_site_up(s, t) == kNoEnd) {
+          ever_permanent = true;
+          break;
+        }
+      }
+      EXPECT_EQ(ever_permanent, listed_dead) << "site " << s << " seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosPlanTest, MigrationWindowFaultsLandInsideWindow) {
+  ChaosOptions options;
+  options.transient_outages = 0;
+  options.brownouts = 0;
+  options.loss_events = 0;
+  options.cascade_probability = 0.0;
+  options.migration_window_start = 30.0;
+  options.migration_window_length = 10.0;
+  options.migration_window_faults = 3;
+  const ChaosPlan plan = make_chaos_plan(7, options);
+  // Events: 1 primary outage + 3 window faults, all of the latter
+  // starting inside [30, 40) on surviving sites.
+  ASSERT_EQ(plan.plan.events().size(), 4u);
+  int window_faults = 0;
+  for (const FaultEvent& e : plan.plan.events()) {
+    if (e.kind == FaultKind::kSiteOutage && e.end == kNoEnd) continue;
+    ++window_faults;
+    EXPECT_GE(e.start, 30.0);
+    EXPECT_LT(e.start, 40.0);
+    EXPECT_NE(e.site, plan.primary_site);
+    EXPECT_LT(e.end, kNoEnd);
+  }
+  EXPECT_EQ(window_faults, 3);
+}
+
+TEST(ChaosPlanTest, ValidatesOptions) {
+  ChaosOptions bad;
+  bad.num_sites = 1;
+  EXPECT_THROW(make_chaos_plan(1, bad), Error);
+  bad = ChaosOptions{};
+  bad.max_permanent_outages = 4;  // == num_sites: no survivors
+  EXPECT_THROW(make_chaos_plan(1, bad), Error);
+  bad = ChaosOptions{};
+  bad.min_bandwidth_factor = 0.0;
+  EXPECT_THROW(make_chaos_plan(1, bad), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checker on hand-built journals. World: 3 sites, capacity 2
+// each, 3 processes initially mapped [0, 0, 1].
+
+class MigrationInvariantTest : public ::testing::Test {
+ protected:
+  Mapping initial_{0, 0, 1};
+  std::vector<int> capacities_{2, 2, 2};
+  FaultPlan plan_{1};
+  MigrationInvariantOptions options_;
+
+  MigrationInvariantTest() {
+    options_.planned_bytes_per_process = 100.0;
+    options_.chunk_bytes = 50.0;
+    options_.max_retries = 1;
+    options_.max_copy_attempts = 2;
+    options_.horizon = 100.0;
+  }
+
+  std::vector<InvariantViolation> check(
+      const std::vector<MigrationEvent>& events) {
+    return check_migration_invariants(events, initial_, capacities_, plan_,
+                                      options_);
+  }
+};
+
+TEST_F(MigrationInvariantTest, CleanTwoPhaseJournalPasses) {
+  const std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kReserve, 1.0, 0, -1, 2, 0},
+      {MigrationEventKind::kChunk, 2.0, 0, 0, 2, 50.0},
+      {MigrationEventKind::kChunk, 3.0, 0, 0, 2, 50.0},
+      {MigrationEventKind::kCommit, 4.0, 0, 0, 2, 0},
+  };
+  const auto violations = check(events);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().message);
+}
+
+TEST_F(MigrationInvariantTest, RollbackReleasesAndPasses) {
+  const std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kReserve, 1.0, 0, -1, 2, 0},
+      {MigrationEventKind::kChunk, 2.0, 0, 0, 2, 50.0},
+      {MigrationEventKind::kRollback, 3.0, 0, 0, 2, 0},
+      {MigrationEventKind::kRelease, 3.0, 0, -1, 2, 0},
+  };
+  EXPECT_TRUE(check(events).empty());
+}
+
+TEST_F(MigrationInvariantTest, CatchesCapacityOverflow) {
+  // All three processes reserve site 2 (capacity 2): the third
+  // reservation makes 0 residents + 3 reserved > 2.
+  const std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kReserve, 1.0, 0, -1, 2, 0},
+      {MigrationEventKind::kReserve, 1.5, 1, -1, 2, 0},
+      {MigrationEventKind::kReserve, 2.0, 2, -1, 2, 0},
+  };
+  const auto violations = check(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().message.find("over capacity"),
+            std::string::npos);
+}
+
+TEST_F(MigrationInvariantTest, CatchesDoubleReservation) {
+  const std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kReserve, 1.0, 0, -1, 2, 0},
+      {MigrationEventKind::kReserve, 2.0, 0, -1, 1, 0},
+  };
+  const auto violations = check(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().message.find("already holding"),
+            std::string::npos);
+}
+
+TEST_F(MigrationInvariantTest, CatchesCommitWithoutReservation) {
+  const std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kCommit, 1.0, 0, 0, 2, 0},
+  };
+  const auto violations = check(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().message.find("without a reservation"),
+            std::string::npos);
+}
+
+TEST_F(MigrationInvariantTest, CatchesStaleCommit) {
+  // Process 0's home is site 0; a commit claiming to move it from site 1
+  // is either a double home or a stale (pre-rollback) commit applying.
+  const std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kReserve, 1.0, 0, -1, 2, 0},
+      {MigrationEventKind::kCommit, 2.0, 0, 1, 2, 0},
+  };
+  const auto violations = check(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().message.find("two homes, or a stale commit"),
+            std::string::npos);
+}
+
+TEST_F(MigrationInvariantTest, CatchesReleaseMismatch) {
+  const std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kRelease, 1.0, 0, -1, 2, 0},
+  };
+  const auto violations = check(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().message.find("no reservation"),
+            std::string::npos);
+}
+
+TEST_F(MigrationInvariantTest, CatchesLeakedReservationAtEnd) {
+  const std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kReserve, 1.0, 0, -1, 2, 0},
+  };
+  const auto violations = check(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().message.find("leaked reservation"),
+            std::string::npos);
+}
+
+TEST_F(MigrationInvariantTest, CatchesByteBudgetOverrun) {
+  // Bound: ceil(100/50)=2 chunks * 50 * (1+1 retries) * 2 attempts = 400.
+  std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kReserve, 1.0, 0, -1, 2, 0},
+  };
+  for (int i = 0; i < 9; ++i) {
+    events.push_back({MigrationEventKind::kChunk, 2.0 + i, 0, 0, 2, 50.0});
+  }
+  events.push_back({MigrationEventKind::kCommit, 20.0, 0, 0, 2, 0});
+  const auto violations = check(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().message.find("retry bound"), std::string::npos);
+}
+
+TEST_F(MigrationInvariantTest, CatchesHomeOnPermanentlyDeadSite) {
+  plan_.add_site_outage(1, 10.0);  // permanent; process 2 lives there
+  const auto violations = check({});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations.front().message.find("permanently dead"),
+            std::string::npos);
+}
+
+TEST_F(MigrationInvariantTest, TransientOutageOfHomeSiteIsFine) {
+  plan_.add_site_outage(1, 10.0, 20.0);
+  EXPECT_TRUE(check({}).empty());
+}
+
+TEST_F(MigrationInvariantTest, CatchesOutOfOrderJournal) {
+  const std::vector<MigrationEvent> events = {
+      {MigrationEventKind::kReserve, 5.0, 0, -1, 2, 0},
+      {MigrationEventKind::kRelease, 1.0, 0, -1, 2, 0},
+  };
+  const auto violations = check(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().message.find("out of order"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace geomap::fault

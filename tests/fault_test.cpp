@@ -423,14 +423,89 @@ TEST(RemapOnOutage, IsDeterministic) {
   EXPECT_EQ(a.migration_seconds, b.migration_seconds);
 }
 
-TEST(RemapOnOutage, ThrowsWhenSurvivorsLackCapacity) {
-  // Exact-fit capacities: losing any site is unsurvivable.
+TEST(RemapOnOutage, ThrowsTypedRemapInfeasibleWhenSurvivorsLackCapacity) {
+  // Exact-fit capacities: losing any site is unsurvivable. The error is
+  // the typed RemapInfeasible (not a generic InvalidArgument), so
+  // callers can distinguish "no headroom" from "malformed input".
   const mapping::MappingProblem problem = testutil::random_problem(32, 0.0, 3);
   const Mapping current = core::GeoDistMapper().map(problem);
   FaultPlan plan;
   plan.add_site_outage(0, 1.0);
-  EXPECT_THROW(core::remap_on_outage(problem, current, plan, 0, 1.0),
-               InvalidArgument);
+  try {
+    core::remap_on_outage(problem, current, plan, 0, 1.0);
+    FAIL() << "expected RemapInfeasible";
+  } catch (const core::RemapInfeasible& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot survive"), std::string::npos);
+  }
+  // Malformed input still reports its own typed error, not infeasibility.
+  Mapping short_mapping(current.begin(), current.begin() + 4);
+  EXPECT_THROW(core::remap_on_outage(problem, short_mapping, plan, 0, 1.0),
+               ConstraintViolation);
+}
+
+// -- Detection-driven remap: site voting --
+
+namespace votes {
+
+obs::DegradationEvent down(SiteId src, SiteId dst, Seconds detect) {
+  obs::DegradationEvent e;
+  e.src = src;
+  e.dst = dst;
+  e.kind = obs::DegradationKind::kDown;
+  e.onset_vtime = detect;
+  e.detect_vtime = detect;
+  e.end_vtime = kNoEnd;
+  return e;
+}
+
+/// Run the voting end to end on a real survivable problem; the empty
+/// plan makes evaluation trivial, so the test isolates the vote.
+SiteId suspect(const std::vector<obs::DegradationEvent>& events) {
+  const mapping::MappingProblem problem =
+      testutil::random_problem(12, 0.0, 17, 3, /*slack=*/4);
+  const Mapping current = core::GeoDistMapper().map(problem);
+  const FaultPlan plan;
+  return core::remap_on_detection(problem, current, events, plan)
+      .suspected_site;
+}
+
+}  // namespace votes
+
+TEST(RemapOnDetection, VotesForTheSiteWithMostDistinctDownLinks) {
+  // A dead site shows trouble on all of its links: site 2 is implicated
+  // over three distinct links, every other site over exactly one.
+  EXPECT_EQ(votes::suspect({votes::down(2, 0, 5.0), votes::down(2, 1, 6.0),
+                            votes::down(2, 3, 7.0)}),
+            2);
+}
+
+TEST(RemapOnDetection, LinkTieBreaksByDownEventCount) {
+  // Disjoint pairs so every site has exactly one implicated link. The
+  // (2, 3) link produced two episodes to (0, 1)'s one: repeated trouble
+  // outranks a single blip. Sites 2 and 3 stay tied on every remaining
+  // criterion, so the smaller id (2) is accused.
+  EXPECT_EQ(votes::suspect({votes::down(0, 1, 5.0), votes::down(2, 3, 6.0),
+                            votes::down(2, 3, 9.0)}),
+            2);
+}
+
+TEST(RemapOnDetection, FullTieBreaksByEarliestDetectionThenSmallerId) {
+  // Equal links and event counts; the (2, 3) trouble was detected first,
+  // and within that pair the smaller id wins.
+  EXPECT_EQ(votes::suspect({votes::down(0, 1, 5.0), votes::down(2, 3, 4.0)}),
+            2);
+  // Identical on every criterion (one shared link implicates both
+  // endpoints with the same events): the smaller id wins.
+  EXPECT_EQ(votes::suspect({votes::down(2, 1, 5.0)}), 1);
+}
+
+TEST(RemapOnDetection, ThrowsTypedRemapInfeasibleWithoutHeadroom) {
+  const mapping::MappingProblem problem = testutil::random_problem(32, 0.0, 3);
+  const Mapping current = core::GeoDistMapper().map(problem);
+  const FaultPlan plan;
+  EXPECT_THROW(core::remap_on_detection(problem, current,
+                                        {votes::down(0, 1, 2.0)}, plan),
+               core::RemapInfeasible);
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+// Corpus-driven robustness tests for common/json_reader: every mutation
+// of a valid artifact — truncation, random byte flips, hostile nesting,
+// bad escapes, overflowing numbers — must either parse or throw a typed
+// JsonParseError. Nothing may crash, hang, or read past the buffer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json_reader.h"
+#include "common/rng.h"
+
+namespace geomap {
+namespace {
+
+/// Baseline corpus shaped like the repo's real artifacts (metrics
+/// exports, bench baselines, critpath runs).
+std::vector<std::string> corpus() {
+  return {
+      R"({"schema":"geomap.metrics.v1","counters":{"comm.messages":1284,)"
+      R"("comm.bytes":9.5e6},"histograms":[{"name":"rank.finish","count":16,)"
+      R"("sum":42.25,"min":1.5,"max":4.75}]})",
+      R"({"bench":"fault_recovery","cells":[{"name":"n64","makespan":12.5,)"
+      R"("retries":7,"detected":true},{"name":"n128","makespan":30.125,)"
+      R"("retries":0,"detected":false}]})",
+      R"([1,-2.5,0.0,1e-9,"text with \"quotes\" and \\ slashes",null,true,)"
+      R"([{"nested":{"deep":[1,2,3]}}]])",
+      R"({"spans":[{"name":"migrate/copy","t0":0.5,"t1":1.25,)"
+      R"("meta":"{\"src\":0}"},{"name":"migrate/cutover","t0":1.25,)"
+      R"("t1":1.3125,"meta":null}],"unicode":"éA✓"})",
+  };
+}
+
+/// The contract under test: parse or throw JsonParseError — never
+/// anything else, never a crash.
+void parse_or_typed_throw(const std::string& text) {
+  try {
+    (void)parse_json(text);
+  } catch (const JsonParseError& e) {
+    EXPECT_LE(e.offset(), text.size());
+    EXPECT_GE(e.line(), 1);
+    EXPECT_GE(e.column(), 1);
+  }
+  // Any other exception type escapes and fails the test.
+}
+
+TEST(JsonReaderFuzzTest, CorpusParsesCleanly) {
+  for (const std::string& doc : corpus()) {
+    EXPECT_NO_THROW((void)parse_json(doc)) << doc;
+  }
+}
+
+TEST(JsonReaderFuzzTest, EveryPrefixTruncationIsHandled) {
+  for (const std::string& doc : corpus()) {
+    for (std::size_t len = 0; len < doc.size(); ++len) {
+      parse_or_typed_throw(doc.substr(0, len));
+    }
+  }
+}
+
+TEST(JsonReaderFuzzTest, SeededByteMutationsAreHandled) {
+  Rng rng(20260806);
+  for (const std::string& doc : corpus()) {
+    for (int round = 0; round < 400; ++round) {
+      std::string mutated = doc;
+      const int edits = 1 + static_cast<int>(rng.uniform_index(3));
+      for (int e = 0; e < edits; ++e) {
+        const std::size_t at = rng.uniform_index(mutated.size());
+        switch (rng.uniform_index(3)) {
+          case 0:  // flip to an arbitrary byte (including NUL / high bit)
+            mutated[at] = static_cast<char>(rng.uniform_index(256));
+            break;
+          case 1:  // delete
+            mutated.erase(at, 1);
+            break;
+          default:  // duplicate a structural character
+            mutated.insert(at, 1, "{}[],:\"\\0"[rng.uniform_index(9)]);
+            break;
+        }
+        if (mutated.empty()) break;
+      }
+      parse_or_typed_throw(mutated);
+    }
+  }
+}
+
+TEST(JsonReaderFuzzTest, DeepNestingIsRejectedNotOverflowed) {
+  // Far past the cap: without the depth limit this is a stack bomb.
+  const int depth = 200000;
+  std::string bomb(static_cast<std::size_t>(depth), '[');
+  EXPECT_THROW((void)parse_json(bomb), JsonParseError);
+  std::string closed = bomb + std::string(static_cast<std::size_t>(depth), ']');
+  EXPECT_THROW((void)parse_json(closed), JsonParseError);
+  std::string objects;
+  for (int i = 0; i < depth; ++i) objects += R"({"k":)";
+  EXPECT_THROW((void)parse_json(objects), JsonParseError);
+
+  // At or under the cap parses fine.
+  const int ok_depth = kJsonMaxDepth;
+  std::string nested(static_cast<std::size_t>(ok_depth), '[');
+  nested += "1";
+  nested += std::string(static_cast<std::size_t>(ok_depth), ']');
+  EXPECT_NO_THROW((void)parse_json(nested));
+}
+
+TEST(JsonReaderFuzzTest, InvalidEscapesThrowTyped) {
+  const std::vector<std::string> bad = {
+      R"("\q")",      R"("\u12")",   R"("\u12zz")", R"("\)",
+      R"("\u")",      R"("unterminated)", R"("tail\)",
+  };
+  for (const std::string& doc : bad) {
+    EXPECT_THROW((void)parse_json(doc), JsonParseError) << doc;
+  }
+  // Valid escapes still round-trip.
+  EXPECT_EQ(parse_json(R"("a\tbA")").as_string(), "a\tbA");
+}
+
+TEST(JsonReaderFuzzTest, NonFiniteNumbersAreRejected) {
+  EXPECT_THROW((void)parse_json("1e999"), JsonParseError);
+  EXPECT_THROW((void)parse_json("-1e999"), JsonParseError);
+  EXPECT_THROW((void)parse_json(R"({"v":[1,2,1e999]})"), JsonParseError);
+  EXPECT_NO_THROW((void)parse_json("1e308"));
+  EXPECT_NO_THROW((void)parse_json("-0.0"));
+}
+
+TEST(JsonReaderFuzzTest, ErrorsCarryPosition) {
+  try {
+    (void)parse_json("{\"a\": 1,\n \"b\": }");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 1);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonReaderFuzzTest, MissingFileThrowsInvalidArgumentNotParseError) {
+  try {
+    (void)parse_json_file("/nonexistent/geomap-artifact.json");
+    FAIL() << "expected InvalidArgument";
+  } catch (const JsonParseError&) {
+    FAIL() << "missing file misreported as a parse error";
+  } catch (const InvalidArgument&) {
+    // Expected: distinct from unparseable (obsctl maps these to
+    // different exit codes).
+  }
+}
+
+}  // namespace
+}  // namespace geomap
