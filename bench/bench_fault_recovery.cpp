@@ -381,6 +381,10 @@ int run_chaos_mode(const CliParser& cli) {
   w.field("total_replans", report.total_replans);
   w.field("total_abandoned", report.total_abandoned);
   w.field("total_violations", report.total_violations);
+  // Machine-checked summary: CI asserts these, not just parseability.
+  w.field("seeds_run", static_cast<std::int64_t>(report.cases.size()));
+  w.field("invariants_checked", static_cast<std::int64_t>(report.cases.size()));
+  w.field("violations", report.total_violations);
   w.field("ok", report.ok());
   w.end_object();
   w.done();

@@ -1,0 +1,216 @@
+// Multi-tenant substrate bench: fairness sweep over scheduler policies,
+// plus the 100-tenant chaos soak.
+//
+// Two modes:
+//
+//   * sweep (default): a few seeds × every scheduler policy through the
+//     full observe → detect → remap-storm → migrate loop on a shared
+//     substrate. Emits one JSON object whose `cells` array has one entry
+//     per policy (seed-averaged fairness/interference metrics) and whose
+//     top-level `fairness` object repeats the fair-share cell — the
+//     blessed bench-regress gate (bench/baselines/multitenant.fairness
+//     .json) watches exactly those keys.
+//
+//   * --soak N: N seeds × --soak-tenants tenants (default 100) through
+//     the same loop, every journal replayed through the per-tenant and
+//     cross-tenant invariant checkers. Emits a machine-checked summary
+//     (seeds_run / invariants_checked / violations / ok) and exits
+//     non-zero on any violation — the CI chaos gate asserts the fields,
+//     not just JSON parseability.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/json_writer.h"
+#include "tenancy/scheduler.h"
+#include "tenancy/soak.h"
+#include "tenancy/substrate.h"
+
+namespace geomap {
+namespace {
+
+struct PolicyCell {
+  tenancy::SchedulerPolicy policy = tenancy::SchedulerPolicy::kFifo;
+  double jain_index = 0;
+  double p99_stretch = 0;
+  double mean_stretch = 0;
+  double storm_drain_seconds = 0;
+  double requeues = 0;
+  double gave_up = 0;
+  std::int64_t violations = 0;
+};
+
+PolicyCell run_policy(tenancy::SchedulerPolicy policy,
+                      const std::vector<std::uint64_t>& seeds,
+                      tenancy::MultiTenantSoakOptions options) {
+  options.scheduler.policy = policy;
+  const tenancy::MultiTenantSoakReport report =
+      tenancy::run_multitenant_soak(seeds, options);
+
+  PolicyCell cell;
+  cell.policy = policy;
+  const double n = static_cast<double>(report.cases.size());
+  for (const tenancy::MultiTenantSoakCase& c : report.cases) {
+    cell.jain_index += c.fairness.jain_index / n;
+    cell.p99_stretch += c.fairness.p99_stretch / n;
+    cell.mean_stretch += c.fairness.mean_stretch / n;
+    cell.storm_drain_seconds += c.storm.storm_drain_seconds / n;
+    for (const fault::InvariantViolation& v : c.violations) {
+      std::cerr << "INVARIANT VIOLATION (policy " << to_string(policy)
+                << ", seed " << c.seed << "): t=" << v.t << " " << v.message
+                << "\n";
+    }
+  }
+  cell.requeues = report.total_requeues / n;
+  cell.gave_up = report.total_gave_up / n;
+  cell.violations = report.total_violations;
+  return cell;
+}
+
+void write_cell_fields(JsonWriter& w, const PolicyCell& cell) {
+  w.field("jain_index", cell.jain_index);
+  w.field("p99_stretch", cell.p99_stretch);
+  w.field("mean_stretch", cell.mean_stretch);
+  w.field("storm_drain_seconds", cell.storm_drain_seconds);
+  w.field("requeues", cell.requeues);
+  w.field("gave_up", cell.gave_up);
+  w.field("violations", cell.violations);
+}
+
+tenancy::MultiTenantSoakOptions make_options(const CliParser& cli,
+                                             int num_tenants) {
+  tenancy::MultiTenantSoakOptions options;
+  options.substrate.num_sites = static_cast<int>(cli.get_int("sites"));
+  options.substrate.num_tenants = num_tenants;
+  options.scheduler.max_concurrent =
+      static_cast<int>(cli.get_int("max-concurrent"));
+  return options;
+}
+
+std::vector<std::uint64_t> make_seeds(const CliParser& cli, int count) {
+  std::vector<std::uint64_t> seeds;
+  const auto base = static_cast<std::uint64_t>(cli.get_int("seed"));
+  for (int i = 0; i < count; ++i)
+    seeds.push_back(base + static_cast<std::uint64_t>(i));
+  return seeds;
+}
+
+int run_sweep(const CliParser& cli, bench::ObsSink& obs) {
+  const auto seeds = make_seeds(cli, static_cast<int>(cli.get_int("sweep")));
+  tenancy::MultiTenantSoakOptions options =
+      make_options(cli, static_cast<int>(cli.get_int("tenants")));
+  options.scheduler.collector = obs.collector();
+
+  const std::vector<tenancy::SchedulerPolicy> policies = {
+      tenancy::SchedulerPolicy::kFifo, tenancy::SchedulerPolicy::kSeverity,
+      tenancy::SchedulerPolicy::kFairShare};
+
+  std::vector<PolicyCell> cells;
+  cells.reserve(policies.size());
+  for (const tenancy::SchedulerPolicy policy : policies) {
+    cells.push_back(run_policy(policy, seeds, options));
+  }
+
+  std::int64_t violations = 0;
+  JsonWriter w(std::cout);
+  w.begin_object();
+  w.field("tenants", cli.get_int("tenants"));
+  w.field("sites", cli.get_int("sites"));
+  w.field("seeds", static_cast<std::int64_t>(seeds.size()));
+  w.key("cells").begin_array();
+  for (const PolicyCell& cell : cells) {
+    w.begin_object();
+    w.field("policy", std::string(to_string(cell.policy)));
+    write_cell_fields(w, cell);
+    w.end_object();
+    violations += cell.violations;
+  }
+  w.end_array();
+  // The bench-regress gate watches the fair-share cell under `fairness`.
+  w.key("fairness").begin_object();
+  write_cell_fields(w, cells.back());
+  w.end_object();
+  w.field("total_violations", violations);
+  w.field("ok", violations == 0);
+  w.end_object();
+  w.done();
+  std::cout << "\n";
+  obs.flush();
+  return violations == 0 ? 0 : 1;
+}
+
+int run_soak(const CliParser& cli) {
+  const auto seeds = make_seeds(cli, static_cast<int>(cli.get_int("soak")));
+  const tenancy::MultiTenantSoakOptions options =
+      make_options(cli, static_cast<int>(cli.get_int("soak-tenants")));
+  const tenancy::MultiTenantSoakReport report =
+      tenancy::run_multitenant_soak(seeds, options);
+
+  JsonWriter w(std::cout);
+  w.begin_object();
+  w.field("mode", std::string("multitenant-soak"));
+  w.field("seeds_run", report.seeds_run);
+  w.field("tenants_per_seed", cli.get_int("soak-tenants"));
+  w.key("cases").begin_array();
+  for (const tenancy::MultiTenantSoakCase& c : report.cases) {
+    w.begin_object();
+    w.field("seed", static_cast<std::int64_t>(c.seed));
+    w.field("tenants", c.tenants);
+    w.field("primary_site", c.primary_site);
+    w.field("outage_time", c.outage_time);
+    w.field("detected", c.detected);
+    w.field("suspected_correct", c.suspected_correct);
+    w.field("requests", c.requests);
+    w.field("requeues", c.storm.requeues);
+    w.field("gave_up", c.storm.gave_up);
+    w.field("storm_drain_seconds", c.storm.storm_drain_seconds);
+    w.field("jain_index", c.fairness.jain_index);
+    w.field("p99_stretch", c.fairness.p99_stretch);
+    w.field("invariants_checked", c.invariants_checked);
+    w.field("violations", static_cast<std::int64_t>(c.violations.size()));
+    w.end_object();
+    for (const fault::InvariantViolation& v : c.violations) {
+      std::cerr << "INVARIANT VIOLATION (seed " << c.seed << "): t=" << v.t
+                << " " << v.message << "\n";
+    }
+  }
+  w.end_array();
+  w.field("detected_cases", report.detected_cases);
+  w.field("total_requeues", report.total_requeues);
+  w.field("total_gave_up", report.total_gave_up);
+  w.field("invariants_checked", report.total_invariants_checked);
+  w.field("violations", report.total_violations);
+  w.field("ok", report.total_violations == 0);
+  w.end_object();
+  w.done();
+  std::cout << "\n";
+  return report.total_violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace geomap
+
+int main(int argc, char** argv) {
+  using geomap::CliParser;
+  CliParser cli(
+      "Multi-tenant substrate: scheduler-policy fairness sweep and the "
+      "100-tenant chaos soak");
+  cli.add_int("seed", 2017, "base random seed");
+  cli.add_int("sites", 6, "shared substrate sites");
+  cli.add_int("tenants", 12, "tenants in sweep mode");
+  cli.add_int("sweep", 3, "seeds per policy in sweep mode");
+  cli.add_int("max-concurrent", 2, "migrations in flight at once");
+  cli.add_int("soak", 0,
+              "run the multi-tenant chaos soak over this many seeds "
+              "instead of the sweep");
+  cli.add_int("soak-tenants", 100, "tenants per soak seed");
+  geomap::bench::add_obs_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  geomap::bench::ObsSink obs(cli);
+  if (cli.get_int("soak") > 0) return geomap::run_soak(cli);
+  return geomap::run_sweep(cli, obs);
+}

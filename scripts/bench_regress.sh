@@ -133,6 +133,36 @@ run_migrate_gate() {
   fi
 }
 
+# run_multitenant_gate <name>: the shared-substrate fairness sweep.
+# Deterministic end to end (seeded substrate, discrete-event storm), so
+# the fair-share cell's fairness leaves are stable. jain_index is
+# higher-is-better ('-' watch prefix: fail on a drop); stretch, drain
+# time and violations fail on growth. A nonzero bench exit is a
+# cross-tenant invariant violation and fails the gate outright. The
+# tenant-labeled timeline must render.
+run_multitenant_gate() {
+  local name=$1
+  shift
+  echo "== $name =="
+  mkdir -p "$OUT_DIR/$name"
+  "$BUILD_DIR/bench/bench_multitenant" "$@" \
+    --obs-dir "$OUT_DIR/$name" > "$OUT_DIR/$name/stdout.json" \
+    || { echo "cross-tenant invariant violation" >&2; FAILED=1; }
+  "$OBSCTL" timeline "$OUT_DIR/$name/timeline.json" > /dev/null || FAILED=1
+  if [[ $BLESS -eq 1 ]]; then
+    cp "$OUT_DIR/$name/stdout.json" "$BASELINE_DIR/$name.fairness.json"
+    echo "blessed $BASELINE_DIR/$name.fairness.json"
+  elif [[ -f $BASELINE_DIR/$name.fairness.json ]]; then
+    "$OBSCTL" check --threshold "$THRESHOLD" \
+      --watch '-fairness.jain_index,fairness.p99_stretch,fairness.storm_drain_seconds,fairness.violations,total_violations' \
+      "$BASELINE_DIR/$name.fairness.json" \
+      "$OUT_DIR/$name/stdout.json" || FAILED=1
+  else
+    echo "no baseline $BASELINE_DIR/$name.fairness.json — run with --bless" >&2
+    FAILED=1
+  fi
+}
+
 # The gate set: one healthy contention-replay bench, one faulted
 # remap-on-outage bench, the closed-loop detector head-to-head, and the
 # migration executor carrying a remap out — all small enough to finish in
@@ -142,6 +172,7 @@ run_gate fig6_sim_improvement bench_fig6_sim_improvement \
 run_gate fault_recovery bench_fault_recovery --ranks=16
 run_detector_gate detector_closed_loop --ranks=16
 run_migrate_gate fault_recovery_migrate --ranks=16
+run_multitenant_gate multitenant --tenants 12 --sweep 3
 
 if [[ $BLESS -eq 1 ]]; then
   echo "baselines written to $BASELINE_DIR/"

@@ -15,6 +15,9 @@
 //                                      artifact carries migration.bytes
 //                                      flows), the detection/truth tables
 //                                      and the precision/recall score block.
+//                                      Multi-tenant artifacts ("t<k>:s->d"
+//                                      labels) get one lane block per
+//                                      (tenant, link) under the shared view.
 //   diff <baseline> <current>          regression table over the numeric
 //                                      leaves of any two artifacts of the
 //                                      same kind (percent deltas; "meta" is
@@ -35,6 +38,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -347,11 +351,15 @@ int cmd_timeline(const std::vector<std::string>& args) {
   GEOMAP_CHECK_ARG(series != nullptr && series->is_object(),
                    "not a timeline artifact (no top-level 'series' object)");
 
-  // Per-link data for the lanes, keyed (src, dst). Links are the union of
-  // what the chosen metric observed, what the detector flagged and what
-  // the plan injected — a lane renders even when one side is empty, which
-  // is exactly the false-negative / false-positive picture.
-  using Link = std::pair<int, int>;
+  // Per-link data for the lanes, keyed (tenant, src, dst). Links are the
+  // union of what the chosen metric observed, what the detector flagged
+  // and what the plan injected — a lane renders even when one side is
+  // empty, which is exactly the false-negative / false-positive picture.
+  // Tenant -1 is the shared substrate view (unprefixed labels); a
+  // multi-tenant run's "t<k>:src->dst" series get their own lanes, so a
+  // remap storm reads as per-tenant migrate lanes stacked under the
+  // shared link telemetry.
+  using Link = std::tuple<int, int, int>;
   std::map<Link, std::vector<obs::TimePoint>> points;
   std::map<Link, std::vector<obs::TimePoint>> migration_points;
   std::map<Link, std::vector<const TimelineEpisode*>> lane_events;
@@ -370,8 +378,12 @@ int cmd_timeline(const std::vector<std::string>& args) {
   for (const auto& [key, s] : series->members()) {
     std::string name, label;
     split_series_key(key, &name, &label);
-    int src = -1, dst = -1;
-    const bool is_link = obs::parse_link_label(label, &src, &dst);
+    int tenant = -1, src = -1, dst = -1;
+    bool is_link = obs::parse_tenant_link_label(label, &tenant, &src, &dst);
+    if (!is_link) {
+      tenant = -1;
+      is_link = obs::parse_link_label(label, &src, &dst);
+    }
     const JsonValue* pts = s.find("points");
     std::size_t retained = 0;
     if (pts != nullptr && pts->is_array()) {
@@ -380,9 +392,10 @@ int cmd_timeline(const std::vector<std::string>& args) {
         if (!p.is_array() || p.items().size() != 2) continue;
         const Seconds t = p.items()[0].as_number();
         const double v = p.items()[1].as_number();
-        if (is_link && name == series_name) points[{src, dst}].push_back({t, v});
+        if (is_link && name == series_name)
+          points[{tenant, src, dst}].push_back({t, v});
         if (is_link && name == "migration.bytes")
-          migration_points[{src, dst}].push_back({t, v});
+          migration_points[{tenant, src, dst}].push_back({t, v});
         widen(t);
       }
     }
@@ -434,8 +447,9 @@ int cmd_timeline(const std::vector<std::string>& args) {
     }
   }
   for (const TimelineEpisode& e : detections)
-    lane_events[{e.src, e.dst}].push_back(&e);
-  for (const TimelineTruth& w : truth) lane_truth[{w.src, w.dst}].push_back(&w);
+    lane_events[{-1, e.src, e.dst}].push_back(&e);
+  for (const TimelineTruth& w : truth)
+    lane_truth[{-1, w.src, w.dst}].push_back(&w);
 
   print_banner(std::cout, "series (window over trailing " +
                               format_double(doc.number_or("window_seconds", 0),
@@ -472,7 +486,9 @@ int cmd_timeline(const std::vector<std::string>& args) {
                                 " | detect: ~ latency, X down | truth: = "
                                 "degraded, # outage | migrate: state bytes)");
     for (const auto& [link, unused] : links) {
-      std::cout << "link " << link.first << "->" << link.second << "\n";
+      const auto& [lane_tenant, lane_src, lane_dst] = link;
+      if (lane_tenant >= 0) std::cout << "t" << lane_tenant << " ";
+      std::cout << "link " << lane_src << "->" << lane_dst << "\n";
 
       const auto pit = points.find(link);
       if (pit != points.end() && !pit->second.empty()) {

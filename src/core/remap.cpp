@@ -152,10 +152,8 @@ RemapResult remap_on_outage(const mapping::MappingProblem& problem,
                          /*perceived=*/nullptr, "remap", options);
 }
 
-DetectionRemapResult remap_on_detection(
-    const mapping::MappingProblem& problem, const Mapping& current,
-    const std::vector<obs::DegradationEvent>& events,
-    const fault::FaultPlan& plan, const RemapOptions& options) {
+SuspectVote vote_suspected_site(
+    const std::vector<obs::DegradationEvent>& events) {
   // Vote: a down site shows up as down events on *many* of its incident
   // links; a single flaky link implicates each endpoint only once. Ties
   // on distinct links break by total down events (repeated episodes on
@@ -176,11 +174,9 @@ DetectionRemapResult remap_on_detection(
       vote.earliest_detect = std::min(vote.earliest_detect, e.detect_vtime);
     }
   }
-  GEOMAP_CHECK_ARG(!implicated.empty(),
-                   "remap_on_detection needs at least one down event — no "
-                   "actionable detection");
+  SuspectVote result;
+  if (implicated.empty()) return result;
 
-  DetectionRemapResult result;
   const Vote* best = nullptr;
   for (const auto& [site, vote] : implicated) {
     const bool wins =
@@ -193,18 +189,33 @@ DetectionRemapResult remap_on_detection(
     // ids ascending, so the smaller id wins the final tie.
     if (wins) {
       best = &vote;
-      result.suspected_site = site;
+      result.site = site;
     }
   }
 
   result.detection_time = std::numeric_limits<double>::infinity();
   for (const obs::DegradationEvent& e : events) {
     if (e.kind != obs::DegradationKind::kDown) continue;
-    if (e.src != result.suspected_site && e.dst != result.suspected_site)
-      continue;
+    if (e.src != result.site && e.dst != result.site) continue;
     result.down_events += 1;
     result.detection_time = std::min(result.detection_time, e.detect_vtime);
   }
+  return result;
+}
+
+DetectionRemapResult remap_on_detection(
+    const mapping::MappingProblem& problem, const Mapping& current,
+    const std::vector<obs::DegradationEvent>& events,
+    const fault::FaultPlan& plan, const RemapOptions& options) {
+  const SuspectVote vote = vote_suspected_site(events);
+  GEOMAP_CHECK_ARG(vote.site != -1,
+                   "remap_on_detection needs at least one down event — no "
+                   "actionable detection");
+
+  DetectionRemapResult result;
+  result.suspected_site = vote.site;
+  result.detection_time = vote.detection_time;
+  result.down_events = vote.down_events;
 
   // The perceived network: what the detector estimated, not the oracle
   // snapshot. Each latency episode active at detection time inflates its
@@ -235,6 +246,75 @@ DetectionRemapResult remap_on_detection(
                                  result.detection_time, &perceived,
                                  "detect_remap", options);
   return result;
+}
+
+Seconds RemapRetryPolicy::backoff(int attempt) const {
+  GEOMAP_CHECK_ARG(attempt >= 1, "backoff attempt must be >= 1, got "
+                                     << attempt);
+  Seconds wait = initial_backoff;
+  for (int i = 1; i < attempt; ++i) {
+    wait *= backoff_multiplier;
+    if (wait >= max_backoff) return max_backoff;
+  }
+  return std::min(wait, max_backoff);
+}
+
+void RemapRetryPolicy::validate() const {
+  GEOMAP_CHECK_ARG(max_attempts >= 1, "max_attempts must be >= 1, got "
+                                          << max_attempts);
+  GEOMAP_CHECK_ARG(initial_backoff >= 0,
+                   "initial_backoff must be non-negative, got "
+                       << initial_backoff);
+  GEOMAP_CHECK_ARG(backoff_multiplier >= 1.0,
+                   "backoff_multiplier must be >= 1, got "
+                       << backoff_multiplier);
+  GEOMAP_CHECK_ARG(max_backoff >= initial_backoff,
+                   "max_backoff " << max_backoff
+                                  << " must be >= initial_backoff "
+                                  << initial_backoff);
+}
+
+RetriedRemapResult remap_on_outage_with_retry(
+    const mapping::MappingProblem& problem, const Mapping& current,
+    const fault::FaultPlan& plan, SiteId failed_site, Seconds outage_time,
+    const RemapOptions& options, const RemapRetryPolicy& retry,
+    const CapacityProbe& capacities_at) {
+  retry.validate();
+
+  RetriedRemapResult result;
+  Seconds waited = 0;
+  std::string last_reason;
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    const Seconds t = outage_time + waited;
+    mapping::MappingProblem view = problem;
+    if (capacities_at != nullptr) {
+      view.capacities = capacities_at(t);
+      GEOMAP_CHECK_ARG(
+          view.capacities.size() ==
+              static_cast<std::size_t>(problem.num_sites()),
+          "capacity probe returned " << view.capacities.size()
+                                     << " sites, problem has "
+                                     << problem.num_sites());
+    }
+    try {
+      result.remap =
+          remap_on_outage(view, current, plan, failed_site, t, options);
+      result.attempts = attempt;
+      result.decided_at = t;
+      result.waited = waited;
+      return result;
+    } catch (const RemapInfeasible& e) {
+      last_reason = e.what();
+      if (attempt < retry.max_attempts) waited += retry.backoff(attempt);
+    }
+  }
+  std::ostringstream os;
+  os << "remap gave up after " << retry.max_attempts
+     << " infeasible attempts over " << waited
+     << " virtual seconds (outage at t=" << outage_time
+     << ", last attempt at t=" << outage_time + waited
+     << "): " << last_reason;
+  throw RemapGaveUp(os.str(), retry.max_attempts, outage_time + waited);
 }
 
 }  // namespace geomap::core

@@ -26,6 +26,7 @@
 //     is used for evaluation only (true costs, fault-aware replay,
 //     migration pricing) — never for the decision.
 
+#include <functional>
 #include <vector>
 
 #include "core/geodist_mapper.h"
@@ -134,5 +135,89 @@ DetectionRemapResult remap_on_detection(
     const mapping::MappingProblem& problem, const Mapping& current,
     const std::vector<obs::DegradationEvent>& events,
     const fault::FaultPlan& plan, const RemapOptions& options = {});
+
+/// The voting half of remap_on_detection, reusable on its own (a
+/// multi-tenant substrate detects once on the shared telemetry, then
+/// every affected tenant remaps against the same suspect). site == -1
+/// when `events` contains no down event.
+struct SuspectVote {
+  SiteId site = -1;
+  /// Earliest detect_vtime of a down event implicating the suspect.
+  Seconds detection_time = 0;
+  int down_events = 0;
+};
+SuspectVote vote_suspected_site(
+    const std::vector<obs::DegradationEvent>& events);
+
+// ---------------------------------------------------------------------------
+// Bounded wait-and-retry over RemapInfeasible
+//
+// A solo deployment that cannot host its processes on the survivors is
+// terminally out of headroom — RemapInfeasible is final. On a shared
+// substrate it usually is not: the capacity a tenant needs frees up as
+// *other* tenants' migrations commit and release their reservations. The
+// retry path turns RemapInfeasible from a fatal error into a
+// queue-and-retry signal: re-attempt the remap with exponentially spaced
+// virtual-time backoff, re-querying the capacity view before each
+// attempt, and give up with a *typed* error only after the attempt
+// budget is spent.
+
+struct RemapRetryPolicy {
+  /// Total attempts (the first try counts). Exhausted => RemapGaveUp.
+  int max_attempts = 5;
+  /// Virtual-time wait before the second attempt; each further attempt
+  /// multiplies by backoff_multiplier, capped at max_backoff.
+  Seconds initial_backoff = 0.5;
+  double backoff_multiplier = 2.0;
+  Seconds max_backoff = 30.0;
+
+  /// Wait before reattempt `attempt` (1-based: attempt 1 is the first
+  /// retry after the initial failure).
+  Seconds backoff(int attempt) const;
+
+  void validate() const;
+};
+
+/// Thrown when every attempt of the retry path came back RemapInfeasible
+/// — the capacity never freed. Carries the attempt count and the virtual
+/// time of the last attempt so schedulers can log the wait honestly.
+class RemapGaveUp : public Error {
+ public:
+  RemapGaveUp(const std::string& what, int attempts, Seconds gave_up_at)
+      : Error(what), attempts_(attempts), gave_up_at_(gave_up_at) {}
+  int attempts() const { return attempts_; }
+  Seconds gave_up_at() const { return gave_up_at_; }
+
+ private:
+  int attempts_;
+  Seconds gave_up_at_;
+};
+
+/// Per-site capacity available to this caller as of a virtual time. The
+/// returned vector must cover every site and include the caller's own
+/// residents (the remap core validates the current mapping against it);
+/// the failed site's entry is zeroed by the remap itself.
+using CapacityProbe = std::function<std::vector<int>(Seconds)>;
+
+struct RetriedRemapResult {
+  RemapResult remap;
+  /// Attempts consumed (1 = first try succeeded).
+  int attempts = 1;
+  /// Virtual time of the successful attempt (outage_time + total waited).
+  Seconds decided_at = 0;
+  Seconds waited = 0;
+};
+
+/// remap_on_outage with the wait-and-retry path: each attempt rebuilds
+/// the problem with `capacities_at(t)` (nullptr keeps problem.capacities
+/// fixed — then retries are pointless and the first RemapInfeasible
+/// escalates to RemapGaveUp after max_attempts identical failures).
+/// Throws RemapGaveUp when every attempt was infeasible; other errors
+/// (malformed input) propagate immediately.
+RetriedRemapResult remap_on_outage_with_retry(
+    const mapping::MappingProblem& problem, const Mapping& current,
+    const fault::FaultPlan& plan, SiteId failed_site, Seconds outage_time,
+    const RemapOptions& options = {}, const RemapRetryPolicy& retry = {},
+    const CapacityProbe& capacities_at = nullptr);
 
 }  // namespace geomap::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -368,6 +369,199 @@ std::vector<InvariantViolation> check_migration_invariants(
         os << "process " << p << " shipped " << wire_bytes[i]
            << " bytes, over the retry bound " << bound;
         flag(horizon, os.str());
+      }
+    }
+  }
+
+  std::stable_sort(violations.begin(), violations.end(),
+                   [](const InvariantViolation& a, const InvariantViolation& b) {
+                     return a.t < b.t;
+                   });
+  return violations;
+}
+
+std::vector<InvariantViolation> check_cross_tenant_invariants(
+    const std::vector<TenantJournal>& journals,
+    const std::vector<int>& site_capacities, const FaultPlan& plan) {
+  const int m = static_cast<int>(site_capacities.size());
+  const int num_tenants = static_cast<int>(journals.size());
+
+  std::vector<InvariantViolation> violations;
+  const auto flag = [&](Seconds t, const std::string& msg) {
+    violations.push_back({t, at(t) + msg});
+  };
+
+  // Aggregate ledger across all tenants, plus per-tenant home/reservation
+  // shadows so commits and releases mutate it correctly even when a
+  // tenant's own journal is sloppy (the per-tenant checker reports that;
+  // here we only keep the sums honest).
+  std::vector<int> resident(static_cast<std::size_t>(m), 0);
+  std::vector<int> reserved(static_cast<std::size_t>(m), 0);
+  std::vector<Mapping> home(static_cast<std::size_t>(num_tenants));
+  std::vector<std::vector<SiteId>> reserved_site(
+      static_cast<std::size_t>(num_tenants));
+
+  for (int k = 0; k < num_tenants; ++k) {
+    const TenantJournal& j = journals[static_cast<std::size_t>(k)];
+    home[static_cast<std::size_t>(k)] = j.initial_mapping;
+    reserved_site[static_cast<std::size_t>(k)]
+        .assign(j.initial_mapping.size(), -1);
+    for (const SiteId s : j.initial_mapping) {
+      GEOMAP_CHECK_ARG(s >= 0 && s < m, "tenant " << k
+                                                  << " initially homed on "
+                                                     "invalid site "
+                                                  << s);
+      resident[static_cast<std::size_t>(s)] += 1;
+    }
+  }
+  for (SiteId s = 0; s < m; ++s) {
+    const std::size_t i = static_cast<std::size_t>(s);
+    if (resident[i] > site_capacities[i]) {
+      std::ostringstream os;
+      os << "initial placements oversubscribe site " << s << ": " << resident[i]
+         << " residents across tenants > capacity " << site_capacities[i];
+      flag(0, os.str());
+    }
+  }
+
+  // Merge: stable sort by time over (tenant, index) refs. Ties keep the
+  // original order — tenant-major, then per-tenant journal order — so the
+  // merged replay is deterministic for identical inputs.
+  struct Ref {
+    Seconds t;
+    int tenant;
+    std::size_t idx;
+  };
+  std::vector<Ref> merged;
+  for (int k = 0; k < num_tenants; ++k) {
+    const auto& events = journals[static_cast<std::size_t>(k)].events;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      merged.push_back({events[i].t, k, i});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Ref& a, const Ref& b) { return a.t < b.t; });
+
+  const auto check_capacity = [&](Seconds t, SiteId s, int tenant) {
+    const std::size_t i = static_cast<std::size_t>(s);
+    if (resident[i] + reserved[i] > site_capacities[i]) {
+      std::ostringstream os;
+      os << "site " << s << " oversubscribed across tenants (tenant " << tenant
+         << "'s event tipped it): " << resident[i] << " residents + "
+         << reserved[i] << " reserved > " << site_capacities[i];
+      flag(t, os.str());
+    }
+    if (resident[i] < 0 || reserved[i] < 0) {
+      std::ostringstream os;
+      os << "aggregate accounting for site " << s << " went negative ("
+         << resident[i] << " residents, " << reserved[i] << " reserved)";
+      flag(t, os.str());
+    }
+  };
+
+  // Per-ordered-link wire bytes, summed over tenants.
+  std::map<std::pair<SiteId, SiteId>, Bytes> link_bytes;
+
+  Seconds last_t = 0;
+  for (const Ref& ref : merged) {
+    const TenantJournal& j = journals[static_cast<std::size_t>(ref.tenant)];
+    const MigrationEvent& e = j.events[ref.idx];
+    last_t = std::max(last_t, e.t);
+    const int n = static_cast<int>(home[static_cast<std::size_t>(ref.tenant)]
+                                       .size());
+    if (e.kind != MigrationEventKind::kReplan &&
+        (e.process < 0 || e.process >= n)) {
+      continue;  // per-tenant checker reports the malformed event
+    }
+    auto& t_home = home[static_cast<std::size_t>(ref.tenant)];
+    auto& t_res = reserved_site[static_cast<std::size_t>(ref.tenant)];
+    const std::size_t p =
+        static_cast<std::size_t>(std::max<ProcessId>(e.process, 0));
+
+    switch (e.kind) {
+      case MigrationEventKind::kReserve: {
+        if (e.site_to < 0 || e.site_to >= m || t_res[p] != -1) break;
+        reserved[static_cast<std::size_t>(e.site_to)] += 1;
+        t_res[p] = e.site_to;
+        check_capacity(e.t, e.site_to, ref.tenant);
+        break;
+      }
+      case MigrationEventKind::kRelease: {
+        if (t_res[p] != e.site_to) break;
+        reserved[static_cast<std::size_t>(e.site_to)] -= 1;
+        t_res[p] = -1;
+        check_capacity(e.t, e.site_to, ref.tenant);
+        break;
+      }
+      case MigrationEventKind::kCommit: {
+        if (e.site_to < 0 || e.site_to >= m) break;
+        const SiteId cur = t_home[p];
+        if (cur >= 0 && cur < m) resident[static_cast<std::size_t>(cur)] -= 1;
+        if (t_res[p] == e.site_to) {
+          reserved[static_cast<std::size_t>(e.site_to)] -= 1;
+          t_res[p] = -1;
+        }
+        resident[static_cast<std::size_t>(e.site_to)] += 1;
+        t_home[p] = e.site_to;
+        check_capacity(e.t, e.site_to, ref.tenant);
+        if (cur >= 0 && cur < m) check_capacity(e.t, cur, ref.tenant);
+        break;
+      }
+      case MigrationEventKind::kChunk: {
+        if (e.bytes < 0) break;
+        link_bytes[{e.site_from, e.site_to}] += e.bytes;
+        break;
+      }
+      case MigrationEventKind::kRollback:
+      case MigrationEventKind::kReplan:
+        break;
+    }
+  }
+
+  // End state: every tenant's committed homes must be off the permanently
+  // dead sites. Probed far in the future, not at last_t: a permanent
+  // outage is forever, and the stranded tenant whose every remap attempt
+  // failed has an *empty* journal — its doom must still be reported even
+  // when the outage starts after the last recorded event.
+  const Seconds far_future = std::numeric_limits<double>::max() / 2;
+  for (int k = 0; k < num_tenants; ++k) {
+    const auto& t_home = home[static_cast<std::size_t>(k)];
+    for (std::size_t p = 0; p < t_home.size(); ++p) {
+      if (permanently_down(plan, t_home[p], far_future)) {
+        std::ostringstream os;
+        os << "tenant " << k << " process " << p
+           << " ends committed to permanently dead site " << t_home[p];
+        flag(last_t, os.str());
+      }
+    }
+  }
+
+  // Per-link byte bound: each ordered link may carry at most the sum of
+  // every tenant's (processes × per-process chunk/retry bound). Skipped
+  // when any tenant ran without byte bounds — the sum is meaningless then.
+  bool bounded = num_tenants > 0;
+  Bytes summed_bound = 0;
+  for (const TenantJournal& j : journals) {
+    if (j.options.planned_bytes_per_process <= 0 || j.options.chunk_bytes <= 0) {
+      bounded = false;
+      break;
+    }
+    const double chunks = std::ceil(j.options.planned_bytes_per_process /
+                                    j.options.chunk_bytes);
+    const Bytes per_process = chunks * j.options.chunk_bytes *
+                              (1.0 + j.options.max_retries) *
+                              j.options.max_copy_attempts;
+    summed_bound +=
+        per_process * static_cast<double>(j.initial_mapping.size());
+  }
+  if (bounded) {
+    for (const auto& [link, bytes] : link_bytes) {
+      if (bytes > summed_bound) {
+        std::ostringstream os;
+        os << "link " << link.first << "->" << link.second << " carried "
+           << bytes << " bytes, over the summed cross-tenant bound "
+           << summed_bound;
+        flag(last_t, os.str());
       }
     }
   }

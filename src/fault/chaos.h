@@ -156,4 +156,45 @@ std::vector<InvariantViolation> check_migration_invariants(
     const std::vector<int>& capacities, const FaultPlan& plan,
     const MigrationInvariantOptions& options);
 
+// ---------------------------------------------------------------------------
+// Cross-tenant invariants
+//
+// Each tenant's journal certifies its own protocol (run it through
+// check_migration_invariants with the tenant's own view). The shared
+// substrate makes promises no single journal can certify: the *sum* of
+// every tenant's residents and reservations stays within each site's
+// physical capacity at every instant (two tenants reserving the same last
+// slot is double-booking, even though each journal is individually
+// clean), and each ordered inter-site link carries no more bytes than the
+// sum of every tenant's chunk/retry budget. check_cross_tenant_invariants
+// merges the journals into one time-ordered stream (ties break by tenant
+// index, then per-tenant event order — deterministic) and replays the
+// aggregate ledger.
+
+/// One tenant's contribution to the shared-substrate replay.
+struct TenantJournal {
+  /// Time-ordered protocol events, as handed to the per-tenant checker.
+  std::vector<MigrationEvent> events;
+  /// Committed homes when the tenant arrived on the substrate.
+  Mapping initial_mapping;
+  /// The byte bounds this tenant's executor ran with (horizon is taken
+  /// from the merged stream, not per tenant). Tenants with zero
+  /// planned_bytes_per_process or chunk_bytes disable the per-link byte
+  /// bound for the whole check — an unbounded tenant makes the summed
+  /// bound meaningless.
+  MigrationInvariantOptions options;
+};
+
+/// Replay all journals against the shared `site_capacities` and report
+/// aggregate violations: over-capacity instants (residents + reservations
+/// summed over tenants), negative aggregate accounting, tenants ending
+/// homed on permanently dead sites, and per-ordered-link wire bytes above
+/// the summed per-tenant chunk/retry bound. Violation messages name the
+/// offending tenant by index. Per-tenant protocol errors (stale commits,
+/// leaked reservations) are the per-tenant checker's job and are not
+/// re-reported here.
+std::vector<InvariantViolation> check_cross_tenant_invariants(
+    const std::vector<TenantJournal>& journals,
+    const std::vector<int>& site_capacities, const FaultPlan& plan);
+
 }  // namespace geomap::fault

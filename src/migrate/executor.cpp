@@ -310,8 +310,9 @@ class Engine {
       if (timeline_ != nullptr) {
         obs::TimeSeries*& series = tl_latency_[link_index(src, dst)];
         if (series == nullptr) {
-          series = &timeline_->series("link.latency_ratio",
-                                      obs::link_label(src, dst));
+          series = &timeline_->series(
+              "link.latency_ratio",
+              options_.timeline_label_prefix + obs::link_label(src, dst));
         }
         const Seconds healthy = count * degraded_.base().latency(src, dst) +
                                 volume / degraded_.base().bandwidth(src, dst);
@@ -504,7 +505,9 @@ class Engine {
     if (timeline_ != nullptr && s != d) {
       obs::TimeSeries*& series = tl_migration_[link];
       if (series == nullptr) {
-        series = &timeline_->series("migration.bytes", obs::link_label(s, d));
+        series = &timeline_->series(
+            "migration.bytes",
+            options_.timeline_label_prefix + obs::link_label(s, d));
       }
       series->record(start, bytes);
     }

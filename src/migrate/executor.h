@@ -37,6 +37,7 @@
 // is opt-in; with nullptr the report is bit-identical to an
 // uninstrumented run (asserted by tests).
 
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -95,6 +96,13 @@ struct MigrationOptions {
   /// virtual spans, and migration.bytes timeline series. nullptr runs
   /// the exact uninstrumented path with a bit-identical report.
   obs::Collector* collector = nullptr;
+
+  /// Prepended to the per-link labels of the timeline series this
+  /// executor records ("migration.bytes", "link.latency_ratio"). A
+  /// multi-tenant run sets "t<k>:" per tenant (obs::tenant_link_label) so
+  /// overlapping migrations render as separate lanes on one shared
+  /// timeline; empty keeps the plain "src->dst" labels.
+  std::string timeline_label_prefix;
 
   /// Journal protocol transitions into MigrationReport::events (the
   /// invariant checker's input). Off saves the allocation in benches

@@ -188,4 +188,26 @@ bool parse_link_label(const std::string& label, int* src, int* dst) {
   return true;
 }
 
+std::string tenant_link_label(int tenant, int src, int dst) {
+  return "t" + std::to_string(tenant) + ":" + link_label(src, dst);
+}
+
+bool parse_tenant_link_label(const std::string& label, int* tenant, int* src,
+                             int* dst) {
+  if (label.size() < 2 || label[0] != 't') return false;
+  const std::size_t colon = label.find(':');
+  if (colon == std::string::npos || colon < 2) return false;
+  const std::string digits = label.substr(1, colon - 1);
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  int s = 0;
+  int d = 0;
+  if (!parse_link_label(label.substr(colon + 1), &s, &d)) return false;
+  *tenant = std::stoi(digits);
+  *src = s;
+  *dst = d;
+  return true;
+}
+
 }  // namespace geomap::obs

@@ -151,4 +151,15 @@ std::string link_label(int src, int dst);
 /// when the label is not of that form.
 bool parse_link_label(const std::string& label, int* src, int* dst);
 
+/// Tenant-scoped link label "t<k>:src->dst" — the multi-tenant substrate
+/// records each tenant's per-link series under these so overlapping
+/// migrations render as separate timeline lanes.
+std::string tenant_link_label(int tenant, int src, int dst);
+
+/// Parse a "t<k>:src->dst" label; returns false (outputs untouched) when
+/// the label is not of that form. Plain "src->dst" labels return false —
+/// use parse_link_label for those.
+bool parse_tenant_link_label(const std::string& label, int* tenant, int* src,
+                             int* dst);
+
 }  // namespace geomap::obs

@@ -72,6 +72,86 @@ ContentionResult replay_with_contention(const trace::CommMatrix& comm,
                                         obs::Collector* collector = nullptr,
                                         const char* label = "sim/replay");
 
+// ---------------------------------------------------------------------------
+// Multi-tenant replay: K independent jobs sharing one substrate
+//
+// The per-link serialization above assumes every flow belongs to one
+// application. A geo-distributed substrate hosts many: each tenant has
+// its own communication graph and mapping, but the ordered site-pair
+// links are shared, so one tenant's burst queues behind another's. The
+// multi-tenant replay interleaves *all* tenants' flows on one shared set
+// of serializing links, deterministically: the pending-flow queue is
+// ordered by (issue time, tenant id, process id, edge index), a total
+// order, so identical inputs produce bit-identical per-tenant results
+// regardless of tenant count or host scheduling.
+
+/// One tenant's workload on the shared substrate (non-owning; both must
+/// outlive the replay call).
+struct TenantFlow {
+  const trace::CommMatrix* comm = nullptr;
+  const Mapping* mapping = nullptr;
+};
+
+struct MultiTenantReplayOptions {
+  /// Virtual time the replay (and the fault plan's schedule) starts at.
+  Seconds start_time = 0;
+
+  /// Times each process re-issues its edge list (an iterative
+  /// application's rounds). One round often completes before a
+  /// mid-horizon fault even starts; an observation run sizes this so
+  /// traffic spans the chaos horizon and the detector sees post-outage
+  /// telemetry.
+  int rounds = 1;
+
+  /// Permanent-outage semantics. The single-tenant fault-aware replay
+  /// throws when an edge would wait forever; a multi-tenant observation
+  /// run must instead keep going so the detector gets telemetry from
+  /// *after* the death. With force_through, an edge whose endpoints never
+  /// come back up is delivered after `force_timeout` extra virtual
+  /// seconds (the runtime's retry-exhaustion semantics) and a
+  /// `link.timeout` point is recorded — exactly the down signal the
+  /// degradation detector keys on.
+  bool force_through = true;
+  Seconds force_timeout = 2.0;
+
+  /// Observability (opt-in, not owned): `link.latency_ratio` and
+  /// `link.timeout` per-link series on the shared timeline plus
+  /// sim.mt_* counters. nullptr replays the exact uninstrumented path
+  /// with bit-identical results.
+  obs::Collector* collector = nullptr;
+  const char* label = "sim/multitenant";
+};
+
+/// Per-tenant view of a shared replay.
+struct TenantReplayResult {
+  /// Last completion of this tenant's flows minus start_time.
+  Seconds makespan = 0;
+  Seconds total_transfer_seconds = 0;
+  /// Edges delivered by the force-through path (0 on healthy runs).
+  int forced_edges = 0;
+};
+
+struct MultiTenantReplayResult {
+  std::vector<TenantReplayResult> tenants;
+  /// Max over tenants.
+  Seconds makespan = 0;
+  Seconds busiest_link_seconds = 0;
+};
+
+/// Replay every tenant's traffic concurrently on the shared serializing
+/// links under `model`'s fault plan. Bit-reproducible: identical inputs
+/// give identical results across runs and machines. A fault-free
+/// single-tenant call reproduces replay_with_contention's
+/// total_transfer_seconds exactly (the per-edge prices are identical;
+/// the issue interleaving may differ on ties because this queue's
+/// tie-break is total). Throws InvalidArgument on malformed tenants and
+/// Error when an edge crosses a permanent outage with force_through
+/// disabled.
+MultiTenantReplayResult replay_multitenant(
+    const std::vector<TenantFlow>& tenants,
+    const fault::DegradedNetworkModel& model,
+    const MultiTenantReplayOptions& options = {});
+
 /// Earliest time >= t at which *both* endpoint sites of ordered link
 /// (src, dst) are simultaneously up under `plan`; fault::kNoEnd when a
 /// permanent outage makes the wait unbounded. Shared by the fault-aware

@@ -1,0 +1,205 @@
+#include "tenancy/soak.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+#include "core/remap.h"
+#include "fault/degraded_network.h"
+#include "fault/fault_plan.h"
+#include "obs/collector.h"
+#include "obs/detector.h"
+#include "sim/netsim.h"
+
+namespace geomap::tenancy {
+
+void MultiTenantSoakOptions::validate() const {
+  substrate.validate();
+  GEOMAP_CHECK_ARG(bytes_per_process >= 0,
+                   "bytes_per_process must be >= 0, got " << bytes_per_process);
+  GEOMAP_CHECK_ARG(chunk_bytes > 0,
+                   "chunk_bytes must be > 0, got " << chunk_bytes);
+  GEOMAP_CHECK_ARG(app_rounds >= 1,
+                   "app_rounds must be >= 1, got " << app_rounds);
+}
+
+namespace {
+
+std::vector<sim::TenantFlow> flows_of(const Substrate& substrate) {
+  std::vector<sim::TenantFlow> flows;
+  flows.reserve(substrate.tenants.size());
+  for (const Tenant& t : substrate.tenants) {
+    flows.push_back({&t.problem.comm, &t.mapping});
+  }
+  return flows;
+}
+
+}  // namespace
+
+MultiTenantSoakCase run_multitenant_soak_case(
+    std::uint64_t seed, const MultiTenantSoakOptions& options) {
+  options.validate();
+  MultiTenantSoakCase result;
+  result.seed = seed;
+
+  // 1. Substrate + solo baselines.
+  Substrate substrate = make_substrate(seed, options.substrate);
+  result.tenants = substrate.num_tenants();
+  const net::NetworkModel& network = substrate.tenants.front().problem.network;
+
+  // 2. Healthy shared replay calibrates the horizon.
+  const fault::FaultPlan no_faults;
+  const fault::DegradedNetworkModel healthy(network, no_faults);
+  sim::MultiTenantReplayOptions calibrate;
+  calibrate.rounds = options.app_rounds;
+  const Seconds healthy_makespan =
+      sim::replay_multitenant(flows_of(substrate), healthy, calibrate)
+          .makespan;
+
+  fault::ChaosOptions chaos = options.chaos;
+  chaos.num_sites = substrate.num_sites();
+  chaos.horizon = healthy_makespan;
+  if (chaos.migration_window_length <= 0) {
+    chaos.migration_window_length = 1.5 * healthy_makespan;
+    if (chaos.migration_window_faults == 0) chaos.migration_window_faults = 2;
+  }
+  const fault::ChaosPlan chaos_plan = fault::make_chaos_plan(seed, chaos);
+  result.primary_site = chaos_plan.primary_site;
+  result.outage_time = chaos_plan.primary_outage_time;
+  const fault::DegradedNetworkModel degraded(network, chaos_plan.plan);
+
+  // 3. Observation run under fire, telemetry on. Force-through keeps the
+  //    replay terminating with the primary permanently dead and records
+  //    the link.timeout signals the detector keys on.
+  obs::Collector telemetry;
+  sim::MultiTenantReplayOptions observe;
+  observe.rounds = options.app_rounds;
+  observe.collector = &telemetry;
+  sim::replay_multitenant(flows_of(substrate), degraded, observe);
+
+  // 4. Detect once on the shared timeline; every affected tenant reuses
+  //    the same suspect. Fall back to the oracle when detection saw
+  //    nothing or accused the wrong site — the storm must run either way.
+  obs::DegradationDetector detector;
+  detector.scan(telemetry.timeline());
+  const core::SuspectVote vote = core::vote_suspected_site(detector.events());
+  result.detected = vote.site != -1;
+  result.suspected_correct = vote.site == chaos_plan.primary_site;
+  const bool usable = result.detected && result.suspected_correct;
+  result.detect_time =
+      usable ? vote.detection_time : chaos_plan.primary_outage_time;
+  const SiteId failed = chaos_plan.primary_site;
+
+  // 5. Every tenant homed on the dead site queues a remap request.
+  std::vector<RemapRequest> requests;
+  for (const Tenant& t : substrate.tenants) {
+    int stranded = 0;
+    for (const SiteId s : t.mapping) {
+      if (s == failed) stranded += 1;
+    }
+    if (stranded == 0) continue;
+    RemapRequest r;
+    r.tenant = t.id;
+    r.request_time = result.detect_time;
+    r.severity = static_cast<double>(stranded) /
+                 static_cast<double>(t.mapping.size());
+    requests.push_back(r);
+  }
+  result.requests = static_cast<int>(requests.size());
+
+  SchedulerOptions sched = options.scheduler;
+  sched.migrate.bytes_per_process = options.bytes_per_process;
+  sched.migrate.chunk_bytes = options.chunk_bytes;
+  sched.remap.bytes_per_process = options.bytes_per_process;
+  if (sched.collector == nullptr) sched.collector = &telemetry;
+
+  // At-grant placements feed the checkers: one storm, so every tenant's
+  // journal starts from its substrate placement.
+  std::vector<Mapping> initial;
+  initial.reserve(substrate.tenants.size());
+  for (const Tenant& t : substrate.tenants) initial.push_back(t.mapping);
+
+  result.storm =
+      run_remap_storm(substrate, chaos_plan.plan, failed, requests, sched);
+
+  // 6. Certify every granted journal, then the merged cross-tenant view.
+  fault::MigrationInvariantOptions inv;
+  inv.planned_bytes_per_process = options.bytes_per_process;
+  inv.chunk_bytes = options.chunk_bytes;
+  inv.max_retries = sched.migrate.retry.max_retries;
+  inv.max_copy_attempts = sched.migrate.max_copy_attempts +
+                          sched.migrate.max_replans +
+                          sched.migrate.max_emergency_attempts;
+
+  std::vector<fault::TenantJournal> journals(
+      static_cast<std::size_t>(substrate.num_tenants()));
+  for (int k = 0; k < substrate.num_tenants(); ++k) {
+    journals[static_cast<std::size_t>(k)].initial_mapping =
+        initial[static_cast<std::size_t>(k)];
+    journals[static_cast<std::size_t>(k)].options = inv;
+  }
+  for (const TenantRecovery& rec : result.storm.recoveries) {
+    if (!rec.granted) continue;
+    journals[static_cast<std::size_t>(rec.tenant)].events = rec.report.events;
+    fault::MigrationInvariantOptions tenant_inv = inv;
+    tenant_inv.horizon = rec.report.finish_time;
+    const std::vector<fault::InvariantViolation> v =
+        fault::check_migration_invariants(
+            rec.report.events, initial[static_cast<std::size_t>(rec.tenant)],
+            substrate.site_capacities, chaos_plan.plan, tenant_inv);
+    result.invariants_checked += 1;
+    for (const fault::InvariantViolation& viol : v) {
+      result.violations.push_back(
+          {viol.t, "tenant " + std::to_string(rec.tenant) + ": " +
+                       viol.message});
+    }
+  }
+  const std::vector<fault::InvariantViolation> cross =
+      fault::check_cross_tenant_invariants(journals, substrate.site_capacities,
+                                           chaos_plan.plan);
+  result.invariants_checked += 1;
+  for (const fault::InvariantViolation& viol : cross) {
+    result.violations.push_back({viol.t, "cross-tenant: " + viol.message});
+  }
+
+  // Post-recovery stretch: the shared fault-aware replay of the final
+  // mappings from the storm's end, against each tenant's solo baseline.
+  Seconds recovery_end = result.detect_time;
+  for (const TenantRecovery& rec : result.storm.recoveries) {
+    if (rec.granted) recovery_end = std::max(recovery_end, rec.finish_time);
+  }
+  sim::MultiTenantReplayOptions post;
+  post.start_time = recovery_end;
+  const sim::MultiTenantReplayResult shared =
+      sim::replay_multitenant(flows_of(substrate), degraded, post);
+  std::vector<double> stretch;
+  stretch.reserve(substrate.tenants.size());
+  for (int k = 0; k < substrate.num_tenants(); ++k) {
+    const Tenant& t = substrate.tenants[static_cast<std::size_t>(k)];
+    const Seconds solo = t.solo_makespan > 0 ? t.solo_makespan : 1.0;
+    stretch.push_back(
+        shared.tenants[static_cast<std::size_t>(k)].makespan / solo);
+  }
+  result.fairness = fairness_from_stretch(stretch);
+  return result;
+}
+
+MultiTenantSoakReport run_multitenant_soak(
+    const std::vector<std::uint64_t>& seeds,
+    const MultiTenantSoakOptions& options) {
+  MultiTenantSoakReport report;
+  report.cases.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    report.cases.push_back(run_multitenant_soak_case(seed, options));
+    const MultiTenantSoakCase& c = report.cases.back();
+    report.seeds_run += 1;
+    report.total_violations += static_cast<int>(c.violations.size());
+    report.total_invariants_checked += c.invariants_checked;
+    report.total_requeues += c.storm.requeues;
+    report.total_gave_up += c.storm.gave_up;
+    if (c.detected) report.detected_cases += 1;
+  }
+  return report;
+}
+
+}  // namespace geomap::tenancy

@@ -1,0 +1,103 @@
+#pragma once
+// Multi-tenant chaos soak: observe → detect → remap-storm → migrate for
+// 100+ tenants sharing one substrate, under fire, with every journal
+// certified.
+//
+// One case is one complete story:
+//
+//   1. make_substrate synthesizes K tenants on a shared cloud and maps
+//      them capacity-aware; solo replays anchor the fairness baseline;
+//   2. a healthy shared replay (sim::replay_multitenant) calibrates the
+//      virtual horizon; a chaos plan (fault/chaos.h) is drawn for it;
+//   3. the shared replay reruns under the plan with telemetry on —
+//      force-through delivery records the link.timeout points a
+//      permanently dead region produces;
+//   4. the degradation detector scans the *shared* timeline once;
+//      core::vote_suspected_site names the suspect (falling back to the
+//      oracle when detection saw nothing or accused the wrong site —
+//      recorded honestly, the soak's subject is the scheduler);
+//   5. every tenant homed on the dead site files a RemapRequest
+//      (severity = fraction of its ranks stranded) and the scheduler
+//      drains the storm under the configured policy;
+//   6. every granted journal replays through
+//      fault::check_migration_invariants, and the merged journals (plus
+//      bystander tenants' static placements) through
+//      check_cross_tenant_invariants; the post-recovery shared replay
+//      yields per-tenant stretch and Jain's index.
+//
+// Deterministic end to end: every stage is seeded or discrete-event, so
+// one (seed, options) pair always produces byte-identical journals —
+// which is what makes the scheduler-determinism tests meaningful.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "fault/chaos.h"
+#include "tenancy/scheduler.h"
+#include "tenancy/substrate.h"
+
+namespace geomap::tenancy {
+
+struct MultiTenantSoakOptions {
+  SubstrateOptions substrate;
+  /// Chaos shape; num_sites and horizon are filled in per case. The
+  /// primary outage is the storm trigger.
+  fault::ChaosOptions chaos;
+  SchedulerOptions scheduler;
+  /// Rounds each tenant's app body re-issues its communication pattern
+  /// in the calibration and observation replays. One pass often drains
+  /// before a mid-horizon outage even starts; several rounds keep
+  /// traffic flowing past it so the detector gets post-outage timeouts.
+  /// The stretch replays stay single-pass (both sides of the ratio).
+  int app_rounds = 6;
+  /// Migrated state per process — kept small so a 100-tenant storm
+  /// drains within a few horizons.
+  Bytes bytes_per_process = 2.0 * kMiB;
+  Bytes chunk_bytes = 512.0 * 1024;
+
+  void validate() const;
+};
+
+struct MultiTenantSoakCase {
+  std::uint64_t seed = 0;
+  int tenants = 0;
+  SiteId primary_site = -1;
+  Seconds outage_time = 0;
+
+  /// Detection outcome (honest: the oracle fallback still runs the storm).
+  bool detected = false;
+  bool suspected_correct = false;
+  Seconds detect_time = 0;
+
+  int requests = 0;
+  StormReport storm;
+  /// Post-recovery stretch vs solo baselines, all tenants.
+  FairnessReport fairness;
+
+  /// Journals replayed through a checker (granted tenants + 1 cross-
+  /// tenant pass).
+  int invariants_checked = 0;
+  /// Per-tenant and cross-tenant violations, merged ("tenant k: ..."-
+  /// prefixed for the per-tenant ones).
+  std::vector<fault::InvariantViolation> violations;
+};
+
+struct MultiTenantSoakReport {
+  std::vector<MultiTenantSoakCase> cases;
+  int seeds_run = 0;
+  int total_violations = 0;
+  int total_invariants_checked = 0;
+  int total_requeues = 0;
+  int total_gave_up = 0;
+  int detected_cases = 0;
+};
+
+MultiTenantSoakCase run_multitenant_soak_case(
+    std::uint64_t seed, const MultiTenantSoakOptions& options);
+
+MultiTenantSoakReport run_multitenant_soak(
+    const std::vector<std::uint64_t>& seeds,
+    const MultiTenantSoakOptions& options);
+
+}  // namespace geomap::tenancy

@@ -1,0 +1,142 @@
+#include "tenancy/substrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/geodist_mapper.h"
+#include "net/cloud.h"
+#include "net/network_model.h"
+#include "sim/netsim.h"
+#include "trace/comm_matrix.h"
+
+namespace geomap::tenancy {
+
+void SubstrateOptions::validate() const {
+  GEOMAP_CHECK_ARG(num_sites >= 3,
+                   "substrate needs >= 3 sites (one dies and remaps must "
+                   "still have a choice), got "
+                       << num_sites);
+  GEOMAP_CHECK_ARG(num_tenants >= 1,
+                   "substrate needs >= 1 tenant, got " << num_tenants);
+  GEOMAP_CHECK_ARG(min_ranks >= 2 && max_ranks >= min_ranks,
+                   "rank range [" << min_ranks << ", " << max_ranks
+                                  << "] must satisfy 2 <= min <= max");
+  GEOMAP_CHECK_ARG(headroom >= 0, "headroom must be >= 0, got " << headroom);
+  GEOMAP_CHECK_ARG(constraint_ratio >= 0.0 && constraint_ratio < 1.0,
+                   "constraint_ratio must be in [0, 1), got "
+                       << constraint_ratio);
+}
+
+namespace {
+
+/// A tenant's communication graph: ring plus sparse random extras, the
+/// same shape the single-tenant soak uses, drawn from the tenant's own
+/// stream so tenant k's graph is independent of the tenant count.
+trace::CommMatrix make_tenant_comm(Rng& rng, int ranks) {
+  trace::CommMatrix::Builder b(ranks);
+  for (ProcessId i = 0; i < ranks; ++i) {
+    const auto ring = static_cast<ProcessId>((i + 1) % ranks);
+    b.add_message(i, ring, rng.uniform(64.0 * 1024, 512.0 * 1024),
+                  static_cast<double>(rng.uniform_int(2, 20)));
+    const auto j = static_cast<ProcessId>(
+        rng.uniform_index(static_cast<std::size_t>(ranks)));
+    if (j != i) {
+      b.add_message(i, j, rng.uniform(16.0 * 1024, 256.0 * 1024),
+                    static_cast<double>(rng.uniform_int(1, 10)));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+std::vector<int> Substrate::residents() const {
+  std::vector<int> r(site_capacities.size(), 0);
+  for (const Tenant& t : tenants) {
+    for (const SiteId s : t.mapping) r[static_cast<std::size_t>(s)] += 1;
+  }
+  return r;
+}
+
+Substrate make_substrate(std::uint64_t seed, const SubstrateOptions& options) {
+  options.validate();
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x7e4a);
+
+  // Draw tenant sizes first so capacity can be sized to fit them all on
+  // the survivors of one site death, with headroom for remap freedom.
+  std::vector<int> ranks(static_cast<std::size_t>(options.num_tenants));
+  int total_ranks = 0;
+  for (int& r : ranks) {
+    r = static_cast<int>(rng.uniform_int(options.min_ranks, options.max_ranks));
+    total_ranks += r;
+  }
+  const int survivors = options.num_sites - 1;
+  const int needed = static_cast<int>(
+      std::ceil(total_ranks * (1.0 + options.headroom)));
+  const int nodes_per_site = (needed + survivors - 1) / survivors;
+  const net::CloudTopology topo(
+      net::synthetic_profile(options.num_sites, nodes_per_site, seed));
+  const net::NetworkModel network = net::NetworkModel::from_ground_truth(topo);
+
+  Substrate sub;
+  sub.site_capacities = topo.capacities();
+
+  // Sequential capacity-aware placement: tenant k maps into the slots
+  // tenants 0..k-1 left free, so the shared ledger starts consistent.
+  std::vector<int> used(sub.site_capacities.size(), 0);
+  core::GeoDistMapper mapper;
+  for (int k = 0; k < options.num_tenants; ++k) {
+    Tenant t;
+    t.id = k;
+    t.problem.comm = make_tenant_comm(rng, ranks[static_cast<std::size_t>(k)]);
+    t.problem.network = network;
+    t.problem.site_coords = topo.coordinates();
+    t.problem.capacities.resize(sub.site_capacities.size());
+    for (std::size_t s = 0; s < used.size(); ++s) {
+      t.problem.capacities[s] = sub.site_capacities[s] - used[s];
+    }
+    if (options.constraint_ratio > 0) {
+      t.problem.constraints = mapping::make_random_constraints(
+          ranks[static_cast<std::size_t>(k)], t.problem.capacities,
+          options.constraint_ratio, rng);
+    }
+    t.problem.validate();
+    t.mapping = mapper.map(t.problem);
+    for (const SiteId s : t.mapping) used[static_cast<std::size_t>(s)] += 1;
+
+    t.solo_makespan =
+        sim::replay_with_contention(t.problem.comm, network, t.mapping)
+            .makespan;
+    sub.tenants.push_back(std::move(t));
+  }
+  return sub;
+}
+
+FairnessReport fairness_from_stretch(const std::vector<double>& stretch) {
+  GEOMAP_CHECK_ARG(!stretch.empty(), "fairness needs >= 1 stretch value");
+  FairnessReport report;
+  report.stretch = stretch;
+
+  double sum_share = 0;
+  double sum_share_sq = 0;
+  double sum_stretch = 0;
+  report.max_stretch = 0;
+  for (const double s : stretch) {
+    GEOMAP_CHECK_ARG(s > 0, "stretch must be positive, got " << s);
+    const double share = 1.0 / s;
+    sum_share += share;
+    sum_share_sq += share * share;
+    sum_stretch += s;
+    report.max_stretch = std::max(report.max_stretch, s);
+  }
+  const double n = static_cast<double>(stretch.size());
+  report.jain_index = (sum_share * sum_share) / (n * sum_share_sq);
+  report.mean_stretch = sum_stretch / n;
+  report.p99_stretch = percentile(stretch, 99.0);
+  return report;
+}
+
+}  // namespace geomap::tenancy

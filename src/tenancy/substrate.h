@@ -1,0 +1,97 @@
+#pragma once
+// Multi-tenant substrate: K independent jobs sharing one geo-distributed
+// deployment.
+//
+// The paper maps one job; a production substrate hosts many. Each tenant
+// brings its own communication graph and gets its own mapping, but the
+// sites, their capacities, and the inter-site links are shared — one
+// tenant's burst queues behind another's on the same serializing links
+// (sim::replay_multitenant prices that), and one tenant's migration
+// consumes capacity every other tenant's remap must respect.
+//
+// make_substrate synthesizes a shared deployment and places tenants
+// sequentially, capacity-aware: tenant k is mapped by the geo-distributed
+// mapper against the slots tenants 0..k-1 left free, so the initial
+// placement never oversubscribes a site and is a pure function of
+// (seed, options). Solo baselines — each tenant replayed alone on the
+// healthy network — anchor the fairness metrics: a tenant's *stretch* is
+// its shared-substrate makespan over its solo makespan, and Jain's index
+// over per-tenant throughput shares (1/stretch) summarizes how evenly the
+// substrate spreads the contention pain.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "mapping/problem.h"
+
+namespace geomap::tenancy {
+
+struct SubstrateOptions {
+  int num_sites = 6;
+  int num_tenants = 8;
+  /// Per-tenant rank counts are drawn uniformly from [min_ranks,
+  /// max_ranks] — heterogeneous tenants are what make scheduling
+  /// interesting (a big tenant's migration starves small ones under
+  /// naive policies).
+  int min_ranks = 4;
+  int max_ranks = 10;
+  /// Capacity slack: total slots are sized so the survivors of one site
+  /// death can host every tenant's every rank times (1 + headroom).
+  double headroom = 0.35;
+  /// Fraction of each tenant's processes pinned by data constraints.
+  double constraint_ratio = 0.0;
+
+  void validate() const;
+};
+
+/// One tenant on the substrate. `problem` carries the tenant's own comm
+/// graph next to the *shared* network/capacities (copied in — remaps
+/// overwrite the capacity view per attempt); `mapping` is the committed
+/// placement, updated as migrations commit.
+struct Tenant {
+  int id = -1;
+  mapping::MappingProblem problem;
+  Mapping mapping;
+  /// Fault-free makespan of this tenant alone on the healthy network
+  /// (contention replay) — the fairness denominator.
+  Seconds solo_makespan = 0;
+};
+
+struct Substrate {
+  std::vector<int> site_capacities;
+  std::vector<Tenant> tenants;
+
+  int num_sites() const { return static_cast<int>(site_capacities.size()); }
+  int num_tenants() const { return static_cast<int>(tenants.size()); }
+
+  /// Committed residents per site summed over all tenants.
+  std::vector<int> residents() const;
+};
+
+/// Synthesize a substrate: shared synthetic cloud, per-tenant random
+/// ring+sparse comm graphs, sequential capacity-aware placement, solo
+/// baselines. Pure in (seed, options). Throws InvalidArgument when the
+/// drawn tenants cannot fit (options undersized the cloud — raise
+/// headroom or sites).
+Substrate make_substrate(std::uint64_t seed, const SubstrateOptions& options);
+
+// ---------------------------------------------------------------------------
+// Fairness metrics
+
+struct FairnessReport {
+  /// Per-tenant makespan stretch (shared / solo); index = tenant id.
+  std::vector<double> stretch;
+  /// Jain's fairness index over per-tenant throughput shares
+  /// (1/stretch): 1 = perfectly even, 1/K = one tenant got everything.
+  double jain_index = 1.0;
+  double mean_stretch = 1.0;
+  double p99_stretch = 1.0;
+  double max_stretch = 1.0;
+};
+
+/// Summarize a stretch vector. Throws InvalidArgument on empty input or
+/// non-positive stretches.
+FairnessReport fairness_from_stretch(const std::vector<double>& stretch);
+
+}  // namespace geomap::tenancy
