@@ -82,6 +82,7 @@ inline AlgorithmSet paper_algorithms(int num_processes, int mpipp_limit = 1000,
   core::GeoDistOptions geo_options;
   geo_options.collector = collector;
   set.geo = std::make_unique<core::GeoDistMapper>(geo_options);
+  for (mapping::Mapper* m : set.all()) m->set_collector(collector);
   return set;
 }
 
@@ -123,11 +124,17 @@ inline void add_obs_flags(CliParser& cli) {
   cli.add_string("timeline-out", "",
                  "write the windowed time-series + detection timeline JSON "
                  "(geomap-obsctl timeline input) to this file");
+  cli.add_string("profile-out", "",
+                 "write the hierarchical phase profile JSON (geomap-obsctl "
+                 "profile input) to this file");
+  cli.add_string("collapse-out", "",
+                 "write collapsed-stack lines (flamegraph.pl / speedscope "
+                 "input) to this file");
   cli.add_string("obs-dir", "",
-                 "write all five observability artifacts into this directory "
+                 "write all observability artifacts into this directory "
                  "as metrics.json, trace.json, audit.json, critpath.json, "
-                 "timeline.json (per-artifact --*-out flags override "
-                 "individual paths)");
+                 "timeline.json, profile.json, profile.collapsed "
+                 "(per-artifact --*-out flags override individual paths)");
 }
 
 /// Collector wired from the parsed observability flags (--obs-dir plus the
@@ -144,7 +151,9 @@ class ObsSink {
         trace_path_(cli.get_string("trace-out")),
         audit_path_(cli.get_string("audit-out")),
         critpath_path_(cli.get_string("critpath-out")),
-        timeline_path_(cli.get_string("timeline-out")) {
+        timeline_path_(cli.get_string("timeline-out")),
+        profile_path_(cli.get_string("profile-out")),
+        collapse_path_(cli.get_string("collapse-out")) {
     const std::string dir = cli.get_string("obs-dir");
     if (!dir.empty()) {
       std::filesystem::create_directories(dir);
@@ -153,11 +162,18 @@ class ObsSink {
       if (audit_path_.empty()) audit_path_ = dir + "/audit.json";
       if (critpath_path_.empty()) critpath_path_ = dir + "/critpath.json";
       if (timeline_path_.empty()) timeline_path_ = dir + "/timeline.json";
+      if (profile_path_.empty()) profile_path_ = dir + "/profile.json";
+      if (collapse_path_.empty()) collapse_path_ = dir + "/profile.collapsed";
     }
     if (!metrics_path_.empty() || !trace_path_.empty() ||
         !audit_path_.empty() || !critpath_path_.empty() ||
-        !timeline_path_.empty()) {
+        !timeline_path_.empty() || !profile_path_.empty() ||
+        !collapse_path_.empty()) {
       collector_ = std::make_unique<obs::Collector>();
+      // Pay for the forensic recorders only when their artifact was
+      // asked for; the always-on set stays under the CI overhead gate.
+      collector_->set_audit_enabled(!audit_path_.empty());
+      collector_->set_critpath_enabled(!critpath_path_.empty());
       const bool has_seed = cli.has("seed");
       collector_->set_meta(obs::make_run_meta(
           cli.program_name(),
@@ -190,6 +206,16 @@ class ObsSink {
     write(timeline_path_, [&](std::ostream& os) {
       collector_->write_timeline_json(os);
     });
+    // Fold the OS view in right before export so profile.json's memory
+    // section can be sanity-checked against the instrumented accounts
+    // (no-op in deterministic mode).
+    collector_->mem().sample_rss();
+    write(profile_path_, [&](std::ostream& os) {
+      collector_->write_profile_json(os);
+    });
+    write(collapse_path_, [&](std::ostream& os) {
+      collector_->write_profile_collapsed(os);
+    });
   }
 
  private:
@@ -206,6 +232,8 @@ class ObsSink {
   std::string audit_path_;
   std::string critpath_path_;
   std::string timeline_path_;
+  std::string profile_path_;
+  std::string collapse_path_;
   std::unique_ptr<obs::Collector> collector_;
   bool flushed_ = false;
 };

@@ -163,6 +163,36 @@ run_multitenant_gate() {
   fi
 }
 
+# run_profile_gate <name>: the mapper profile watch. The bench runs with
+# GEOMAP_PROFILE_DETERMINISTIC=1, so profile.json is byte-stable: clocks
+# read zero and the watched leaves — phase wall seconds (zero unless
+# deterministic mode breaks), work counters, call counts, instrumented
+# peak bytes — are pure functions of the workload. The rendered report
+# and the collapsed stacks must both come out of obsctl.
+run_profile_gate() {
+  local name=$1
+  shift
+  echo "== $name =="
+  mkdir -p "$OUT_DIR/$name"
+  GEOMAP_PROFILE_DETERMINISTIC=1 "$BUILD_DIR/bench/bench_fig7_scale" "$@" \
+    --obs-dir "$OUT_DIR/$name" > "$OUT_DIR/$name/stdout.txt"
+  "$OBSCTL" profile "$OUT_DIR/$name/profile.json" > /dev/null || FAILED=1
+  [[ -s "$OUT_DIR/$name/profile.collapsed" ]] \
+    || { echo "empty $OUT_DIR/$name/profile.collapsed" >&2; FAILED=1; }
+  if [[ $BLESS -eq 1 ]]; then
+    cp "$OUT_DIR/$name/profile.json" "$BASELINE_DIR/$name.profile.json"
+    echo "blessed $BASELINE_DIR/$name.profile.json"
+  elif [[ -f $BASELINE_DIR/$name.profile.json ]]; then
+    "$OBSCTL" check --threshold "$THRESHOLD" \
+      --watch '*.wall_seconds,*.counters.*,*.calls,memory.accounts.*.peak_bytes' \
+      "$BASELINE_DIR/$name.profile.json" \
+      "$OUT_DIR/$name/profile.json" || FAILED=1
+  else
+    echo "no baseline $BASELINE_DIR/$name.profile.json — run with --bless" >&2
+    FAILED=1
+  fi
+}
+
 # The gate set: one healthy contention-replay bench, one faulted
 # remap-on-outage bench, the closed-loop detector head-to-head, and the
 # migration executor carrying a remap out — all small enough to finish in
@@ -173,6 +203,7 @@ run_gate fault_recovery bench_fault_recovery --ranks=16
 run_detector_gate detector_closed_loop --ranks=16
 run_migrate_gate fault_recovery_migrate --ranks=16
 run_multitenant_gate multitenant --tenants 12 --sweep 3
+run_profile_gate fig7_scale --min-scale=64 --max-scale=128 --trials=3
 
 if [[ $BLESS -eq 1 ]]; then
   echo "baselines written to $BASELINE_DIR/"

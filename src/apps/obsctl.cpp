@@ -18,6 +18,21 @@
 //                                      Multi-tenant artifacts ("t<k>:s->d"
 //                                      labels) get one lane block per
 //                                      (tenant, link) under the shared view.
+//   profile <profile.json>             renders the hierarchical phase tree
+//                                      (inclusive wall/CPU, exclusive wall,
+//                                      calls, work counters), the hot-leaf
+//                                      table ranked by exclusive time, the
+//                                      memory accounts, and the re-fold
+//                                      check (exclusive times summing back
+//                                      to the root's measured wall).
+//                                      --collapse re-emits the tree as
+//                                      collapsed-stack lines (flamegraph.pl
+//                                      / speedscope input).
+//   profile diff <baseline> <current>  diff/check specialized to profile
+//                                      artifacts: watches the deterministic
+//                                      leaves (counters, calls, peak bytes)
+//                                      by default; --gate exits 1 on a
+//                                      watched regression.
 //   diff <baseline> <current>          regression table over the numeric
 //                                      leaves of any two artifacts of the
 //                                      same kind (percent deltas; "meta" is
@@ -60,8 +75,18 @@ int usage(std::ostream& os, int code) {
         "[--json]\n"
         "  geomap-obsctl timeline <timeline.json> [--series NAME] "
         "[--width N]\n"
+        "  geomap-obsctl profile <profile.json> [--top K] [--collapse]\n"
+        "  geomap-obsctl profile diff <baseline.json> <current.json> "
+        "[--gate]\n"
         "  geomap-obsctl diff <baseline.json> <current.json> [--all]\n"
         "  geomap-obsctl check <baseline.json> <current.json>\n"
+        "\n"
+        "Flags for profile:\n"
+        "  --top K           hot leaves listed (default 10)\n"
+        "  --collapse        emit collapsed-stack lines instead of the "
+        "report\n"
+        "  --gate            (profile diff) exit 1 when a watched leaf\n"
+        "                    regressed past --threshold\n"
         "\n"
         "Flags for timeline:\n"
         "  --series NAME     metric whose per-link points feed the value "
@@ -362,6 +387,9 @@ int cmd_timeline(const std::vector<std::string>& args) {
   using Link = std::tuple<int, int, int>;
   std::map<Link, std::vector<obs::TimePoint>> points;
   std::map<Link, std::vector<obs::TimePoint>> migration_points;
+  // Mapper progress heartbeats ("mapper.progress" series, any label) get
+  // their own lane under the link blocks — completed fraction over time.
+  std::map<std::string, std::vector<obs::TimePoint>> progress_points;
   std::map<Link, std::vector<const TimelineEpisode*>> lane_events;
   std::map<Link, std::vector<const TimelineTruth*>> lane_truth;
 
@@ -396,6 +424,7 @@ int cmd_timeline(const std::vector<std::string>& args) {
           points[{tenant, src, dst}].push_back({t, v});
         if (is_link && name == "migration.bytes")
           migration_points[{tenant, src, dst}].push_back({t, v});
+        if (name == "mapper.progress") progress_points[key].push_back({t, v});
         widen(t);
       }
     }
@@ -569,6 +598,32 @@ int cmd_timeline(const std::vector<std::string>& args) {
                   << mit->second.size() << " chunks\n";
       }
     }
+
+    // Mapper progress lanes: completed fraction (0..1) per bucket, the
+    // bucket's latest point winning (progress is monotone). A long order
+    // search reads as the ramp from '.' to '@'.
+    for (const auto& [key, pts] : progress_points) {
+      std::vector<double> latest_t(static_cast<std::size_t>(width), -1);
+      std::vector<double> value(static_cast<std::size_t>(width), 0);
+      for (const obs::TimePoint& p : pts) {
+        const auto c = static_cast<std::size_t>(column(p.t));
+        if (p.t >= latest_t[c]) {
+          latest_t[c] = p.t;
+          value[c] = p.value;
+        }
+      }
+      std::string lane(static_cast<std::size_t>(width), ' ');
+      for (std::size_t c = 0; c < lane.size(); ++c) {
+        if (latest_t[c] < 0) continue;
+        const double norm = std::min(1.0, std::max(0.0, value[c]));
+        const auto level = static_cast<std::size_t>(norm * 8.0 + 0.5);
+        lane[c] = kLevels[std::min<std::size_t>(8, level)];
+      }
+      const double last = pts.empty() ? 0.0 : pts.back().value;
+      std::cout << key << "\n  progres|" << lane << "|  "
+                << pts.size() << " heartbeats, last "
+                << format_double(100.0 * last, 1) << " %\n";
+    }
     std::cout << "\n";
   }
 
@@ -636,11 +691,13 @@ std::vector<std::string> split_patterns(const std::string& csv) {
   return out;
 }
 
-int cmd_compare(const std::vector<std::string>& args, bool gate) {
+int cmd_compare(const std::vector<std::string>& args, bool gate,
+                std::vector<std::string> default_watch = {
+                    "runs.*.analysis.makespan_seconds",
+                    "runs.*.analysis.components.*"}) {
   std::vector<std::string> paths;
   obs::RegressOptions options;
-  options.watch = {"runs.*.analysis.makespan_seconds",
-                   "runs.*.analysis.components.*"};
+  options.watch = std::move(default_watch);
   bool all_rows = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--threshold" && i + 1 < args.size()) {
@@ -725,6 +782,202 @@ int cmd_compare(const std::vector<std::string>& args, bool gate) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// profile
+
+struct ProfileNode {
+  std::string name;
+  double wall = 0, cpu = 0, excl = 0;
+  std::uint64_t calls = 0;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<ProfileNode> children;
+};
+
+ProfileNode parse_profile_node(const std::string& name, const JsonValue& v) {
+  ProfileNode n;
+  n.name = name;
+  n.wall = v.number_or("wall_seconds", 0);
+  n.cpu = v.number_or("cpu_seconds", 0);
+  n.excl = v.number_or("exclusive_seconds", 0);
+  n.calls = static_cast<std::uint64_t>(v.number_or("calls", 0));
+  if (const JsonValue* cs = v.find("counters")) {
+    for (const auto& [key, c] : cs->members())
+      if (c.is_number()) n.counters.emplace_back(key, c.as_number());
+  }
+  if (const JsonValue* ch = v.find("children")) {
+    for (const auto& [key, c] : ch->members())
+      n.children.push_back(parse_profile_node(key, c));
+  }
+  return n;
+}
+
+bool profile_has_time(const ProfileNode& n) {
+  if (n.wall > 0) return true;
+  for (const ProfileNode& c : n.children)
+    if (profile_has_time(c)) return true;
+  return false;
+}
+
+void emit_collapsed(std::ostream& os, const ProfileNode& n,
+                    const std::string& prefix, bool use_calls) {
+  const std::string path = prefix.empty() ? n.name : prefix + ";" + n.name;
+  const auto weight =
+      use_calls ? static_cast<long long>(n.calls)
+                : std::llround(std::max(0.0, n.excl) * 1e6);
+  if (weight > 0) os << path << " " << weight << "\n";
+  for (const ProfileNode& c : n.children)
+    emit_collapsed(os, c, path, use_calls);
+}
+
+std::string format_bytes(double bytes) {
+  if (bytes >= 1024.0 * 1024.0)
+    return format_double(bytes / (1024.0 * 1024.0), 2) + " MiB";
+  if (bytes >= 1024.0) return format_double(bytes / 1024.0, 1) + " KiB";
+  return format_double(bytes, 0) + " B";
+}
+
+int cmd_profile(const std::vector<std::string>& args) {
+  // `profile diff` is the generic regress engine pointed at profile
+  // artifacts: the deterministic leaves (work counters, call counts,
+  // instrumented peak bytes) are watched; wall/cpu seconds show as info
+  // rows so timing noise never gates.
+  if (!args.empty() && args[0] == "diff") {
+    std::vector<std::string> rest;
+    bool gate = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--gate") gate = true;
+      else rest.push_back(args[i]);
+    }
+    return cmd_compare(rest, gate,
+                       {"*.counters.*", "*.calls",
+                        "memory.accounts.*.peak_bytes"});
+  }
+
+  std::string path;
+  int top = 10;
+  bool collapse = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top" && i + 1 < args.size()) {
+      top = std::stoi(args[++i]);
+    } else if (args[i] == "--collapse") {
+      collapse = true;
+    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
+      path = args[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty()) return usage(std::cerr, 2);
+
+  const JsonValue doc = parse_json_file(path);
+  const JsonValue* tree = doc.find("tree");
+  GEOMAP_CHECK_ARG(tree != nullptr && tree->is_object(),
+                   "not a profile artifact (no top-level 'tree' object)");
+  const ProfileNode root = parse_profile_node("run", *tree);
+  const bool use_calls = !profile_has_time(root);
+
+  if (collapse) {
+    emit_collapsed(std::cout, root, "", use_calls);
+    return 0;
+  }
+
+  const JsonValue* det = doc.find("deterministic");
+  const bool deterministic =
+      det != nullptr && det->is_bool() && det->as_bool();
+  print_banner(std::cout, "phase tree (inclusive wall/cpu, exclusive wall)");
+  if (deterministic)
+    std::cout << "deterministic mode: clocks were zeroed; structure, calls "
+                 "and counters are the signal\n\n";
+
+  Table phases({"phase", "wall s", "cpu s", "excl s", "excl %", "calls",
+                "counters"});
+  const double root_wall = root.wall;
+  const auto render = [&](const auto& self, const ProfileNode& n,
+                          int depth) -> void {
+    std::string counters;
+    for (const auto& [key, value] : n.counters) {
+      if (!counters.empty()) counters += "  ";
+      counters += key + "=" + format_double(value, 0);
+    }
+    phases.row()
+        .cell(std::string(static_cast<std::size_t>(depth) * 2, ' ') + n.name)
+        .cell(n.wall, 6)
+        .cell(n.cpu, 6)
+        .cell(n.excl, 6)
+        .cell(root_wall > 0 ? 100.0 * n.excl / root_wall : 0.0, 1)
+        .cell(static_cast<long long>(n.calls))
+        .cell(counters);
+    for (const ProfileNode& c : n.children) self(self, c, depth + 1);
+  };
+  render(render, root, 0);
+  phases.print(std::cout);
+
+  // The telescoping invariant the profiler promises: per-node exclusive
+  // times re-fold exactly to the root's measured wall.
+  double refold = 0;
+  const auto fold = [&](const auto& self, const ProfileNode& n) -> void {
+    refold += n.excl;
+    for (const ProfileNode& c : n.children) self(self, c);
+  };
+  fold(fold, root);
+  const double delta_pct =
+      root_wall > 0 ? 100.0 * (refold - root_wall) / root_wall : 0.0;
+  std::cout << "\nre-fold: sum of exclusive = " << format_double(refold, 6)
+            << " s vs run wall " << format_double(root_wall, 6)
+            << " s (delta " << format_double(delta_pct, 3) << " %)\n\n";
+
+  if (top > 0) {
+    std::vector<std::pair<std::string, const ProfileNode*>> leaves;
+    const auto collect = [&](const auto& self, const ProfileNode& n,
+                             const std::string& prefix) -> void {
+      const std::string p =
+          prefix.empty() ? n.name : prefix + ";" + n.name;
+      leaves.emplace_back(p, &n);
+      for (const ProfileNode& c : n.children) self(self, c, p);
+    };
+    collect(collect, root, "");
+    std::stable_sort(leaves.begin(), leaves.end(),
+                     [&](const auto& x, const auto& y) {
+                       return use_calls ? x.second->calls > y.second->calls
+                                        : x.second->excl > y.second->excl;
+                     });
+    if (leaves.size() > static_cast<std::size_t>(top))
+      leaves.resize(static_cast<std::size_t>(top));
+    Table hot({"phase", "excl s", "excl %", "calls"});
+    for (const auto& [p, n] : leaves) {
+      hot.row()
+          .cell(p)
+          .cell(n->excl, 6)
+          .cell(root_wall > 0 ? 100.0 * n->excl / root_wall : 0.0, 1)
+          .cell(static_cast<long long>(n->calls));
+    }
+    print_banner(std::cout,
+                 use_calls ? "hot phases (by calls)" : "hot phases");
+    hot.print(std::cout);
+    std::cout << "\n";
+  }
+
+  if (const JsonValue* memory = doc.find("memory")) {
+    if (const JsonValue* accounts = memory->find("accounts")) {
+      Table mem({"account", "current", "peak"});
+      for (const auto& [name, a] : accounts->members()) {
+        mem.row()
+            .cell(name)
+            .cell(format_bytes(a.number_or("current_bytes", 0)))
+            .cell(format_bytes(a.number_or("peak_bytes", 0)));
+      }
+      print_banner(std::cout, "memory accounts");
+      mem.print(std::cout);
+    }
+    const JsonValue* rss = memory->find("rss_peak_bytes");
+    if (rss != nullptr && rss->is_number())
+      std::cout << "process peak RSS: " << format_bytes(rss->as_number())
+                << "\n";
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -734,6 +987,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "timeline") return cmd_timeline(args);
+    if (cmd == "profile") return cmd_profile(args);
     if (cmd == "diff") return cmd_compare(args, /*gate=*/false);
     if (cmd == "check") return cmd_compare(args, /*gate=*/true);
     if (cmd == "--help" || cmd == "-h" || cmd == "help")

@@ -1,6 +1,7 @@
 #include "core/geodist_mapper.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <queue>
 
@@ -465,8 +466,23 @@ Mapping map_hierarchical(const MappingProblem& problem,
 Mapping GeoDistMapper::map(const MappingProblem& problem) {
   problem.validate();
   const int m = problem.num_sites();
+  obs::Collector* const col =
+      options_.collector != nullptr ? options_.collector : collector_;
+
+  obs::Phase map_phase;
+  if (col != nullptr) {
+    map_phase = col->profile().phase("mapper:" + name());
+    col->mem().note("comm.csr", problem.comm.memory_bytes());
+    // LT + BT dense site matrices (the structures the scale arc must
+    // shrink; at N=10^6-class problems the comm CSR dominates instead).
+    col->mem().note("network.dense", 2 * static_cast<std::size_t>(m) *
+                                         static_cast<std::size_t>(m) *
+                                         sizeof(double));
+  }
 
   if (options_.use_grouping && options_.kappa < m) {
+    obs::Phase grouping_phase;
+    if (col != nullptr) grouping_phase = col->profile().phase("grouping");
     const bool have_coords = static_cast<int>(problem.site_coords.size()) == m;
     bool by_coords = false;
     switch (options_.grouping_source) {
@@ -487,6 +503,9 @@ Mapping GeoDistMapper::map(const MappingProblem& problem) {
                                 options_.kmeans)
                   : group_sites_by_latency(problem.network, options_.kappa,
                                            options_.kmeans);
+    grouping_phase.count("kmeans_iterations",
+                         static_cast<std::uint64_t>(
+                             std::max(0, last_grouping_.iterations)));
   } else {
     last_grouping_ = singleton_groups(m);
   }
@@ -496,6 +515,8 @@ Mapping GeoDistMapper::map(const MappingProblem& problem) {
   // smaller than the whole) or it would recurse on itself.
   if (options_.hierarchical && kappa > 1 && kappa < m) {
     last_orders_ = 0;  // orders are evaluated per level, not tracked here
+    obs::Phase hier_phase;
+    if (col != nullptr) hier_phase = col->profile().phase("hierarchical");
     const Mapping result =
         map_hierarchical(problem, last_grouping_, options_);
     mapping::validate_mapping(problem, result);
@@ -511,16 +532,32 @@ Mapping GeoDistMapper::map(const MappingProblem& problem) {
                                         << "; enable grouping or raise kappa");
   last_orders_ = static_cast<int>(num_orders);
 
-  obs::Collector* const col = options_.collector;
   obs::Span search_span;
   if (col != nullptr) search_span = col->tracer().span("mapper/order-search",
                                                        "mapper");
+  obs::Phase search_phase;
+  if (col != nullptr) {
+    search_phase = col->profile().phase("order-search");
+    search_phase.count("orders_enumerated",
+                       static_cast<std::uint64_t>(num_orders));
+  }
 
   const mapping::CostEvaluator eval(problem);
   std::vector<Seconds> costs(static_cast<std::size_t>(num_orders));
+  // The per-order decision breakdown is a forensic recorder: priced only
+  // when the audit artifact was asked for (Collector::audit_enabled).
+  const bool audit = col != nullptr && col->audit_enabled();
   // Parallel order evaluations write disjoint slots; no lock needed.
   std::vector<obs::OrderDecision> decisions(
-      col != nullptr ? static_cast<std::size_t>(num_orders) : 0);
+      audit ? static_cast<std::size_t>(num_orders) : 0);
+
+  // Coarse progress heartbeat for long order searches: at most ~32
+  // stride-sampled updates, each a monotone gauge write (set_max keeps
+  // the final exported value deterministic under parallel evaluation)
+  // plus a timeline point for the obsctl progress lane.
+  std::atomic<std::int64_t> orders_done{0};
+  const std::int64_t heartbeat_stride =
+      num_orders > 32 ? num_orders / 32 : 1;
 
   auto evaluate = [&](std::size_t idx) {
     const std::vector<GroupId> order =
@@ -531,23 +568,39 @@ Mapping GeoDistMapper::map(const MappingProblem& problem) {
       costs[idx] = eval.total_cost(mapped);
       return;
     }
-    // Audited path: breakdown() folds the identical edge sequence, so
-    // costs (and therefore the winning order) match the plain path
-    // bit-for-bit.
-    const mapping::CostBreakdown b = eval.breakdown(mapped);
-    costs[idx] = b.total;
-    obs::OrderDecision& d = decisions[idx];
-    d.order.assign(order.begin(), order.end());
-    d.cost_seconds = b.total;
-    for (SiteId src = 0; src < b.num_sites; ++src) {
-      for (SiteId dst = 0; dst < b.num_sites; ++dst) {
-        const std::size_t cell = static_cast<std::size_t>(src) *
-                                     static_cast<std::size_t>(b.num_sites) +
-                                 static_cast<std::size_t>(dst);
-        if (b.messages[cell] == 0.0 && b.bytes[cell] == 0.0) continue;
-        d.pairs.push_back(obs::PairTerm{src, dst, b.alpha[cell], b.beta[cell],
-                                        b.messages[cell], b.bytes[cell]});
+    if (audit) {
+      // Audited path: breakdown() folds the identical edge sequence, so
+      // costs (and therefore the winning order) match the plain path
+      // bit-for-bit.
+      const mapping::CostBreakdown b = eval.breakdown(mapped);
+      costs[idx] = b.total;
+      obs::OrderDecision& d = decisions[idx];
+      d.order.assign(order.begin(), order.end());
+      d.cost_seconds = b.total;
+      for (SiteId src = 0; src < b.num_sites; ++src) {
+        for (SiteId dst = 0; dst < b.num_sites; ++dst) {
+          const std::size_t cell = static_cast<std::size_t>(src) *
+                                       static_cast<std::size_t>(b.num_sites) +
+                                   static_cast<std::size_t>(dst);
+          if (b.messages[cell] == 0.0 && b.bytes[cell] == 0.0) continue;
+          d.pairs.push_back(obs::PairTerm{src, dst, b.alpha[cell],
+                                          b.beta[cell], b.messages[cell],
+                                          b.bytes[cell]});
+        }
       }
+    } else {
+      costs[idx] = eval.total_cost(mapped);
+    }
+    search_phase.count("cost_evals");
+    const std::int64_t done =
+        orders_done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (done % heartbeat_stride == 0 || done == num_orders) {
+      const double frac =
+          static_cast<double>(done) / static_cast<double>(num_orders);
+      col->metrics().gauge("mapper.progress").set_max(frac);
+      col->timeline()
+          .series("mapper.progress", "orders")
+          .record(col->profile().now_seconds(), frac);
     }
   };
 
@@ -562,6 +615,7 @@ Mapping GeoDistMapper::map(const MappingProblem& problem) {
   std::size_t best = 0;
   for (std::size_t i = 1; i < costs.size(); ++i)
     if (costs[i] < costs[best]) best = i;
+  search_phase.end();
 
   if (col != nullptr) {
     col->metrics().counter("mapper.map_calls").add();
@@ -577,18 +631,22 @@ Mapping GeoDistMapper::map(const MappingProblem& problem) {
           .record(last_grouping_.iterations);
     }
 
-    obs::MapCallRecord record;
-    record.mapper = name();
-    record.num_processes = problem.num_processes();
-    record.num_sites = m;
-    record.num_groups = kappa;
-    record.kmeans_iterations = last_grouping_.iterations;
-    record.orders_enumerated = num_orders;
-    decisions[best].winner = true;
-    record.orders = std::move(decisions);
-    col->audit().add(std::move(record));
+    if (audit) {
+      obs::MapCallRecord record;
+      record.mapper = name();
+      record.num_processes = problem.num_processes();
+      record.num_sites = m;
+      record.num_groups = kappa;
+      record.kmeans_iterations = last_grouping_.iterations;
+      record.orders_enumerated = num_orders;
+      decisions[best].winner = true;
+      record.orders = std::move(decisions);
+      col->audit().add(std::move(record));
+    }
   }
 
+  obs::Phase fill_phase;
+  if (col != nullptr) fill_phase = col->profile().phase("fill-winner");
   return fill_for_order(problem, last_grouping_,
                         nth_permutation(kappa, static_cast<std::int64_t>(best)),
                         options_.fill);

@@ -23,15 +23,26 @@ PipelineResult Pipeline::execute(const net::CloudTopology& topo,
                                  ConstraintVector constraints) const {
   obs::Collector* const col = options_.collector;
   PipelineResult result;
+  obs::Phase pipeline_phase;
+  if (col != nullptr) pipeline_phase = col->profile().phase("pipeline");
   {
     obs::Span s;
-    if (col != nullptr) s = col->tracer().span("pipeline/calibrate");
+    obs::Phase p;
+    if (col != nullptr) {
+      s = col->tracer().span("pipeline/calibrate");
+      p = col->profile().phase("calibrate");
+    }
     const net::Calibrator calibrator(options_.calibration);
     result.calibration = calibrator.calibrate(topo);
   }
 
+  obs::Phase build_phase;
+  if (col != nullptr) build_phase = col->profile().phase("build-problem");
   mapping::MappingProblem problem = make_problem(
       topo, result.calibration.model, std::move(comm), std::move(constraints));
+  if (col != nullptr)
+    col->mem().note("comm.csr", problem.comm.memory_bytes());
+  build_phase.end();
 
   GeoDistOptions mapper_options = options_.mapper;
   if (col != nullptr && mapper_options.collector == nullptr)
@@ -39,7 +50,11 @@ PipelineResult Pipeline::execute(const net::CloudTopology& topo,
   GeoDistMapper mapper(mapper_options);
   {
     obs::Span s;
-    if (col != nullptr) s = col->tracer().span("pipeline/map");
+    obs::Phase p;
+    if (col != nullptr) {
+      s = col->tracer().span("pipeline/map");
+      p = col->profile().phase("map");
+    }
     result.run = mapping::run_mapper(mapper, problem);
   }
   return result;

@@ -4,10 +4,18 @@
 
 #include "mapping/cost.h"
 #include "mapping/random_mapper.h"
+#include "obs/collector.h"
 
 namespace geomap::mapping {
 
 Mapping AnnealingMapper::map(const MappingProblem& problem) {
+  obs::Phase phase;
+  if (collector_ != nullptr)
+    phase = collector_->profile().phase("mapper:" + name());
+  std::uint64_t moves_attempted = 0;
+  std::uint64_t moves_accepted = 0;
+  std::uint64_t cost_evals = 0;
+
   const CostEvaluator eval(problem);
   Rng rng(options_.seed);
 
@@ -45,10 +53,13 @@ Mapping AnnealingMapper::map(const MappingProblem& problem) {
             !problem.placement_allowed(b, sa))
           continue;
         const Seconds delta = eval.delta_swap(current, a, b);
+        ++moves_attempted;
+        ++cost_evals;
         if (delta <= 0 || rng.uniform() < std::exp(-delta / temperature)) {
           std::swap(current[static_cast<std::size_t>(a)],
                     current[static_cast<std::size_t>(b)]);
           cost += delta;
+          ++moves_accepted;
         }
       } else {
         const auto a = static_cast<ProcessId>(rng.uniform_index(n));
@@ -58,11 +69,14 @@ Mapping AnnealingMapper::map(const MappingProblem& problem) {
         if (to == from || free[static_cast<std::size_t>(to)] == 0) continue;
         if (!problem.placement_allowed(a, to)) continue;
         const Seconds delta = eval.delta_move(current, a, to);
+        ++moves_attempted;
+        ++cost_evals;
         if (delta <= 0 || rng.uniform() < std::exp(-delta / temperature)) {
           current[static_cast<std::size_t>(a)] = to;
           ++free[static_cast<std::size_t>(from)];
           --free[static_cast<std::size_t>(to)];
           cost += delta;
+          ++moves_accepted;
         }
       }
       if (cost < best_cost) {
@@ -71,6 +85,11 @@ Mapping AnnealingMapper::map(const MappingProblem& problem) {
       }
     }
     temperature *= options_.cooling;
+  }
+  if (phase.active()) {
+    phase.count("moves_attempted", moves_attempted);
+    phase.count("moves_accepted", moves_accepted);
+    phase.count("cost_evals", cost_evals);
   }
   return best;
 }

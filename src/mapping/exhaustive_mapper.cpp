@@ -2,10 +2,16 @@
 
 #include "common/error.h"
 #include "mapping/cost.h"
+#include "obs/collector.h"
 
 namespace geomap::mapping {
 
 Mapping ExhaustiveMapper::map(const MappingProblem& problem) {
+  obs::Phase phase;
+  if (collector_ != nullptr)
+    phase = collector_->profile().phase("mapper:" + name());
+  std::uint64_t leaves = 0;
+
   auto [mapping, free] = apply_constraints(problem);
   std::vector<ProcessId> free_procs;
   for (ProcessId i = 0; i < problem.num_processes(); ++i)
@@ -23,6 +29,7 @@ Mapping ExhaustiveMapper::map(const MappingProblem& problem) {
   // Depth-first over site choices with capacity pruning.
   auto recurse = [&](auto&& self, std::size_t depth) -> void {
     if (depth == free_procs.size()) {
+      ++leaves;
       const Seconds cost = eval.total_cost(current);
       if (best.empty() || cost < best_cost) {
         best = current;
@@ -43,6 +50,10 @@ Mapping ExhaustiveMapper::map(const MappingProblem& problem) {
   };
   recurse(recurse, 0);
   GEOMAP_CHECK_MSG(!best.empty(), "no feasible assignment found");
+  if (phase.active()) {
+    phase.count("assignments_enumerated", leaves);
+    phase.count("cost_evals", leaves);
+  }
   return best;
 }
 

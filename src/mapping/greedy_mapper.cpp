@@ -6,10 +6,17 @@
 
 #include "common/error.h"
 #include "mapping/allowed_sites.h"
+#include "obs/collector.h"
 
 namespace geomap::mapping {
 
 Mapping GreedyMapper::map(const MappingProblem& problem) {
+  obs::Phase phase;
+  if (collector_ != nullptr)
+    phase = collector_->profile().phase("mapper:" + name());
+  std::uint64_t heap_pops = 0;
+  std::uint64_t placements = 0;
+
   auto [mapping, free] = apply_constraints(problem);
   const int n = problem.num_processes();
   const int m = problem.num_sites();
@@ -97,6 +104,7 @@ Mapping GreedyMapper::map(const MappingProblem& problem) {
     while (!heap.empty()) {
       const Entry e = heap.top();
       heap.pop();
+      ++heap_pops;
       if (mapped[static_cast<std::size_t>(e.id)]) continue;
       if (e.affinity != affinity[static_cast<std::size_t>(e.id)]) continue;
       if (e.affinity <= 0.0) break;  // frontier exhausted
@@ -128,6 +136,7 @@ Mapping GreedyMapper::map(const MappingProblem& problem) {
     if (site == kUnmapped) continue;  // repaired below
     mapping[static_cast<std::size_t>(pick)] = site;
     --free[static_cast<std::size_t>(site)];
+    ++placements;
     absorb(pick);
   }
   if (!problem.allowed_sites.empty()) {
@@ -136,6 +145,10 @@ Mapping GreedyMapper::map(const MappingProblem& problem) {
       if (problem.constraints[i] != kUnconstrained) movable[i] = 0;
     GEOMAP_CHECK_MSG(complete_assignment(problem, mapping, free, movable),
                      "allowed-site constraints are infeasible");
+  }
+  if (phase.active()) {
+    phase.count("placements", placements);
+    phase.count("heap_pops", heap_pops);
   }
   return mapping;
 }

@@ -11,6 +11,10 @@
 #include "common/types.h"
 #include "mapping/problem.h"
 
+namespace geomap::obs {
+class Collector;
+}
+
 namespace geomap::mapping {
 
 class Mapper {
@@ -21,6 +25,17 @@ class Mapper {
   virtual Mapping map(const MappingProblem& problem) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Attach an observability collector (nullptr detaches; the default).
+  /// With none attached map() executes the exact uninstrumented code
+  /// path — results are bit-identical (same contract as the rest of the
+  /// obs layer). Mappers record phases ("mapper:<Name>" with algorithm
+  /// sub-phases) and work counters into collector->profile().
+  void set_collector(obs::Collector* collector) { collector_ = collector; }
+  obs::Collector* collector() const { return collector_; }
+
+ protected:
+  obs::Collector* collector_ = nullptr;
 };
 
 /// Timed, validated result of one mapper run.

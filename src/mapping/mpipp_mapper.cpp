@@ -2,21 +2,30 @@
 
 #include "mapping/cost.h"
 #include "mapping/random_mapper.h"
+#include "obs/collector.h"
 
 namespace geomap::mapping {
 
 namespace {
 
+/// Work tallies surfaced on the "mapper:MPIPP" profile phase.
+struct RefineCounts {
+  std::uint64_t swap_gain_evals = 0;
+  std::uint64_t swaps_applied = 0;
+  std::uint64_t cost_evals = 0;
+};
+
 /// One steepest-descent pairwise-exchange pass to convergence.
 /// Returns the final cost. Pinned processes never move.
 Seconds refine(const MappingProblem& problem, const CostEvaluator& eval,
-               Mapping& mapping, int max_swaps) {
+               Mapping& mapping, int max_swaps, RefineCounts& counts) {
   const int n = problem.num_processes();
   std::vector<bool> pinned(static_cast<std::size_t>(n), false);
   for (std::size_t i = 0; i < problem.constraints.size(); ++i)
     pinned[i] = problem.constraints[i] != kUnconstrained;
 
   Seconds cost = eval.total_cost(mapping);
+  ++counts.cost_evals;
   for (int swap = 0; swap < max_swaps; ++swap) {
     Seconds best_gain = 0.0;
     ProcessId best_a = -1;
@@ -32,6 +41,7 @@ Seconds refine(const MappingProblem& problem, const CostEvaluator& eval,
             !problem.placement_allowed(b, mapping[static_cast<std::size_t>(a)]))
           continue;
         const Seconds delta = eval.delta_swap(mapping, a, b);
+        ++counts.swap_gain_evals;
         if (delta < best_gain) {
           best_gain = delta;
           best_a = a;
@@ -43,6 +53,7 @@ Seconds refine(const MappingProblem& problem, const CostEvaluator& eval,
     std::swap(mapping[static_cast<std::size_t>(best_a)],
               mapping[static_cast<std::size_t>(best_b)]);
     cost += best_gain;
+    ++counts.swaps_applied;
   }
   return cost;
 }
@@ -92,6 +103,11 @@ MappingProblem class_averaged(const MappingProblem& problem) {
 }  // namespace
 
 Mapping MpippMapper::map(const MappingProblem& problem) {
+  obs::Phase phase;
+  if (collector_ != nullptr)
+    phase = collector_->profile().phase("mapper:" + name());
+  RefineCounts counts;
+
   const MappingProblem surrogate = class_averaged(problem);
   const CostEvaluator eval(surrogate);
   Rng rng(options_.seed);
@@ -101,11 +117,17 @@ Mapping MpippMapper::map(const MappingProblem& problem) {
   Seconds best_cost = 0;
   for (int r = 0; r < options_.restarts; ++r) {
     Mapping candidate = RandomMapper::draw(surrogate, rng);
-    const Seconds cost = refine(surrogate, eval, candidate, max_swaps);
+    const Seconds cost = refine(surrogate, eval, candidate, max_swaps, counts);
     if (best.empty() || cost < best_cost) {
       best = std::move(candidate);
       best_cost = cost;
     }
+  }
+  if (phase.active()) {
+    phase.count("restarts", static_cast<std::uint64_t>(options_.restarts));
+    phase.count("swap_gain_evals", counts.swap_gain_evals);
+    phase.count("swaps_applied", counts.swaps_applied);
+    phase.count("cost_evals", counts.cost_evals);
   }
   return best;
 }

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "mapping/allowed_sites.h"
+#include "obs/collector.h"
 
 namespace geomap::mapping {
 
@@ -52,8 +53,21 @@ Mapping RandomMapper::draw(const MappingProblem& problem, Rng& rng) {
 }
 
 Mapping RandomMapper::map(const MappingProblem& problem) {
+  obs::Phase phase;
+  if (collector_ != nullptr)
+    phase = collector_->profile().phase("mapper:" + name());
   Rng rng(seed_);
-  return draw(problem, rng);
+  Mapping result = draw(problem, rng);
+  if (phase.active()) {
+    std::uint64_t placements = 0;
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      if (problem.constraints.empty() ||
+          problem.constraints[i] == kUnconstrained)
+        ++placements;
+    }
+    phase.count("placements", placements);
+  }
+  return result;
 }
 
 }  // namespace geomap::mapping

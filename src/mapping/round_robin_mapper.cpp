@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "mapping/allowed_sites.h"
+#include "obs/collector.h"
 
 namespace geomap::mapping {
 
@@ -21,6 +22,11 @@ void repair_leftovers(const MappingProblem& problem, Mapping& mapping,
 }  // namespace
 
 Mapping BlockMapper::map(const MappingProblem& problem) {
+  obs::Phase phase;
+  if (collector_ != nullptr)
+    phase = collector_->profile().phase("mapper:" + name());
+  std::uint64_t placements = 0;
+
   auto [mapping, free] = apply_constraints(problem);
   const int m = problem.num_sites();
   for (ProcessId i = 0; i < problem.num_processes(); ++i) {
@@ -31,15 +37,22 @@ Mapping BlockMapper::map(const MappingProblem& problem) {
           problem.placement_allowed(i, s)) {
         assigned = s;
         --free[static_cast<std::size_t>(s)];
+        ++placements;
         break;
       }
     }
   }
   repair_leftovers(problem, mapping, free);
+  if (phase.active()) phase.count("placements", placements);
   return mapping;
 }
 
 Mapping CyclicMapper::map(const MappingProblem& problem) {
+  obs::Phase phase;
+  if (collector_ != nullptr)
+    phase = collector_->profile().phase("mapper:" + name());
+  std::uint64_t placements = 0;
+
   auto [mapping, free] = apply_constraints(problem);
   const int m = problem.num_sites();
   SiteId site = 0;
@@ -53,12 +66,14 @@ Mapping CyclicMapper::map(const MappingProblem& problem) {
           problem.placement_allowed(i, s)) {
         assigned = s;
         --free[static_cast<std::size_t>(s)];
+        ++placements;
         site = static_cast<SiteId>((s + 1) % m);
         break;
       }
     }
   }
   repair_leftovers(problem, mapping, free);
+  if (phase.active()) phase.count("placements", placements);
   return mapping;
 }
 

@@ -76,6 +76,7 @@ class Engine {
     if (options_.collector != nullptr) {
       obs::Collector& c = *options_.collector;
       exec_span_ = c.tracer().span("migrate/execute", "migrate");
+      exec_phase_ = c.profile().phase("migrate:execute");
       obs_chunks_ = &c.metrics().counter("migration.chunks");
       obs_chunk_retries_ = &c.metrics().counter("migration.chunk_retries");
       obs_chunk_timeouts_ = &c.metrics().counter("migration.chunk_timeouts");
@@ -170,6 +171,13 @@ class Engine {
       }
     }
     finalize();
+    if (options_.collector != nullptr) {
+      options_.collector->mem().note(
+          "migration.journal",
+          report_.events.size() * sizeof(fault::MigrationEvent));
+      exec_phase_.count("journal_events", report_.events.size());
+      exec_phase_.end();
+    }
     return std::move(report_);
   }
 
@@ -886,6 +894,7 @@ class Engine {
 
   // Observability handles (all null without a collector).
   obs::Span exec_span_;
+  obs::Phase exec_phase_;
   obs::Counter* obs_chunks_ = nullptr;
   obs::Counter* obs_chunk_retries_ = nullptr;
   obs::Counter* obs_chunk_timeouts_ = nullptr;

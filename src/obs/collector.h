@@ -20,6 +20,7 @@
 #include "obs/critpath.h"
 #include "obs/detector.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/run_meta.h"
 #include "obs/span.h"
 #include "obs/timeseries.h"
@@ -46,10 +47,28 @@ class Collector {
   DetectionLog& detections() { return detections_; }
   const DetectionLog& detections() const { return detections_; }
 
+  PhaseProfiler& profile() { return profile_; }
+  const PhaseProfiler& profile() const { return profile_; }
+
+  MemTracker& mem() { return mem_; }
+  const MemTracker& mem() const { return mem_; }
+
   /// Run metadata stamped into every exported artifact. Set once by the
   /// bench harness before the first export; default is an empty header.
   void set_meta(RunMeta meta) { meta_ = std::move(meta); }
   const RunMeta& meta() const { return meta_; }
+
+  /// The forensic recorders — the per-order decision audit and the
+  /// per-edge critical-path event log — cost real time on hot paths
+  /// (unlike the always-on set: metrics, spans, timeline, profiler,
+  /// memory, whose overhead the CI gate bounds at 5%). They default on
+  /// so a directly constructed Collector records everything, but the
+  /// bench harness enables each only when its artifact was requested.
+  /// Instrumented sites consult these flags before recording.
+  void set_audit_enabled(bool enabled) { audit_enabled_ = enabled; }
+  bool audit_enabled() const { return audit_enabled_; }
+  void set_critpath_enabled(bool enabled) { critpath_enabled_ = enabled; }
+  bool critpath_enabled() const { return critpath_enabled_; }
 
   /// Exporters (one JSON document each; see the member classes for the
   /// schemas). Streams are flushed by the caller.
@@ -68,6 +87,12 @@ class Collector {
   void write_timeline_json(std::ostream& os) const {
     obs::write_timeline_json(os, timeline_, detections_, &meta_);
   }
+  void write_profile_json(std::ostream& os) const {
+    profile_.write_json(os, &mem_, &meta_);
+  }
+  void write_profile_collapsed(std::ostream& os) const {
+    profile_.write_collapsed(os);
+  }
 
  private:
   MetricsRegistry metrics_;
@@ -76,7 +101,11 @@ class Collector {
   CritGraph critpath_;
   TimeSeriesRegistry timeline_;
   DetectionLog detections_;
+  PhaseProfiler profile_;
+  MemTracker mem_;
   RunMeta meta_;
+  bool audit_enabled_ = true;
+  bool critpath_enabled_ = true;
 };
 
 }  // namespace geomap::obs

@@ -18,6 +18,16 @@ Histogram::Histogram(std::size_t sample_cap)
 
 void Histogram::record(double x) {
   std::lock_guard<std::mutex> lock(mutex_);
+  record_locked(x);
+}
+
+void Histogram::record_many(const std::vector<double>& xs) {
+  if (xs.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const double x : xs) record_locked(x);
+}
+
+void Histogram::record_locked(double x) {
   count_ += 1;
   if (count_ == 1) {
     min_ = max_ = x;

@@ -41,6 +41,15 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Monotone set: keeps the larger of the stored and given value. Lets
+  /// concurrent progress reporters race without the exported value ever
+  /// moving backwards (the final value is then deterministic).
+  void set_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -66,6 +75,12 @@ class Histogram {
 
   void record(double x);
 
+  /// Record `xs` in order under one lock — state-identical to calling
+  /// record() per element (the reservoir sees the same arrival sequence),
+  /// at a fraction of the locking cost. Hot single-threaded loops buffer
+  /// locally and flush once.
+  void record_many(const std::vector<double>& xs);
+
   struct Summary {
     std::uint64_t count = 0;
     double sum = 0;
@@ -84,6 +99,8 @@ class Histogram {
   std::vector<double> samples() const;  // retained set (copy, for tests)
 
  private:
+  void record_locked(double x);  // caller holds mutex_
+
   const std::size_t sample_cap_;
   mutable std::mutex mutex_;
   std::vector<double> samples_;

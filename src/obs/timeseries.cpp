@@ -21,6 +21,16 @@ void TimeSeries::record(Seconds t, double value) {
   if (buffer_.size() >= capacity_ * 2) compact_locked();
 }
 
+void TimeSeries::record_many(const std::vector<TimePoint>& points) {
+  if (points.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TimePoint& p : points) {
+    buffer_.push_back(p);
+    if (buffer_.size() >= capacity_ * 2) compact_locked();
+  }
+  total_ += points.size();
+}
+
 void TimeSeries::compact_locked() {
   // Keep the `capacity_` newest points by (t, value) — deterministic in
   // the recorded multiset, independent of arrival order.

@@ -74,6 +74,12 @@ class TimeSeries {
   /// smallest-timestamp points are evicted.
   void record(Seconds t, double value);
 
+  /// Record a batch under one lock. Eviction is a pure function of the
+  /// recorded multiset, so the retained set (and the export) is identical
+  /// to per-point record() calls. Hot single-threaded loops buffer
+  /// locally and flush once.
+  void record_many(const std::vector<TimePoint>& points);
+
   std::size_t capacity() const { return capacity_; }
 
   /// Total points ever recorded (retained + evicted).

@@ -644,7 +644,11 @@ RunResult Runtime::run(const std::function<void(Comm&)>& body) {
   if (collector_ != nullptr) {
     run_span = collector_->tracer().span("runtime/run", "runtime");
     run_span.set_args_json("{\"ranks\":" + std::to_string(p) + "}");
-    crit_run_ = collector_->critpath().begin_run("runtime/run");
+    // Per-message event recording is a forensic recorder; a disabled
+    // critpath leaves crit_run_ at -1, which every record site checks.
+    crit_run_ = collector_->critpath_enabled()
+                    ? collector_->critpath().begin_run("runtime/run")
+                    : -1;
   } else {
     crit_run_ = -1;
   }

@@ -89,6 +89,23 @@ class CommMatrix {
   /// likewise. Built lazily at construction.
   Row undirected_row(ProcessId i) const;
 
+  /// Resident bytes of the three CSR views (directed, transposed,
+  /// undirected) — what obs::MemTracker charges to the "comm.csr"
+  /// account. Deterministic for a given pattern (capacity slack excluded
+  /// on purpose).
+  std::size_t memory_bytes() const {
+    const std::size_t offsets =
+        (row_begin_.size() + t_row_begin_.size() + u_row_begin_.size()) *
+        sizeof(std::size_t);
+    const std::size_t ids =
+        (dst_.size() + t_src_.size() + u_dst_.size()) * sizeof(ProcessId);
+    const std::size_t weights =
+        (volume_.size() + t_volume_.size() + u_volume_.size()) *
+            sizeof(Bytes) +
+        (count_.size() + t_count_.size() + u_count_.size()) * sizeof(double);
+    return offsets + ids + weights + traffic_.size() * sizeof(Bytes);
+  }
+
   /// Serialize as "src dst volume count" lines (plus a header).
   std::string to_text() const;
   static CommMatrix from_text(const std::string& text);
