@@ -18,9 +18,9 @@ int main(int argc, char** argv) {
   cli.add_int("ranks", 88, "number of processes (11 regions x 8)");
   cli.add_int("seed", 2017, "random seed");
   cli.add_bool("csv", false, "emit CSV");
-  bench::add_obs_flags(cli);
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  bench::ObsSink obs(cli);
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));

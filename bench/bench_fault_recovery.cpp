@@ -141,8 +141,12 @@ int run_detector_mode(const CliParser& cli, bench::ObsSink& obs) {
       const runtime::RunResult faulted =
           rt.run([&](runtime::Comm& c) { (void)app->run(c, cfg); });
 
-      // Detection sees telemetry only; scoring sees the plan.
+      // Detection sees telemetry only; scoring sees the plan. Onset /
+      // clear verdicts stream to the exported event log when one was
+      // asked for (the cell's private collector is discarded).
       obs::DegradationDetector detector;
+      if (obs.collector() != nullptr)
+        detector.set_event_log(&obs.collector()->events());
       detector.scan(cell_obs.timeline());
       const std::vector<obs::DegradationEvent> events = detector.events();
 
@@ -413,9 +417,9 @@ int main(int argc, char** argv) {
               "many seeds and exit 1 on any invariant violation");
   cli.add_int("soak-ranks", 10, "processes per chaos-soak case");
   cli.add_int("soak-rounds", 16, "app rounds per chaos-soak case");
-  bench::add_obs_flags(cli);
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  bench::ObsSink obs(cli);
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
   if (cli.get_bool("detector")) return run_detector_mode(cli, obs);
   if (cli.get_bool("migrate")) return run_migrate_mode(cli, obs);
   if (cli.get_int("chaos") > 0) return run_chaos_mode(cli);

@@ -54,7 +54,9 @@ int main(int argc, char** argv) {
   CliParser cli("Figure 3: communication pattern matrices (profiled @64)");
   cli.add_int("ranks", 64, "number of processes to profile");
   cli.add_int("heatmap-size", 32, "heatmap buckets per axis");
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const bench::Ec2Context ctx((ranks + 3) / 4);

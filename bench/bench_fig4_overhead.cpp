@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
   cli.add_int("reps", 3, "timing repetitions per algorithm");
   cli.add_int("seed", 2017, "random seed");
   cli.add_bool("csv", false, "emit CSV");
-  bench::add_obs_flags(cli);
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  bench::ObsSink obs(cli);
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
 
   const int reps = static_cast<int>(cli.get_int("reps"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));

@@ -23,9 +23,9 @@ int main(int argc, char** argv) {
   cli.add_string("app", "",
                  "run only this app (LU, K-means, DNN; empty = all three)");
   cli.add_bool("csv", false, "emit CSV");
-  bench::add_obs_flags(cli);
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  bench::ObsSink obs(cli);
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto max_scale = cli.get_int("max-scale");

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   cli.add_int("trials", 5, "constraint draws averaged per ratio");
   cli.add_int("seed", 2017, "random seed");
   cli.add_bool("csv", false, "emit CSV");
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const int trials = static_cast<int>(cli.get_int("trials"));

@@ -22,9 +22,13 @@
 #include "common/json_writer.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "common/types.h"
 #include "core/geodist_mapper.h"
 #include "core/grouping.h"
+#include "fault/fault_plan.h"
 #include "mapping/cost.h"
+#include "migrate/executor.h"
+#include "migrate/soak.h"
 #include "mapping/greedy_mapper.h"
 #include "mapping/random_mapper.h"
 #include "net/cloud.h"
@@ -217,10 +221,28 @@ void body_contention_replay(obs::Collector* col) {
       sim::replay_with_contention(p.comm, p.network, m, col, "overhead"));
 }
 
+void body_migrate_soak(obs::Collector* col) {
+  // One full detect -> remap -> migrate chaos-soak case with the
+  // collector attached: the detector streams onset/clear verdicts into
+  // the structured event log, the executor streams its protocol
+  // transitions (reserve / commit / release / rollback) plus per-chunk
+  // metrics and timeline points. This prices the telemetry plane over
+  // the production-shaped recovery loop — app replay, detection, remap
+  // and migration together — rather than a bare kernel whose simulated
+  // per-chunk compute is smaller than any bookkeeping.
+  migrate::SoakOptions options;
+  options.ranks = 32;
+  options.num_sites = 4;
+  options.app_rounds = 2;
+  options.migrate.collector = col;
+  benchmark::DoNotOptimize(migrate::run_soak_case(11, options));
+}
+
 constexpr OverheadBody kOverheadBodies[] = {
     {"geodist_map_512", body_geodist_map},
     {"greedy_map_2048", body_greedy_map},
     {"contention_replay_1024", body_contention_replay},
+    {"migrate_soak_32", body_migrate_soak},
 };
 
 /// Min wall seconds over `reps` runs; a fresh collector per instrumented

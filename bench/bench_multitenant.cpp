@@ -143,12 +143,29 @@ int run_sweep(const CliParser& cli, bench::ObsSink& obs) {
   return violations == 0 ? 0 : 1;
 }
 
-int run_soak(const CliParser& cli) {
+int run_soak(const CliParser& cli, bench::ObsSink& obs) {
   const auto seeds = make_seeds(cli, static_cast<int>(cli.get_int("soak")));
-  const tenancy::MultiTenantSoakOptions options =
+  tenancy::MultiTenantSoakOptions options =
       make_options(cli, static_cast<int>(cli.get_int("soak-tenants")));
-  const tenancy::MultiTenantSoakReport report =
-      tenancy::run_multitenant_soak(seeds, options);
+  options.collector = obs.collector();
+
+  // Case-by-case (rather than one run_multitenant_soak call) so the obs
+  // sink can checkpoint after every seed: `geomap-obsctl watch` on a
+  // live --obs-dir sees the event stream / metrics grow as the soak
+  // progresses instead of only at exit.
+  tenancy::MultiTenantSoakReport report;
+  report.cases.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    report.cases.push_back(tenancy::run_multitenant_soak_case(seed, options));
+    const tenancy::MultiTenantSoakCase& c = report.cases.back();
+    report.seeds_run += 1;
+    report.total_violations += static_cast<int>(c.violations.size());
+    report.total_invariants_checked += c.invariants_checked;
+    report.total_requeues += c.storm.requeues;
+    report.total_gave_up += c.storm.gave_up;
+    if (c.detected) report.detected_cases += 1;
+    obs.checkpoint();
+  }
 
   JsonWriter w(std::cout);
   w.begin_object();
@@ -188,6 +205,7 @@ int run_soak(const CliParser& cli) {
   w.end_object();
   w.done();
   std::cout << "\n";
+  obs.flush();
   return report.total_violations == 0 ? 0 : 1;
 }
 
@@ -208,9 +226,9 @@ int main(int argc, char** argv) {
               "run the multi-tenant chaos soak over this many seeds "
               "instead of the sweep");
   cli.add_int("soak-tenants", 100, "tenants per soak seed");
-  geomap::bench::add_obs_flags(cli);
+  geomap::bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  geomap::bench::ObsSink obs(cli);
-  if (cli.get_int("soak") > 0) return geomap::run_soak(cli);
+  geomap::bench::ObsSink obs = geomap::bench::ObsSink::parse(cli);
+  if (cli.get_int("soak") > 0) return geomap::run_soak(cli, obs);
   return geomap::run_sweep(cli, obs);
 }

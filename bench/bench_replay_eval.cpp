@@ -21,7 +21,9 @@ int main(int argc, char** argv) {
   cli.add_int("random-mappings", 200, "random mappings scored via replay");
   cli.add_int("seed", 2017, "random seed");
   cli.add_bool("csv", false, "emit CSV");
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -49,7 +51,7 @@ int main(int argc, char** argv) {
   print_banner(std::cout, "Engine agreement — LU makespan (s) per mapping");
   Table agree({"mapping", "runtime (re-executes)", "replay (trace)",
                "runtime cost (s)", "replay cost (s)"});
-  const bench::AlgorithmSet algos = bench::paper_algorithms(ranks);
+  const bench::AlgorithmSet algos = bench::paper_algorithms(ranks, 1000, obs.collector());
   Rng rng(seed);
   std::vector<std::pair<std::string, Mapping>> candidates;
   candidates.emplace_back("Baseline (random)",

@@ -31,7 +31,9 @@ constexpr PaperRow kPaperTable1[] = {
 int main(int argc, char** argv) {
   CliParser cli("Table 1: instance-type bandwidths (measured vs paper)");
   cli.add_bool("csv", false, "emit CSV instead of the aligned table");
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
 
   print_banner(std::cout, "Table 1 — EC2 instance-type bandwidths (MB/s)");
   Table table({"instance", "US East", "Singapore", "cross-region",

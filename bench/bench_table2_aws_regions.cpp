@@ -13,7 +13,9 @@ using namespace geomap;
 int main(int argc, char** argv) {
   CliParser cli("Table 2: EC2 cross-region performance vs distance");
   cli.add_bool("csv", false, "emit CSV instead of the aligned table");
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
 
   const net::CloudTopology topo(net::aws2016_profile("c3.8xlarge", 2));
   const net::CalibrationResult calib = net::Calibrator().calibrate(topo);

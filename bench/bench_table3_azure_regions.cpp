@@ -12,7 +12,9 @@ using namespace geomap;
 int main(int argc, char** argv) {
   CliParser cli("Table 3: Azure cross-region performance");
   cli.add_bool("csv", false, "emit CSV instead of the aligned table");
+  bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsSink obs = bench::ObsSink::parse(cli);
 
   const net::CloudTopology topo(net::azure2016_profile(2));
   const net::CalibrationResult calib = net::Calibrator().calibrate(topo);

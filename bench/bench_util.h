@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "obs/collector.h"
+#include "obs/openmetrics.h"
 #include "core/geodist_mapper.h"
 #include "core/pipeline.h"
 #include "mapping/cost.h"
@@ -110,42 +111,56 @@ inline void print_table(const Table& table, bool csv) {
   else table.print(std::cout);
 }
 
-/// Register the shared observability flags. Empty path = exporter off.
-inline void add_obs_flags(CliParser& cli) {
-  cli.add_string("metrics-out", "",
-                 "write a metrics-registry JSON snapshot to this file");
-  cli.add_string("trace-out", "",
-                 "write a Chrome trace-event JSON file (Perfetto-loadable)");
-  cli.add_string("audit-out", "",
-                 "write the mapper decision audit trail JSON to this file");
-  cli.add_string("critpath-out", "",
-                 "write the causal critical-path JSON (geomap-obsctl input) "
-                 "to this file");
-  cli.add_string("timeline-out", "",
-                 "write the windowed time-series + detection timeline JSON "
-                 "(geomap-obsctl timeline input) to this file");
-  cli.add_string("profile-out", "",
-                 "write the hierarchical phase profile JSON (geomap-obsctl "
-                 "profile input) to this file");
-  cli.add_string("collapse-out", "",
-                 "write collapsed-stack lines (flamegraph.pl / speedscope "
-                 "input) to this file");
-  cli.add_string("obs-dir", "",
-                 "write all observability artifacts into this directory "
-                 "as metrics.json, trace.json, audit.json, critpath.json, "
-                 "timeline.json, profile.json, profile.collapsed "
-                 "(per-artifact --*-out flags override individual paths)");
-}
-
-/// Collector wired from the parsed observability flags (--obs-dir plus the
-/// per-artifact --metrics-out/--trace-out/--audit-out/--critpath-out
-/// overrides). collector() is nullptr when every flag is empty, so benches
+/// Collector wired from the shared observability flags (--obs-dir plus
+/// the per-artifact --*-out overrides). One call to add_flags() in every
+/// bench registers the full set; parse() (or the constructor) reads them
+/// back. collector() is nullptr when every flag is empty, so benches
 /// stay on the exact uninstrumented path unless asked; flush() (also run
 /// at destruction) writes whichever files were requested, each stamped
 /// with the run-metadata header (bench name from argv[0], the bench's
 /// --seed when it has one, geomap version, git describe, timestamp).
+/// checkpoint() writes the same set mid-run — atomically, via tmp+rename
+/// — so `geomap-obsctl watch` can follow a live --obs-dir without ever
+/// reading a half-written artifact.
 class ObsSink {
  public:
+  /// Register the shared observability flags. Empty path = exporter off.
+  static void add_flags(CliParser& cli) {
+    cli.add_string("metrics-out", "",
+                   "write a metrics-registry JSON snapshot to this file");
+    cli.add_string("trace-out", "",
+                   "write a Chrome trace-event JSON file (Perfetto-loadable)");
+    cli.add_string("audit-out", "",
+                   "write the mapper decision audit trail JSON to this file");
+    cli.add_string("critpath-out", "",
+                   "write the causal critical-path JSON (geomap-obsctl input) "
+                   "to this file");
+    cli.add_string("timeline-out", "",
+                   "write the windowed time-series + detection timeline JSON "
+                   "(geomap-obsctl timeline input) to this file");
+    cli.add_string("profile-out", "",
+                   "write the hierarchical phase profile JSON (geomap-obsctl "
+                   "profile input) to this file");
+    cli.add_string("collapse-out", "",
+                   "write collapsed-stack lines (flamegraph.pl / speedscope "
+                   "input) to this file");
+    cli.add_string("events-out", "",
+                   "write the structured event stream as JSON lines "
+                   "(geomap-obsctl events input) to this file");
+    cli.add_string("openmetrics-out", "",
+                   "write the metrics registry as OpenMetrics/Prometheus "
+                   "text exposition to this file");
+    cli.add_string("obs-dir", "",
+                   "write all observability artifacts into this directory "
+                   "as metrics.json, trace.json, audit.json, critpath.json, "
+                   "timeline.json, profile.json, profile.collapsed, "
+                   "events.jsonl, metrics.prom "
+                   "(per-artifact --*-out flags override individual paths)");
+  }
+
+  /// Read the flags add_flags() registered back into a sink.
+  static ObsSink parse(const CliParser& cli) { return ObsSink(cli); }
+
   explicit ObsSink(const CliParser& cli)
       : metrics_path_(cli.get_string("metrics-out")),
         trace_path_(cli.get_string("trace-out")),
@@ -153,7 +168,9 @@ class ObsSink {
         critpath_path_(cli.get_string("critpath-out")),
         timeline_path_(cli.get_string("timeline-out")),
         profile_path_(cli.get_string("profile-out")),
-        collapse_path_(cli.get_string("collapse-out")) {
+        collapse_path_(cli.get_string("collapse-out")),
+        events_path_(cli.get_string("events-out")),
+        openmetrics_path_(cli.get_string("openmetrics-out")) {
     const std::string dir = cli.get_string("obs-dir");
     if (!dir.empty()) {
       std::filesystem::create_directories(dir);
@@ -164,11 +181,14 @@ class ObsSink {
       if (timeline_path_.empty()) timeline_path_ = dir + "/timeline.json";
       if (profile_path_.empty()) profile_path_ = dir + "/profile.json";
       if (collapse_path_.empty()) collapse_path_ = dir + "/profile.collapsed";
+      if (events_path_.empty()) events_path_ = dir + "/events.jsonl";
+      if (openmetrics_path_.empty()) openmetrics_path_ = dir + "/metrics.prom";
     }
     if (!metrics_path_.empty() || !trace_path_.empty() ||
         !audit_path_.empty() || !critpath_path_.empty() ||
         !timeline_path_.empty() || !profile_path_.empty() ||
-        !collapse_path_.empty()) {
+        !collapse_path_.empty() || !events_path_.empty() ||
+        !openmetrics_path_.empty()) {
       collector_ = std::make_unique<obs::Collector>();
       // Pay for the forensic recorders only when their artifact was
       // asked for; the always-on set stays under the CI overhead gate.
@@ -184,13 +204,31 @@ class ObsSink {
 
   ObsSink(const ObsSink&) = delete;
   ObsSink& operator=(const ObsSink&) = delete;
+  ObsSink(ObsSink&&) = default;
   ~ObsSink() { flush(); }
 
   obs::Collector* collector() { return collector_.get(); }
 
+  /// Final export: writes every requested artifact once (latched; the
+  /// destructor is a no-op afterwards).
   void flush() {
     if (collector_ == nullptr || flushed_) return;
     flushed_ = true;
+    write_all();
+  }
+
+  /// Mid-run export for live watching: writes every requested artifact
+  /// *now* without latching, so a later checkpoint() or the final
+  /// flush() overwrites it with fresher state. Each file lands via
+  /// tmp + rename, so a concurrent reader (obsctl watch, tail -f on the
+  /// directory) never sees a torn artifact.
+  void checkpoint() {
+    if (collector_ == nullptr || flushed_) return;
+    write_all();
+  }
+
+ private:
+  void write_all() {
     write(metrics_path_, [&](std::ostream& os) {
       collector_->write_metrics_json(os);
     });
@@ -206,6 +244,13 @@ class ObsSink {
     write(timeline_path_, [&](std::ostream& os) {
       collector_->write_timeline_json(os);
     });
+    write(events_path_, [&](std::ostream& os) {
+      collector_->write_events_jsonl(os);
+    });
+    write(openmetrics_path_, [&](std::ostream& os) {
+      obs::write_openmetrics(os, obs::snapshot_metrics(collector_->metrics()),
+                             &collector_->meta());
+    });
     // Fold the OS view in right before export so profile.json's memory
     // section can be sanity-checked against the instrumented accounts
     // (no-op in deterministic mode).
@@ -218,13 +263,18 @@ class ObsSink {
     });
   }
 
- private:
   template <typename WriteFn>
   void write(const std::string& path, WriteFn&& fn) {
     if (path.empty()) return;
-    std::ofstream os(path);
-    GEOMAP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
-    fn(os);
+    // Write-then-rename keeps every published artifact whole even while
+    // a watcher polls the directory mid-run.
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp);
+      GEOMAP_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
+      fn(os);
+    }
+    std::filesystem::rename(tmp, path);
   }
 
   std::string metrics_path_;
@@ -234,6 +284,8 @@ class ObsSink {
   std::string timeline_path_;
   std::string profile_path_;
   std::string collapse_path_;
+  std::string events_path_;
+  std::string openmetrics_path_;
   std::unique_ptr<obs::Collector> collector_;
   bool flushed_ = false;
 };

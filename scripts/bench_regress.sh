@@ -193,6 +193,41 @@ run_profile_gate() {
   fi
 }
 
+# run_slo_gate <name>: SLO error budgets over the multi-tenant soak's
+# event stream. The soak is deterministic end to end and the export runs
+# under GEOMAP_PROFILE_DETERMINISTIC=1, so events.jsonl is byte-stable
+# and every slo.json leaf is a pure function of the workload. Two-fold:
+# `obsctl slo --gate` fails outright when any error budget is blown, and
+# `obsctl check` fails when a burn leaf grows (or a compliance leaf
+# drops) past the threshold over the blessed copy — a run can regress
+# toward the budget edge without crossing it, and the check catches that
+# drift before the gate ever would.
+run_slo_gate() {
+  local name=$1
+  shift
+  echo "== $name =="
+  mkdir -p "$OUT_DIR/$name"
+  GEOMAP_PROFILE_DETERMINISTIC=1 "$BUILD_DIR/bench/bench_multitenant" "$@" \
+    --obs-dir "$OUT_DIR/$name" > "$OUT_DIR/$name/stdout.json" \
+    || { echo "cross-tenant invariant violation" >&2; FAILED=1; }
+  "$OBSCTL" slo "$OUT_DIR/$name/events.jsonl" --gate \
+    || { echo "an SLO blew its error budget" >&2; FAILED=1; }
+  "$OBSCTL" slo "$OUT_DIR/$name/events.jsonl" --json \
+    > "$OUT_DIR/$name/slo.json"
+  if [[ $BLESS -eq 1 ]]; then
+    cp "$OUT_DIR/$name/slo.json" "$BASELINE_DIR/$name.slo.json"
+    echo "blessed $BASELINE_DIR/$name.slo.json"
+  elif [[ -f $BASELINE_DIR/$name.slo.json ]]; then
+    "$OBSCTL" check --threshold "$THRESHOLD" \
+      --watch 'slos.*.burn,-slos.*.compliance,slos.*.worst' \
+      "$BASELINE_DIR/$name.slo.json" \
+      "$OUT_DIR/$name/slo.json" || FAILED=1
+  else
+    echo "no baseline $BASELINE_DIR/$name.slo.json — run with --bless" >&2
+    FAILED=1
+  fi
+}
+
 # The gate set: one healthy contention-replay bench, one faulted
 # remap-on-outage bench, the closed-loop detector head-to-head, and the
 # migration executor carrying a remap out — all small enough to finish in
@@ -204,6 +239,7 @@ run_detector_gate detector_closed_loop --ranks=16
 run_migrate_gate fault_recovery_migrate --ranks=16
 run_multitenant_gate multitenant --tenants 12 --sweep 3
 run_profile_gate fig7_scale --min-scale=64 --max-scale=128 --trials=3
+run_slo_gate multitenant_soak --soak 2 --soak-tenants 12
 
 if [[ $BLESS -eq 1 ]]; then
   echo "baselines written to $BASELINE_DIR/"

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate an events.jsonl artifact (src/obs/eventlog.h).
+
+Checks:
+  * the first line is the meta object ({"kind": "meta", ...}) carrying
+    integer `events` (total emitted) and `dropped` counts;
+  * every following line is one complete JSON event object with the
+    required keys (seq, t, severity, component, event, fields);
+  * sequence numbers are strictly increasing and the first retained
+    event's seq is dropped + 1 (retention drops oldest-first);
+  * severities are from the closed set;
+  * retained count == events - dropped.
+
+Exit 0 when the artifact is well-formed, 1 with a diagnostic otherwise.
+
+Usage: check_events_jsonl.py <events.jsonl>
+"""
+
+import json
+import sys
+
+SEVERITIES = {"debug", "info", "warn", "error"}
+REQUIRED_KEYS = {"seq", "t", "severity", "component", "event", "fields"}
+
+
+def fail(msg):
+    print(f"check_events_jsonl: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <events.jsonl>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+
+    if not lines:
+        fail(f"{path} is empty — expected a meta line")
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail(f"{path}:1: meta line is not valid JSON: {e}")
+    if meta.get("kind") != "meta":
+        fail(f'{path}:1: first line must be the meta object ("kind": "meta")')
+    total, dropped = meta.get("events"), meta.get("dropped")
+    if not isinstance(total, int) or not isinstance(dropped, int):
+        fail(f"{path}:1: meta needs integer 'events' and 'dropped' counts")
+
+    last_seq = dropped  # first retained event must be dropped + 1
+    retained = 0
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            fail(f"{path}:{lineno}: blank line inside the stream")
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno}: not valid JSON: {e}")
+        missing = REQUIRED_KEYS - event.keys()
+        if missing:
+            fail(f"{path}:{lineno}: missing keys {sorted(missing)}")
+        seq = event["seq"]
+        if not isinstance(seq, int) or seq <= last_seq:
+            fail(
+                f"{path}:{lineno}: seq {seq!r} not strictly increasing "
+                f"(previous {last_seq})"
+            )
+        if event["severity"] not in SEVERITIES:
+            fail(f"{path}:{lineno}: unknown severity {event['severity']!r}")
+        if not isinstance(event["fields"], dict):
+            fail(f"{path}:{lineno}: 'fields' must be an object")
+        last_seq = seq
+        retained += 1
+
+    if retained != total - dropped:
+        fail(
+            f"{path}: retained {retained} events but meta says "
+            f"{total} - {dropped} dropped = {total - dropped}"
+        )
+    print(
+        f"check_events_jsonl: OK — {retained} events "
+        f"({dropped} dropped, max seq {last_seq})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Lint a metrics.prom artifact (src/obs/openmetrics.h).
+
+Checks the exposition-format contract the renderer promises:
+  * every metric family is declared by a `# TYPE <name> <counter|gauge|
+    summary>` line before any of its samples;
+  * every sample line belongs to a declared family, with the conventional
+    suffixes per type (counter samples end `_total`; summary samples are
+    quantile-labeled or end `_sum` / `_count`);
+  * metric names stay inside the OpenMetrics charset with the `geomap_`
+    prefix (build_info included);
+  * sample values parse as numbers;
+  * the exposition ends with the mandatory `# EOF` terminator and
+    nothing after it.
+
+Exit 0 on a clean exposition, 1 with a diagnostic otherwise.
+
+Usage: check_openmetrics.py <metrics.prom>
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^geomap_[a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z0-9_]+)(\{[^}]*\})?\s+(\S+)$")
+
+
+def fail(msg):
+    print(f"check_openmetrics: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_family(name, families):
+    """Map a sample's metric name back to its declared family."""
+    if name in families:
+        return name
+    for suffix in ("_total", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return None
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <metrics.prom>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+
+    families = {}  # name -> type
+    samples = 0
+    saw_eof = False
+    for lineno, line in enumerate(lines, start=1):
+        if saw_eof:
+            fail(f"{path}:{lineno}: content after the # EOF terminator")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "summary"):
+                fail(f"{path}:{lineno}: malformed TYPE line: {line!r}")
+            name = parts[2]
+            if not NAME_RE.match(name):
+                fail(f"{path}:{lineno}: family {name!r} outside the charset")
+            if name in families:
+                fail(f"{path}:{lineno}: family {name!r} declared twice")
+            families[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP and other comments
+        if not line.strip():
+            fail(f"{path}:{lineno}: blank line in exposition")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+        name, labels, value = m.groups()
+        family = base_family(name, families)
+        if family is None:
+            fail(f"{path}:{lineno}: sample {name!r} has no TYPE declaration")
+        ftype = families[family]
+        if ftype == "counter" and not name.endswith("_total"):
+            fail(f"{path}:{lineno}: counter sample {name!r} must end _total")
+        if ftype == "summary" and name == family and (
+            labels is None or "quantile=" not in labels
+        ):
+            fail(f"{path}:{lineno}: summary sample {name!r} needs a quantile label")
+        try:
+            float(value)
+        except ValueError:
+            fail(f"{path}:{lineno}: non-numeric sample value {value!r}")
+        samples += 1
+
+    if not saw_eof:
+        fail(f"{path}: missing the # EOF terminator")
+    if not families:
+        fail(f"{path}: no metric families declared")
+    print(
+        f"check_openmetrics: OK — {len(families)} families, {samples} samples"
+    )
+
+
+if __name__ == "__main__":
+    main()

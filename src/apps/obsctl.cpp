@@ -41,18 +41,38 @@
 //   check <baseline> <current>         like diff, but exits 1 when a watched
 //                                      leaf regressed past --threshold (or
 //                                      vanished). CI's bench-regress gate.
+//   events <events.jsonl>              filter and pretty-print the
+//                                      structured event stream (component /
+//                                      severity / time-range filters;
+//                                      --json re-emits matching lines;
+//                                      --follow tails a live artifact).
+//   slo <events.jsonl>                 evaluate SLO specs (built-in set or
+//                                      --spec file) over the event stream:
+//                                      per-SLO compliance and error-budget
+//                                      burn. --json emits the slo.json
+//                                      form; --gate exits 1 when any SLO
+//                                      blew its budget.
+//   watch <obs-dir>                    periodically re-render a live
+//                                      --obs-dir (event tail, SLO burn,
+//                                      timeline lanes) — artifacts land
+//                                      via tmp+rename so a mid-run read is
+//                                      never torn; missing files are
+//                                      reported, not fatal.
 //
-// Exit codes: 0 ok / no regression, 1 regression detected (check only),
-// 2 usage error or missing/unreadable artifact, 3 artifact found but its
-// JSON is malformed. Scripts can tell "the bench never ran" (2) from "the
-// bench wrote garbage" (3) without parsing stderr.
+// Exit codes: 0 ok / no regression, 1 regression detected (check and
+// slo --gate), 2 usage error or missing/unreadable artifact, 3 artifact
+// found but its JSON is malformed. Scripts can tell "the bench never ran"
+// (2) from "the bench wrote garbage" (3) without parsing stderr.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <map>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -62,7 +82,9 @@
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "obs/critpath.h"
+#include "obs/eventlog.h"
 #include "obs/regress.h"
+#include "obs/slo.h"
 #include "obs/timeseries.h"
 
 using namespace geomap;
@@ -75,11 +97,19 @@ int usage(std::ostream& os, int code) {
         "[--json]\n"
         "  geomap-obsctl timeline <timeline.json> [--series NAME] "
         "[--width N]\n"
+        "                [--since T] [--until T]\n"
         "  geomap-obsctl profile <profile.json> [--top K] [--collapse]\n"
         "  geomap-obsctl profile diff <baseline.json> <current.json> "
         "[--gate]\n"
         "  geomap-obsctl diff <baseline.json> <current.json> [--all]\n"
         "  geomap-obsctl check <baseline.json> <current.json>\n"
+        "  geomap-obsctl events <events.jsonl> [--component C] [--event E]\n"
+        "                [--severity S] [--since T] [--until T] [--json]\n"
+        "                [--follow] [--interval SEC] [--iterations N]\n"
+        "  geomap-obsctl slo <events.jsonl> [--spec specs.json] [--json] "
+        "[--gate]\n"
+        "  geomap-obsctl watch <obs-dir> [--interval SEC] [--iterations N]\n"
+        "                [--series NAME] [--width N] [--tail K]\n"
         "\n"
         "Flags for profile:\n"
         "  --top K           hot leaves listed (default 10)\n"
@@ -93,6 +123,25 @@ int usage(std::ostream& os, int code) {
         "lane\n"
         "                    (default link.latency_ratio)\n"
         "  --width N         columns in the rendered lanes (default 64)\n"
+        "  --since/--until T render only [T_since, T_until] (virtual "
+        "seconds)\n"
+        "\n"
+        "Flags for events:\n"
+        "  --component C     only events from component C\n"
+        "  --event E         only events named E\n"
+        "  --severity S      minimum severity (debug|info|warn|error)\n"
+        "  --since/--until T only events with T_since <= t <= T_until\n"
+        "  --json            re-emit matching events as JSON lines\n"
+        "  --follow          poll the file and print new events as they "
+        "land\n"
+        "  --interval SEC    follow/watch poll period (default 2)\n"
+        "  --iterations N    stop after N polls (0 = forever)\n"
+        "\n"
+        "Flags for slo:\n"
+        "  --spec FILE       JSON spec set ({\"slos\": [...]}; default: "
+        "built-in)\n"
+        "  --json            emit the slo.json artifact form\n"
+        "  --gate            exit 1 when any SLO blew its error budget\n"
         "\n"
         "Shared flags for diff/check:\n"
         "  --threshold PCT   relative change that fails check "
@@ -108,8 +157,9 @@ int usage(std::ostream& os, int code) {
         "\n"
         "Exit codes:\n"
         "  0   success / no regression\n"
-        "  1   check: a watched leaf regressed past the threshold (or "
-        "vanished)\n"
+        "  1   check / slo --gate: a watched leaf regressed past the "
+        "threshold\n"
+        "      (or vanished), or an SLO blew its error budget\n"
         "  2   usage error, or an artifact is missing / unreadable\n"
         "  3   an artifact was found but its JSON is malformed\n";
   return code;
@@ -354,24 +404,17 @@ std::string format_end(Seconds end) {
   return std::isfinite(end) ? format_double(end, 3) : std::string("open");
 }
 
-int cmd_timeline(const std::vector<std::string>& args) {
-  std::string path;
+/// Render options shared by `timeline` and each `watch` tick.
+struct TimelineOptions {
   std::string series_name = "link.latency_ratio";
   int width = 64;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--series" && i + 1 < args.size()) {
-      series_name = args[++i];
-    } else if (args[i] == "--width" && i + 1 < args.size()) {
-      width = std::stoi(args[++i]);
-    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
-      path = args[i];
-    } else {
-      return usage(std::cerr, 2);
-    }
-  }
-  if (path.empty() || width < 8) return usage(std::cerr, 2);
+  Seconds since = -std::numeric_limits<double>::infinity();
+  Seconds until = std::numeric_limits<double>::infinity();
+};
 
-  const JsonValue doc = parse_json_file(path);
+int render_timeline(const JsonValue& doc, const TimelineOptions& opt) {
+  const std::string& series_name = opt.series_name;
+  const int width = opt.width;
   const JsonValue* series = doc.find("series");
   GEOMAP_CHECK_ARG(series != nullptr && series->is_object(),
                    "not a timeline artifact (no top-level 'series' object)");
@@ -420,6 +463,7 @@ int cmd_timeline(const std::vector<std::string>& args) {
         if (!p.is_array() || p.items().size() != 2) continue;
         const Seconds t = p.items()[0].as_number();
         const double v = p.items()[1].as_number();
+        if (t < opt.since || t > opt.until) continue;
         if (is_link && name == series_name)
           points[{tenant, src, dst}].push_back({t, v});
         if (is_link && name == "migration.bytes")
@@ -442,6 +486,12 @@ int cmd_timeline(const std::vector<std::string>& args) {
     }
   }
 
+  // Episodes and truth windows keep their true extents but only render
+  // when they intersect [since, until]; widen() sees the clamped values
+  // so the axis never stretches past the requested range.
+  const auto clamp = [&](Seconds t) {
+    return std::min(opt.until, std::max(opt.since, t));
+  };
   std::vector<TimelineEpisode> detections;
   if (const JsonValue* dets = doc.find("detections")) {
     for (const JsonValue& d : dets->items()) {
@@ -454,9 +504,10 @@ int cmd_timeline(const std::vector<std::string>& args) {
       e.end = end_or_inf(d);
       e.severity = d.number_or("severity", 0);
       e.confidence = d.number_or("confidence", 0);
-      widen(e.onset);
-      widen(e.detect);
-      widen(e.end);
+      if (e.onset > opt.until || e.end < opt.since) continue;
+      widen(clamp(e.onset));
+      widen(clamp(e.detect));
+      widen(clamp(e.end));
       detections.push_back(e);
     }
   }
@@ -470,8 +521,9 @@ int cmd_timeline(const std::vector<std::string>& args) {
       w.end = end_or_inf(t);
       const JsonValue* down = t.find("down");
       w.down = down != nullptr && down->is_bool() && down->as_bool();
-      widen(w.start);
-      widen(w.end);
+      if (w.start > opt.until || w.end < opt.since) continue;
+      widen(clamp(w.start));
+      widen(clamp(w.end));
       truth.push_back(w);
     }
   }
@@ -670,6 +722,303 @@ int cmd_timeline(const std::vector<std::string>& args) {
               << " false positive; windows: "
               << score->number_or("detected_windows", 0) << " detected, "
               << score->number_or("missed_windows", 0) << " missed\n";
+  }
+  return 0;
+}
+
+int cmd_timeline(const std::vector<std::string>& args) {
+  std::string path;
+  TimelineOptions opt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--series" && i + 1 < args.size()) {
+      opt.series_name = args[++i];
+    } else if (args[i] == "--width" && i + 1 < args.size()) {
+      opt.width = std::stoi(args[++i]);
+    } else if (args[i] == "--since" && i + 1 < args.size()) {
+      opt.since = std::stod(args[++i]);
+    } else if (args[i] == "--until" && i + 1 < args.size()) {
+      opt.until = std::stod(args[++i]);
+    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
+      path = args[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty() || opt.width < 8 || opt.since > opt.until)
+    return usage(std::cerr, 2);
+  return render_timeline(parse_json_file(path), opt);
+}
+
+// ---------------------------------------------------------------------------
+// events / slo / watch
+
+std::vector<obs::Event> load_events(const std::string& path) {
+  std::ifstream is(path);
+  GEOMAP_CHECK_MSG(is.good(), "cannot open " << path);
+  return obs::read_events_jsonl(is);
+}
+
+struct EventFilter {
+  std::string component;  // empty = any
+  std::string name;       // empty = any
+  obs::EventSeverity min_severity = obs::EventSeverity::kDebug;
+  Seconds since = -std::numeric_limits<double>::infinity();
+  Seconds until = std::numeric_limits<double>::infinity();
+
+  bool matches(const obs::Event& e) const {
+    if (!component.empty() && e.component != component) return false;
+    if (!name.empty() && e.name != name) return false;
+    if (static_cast<int>(e.severity) < static_cast<int>(min_severity))
+      return false;
+    return e.t >= since && e.t <= until;
+  }
+};
+
+std::string format_event_fields(const obs::Event& e) {
+  std::string out;
+  for (const obs::EventField& f : e.fields) {
+    if (!out.empty()) out += "  ";
+    out += f.key + "=";
+    switch (f.kind) {
+      case obs::EventField::Kind::kInt:
+        out += std::to_string(f.int_value);
+        break;
+      case obs::EventField::Kind::kDouble:
+        out += format_double(f.double_value, 6);
+        break;
+      case obs::EventField::Kind::kString:
+        out += f.string_value;
+        break;
+      case obs::EventField::Kind::kBool:
+        out += f.bool_value ? "true" : "false";
+        break;
+    }
+  }
+  return out;
+}
+
+void print_event_line(const obs::Event& e) {
+  std::cout << "#" << e.seq << "  t=" << format_double(e.t, 3) << "  ["
+            << obs::to_string(e.severity) << "]  " << e.component << "/"
+            << e.name << "  " << format_event_fields(e) << "\n";
+}
+
+int cmd_events(const std::vector<std::string>& args) {
+  std::string path;
+  EventFilter filter;
+  bool as_json = false;
+  bool follow = false;
+  double interval = 2.0;
+  int iterations = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--component" && i + 1 < args.size()) {
+      filter.component = args[++i];
+    } else if (args[i] == "--event" && i + 1 < args.size()) {
+      filter.name = args[++i];
+    } else if (args[i] == "--severity" && i + 1 < args.size()) {
+      filter.min_severity = obs::parse_event_severity(args[++i]);
+    } else if (args[i] == "--since" && i + 1 < args.size()) {
+      filter.since = std::stod(args[++i]);
+    } else if (args[i] == "--until" && i + 1 < args.size()) {
+      filter.until = std::stod(args[++i]);
+    } else if (args[i] == "--json") {
+      as_json = true;
+    } else if (args[i] == "--follow") {
+      follow = true;
+    } else if (args[i] == "--interval" && i + 1 < args.size()) {
+      interval = std::stod(args[++i]);
+    } else if (args[i] == "--iterations" && i + 1 < args.size()) {
+      iterations = std::stoi(args[++i]);
+    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
+      path = args[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty() || filter.since > filter.until || interval <= 0)
+    return usage(std::cerr, 2);
+
+  if (!follow) {
+    const std::vector<obs::Event> events = load_events(path);
+    std::size_t matched = 0;
+    for (const obs::Event& e : events) {
+      if (!filter.matches(e)) continue;
+      ++matched;
+      if (as_json) {
+        std::cout << obs::event_to_json(e) << "\n";
+      } else {
+        print_event_line(e);
+      }
+    }
+    if (!as_json) {
+      std::cout << matched << " / " << events.size() << " events matched\n";
+    }
+    return 0;
+  }
+
+  // Follow mode: the exporter republishes the whole artifact atomically
+  // (tmp + rename), so each poll re-reads it and prints only events with
+  // a sequence number beyond the last one seen. A missing or half-born
+  // file just means "nothing yet".
+  std::uint64_t last_seq = 0;
+  for (int tick = 1;; ++tick) {
+    try {
+      for (const obs::Event& e : load_events(path)) {
+        if (e.seq <= last_seq) continue;
+        last_seq = e.seq;
+        if (!filter.matches(e)) continue;
+        if (as_json) {
+          std::cout << obs::event_to_json(e) << "\n";
+        } else {
+          print_event_line(e);
+        }
+      }
+      std::cout.flush();
+    } catch (const std::exception&) {
+      // Not written yet (or mid-rename): keep polling.
+    }
+    if (iterations > 0 && tick >= iterations) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long long>(interval * 1000)));
+  }
+  return 0;
+}
+
+int cmd_slo(const std::vector<std::string>& args) {
+  std::string path;
+  std::string spec_path;
+  bool as_json = false;
+  bool gate = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--spec" && i + 1 < args.size()) {
+      spec_path = args[++i];
+    } else if (args[i] == "--json") {
+      as_json = true;
+    } else if (args[i] == "--gate") {
+      gate = true;
+    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
+      path = args[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty()) return usage(std::cerr, 2);
+
+  const std::vector<obs::Event> events = load_events(path);
+  const std::vector<obs::SloSpec> specs =
+      spec_path.empty() ? obs::default_slo_specs()
+                        : obs::slo_specs_from_json(parse_json_file(spec_path));
+  const obs::SloReport report = obs::evaluate_slos(events, specs);
+
+  if (as_json) {
+    obs::write_slo_json(std::cout, report);
+    std::cout << "\n";
+  } else {
+    Table table({"slo", "objective", "threshold", "events", "good", "bad",
+                 "compliance", "burn", "worst", "status"});
+    for (const obs::SloResult& r : report.slos) {
+      table.row()
+          .cell(r.spec.name)
+          .cell(r.spec.objective, 3)
+          .cell(r.spec.threshold, 3)
+          .cell(static_cast<long long>(r.events))
+          .cell(static_cast<long long>(r.good))
+          .cell(static_cast<long long>(r.bad))
+          .cell(r.compliance, 4)
+          .cell(r.burn, 3)
+          .cell(r.worst, 3)
+          .cell(r.ok ? "ok" : "BUDGET BLOWN");
+    }
+    table.print(std::cout);
+    std::cout << (report.ok ? "all SLOs within budget"
+                            : "error budget exceeded")
+              << " (" << events.size() << " events evaluated)\n";
+  }
+  if (gate) return report.ok ? 0 : 1;
+  return 0;
+}
+
+int cmd_watch(const std::vector<std::string>& args) {
+  std::string dir;
+  double interval = 2.0;
+  int iterations = 0;
+  int tail = 8;
+  TimelineOptions tl;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--interval" && i + 1 < args.size()) {
+      interval = std::stod(args[++i]);
+    } else if (args[i] == "--iterations" && i + 1 < args.size()) {
+      iterations = std::stoi(args[++i]);
+    } else if (args[i] == "--series" && i + 1 < args.size()) {
+      tl.series_name = args[++i];
+    } else if (args[i] == "--width" && i + 1 < args.size()) {
+      tl.width = std::stoi(args[++i]);
+    } else if (args[i] == "--tail" && i + 1 < args.size()) {
+      tail = std::stoi(args[++i]);
+    } else if (dir.empty() && args[i].rfind("--", 0) != 0) {
+      dir = args[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (dir.empty() || interval <= 0 || tl.width < 8 || tail < 0)
+    return usage(std::cerr, 2);
+
+  // Every tick re-reads whatever artifacts exist right now. The bench
+  // side publishes via tmp + rename, so a read is all-or-nothing; a
+  // file that is not there yet (or got half-typed by something else) is
+  // reported inline and watched again next tick.
+  for (int tick = 1;; ++tick) {
+    print_banner(std::cout, "watch " + dir + "  tick " +
+                                std::to_string(tick));
+    try {
+      const std::vector<obs::Event> events =
+          load_events(dir + "/events.jsonl");
+      int by_severity[4] = {0, 0, 0, 0};
+      for (const obs::Event& e : events)
+        by_severity[static_cast<int>(e.severity)] += 1;
+      std::cout << "events: " << events.size() << " retained ("
+                << by_severity[3] << " error, " << by_severity[2]
+                << " warn, " << by_severity[1] << " info, " << by_severity[0]
+                << " debug)\n";
+      const std::size_t from =
+          events.size() > static_cast<std::size_t>(tail)
+              ? events.size() - static_cast<std::size_t>(tail)
+              : 0;
+      for (std::size_t i = from; i < events.size(); ++i)
+        print_event_line(events[i]);
+
+      const obs::SloReport slo =
+          obs::evaluate_slos(events, obs::default_slo_specs());
+      std::cout << "slo:";
+      for (const obs::SloResult& r : slo.slos) {
+        std::cout << "  " << r.spec.name << " burn="
+                  << format_double(r.burn, 2) << (r.ok ? "" : " BLOWN");
+      }
+      std::cout << "\n";
+    } catch (const std::exception& e) {
+      std::cout << "events.jsonl: unavailable (" << e.what() << ")\n";
+    }
+    try {
+      std::ifstream prom(dir + "/metrics.prom");
+      if (prom.good()) {
+        int families = 0;
+        std::string line;
+        while (std::getline(prom, line))
+          if (line.rfind("# TYPE ", 0) == 0) ++families;
+        std::cout << "metrics.prom: " << families << " metric families\n";
+      }
+    } catch (const std::exception&) {
+    }
+    try {
+      render_timeline(parse_json_file(dir + "/timeline.json"), tl);
+    } catch (const std::exception&) {
+      std::cout << "timeline.json: (not yet written)\n";
+    }
+    std::cout.flush();
+    if (iterations > 0 && tick >= iterations) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long long>(interval * 1000)));
   }
   return 0;
 }
@@ -987,6 +1336,9 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "timeline") return cmd_timeline(args);
+    if (cmd == "events") return cmd_events(args);
+    if (cmd == "slo") return cmd_slo(args);
+    if (cmd == "watch") return cmd_watch(args);
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "diff") return cmd_compare(args, /*gate=*/false);
     if (cmd == "check") return cmd_compare(args, /*gate=*/true);

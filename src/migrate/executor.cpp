@@ -88,6 +88,7 @@ class Engine {
       obs_downtime_ = &c.metrics().histogram("migration.downtime_seconds");
       obs_prepare_wait_ =
           &c.metrics().histogram("migration.prepare_wait_seconds");
+      elog_ = &c.events();
       timeline_ = &c.timeline();
       tl_migration_.assign(static_cast<std::size_t>(m_) * m_, nullptr);
       tl_latency_.assign(static_cast<std::size_t>(m_) * m_, nullptr);
@@ -252,6 +253,24 @@ class Engine {
 
   void journal(fault::MigrationEventKind kind, Seconds t, ProcessId p,
                SiteId from, SiteId to, Bytes bytes = 0) {
+    // Protocol transitions also stream to the event log (independent of
+    // record_events — the journal is the certification input, the event
+    // log the live feed). Chunk landings are dense wire traffic and stay
+    // out; the timeline series already carry them.
+    if (elog_ != nullptr && kind != fault::MigrationEventKind::kChunk) {
+      const bool trouble = kind == fault::MigrationEventKind::kRollback ||
+                           kind == fault::MigrationEventKind::kReplan;
+      std::vector<obs::EventField> fields;
+      fields.reserve(4);
+      fields.push_back(obs::field("process", p));
+      fields.push_back(obs::field("from", from));
+      fields.push_back(obs::field("to", to));
+      if (kind == fault::MigrationEventKind::kCommit && p >= 0)
+        fields.push_back(obs::field("downtime", record(p).downtime));
+      elog_->emit(t,
+                  trouble ? obs::EventSeverity::kWarn : obs::EventSeverity::kInfo,
+                  "migrate", fault::to_string(kind), std::move(fields));
+    }
     if (!options_.record_events) return;
     report_.events.push_back({kind, t, p, from, to, bytes});
   }
@@ -592,6 +611,10 @@ class Engine {
     }
     const SiteId old_home = home(p);
     const SiteId d = ps.dest;
+    ProcessMigrationRecord& rec = record(p);
+    // Downtime is determined at commit; compute it before journaling so
+    // the streamed commit event carries it.
+    rec.downtime = t - ps.last_chunk_start;
     journal(fault::MigrationEventKind::kCommit, t, p, old_home, d);
     note_activity(t);
     resident_[static_cast<std::size_t>(old_home)] -= 1;
@@ -600,10 +623,8 @@ class Engine {
     home_[static_cast<std::size_t>(p)] = d;
     ps.phase = Phase::kCommitted;
     ps.epoch += 1;
-    ProcessMigrationRecord& rec = record(p);
     rec.outcome = ProcessOutcome::kCommitted;
     rec.commit_time = t;
-    rec.downtime = t - ps.last_chunk_start;
     report_.max_downtime = std::max(report_.max_downtime, rec.downtime);
     report_.total_downtime += rec.downtime;
     if (obs_commits_ != nullptr) obs_commits_->add();
@@ -905,6 +926,7 @@ class Engine {
   obs::Histogram* obs_chunk_seconds_ = nullptr;
   obs::Histogram* obs_downtime_ = nullptr;
   obs::Histogram* obs_prepare_wait_ = nullptr;
+  obs::EventLog* elog_ = nullptr;
   obs::TimeSeriesRegistry* timeline_ = nullptr;
   std::vector<obs::TimeSeries*> tl_migration_;
   std::vector<obs::TimeSeries*> tl_latency_;

@@ -143,6 +143,8 @@ SoakCase run_soak_case(std::uint64_t seed, const SoakOptions& options) {
   ropts.bytes_per_process = options.bytes_per_process;
 
   obs::DegradationDetector detector;
+  if (options.migrate.collector != nullptr)
+    detector.set_event_log(&options.migrate.collector->events());
   detector.scan(telemetry.timeline());
 
   Mapping target;

@@ -19,6 +19,7 @@
 #include "obs/audit.h"
 #include "obs/critpath.h"
 #include "obs/detector.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/run_meta.h"
@@ -52,6 +53,9 @@ class Collector {
 
   MemTracker& mem() { return mem_; }
   const MemTracker& mem() const { return mem_; }
+
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
 
   /// Run metadata stamped into every exported artifact. Set once by the
   /// bench harness before the first export; default is an empty header.
@@ -93,6 +97,9 @@ class Collector {
   void write_profile_collapsed(std::ostream& os) const {
     profile_.write_collapsed(os);
   }
+  void write_events_jsonl(std::ostream& os) const {
+    events_.write_jsonl(os, &meta_);
+  }
 
  private:
   MetricsRegistry metrics_;
@@ -103,6 +110,7 @@ class Collector {
   DetectionLog detections_;
   PhaseProfiler profile_;
   MemTracker mem_;
+  EventLog events_;
   RunMeta meta_;
   bool audit_enabled_ = true;
   bool critpath_enabled_ = true;

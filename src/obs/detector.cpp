@@ -57,11 +57,33 @@ DegradationDetector::LinkState& DegradationDetector::state(SiteId src,
   return links_[{src, dst}];
 }
 
+void DegradationDetector::emit_onset(const DegradationEvent& e) {
+  if (event_log_ == nullptr) return;
+  event_log_->emit(e.detect_vtime, EventSeverity::kWarn, "detector", "onset",
+                   {field("src", e.src), field("dst", e.dst),
+                    field("kind", to_string(e.kind)),
+                    field("onset", e.onset_vtime),
+                    field("latency", std::max(0.0, e.detect_vtime - e.onset_vtime)),
+                    field("severity", e.severity),
+                    field("confidence", e.confidence)});
+}
+
+void DegradationDetector::emit_clear(const DegradationEvent& e, Seconds t) {
+  if (event_log_ == nullptr) return;
+  event_log_->emit(t, EventSeverity::kInfo, "detector", "clear",
+                   {field("src", e.src), field("dst", e.dst),
+                    field("kind", to_string(e.kind)),
+                    field("duration", std::max(0.0, t - e.onset_vtime)),
+                    field("severity", e.severity),
+                    field("confidence", e.confidence)});
+}
+
 void DegradationDetector::maybe_close_down(LinkState& s, Seconds t) {
   if (s.open_down < 0) return;
   if (t - s.last_down_signal <= options_.down_quiet) return;
-  events_[static_cast<std::size_t>(s.open_down)].end_vtime =
-      s.last_down_signal + options_.down_quiet;
+  DegradationEvent& open = events_[static_cast<std::size_t>(s.open_down)];
+  open.end_vtime = s.last_down_signal + options_.down_quiet;
+  emit_clear(open, open.end_vtime);
   s.open_down = -1;
   s.recent_retries.clear();
 }
@@ -107,6 +129,7 @@ void DegradationDetector::observe_latency_ratio(SiteId src, SiteId dst,
       e.confidence = std::min(1.0, s.cusum / (2 * h));
       s.open_latency = static_cast<std::ptrdiff_t>(events_.size());
       events_.push_back(e);
+      emit_onset(e);
     }
     return;
   }
@@ -116,6 +139,7 @@ void DegradationDetector::observe_latency_ratio(SiteId src, SiteId dst,
   open.confidence = std::max(open.confidence, std::min(1.0, s.cusum / (2 * h)));
   if (s.cusum <= options_.clear_fraction * h) {
     open.end_vtime = t;
+    emit_clear(open, t);
     s.open_latency = -1;
     s.cusum = 0;
     s.excursion_start = -1;
@@ -162,6 +186,7 @@ void DegradationDetector::observe_retry(SiteId src, SiteId dst, Seconds t,
     s.open_down = static_cast<std::ptrdiff_t>(events_.size());
     s.last_down_signal = t;
     events_.push_back(e);
+    emit_onset(e);
   }
 }
 
@@ -187,6 +212,7 @@ void DegradationDetector::observe_timeout(SiteId src, SiteId dst, Seconds t) {
   s.open_down = static_cast<std::ptrdiff_t>(events_.size());
   s.last_down_signal = t;
   events_.push_back(e);
+  emit_onset(e);
 }
 
 void DegradationDetector::scan(const TimeSeriesRegistry& timeline) {

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/eventlog.h"
 #include "obs/timeseries.h"
 
 namespace geomap::obs {
@@ -127,6 +128,12 @@ class DegradationDetector {
   /// sorted by (onset, src, dst, kind).
   std::vector<DegradationEvent> events() const;
 
+  /// Opt-in streaming emission: with a log attached the detector emits
+  /// one "detector/onset" event when an episode opens (with the
+  /// detection latency detect − onset) and one "detector/clear" when it
+  /// closes. nullptr (the default) keeps the exact unobserved code path.
+  void set_event_log(EventLog* log) { event_log_ = log; }
+
   const DetectorOptions& options() const { return options_; }
 
  private:
@@ -146,9 +153,13 @@ class DegradationDetector {
   LinkState& state(SiteId src, SiteId dst);
   void maybe_close_down(LinkState& s, Seconds t);
 
+  void emit_onset(const DegradationEvent& e);
+  void emit_clear(const DegradationEvent& e, Seconds t);
+
   DetectorOptions options_;
   std::map<std::pair<SiteId, SiteId>, LinkState> links_;
   std::vector<DegradationEvent> events_;
+  EventLog* event_log_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,220 @@
+#include "obs/eventlog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "obs/run_meta.h"
+
+namespace geomap::obs {
+
+namespace {
+
+bool deterministic_from_env() {
+  const char* v = std::getenv("GEOMAP_PROFILE_DETERMINISTIC");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+void write_field_value(JsonWriter& w, const EventField& f) {
+  switch (f.kind) {
+    case EventField::Kind::kInt:
+      w.value(f.int_value);
+      break;
+    case EventField::Kind::kDouble:
+      w.value(f.double_value);
+      break;
+    case EventField::Kind::kString:
+      w.value(f.string_value);
+      break;
+    case EventField::Kind::kBool:
+      w.value(f.bool_value);
+      break;
+  }
+}
+
+}  // namespace
+
+const char* to_string(EventSeverity s) {
+  switch (s) {
+    case EventSeverity::kDebug:
+      return "debug";
+    case EventSeverity::kInfo:
+      return "info";
+    case EventSeverity::kWarn:
+      return "warn";
+    case EventSeverity::kError:
+      return "error";
+  }
+  return "info";
+}
+
+EventSeverity parse_event_severity(const std::string& s) {
+  if (s == "debug") return EventSeverity::kDebug;
+  if (s == "info") return EventSeverity::kInfo;
+  if (s == "warn") return EventSeverity::kWarn;
+  if (s == "error") return EventSeverity::kError;
+  throw Error("unknown event severity: " + s);
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? kDefaultCapacity : capacity) {}
+
+void EventLog::emit(Seconds t, EventSeverity severity, std::string component,
+                    std::string name, std::vector<EventField> fields) {
+  Event e;
+  e.t = t;
+  e.severity = severity;
+  e.component = std::move(component);
+  e.name = std::move(name);
+  e.fields = std::move(fields);
+  std::lock_guard<std::mutex> lock(mutex_);
+  e.seq = ++total_;
+  events_.push_back(std::move(e));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::uint64_t EventLog::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<Event> EventLog::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Event>(events_.begin(), events_.end());
+}
+
+bool EventLog::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty();
+}
+
+std::string event_to_json(const Event& e) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("seq", e.seq);
+  w.field("t", e.t);
+  w.field("severity", to_string(e.severity));
+  w.field("component", e.component);
+  w.field("event", e.name);
+  w.key("fields").begin_object();
+  for (const EventField& f : e.fields) {
+    w.key(f.key);
+    write_field_value(w, f);
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+void EventLog::write_jsonl(std::ostream& os, const RunMeta* meta) const {
+  std::vector<Event> events;
+  std::uint64_t total = 0, dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events.assign(events_.begin(), events_.end());
+    total = total_;
+    dropped = dropped_;
+  }
+  if (deterministic_from_env()) {
+    // Rank threads race on emission order; canonicalize so the exported
+    // stream is a pure function of the workload, then renumber so seq
+    // stays monotone in file order (the critpath exporter's convention).
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       const auto ka = std::make_tuple(
+                           a.t, a.component, a.name, static_cast<int>(a.severity));
+                       const auto kb = std::make_tuple(
+                           b.t, b.component, b.name, static_cast<int>(b.severity));
+                       if (ka != kb) return ka < kb;
+                       // Tie-break on the fields alone: the racy seq must
+                       // not leak into the canonical order, so serialize
+                       // with it masked.
+                       Event ma = a;
+                       Event mb = b;
+                       ma.seq = 0;
+                       mb.seq = 0;
+                       return event_to_json(ma) < event_to_json(mb);
+                     });
+    for (std::size_t i = 0; i < events.size(); ++i)
+      events[i].seq = dropped + i + 1;
+  }
+  {
+    std::ostringstream line;
+    JsonWriter w(line, /*pretty=*/false);
+    w.begin_object();
+    w.field("kind", "meta");
+    if (meta != nullptr) meta->write_member(w);
+    w.field("events", total);
+    w.field("dropped", dropped);
+    w.end_object();
+    os << line.str() << "\n";
+  }
+  for (const Event& e : events) os << event_to_json(e) << "\n";
+}
+
+Event event_from_json(const JsonValue& v) {
+  GEOMAP_CHECK_ARG(v.is_object(), "event line is not a JSON object");
+  Event e;
+  e.seq = static_cast<std::uint64_t>(v.number_or("seq", 0));
+  e.t = v.number_or("t", 0);
+  e.severity = parse_event_severity(v.string_or("severity", "info"));
+  e.component = v.string_or("component", "");
+  e.name = v.string_or("event", "");
+  if (const JsonValue* fields = v.find("fields")) {
+    GEOMAP_CHECK_ARG(fields->is_object(), "event 'fields' is not an object");
+    for (const auto& [key, fv] : fields->members()) {
+      switch (fv.kind()) {
+        case JsonValue::Kind::kBool:
+          e.fields.push_back(field(key, fv.as_bool()));
+          break;
+        case JsonValue::Kind::kString:
+          e.fields.push_back(field(key, fv.as_string()));
+          break;
+        case JsonValue::Kind::kNumber: {
+          const double d = fv.as_number();
+          if (std::nearbyint(d) == d &&
+              std::abs(d) <= 9.007199254740992e15) {  // 2^53: exact ints
+            e.fields.push_back(field(key, static_cast<std::int64_t>(d)));
+          } else {
+            e.fields.push_back(field(key, d));
+          }
+          break;
+        }
+        default:
+          throw InvalidArgument("event field '" + key +
+                                "' has unsupported JSON type");
+      }
+    }
+  }
+  return e;
+}
+
+std::vector<Event> read_events_jsonl(std::istream& is) {
+  std::vector<Event> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const JsonValue v = parse_json(line);
+    if (v.is_object() && v.string_or("kind", "") == "meta") continue;
+    out.push_back(event_from_json(v));
+  }
+  return out;
+}
+
+}  // namespace geomap::obs

@@ -1,0 +1,159 @@
+#pragma once
+// Bounded, thread-safe, seq-numbered structured event stream — the
+// streaming half of the observability plane. Where the timeline records
+// dense numeric series and the metrics registry records aggregates, the
+// event log records the *episodes*: a detector opening or clearing a
+// degradation, the remap scheduler granting / requeueing / abandoning a
+// request, the migration executor crossing a protocol phase, the runtime
+// accounting a fault. Each event carries a virtual timestamp, a
+// severity, a component, an event name, and typed key/value fields, and
+// is exported as one JSON object per line (`events.jsonl`) so a tail
+// reader can follow a run in flight.
+//
+// Contract (same as every other recorder in the Collector): emission is
+// opt-in via a pointer that defaults to nullptr, and a null log means
+// the instrumented site executes the exact pre-observability code path.
+// Emission never alters a decision.
+//
+// Determinism: events carry only virtual time — no wall clocks, no host
+// state — so a seeded single-threaded workload produces a byte-identical
+// stream. Multi-threaded emitters (the runtime's rank threads) can race
+// on sequence numbers; under GEOMAP_PROFILE_DETERMINISTIC=1 the export
+// sorts events into a canonical order (time, component, name, severity,
+// serialized fields) and renumbers them, the same convention the
+// critical-path exporter uses for its canonicalized node ids, so the
+// artifact is byte-stable across reruns regardless of interleaving.
+//
+// Memory is bounded: past `capacity` events the oldest are dropped
+// (newest episodes matter most for a long-running service) and the drop
+// count is reported in the artifact's meta line.
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geomap {
+class JsonValue;
+}
+
+namespace geomap::obs {
+
+struct RunMeta;
+
+enum class EventSeverity { kDebug, kInfo, kWarn, kError };
+
+const char* to_string(EventSeverity s);
+/// Parse "debug"/"info"/"warn"/"error"; throws geomap::Error otherwise.
+EventSeverity parse_event_severity(const std::string& s);
+
+/// One typed key/value attribute of an event. Build with the field()
+/// overloads below; the tag picks the JSON representation.
+struct EventField {
+  enum class Kind { kInt, kDouble, kString, kBool };
+  std::string key;
+  Kind kind = Kind::kInt;
+  std::int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+  bool bool_value = false;
+};
+
+inline EventField field(std::string key, std::int64_t v) {
+  EventField f;
+  f.key = std::move(key);
+  f.kind = EventField::Kind::kInt;
+  f.int_value = v;
+  return f;
+}
+inline EventField field(std::string key, int v) {
+  return field(std::move(key), static_cast<std::int64_t>(v));
+}
+inline EventField field(std::string key, std::uint64_t v) {
+  return field(std::move(key), static_cast<std::int64_t>(v));
+}
+inline EventField field(std::string key, double v) {
+  EventField f;
+  f.key = std::move(key);
+  f.kind = EventField::Kind::kDouble;
+  f.double_value = v;
+  return f;
+}
+inline EventField field(std::string key, bool v) {
+  EventField f;
+  f.key = std::move(key);
+  f.kind = EventField::Kind::kBool;
+  f.bool_value = v;
+  return f;
+}
+inline EventField field(std::string key, std::string v) {
+  EventField f;
+  f.key = std::move(key);
+  f.kind = EventField::Kind::kString;
+  f.string_value = std::move(v);
+  return f;
+}
+inline EventField field(std::string key, const char* v) {
+  return field(std::move(key), std::string(v));
+}
+
+struct Event {
+  std::uint64_t seq = 0;  // 1-based, assigned at emit time
+  Seconds t = 0;          // virtual time within the producing run
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string component;  // emitting subsystem: "detector", "scheduler", ...
+  std::string name;       // event within the component: "onset", "grant", ...
+  std::vector<EventField> fields;
+};
+
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+
+  /// Append one event; assigns the next sequence number. Thread-safe.
+  void emit(Seconds t, EventSeverity severity, std::string component,
+            std::string name, std::vector<EventField> fields = {});
+
+  /// Total events ever emitted (including dropped ones).
+  std::uint64_t total() const;
+  /// Events evicted by the capacity bound.
+  std::uint64_t dropped() const;
+  /// Retained events, oldest first (copy, for tests and the SLO tracker).
+  std::vector<Event> events() const;
+  bool empty() const;
+
+  /// One JSON object per line: a meta line first ({"kind":"meta", ...}
+  /// with the run header, total and dropped counts), then every retained
+  /// event as {"seq":..,"t":..,"severity":..,"component":..,"event":..,
+  /// "fields":{...}}. Under GEOMAP_PROFILE_DETERMINISTIC=1 events are
+  /// first sorted into canonical order and renumbered (see file header).
+  void write_jsonl(std::ostream& os, const RunMeta* meta = nullptr) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Event> events_;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Serialize one event as a compact single-line JSON object (no trailing
+/// newline). Shared by write_jsonl and the canonical sort key.
+std::string event_to_json(const Event& e);
+
+/// Inverse of event_to_json: one parsed JSON object back into an Event.
+/// Numeric fields that hold an exact integer round-trip as kInt.
+Event event_from_json(const JsonValue& v);
+
+/// Read a whole events.jsonl stream back: the meta line ({"kind":"meta"})
+/// is skipped, every other non-empty line parses as one event. Malformed
+/// lines throw JsonParseError — a torn artifact is loud, not silent.
+std::vector<Event> read_events_jsonl(std::istream& is);
+
+}  // namespace geomap::obs

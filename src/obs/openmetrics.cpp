@@ -1,0 +1,121 @@
+#include "obs/openmetrics.h"
+
+#include <ostream>
+
+#include "common/json_writer.h"
+#include "obs/run_meta.h"
+
+namespace geomap::obs {
+
+namespace {
+
+// Label values escape per the exposition format: backslash, double
+// quote, and newline.
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) { return JsonWriter::format_double(v); }
+
+void write_summary(std::ostream& os, const std::string& name,
+                   const Histogram::Summary& s) {
+  const std::string n = openmetrics_name(name);
+  os << "# TYPE " << n << " summary\n";
+  os << "# HELP " << n << " geomap histogram " << name << "\n";
+  os << n << "{quantile=\"0.5\"} " << fmt(s.p50) << "\n";
+  os << n << "{quantile=\"0.9\"} " << fmt(s.p90) << "\n";
+  os << n << "{quantile=\"0.99\"} " << fmt(s.p99) << "\n";
+  os << n << "_sum " << fmt(s.sum) << "\n";
+  os << n << "_count " << s.count << "\n";
+}
+
+}  // namespace
+
+MetricsSnapshot snapshot_metrics(const MetricsRegistry& registry) {
+  MetricsSnapshot snap;
+  snap.counters = registry.counter_values();
+  snap.gauges = registry.gauge_values();
+  snap.histograms = registry.histogram_summaries();
+  return snap;
+}
+
+MetricsSnapshot delta_metrics(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    d.counters.emplace(name, v >= base ? v - base : 0);
+  }
+  d.gauges = after.gauges;
+  for (const auto& [name, s] : after.histograms) {
+    Histogram::Summary ds = s;
+    const auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) {
+      const Histogram::Summary& bs = it->second;
+      ds.count = s.count >= bs.count ? s.count - bs.count : 0;
+      ds.sum = s.sum - bs.sum;
+      ds.mean = ds.count > 0 ? ds.sum / static_cast<double>(ds.count) : 0;
+    }
+    d.histograms.emplace(name, ds);
+  }
+  return d;
+}
+
+std::string openmetrics_name(const std::string& name) {
+  std::string out = "geomap_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void write_openmetrics(std::ostream& os, const MetricsSnapshot& snapshot,
+                       const RunMeta* meta) {
+  if (meta != nullptr) {
+    os << "# TYPE geomap_build_info gauge\n";
+    os << "# HELP geomap_build_info run metadata header\n";
+    os << "geomap_build_info{bench=\"" << escape_label(meta->bench)
+       << "\",version=\"" << escape_label(meta->geomap_version)
+       << "\",git=\"" << escape_label(meta->git_describe) << "\",timestamp=\""
+       << escape_label(meta->timestamp) << "\"";
+    if (meta->has_seed) os << ",seed=\"" << meta->seed << "\"";
+    os << "} 1\n";
+  }
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string n = openmetrics_name(name);
+    os << "# TYPE " << n << " counter\n";
+    os << "# HELP " << n << " geomap counter " << name << "\n";
+    os << n << "_total " << v << "\n";
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string n = openmetrics_name(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << "# HELP " << n << " geomap gauge " << name << "\n";
+    os << n << " " << fmt(v) << "\n";
+  }
+  for (const auto& [name, s] : snapshot.histograms) write_summary(os, name, s);
+  os << "# EOF\n";
+}
+
+}  // namespace geomap::obs

@@ -1,0 +1,63 @@
+#pragma once
+// OpenMetrics / Prometheus text exposition for the metrics registry —
+// the `metrics.prom` artifact. metrics.json is the archival form; this
+// renderer exists so the day a long-running `geomapd` serves a /metrics
+// endpoint, external scrapers consume the same registry with zero new
+// plumbing.
+//
+// Mapping (see DESIGN.md §15):
+//   counter  c               ->  # TYPE geomap_<c> counter
+//                                geomap_<c>_total <value>
+//   gauge    g               ->  # TYPE geomap_<g> gauge
+//                                geomap_<g> <value>
+//   histogram h (Summary)    ->  # TYPE geomap_<h> summary
+//                                geomap_<h>{quantile="0.5"|"0.9"|"0.99"} ...
+//                                geomap_<h>_sum / geomap_<h>_count
+// plus one `geomap_build_info` gauge carrying the run header as labels,
+// and the mandatory `# EOF` terminator. Dotted metric names sanitize to
+// the OpenMetrics charset ('.', '-', anything else illegal -> '_').
+//
+// Snapshots are plain value structs, so deltas between two scrapes of a
+// live registry (counters and histogram count/sum subtract; gauges take
+// the newer value) come for free — `obsctl watch` renders rates from
+// exactly this.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace geomap::obs {
+
+struct RunMeta;
+
+/// Point-in-time copy of every metric in a registry.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Summary> histograms;
+};
+
+MetricsSnapshot snapshot_metrics(const MetricsRegistry& registry);
+
+/// after - before. Counters subtract (clamped at zero if a name vanished
+/// or reset); histogram count/sum subtract with min/max/mean/percentiles
+/// taken from `after` (quantiles do not difference); gauges keep the
+/// `after` value. Names only in `before` are dropped.
+MetricsSnapshot delta_metrics(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+/// Sanitize a dotted geomap metric name into an OpenMetrics metric name:
+/// prefix "geomap_", map every character outside [a-zA-Z0-9_] to '_'.
+std::string openmetrics_name(const std::string& name);
+
+/// Render the snapshot as OpenMetrics text exposition, `# EOF` included.
+/// Deterministic: names sort, values use the round-trip double format,
+/// and the only non-workload bytes (the build_info labels) come from the
+/// RunMeta header, which GEOMAP_TIMESTAMP / GEOMAP_GIT_DESCRIBE pin.
+void write_openmetrics(std::ostream& os, const MetricsSnapshot& snapshot,
+                       const RunMeta* meta = nullptr);
+
+}  // namespace geomap::obs

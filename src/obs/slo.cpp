@@ -1,0 +1,206 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "obs/run_meta.h"
+
+namespace geomap::obs {
+
+namespace {
+
+// The selected field of an event, if present and numeric.
+bool field_value(const Event& e, const std::string& key, double* out) {
+  for (const EventField& f : e.fields) {
+    if (f.key != key) continue;
+    switch (f.kind) {
+      case EventField::Kind::kInt:
+        *out = static_cast<double>(f.int_value);
+        return true;
+      case EventField::Kind::kDouble:
+        *out = f.double_value;
+        return true;
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+void check_spec(const SloSpec& s) {
+  GEOMAP_CHECK_MSG(!s.name.empty(), "SLO spec needs a name");
+  GEOMAP_CHECK_MSG(!s.component.empty() && !s.event.empty() && !s.field.empty(),
+                   "SLO spec '" << s.name
+                                << "' needs component, event, and field");
+  GEOMAP_CHECK_MSG(s.objective > 0.0 && s.objective < 1.0,
+                   "SLO spec '" << s.name << "' objective must be in (0, 1), got "
+                                << s.objective);
+}
+
+}  // namespace
+
+std::vector<SloSpec> default_slo_specs() {
+  std::vector<SloSpec> specs;
+  {
+    SloSpec s;
+    s.name = "detection_latency";
+    s.description = "degradation onsets detected within the latency bound";
+    s.component = "detector";
+    s.event = "onset";
+    s.field = "latency";
+    s.threshold = 10.0;
+    s.objective = 0.90;
+    specs.push_back(s);
+  }
+  {
+    SloSpec s;
+    s.name = "remap_queue_wait";
+    s.description = "remap grants issued within the queue-wait bound";
+    s.component = "scheduler";
+    s.event = "grant";
+    s.field = "queue_wait";
+    s.threshold = 120.0;
+    s.objective = 0.95;
+    specs.push_back(s);
+  }
+  {
+    SloSpec s;
+    s.name = "migration_downtime";
+    s.description = "per-process migration downtime within the freeze bound";
+    s.component = "migrate";
+    s.event = "commit";
+    s.field = "downtime";
+    s.threshold = 2.0;
+    s.objective = 0.95;
+    specs.push_back(s);
+  }
+  {
+    SloSpec s;
+    s.name = "placement_stretch";
+    s.description =
+        "soak-case p99 shared-makespan stretch vs the solo-oracle baseline";
+    s.component = "soak";
+    s.event = "case_done";
+    s.field = "p99_stretch";
+    s.threshold = 4.0;
+    s.objective = 0.90;
+    specs.push_back(s);
+  }
+  for (const SloSpec& s : specs) check_spec(s);
+  return specs;
+}
+
+std::vector<SloSpec> slo_specs_from_json(const JsonValue& root) {
+  const JsonValue* list = root.find("slos");
+  GEOMAP_CHECK_MSG(list != nullptr && list->is_array(),
+                   "SLO spec file needs a top-level \"slos\" array");
+  std::vector<SloSpec> specs;
+  for (const JsonValue& item : list->items()) {
+    GEOMAP_CHECK_MSG(item.is_object(), "SLO spec entries must be objects");
+    SloSpec s;
+    s.name = item.string_or("name", "");
+    s.description = item.string_or("description", "");
+    s.component = item.string_or("component", "");
+    s.event = item.string_or("event", "");
+    s.field = item.string_or("field", "");
+    s.threshold = item.number_or("threshold", 0.0);
+    s.objective = item.number_or("objective", 0.99);
+    const JsonValue* hib = item.find("higher_is_better");
+    s.higher_is_better = hib != nullptr && hib->is_bool() && hib->as_bool();
+    check_spec(s);
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+SloTracker::SloTracker() : specs_(default_slo_specs()) {}
+
+SloTracker::SloTracker(std::vector<SloSpec> specs) : specs_(std::move(specs)) {
+  for (const SloSpec& s : specs_) check_spec(s);
+}
+
+SloReport evaluate_slos(const std::vector<Event>& events,
+                        const std::vector<SloSpec>& specs) {
+  SloReport report;
+  for (const SloSpec& spec : specs) {
+    check_spec(spec);
+    SloResult r;
+    r.spec = spec;
+    r.error_budget = 1.0 - spec.objective;
+    bool have_worst = false;
+    for (const Event& e : events) {
+      if (e.component != spec.component || e.name != spec.event) continue;
+      double v = 0;
+      if (!field_value(e, spec.field, &v)) continue;
+      r.events += 1;
+      const bool good = spec.higher_is_better ? v >= spec.threshold
+                                              : v <= spec.threshold;
+      (good ? r.good : r.bad) += 1;
+      const bool worse = spec.higher_is_better ? v < r.worst : v > r.worst;
+      if (!have_worst || worse) {
+        r.worst = v;
+        have_worst = true;
+      }
+    }
+    if (r.events > 0) {
+      r.compliance = static_cast<double>(r.good) / static_cast<double>(r.events);
+      r.budget_used = static_cast<double>(r.bad) / static_cast<double>(r.events);
+      r.burn = r.budget_used / r.error_budget;
+    }
+    // The objective is the contract: good/events >= objective. Deciding
+    // via `burn <= 1` would re-divide through 1 - objective and let
+    // floating-point noise flip an exactly-on-budget run (e.g. 9 good of
+    // 10 at objective 0.9) into a violation.
+    r.ok = r.compliance >= r.spec.objective;
+    report.ok = report.ok && r.ok;
+    report.slos.push_back(std::move(r));
+  }
+  return report;
+}
+
+void write_slo_json(std::ostream& os, const SloReport& report,
+                    const RunMeta* meta) {
+  // Sort by name so the artifact (and its regress flatten) is stable
+  // regardless of spec order.
+  std::vector<const SloResult*> sorted;
+  sorted.reserve(report.slos.size());
+  for (const SloResult& r : report.slos) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SloResult* a, const SloResult* b) {
+              return a->spec.name < b->spec.name;
+            });
+  JsonWriter w(os);
+  w.begin_object();
+  if (meta != nullptr) meta->write_member(w);
+  w.field("ok", report.ok);
+  w.key("slos").begin_object();
+  for (const SloResult* r : sorted) {
+    w.key(r->spec.name).begin_object();
+    if (!r->spec.description.empty())
+      w.field("description", r->spec.description);
+    w.field("component", r->spec.component);
+    w.field("event", r->spec.event);
+    w.field("field", r->spec.field);
+    w.field("threshold", r->spec.threshold);
+    if (r->spec.higher_is_better) w.field("higher_is_better", true);
+    w.field("objective", r->spec.objective);
+    w.field("events", r->events);
+    w.field("good", r->good);
+    w.field("bad", r->bad);
+    w.field("compliance", r->compliance);
+    w.field("error_budget", r->error_budget);
+    w.field("budget_used", r->budget_used);
+    w.field("burn", r->burn);
+    w.field("worst", r->worst);
+    w.field("ok", r->ok);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace geomap::obs

@@ -1,0 +1,108 @@
+#pragma once
+// Declarative service-level objectives evaluated over the structured
+// event stream (obs/eventlog), with error-budget burn accounting — the
+// `slo.json` artifact.
+//
+// An SLO spec selects one numeric field of one event kind
+// (component/event/field), a threshold that splits each occurrence into
+// good or bad, and an objective: the fraction of occurrences that must
+// be good. The error budget is the complement (budget = 1 - objective);
+// burn is the fraction of that budget consumed, so burn <= 1 means the
+// SLO holds and burn = 2 means the run spent its allowance twice over.
+// SLOs over an event that never fired are vacuously met (events = 0,
+// burn = 0) — a run without migrations cannot violate its downtime SLO.
+//
+// The default spec set covers the paper system's closed loop: detection
+// latency (detector/onset), remap queue wait (scheduler/grant),
+// migration downtime (migrate/commit), and placement cost regression vs
+// the solo-oracle baseline (soak/case_done p99 stretch). Specs can also
+// be loaded from a JSON file (`obsctl slo --spec`), making the set
+// declarative without a rebuild; the report is gated through the
+// existing regress engine (`obsctl slo --gate`).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/eventlog.h"
+
+namespace geomap {
+class JsonValue;
+}
+
+namespace geomap::obs {
+
+struct RunMeta;
+
+struct SloSpec {
+  std::string name;         // report key, e.g. "detection_latency"
+  std::string description;  // one line for humans
+  std::string component;    // event selector: component ...
+  std::string event;        // ... event name ...
+  std::string field;        // ... numeric field within the event
+  double threshold = 0;     // good when value <= threshold ...
+  bool higher_is_better = false;  // ... or >= threshold when set
+  double objective = 0.99;  // required good fraction, in (0, 1)
+};
+
+/// The built-in spec set for the detect -> remap -> migrate loop.
+std::vector<SloSpec> default_slo_specs();
+
+/// Parse a spec file: {"slos": [{"name":..., "component":..., "event":...,
+/// "field":..., "threshold":..., "objective":..., "higher_is_better":...,
+/// "description":...}, ...]}. Throws InvalidArgument on missing required
+/// keys or an objective outside (0, 1).
+std::vector<SloSpec> slo_specs_from_json(const JsonValue& root);
+
+struct SloResult {
+  SloSpec spec;
+  std::uint64_t events = 0;  // occurrences carrying the selected field
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  double compliance = 1.0;    // good / events (1 when vacuous)
+  double error_budget = 0.0;  // 1 - objective
+  double budget_used = 0.0;   // bad / events
+  double burn = 0.0;          // budget_used / error_budget
+  double worst = 0.0;         // worst observed value (0 when vacuous)
+  bool ok = true;             // compliance >= objective (burn <= 1 up to rounding)
+};
+
+struct SloReport {
+  std::vector<SloResult> slos;
+  bool ok = true;  // every SLO ok
+};
+
+/// Evaluate `specs` over `events` (as returned by EventLog::events() or
+/// re-read from an events.jsonl file).
+SloReport evaluate_slos(const std::vector<Event>& events,
+                        const std::vector<SloSpec>& specs);
+
+/// Holds a spec set and evaluates it on demand — the form a long-running
+/// service keeps around, re-evaluating its live EventLog every scrape.
+class SloTracker {
+ public:
+  /// Defaults to default_slo_specs().
+  SloTracker();
+  explicit SloTracker(std::vector<SloSpec> specs);
+
+  const std::vector<SloSpec>& specs() const { return specs_; }
+  SloReport evaluate(const std::vector<Event>& events) const {
+    return evaluate_slos(events, specs_);
+  }
+  SloReport evaluate(const EventLog& log) const {
+    return evaluate_slos(log.events(), specs_);
+  }
+
+ private:
+  std::vector<SloSpec> specs_;
+};
+
+/// {"meta": {...}, "ok": ..., "slos": {name: {objective, threshold,
+/// events, good, bad, compliance, error_budget, budget_used, burn,
+/// worst, ok}}}. Keys sorted; numeric leaves flatten cleanly for the
+/// regress engine (watch e.g. "slos.*.burn" and "-slos.*.compliance").
+void write_slo_json(std::ostream& os, const SloReport& report,
+                    const RunMeta* meta = nullptr);
+
+}  // namespace geomap::obs

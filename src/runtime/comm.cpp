@@ -127,6 +127,12 @@ std::vector<double> Comm::recv(int src, int tag) {
               ->timeline_series(runtime_->tl_timeout_, "link.timeout",
                                 src_site, dst_site)
               .record(start, 1.0);
+          runtime_->collector_->events().emit(
+              start, obs::EventSeverity::kError, "runtime", "timeout",
+              {obs::field("src_site", src_site),
+               obs::field("dst_site", dst_site), obs::field("rank", rank_),
+               obs::field("peer", src),
+               obs::field("attempts", attempt)});
         }
         break;
       }
@@ -147,6 +153,13 @@ std::vector<double> Comm::recv(int src, int tag) {
             start + delay,
             "{\"src\":" + std::to_string(src) +
                 ",\"attempt\":" + std::to_string(attempt) + "}");
+        runtime_->collector_->events().emit(
+            start, obs::EventSeverity::kWarn, "runtime", "retry",
+            {obs::field("src_site", src_site), obs::field("dst_site", dst_site),
+             obs::field("rank", rank_), obs::field("peer", src),
+             obs::field("attempt", attempt),
+             obs::field("cause", down ? "outage" : "loss"),
+             obs::field("delay", delay)});
       }
       start += delay;
       stats_.retries += 1;

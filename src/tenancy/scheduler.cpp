@@ -144,6 +144,16 @@ StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
 
   obs::TimeSeriesRegistry* timeline =
       options.collector != nullptr ? &options.collector->timeline() : nullptr;
+  obs::EventLog* elog =
+      options.collector != nullptr ? &options.collector->events() : nullptr;
+  if (elog != nullptr) {
+    for (const PendingRequest& p : pending) {
+      elog->emit(p.request.request_time, obs::EventSeverity::kInfo, "scheduler",
+                 "queue",
+                 {obs::field("tenant", p.request.tenant),
+                  obs::field("severity", p.request.severity)});
+    }
+  }
 
   std::vector<double> consumed(
       static_cast<std::size_t>(substrate.num_tenants()), 0.0);
@@ -322,6 +332,14 @@ StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
         timeline->series("tenant.grant_attempts", label)
             .record(now, static_cast<double>(p.attempts));
       }
+      if (elog != nullptr) {
+        elog->emit(now, obs::EventSeverity::kInfo, "scheduler", "grant",
+                   {obs::field("tenant", k),
+                    obs::field("queue_wait", now - p.request.request_time),
+                    obs::field("attempts", p.attempts),
+                    obs::field("migration_seconds",
+                               rec.report.migration_seconds)});
+      }
     } catch (const core::RemapInfeasible&) {
       if (p.attempts >= options.retry.max_attempts) {
         p.done = true;
@@ -329,11 +347,22 @@ StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
         report.gave_up += 1;
         if (options.collector != nullptr)
           options.collector->metrics().counter("tenant.gave_up").add();
+        if (elog != nullptr) {
+          elog->emit(now, obs::EventSeverity::kError, "scheduler", "give_up",
+                     {obs::field("tenant", k),
+                      obs::field("attempts", p.attempts)});
+        }
       } else {
         p.next_eligible = now + options.retry.backoff(p.attempts);
         report.requeues += 1;
         if (options.collector != nullptr)
           options.collector->metrics().counter("tenant.requeues").add();
+        if (elog != nullptr) {
+          elog->emit(now, obs::EventSeverity::kWarn, "scheduler", "requeue",
+                     {obs::field("tenant", k),
+                      obs::field("attempts", p.attempts),
+                      obs::field("next_eligible", p.next_eligible)});
+        }
       }
     }
   }

@@ -41,10 +41,17 @@ MultiTenantSoakCase run_multitenant_soak_case(
   options.validate();
   MultiTenantSoakCase result;
   result.seed = seed;
+  obs::EventLog* elog =
+      options.collector != nullptr ? &options.collector->events() : nullptr;
 
   // 1. Substrate + solo baselines.
   Substrate substrate = make_substrate(seed, options.substrate);
   result.tenants = substrate.num_tenants();
+  if (elog != nullptr) {
+    elog->emit(0, obs::EventSeverity::kInfo, "soak", "case_start",
+               {obs::field("seed", seed),
+                obs::field("tenants", result.tenants)});
+  }
   const net::NetworkModel& network = substrate.tenants.front().problem.network;
 
   // 2. Healthy shared replay calibrates the horizon.
@@ -81,6 +88,7 @@ MultiTenantSoakCase run_multitenant_soak_case(
   //    the same suspect. Fall back to the oracle when detection saw
   //    nothing or accused the wrong site — the storm must run either way.
   obs::DegradationDetector detector;
+  detector.set_event_log(elog);
   detector.scan(telemetry.timeline());
   const core::SuspectVote vote = core::vote_suspected_site(detector.events());
   result.detected = vote.site != -1;
@@ -89,6 +97,17 @@ MultiTenantSoakCase run_multitenant_soak_case(
   result.detect_time =
       usable ? vote.detection_time : chaos_plan.primary_outage_time;
   const SiteId failed = chaos_plan.primary_site;
+  if (elog != nullptr) {
+    elog->emit(result.detect_time,
+               result.suspected_correct ? obs::EventSeverity::kInfo
+                                        : obs::EventSeverity::kWarn,
+               "soak", "detect",
+               {obs::field("detected", result.detected),
+                obs::field("suspected_correct", result.suspected_correct),
+                obs::field("suspect", vote.site),
+                obs::field("failed_site", failed),
+                obs::field("outage_time", chaos_plan.primary_outage_time)});
+  }
 
   // 5. Every tenant homed on the dead site queues a remap request.
   std::vector<RemapRequest> requests;
@@ -111,7 +130,10 @@ MultiTenantSoakCase run_multitenant_soak_case(
   sched.migrate.bytes_per_process = options.bytes_per_process;
   sched.migrate.chunk_bytes = options.chunk_bytes;
   sched.remap.bytes_per_process = options.bytes_per_process;
-  if (sched.collector == nullptr) sched.collector = &telemetry;
+  if (sched.collector == nullptr) {
+    sched.collector =
+        options.collector != nullptr ? options.collector : &telemetry;
+  }
 
   // At-grant placements feed the checkers: one storm, so every tenant's
   // journal starts from its substrate placement.
@@ -181,6 +203,21 @@ MultiTenantSoakCase run_multitenant_soak_case(
         shared.tenants[static_cast<std::size_t>(k)].makespan / solo);
   }
   result.fairness = fairness_from_stretch(stretch);
+  if (elog != nullptr) {
+    const bool clean = result.violations.empty();
+    elog->emit(recovery_end,
+               clean ? obs::EventSeverity::kInfo : obs::EventSeverity::kError,
+               "soak", "case_done",
+               {obs::field("seed", seed),
+                obs::field("requests", result.requests),
+                obs::field("gave_up", result.storm.gave_up),
+                obs::field("requeues", result.storm.requeues),
+                obs::field("storm_drain", result.storm.storm_drain_seconds),
+                obs::field("violations", result.violations.size()),
+                obs::field("jain_index", result.fairness.jain_index),
+                obs::field("mean_stretch", result.fairness.mean_stretch),
+                obs::field("p99_stretch", result.fairness.p99_stretch)});
+  }
   return result;
 }
 

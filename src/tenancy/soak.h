@@ -56,6 +56,15 @@ struct MultiTenantSoakOptions {
   Bytes bytes_per_process = 2.0 * kMiB;
   Bytes chunk_bytes = 512.0 * 1024;
 
+  /// Opt-in external observability. With a collector attached the case
+  /// streams lifecycle events (soak/case_start, soak/detect,
+  /// soak/case_done), hooks the detector's onset/clear emissions into
+  /// the same event log, and routes the scheduler's telemetry there
+  /// (instead of the case-internal registry that is otherwise discarded).
+  /// nullptr — the default — keeps the historical, fully self-contained
+  /// behavior bit-identical.
+  obs::Collector* collector = nullptr;
+
   void validate() const;
 };
 
