@@ -341,17 +341,33 @@ int run_migrate_mode(const CliParser& cli, bench::ObsSink& obs) {
   return violations_total == 0 ? 0 : 1;
 }
 
-int run_chaos_mode(const CliParser& cli) {
+int run_chaos_mode(const CliParser& cli, bench::ObsSink& obs) {
   const int num_seeds = static_cast<int>(cli.get_int("chaos"));
   migrate::SoakOptions opts;
   opts.ranks = static_cast<int>(cli.get_int("soak-ranks"));
   opts.app_rounds = static_cast<int>(cli.get_int("soak-rounds"));
+  opts.collector = obs.collector();
 
-  std::vector<std::uint64_t> seeds;
+  // Per-seed loop (not one run_chaos_soak call) so a live obs-dir
+  // checkpoints after every case — incidents.json and events.jsonl grow
+  // case by case under `obsctl watch`.
+  migrate::SoakReport report;
   const auto base = static_cast<std::uint64_t>(cli.get_int("seed"));
-  for (int i = 0; i < num_seeds; ++i)
-    seeds.push_back(base + static_cast<std::uint64_t>(i));
-  const migrate::SoakReport report = migrate::run_chaos_soak(seeds, opts);
+  for (int i = 0; i < num_seeds; ++i) {
+    const std::vector<std::uint64_t> one = {
+        base + static_cast<std::uint64_t>(i)};
+    const migrate::SoakReport step = migrate::run_chaos_soak(one, opts);
+    report.cases.push_back(step.cases.front());
+    report.total_violations += step.total_violations;
+    report.detected_cases += step.detected_cases;
+    report.fallback_cases += step.fallback_cases;
+    report.total_committed += step.total_committed;
+    report.total_rollbacks += step.total_rollbacks;
+    report.total_replans += step.total_replans;
+    report.total_abandoned += step.total_abandoned;
+    report.attribution.merge(step.attribution);
+    obs.checkpoint();
+  }
 
   JsonWriter w(std::cout);
   w.begin_object();
@@ -385,6 +401,17 @@ int run_chaos_mode(const CliParser& cli) {
   w.field("total_replans", report.total_replans);
   w.field("total_abandoned", report.total_abandoned);
   w.field("total_violations", report.total_violations);
+  if (obs.collector() != nullptr) {
+    // Blame quality vs the seeded truth — only measured when the
+    // incident engine ran (it needs the event stream).
+    w.key("attribution").begin_object();
+    w.field("incidents",
+            static_cast<std::int64_t>(report.attribution.incidents));
+    w.field("precision", report.attribution.precision());
+    w.field("recall", report.attribution.recall());
+    w.field("mean_onset_error", report.attribution.mean_onset_error());
+    w.end_object();
+  }
   // Machine-checked summary: CI asserts these, not just parseability.
   w.field("seeds_run", static_cast<std::int64_t>(report.cases.size()));
   w.field("invariants_checked", static_cast<std::int64_t>(report.cases.size()));
@@ -422,7 +449,7 @@ int main(int argc, char** argv) {
   bench::ObsSink obs = bench::ObsSink::parse(cli);
   if (cli.get_bool("detector")) return run_detector_mode(cli, obs);
   if (cli.get_bool("migrate")) return run_migrate_mode(cli, obs);
-  if (cli.get_int("chaos") > 0) return run_chaos_mode(cli);
+  if (cli.get_int("chaos") > 0) return run_chaos_mode(cli, obs);
 
   const int ranks = static_cast<int>(cli.get_int("ranks"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));

@@ -164,6 +164,7 @@ int run_soak(const CliParser& cli, bench::ObsSink& obs) {
     report.total_requeues += c.storm.requeues;
     report.total_gave_up += c.storm.gave_up;
     if (c.detected) report.detected_cases += 1;
+    if (c.attribution_scored) report.attribution.merge(c.attribution);
     obs.checkpoint();
   }
 
@@ -199,6 +200,17 @@ int run_soak(const CliParser& cli, bench::ObsSink& obs) {
   w.field("detected_cases", report.detected_cases);
   w.field("total_requeues", report.total_requeues);
   w.field("total_gave_up", report.total_gave_up);
+  if (obs.collector() != nullptr) {
+    // Blame quality vs the seeded truth — only measured when the
+    // incident engine ran (it needs the event stream).
+    w.key("attribution").begin_object();
+    w.field("incidents",
+            static_cast<std::int64_t>(report.attribution.incidents));
+    w.field("precision", report.attribution.precision());
+    w.field("recall", report.attribution.recall());
+    w.field("mean_onset_error", report.attribution.mean_onset_error());
+    w.end_object();
+  }
   w.field("invariants_checked", report.total_invariants_checked);
   w.field("violations", report.total_violations);
   w.field("ok", report.total_violations == 0);

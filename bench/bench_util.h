@@ -150,11 +150,14 @@ class ObsSink {
     cli.add_string("openmetrics-out", "",
                    "write the metrics registry as OpenMetrics/Prometheus "
                    "text exposition to this file");
+    cli.add_string("incidents-out", "",
+                   "write the causal incident reconstruction JSON "
+                   "(geomap-obsctl incidents/explain input) to this file");
     cli.add_string("obs-dir", "",
                    "write all observability artifacts into this directory "
                    "as metrics.json, trace.json, audit.json, critpath.json, "
                    "timeline.json, profile.json, profile.collapsed, "
-                   "events.jsonl, metrics.prom "
+                   "events.jsonl, metrics.prom, incidents.json "
                    "(per-artifact --*-out flags override individual paths)");
   }
 
@@ -170,7 +173,8 @@ class ObsSink {
         profile_path_(cli.get_string("profile-out")),
         collapse_path_(cli.get_string("collapse-out")),
         events_path_(cli.get_string("events-out")),
-        openmetrics_path_(cli.get_string("openmetrics-out")) {
+        openmetrics_path_(cli.get_string("openmetrics-out")),
+        incidents_path_(cli.get_string("incidents-out")) {
     const std::string dir = cli.get_string("obs-dir");
     if (!dir.empty()) {
       std::filesystem::create_directories(dir);
@@ -183,12 +187,13 @@ class ObsSink {
       if (collapse_path_.empty()) collapse_path_ = dir + "/profile.collapsed";
       if (events_path_.empty()) events_path_ = dir + "/events.jsonl";
       if (openmetrics_path_.empty()) openmetrics_path_ = dir + "/metrics.prom";
+      if (incidents_path_.empty()) incidents_path_ = dir + "/incidents.json";
     }
     if (!metrics_path_.empty() || !trace_path_.empty() ||
         !audit_path_.empty() || !critpath_path_.empty() ||
         !timeline_path_.empty() || !profile_path_.empty() ||
         !collapse_path_.empty() || !events_path_.empty() ||
-        !openmetrics_path_.empty()) {
+        !openmetrics_path_.empty() || !incidents_path_.empty()) {
       collector_ = std::make_unique<obs::Collector>();
       // Pay for the forensic recorders only when their artifact was
       // asked for; the always-on set stays under the CI overhead gate.
@@ -247,6 +252,9 @@ class ObsSink {
     write(events_path_, [&](std::ostream& os) {
       collector_->write_events_jsonl(os);
     });
+    write(incidents_path_, [&](std::ostream& os) {
+      collector_->write_incidents_json(os);
+    });
     write(openmetrics_path_, [&](std::ostream& os) {
       obs::write_openmetrics(os, obs::snapshot_metrics(collector_->metrics()),
                              &collector_->meta());
@@ -286,6 +294,7 @@ class ObsSink {
   std::string collapse_path_;
   std::string events_path_;
   std::string openmetrics_path_;
+  std::string incidents_path_;
   std::unique_ptr<obs::Collector> collector_;
   bool flushed_ = false;
 };

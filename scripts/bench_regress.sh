@@ -228,6 +228,43 @@ run_slo_gate() {
   fi
 }
 
+# run_attribution_gate <name>: blame quality over the chaos soak's
+# incident reconstruction. The soak is deterministic end to end and the
+# export runs under GEOMAP_PROFILE_DETERMINISTIC=1, so incidents.json is
+# byte-stable and the attribution block is a pure function of the seeded
+# faults. Three-fold: the structural linter must pass, `obsctl explain`
+# must render every incident's chain (rc 0/1 — 1 just means the probed
+# SLO blew; >=2 is a real failure), and `obsctl check` fails when
+# attribution precision/recall drop (higher-is-better '-' watch) or the
+# onset error / stage-latency means drift past the threshold.
+run_attribution_gate() {
+  local name=$1
+  shift
+  echo "== $name =="
+  mkdir -p "$OUT_DIR/$name"
+  GEOMAP_PROFILE_DETERMINISTIC=1 "$BUILD_DIR/bench/bench_multitenant" "$@" \
+    --obs-dir "$OUT_DIR/$name" > "$OUT_DIR/$name/stdout.json" \
+    || { echo "cross-tenant invariant violation" >&2; FAILED=1; }
+  python3 scripts/check_incidents.py "$OUT_DIR/$name/incidents.json" \
+    || FAILED=1
+  "$OBSCTL" incidents "$OUT_DIR/$name" > /dev/null || FAILED=1
+  local rc=0
+  "$OBSCTL" explain "$OUT_DIR/$name" placement_stretch > /dev/null || rc=$?
+  [[ $rc -le 1 ]] || { echo "obsctl explain failed (rc $rc)" >&2; FAILED=1; }
+  if [[ $BLESS -eq 1 ]]; then
+    cp "$OUT_DIR/$name/incidents.json" "$BASELINE_DIR/$name.attribution.json"
+    echo "blessed $BASELINE_DIR/$name.attribution.json"
+  elif [[ -f $BASELINE_DIR/$name.attribution.json ]]; then
+    "$OBSCTL" check --threshold "$THRESHOLD" \
+      --watch '-attribution.precision,-attribution.recall,attribution.mean_onset_error,attribution.misblamed,attribution.missed,stage_summary.*.mean' \
+      "$BASELINE_DIR/$name.attribution.json" \
+      "$OUT_DIR/$name/incidents.json" || FAILED=1
+  else
+    echo "no baseline $BASELINE_DIR/$name.attribution.json — run with --bless" >&2
+    FAILED=1
+  fi
+}
+
 # The gate set: one healthy contention-replay bench, one faulted
 # remap-on-outage bench, the closed-loop detector head-to-head, and the
 # migration executor carrying a remap out — all small enough to finish in
@@ -240,6 +277,7 @@ run_migrate_gate fault_recovery_migrate --ranks=16
 run_multitenant_gate multitenant --tenants 12 --sweep 3
 run_profile_gate fig7_scale --min-scale=64 --max-scale=128 --trials=3
 run_slo_gate multitenant_soak --soak 2 --soak-tenants 12
+run_attribution_gate chaos_soak --soak 50 --soak-tenants 8
 
 if [[ $BLESS -eq 1 ]]; then
   echo "baselines written to $BASELINE_DIR/"

@@ -9,7 +9,10 @@ Checks:
   * sequence numbers are strictly increasing and the first retained
     event's seq is dropped + 1 (retention drops oldest-first);
   * severities are from the closed set;
-  * retained count == events - dropped.
+  * retained count == events - dropped;
+  * when nothing was dropped, the sequence is contiguous (each seq is
+    previous + 1) and the last seq equals the meta total — a gap in an
+    undropped stream means the exporter lost events silently.
 
 Exit 0 when the artifact is well-formed, 1 with a diagnostic otherwise.
 
@@ -68,6 +71,11 @@ def main():
                 f"{path}:{lineno}: seq {seq!r} not strictly increasing "
                 f"(previous {last_seq})"
             )
+        if dropped == 0 and seq != last_seq + 1:
+            fail(
+                f"{path}:{lineno}: seq gap in an undropped stream "
+                f"({last_seq} -> {seq}) — the exporter lost events"
+            )
         if event["severity"] not in SEVERITIES:
             fail(f"{path}:{lineno}: unknown severity {event['severity']!r}")
         if not isinstance(event["fields"], dict):
@@ -79,6 +87,11 @@ def main():
         fail(
             f"{path}: retained {retained} events but meta says "
             f"{total} - {dropped} dropped = {total - dropped}"
+        )
+    if dropped == 0 and retained > 0 and last_seq != total:
+        fail(
+            f"{path}: undropped stream ends at seq {last_seq} but meta "
+            f"says {total} events were emitted"
         )
     print(
         f"check_events_jsonl: OK — {retained} events "

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate an incidents.json artifact (src/obs/incident.h).
+
+Checks:
+  * the meta header is present;
+  * `count` equals the length of `incidents`;
+  * ids are unique, "inc-NNN"-shaped, and sorted in export order;
+  * every incident carries exactly the four stages (detect, queue,
+    migrate, residual), contiguous (stage[i].end == stage[i+1].start,
+    first start == incident start, last end == incident end) with
+    non-negative lengths;
+  * the per-stage seconds re-fold (within float tolerance) to the
+    incident's end-to-end duration;
+  * blame confidence is in [0, 1] and a blamed link always touches the
+    blamed site;
+  * when the `attribution` block is present, its ratio fields are
+    consistent with the raw counters (precision, recall, blamed =
+    correct + misblamed, episodes = attributed + missed).
+
+Exit 0 when the artifact is well-formed, 1 with a diagnostic otherwise.
+
+Usage: check_incidents.py <incidents.json>
+"""
+
+import json
+import math
+import re
+import sys
+
+STAGES = ["detect", "queue", "migrate", "residual"]
+REL_TOL = 1e-9
+ABS_TOL = 1e-9
+
+
+def fail(msg):
+    print(f"check_incidents: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def close(a, b):
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def check_incident(inc):
+    iid = inc.get("id", "<missing id>")
+    if not re.fullmatch(r"inc-\d{3,}", iid):
+        fail(f"incident id {iid!r} is not inc-NNN shaped")
+    stages = inc.get("stages")
+    if not isinstance(stages, dict) or sorted(stages) != sorted(STAGES):
+        fail(f"{iid}: stages must be exactly {STAGES}, got "
+             f"{sorted(stages) if isinstance(stages, dict) else stages}")
+
+    start, end = inc["start"], inc["end"]
+    prev_end = start
+    refold = 0.0
+    for name in STAGES:
+        s = stages[name]
+        if not close(s["start"], prev_end):
+            fail(f"{iid}: stage {name} starts at {s['start']} but the "
+                 f"previous boundary is {prev_end} (stages must be "
+                 f"contiguous)")
+        if s["end"] < s["start"]:
+            fail(f"{iid}: stage {name} has negative length "
+                 f"[{s['start']}, {s['end']}]")
+        if not close(s["seconds"], s["end"] - s["start"]):
+            fail(f"{iid}: stage {name} seconds {s['seconds']} != "
+                 f"end - start = {s['end'] - s['start']}")
+        refold += s["seconds"]
+        prev_end = s["end"]
+    if not close(prev_end, end):
+        fail(f"{iid}: last stage ends at {prev_end}, incident at {end}")
+    if not close(refold, inc["duration"]):
+        fail(f"{iid}: stage seconds re-fold to {refold} but duration is "
+             f"{inc['duration']}")
+    if not close(inc["duration"], end - start):
+        fail(f"{iid}: duration {inc['duration']} != end - start = "
+             f"{end - start}")
+
+    blame = inc["blame"]
+    if not 0.0 <= blame["confidence"] <= 1.0:
+        fail(f"{iid}: blame confidence {blame['confidence']} not in [0,1]")
+    if blame["dominant_stage"] not in STAGES:
+        fail(f"{iid}: dominant stage {blame['dominant_stage']!r} unknown")
+    if blame["link_src"] >= 0 and blame["site"] not in (
+        blame["link_src"],
+        blame["link_dst"],
+    ):
+        fail(f"{iid}: blamed link {blame['link_src']}->{blame['link_dst']} "
+             f"does not touch blamed site {blame['site']}")
+    return iid
+
+
+def check_attribution(a):
+    if a["blamed"] != a["correctly_blamed"] + a["misblamed"]:
+        fail(f"attribution: blamed {a['blamed']} != correct "
+             f"{a['correctly_blamed']} + misblamed {a['misblamed']}")
+    if a["episodes"] != a["attributed"] + a["missed"]:
+        fail(f"attribution: episodes {a['episodes']} != attributed "
+             f"{a['attributed']} + missed {a['missed']}")
+    precision = (
+        a["correctly_blamed"] / a["blamed"] if a["blamed"] > 0 else 1.0
+    )
+    recall = a["attributed"] / a["episodes"] if a["episodes"] > 0 else 1.0
+    if not close(a["precision"], precision):
+        fail(f"attribution: precision {a['precision']} inconsistent with "
+             f"{a['correctly_blamed']}/{a['blamed']}")
+    if not close(a["recall"], recall):
+        fail(f"attribution: recall {a['recall']} inconsistent with "
+             f"{a['attributed']}/{a['episodes']}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <incidents.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON: {e}")
+
+    if "meta" not in doc:
+        fail(f"{path}: missing meta header")
+    incidents = doc.get("incidents")
+    if not isinstance(incidents, list):
+        fail(f"{path}: missing 'incidents' array")
+    if doc.get("count") != len(incidents):
+        fail(f"{path}: count {doc.get('count')} != {len(incidents)} "
+             f"incidents")
+
+    ids = [check_incident(inc) for inc in incidents]
+    if len(set(ids)) != len(ids):
+        fail(f"{path}: duplicate incident ids")
+    numbers = [int(i.split("-")[1]) for i in ids]
+    if numbers != sorted(numbers):
+        fail(f"{path}: incident ids are not in export order")
+
+    if "attribution" in doc:
+        check_attribution(doc["attribution"])
+
+    scored = "scored" if "attribution" in doc else "unscored"
+    print(f"check_incidents: OK — {len(incidents)} incidents ({scored})")
+
+
+if __name__ == "__main__":
+    main()

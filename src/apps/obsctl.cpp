@@ -54,19 +54,43 @@
 //                                      blew its budget.
 //   watch <obs-dir>                    periodically re-render a live
 //                                      --obs-dir (event tail, SLO burn,
-//                                      timeline lanes) — artifacts land
-//                                      via tmp+rename so a mid-run read is
-//                                      never torn; missing files are
-//                                      reported, not fatal.
+//                                      timeline lanes, incident verdicts)
+//                                      — artifacts land via tmp+rename so
+//                                      a mid-run read is never torn; each
+//                                      artifact that is missing or
+//                                      mid-checkpoint is reported as
+//                                      `pending` while the rest render.
+//   incidents <input>                  table of reconstructed incidents
+//                                      (id, window, blame verdict, stage
+//                                      budget, SLO burn) plus the
+//                                      attribution score block when the
+//                                      artifact carries one. <input> is an
+//                                      obs-dir, an incidents.json, or an
+//                                      events.jsonl (incidents are then
+//                                      derived on the fly). --json
+//                                      re-emits the incidents.json form.
+//   explain <input> <slo|inc-id>       causal chain for one incident or
+//                                      for every incident implicated in a
+//                                      blown SLO: an ASCII stage bar
+//                                      (detect / queue / migrate /
+//                                      residual, dominant stage
+//                                      highlighted) and the per-stage
+//                                      latency budget. Exit 1 when the
+//                                      named SLO blew its budget, 0 when
+//                                      it held.
 //
-// Exit codes: 0 ok / no regression, 1 regression detected (check and
-// slo --gate), 2 usage error or missing/unreadable artifact, 3 artifact
-// found but its JSON is malformed. Scripts can tell "the bench never ran"
-// (2) from "the bench wrote garbage" (3) without parsing stderr.
+// Exit codes: 0 ok / no regression, 1 regression detected (check,
+// slo --gate, and explain on a blown SLO), 2 usage error or
+// missing/unreadable artifact (explain: also an unknown SLO/incident id or
+// an input with no events to evaluate), 3 artifact found but its JSON is
+// malformed. Scripts can tell "the bench never ran" (2) from "the bench
+// wrote garbage" (3) without parsing stderr.
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -83,6 +107,7 @@
 #include "common/table.h"
 #include "obs/critpath.h"
 #include "obs/eventlog.h"
+#include "obs/incident.h"
 #include "obs/regress.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
@@ -109,7 +134,12 @@ int usage(std::ostream& os, int code) {
         "  geomap-obsctl slo <events.jsonl> [--spec specs.json] [--json] "
         "[--gate]\n"
         "  geomap-obsctl watch <obs-dir> [--interval SEC] [--iterations N]\n"
-        "                [--series NAME] [--width N] [--tail K]\n"
+        "                [--series NAME] [--width N] [--tail K] "
+        "[--severity S]\n"
+        "  geomap-obsctl incidents <obs-dir|incidents.json|events.jsonl> "
+        "[--json]\n"
+        "  geomap-obsctl explain <obs-dir|incidents.json|events.jsonl>\n"
+        "                <slo-name|incident-id> [--width N]\n"
         "\n"
         "Flags for profile:\n"
         "  --top K           hot leaves listed (default 10)\n"
@@ -143,6 +173,16 @@ int usage(std::ostream& os, int code) {
         "  --json            emit the slo.json artifact form\n"
         "  --gate            exit 1 when any SLO blew its error budget\n"
         "\n"
+        "Flags for incidents / explain:\n"
+        "  --json            (incidents) re-emit the incidents.json form\n"
+        "  --width N         (explain) columns in the stage bar "
+        "(default 48)\n"
+        "  An obs-dir input prefers its incidents.json and falls back to\n"
+        "  deriving incidents from events.jsonl; deriving from a\n"
+        "  multi-case stream that was exported after sorting is "
+        "best-effort\n"
+        "  (the per-case slices are no longer contiguous).\n"
+        "\n"
         "Shared flags for diff/check:\n"
         "  --threshold PCT   relative change that fails check "
         "(default 10)\n"
@@ -159,8 +199,13 @@ int usage(std::ostream& os, int code) {
         "  0   success / no regression\n"
         "  1   check / slo --gate: a watched leaf regressed past the "
         "threshold\n"
-        "      (or vanished), or an SLO blew its error budget\n"
-        "  2   usage error, or an artifact is missing / unreadable\n"
+        "      (or vanished), an SLO blew its error budget, or explain "
+        "was\n"
+        "      pointed at a blown SLO\n"
+        "  2   usage error, or an artifact is missing / unreadable "
+        "(explain:\n"
+        "      also an unknown SLO / incident id, or no events to "
+        "evaluate)\n"
         "  3   an artifact was found but its JSON is malformed\n";
   return code;
 }
@@ -404,12 +449,14 @@ std::string format_end(Seconds end) {
   return std::isfinite(end) ? format_double(end, 3) : std::string("open");
 }
 
-/// Render options shared by `timeline` and each `watch` tick.
+/// Render options shared by `timeline` and each `watch` tick. The
+/// [since, until] range is an obs::TimeWindow so `timeline` and `events`
+/// share one definition of the boundary semantics (inclusive on both
+/// ends; since > until is the empty window).
 struct TimelineOptions {
   std::string series_name = "link.latency_ratio";
   int width = 64;
-  Seconds since = -std::numeric_limits<double>::infinity();
-  Seconds until = std::numeric_limits<double>::infinity();
+  obs::TimeWindow window;
 };
 
 int render_timeline(const JsonValue& doc, const TimelineOptions& opt) {
@@ -463,7 +510,7 @@ int render_timeline(const JsonValue& doc, const TimelineOptions& opt) {
         if (!p.is_array() || p.items().size() != 2) continue;
         const Seconds t = p.items()[0].as_number();
         const double v = p.items()[1].as_number();
-        if (t < opt.since || t > opt.until) continue;
+        if (!opt.window.contains(t)) continue;
         if (is_link && name == series_name)
           points[{tenant, src, dst}].push_back({t, v});
         if (is_link && name == "migration.bytes")
@@ -489,9 +536,7 @@ int render_timeline(const JsonValue& doc, const TimelineOptions& opt) {
   // Episodes and truth windows keep their true extents but only render
   // when they intersect [since, until]; widen() sees the clamped values
   // so the axis never stretches past the requested range.
-  const auto clamp = [&](Seconds t) {
-    return std::min(opt.until, std::max(opt.since, t));
-  };
+  const auto clamp = [&](Seconds t) { return opt.window.clamp(t); };
   std::vector<TimelineEpisode> detections;
   if (const JsonValue* dets = doc.find("detections")) {
     for (const JsonValue& d : dets->items()) {
@@ -504,7 +549,7 @@ int render_timeline(const JsonValue& doc, const TimelineOptions& opt) {
       e.end = end_or_inf(d);
       e.severity = d.number_or("severity", 0);
       e.confidence = d.number_or("confidence", 0);
-      if (e.onset > opt.until || e.end < opt.since) continue;
+      if (!opt.window.intersects(e.onset, e.end)) continue;
       widen(clamp(e.onset));
       widen(clamp(e.detect));
       widen(clamp(e.end));
@@ -521,7 +566,7 @@ int render_timeline(const JsonValue& doc, const TimelineOptions& opt) {
       w.end = end_or_inf(t);
       const JsonValue* down = t.find("down");
       w.down = down != nullptr && down->is_bool() && down->as_bool();
-      if (w.start > opt.until || w.end < opt.since) continue;
+      if (!opt.window.intersects(w.start, w.end)) continue;
       widen(clamp(w.start));
       widen(clamp(w.end));
       truth.push_back(w);
@@ -735,16 +780,16 @@ int cmd_timeline(const std::vector<std::string>& args) {
     } else if (args[i] == "--width" && i + 1 < args.size()) {
       opt.width = std::stoi(args[++i]);
     } else if (args[i] == "--since" && i + 1 < args.size()) {
-      opt.since = std::stod(args[++i]);
+      opt.window.since = std::stod(args[++i]);
     } else if (args[i] == "--until" && i + 1 < args.size()) {
-      opt.until = std::stod(args[++i]);
+      opt.window.until = std::stod(args[++i]);
     } else if (path.empty() && args[i].rfind("--", 0) != 0) {
       path = args[i];
     } else {
       return usage(std::cerr, 2);
     }
   }
-  if (path.empty() || opt.width < 8 || opt.since > opt.until)
+  if (path.empty() || opt.width < 8 || opt.window.empty())
     return usage(std::cerr, 2);
   return render_timeline(parse_json_file(path), opt);
 }
@@ -762,15 +807,15 @@ struct EventFilter {
   std::string component;  // empty = any
   std::string name;       // empty = any
   obs::EventSeverity min_severity = obs::EventSeverity::kDebug;
-  Seconds since = -std::numeric_limits<double>::infinity();
-  Seconds until = std::numeric_limits<double>::infinity();
+  // Shares obs::TimeWindow with `timeline`: inclusive on both ends.
+  obs::TimeWindow window;
 
   bool matches(const obs::Event& e) const {
     if (!component.empty() && e.component != component) return false;
     if (!name.empty() && e.name != name) return false;
     if (static_cast<int>(e.severity) < static_cast<int>(min_severity))
       return false;
-    return e.t >= since && e.t <= until;
+    return window.contains(e.t);
   }
 };
 
@@ -818,9 +863,9 @@ int cmd_events(const std::vector<std::string>& args) {
     } else if (args[i] == "--severity" && i + 1 < args.size()) {
       filter.min_severity = obs::parse_event_severity(args[++i]);
     } else if (args[i] == "--since" && i + 1 < args.size()) {
-      filter.since = std::stod(args[++i]);
+      filter.window.since = std::stod(args[++i]);
     } else if (args[i] == "--until" && i + 1 < args.size()) {
-      filter.until = std::stod(args[++i]);
+      filter.window.until = std::stod(args[++i]);
     } else if (args[i] == "--json") {
       as_json = true;
     } else if (args[i] == "--follow") {
@@ -835,7 +880,7 @@ int cmd_events(const std::vector<std::string>& args) {
       return usage(std::cerr, 2);
     }
   }
-  if (path.empty() || filter.since > filter.until || interval <= 0)
+  if (path.empty() || filter.window.empty() || interval <= 0)
     return usage(std::cerr, 2);
 
   if (!follow) {
@@ -857,15 +902,13 @@ int cmd_events(const std::vector<std::string>& args) {
   }
 
   // Follow mode: the exporter republishes the whole artifact atomically
-  // (tmp + rename), so each poll re-reads it and prints only events with
-  // a sequence number beyond the last one seen. A missing or half-born
+  // (tmp + rename), so each poll re-reads it and the cursor keeps only
+  // events past the last sequence number seen. A missing or half-born
   // file just means "nothing yet".
-  std::uint64_t last_seq = 0;
+  obs::FollowCursor cursor;
   for (int tick = 1;; ++tick) {
     try {
-      for (const obs::Event& e : load_events(path)) {
-        if (e.seq <= last_seq) continue;
-        last_seq = e.seq;
+      for (const obs::Event& e : cursor.take_new(load_events(path))) {
         if (!filter.matches(e)) continue;
         if (as_json) {
           std::cout << obs::event_to_json(e) << "\n";
@@ -938,11 +981,284 @@ int cmd_slo(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// incidents / explain
+
+/// Resolved input for incidents/explain. The incident set always loads;
+/// the event stream rides along when the input carries one (an SLO
+/// target needs events to evaluate compliance).
+struct IncidentInput {
+  obs::IncidentsArtifact artifact;
+  std::vector<obs::Event> events;
+  bool has_events = false;
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// An obs-dir prefers its exported incidents.json (which carries the
+/// attribution score) and falls back to deriving incidents from
+/// events.jsonl; a bare .jsonl always derives. Deriving re-runs
+/// build_incidents, so a multi-case stream whose per-case slices are no
+/// longer contiguous is best-effort — the export is authoritative.
+IncidentInput load_incident_input(const std::string& path) {
+  IncidentInput in;
+  if (std::filesystem::is_directory(path)) {
+    const std::string ev = path + "/events.jsonl";
+    if (std::filesystem::exists(ev)) {
+      in.events = load_events(ev);
+      in.has_events = true;
+    }
+    const std::string inc = path + "/incidents.json";
+    if (std::filesystem::exists(inc)) {
+      in.artifact = obs::incidents_from_json(parse_json_file(inc));
+    } else if (in.has_events) {
+      in.artifact.incidents = obs::build_incidents(in.events);
+    } else {
+      GEOMAP_CHECK_MSG(false, "no incidents.json or events.jsonl in "
+                                  << path);
+    }
+    return in;
+  }
+  if (ends_with(path, ".jsonl")) {
+    in.events = load_events(path);
+    in.has_events = true;
+    in.artifact.incidents = obs::build_incidents(in.events);
+    return in;
+  }
+  in.artifact = obs::incidents_from_json(parse_json_file(path));
+  return in;
+}
+
+std::string format_blame_site(const obs::BlameVerdict& b) {
+  return b.site < 0 ? std::string("-") : "site " + std::to_string(b.site);
+}
+
+std::string format_blame_link(const obs::BlameVerdict& b) {
+  return b.link_src < 0 ? std::string("-")
+                        : std::to_string(b.link_src) + "->" +
+                              std::to_string(b.link_dst);
+}
+
+void print_attribution(const obs::AttributionTotals& t) {
+  print_banner(std::cout, "attribution vs seeded truth");
+  std::cout << "precision: " << format_double(t.precision(), 3)
+            << " (" << t.correctly_blamed << "/" << t.blamed
+            << " verdicts corroborated)  recall: "
+            << format_double(t.recall(), 3) << " (" << t.attributed << "/"
+            << t.episodes << " episodes attributed)\n"
+            << "mean onset error: "
+            << format_double(t.mean_onset_error(), 3) << " s over "
+            << t.onset_error_samples << " samples; " << t.cases
+            << " cases, " << t.incidents << " incidents\n";
+}
+
+int cmd_incidents(const std::vector<std::string>& args) {
+  std::string path;
+  bool as_json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      as_json = true;
+    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
+      path = args[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty()) return usage(std::cerr, 2);
+
+  const IncidentInput in = load_incident_input(path);
+  if (as_json) {
+    obs::write_incidents_json(
+        std::cout, in.artifact.incidents,
+        in.artifact.has_totals ? &in.artifact.totals : nullptr);
+    std::cout << "\n";
+    return 0;
+  }
+
+  Table table({"id", "seed", "start", "end", "dur s", "blame", "link",
+               "tenant", "conf", "dominant", "slo burn", "violated"});
+  for (const obs::Incident& inc : in.artifact.incidents) {
+    std::string violated;
+    for (const std::string& s : inc.violated_slos) {
+      if (!violated.empty()) violated += ",";
+      violated += s;
+    }
+    table.row()
+        .cell(inc.id)
+        .cell(inc.has_case_seed ? std::to_string(inc.case_seed)
+                                : std::string("-"))
+        .cell(inc.start, 3)
+        .cell(inc.end, 3)
+        .cell(inc.duration(), 3)
+        .cell(format_blame_site(inc.blame))
+        .cell(format_blame_link(inc.blame))
+        .cell(inc.blame.tenant < 0 ? std::string("-")
+                                   : std::to_string(inc.blame.tenant))
+        .cell(inc.blame.confidence, 2)
+        .cell(inc.blame.dominant_stage)
+        .cell(inc.slo_burn, 3)
+        .cell(violated);
+  }
+  print_banner(std::cout, std::to_string(in.artifact.incidents.size()) +
+                              " incidents");
+  table.print(std::cout);
+  std::cout << "\n";
+  if (in.artifact.has_totals) print_attribution(in.artifact.totals);
+  return 0;
+}
+
+/// One incident's causal chain: a proportional stage bar (detect 'd',
+/// queue 'q', migrate 'm', residual 'r'; the dominant stage upper-cased)
+/// over the incident's [start, end], then the per-stage latency budget.
+/// The stages telescope, so the budget rows re-fold to the duration.
+void render_incident_chain(const obs::Incident& inc, int width) {
+  std::cout << inc.id;
+  if (inc.has_case_seed) std::cout << "  seed " << inc.case_seed;
+  std::cout << "  t in [" << format_double(inc.start, 3) << ", "
+            << format_double(inc.end, 3) << "]  ("
+            << format_double(inc.duration(), 3) << " s)\n";
+  std::cout << "  blame: " << format_blame_site(inc.blame);
+  if (inc.blame.link_src >= 0)
+    std::cout << "  link " << format_blame_link(inc.blame);
+  if (inc.blame.tenant >= 0) std::cout << "  tenant " << inc.blame.tenant;
+  std::cout << "  confidence " << format_double(inc.blame.confidence, 2)
+            << "  dominant " << inc.blame.dominant_stage << "\n";
+
+  const Seconds dur = inc.duration();
+  if (dur > 0) {
+    std::string bar(static_cast<std::size_t>(width), ' ');
+    for (std::size_t c = 0; c < bar.size(); ++c) {
+      const Seconds t =
+          inc.start + (static_cast<double>(c) + 0.5) / width * dur;
+      for (const obs::StageBudget& s : inc.stages) {
+        if (t < s.start || t > s.end || s.seconds() <= 0) continue;
+        char mark = s.name.empty() ? '?' : s.name[0];
+        if (s.name == inc.blame.dominant_stage)
+          mark = static_cast<char>(std::toupper(mark));
+        bar[c] = mark;
+        break;
+      }
+    }
+    std::cout << "  |" << bar << "|\n";
+  } else {
+    std::cout << "  (zero-length incident: every stage collapsed onto "
+                 "one instant)\n";
+  }
+
+  Table stages({"stage", "start", "end", "seconds", "share %", "metric",
+                "events"});
+  for (const obs::StageBudget& s : inc.stages) {
+    const bool dominant = s.name == inc.blame.dominant_stage;
+    stages.row()
+        .cell(dominant ? s.name + " *" : s.name)
+        .cell(s.start, 3)
+        .cell(s.end, 3)
+        .cell(s.seconds(), 3)
+        .cell(dur > 0 ? 100.0 * s.seconds() / dur : 0.0, 1)
+        .cell(s.metric, 3)
+        .cell(static_cast<long long>(s.events));
+  }
+  stages.print(std::cout);
+  std::cout << "  counts: " << inc.counts.onsets << " onsets, "
+            << inc.counts.grants << " grants, " << inc.counts.requeues
+            << " requeues, " << inc.counts.give_ups << " give-ups, "
+            << inc.counts.commits << " commits, " << inc.counts.rollbacks
+            << " rollbacks;  slo burn "
+            << format_double(inc.slo_burn, 3) << "\n\n";
+}
+
+int cmd_explain(const std::vector<std::string>& args) {
+  std::string path;
+  std::string target;
+  int width = 48;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--width" && i + 1 < args.size()) {
+      width = std::stoi(args[++i]);
+    } else if (args[i].rfind("--", 0) != 0) {
+      if (path.empty()) {
+        path = args[i];
+      } else if (target.empty()) {
+        target = args[i];
+      } else {
+        return usage(std::cerr, 2);
+      }
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty() || target.empty() || width < 8)
+    return usage(std::cerr, 2);
+
+  const IncidentInput in = load_incident_input(path);
+
+  // An incident id names exactly one chain.
+  if (target.rfind("inc-", 0) == 0) {
+    for (const obs::Incident& inc : in.artifact.incidents) {
+      if (inc.id != target) continue;
+      render_incident_chain(inc, width);
+      return 0;
+    }
+    std::cerr << "geomap-obsctl: no incident '" << target << "' among "
+              << in.artifact.incidents.size() << " incidents\n";
+    return 2;
+  }
+
+  // An SLO name renders the chain of every incident implicated in it.
+  // Compliance is evaluated over the event stream, so an incidents.json
+  // alone cannot answer "did it blow?".
+  if (!in.has_events) {
+    std::cerr << "geomap-obsctl: explaining SLO '" << target
+              << "' needs an event stream (pass an obs-dir or "
+                 "events.jsonl)\n";
+    return 2;
+  }
+  const obs::SloReport report =
+      obs::evaluate_slos(in.events, obs::default_slo_specs());
+  const obs::SloResult* result = nullptr;
+  for (const obs::SloResult& r : report.slos) {
+    if (r.spec.name == target) result = &r;
+  }
+  if (result == nullptr) {
+    std::cerr << "geomap-obsctl: unknown SLO '" << target << "' (have:";
+    for (const obs::SloResult& r : report.slos)
+      std::cerr << " " << r.spec.name;
+    std::cerr << ")\n";
+    return 2;
+  }
+
+  print_banner(std::cout, "slo " + target);
+  std::cout << "compliance " << format_double(result->compliance, 4)
+            << " vs objective " << format_double(result->spec.objective, 3)
+            << "  burn " << format_double(result->burn, 3) << "  "
+            << (result->ok ? "ok" : "BUDGET BLOWN") << "\n\n";
+
+  std::size_t implicated = 0;
+  for (const obs::Incident& inc : in.artifact.incidents) {
+    if (std::find(inc.violated_slos.begin(), inc.violated_slos.end(),
+                  target) == inc.violated_slos.end())
+      continue;
+    ++implicated;
+    render_incident_chain(inc, width);
+  }
+  if (implicated == 0) {
+    std::cout << (result->ok
+                      ? "no incident implicates this SLO (it held)\n"
+                      : "no incident implicates this SLO — the incident "
+                        "set may be stale relative to the events\n");
+  }
+  return result->ok ? 0 : 1;
+}
+
 int cmd_watch(const std::vector<std::string>& args) {
   std::string dir;
   double interval = 2.0;
   int iterations = 0;
   int tail = 8;
+  // Same severity vocabulary and parser as `events --severity`.
+  obs::EventSeverity min_severity = obs::EventSeverity::kDebug;
   TimelineOptions tl;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--interval" && i + 1 < args.size()) {
@@ -955,6 +1271,8 @@ int cmd_watch(const std::vector<std::string>& args) {
       tl.width = std::stoi(args[++i]);
     } else if (args[i] == "--tail" && i + 1 < args.size()) {
       tail = std::stoi(args[++i]);
+    } else if (args[i] == "--severity" && i + 1 < args.size()) {
+      min_severity = obs::parse_event_severity(args[++i]);
     } else if (dir.empty() && args[i].rfind("--", 0) != 0) {
       dir = args[i];
     } else {
@@ -965,9 +1283,10 @@ int cmd_watch(const std::vector<std::string>& args) {
     return usage(std::cerr, 2);
 
   // Every tick re-reads whatever artifacts exist right now. The bench
-  // side publishes via tmp + rename, so a read is all-or-nothing; a
-  // file that is not there yet (or got half-typed by something else) is
-  // reported inline and watched again next tick.
+  // side publishes via tmp + rename, so a read is all-or-nothing; each
+  // artifact that is missing (or mid-checkpoint) renders as `pending`
+  // on its own — one absent file never blanks the sections the other
+  // artifacts can still fill.
   for (int tick = 1;; ++tick) {
     print_banner(std::cout, "watch " + dir + "  tick " +
                                 std::to_string(tick));
@@ -981,12 +1300,17 @@ int cmd_watch(const std::vector<std::string>& args) {
                 << by_severity[3] << " error, " << by_severity[2]
                 << " warn, " << by_severity[1] << " info, " << by_severity[0]
                 << " debug)\n";
+      std::vector<const obs::Event*> shown;
+      for (const obs::Event& e : events) {
+        if (static_cast<int>(e.severity) >= static_cast<int>(min_severity))
+          shown.push_back(&e);
+      }
       const std::size_t from =
-          events.size() > static_cast<std::size_t>(tail)
-              ? events.size() - static_cast<std::size_t>(tail)
+          shown.size() > static_cast<std::size_t>(tail)
+              ? shown.size() - static_cast<std::size_t>(tail)
               : 0;
-      for (std::size_t i = from; i < events.size(); ++i)
-        print_event_line(events[i]);
+      for (std::size_t i = from; i < shown.size(); ++i)
+        print_event_line(*shown[i]);
 
       const obs::SloReport slo =
           obs::evaluate_slos(events, obs::default_slo_specs());
@@ -997,7 +1321,7 @@ int cmd_watch(const std::vector<std::string>& args) {
       }
       std::cout << "\n";
     } catch (const std::exception& e) {
-      std::cout << "events.jsonl: unavailable (" << e.what() << ")\n";
+      std::cout << "events.jsonl: pending (" << e.what() << ")\n";
     }
     try {
       std::ifstream prom(dir + "/metrics.prom");
@@ -1007,13 +1331,40 @@ int cmd_watch(const std::vector<std::string>& args) {
         while (std::getline(prom, line))
           if (line.rfind("# TYPE ", 0) == 0) ++families;
         std::cout << "metrics.prom: " << families << " metric families\n";
+      } else {
+        std::cout << "metrics.prom: pending\n";
       }
     } catch (const std::exception&) {
+      std::cout << "metrics.prom: pending\n";
     }
     try {
       render_timeline(parse_json_file(dir + "/timeline.json"), tl);
     } catch (const std::exception&) {
-      std::cout << "timeline.json: (not yet written)\n";
+      std::cout << "timeline.json: pending\n";
+    }
+    try {
+      const obs::IncidentsArtifact inc =
+          obs::incidents_from_json(parse_json_file(dir + "/incidents.json"));
+      std::cout << "incidents: " << inc.incidents.size();
+      if (inc.has_totals) {
+        std::cout << "  (precision "
+                  << format_double(inc.totals.precision(), 3) << ", recall "
+                  << format_double(inc.totals.recall(), 3) << ")";
+      }
+      std::cout << "\n";
+      const std::size_t from =
+          inc.incidents.size() > static_cast<std::size_t>(tail)
+              ? inc.incidents.size() - static_cast<std::size_t>(tail)
+              : 0;
+      for (std::size_t i = from; i < inc.incidents.size(); ++i) {
+        const obs::Incident& x = inc.incidents[i];
+        std::cout << "  " << x.id << "  [" << format_double(x.start, 3)
+                  << ", " << format_double(x.end, 3) << "]  "
+                  << format_blame_site(x.blame) << "  dominant "
+                  << x.blame.dominant_stage << "\n";
+      }
+    } catch (const std::exception&) {
+      std::cout << "incidents.json: pending\n";
     }
     std::cout.flush();
     if (iterations > 0 && tick >= iterations) break;
@@ -1339,6 +1690,8 @@ int main(int argc, char** argv) {
     if (cmd == "events") return cmd_events(args);
     if (cmd == "slo") return cmd_slo(args);
     if (cmd == "watch") return cmd_watch(args);
+    if (cmd == "incidents") return cmd_incidents(args);
+    if (cmd == "explain") return cmd_explain(args);
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "diff") return cmd_compare(args, /*gate=*/false);
     if (cmd == "check") return cmd_compare(args, /*gate=*/true);

@@ -1,0 +1,117 @@
+#include "fault/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "fault/fault_plan.h"
+
+namespace geomap::fault {
+
+namespace {
+
+bool observable(const AttributionScoreOptions& options, SiteId src,
+                SiteId dst) {
+  if (options.observable_links.empty()) return true;
+  for (const auto& [a, b] : options.observable_links) {
+    if ((a == src && b == dst) || (a == dst && b == src)) return true;
+  }
+  return false;
+}
+
+/// True when [a0, a1] and [b0, b1] overlap, with `slack` grace.
+bool overlaps(Seconds a0, Seconds a1, Seconds b0, Seconds b1, Seconds slack) {
+  return a0 <= b1 + slack && b0 <= a1 + slack;
+}
+
+struct Episode {
+  Seconds start = 0;
+  Seconds end = 0;
+  SiteId site = -1;  // endpoint common to every window of the span
+};
+
+}  // namespace
+
+obs::AttributionTotals score_attribution(
+    const std::vector<obs::Incident>& incidents,
+    const std::vector<obs::TruthWindow>& truth,
+    const AttributionScoreOptions& options) {
+  obs::AttributionTotals totals;
+  totals.cases = 1;
+  totals.incidents = incidents.size();
+
+  std::vector<obs::TruthWindow> down;
+  for (const obs::TruthWindow& w : truth) {
+    if (w.down && observable(options, w.src, w.dst)) down.push_back(w);
+  }
+
+  // Group identical (start, end) spans into site episodes: a site outage
+  // puts every incident link down over exactly the same span, so the
+  // site is the endpoint every window of the span shares.
+  std::map<std::pair<Seconds, Seconds>, std::vector<const obs::TruthWindow*>>
+      spans;
+  for (const obs::TruthWindow& w : down) spans[{w.start, w.end}].push_back(&w);
+  std::vector<Episode> episodes;
+  for (const auto& [span, windows] : spans) {
+    std::map<SiteId, std::size_t> endpoint_count;
+    for (const obs::TruthWindow* w : windows) {
+      endpoint_count[w->src] += 1;
+      endpoint_count[w->dst] += 1;
+    }
+    Episode ep;
+    ep.start = span.first;
+    ep.end = span.second;
+    std::size_t best = 0;
+    for (const auto& [site, n] : endpoint_count) {
+      if (n > best) {  // ties -> lower site id (map order)
+        best = n;
+        ep.site = site;
+      }
+    }
+    // A single down link (a link fault, not a site outage) has no
+    // majority endpoint; both ends count as acceptable blame, which the
+    // dominant-endpoint rule already yields for either choice. Permanent
+    // episodes only — transient blips may legitimately pass unobserved.
+    if (std::isinf(ep.end)) episodes.push_back(ep);
+  }
+  totals.episodes = episodes.size();
+
+  // Precision: every verdict must be corroborated by some down window
+  // touching the blamed site over the incident's span.
+  for (const obs::Incident& inc : incidents) {
+    if (inc.blame.site < 0) continue;
+    totals.blamed += 1;
+    bool corroborated = false;
+    for (const obs::TruthWindow& w : down) {
+      if (w.src != inc.blame.site && w.dst != inc.blame.site) continue;
+      if (overlaps(inc.start, inc.end, w.start, w.end, options.match_slack)) {
+        corroborated = true;
+        break;
+      }
+    }
+    (corroborated ? totals.correctly_blamed : totals.misblamed) += 1;
+  }
+
+  // Recall + onset error: each permanent episode wants the earliest
+  // incident that blames its site during the outage.
+  for (const Episode& ep : episodes) {
+    const obs::Incident* earliest = nullptr;
+    for (const obs::Incident& inc : incidents) {
+      if (inc.blame.site != ep.site) continue;
+      if (!overlaps(inc.start, inc.end, ep.start, ep.end, options.match_slack))
+        continue;
+      if (earliest == nullptr || inc.start < earliest->start) earliest = &inc;
+    }
+    if (earliest != nullptr) {
+      totals.attributed += 1;
+      totals.onset_error_sum += std::abs(earliest->start - ep.start);
+      totals.onset_error_samples += 1;
+    } else {
+      totals.missed += 1;
+    }
+  }
+  return totals;
+}
+
+}  // namespace geomap::fault

@@ -1,0 +1,55 @@
+#pragma once
+// Attribution scoring: grade the incident engine's blame verdicts
+// (obs/incident.h) against the seeded fault truth — the same move PR 4's
+// detection scoring made for onsets, lifted from "did we notice" to
+// "did we accuse the right site, and how late".
+//
+// Precision walks incidents: a verdict is correct when the blamed site
+// is an endpoint of at least one hard-down truth window overlapping the
+// incident (with `match_slack` grace before the fault's start — an
+// incident can only begin once the detector aggregates evidence, never
+// before the fault, but float comparisons deserve the slack both ways).
+// Incidents that reached no verdict (blame.site == -1) are counted but
+// not penalized — an honest "unknown" is not a misattribution.
+//
+// Recall walks the truth side: down windows sharing an identical
+// (start, end) span are grouped into one *episode* (a site outage emits
+// one window per incident link; the episode's site is the endpoint
+// common to all of them), and an episode is attributed when some
+// incident blames its site within the overlap window. Only *permanent*
+// episodes (end == kNoEnd) are scored: they are the outages the
+// recovery loop must answer for, and — unlike transient blips, which
+// force-through delivery can legitimately ride out unobserved — a
+// permanent outage always leaves journal evidence.
+//
+// The latency leg: for each attributed episode, the earliest correctly
+// blaming incident's start is compared against the episode's true start;
+// the absolute gap accumulates into the totals' mean onset error.
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/detector.h"
+#include "obs/incident.h"
+
+namespace geomap::fault {
+
+struct AttributionScoreOptions {
+  /// Temporal grace when matching an incident against a truth window.
+  Seconds match_slack = 0.5;
+  /// When non-empty, truth windows on links outside this set are
+  /// invisible to the detector and are excluded from scoring (same
+  /// contract as DetectionScoreOptions::observable_links).
+  std::vector<std::pair<SiteId, SiteId>> observable_links;
+};
+
+/// Score one case's incidents against that case's truth windows.
+/// Returns totals with cases == 1; accumulate across a soak with
+/// AttributionTotals::merge (or IncidentLog::add_totals).
+obs::AttributionTotals score_attribution(
+    const std::vector<obs::Incident>& incidents,
+    const std::vector<obs::TruthWindow>& truth,
+    const AttributionScoreOptions& options = {});
+
+}  // namespace geomap::fault

@@ -8,7 +8,9 @@
 #include "common/rng.h"
 #include "core/geodist_mapper.h"
 #include "core/remap.h"
+#include "fault/attribution.h"
 #include "fault/chaos.h"
+#include "fault/fault_plan.h"
 #include "mapping/problem.h"
 #include "net/cloud.h"
 #include "net/network_model.h"
@@ -105,6 +107,12 @@ SoakCase run_soak_case(std::uint64_t seed, const SoakOptions& options) {
   SoakCase result;
   result.seed = seed;
 
+  obs::Collector* coll = options.collector != nullptr
+                             ? options.collector
+                             : options.migrate.collector;
+  obs::EventLog* elog = coll != nullptr ? &coll->events() : nullptr;
+  const std::uint64_t seq0 = elog != nullptr ? elog->total() : 0;
+
   const mapping::MappingProblem problem = make_problem(seed, options);
   core::GeoDistMapper mapper(options.migrate.mapper);
   const Mapping initial = mapper.map(problem);
@@ -126,6 +134,10 @@ SoakCase run_soak_case(std::uint64_t seed, const SoakOptions& options) {
   const fault::ChaosPlan chaos_plan = fault::make_chaos_plan(seed, chaos);
   result.primary_site = chaos_plan.primary_site;
   result.outage_time = chaos_plan.primary_outage_time;
+  if (elog != nullptr) {
+    elog->emit(0, obs::EventSeverity::kInfo, "soak", "case_start",
+               {obs::field("seed", seed), obs::field("ranks", options.ranks)});
+  }
 
   // 3. Rerun under the chaos plan with telemetry on. Transfers forced
   //    through after retry exhaustion keep the run terminating even with
@@ -143,17 +155,18 @@ SoakCase run_soak_case(std::uint64_t seed, const SoakOptions& options) {
   ropts.bytes_per_process = options.bytes_per_process;
 
   obs::DegradationDetector detector;
-  if (options.migrate.collector != nullptr)
-    detector.set_event_log(&options.migrate.collector->events());
+  detector.set_event_log(elog);
   detector.scan(telemetry.timeline());
 
   Mapping target;
+  SiteId suspect = -1;
   try {
     const core::DetectionRemapResult detection = core::remap_on_detection(
         problem, initial, detector.events(), chaos_plan.plan, ropts);
     result.detected = true;
     result.suspected_correct =
         detection.suspected_site == chaos_plan.primary_site;
+    suspect = detection.suspected_site;
     result.remap_time = detection.detection_time;
     target = detection.remap.mapping;
   } catch (const Error&) {
@@ -163,6 +176,17 @@ SoakCase run_soak_case(std::uint64_t seed, const SoakOptions& options) {
     result.remap_time = chaos_plan.primary_outage_time;
     target = oracle.mapping;
   }
+  if (elog != nullptr) {
+    elog->emit(result.remap_time,
+               result.suspected_correct ? obs::EventSeverity::kInfo
+                                        : obs::EventSeverity::kWarn,
+               "soak", "detect",
+               {obs::field("detected", result.detected),
+                obs::field("suspected_correct", result.suspected_correct),
+                obs::field("suspect", suspect),
+                obs::field("failed_site", chaos_plan.primary_site),
+                obs::field("outage_time", chaos_plan.primary_outage_time)});
+  }
 
   // 5. Execute the recovery under the same chaos plan and certify the
   //    journal.
@@ -170,6 +194,7 @@ SoakCase run_soak_case(std::uint64_t seed, const SoakOptions& options) {
   mopts.bytes_per_process = options.bytes_per_process;
   mopts.chunk_bytes = options.chunk_bytes;
   mopts.record_events = true;
+  if (mopts.collector == nullptr) mopts.collector = coll;
   result.report = execute_migration(problem, initial, target, chaos_plan.plan,
                                     result.remap_time, mopts);
 
@@ -185,6 +210,44 @@ SoakCase run_soak_case(std::uint64_t seed, const SoakOptions& options) {
   inv.horizon = result.report.finish_time;
   result.violations = fault::check_migration_invariants(
       result.report.events, initial, problem.capacities, chaos_plan.plan, inv);
+
+  // 6. Fold the case's event slice into incidents, grade the blame
+  //    verdicts against the seeded truth, and hand both to the collector
+  //    for the incidents.json export.
+  if (elog != nullptr) {
+    elog->emit(result.report.finish_time,
+               result.violations.empty() ? obs::EventSeverity::kInfo
+                                         : obs::EventSeverity::kError,
+               "soak", "case_done",
+               {obs::field("seed", seed),
+                obs::field("committed", result.report.processes_committed),
+                obs::field("rollbacks", result.report.rollbacks),
+                obs::field("replans", result.report.replans),
+                obs::field("abandoned", result.report.processes_abandoned),
+                obs::field("violations", result.violations.size())});
+    result.incidents = obs::build_incidents(elog->events_since(seq0));
+    // Only links between sites hosting ranks can produce evidence; an
+    // outage of an idle site is honestly unobservable and is excluded
+    // from recall, matching detection scoring's observable_links.
+    fault::AttributionScoreOptions sopt;
+    std::vector<bool> used(static_cast<std::size_t>(options.num_sites), false);
+    for (const SiteId s : initial) {
+      if (s >= 0) used[static_cast<std::size_t>(s)] = true;
+    }
+    for (SiteId a = 0; a < options.num_sites; ++a) {
+      for (SiteId b = a + 1; b < options.num_sites; ++b) {
+        if (used[static_cast<std::size_t>(a)] &&
+            used[static_cast<std::size_t>(b)])
+          sopt.observable_links.push_back({a, b});
+      }
+    }
+    result.attribution = fault::score_attribution(
+        result.incidents, chaos_plan.plan.truth_windows(options.num_sites),
+        sopt);
+    result.attribution_scored = true;
+    coll->incidents().add(result.incidents);
+    coll->incidents().add_totals(result.attribution);
+  }
   return result;
 }
 
@@ -205,6 +268,7 @@ SoakReport run_chaos_soak(const std::vector<std::uint64_t>& seeds,
     report.total_rollbacks += c.report.rollbacks;
     report.total_replans += c.report.replans;
     report.total_abandoned += c.report.processes_abandoned;
+    if (c.attribution_scored) report.attribution.merge(c.attribution);
   }
   return report;
 }

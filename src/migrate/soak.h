@@ -34,6 +34,7 @@
 #include "common/types.h"
 #include "fault/chaos.h"
 #include "migrate/executor.h"
+#include "obs/incident.h"
 
 namespace geomap::migrate {
 
@@ -55,6 +56,17 @@ struct SoakOptions {
   /// Executor knobs (bytes_per_process / chunk_bytes above win).
   MigrationOptions migrate;
 
+  /// Opt-in external observability. With a collector attached the case
+  /// streams lifecycle events (soak/case_start, soak/detect,
+  /// soak/case_done) next to the detector onsets and migration protocol
+  /// transitions, then reconstructs the case's incidents
+  /// (obs::build_incidents), scores their blame against the chaos plan's
+  /// truth windows (fault::score_attribution), and appends both to the
+  /// collector's incident log. nullptr — the default — keeps the
+  /// historical behavior bit-identical. Wins over migrate.collector when
+  /// both are set.
+  obs::Collector* collector = nullptr;
+
   void validate() const;
 };
 
@@ -71,6 +83,13 @@ struct SoakCase {
   Seconds remap_time = 0;
   MigrationReport report;
   std::vector<fault::InvariantViolation> violations;
+
+  /// Incident reconstruction over the case's event slice (empty without
+  /// a collector) and its truth-scored attribution (cases == 1 when
+  /// scored; see SoakOptions::collector).
+  std::vector<obs::Incident> incidents;
+  obs::AttributionTotals attribution;
+  bool attribution_scored = false;
 };
 
 struct SoakReport {
@@ -82,6 +101,9 @@ struct SoakReport {
   int total_rollbacks = 0;
   int total_replans = 0;
   int total_abandoned = 0;
+  /// Attribution totals merged over every scored case (zeros when the
+  /// soak ran without a collector).
+  obs::AttributionTotals attribution;
 
   bool ok() const { return total_violations == 0; }
 };

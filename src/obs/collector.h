@@ -20,6 +20,7 @@
 #include "obs/critpath.h"
 #include "obs/detector.h"
 #include "obs/eventlog.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/run_meta.h"
@@ -56,6 +57,9 @@ class Collector {
 
   EventLog& events() { return events_; }
   const EventLog& events() const { return events_; }
+
+  IncidentLog& incidents() { return incidents_; }
+  const IncidentLog& incidents() const { return incidents_; }
 
   /// Run metadata stamped into every exported artifact. Set once by the
   /// bench harness before the first export; default is an empty header.
@@ -100,6 +104,12 @@ class Collector {
   void write_events_jsonl(std::ostream& os) const {
     events_.write_jsonl(os, &meta_);
   }
+  void write_incidents_json(std::ostream& os) const {
+    const AttributionTotals totals = incidents_.totals();
+    obs::write_incidents_json(os, incidents_.snapshot(),
+                              incidents_.has_totals() ? &totals : nullptr,
+                              &meta_);
+  }
 
  private:
   MetricsRegistry metrics_;
@@ -111,6 +121,7 @@ class Collector {
   PhaseProfiler profile_;
   MemTracker mem_;
   EventLog events_;
+  IncidentLog incidents_;
   RunMeta meta_;
   bool audit_enabled_ = true;
   bool critpath_enabled_ = true;

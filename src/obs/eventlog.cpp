@@ -98,6 +98,15 @@ std::vector<Event> EventLog::events() const {
   return std::vector<Event>(events_.begin(), events_.end());
 }
 
+std::vector<Event> EventLog::events_since(std::uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.seq > seq) out.push_back(e);
+  }
+  return out;
+}
+
 bool EventLog::empty() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_.empty();

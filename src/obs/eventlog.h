@@ -28,6 +28,7 @@
 // (newest episodes matter most for a long-running service) and the drop
 // count is reported in the artifact's meta line.
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
@@ -126,6 +127,10 @@ class EventLog {
   std::uint64_t dropped() const;
   /// Retained events, oldest first (copy, for tests and the SLO tracker).
   std::vector<Event> events() const;
+  /// Retained events with seq > `seq`, oldest first — the slice emitted
+  /// after a `total()` snapshot. The per-case slicing primitive the soak
+  /// harnesses feed to obs::build_incidents.
+  std::vector<Event> events_since(std::uint64_t seq) const;
   bool empty() const;
 
   /// One JSON object per line: a meta line first ({"kind":"meta", ...}
@@ -155,5 +160,24 @@ Event event_from_json(const JsonValue& v);
 /// is skipped, every other non-empty line parses as one event. Malformed
 /// lines throw JsonParseError — a torn artifact is loud, not silent.
 std::vector<Event> read_events_jsonl(std::istream& is);
+
+/// Resume position for a tail reader re-reading a whole-file snapshot
+/// each poll (the exporter swaps checkpoints atomically via tmp+rename,
+/// so a re-read sees either the old or the new complete file, never a
+/// torn one). take_new() returns only the events past the cursor and
+/// advances it — re-reading after a swap yields exactly the fresh tail.
+struct FollowCursor {
+  std::uint64_t last_seq = 0;
+
+  std::vector<Event> take_new(const std::vector<Event>& events) {
+    std::vector<Event> fresh;
+    for (const Event& e : events) {
+      if (e.seq <= last_seq) continue;
+      fresh.push_back(e);
+      last_seq = std::max(last_seq, e.seq);
+    }
+    return fresh;
+  }
+};
 
 }  // namespace geomap::obs

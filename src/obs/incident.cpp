@@ -1,0 +1,662 @@
+#include "obs/incident.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "obs/run_meta.h"
+
+namespace geomap::obs {
+
+namespace {
+
+constexpr const char* kStageNames[4] = {"detect", "queue", "migrate",
+                                        "residual"};
+
+bool field_number(const Event& e, const char* key, double* out) {
+  for (const EventField& f : e.fields) {
+    if (f.key != key) continue;
+    switch (f.kind) {
+      case EventField::Kind::kInt:
+        *out = static_cast<double>(f.int_value);
+        return true;
+      case EventField::Kind::kDouble:
+        *out = f.double_value;
+        return true;
+      case EventField::Kind::kBool:
+        *out = f.bool_value ? 1.0 : 0.0;
+        return true;
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+double field_number_or(const Event& e, const char* key, double fallback) {
+  double v = fallback;
+  field_number(e, key, &v);
+  return v;
+}
+
+int field_int_or(const Event& e, const char* key, int fallback) {
+  return static_cast<int>(
+      field_number_or(e, key, static_cast<double>(fallback)));
+}
+
+std::string field_string_or(const Event& e, const char* key,
+                            const std::string& fallback) {
+  for (const EventField& f : e.fields) {
+    if (f.key == key && f.kind == EventField::Kind::kString)
+      return f.string_value;
+  }
+  return fallback;
+}
+
+bool is_event(const Event& e, const char* component, const char* name) {
+  return e.component == component && e.name == name;
+}
+
+/// A half-open incident core interval, pre-merge.
+struct Core {
+  Seconds start = 0;
+  Seconds end = 0;
+};
+
+/// Merge cores whose gap is within `merge_gap`. Input need not be
+/// sorted.
+std::vector<Core> merge_cores(std::vector<Core> cores, Seconds merge_gap) {
+  std::sort(cores.begin(), cores.end(), [](const Core& a, const Core& b) {
+    return a.start != b.start ? a.start < b.start : a.end < b.end;
+  });
+  std::vector<Core> merged;
+  for (const Core& c : cores) {
+    if (!merged.empty() && c.start <= merged.back().end + merge_gap) {
+      merged.back().end = std::max(merged.back().end, c.end);
+    } else {
+      merged.push_back(c);
+    }
+  }
+  return merged;
+}
+
+/// One violated SLO of the slice, with the times of its bad samples.
+struct BadSlo {
+  const SloResult* result = nullptr;
+  std::vector<Seconds> bad_times;
+};
+
+bool sample_bad(const SloSpec& spec, double v) {
+  return spec.higher_is_better ? v < spec.threshold : v > spec.threshold;
+}
+
+/// Cluster ONE case segment (or a whole single-case stream).
+void build_segment(const std::vector<Event>& events,
+                   const IncidentOptions& options,
+                   const std::vector<SloSpec>& specs,
+                   std::vector<Incident>* out) {
+  // 1. Seed cores from detector onsets ([true onset, alarm time]) and
+  //    soak verdicts (point intervals at the verdict time).
+  std::vector<Core> cores;
+  for (const Event& e : events) {
+    if (is_event(e, "detector", "onset")) {
+      const Seconds onset = field_number_or(e, "onset", e.t);
+      cores.push_back({std::min(onset, e.t), e.t});
+    } else if (is_event(e, "soak", "detect")) {
+      cores.push_back({e.t, e.t});
+    }
+  }
+
+  // 2. Violated SLOs of the slice and their bad samples.
+  const SloReport slo = evaluate_slos(events, specs);
+  std::vector<BadSlo> violated;
+  for (const SloResult& r : slo.slos) {
+    if (r.ok) continue;
+    BadSlo b;
+    b.result = &r;
+    for (const Event& e : events) {
+      if (e.component != r.spec.component || e.name != r.spec.event) continue;
+      double v = 0;
+      if (field_number(e, r.spec.field.c_str(), &v) && sample_bad(r.spec, v))
+        b.bad_times.push_back(e.t);
+    }
+    violated.push_back(std::move(b));
+  }
+
+  // 3. With no detector/soak seed at all, SLO-violating samples seed
+  //    their own (point) incidents — a blown budget always has at least
+  //    one incident to hang an explanation on.
+  if (cores.empty()) {
+    for (const BadSlo& b : violated) {
+      for (const Seconds t : b.bad_times) cores.push_back({t, t});
+    }
+  }
+  cores = merge_cores(std::move(cores), options.merge_gap);
+  if (cores.empty()) return;
+
+  constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+
+  for (std::size_t k = 0; k < cores.size(); ++k) {
+    // Ownership partition: incident k owns every event from its core's
+    // start (the first one owns everything earlier too) up to — not
+    // including — the next core's start. The partition covers the whole
+    // timeline, so every SLO-violating sample lands in exactly one
+    // incident.
+    const Seconds own_start = k == 0 ? -kInf : cores[k].start;
+    const Seconds own_end = k + 1 < cores.size() ? cores[k + 1].start : kInf;
+    const auto owns = [&](Seconds t) { return t >= own_start && t < own_end; };
+
+    Incident inc;
+
+    // Evidence accumulated from the owned slice.
+    std::vector<const Event*> onsets;
+    Seconds min_onset = kInf;     // earliest true fault onset
+    Seconds min_alarm = kInf;     // earliest detector / verdict time
+    Seconds max_sched = -kInf;    // latest scheduler activity
+    Seconds max_migrate = -kInf;  // latest migration activity
+    Seconds max_t = -kInf;        // latest activity overall
+    double latency_sum = 0;
+    std::uint64_t latency_n = 0;
+    double max_queue_wait = 0;
+    int max_wait_tenant = -1;
+    double downtime_sum = 0;
+    double p99_stretch = 0;
+    std::uint64_t sched_events = 0;
+    std::uint64_t detect_events = 0;
+    std::uint64_t migrate_events = 0;
+    std::uint64_t done_events = 0;
+    Seconds first_give_up = kInf;
+    std::map<SiteId, double> votes;
+
+    for (const Event& e : events) {
+      if (!owns(e.t)) continue;
+      if (e.component == "soak" && e.name == "case_start") {
+        inc.case_seed =
+            static_cast<std::uint64_t>(field_number_or(e, "seed", 0));
+        inc.has_case_seed = true;
+        continue;  // t=0 bookkeeping, not incident activity
+      }
+      max_t = std::max(max_t, e.t);
+      if (is_event(e, "detector", "onset")) {
+        onsets.push_back(&e);
+        inc.counts.onsets += 1;
+        detect_events += 1;
+        min_onset = std::min(min_onset, field_number_or(e, "onset", e.t));
+        min_alarm = std::min(min_alarm, e.t);
+        double lat = 0;
+        if (field_number(e, "latency", &lat)) {
+          latency_sum += lat;
+          latency_n += 1;
+        }
+        // Evidence vote: both endpoints of a degraded link are suspects;
+        // a hard "down" onset is stronger evidence than a latency drift.
+        const double weight =
+            field_string_or(e, "kind", "latency") == "down" ? 1.0 : 0.5;
+        const int src = field_int_or(e, "src", -1);
+        const int dst = field_int_or(e, "dst", -1);
+        if (src >= 0) votes[src] += weight;
+        if (dst >= 0) votes[dst] += weight;
+      } else if (is_event(e, "detector", "clear")) {
+        detect_events += 1;
+      } else if (is_event(e, "soak", "detect")) {
+        detect_events += 1;
+        min_alarm = std::min(min_alarm, e.t);
+        // The *suspect* is the detector's observable output; the seeded
+        // failed_site field is ground truth and deliberately ignored.
+        const int suspect = field_int_or(e, "suspect", -1);
+        if (suspect >= 0) votes[suspect] += 1.0;
+      } else if (is_event(e, "soak", "case_done")) {
+        done_events += 1;
+        p99_stretch = std::max(p99_stretch,
+                               field_number_or(e, "p99_stretch", 0));
+      } else if (e.component == "scheduler") {
+        sched_events += 1;
+        if (e.name != "queue") max_sched = std::max(max_sched, e.t);
+        if (e.name == "grant") {
+          inc.counts.grants += 1;
+          const double wait = field_number_or(e, "queue_wait", 0);
+          if (wait >= max_queue_wait) {
+            max_queue_wait = wait;
+            max_wait_tenant = field_int_or(e, "tenant", -1);
+          }
+        } else if (e.name == "requeue") {
+          inc.counts.requeues += 1;
+        } else if (e.name == "give_up") {
+          inc.counts.give_ups += 1;
+          if (e.t < first_give_up) {
+            first_give_up = e.t;
+            inc.blame.tenant = field_int_or(e, "tenant", -1);
+          }
+        }
+      } else if (e.component == "migrate") {
+        migrate_events += 1;
+        max_migrate = std::max(max_migrate, e.t);
+        const int from = field_int_or(e, "from", -1);
+        const int to = field_int_or(e, "to", -1);
+        if (e.name == "commit") {
+          inc.counts.commits += 1;
+          downtime_sum += field_number_or(e, "downtime", 0);
+        } else if (e.name == "rollback" || e.name == "replan") {
+          inc.counts.rollbacks += 1;
+        }
+        // Evacuations are happened-before evidence: state flees the
+        // implicated site, so the journal's `from` endpoints accuse it
+        // while `to` endpoints — sites trusted to receive — exonerate.
+        if (e.name == "reserve" || e.name == "commit") {
+          if (from >= 0) votes[from] += 1.0;
+          if (to >= 0) votes[to] -= 1.0;
+        }
+      }
+    }
+
+    // 4. Monotone-clamped stage boundaries: each boundary is at least
+    //    the previous one, so stage durations are non-negative and
+    //    telescope exactly to the end-to-end duration.
+    const Seconds core_start = cores[k].start;
+    const Seconds t_detect =
+        min_alarm < kInf ? min_alarm : core_start;
+    const Seconds t0 =
+        std::min(min_onset < kInf ? min_onset : core_start, t_detect);
+    const Seconds t_queue_end =
+        std::max(t_detect, max_sched > -kInf ? max_sched : t_detect);
+    const Seconds t_migrate_end =
+        std::max(t_queue_end, max_migrate > -kInf ? max_migrate : t_queue_end);
+    const Seconds t_end =
+        std::max(t_migrate_end, max_t > -kInf ? max_t : t_migrate_end);
+
+    inc.start = t0;
+    inc.end = t_end;
+    const Seconds bounds[5] = {t0, t_detect, t_queue_end, t_migrate_end,
+                               t_end};
+    const double metrics[4] = {
+        latency_n > 0 ? latency_sum / static_cast<double>(latency_n)
+                      : t_detect - t0,
+        max_queue_wait, downtime_sum, p99_stretch};
+    const std::uint64_t stage_events[4] = {detect_events, sched_events,
+                                           migrate_events, done_events};
+    for (int s = 0; s < 4; ++s) {
+      StageBudget b;
+      b.name = kStageNames[s];
+      b.start = bounds[s];
+      b.end = bounds[s + 1];
+      b.metric = metrics[s];
+      b.events = stage_events[s];
+      inc.stages.push_back(std::move(b));
+    }
+
+    // 5. Blame: argmax positive evidence votes (ties -> lower site id,
+    //    map iteration order).
+    double positive_sum = 0;
+    double best = 0;
+    for (const auto& [site, v] : votes) {
+      if (v <= 0) continue;
+      positive_sum += v;
+      inc.blame.implicated_sites.push_back(site);
+      if (v > best) {
+        best = v;
+        inc.blame.site = site;
+      }
+    }
+    if (positive_sum > 0) inc.blame.confidence = best / positive_sum;
+    if (inc.blame.tenant < 0 && max_wait_tenant >= 0)
+      inc.blame.tenant = max_wait_tenant;
+
+    // Most severe down-onset link touching the blamed site; latency
+    // onsets only when no hard-down evidence touches it.
+    const Event* best_link = nullptr;
+    int best_rank = -1;  // 1 = down, 0 = latency
+    double best_sev = 0;
+    for (const Event* e : onsets) {
+      const int src = field_int_or(*e, "src", -1);
+      const int dst = field_int_or(*e, "dst", -1);
+      if (src != inc.blame.site && dst != inc.blame.site) continue;
+      const int rank = field_string_or(*e, "kind", "latency") == "down" ? 1 : 0;
+      const double sev = field_number_or(*e, "severity", 0);
+      const bool better =
+          best_link == nullptr || rank > best_rank ||
+          (rank == best_rank &&
+           (sev > best_sev || (sev == best_sev && e->t < best_link->t)));
+      if (better) {
+        best_link = e;
+        best_rank = rank;
+        best_sev = sev;
+      }
+    }
+    if (best_link != nullptr) {
+      inc.blame.link_src = field_int_or(*best_link, "src", -1);
+      inc.blame.link_dst = field_int_or(*best_link, "dst", -1);
+    }
+
+    int longest = 0;
+    for (int s = 1; s < 4; ++s) {
+      if (inc.stages[static_cast<std::size_t>(s)].seconds() >
+          inc.stages[static_cast<std::size_t>(longest)].seconds())
+        longest = s;
+    }
+    inc.blame.dominant_stage = kStageNames[longest];
+
+    // 6. SLO involvement: a violated SLO belongs to every incident that
+    //    owns at least one of its bad samples; the burn contribution is
+    //    that incident's share of the consumed budget.
+    for (const BadSlo& b : violated) {
+      std::uint64_t in_window = 0;
+      for (const Seconds t : b.bad_times) {
+        if (owns(t)) in_window += 1;
+      }
+      if (in_window == 0) continue;
+      inc.violated_slos.push_back(b.result->spec.name);
+      inc.slo_burn += (static_cast<double>(in_window) /
+                       static_cast<double>(std::max<std::uint64_t>(
+                           b.result->events, 1))) /
+                      b.result->error_budget;
+    }
+    std::sort(inc.violated_slos.begin(), inc.violated_slos.end());
+
+    out->push_back(std::move(inc));
+  }
+}
+
+}  // namespace
+
+std::vector<Incident> build_incidents(const std::vector<Event>& events,
+                                      const IncidentOptions& options) {
+  const std::vector<SloSpec> specs =
+      options.slo_specs.empty() ? default_slo_specs() : options.slo_specs;
+
+  // A soak export interleaves many cases whose virtual clocks each start
+  // at zero; segment at case_start markers (in stream order) so one
+  // case's recovery never pollutes another's chain. A single-run stream
+  // has at most one marker and falls through unchanged.
+  std::vector<std::vector<Event>> segments;
+  for (const Event& e : events) {
+    if (is_event(e, "soak", "case_start") || segments.empty())
+      segments.emplace_back();
+    segments.back().push_back(e);
+  }
+
+  std::vector<Incident> incidents;
+  for (const std::vector<Event>& segment : segments)
+    build_segment(segment, options, specs, &incidents);
+  finalize_incidents(incidents);
+  return incidents;
+}
+
+void finalize_incidents(std::vector<Incident>& incidents) {
+  std::sort(incidents.begin(), incidents.end(),
+            [](const Incident& a, const Incident& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              if (a.blame.site != b.blame.site)
+                return a.blame.site < b.blame.site;
+              if (a.case_seed != b.case_seed) return a.case_seed < b.case_seed;
+              if (a.blame.tenant != b.blame.tenant)
+                return a.blame.tenant < b.blame.tenant;
+              return a.counts.onsets < b.counts.onsets;
+            });
+  for (std::size_t i = 0; i < incidents.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "inc-%03zu", i + 1);
+    incidents[i].id = buf;
+  }
+}
+
+double AttributionTotals::precision() const {
+  return blamed == 0 ? 1.0
+                     : static_cast<double>(correctly_blamed) /
+                           static_cast<double>(blamed);
+}
+
+double AttributionTotals::recall() const {
+  return episodes == 0 ? 1.0
+                       : static_cast<double>(attributed) /
+                             static_cast<double>(episodes);
+}
+
+double AttributionTotals::mean_onset_error() const {
+  return onset_error_samples == 0
+             ? 0.0
+             : onset_error_sum / static_cast<double>(onset_error_samples);
+}
+
+void AttributionTotals::merge(const AttributionTotals& other) {
+  cases += other.cases;
+  incidents += other.incidents;
+  blamed += other.blamed;
+  correctly_blamed += other.correctly_blamed;
+  misblamed += other.misblamed;
+  episodes += other.episodes;
+  attributed += other.attributed;
+  missed += other.missed;
+  onset_error_sum += other.onset_error_sum;
+  onset_error_samples += other.onset_error_samples;
+}
+
+void IncidentLog::add(std::vector<Incident> incidents) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Incident& inc : incidents) incidents_.push_back(std::move(inc));
+}
+
+void IncidentLog::add_totals(const AttributionTotals& totals) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  totals_.merge(totals);
+  has_totals_ = true;
+}
+
+std::vector<Incident> IncidentLog::snapshot() const {
+  std::vector<Incident> copy;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    copy = incidents_;
+  }
+  finalize_incidents(copy);
+  return copy;
+}
+
+AttributionTotals IncidentLog::totals() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+bool IncidentLog::has_totals() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return has_totals_;
+}
+
+std::uint64_t IncidentLog::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return incidents_.size();
+}
+
+void write_incidents_json(std::ostream& os,
+                          const std::vector<Incident>& incidents,
+                          const AttributionTotals* totals,
+                          const RunMeta* meta) {
+  JsonWriter w(os);
+  w.begin_object();
+  if (totals != nullptr) {
+    w.key("attribution").begin_object();
+    w.field("attributed", totals->attributed);
+    w.field("blamed", totals->blamed);
+    w.field("cases", totals->cases);
+    w.field("correctly_blamed", totals->correctly_blamed);
+    w.field("episodes", totals->episodes);
+    w.field("incidents", totals->incidents);
+    w.field("mean_onset_error", totals->mean_onset_error());
+    w.field("misblamed", totals->misblamed);
+    w.field("missed", totals->missed);
+    w.field("precision", totals->precision());
+    w.field("recall", totals->recall());
+    w.end_object();
+  }
+  w.field("count", static_cast<std::uint64_t>(incidents.size()));
+  w.key("incidents").begin_array();
+  for (const Incident& inc : incidents) {
+    w.begin_object();
+    w.key("blame").begin_object();
+    w.field("confidence", inc.blame.confidence);
+    w.field("dominant_stage", inc.blame.dominant_stage);
+    w.key("implicated_sites").begin_array();
+    for (const SiteId s : inc.blame.implicated_sites) w.value(s);
+    w.end_array();
+    w.field("link_dst", inc.blame.link_dst);
+    w.field("link_src", inc.blame.link_src);
+    w.field("site", inc.blame.site);
+    w.field("tenant", inc.blame.tenant);
+    w.end_object();
+    if (inc.has_case_seed) w.field("case_seed", inc.case_seed);
+    w.key("counts").begin_object();
+    w.field("commits", inc.counts.commits);
+    w.field("give_ups", inc.counts.give_ups);
+    w.field("grants", inc.counts.grants);
+    w.field("onsets", inc.counts.onsets);
+    w.field("requeues", inc.counts.requeues);
+    w.field("rollbacks", inc.counts.rollbacks);
+    w.end_object();
+    w.field("duration", inc.duration());
+    w.field("end", inc.end);
+    w.field("id", inc.id);
+    w.key("slo").begin_object();
+    w.field("burn_contribution", inc.slo_burn);
+    w.key("violated").begin_array();
+    for (const std::string& name : inc.violated_slos) w.value(name);
+    w.end_array();
+    w.end_object();
+    w.key("stages").begin_object();
+    for (const StageBudget& b : inc.stages) {
+      w.key(b.name).begin_object();
+      w.field("end", b.end);
+      w.field("events", b.events);
+      w.field("metric", b.metric);
+      w.field("seconds", b.seconds());
+      w.field("start", b.start);
+      w.end_object();
+    }
+    w.end_object();
+    w.field("start", inc.start);
+    w.end_object();
+  }
+  w.end_array();
+  if (meta != nullptr) meta->write_member(w);
+  w.key("stage_summary").begin_object();
+  for (const char* stage : kStageNames) {
+    double sum = 0;
+    double max = 0;
+    std::uint64_t n = 0;
+    for (const Incident& inc : incidents) {
+      for (const StageBudget& b : inc.stages) {
+        if (b.name != stage) continue;
+        sum += b.seconds();
+        max = std::max(max, b.seconds());
+        n += 1;
+      }
+    }
+    w.key(stage).begin_object();
+    w.field("max", max);
+    w.field("mean", n > 0 ? sum / static_cast<double>(n) : 0.0);
+    w.field("total", sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+IncidentsArtifact incidents_from_json(const JsonValue& root) {
+  GEOMAP_CHECK_MSG(root.is_object() && root.find("incidents") != nullptr,
+                   "not an incidents artifact: no \"incidents\" member");
+  IncidentsArtifact art;
+  const JsonValue& list = root.at("incidents");
+  GEOMAP_CHECK_MSG(list.is_array(), "\"incidents\" must be an array");
+  for (const JsonValue& item : list.items()) {
+    GEOMAP_CHECK_MSG(item.is_object(), "incident entries must be objects");
+    Incident inc;
+    inc.id = item.string_or("id", "");
+    inc.start = item.number_or("start", 0);
+    inc.end = item.number_or("end", 0);
+    const JsonValue* seed = item.find("case_seed");
+    if (seed != nullptr) {
+      inc.case_seed = static_cast<std::uint64_t>(seed->as_number());
+      inc.has_case_seed = true;
+    }
+    if (const JsonValue* blame = item.find("blame")) {
+      inc.blame.site = static_cast<SiteId>(blame->number_or("site", -1));
+      inc.blame.link_src =
+          static_cast<SiteId>(blame->number_or("link_src", -1));
+      inc.blame.link_dst =
+          static_cast<SiteId>(blame->number_or("link_dst", -1));
+      inc.blame.tenant = static_cast<int>(blame->number_or("tenant", -1));
+      inc.blame.confidence = blame->number_or("confidence", 0);
+      inc.blame.dominant_stage = blame->string_or("dominant_stage", "");
+      if (const JsonValue* sites = blame->find("implicated_sites")) {
+        for (const JsonValue& s : sites->items())
+          inc.blame.implicated_sites.push_back(
+              static_cast<SiteId>(s.as_number()));
+      }
+    }
+    if (const JsonValue* counts = item.find("counts")) {
+      inc.counts.onsets =
+          static_cast<std::uint64_t>(counts->number_or("onsets", 0));
+      inc.counts.grants =
+          static_cast<std::uint64_t>(counts->number_or("grants", 0));
+      inc.counts.requeues =
+          static_cast<std::uint64_t>(counts->number_or("requeues", 0));
+      inc.counts.give_ups =
+          static_cast<std::uint64_t>(counts->number_or("give_ups", 0));
+      inc.counts.commits =
+          static_cast<std::uint64_t>(counts->number_or("commits", 0));
+      inc.counts.rollbacks =
+          static_cast<std::uint64_t>(counts->number_or("rollbacks", 0));
+    }
+    if (const JsonValue* slo = item.find("slo")) {
+      inc.slo_burn = slo->number_or("burn_contribution", 0);
+      if (const JsonValue* v = slo->find("violated")) {
+        for (const JsonValue& name : v->items())
+          inc.violated_slos.push_back(name.as_string());
+      }
+    }
+    if (const JsonValue* stages = item.find("stages")) {
+      for (const char* name : kStageNames) {
+        const JsonValue* s = stages->find(name);
+        if (s == nullptr) continue;
+        StageBudget b;
+        b.name = name;
+        b.start = s->number_or("start", 0);
+        b.end = s->number_or("end", 0);
+        b.metric = s->number_or("metric", 0);
+        b.events = static_cast<std::uint64_t>(s->number_or("events", 0));
+        inc.stages.push_back(std::move(b));
+      }
+    }
+    art.incidents.push_back(std::move(inc));
+  }
+  if (const JsonValue* a = root.find("attribution")) {
+    art.has_totals = true;
+    art.totals.cases = static_cast<std::uint64_t>(a->number_or("cases", 0));
+    art.totals.incidents =
+        static_cast<std::uint64_t>(a->number_or("incidents", 0));
+    art.totals.blamed = static_cast<std::uint64_t>(a->number_or("blamed", 0));
+    art.totals.correctly_blamed =
+        static_cast<std::uint64_t>(a->number_or("correctly_blamed", 0));
+    art.totals.misblamed =
+        static_cast<std::uint64_t>(a->number_or("misblamed", 0));
+    art.totals.episodes =
+        static_cast<std::uint64_t>(a->number_or("episodes", 0));
+    art.totals.attributed =
+        static_cast<std::uint64_t>(a->number_or("attributed", 0));
+    art.totals.missed = static_cast<std::uint64_t>(a->number_or("missed", 0));
+    // Reconstruct the error accumulator so re-exported totals round-trip.
+    art.totals.onset_error_samples = art.totals.attributed;
+    art.totals.onset_error_sum =
+        a->number_or("mean_onset_error", 0) *
+        static_cast<double>(art.totals.onset_error_samples);
+  }
+  return art;
+}
+
+}  // namespace geomap::obs

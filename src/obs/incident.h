@@ -1,0 +1,197 @@
+#pragma once
+// Causal incident reconstruction over the structured event stream — the
+// `incidents.json` artifact.
+//
+// The nine existing artifacts each answer one question in isolation
+// (what degraded, what was granted, what was migrated, which budget
+// burned). An *incident* joins them back into the story a responder
+// actually needs: the event stream is clustered around detector onsets
+// (plus soak/detect verdicts and SLO-violating samples that no onset
+// covers), and every cluster is folded into a four-stage causal chain
+//
+//   fault onset → detection latency → remap queue wait →
+//   migration downtime → residual stretch
+//
+// whose stage boundaries are monotone-clamped, so the per-stage
+// latencies always re-fold exactly to the incident's end-to-end
+// duration. Each incident carries a blame verdict: the implicated site
+// (argmax over observable evidence votes — degradation-onset endpoints
+// and migration-journal evacuation sources; never the fault plan's
+// ground truth), the most severe implicated link, the worst-affected
+// tenant, and the dominant (longest) stage.
+//
+// Because the chaos harnesses *know* the seeded truth, blame is a
+// scored surface, not a best-effort guess: fault::score_attribution
+// (fault/attribution.h) matches verdicts against
+// FaultPlan::truth_windows and the resulting precision / recall /
+// onset-error totals ride inside the artifact, giving CI a regression
+// gate over root-cause quality itself.
+//
+// Determinism: build_incidents is a pure function of the event slice,
+// and export ordering is canonical (start, end, blamed site, case
+// seed), so a byte-stable events stream yields a byte-stable
+// incidents.json under GEOMAP_PROFILE_DETERMINISTIC=1.
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/eventlog.h"
+#include "obs/slo.h"
+
+namespace geomap {
+class JsonValue;
+}
+
+namespace geomap::obs {
+
+struct RunMeta;
+
+/// One stage of an incident's causal chain. Stages are contiguous:
+/// stage[i].end == stage[i+1].start, the first starts at the incident's
+/// start and the last ends at its end.
+struct StageBudget {
+  std::string name;  // "detect", "queue", "migrate", "residual"
+  Seconds start = 0;
+  Seconds end = 0;
+  /// Stage-specific headline: mean detection latency, max queue wait,
+  /// total committed downtime, p99 post-recovery stretch.
+  double metric = 0;
+  /// Events attributed to the stage's subsystem within the incident.
+  std::uint64_t events = 0;
+
+  Seconds seconds() const { return end - start; }
+};
+
+/// Root-cause verdict assembled from observable evidence only: detector
+/// onset endpoints and suspect votes (+1 each), migration evacuation
+/// sources (+1 per reserve/commit `from`), with migration destinations
+/// voting *against* (-1 per `to` — a site receiving evacuees is
+/// healthy). The seeded truth (soak/detect's failed_site field,
+/// FaultPlan) is deliberately never consulted — that is what
+/// fault::score_attribution grades the verdict against.
+struct BlameVerdict {
+  SiteId site = -1;      // implicated site; -1 = no verdict
+  SiteId link_src = -1;  // most severe down-onset link touching `site`
+  SiteId link_dst = -1;
+  int tenant = -1;       // worst-affected tenant; -1 = none implicated
+  double confidence = 0; // share of positive evidence votes on `site`
+  std::string dominant_stage;  // longest stage's name
+  std::vector<SiteId> implicated_sites;  // every positive-vote site, sorted
+};
+
+struct IncidentCounts {
+  std::uint64_t onsets = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t give_ups = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t rollbacks = 0;
+};
+
+struct Incident {
+  std::string id;  // "inc-001"... — assigned by finalize_incidents
+  std::uint64_t case_seed = 0;  // soak case that produced the slice
+  bool has_case_seed = false;
+  Seconds start = 0;
+  Seconds end = 0;
+  /// Always exactly four: detect, queue, migrate, residual.
+  std::vector<StageBudget> stages;
+  BlameVerdict blame;
+  IncidentCounts counts;
+  /// Budget-burn contribution of this incident's bad samples, summed
+  /// over its violated SLOs: (bad-in-window / slo-events) / error_budget.
+  double slo_burn = 0;
+  std::vector<std::string> violated_slos;
+
+  Seconds duration() const { return end - start; }
+};
+
+struct IncidentOptions {
+  /// Onset intervals closer than this merge into one incident.
+  Seconds merge_gap = 5.0;
+  /// SLO specs evaluated over the slice; empty = default_slo_specs().
+  std::vector<SloSpec> slo_specs;
+};
+
+/// Cluster one event slice (a whole run or one soak case) into
+/// incidents. Pure function; returned incidents are finalized (sorted,
+/// ids assigned). Runs with no onsets, no soak verdicts and no violated
+/// SLOs produce an empty vector.
+std::vector<Incident> build_incidents(const std::vector<Event>& events,
+                                      const IncidentOptions& options = {});
+
+/// Canonical ordering + id assignment ("inc-001"...). Called by
+/// build_incidents; exposed for accumulators that merge several cases'
+/// incidents and must renumber the union.
+void finalize_incidents(std::vector<Incident>& incidents);
+
+/// Attribution quality totals, accumulated across soak cases. Scored by
+/// fault::score_attribution (the fault layer owns the truth matching;
+/// this struct lives here so obs never depends on fault).
+struct AttributionTotals {
+  std::uint64_t cases = 0;
+  std::uint64_t incidents = 0;
+  std::uint64_t blamed = 0;            // incidents carrying a site verdict
+  std::uint64_t correctly_blamed = 0;  // verdict corroborated by truth
+  std::uint64_t misblamed = 0;
+  std::uint64_t episodes = 0;    // scoreable truth episodes
+  std::uint64_t attributed = 0;  // episodes some incident blamed correctly
+  std::uint64_t missed = 0;
+  double onset_error_sum = 0;  // |incident start - true fault onset|
+  std::uint64_t onset_error_samples = 0;
+
+  /// correctly_blamed / blamed; vacuously 1 with no verdicts.
+  double precision() const;
+  /// attributed / episodes; vacuously 1 with no episodes.
+  double recall() const;
+  double mean_onset_error() const;
+  void merge(const AttributionTotals& other);
+};
+
+/// Thread-safe incident accumulator living inside the Collector: each
+/// soak case appends its incidents (and, when the harness scored them,
+/// its attribution totals); export snapshots the union in canonical
+/// order with ids reassigned.
+class IncidentLog {
+ public:
+  void add(std::vector<Incident> incidents);
+  void add_totals(const AttributionTotals& totals);
+
+  std::vector<Incident> snapshot() const;  // finalized union
+  AttributionTotals totals() const;
+  bool has_totals() const;
+  std::uint64_t count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Incident> incidents_;
+  AttributionTotals totals_;
+  bool has_totals_ = false;
+};
+
+/// The tenth artifact: {"meta": {...}, "count": N, "incidents": [...],
+/// "stage_summary": {stage: {mean, max, total}}, "attribution": {...}}.
+/// `attribution` is present only when totals were scored. Keys sorted;
+/// numeric leaves flatten cleanly for the regress engine (watch e.g.
+/// "-attribution.precision" and "stage_summary.*.mean").
+void write_incidents_json(std::ostream& os,
+                          const std::vector<Incident>& incidents,
+                          const AttributionTotals* totals = nullptr,
+                          const RunMeta* meta = nullptr);
+
+/// A parsed incidents.json, as read back by obsctl.
+struct IncidentsArtifact {
+  std::vector<Incident> incidents;
+  AttributionTotals totals;
+  bool has_totals = false;
+};
+
+/// Inverse of write_incidents_json; throws InvalidArgument on a
+/// document that is not an incidents artifact.
+IncidentsArtifact incidents_from_json(const JsonValue& root);
+
+}  // namespace geomap::obs

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,28 @@ class JsonWriter;
 namespace geomap::obs {
 
 struct RunMeta;
+
+/// A closed [since, until] window on the virtual timeline, defaulting to
+/// all of time. One definition of the boundary semantics every windowed
+/// reader shares (obsctl's `timeline --since/--until` and `events
+/// --since/--until` both filter through it): both endpoints are
+/// *inclusive* — since == until selects exactly the points at that
+/// instant — and since > until is a valid, empty window.
+struct TimeWindow {
+  Seconds since = -std::numeric_limits<Seconds>::infinity();
+  Seconds until = std::numeric_limits<Seconds>::infinity();
+
+  bool empty() const { return since > until; }
+  bool contains(Seconds t) const { return t >= since && t <= until; }
+  /// Does [start, end] intersect the window? An empty window intersects
+  /// nothing.
+  bool intersects(Seconds start, Seconds end) const {
+    return !empty() && start <= until && end >= since;
+  }
+  Seconds clamp(Seconds t) const {
+    return t < since ? since : (t > until ? until : t);
+  }
+};
 
 /// One observation on a virtual timeline.
 struct TimePoint {

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "core/remap.h"
+#include "fault/attribution.h"
 #include "fault/degraded_network.h"
 #include "fault/fault_plan.h"
 #include "obs/collector.h"
@@ -43,6 +44,7 @@ MultiTenantSoakCase run_multitenant_soak_case(
   result.seed = seed;
   obs::EventLog* elog =
       options.collector != nullptr ? &options.collector->events() : nullptr;
+  const std::uint64_t seq0 = elog != nullptr ? elog->total() : 0;
 
   // 1. Substrate + solo baselines.
   Substrate substrate = make_substrate(seed, options.substrate);
@@ -217,6 +219,39 @@ MultiTenantSoakCase run_multitenant_soak_case(
                 obs::field("jain_index", result.fairness.jain_index),
                 obs::field("mean_stretch", result.fairness.mean_stretch),
                 obs::field("p99_stretch", result.fairness.p99_stretch)});
+
+    // 7. Reconstruct the case's incidents from its event slice, grade
+    //    the blame verdicts against the seeded truth, and hand both to
+    //    the collector for the incidents.json export.
+    result.incidents = obs::build_incidents(elog->events_since(seq0));
+    // Only links between sites that actually host ranks can produce
+    // evidence (traffic, timeouts, journals); a permanent outage of an
+    // idle site is honestly unobservable and must not count as a miss —
+    // the same contract detection scoring applies via observable_links.
+    // Pre-storm placements: the storm has already evacuated the failed
+    // site from substrate.tenants, so post-storm mappings would claim
+    // the primary was never observable.
+    fault::AttributionScoreOptions sopt;
+    std::vector<bool> used(static_cast<std::size_t>(substrate.num_sites()),
+                           false);
+    for (const Mapping& m : initial) {
+      for (const SiteId s : m) {
+        if (s >= 0) used[static_cast<std::size_t>(s)] = true;
+      }
+    }
+    for (SiteId a = 0; a < substrate.num_sites(); ++a) {
+      for (SiteId b = a + 1; b < substrate.num_sites(); ++b) {
+        if (used[static_cast<std::size_t>(a)] &&
+            used[static_cast<std::size_t>(b)])
+          sopt.observable_links.push_back({a, b});
+      }
+    }
+    result.attribution = fault::score_attribution(
+        result.incidents,
+        chaos_plan.plan.truth_windows(substrate.num_sites()), sopt);
+    result.attribution_scored = true;
+    options.collector->incidents().add(result.incidents);
+    options.collector->incidents().add_totals(result.attribution);
   }
   return result;
 }
@@ -235,6 +270,7 @@ MultiTenantSoakReport run_multitenant_soak(
     report.total_requeues += c.storm.requeues;
     report.total_gave_up += c.storm.gave_up;
     if (c.detected) report.detected_cases += 1;
+    if (c.attribution_scored) report.attribution.merge(c.attribution);
   }
   return report;
 }

@@ -34,6 +34,7 @@
 
 #include "common/types.h"
 #include "fault/chaos.h"
+#include "obs/incident.h"
 #include "tenancy/scheduler.h"
 #include "tenancy/substrate.h"
 
@@ -90,6 +91,13 @@ struct MultiTenantSoakCase {
   /// Per-tenant and cross-tenant violations, merged ("tenant k: ..."-
   /// prefixed for the per-tenant ones).
   std::vector<fault::InvariantViolation> violations;
+
+  /// Incident reconstruction over the case's event slice (empty without
+  /// a collector) and its truth-scored attribution (cases == 1 when
+  /// scored).
+  std::vector<obs::Incident> incidents;
+  obs::AttributionTotals attribution;
+  bool attribution_scored = false;
 };
 
 struct MultiTenantSoakReport {
@@ -100,6 +108,9 @@ struct MultiTenantSoakReport {
   int total_requeues = 0;
   int total_gave_up = 0;
   int detected_cases = 0;
+  /// Attribution totals merged over every scored case (zeros when the
+  /// soak ran without a collector).
+  obs::AttributionTotals attribution;
 };
 
 MultiTenantSoakCase run_multitenant_soak_case(

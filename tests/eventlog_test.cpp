@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -547,6 +550,103 @@ TEST(EventEmissionTest, DeterministicRerunsExportByteIdenticalJsonl) {
   }
   EXPECT_EQ(exports[0], exports[1]);
   EXPECT_NE(exports[0].find("case_done"), std::string::npos);
+}
+
+// The window obsctl's `timeline --since/--until` and `events` filters
+// share (obs/timeseries.h). Bounds are inclusive on both ends.
+TEST(TimeWindowTest, DefaultWindowContainsEverything) {
+  const TimeWindow w;
+  EXPECT_FALSE(w.empty());
+  EXPECT_TRUE(w.contains(-1e18));
+  EXPECT_TRUE(w.contains(0.0));
+  EXPECT_TRUE(w.contains(1e18));
+  EXPECT_TRUE(w.intersects(-5.0, -4.0));
+}
+
+TEST(TimeWindowTest, BoundsAreInclusive) {
+  const TimeWindow w{2.0, 7.0};
+  EXPECT_TRUE(w.contains(2.0));
+  EXPECT_TRUE(w.contains(7.0));
+  EXPECT_FALSE(w.contains(std::nextafter(2.0, 0.0)));
+  EXPECT_FALSE(w.contains(std::nextafter(7.0, 100.0)));
+  // A span entirely before / entirely after does not intersect; one
+  // touching an endpoint does.
+  EXPECT_FALSE(w.intersects(0.0, 1.9));
+  EXPECT_FALSE(w.intersects(7.1, 9.0));
+  EXPECT_TRUE(w.intersects(1.0, 2.0));
+  EXPECT_TRUE(w.intersects(7.0, 9.0));
+  EXPECT_DOUBLE_EQ(w.clamp(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.clamp(9.0), 7.0);
+  EXPECT_DOUBLE_EQ(w.clamp(5.0), 5.0);
+}
+
+TEST(TimeWindowTest, SinceEqualsUntilSelectsExactlyThatInstant) {
+  const TimeWindow w{3.0, 3.0};
+  EXPECT_FALSE(w.empty());
+  EXPECT_TRUE(w.contains(3.0));
+  EXPECT_FALSE(w.contains(3.0 - 1e-12));
+  EXPECT_FALSE(w.contains(3.0 + 1e-12));
+}
+
+TEST(TimeWindowTest, SinceAfterUntilIsEmpty) {
+  const TimeWindow w{5.0, 3.0};
+  EXPECT_TRUE(w.empty());
+  EXPECT_FALSE(w.contains(4.0));
+  EXPECT_FALSE(w.intersects(0.0, 10.0));
+}
+
+namespace {
+void write_jsonl_atomically(const std::filesystem::path& path,
+                            const EventLog& log) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream os(tmp);
+    log.write_jsonl(os);
+  }
+  std::filesystem::rename(tmp, path);  // the exporter's swap discipline
+}
+}  // namespace
+
+TEST(FollowCursorTest, ResumesAcrossAtomicSnapshotSwap) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "geomap-follow-test";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = dir / "events.jsonl";
+
+  EventLog log;
+  log.emit(1.0, EventSeverity::kInfo, "scheduler", "queue",
+           {field("tenant", 0)});
+  log.emit(2.0, EventSeverity::kWarn, "detector", "onset",
+           {field("src", 0), field("dst", 1)});
+  write_jsonl_atomically(path, log);
+
+  FollowCursor cursor;
+  const auto load = [&] {
+    std::ifstream is(path);
+    return read_events_jsonl(is);
+  };
+  std::vector<Event> fresh = cursor.take_new(load());
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(cursor.last_seq, 2u);
+
+  // Re-reading the unchanged snapshot yields nothing new.
+  EXPECT_TRUE(cursor.take_new(load()).empty());
+
+  // The producer emits more and swaps in a bigger whole-file snapshot:
+  // the cursor must yield exactly the fresh tail, never the prefix again.
+  log.emit(3.0, EventSeverity::kInfo, "migrate", "commit",
+           {field("process", 4), field("downtime", 0.5)});
+  log.emit(4.0, EventSeverity::kInfo, "soak", "case_done", {});
+  write_jsonl_atomically(path, log);
+
+  fresh = cursor.take_new(load());
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0].seq, 3u);
+  EXPECT_EQ(fresh[0].component, "migrate");
+  EXPECT_EQ(fresh[1].seq, 4u);
+  EXPECT_EQ(cursor.last_seq, 4u);
+
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

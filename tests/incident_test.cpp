@@ -1,0 +1,394 @@
+// Causal incident engine (src/obs/incident, src/fault/attribution):
+// onset clustering and the merge gap, the telescoping stage budget,
+// blame verdicts from observable evidence, SLO-singleton seeding,
+// multi-case stream segmentation, the canonical JSON export and its
+// inverse, byte-stability, and attribution scoring against seeded
+// truth — synthetic streams first, then the real multi-tenant soak
+// closed loop.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json_reader.h"
+#include "fault/attribution.h"
+#include "fault/fault_plan.h"
+#include "obs/collector.h"
+#include "obs/detector.h"
+#include "obs/eventlog.h"
+#include "obs/incident.h"
+#include "tenancy/soak.h"
+
+namespace geomap::obs {
+namespace {
+
+/// One complete synthetic case: onset at 2.0 (fault at 1.5), a grant, a
+/// reserve+commit evacuating site 1 to site 2, and the case_done with a
+/// healthy stretch. One incident spanning [1.5, 6.0].
+std::vector<Event> typical_case() {
+  EventLog log;
+  log.emit(0.0, EventSeverity::kInfo, "soak", "case_start",
+           {field("seed", std::uint64_t{7}), field("tenants", 2)});
+  log.emit(2.0, EventSeverity::kWarn, "detector", "onset",
+           {field("src", 1), field("dst", 2), field("kind", "down"),
+            field("onset", 1.5), field("latency", 0.5),
+            field("severity", 50.0), field("confidence", 1.0)});
+  log.emit(2.1, EventSeverity::kInfo, "scheduler", "queue",
+           {field("tenant", 0), field("severity", 0.5)});
+  log.emit(2.5, EventSeverity::kInfo, "scheduler", "grant",
+           {field("tenant", 0), field("queue_wait", 0.4),
+            field("attempts", 1), field("migration_seconds", 1.0)});
+  log.emit(3.0, EventSeverity::kInfo, "migrate", "reserve",
+           {field("process", 0), field("from", 1), field("to", 2)});
+  log.emit(3.5, EventSeverity::kInfo, "migrate", "commit",
+           {field("process", 0), field("from", 1), field("to", 2),
+            field("downtime", 0.3)});
+  log.emit(6.0, EventSeverity::kInfo, "soak", "case_done",
+           {field("seed", std::uint64_t{7}), field("requests", 1),
+            field("gave_up", 0), field("requeues", 0),
+            field("violations", std::uint64_t{0}),
+            field("p99_stretch", 1.2)});
+  return log.events();
+}
+
+void expect_refolds(const Incident& inc) {
+  ASSERT_EQ(inc.stages.size(), 4u) << inc.id;
+  EXPECT_EQ(inc.stages[0].name, "detect");
+  EXPECT_EQ(inc.stages[1].name, "queue");
+  EXPECT_EQ(inc.stages[2].name, "migrate");
+  EXPECT_EQ(inc.stages[3].name, "residual");
+  EXPECT_DOUBLE_EQ(inc.stages.front().start, inc.start) << inc.id;
+  EXPECT_DOUBLE_EQ(inc.stages.back().end, inc.end) << inc.id;
+  double refold = 0;
+  for (std::size_t i = 0; i < inc.stages.size(); ++i) {
+    EXPECT_GE(inc.stages[i].seconds(), 0.0) << inc.id;
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(inc.stages[i].start, inc.stages[i - 1].end) << inc.id;
+    }
+    refold += inc.stages[i].seconds();
+  }
+  EXPECT_NEAR(refold, inc.duration(), 1e-9) << inc.id;
+}
+
+TEST(IncidentTest, TypicalCaseFoldsIntoOneChain) {
+  const std::vector<Incident> incidents = build_incidents(typical_case());
+  ASSERT_EQ(incidents.size(), 1u);
+  const Incident& inc = incidents[0];
+  EXPECT_EQ(inc.id, "inc-001");
+  EXPECT_TRUE(inc.has_case_seed);
+  EXPECT_EQ(inc.case_seed, 7u);
+  // Fault onset opens the incident; the residual runs to case_done.
+  EXPECT_DOUBLE_EQ(inc.start, 1.5);
+  EXPECT_DOUBLE_EQ(inc.end, 6.0);
+  expect_refolds(inc);
+  // detect ends at the alarm, queue at the grant, migrate at the commit.
+  EXPECT_DOUBLE_EQ(inc.stages[0].end, 2.0);
+  EXPECT_DOUBLE_EQ(inc.stages[1].end, 2.5);
+  EXPECT_DOUBLE_EQ(inc.stages[2].end, 3.5);
+  EXPECT_DOUBLE_EQ(inc.stages[1].metric, 0.4);  // max queue wait
+  EXPECT_DOUBLE_EQ(inc.stages[2].metric, 0.3);  // total commit downtime
+  EXPECT_EQ(inc.counts.onsets, 1u);
+  EXPECT_EQ(inc.counts.grants, 1u);
+  EXPECT_EQ(inc.counts.commits, 1u);
+}
+
+TEST(IncidentTest, BlameArgmaxOverObservableEvidence) {
+  const std::vector<Incident> incidents = build_incidents(typical_case());
+  ASSERT_EQ(incidents.size(), 1u);
+  const BlameVerdict& blame = incidents[0].blame;
+  // Down-onset endpoints vote +1 each; the evacuation source (reserve +
+  // commit `from`) votes +1 each; the destination votes -1 each. Site 1
+  // nets 3, site 2 nets -1: blame site 1, every positive vote on it.
+  EXPECT_EQ(blame.site, 1);
+  EXPECT_DOUBLE_EQ(blame.confidence, 1.0);
+  EXPECT_EQ(blame.link_src, 1);
+  EXPECT_EQ(blame.link_dst, 2);
+  EXPECT_EQ(blame.tenant, 0);
+  EXPECT_EQ(blame.dominant_stage, "residual");  // [3.5, 6.0] is longest
+  EXPECT_EQ(blame.implicated_sites, std::vector<SiteId>{1});
+}
+
+TEST(IncidentTest, MergeGapSplitsAndJoinsOnsetClusters) {
+  const auto stream_with_onsets = [](Seconds second_alarm) {
+    EventLog log;
+    for (const Seconds t : {2.0, second_alarm}) {
+      log.emit(t, EventSeverity::kWarn, "detector", "onset",
+               {field("src", 0), field("dst", 1), field("kind", "down"),
+                field("onset", t - 0.5), field("latency", 0.5),
+                field("severity", 10.0), field("confidence", 1.0)});
+    }
+    return log.events();
+  };
+  // Within the default 5 s merge gap: one incident covering both.
+  EXPECT_EQ(build_incidents(stream_with_onsets(4.0)).size(), 1u);
+  // Far apart: two incidents, each with its own onset.
+  const std::vector<Incident> split =
+      build_incidents(stream_with_onsets(20.0));
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0].counts.onsets, 1u);
+  EXPECT_EQ(split[1].counts.onsets, 1u);
+  EXPECT_LT(split[0].end, split[1].start);
+}
+
+TEST(IncidentTest, SloViolatingSampleSeedsAnIncidentWithoutOnsets) {
+  EventLog log;
+  // No detector onsets at all — only a case_done whose p99 stretch blows
+  // the placement_stretch SLO (threshold 4, objective 0.90).
+  log.emit(5.0, EventSeverity::kInfo, "soak", "case_done",
+           {field("seed", std::uint64_t{3}), field("p99_stretch", 9.0)});
+  const std::vector<Incident> incidents = build_incidents(log.events());
+  ASSERT_EQ(incidents.size(), 1u);
+  const Incident& inc = incidents[0];
+  EXPECT_DOUBLE_EQ(inc.start, 5.0);
+  EXPECT_DOUBLE_EQ(inc.end, 5.0);
+  expect_refolds(inc);
+  ASSERT_EQ(inc.violated_slos.size(), 1u);
+  EXPECT_EQ(inc.violated_slos[0], "placement_stretch");
+  EXPECT_GT(inc.slo_burn, 0.0);
+  EXPECT_EQ(inc.blame.site, -1);  // no evidence, no verdict
+}
+
+TEST(IncidentTest, QuietStreamProducesNoIncidents) {
+  EventLog log;
+  log.emit(1.0, EventSeverity::kInfo, "scheduler", "grant",
+           {field("tenant", 0), field("queue_wait", 0.1)});
+  EXPECT_TRUE(build_incidents(log.events()).empty());
+}
+
+TEST(IncidentTest, MultiCaseStreamSegmentsAtCaseStartMarkers) {
+  // Two soak cases whose virtual clocks both restart at 0 — without
+  // segmentation the second case's onset would merge into the first.
+  EventLog log;
+  for (const std::uint64_t seed : {11ull, 12ull}) {
+    log.emit(0.0, EventSeverity::kInfo, "soak", "case_start",
+             {field("seed", seed), field("tenants", 2)});
+    log.emit(2.0, EventSeverity::kWarn, "detector", "onset",
+             {field("src", 0), field("dst", 1), field("kind", "down"),
+              field("onset", 1.5), field("latency", 0.5),
+              field("severity", 10.0), field("confidence", 1.0)});
+  }
+  const std::vector<Incident> incidents = build_incidents(log.events());
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_TRUE(incidents[0].has_case_seed);
+  EXPECT_TRUE(incidents[1].has_case_seed);
+  // Same (start, end): the tie breaks on the later sort keys, but both
+  // seeds must survive as distinct incidents.
+  const std::uint64_t lo = std::min(incidents[0].case_seed,
+                                    incidents[1].case_seed);
+  const std::uint64_t hi = std::max(incidents[0].case_seed,
+                                    incidents[1].case_seed);
+  EXPECT_EQ(lo, 11u);
+  EXPECT_EQ(hi, 12u);
+}
+
+TEST(IncidentTest, IncidentLogMergesCasesAndRenumbers) {
+  IncidentLog log;
+  std::vector<Incident> early = build_incidents(typical_case());
+  // A second case starting later: shift a copy by hand.
+  std::vector<Incident> late = build_incidents(typical_case());
+  for (Incident& inc : late) {
+    inc.start += 100.0;
+    inc.end += 100.0;
+    for (StageBudget& s : inc.stages) {
+      s.start += 100.0;
+      s.end += 100.0;
+    }
+  }
+  log.add(late);
+  log.add(early);
+  EXPECT_EQ(log.count(), 2u);
+  const std::vector<Incident> merged = log.snapshot();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].id, "inc-001");
+  EXPECT_EQ(merged[1].id, "inc-002");
+  EXPECT_LT(merged[0].start, merged[1].start);  // canonical order
+  EXPECT_FALSE(log.has_totals());
+  AttributionTotals t;
+  t.cases = 1;
+  t.blamed = 2;
+  t.correctly_blamed = 2;
+  log.add_totals(t);
+  EXPECT_TRUE(log.has_totals());
+  EXPECT_EQ(log.totals().blamed, 2u);
+}
+
+TEST(IncidentTest, ExportIsByteStableAndRoundTrips) {
+  const std::vector<Incident> incidents = build_incidents(typical_case());
+  AttributionTotals totals;
+  totals.cases = 1;
+  totals.incidents = incidents.size();
+  totals.blamed = 1;
+  totals.correctly_blamed = 1;
+  totals.episodes = 1;
+  totals.attributed = 1;
+  totals.onset_error_sum = 0.1;
+  totals.onset_error_samples = 1;
+
+  std::ostringstream a, b;
+  write_incidents_json(a, incidents, &totals);
+  write_incidents_json(b, incidents, &totals);
+  EXPECT_EQ(a.str(), b.str());
+
+  const IncidentsArtifact back =
+      incidents_from_json(parse_json(a.str()));
+  ASSERT_EQ(back.incidents.size(), incidents.size());
+  ASSERT_TRUE(back.has_totals);
+  const Incident& x = incidents[0];
+  const Incident& y = back.incidents[0];
+  EXPECT_EQ(y.id, x.id);
+  EXPECT_EQ(y.has_case_seed, x.has_case_seed);
+  EXPECT_EQ(y.case_seed, x.case_seed);
+  EXPECT_DOUBLE_EQ(y.start, x.start);
+  EXPECT_DOUBLE_EQ(y.end, x.end);
+  EXPECT_EQ(y.blame.site, x.blame.site);
+  EXPECT_EQ(y.blame.link_src, x.blame.link_src);
+  EXPECT_EQ(y.blame.tenant, x.blame.tenant);
+  EXPECT_EQ(y.blame.dominant_stage, x.blame.dominant_stage);
+  EXPECT_EQ(y.counts.commits, x.counts.commits);
+  EXPECT_EQ(y.violated_slos, x.violated_slos);
+  ASSERT_EQ(y.stages.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(y.stages[i].name, x.stages[i].name);
+    EXPECT_DOUBLE_EQ(y.stages[i].start, x.stages[i].start);
+    EXPECT_DOUBLE_EQ(y.stages[i].end, x.stages[i].end);
+    EXPECT_DOUBLE_EQ(y.stages[i].metric, x.stages[i].metric);
+    EXPECT_EQ(y.stages[i].events, x.stages[i].events);
+  }
+  EXPECT_EQ(back.totals.blamed, totals.blamed);
+  EXPECT_EQ(back.totals.episodes, totals.episodes);
+  EXPECT_NEAR(back.totals.mean_onset_error(), totals.mean_onset_error(),
+              1e-12);
+}
+
+TEST(IncidentTest, RejectsNonIncidentArtifacts) {
+  EXPECT_THROW(incidents_from_json(parse_json("{\"series\": {}}")),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// fault::score_attribution
+
+std::vector<TruthWindow> outage_windows(SiteId site,
+                                        const std::vector<SiteId>& others,
+                                        Seconds start) {
+  std::vector<TruthWindow> truth;
+  for (const SiteId o : others) {
+    truth.push_back({site, o, start,
+                     std::numeric_limits<double>::infinity(), true});
+    truth.push_back({o, site, start,
+                     std::numeric_limits<double>::infinity(), true});
+  }
+  return truth;
+}
+
+TEST(AttributionScoreTest, CorrectBlameScoresPerfect) {
+  const std::vector<Incident> incidents = build_incidents(typical_case());
+  ASSERT_EQ(incidents[0].blame.site, 1);
+  const AttributionTotals t = fault::score_attribution(
+      incidents, outage_windows(1, {0, 2}, 1.4));
+  EXPECT_EQ(t.cases, 1u);
+  EXPECT_EQ(t.blamed, 1u);
+  EXPECT_EQ(t.correctly_blamed, 1u);
+  EXPECT_EQ(t.misblamed, 0u);
+  EXPECT_EQ(t.episodes, 1u);
+  EXPECT_EQ(t.attributed, 1u);
+  EXPECT_DOUBLE_EQ(t.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(t.recall(), 1.0);
+  // Incident opens at the fault onset estimate (1.5) vs truth 1.4.
+  EXPECT_NEAR(t.mean_onset_error(), 0.1, 1e-9);
+}
+
+TEST(AttributionScoreTest, BlamingAnUninvolvedSiteIsAMiss) {
+  std::vector<Incident> incidents = build_incidents(typical_case());
+  incidents[0].blame.site = 5;  // not an endpoint of any truth window
+  const AttributionTotals t = fault::score_attribution(
+      incidents, outage_windows(1, {0, 2}, 1.4));
+  EXPECT_EQ(t.misblamed, 1u);
+  EXPECT_EQ(t.missed, 1u);
+  EXPECT_DOUBLE_EQ(t.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(t.recall(), 0.0);
+}
+
+TEST(AttributionScoreTest, NoVerdictIsNotPenalized) {
+  std::vector<Incident> incidents = build_incidents(typical_case());
+  incidents[0].blame.site = -1;
+  const AttributionTotals t = fault::score_attribution(
+      incidents, outage_windows(1, {0, 2}, 1.4));
+  EXPECT_EQ(t.blamed, 0u);
+  EXPECT_DOUBLE_EQ(t.precision(), 1.0);  // vacuous
+  EXPECT_EQ(t.missed, 1u);               // but the episode went unclaimed
+}
+
+TEST(AttributionScoreTest, TransientWindowsAreNotScoreableEpisodes) {
+  const std::vector<Incident> incidents = build_incidents(typical_case());
+  std::vector<TruthWindow> truth = outage_windows(1, {0, 2}, 1.4);
+  for (TruthWindow& w : truth) w.end = 3.0;  // transient, not permanent
+  const AttributionTotals t = fault::score_attribution(incidents, truth);
+  EXPECT_EQ(t.episodes, 0u);
+  EXPECT_DOUBLE_EQ(t.recall(), 1.0);  // vacuous
+  // Precision still grades against the overlapping down windows.
+  EXPECT_EQ(t.correctly_blamed, 1u);
+}
+
+TEST(AttributionScoreTest, UnobservableEpisodesAreExcludedFromRecall) {
+  const std::vector<Incident> incidents = build_incidents(typical_case());
+  fault::AttributionScoreOptions opt;
+  opt.observable_links = {{0, 2}};  // site 1 hosts nothing observable
+  const AttributionTotals t = fault::score_attribution(
+      incidents, outage_windows(1, {0, 2}, 1.4), opt);
+  EXPECT_EQ(t.episodes, 0u);
+  EXPECT_DOUBLE_EQ(t.recall(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// closed loop: the real multi-tenant soak
+
+TEST(IncidentClosedLoopTest, SoakCaseScoresItsOwnBlame) {
+  Collector collector;
+  tenancy::MultiTenantSoakOptions options;
+  options.substrate.num_tenants = 8;
+  options.collector = &collector;
+  const tenancy::MultiTenantSoakCase c =
+      tenancy::run_multitenant_soak_case(2017, options);
+
+  ASSERT_FALSE(c.incidents.empty());
+  for (const Incident& inc : c.incidents) expect_refolds(inc);
+  ASSERT_TRUE(c.attribution_scored);
+  // The seeded primary outage is the only permanent episode; with the
+  // detector seeing it, blame must land on the primary site.
+  EXPECT_DOUBLE_EQ(c.attribution.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.attribution.recall(), 1.0);
+  bool blamed_primary = false;
+  for (const Incident& inc : c.incidents)
+    if (inc.blame.site == c.primary_site) blamed_primary = true;
+  EXPECT_TRUE(blamed_primary);
+  // The collector accumulated the same incidents for the export.
+  EXPECT_EQ(collector.incidents().count(), c.incidents.size());
+  EXPECT_TRUE(collector.incidents().has_totals());
+
+  std::ostringstream os;
+  collector.write_incidents_json(os);
+  const IncidentsArtifact artifact =
+      incidents_from_json(parse_json(os.str()));
+  EXPECT_EQ(artifact.incidents.size(), c.incidents.size());
+  ASSERT_TRUE(artifact.has_totals);
+  EXPECT_DOUBLE_EQ(artifact.totals.precision(), 1.0);
+}
+
+TEST(IncidentClosedLoopTest, UninstrumentedSoakSkipsTheEngine) {
+  tenancy::MultiTenantSoakOptions options;
+  options.substrate.num_tenants = 8;
+  const tenancy::MultiTenantSoakCase c =
+      tenancy::run_multitenant_soak_case(2017, options);
+  EXPECT_TRUE(c.incidents.empty());
+  EXPECT_FALSE(c.attribution_scored);
+}
+
+}  // namespace
+}  // namespace geomap::obs
