@@ -35,9 +35,15 @@
 // --chaos N runs the full observe → detect → remap → migrate soak over N
 // seeded random fault plans (src/migrate/soak.h) and exits 1 on any
 // invariant violation. Statistical (threaded runtime), so it is a safety
-// net, not a baseline.
+// net, not a baseline. With --wal-dir D each case's decision + protocol
+// journal is additionally archived through the control-plane WAL
+// (fsync-disciplined append, then a full read-back + decode), and the
+// JSON reports the archival/replay timings plus a round-trip bit — the
+// chaos gate's smoke check that WAL encoding keeps up with the richest
+// journals the executor produces.
 
 #include <algorithm>
+#include <filesystem>
 #include <iostream>
 #include <utility>
 #include <vector>
@@ -45,6 +51,9 @@
 #include "bench_util.h"
 #include "common/cli.h"
 #include "common/json_writer.h"
+#include "common/timer.h"
+#include "recover/records.h"
+#include "recover/wal.h"
 #include "core/remap.h"
 #include "fault/chaos.h"
 #include "fault/fault_plan.h"
@@ -341,6 +350,101 @@ int run_migrate_mode(const CliParser& cli, bench::ObsSink& obs) {
   return violations_total == 0 ? 0 : 1;
 }
 
+// One chaos case's journal pushed through the control-plane WAL and read
+// back: how long the fsync-disciplined append takes on a real protocol
+// journal, how long replay takes, and whether every record survives the
+// encode → CRC → decode round trip.
+struct WalArchive {
+  std::int64_t records = 0;
+  double append_ms = 0;
+  double replay_ms = 0;
+  bool roundtrip_ok = false;
+};
+
+recover::WalRecordType mig_type(fault::MigrationEventKind kind) {
+  using T = recover::WalRecordType;
+  switch (kind) {
+    case fault::MigrationEventKind::kReserve: return T::kMigReserve;
+    case fault::MigrationEventKind::kRelease: return T::kMigRelease;
+    case fault::MigrationEventKind::kChunk: return T::kMigChunk;
+    case fault::MigrationEventKind::kCommit: return T::kMigCommit;
+    case fault::MigrationEventKind::kRollback: return T::kMigRollback;
+    case fault::MigrationEventKind::kReplan: return T::kMigReplan;
+  }
+  return T::kMigReserve;
+}
+
+WalArchive archive_case_wal(const std::string& dir,
+                            const migrate::SoakCase& c) {
+  WalArchive a;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  Timer append_timer;
+  {
+    recover::Wal wal(dir);
+    recover::RunBeginRecord run;
+    run.seed = c.seed;
+    run.tenants = 1;
+    run.sites = 0;
+    run.policy = "chaos";
+    wal.append(recover::WalRecordType::kRunBegin, 0,
+               recover::encode_run_begin(run));
+    recover::DetectDecisionRecord d;
+    d.detected = c.detected;
+    d.suspected_correct = c.suspected_correct;
+    d.suspect = c.primary_site;
+    d.failed_site = c.primary_site;
+    d.outage_time = c.outage_time;
+    d.detect_time = c.remap_time;
+    wal.append(recover::WalRecordType::kDetectDecision, c.remap_time,
+               recover::encode_detect_decision(d));
+    Seconds last = c.remap_time;
+    for (const fault::MigrationEvent& e : c.report.events) {
+      recover::MigRecord m;
+      m.tenant = 0;
+      m.event = e;
+      wal.append(mig_type(e.kind), e.t, recover::encode_mig(m));
+      last = std::max(last, e.t);
+    }
+    wal.append(recover::WalRecordType::kRunEnd, last, "{}");
+    wal.sync();
+    a.records = static_cast<std::int64_t>(wal.appended());
+  }
+  a.append_ms = append_timer.elapsed_ms();
+
+  Timer replay_timer;
+  bool decoded = true;
+  std::size_t migs = 0;
+  recover::WalRecovery rec;
+  try {
+    rec = recover::read_wal(dir);
+    for (const recover::WalRecord& r : rec.records) {
+      switch (r.type) {
+        case recover::WalRecordType::kRunBegin:
+          recover::decode_run_begin(r.payload);
+          break;
+        case recover::WalRecordType::kDetectDecision:
+          recover::decode_detect_decision(r.payload);
+          break;
+        case recover::WalRecordType::kRunEnd:
+          break;
+        default:
+          recover::decode_mig(r.type, r.payload);
+          migs += 1;
+          break;
+      }
+    }
+  } catch (const recover::WalCorrupt&) {
+    decoded = false;
+  }
+  a.replay_ms = replay_timer.elapsed_ms();
+  a.roundtrip_ok = decoded && rec.dropped_torn == 0 &&
+                   rec.records.size() == static_cast<std::size_t>(a.records) &&
+                   migs == c.report.events.size();
+  return a;
+}
+
 int run_chaos_mode(const CliParser& cli, bench::ObsSink& obs) {
   const int num_seeds = static_cast<int>(cli.get_int("chaos"));
   migrate::SoakOptions opts;
@@ -352,11 +456,18 @@ int run_chaos_mode(const CliParser& cli, bench::ObsSink& obs) {
   // checkpoints after every case — incidents.json and events.jsonl grow
   // case by case under `obsctl watch`.
   migrate::SoakReport report;
+  const std::string wal_root = cli.get_string("wal-dir");
+  std::vector<WalArchive> archives;
   const auto base = static_cast<std::uint64_t>(cli.get_int("seed"));
   for (int i = 0; i < num_seeds; ++i) {
     const std::vector<std::uint64_t> one = {
         base + static_cast<std::uint64_t>(i)};
     const migrate::SoakReport step = migrate::run_chaos_soak(one, opts);
+    if (!wal_root.empty()) {
+      archives.push_back(archive_case_wal(
+          wal_root + "/seed-" + std::to_string(one.front()),
+          step.cases.front()));
+    }
     report.cases.push_back(step.cases.front());
     report.total_violations += step.total_violations;
     report.detected_cases += step.detected_cases;
@@ -374,7 +485,8 @@ int run_chaos_mode(const CliParser& cli, bench::ObsSink& obs) {
   w.field("seeds", num_seeds);
   w.field("ranks", opts.ranks);
   w.key("cases").begin_array();
-  for (const migrate::SoakCase& c : report.cases) {
+  for (std::size_t i = 0; i < report.cases.size(); ++i) {
+    const migrate::SoakCase& c = report.cases[i];
     w.begin_object();
     w.field("seed", static_cast<std::int64_t>(c.seed));
     w.field("primary_site", c.primary_site);
@@ -387,6 +499,13 @@ int run_chaos_mode(const CliParser& cli, bench::ObsSink& obs) {
     w.field("replans", c.report.replans);
     w.field("abandoned", c.report.processes_abandoned);
     w.field("violations", static_cast<std::int64_t>(c.violations.size()));
+    if (i < archives.size()) {
+      const WalArchive& a = archives[i];
+      w.field("wal_records", a.records);
+      w.field("wal_append_ms", bench::masked_ms(a.append_ms));
+      w.field("wal_replay_ms", bench::masked_ms(a.replay_ms));
+      w.field("wal_roundtrip_ok", a.roundtrip_ok);
+    }
     w.end_object();
     for (const fault::InvariantViolation& v : c.violations) {
       std::cerr << "INVARIANT VIOLATION (seed " << c.seed << "): t=" << v.t
@@ -412,15 +531,35 @@ int run_chaos_mode(const CliParser& cli, bench::ObsSink& obs) {
     w.field("mean_onset_error", report.attribution.mean_onset_error());
     w.end_object();
   }
+  std::int64_t wal_failures = 0;
+  if (!archives.empty()) {
+    std::int64_t records = 0;
+    double append_ms = 0;
+    double replay_ms = 0;
+    for (const WalArchive& a : archives) {
+      records += a.records;
+      append_ms += a.append_ms;
+      replay_ms += a.replay_ms;
+      if (!a.roundtrip_ok) wal_failures += 1;
+    }
+    w.key("wal").begin_object();
+    w.field("dir", wal_root);
+    w.field("records", records);
+    w.field("append_ms", bench::masked_ms(append_ms));
+    w.field("replay_ms", bench::masked_ms(replay_ms));
+    w.field("roundtrip_failures", wal_failures);
+    w.end_object();
+  }
   // Machine-checked summary: CI asserts these, not just parseability.
   w.field("seeds_run", static_cast<std::int64_t>(report.cases.size()));
   w.field("invariants_checked", static_cast<std::int64_t>(report.cases.size()));
   w.field("violations", report.total_violations);
-  w.field("ok", report.ok());
+  const bool ok = report.ok() && wal_failures == 0;
+  w.field("ok", ok);
   w.end_object();
   w.done();
   std::cout << "\n";
-  return report.ok() ? 0 : 1;
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -444,6 +583,10 @@ int main(int argc, char** argv) {
               "many seeds and exit 1 on any invariant violation");
   cli.add_int("soak-ranks", 10, "processes per chaos-soak case");
   cli.add_int("soak-rounds", 16, "app rounds per chaos-soak case");
+  cli.add_string("wal-dir", "",
+                 "(chaos mode) archive each case's journal through the "
+                 "control-plane WAL under this directory and report the "
+                 "append/replay timings");
   bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   bench::ObsSink obs = bench::ObsSink::parse(cli);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "apps/app.h"
+#include "common/atomic_file.h"
 #include "common/json_writer.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -293,26 +294,23 @@ int run_self_overhead(int reps, const std::string& out_path) {
   std::cout << "max collector-on overhead: " << worst << " %\n";
 
   if (!out_path.empty()) {
-    std::ofstream os(out_path);
-    if (!os.good()) {
-      std::cerr << "cannot open " << out_path << " for writing\n";
-      return 1;
-    }
-    JsonWriter w(os);
-    w.begin_object();
-    w.field("reps", reps);
-    w.key("bodies").begin_object();
-    for (const Result& r : results) {
-      w.key(r.name).begin_object();
-      w.field("off_seconds", r.off_seconds);
-      w.field("on_seconds", r.on_seconds);
-      w.field("overhead_percent", r.overhead_percent);
+    write_file_atomic(out_path, [&](std::ostream& os) {
+      JsonWriter w(os);
+      w.begin_object();
+      w.field("reps", reps);
+      w.key("bodies").begin_object();
+      for (const Result& r : results) {
+        w.key(r.name).begin_object();
+        w.field("off_seconds", r.off_seconds);
+        w.field("on_seconds", r.on_seconds);
+        w.field("overhead_percent", r.overhead_percent);
+        w.end_object();
+      }
       w.end_object();
-    }
-    w.end_object();
-    w.field("overhead_percent", worst);
-    w.end_object();
-    os << "\n";
+      w.field("overhead_percent", worst);
+      w.end_object();
+      os << "\n";
+    });
   }
   return 0;
 }

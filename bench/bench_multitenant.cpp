@@ -17,8 +17,22 @@
 //     (seeds_run / invariants_checked / violations / ok) and exits
 //     non-zero on any violation — the CI chaos gate asserts the fields,
 //     not just JSON parseability.
+//
+//   * --soak N --wal-dir D: the same soak through the crash-consistent
+//     driver — every control-plane decision write-ahead-logged under
+//     D/seed-<seed>, crashed runs resumed from their log. Per-case WAL
+//     replay / recovery timings land in the JSON, and the kill/restart
+//     quickstart hangs off this mode: arm GEOMAP_CRASHPOINT, the process
+//     dies with exit 42, rerun the same command and it recovers.
+//
+//   * --crash-matrix: the exhaustive acceptance soak — every registered
+//     WAL crash point armed in turn, the killed run recovered in a fresh
+//     "process", and the recovered digest asserted equal to the
+//     uninterrupted baseline's. Exits non-zero unless every point is
+//     clean; the blessed bench-regress gate watches the count fields.
 
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,6 +40,8 @@
 #include "bench_util.h"
 #include "common/cli.h"
 #include "common/json_writer.h"
+#include "fault/crash.h"
+#include "recover/driver.h"
 #include "tenancy/scheduler.h"
 #include "tenancy/soak.h"
 #include "tenancy/substrate.h"
@@ -153,10 +169,33 @@ int run_soak(const CliParser& cli, bench::ObsSink& obs) {
   // sink can checkpoint after every seed: `geomap-obsctl watch` on a
   // live --obs-dir sees the event stream / metrics grow as the soak
   // progresses instead of only at exit.
+  const std::string wal_root = cli.get_string("wal-dir");
+  // The recoverable driver needs a collector even when no --obs-dir was
+  // given (it re-emits the durable history through it on resume).
+  obs::Collector local_collector;
+  std::vector<recover::RecoverableCaseResult> recoverable;
+  std::size_t recovery_violations = 0;
   tenancy::MultiTenantSoakReport report;
   report.cases.reserve(seeds.size());
   for (const std::uint64_t seed : seeds) {
-    report.cases.push_back(tenancy::run_multitenant_soak_case(seed, options));
+    if (wal_root.empty()) {
+      report.cases.push_back(tenancy::run_multitenant_soak_case(seed, options));
+    } else {
+      recover::RecoverableSoakOptions ro;
+      ro.soak = options;
+      if (ro.soak.collector == nullptr) ro.soak.collector = &local_collector;
+      ro.wal_dir = wal_root + "/seed-" + std::to_string(seed);
+      ro.wal.fsync = cli.get_bool("wal-fsync");
+      ro.snapshot_every_samples = 16;
+      recoverable.push_back(recover::run_recoverable_case(seed, ro));
+      const recover::RecoverableCaseResult& r = recoverable.back();
+      recovery_violations += r.recovery_violations.size();
+      for (const std::string& v : r.recovery_violations) {
+        std::cerr << "RECOVERY VIOLATION (seed " << seed << "): " << v
+                  << "\n";
+      }
+      report.cases.push_back(r.soak_case);
+    }
     const tenancy::MultiTenantSoakCase& c = report.cases.back();
     report.seeds_run += 1;
     report.total_violations += static_cast<int>(c.violations.size());
@@ -174,7 +213,8 @@ int run_soak(const CliParser& cli, bench::ObsSink& obs) {
   w.field("seeds_run", report.seeds_run);
   w.field("tenants_per_seed", cli.get_int("soak-tenants"));
   w.key("cases").begin_array();
-  for (const tenancy::MultiTenantSoakCase& c : report.cases) {
+  for (std::size_t i = 0; i < report.cases.size(); ++i) {
+    const tenancy::MultiTenantSoakCase& c = report.cases[i];
     w.begin_object();
     w.field("seed", static_cast<std::int64_t>(c.seed));
     w.field("tenants", c.tenants);
@@ -190,6 +230,17 @@ int run_soak(const CliParser& cli, bench::ObsSink& obs) {
     w.field("p99_stretch", c.fairness.p99_stretch);
     w.field("invariants_checked", c.invariants_checked);
     w.field("violations", static_cast<std::int64_t>(c.violations.size()));
+    if (i < recoverable.size()) {
+      const recover::RecoverableCaseResult& r = recoverable[i];
+      w.field("resumed", r.resumed);
+      w.field("recoveries", r.recoveries);
+      w.field("wal_records_replayed",
+              static_cast<std::int64_t>(r.wal_records_replayed));
+      w.field("wal_replay_ms", bench::masked_ms(r.wal_replay_seconds * 1e3));
+      w.field("recovery_ms", bench::masked_ms(r.recovery_seconds * 1e3));
+      w.field("recovery_violations",
+              static_cast<std::int64_t>(r.recovery_violations.size()));
+    }
     w.end_object();
     for (const fault::InvariantViolation& v : c.violations) {
       std::cerr << "INVARIANT VIOLATION (seed " << c.seed << "): t=" << v.t
@@ -211,14 +262,112 @@ int run_soak(const CliParser& cli, bench::ObsSink& obs) {
     w.field("mean_onset_error", report.attribution.mean_onset_error());
     w.end_object();
   }
+  if (!recoverable.empty()) {
+    int resumed_cases = 0;
+    int total_recoveries = 0;
+    std::int64_t replayed = 0;
+    double replay_ms = 0;
+    double recovery_ms = 0;
+    for (const recover::RecoverableCaseResult& r : recoverable) {
+      if (r.resumed) resumed_cases += 1;
+      total_recoveries += r.recoveries;
+      replayed += static_cast<std::int64_t>(r.wal_records_replayed);
+      replay_ms += r.wal_replay_seconds * 1e3;
+      recovery_ms += r.recovery_seconds * 1e3;
+    }
+    w.key("wal").begin_object();
+    w.field("dir", wal_root);
+    w.field("resumed_cases", resumed_cases);
+    w.field("recoveries", total_recoveries);
+    w.field("records_replayed", replayed);
+    w.field("replay_ms", bench::masked_ms(replay_ms));
+    w.field("recovery_ms", bench::masked_ms(recovery_ms));
+    w.field("recovery_violations",
+            static_cast<std::int64_t>(recovery_violations));
+    w.end_object();
+  }
   w.field("invariants_checked", report.total_invariants_checked);
   w.field("violations", report.total_violations);
-  w.field("ok", report.total_violations == 0);
+  const bool ok = report.total_violations == 0 && recovery_violations == 0;
+  w.field("ok", ok);
   w.end_object();
   w.done();
   std::cout << "\n";
   obs.flush();
-  return report.total_violations == 0 ? 0 : 1;
+  return ok ? 0 : 1;
+}
+
+int run_crash_matrix_mode(const CliParser& cli) {
+  recover::CrashMatrixOptions mo;
+  mo.base.soak =
+      make_options(cli, static_cast<int>(cli.get_int("soak-tenants")));
+  std::string wal_root = cli.get_string("wal-dir");
+  if (wal_root.empty()) {
+    wal_root = (std::filesystem::temp_directory_path() /
+                "geomap-crash-matrix")
+                   .string();
+  }
+  mo.base.wal_dir = wal_root;
+  mo.base.wal.fsync = cli.get_bool("wal-fsync");
+  // Frequent snapshots keep each attempt's log small and exercise the
+  // compaction crash points on every run.
+  mo.base.snapshot_every_samples = 16;
+  mo.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const recover::CrashMatrixReport report = recover::run_crash_matrix(mo);
+
+  std::int64_t replayed = 0;
+  double replay_ms = 0;
+  double recovery_ms = 0;
+  std::int64_t violations = 0;
+  JsonWriter w(std::cout);
+  w.begin_object();
+  w.field("mode", std::string("crash-matrix"));
+  w.field("seed", cli.get_int("seed"));
+  w.field("sites", cli.get_int("sites"));
+  w.field("tenants", cli.get_int("soak-tenants"));
+  w.field("baseline_digest", static_cast<std::int64_t>(report.baseline_digest));
+  w.key("cases").begin_array();
+  for (const recover::CrashMatrixCase& c : report.cases) {
+    w.begin_object();
+    w.field("point", c.point);
+    w.field("fired", c.fired);
+    w.field("completed", c.completed);
+    w.field("recoveries", c.recoveries);
+    w.field("digest_match", c.digest_match);
+    w.field("wal_records_replayed",
+            static_cast<std::int64_t>(c.wal_records_replayed));
+    w.field("wal_replay_ms", bench::masked_ms(c.wal_replay_seconds * 1e3));
+    w.field("recovery_ms", bench::masked_ms(c.recovery_seconds * 1e3));
+    w.field("violations",
+            static_cast<std::int64_t>(c.recovery_violations.size()));
+    w.end_object();
+    replayed += static_cast<std::int64_t>(c.wal_records_replayed);
+    replay_ms += c.wal_replay_seconds * 1e3;
+    recovery_ms += c.recovery_seconds * 1e3;
+    violations += static_cast<std::int64_t>(c.recovery_violations.size());
+    for (const std::string& v : c.recovery_violations) {
+      std::cerr << "RECOVERY VIOLATION (point " << c.point << "): " << v
+                << "\n";
+    }
+    if (!c.digest_match) {
+      std::cerr << "DIGEST MISMATCH (point " << c.point << "): " << c.digest
+                << " != baseline " << report.baseline_digest << "\n";
+    }
+  }
+  w.end_array();
+  w.field("points", static_cast<std::int64_t>(report.cases.size()));
+  w.field("points_fired", report.points_fired);
+  w.field("points_clean", report.points_clean);
+  w.field("wal_records_replayed", replayed);
+  w.field("wal_replay_ms", bench::masked_ms(replay_ms));
+  w.field("recovery_ms", bench::masked_ms(recovery_ms));
+  w.field("violations", violations);
+  w.field("ok", report.all_clean);
+  w.end_object();
+  w.done();
+  std::cout << "\n";
+  return report.all_clean ? 0 : 1;
 }
 
 }  // namespace
@@ -238,9 +387,27 @@ int main(int argc, char** argv) {
               "run the multi-tenant chaos soak over this many seeds "
               "instead of the sweep");
   cli.add_int("soak-tenants", 100, "tenants per soak seed");
+  cli.add_string("wal-dir", "",
+                 "write-ahead-log the control plane under this directory "
+                 "(soak mode: one WAL per seed, crashed runs resume)");
+  cli.add_bool("wal-fsync", true,
+               "fsync(2) the WAL on every sync (off: fflush only)");
+  cli.add_bool("crash-matrix", false,
+               "arm every registered WAL crash point in turn and assert "
+               "the recovered digest matches the uninterrupted baseline");
   geomap::bench::ObsSink::add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   geomap::bench::ObsSink obs = geomap::bench::ObsSink::parse(cli);
-  if (cli.get_int("soak") > 0) return geomap::run_soak(cli, obs);
-  return geomap::run_sweep(cli, obs);
+  try {
+    if (cli.get_bool("crash-matrix"))
+      return geomap::run_crash_matrix_mode(cli);
+    if (cli.get_int("soak") > 0) return geomap::run_soak(cli, obs);
+    return geomap::run_sweep(cli, obs);
+  } catch (const geomap::fault::CrashTriggered& crash) {
+    // A GEOMAP_CRASHPOINT-armed kill: the control plane died mid-run
+    // with its WAL on disk. Rerunning the same command resumes it.
+    std::cerr << "crashed at " << crash.point()
+              << " (rerun with the same --wal-dir to recover)\n";
+    return 42;
+  }
 }

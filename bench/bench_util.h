@@ -5,6 +5,7 @@
 // deployment, calibrated network model, app profiling and the
 // Baseline/Greedy/MPIPP/Geo-distributed comparison set).
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "apps/app.h"
+#include "common/atomic_file.h"
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -110,6 +112,18 @@ inline void print_table(const Table& table, bool csv) {
   if (csv) table.print_csv(std::cout);
   else table.print(std::cout);
 }
+
+/// True when GEOMAP_PROFILE_DETERMINISTIC asks for byte-identical
+/// output. Benches must zero every wall-clock field they emit under
+/// this flag — the same contract the profiler's clocks follow — so a
+/// rerun with the same seed cmp's clean.
+inline bool deterministic_output() {
+  const char* v = std::getenv("GEOMAP_PROFILE_DETERMINISTIC");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// `ms` as-is normally, 0 under GEOMAP_PROFILE_DETERMINISTIC.
+inline double masked_ms(double ms) { return deterministic_output() ? 0.0 : ms; }
 
 /// Collector wired from the shared observability flags (--obs-dir plus
 /// the per-artifact --*-out overrides). One call to add_flags() in every
@@ -276,13 +290,7 @@ class ObsSink {
     if (path.empty()) return;
     // Write-then-rename keeps every published artifact whole even while
     // a watcher polls the directory mid-run.
-    const std::string tmp = path + ".tmp";
-    {
-      std::ofstream os(tmp);
-      GEOMAP_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
-      fn(os);
-    }
-    std::filesystem::rename(tmp, path);
+    write_file_atomic(path, std::forward<WriteFn>(fn));
   }
 
   std::string metrics_path_;

@@ -265,6 +265,39 @@ run_attribution_gate() {
   fi
 }
 
+# run_recovery_gate <name>: the exhaustive crash-matrix soak. Every
+# registered WAL crash point is armed in turn, the killed control plane
+# recovered in a fresh "process", and the recovered digest asserted
+# equal to the uninterrupted baseline's — the bench itself exits
+# non-zero unless every point is clean, which fails the gate outright.
+# The blessed comparison watches only the exactly-deterministic count
+# leaves (threshold 0): catalog size, points fired, points clean and
+# violation counts. Wall-clock replay/recovery timings ride along in the
+# artifact as context but are never fatal. Growing the catalog (new
+# crash points) passes the higher-is-better watches; rebless to pin the
+# new counts.
+run_recovery_gate() {
+  local name=$1
+  shift
+  echo "== $name =="
+  mkdir -p "$OUT_DIR/$name"
+  GEOMAP_PROFILE_DETERMINISTIC=1 "$BUILD_DIR/bench/bench_multitenant" "$@" \
+    --wal-dir "$OUT_DIR/$name/wal" > "$OUT_DIR/$name/stdout.json" \
+    || { echo "crash matrix not clean" >&2; FAILED=1; }
+  if [[ $BLESS -eq 1 ]]; then
+    cp "$OUT_DIR/$name/stdout.json" "$BASELINE_DIR/$name.crash_matrix.json"
+    echo "blessed $BASELINE_DIR/$name.crash_matrix.json"
+  elif [[ -f $BASELINE_DIR/$name.crash_matrix.json ]]; then
+    "$OBSCTL" check --threshold 0 \
+      --watch '-points,-points_fired,-points_clean,violations,cases.*.violations' \
+      "$BASELINE_DIR/$name.crash_matrix.json" \
+      "$OUT_DIR/$name/stdout.json" || FAILED=1
+  else
+    echo "no baseline $BASELINE_DIR/$name.crash_matrix.json — run with --bless" >&2
+    FAILED=1
+  fi
+}
+
 # The gate set: one healthy contention-replay bench, one faulted
 # remap-on-outage bench, the closed-loop detector head-to-head, and the
 # migration executor carrying a remap out — all small enough to finish in
@@ -278,6 +311,8 @@ run_multitenant_gate multitenant --tenants 12 --sweep 3
 run_profile_gate fig7_scale --min-scale=64 --max-scale=128 --trials=3
 run_slo_gate multitenant_soak --soak 2 --soak-tenants 12
 run_attribution_gate chaos_soak --soak 50 --soak-tenants 8
+run_recovery_gate recovery --crash-matrix --sites 4 --soak-tenants 8 \
+  --seed 17 --wal-fsync=false
 
 if [[ $BLESS -eq 1 ]]; then
   echo "baselines written to $BASELINE_DIR/"

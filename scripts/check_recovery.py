@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate a crash-matrix report (bench_multitenant --crash-matrix).
+
+The report is the acceptance surface of the crash-consistent control
+plane: every registered WAL crash point armed in turn, the killed run
+recovered in a fresh "process", and the recovered outcome digest
+compared against the uninterrupted baseline. Checks:
+
+  * mode is "crash-matrix" and the catalog is non-trivial (`points`
+    equals the case count and covers at least the 40-point seed
+    catalog's shape: every case names a distinct point);
+  * every case completed within its attempt budget, matched the
+    baseline digest, and reported zero recovery violations
+    (`points_clean == points`, `ok` is true);
+  * the workload actually exercised the log: the always-reachable
+    points (run_begin / sched_grant / sched_finish / run_end appends,
+    the torn-sync point) all fired, and `points_fired` equals the
+    per-case count;
+  * every fired case recovered at least once, and across the matrix
+    at least one recovery replayed durable WAL records;
+  * the summary counters re-fold from the cases (points_fired,
+    points_clean, violations, wal_records_replayed).
+
+Exit 0 when the matrix is clean, 1 with a diagnostic otherwise.
+
+Usage: check_recovery.py <crash-matrix.json>
+"""
+
+import json
+import sys
+
+# Points every storm-shaped workload must reach; a matrix where one of
+# these never fired tested nothing.
+MUST_FIRE = [
+    "wal.append.run_begin.before",
+    "wal.append.run_begin.after",
+    "wal.append.sched_grant.before",
+    "wal.append.sched_finish.after",
+    "wal.append.run_end.before",
+    "wal.sync.torn",
+]
+
+
+def fail(msg):
+    print(f"check_recovery: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    report = json.load(open(sys.argv[1]))
+
+    if report.get("mode") != "crash-matrix":
+        fail(f"mode is {report.get('mode')!r}, expected 'crash-matrix'")
+    cases = report.get("cases", [])
+    if not cases:
+        fail("no cases — the crash-point catalog is empty")
+    if report.get("points") != len(cases):
+        fail(f"points {report.get('points')} != {len(cases)} cases")
+
+    seen = set()
+    fired = 0
+    clean = 0
+    violations = 0
+    replayed = 0
+    for c in cases:
+        point = c.get("point", "<missing>")
+        if point in seen:
+            fail(f"point {point!r} appears twice")
+        seen.add(point)
+        if not c.get("completed"):
+            fail(f"{point}: never completed within the attempt budget")
+        if not c.get("digest_match"):
+            fail(f"{point}: recovered digest diverged from the baseline")
+        violations += c.get("violations", 0)
+        if c.get("violations", 0) != 0:
+            fail(f"{point}: {c['violations']} recovery violation(s)")
+        clean += 1
+        if c.get("fired"):
+            fired += 1
+            if c.get("recoveries", 0) < 1:
+                fail(f"{point}: fired but reports no recovery")
+        replayed += c.get("wal_records_replayed", 0)
+
+    for point in MUST_FIRE:
+        if point not in seen:
+            fail(f"catalog is missing {point!r}")
+        case = next(c for c in cases if c["point"] == point)
+        if not case.get("fired"):
+            fail(f"{point!r} never fired — the workload did not "
+                 f"exercise the log")
+
+    if report.get("points_fired") != fired:
+        fail(f"points_fired {report.get('points_fired')} != {fired} "
+             f"fired cases")
+    if report.get("points_clean") != clean:
+        fail(f"points_clean {report.get('points_clean')} != {clean} "
+             f"clean cases")
+    if report.get("points_clean") != len(cases):
+        fail(f"only {report.get('points_clean')}/{len(cases)} points clean")
+    if report.get("violations") != violations:
+        fail(f"violations {report.get('violations')} != {violations} "
+             f"re-folded")
+    if report.get("wal_records_replayed") != replayed:
+        fail(f"wal_records_replayed {report.get('wal_records_replayed')} "
+             f"!= {replayed} re-folded")
+    if replayed < 1:
+        fail("no recovery ever replayed a WAL record — the matrix "
+             "never actually recovered anything")
+    if report.get("ok") is not True:
+        fail("ok is not true")
+
+    print(f"check_recovery: OK ({len(cases)} points, {fired} fired, "
+          f"{replayed} WAL records replayed, digests all match)")
+
+
+if __name__ == "__main__":
+    main()

@@ -109,6 +109,7 @@
 #include "obs/eventlog.h"
 #include "obs/incident.h"
 #include "obs/regress.h"
+#include "recover/recovery.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 
@@ -134,8 +135,9 @@ int usage(std::ostream& os, int code) {
         "  geomap-obsctl slo <events.jsonl> [--spec specs.json] [--json] "
         "[--gate]\n"
         "  geomap-obsctl watch <obs-dir> [--interval SEC] [--iterations N]\n"
-        "                [--series NAME] [--width N] [--tail K] "
+        "                [--once] [--series NAME] [--width N] [--tail K] "
         "[--severity S]\n"
+        "  geomap-obsctl wal <wal-dir> [--verify] [--json] [--tail K]\n"
         "  geomap-obsctl incidents <obs-dir|incidents.json|events.jsonl> "
         "[--json]\n"
         "  geomap-obsctl explain <obs-dir|incidents.json|events.jsonl>\n"
@@ -173,6 +175,17 @@ int usage(std::ostream& os, int code) {
         "  --json            emit the slo.json artifact form\n"
         "  --gate            exit 1 when any SLO blew its error budget\n"
         "\n"
+        "Flags for watch:\n"
+        "  --once            render one tick and exit (same as "
+        "--iterations 1)\n"
+        "\n"
+        "Flags for wal:\n"
+        "  --verify          run the recovery invariant audit; exit 1 "
+        "on any\n"
+        "                    violation\n"
+        "  --json            emit the summary as JSON instead of text\n"
+        "  --tail K          show the last K records (default 0: none)\n"
+        "\n"
         "Flags for incidents / explain:\n"
         "  --json            (incidents) re-emit the incidents.json form\n"
         "  --width N         (explain) columns in the stage bar "
@@ -201,12 +214,15 @@ int usage(std::ostream& os, int code) {
         "threshold\n"
         "      (or vanished), an SLO blew its error budget, or explain "
         "was\n"
-        "      pointed at a blown SLO\n"
+        "      pointed at a blown SLO, or wal --verify found a "
+        "violation\n"
         "  2   usage error, or an artifact is missing / unreadable "
         "(explain:\n"
         "      also an unknown SLO / incident id, or no events to "
         "evaluate)\n"
-        "  3   an artifact was found but its JSON is malformed\n";
+        "  3   an artifact was found but its JSON is malformed (wal: "
+        "the log\n"
+        "      is corrupt beyond a torn tail)\n";
   return code;
 }
 
@@ -1265,6 +1281,10 @@ int cmd_watch(const std::vector<std::string>& args) {
       interval = std::stod(args[++i]);
     } else if (args[i] == "--iterations" && i + 1 < args.size()) {
       iterations = std::stoi(args[++i]);
+    } else if (args[i] == "--once") {
+      // One render, no sleep — the form CI and the recovery quickstart
+      // use to snapshot a directory without tailing it.
+      iterations = 1;
     } else if (args[i] == "--series" && i + 1 < args.size()) {
       tl.series_name = args[++i];
     } else if (args[i] == "--width" && i + 1 < args.size()) {
@@ -1372,6 +1392,134 @@ int cmd_watch(const std::vector<std::string>& args) {
         std::chrono::milliseconds(static_cast<long long>(interval * 1000)));
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// wal
+
+int cmd_wal(const std::vector<std::string>& args) {
+  std::string dir;
+  bool verify = false;
+  bool json = false;
+  int tail = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--verify") {
+      verify = true;
+    } else if (args[i] == "--json") {
+      json = true;
+    } else if (args[i] == "--tail" && i + 1 < args.size()) {
+      tail = std::stoi(args[++i]);
+    } else if (dir.empty() && args[i].rfind("--", 0) != 0) {
+      dir = args[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (dir.empty() || tail < 0) return usage(std::cerr, 2);
+
+  recover::WalRecovery rec;
+  recover::RecoveredControlPlane rcp;
+  try {
+    rec = recover::read_wal(dir);
+    rcp = recover::replay_wal(rec.records);
+  } catch (const recover::WalCorrupt& e) {
+    // Same meaning as malformed JSON elsewhere: the artifact exists but
+    // cannot be trusted.
+    std::cerr << "geomap-obsctl: " << e.what() << "\n";
+    return 3;
+  }
+
+  std::map<std::string, int> counts;
+  for (const recover::WalRecord& r : rec.records)
+    counts[recover::to_string(r.type)] += 1;
+  const std::vector<std::string> violations =
+      verify ? recover::check_recovery_invariants(rec.records)
+             : std::vector<std::string>{};
+
+  if (json) {
+    JsonWriter w(std::cout);
+    w.begin_object();
+    w.field("dir", dir);
+    w.field("records", static_cast<double>(rec.records.size()));
+    w.field("segments_read", rec.segments_read);
+    w.field("dropped_torn", rec.dropped_torn);
+    w.field("next_lsn", static_cast<double>(rec.next_lsn));
+    w.field("has_run", rcp.has_run);
+    if (rcp.has_run) {
+      w.key("run").begin_object();
+      w.field("seed", static_cast<double>(rcp.run.seed));
+      w.field("tenants", rcp.run.tenants);
+      w.field("sites", rcp.run.sites);
+      w.field("policy", rcp.run.policy);
+      w.end_object();
+    }
+    w.field("run_complete", rcp.run_complete);
+    w.field("recoveries", rcp.recoveries);
+    w.field("grants", static_cast<double>(rcp.grants.size()));
+    w.field("has_interrupted", rcp.has_interrupted);
+    w.field("interrupted_prefix_records",
+            static_cast<double>(rcp.interrupted_prefix.size()));
+    w.key("counts").begin_object();
+    for (const auto& [name, n] : counts) w.field(name, n);
+    w.end_object();
+    if (verify) {
+      w.key("violations").begin_array();
+      for (const std::string& v : violations) w.value(v);
+      w.end_array();
+    }
+    w.end_object();
+    std::cout << "\n";
+  } else {
+    std::cout << "wal " << dir << ": " << rec.records.size()
+              << " records in " << rec.segments_read << " segment(s), "
+              << rec.dropped_torn << " torn line(s) dropped, next lsn "
+              << rec.next_lsn << "\n";
+    if (rcp.has_run) {
+      std::cout << "run: seed " << rcp.run.seed << ", " << rcp.run.tenants
+                << " tenants, " << rcp.run.sites << " sites, policy "
+                << rcp.run.policy << " — "
+                << (rcp.run_complete ? "complete" : "incomplete") << ", "
+                << rcp.recoveries << " prior recover"
+                << (rcp.recoveries == 1 ? "y" : "ies") << ", "
+                << rcp.grants.size() << " durable grant(s)\n";
+    } else {
+      std::cout << "run: none (empty or pre-run_begin log)\n";
+    }
+    if (rcp.has_interrupted) {
+      std::cout << "interrupted: tenant "
+                << rcp.grants.back().grant.tenant << " mid-grant with "
+                << rcp.interrupted_prefix.size()
+                << " durable journal record(s)\n";
+    }
+    std::cout << "records by type:\n";
+    for (const auto& [name, n] : counts)
+      std::cout << "  " << name << " " << n << "\n";
+    if (tail > 0) {
+      const std::size_t from =
+          rec.records.size() > static_cast<std::size_t>(tail)
+              ? rec.records.size() - static_cast<std::size_t>(tail)
+              : 0;
+      std::cout << "tail:\n";
+      for (std::size_t i = from; i < rec.records.size(); ++i) {
+        const recover::WalRecord& r = rec.records[i];
+        std::string payload = r.payload;
+        if (payload.size() > 96) payload = payload.substr(0, 93) + "...";
+        std::cout << "  " << r.lsn << " " << recover::to_string(r.type)
+                  << " t=" << format_double(r.t, 3) << " " << payload
+                  << "\n";
+      }
+    }
+    if (verify) {
+      if (violations.empty()) {
+        std::cout << "verify: clean\n";
+      } else {
+        std::cout << "verify: " << violations.size() << " violation(s)\n";
+        for (const std::string& v : violations)
+          std::cout << "  " << v << "\n";
+      }
+    }
+  }
+  return verify && !violations.empty() ? 1 : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -1690,6 +1838,7 @@ int main(int argc, char** argv) {
     if (cmd == "events") return cmd_events(args);
     if (cmd == "slo") return cmd_slo(args);
     if (cmd == "watch") return cmd_watch(args);
+    if (cmd == "wal") return cmd_wal(args);
     if (cmd == "incidents") return cmd_incidents(args);
     if (cmd == "explain") return cmd_explain(args);
     if (cmd == "profile") return cmd_profile(args);

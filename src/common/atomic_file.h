@@ -1,0 +1,31 @@
+#pragma once
+// Atomic file replacement: write to `<path>.tmp`, then rename over the
+// destination. A reader (or a crash) never sees a half-written artifact
+// — the same pattern the --obs-dir exporters use for events.jsonl, made
+// shared so every artifact writer (and the WAL snapshot path) does the
+// same thing instead of hand-rolling an ofstream.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace geomap {
+
+/// Open `<path>.tmp`, hand the stream to `fn`, then atomically rename
+/// onto `path`. Throws geomap::Error when the temporary cannot be
+/// opened; filesystem rename errors propagate as std::filesystem errors.
+template <typename Fn>
+void write_file_atomic(const std::string& path, Fn&& fn) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    GEOMAP_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
+    fn(os);
+    GEOMAP_CHECK_MSG(os.good(), "write to " << tmp << " failed");
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace geomap

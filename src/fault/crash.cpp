@@ -1,0 +1,90 @@
+#include "fault/crash.h"
+
+#include <cstdlib>
+
+namespace geomap::fault {
+
+CrashInjector& CrashInjector::instance() {
+  static CrashInjector injector;
+  return injector;
+}
+
+CrashInjector::CrashInjector() {
+  const char* point = std::getenv("GEOMAP_CRASHPOINT");
+  if (point == nullptr || point[0] == '\0') return;
+  int skip = 0;
+  if (const char* s = std::getenv("GEOMAP_CRASHPOINT_SKIP")) {
+    skip = std::atoi(s);
+    if (skip < 0) skip = 0;
+  }
+  armed_ = true;
+  point_ = point;
+  fire_at_ = static_cast<std::uint64_t>(skip) + 1;
+}
+
+void CrashInjector::arm(const std::string& point, int skip) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = true;
+  point_ = point;
+  fire_at_ = static_cast<std::uint64_t>(skip < 0 ? 0 : skip) + 1;
+  counts_.erase(point);
+}
+
+void CrashInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  point_.clear();
+}
+
+bool CrashInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+std::string CrashInjector::armed_point() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return point_;
+}
+
+void CrashInjector::hit(const std::string& point) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t n = ++counts_[point];
+    if (armed_ && point == point_ && n == fire_at_) {
+      armed_ = false;
+      point_.clear();
+      fire = true;
+    }
+  }
+  if (fire) throw CrashTriggered(point);
+}
+
+bool CrashInjector::would_crash(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_ || point != point_) return false;
+  const auto it = counts_.find(point);
+  const std::uint64_t n = it == counts_.end() ? 0 : it->second;
+  return n + 1 == fire_at_;
+}
+
+std::uint64_t CrashInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counts_.find(point);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> CrashInjector::points_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(counts_.size());
+  for (const auto& [name, count] : counts_) out.push_back(name);
+  return out;
+}
+
+void CrashInjector::reset_counts() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counts_.clear();
+}
+
+}  // namespace geomap::fault

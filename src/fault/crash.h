@@ -1,0 +1,83 @@
+#pragma once
+// Named crash points for kill-at-any-point testing, FoundationDB-style.
+//
+// Durable code (the WAL in src/recover) calls
+// CrashInjector::instance().hit("wal.append.sched_grant.before") at every
+// boundary where a real process could die. Normally a hit is free. When a
+// point is *armed* — programmatically (crash-matrix soak) or via
+// GEOMAP_CRASHPOINT=<name> in the environment — the matching hit throws
+// CrashTriggered, which models the process dying at exactly that
+// instruction: everything not yet fsynced is lost (the WAL's destructor
+// discards its buffer), and recovery must reconstruct the rest.
+//
+// Arming is one-shot: the armed point disarms as it fires, so the
+// recovered run sails through the same boundary. GEOMAP_CRASHPOINT_SKIP=n
+// arms the (n+1)-th hit instead of the first — skip past the first
+// recovery's redo to test crash-during-recovery.
+//
+// This is deliberately below the observability stack (links only
+// geomap_common) so the WAL — which obs/detector itself logs to — can
+// depend on it without a cycle.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace geomap::fault {
+
+/// The armed crash point fired: the control plane is dead. Carries the
+/// point name; deliberately NOT a geomap::Error subclass so generic
+/// error handling cannot swallow a simulated process death.
+class CrashTriggered {
+ public:
+  explicit CrashTriggered(std::string point) : point_(std::move(point)) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+class CrashInjector {
+ public:
+  /// Process-wide singleton. On first use arms from GEOMAP_CRASHPOINT /
+  /// GEOMAP_CRASHPOINT_SKIP when set.
+  static CrashInjector& instance();
+
+  /// Arm `point`: the (skip+1)-th hit of it throws CrashTriggered, then
+  /// the injector disarms. Re-arming resets the hit counter.
+  void arm(const std::string& point, int skip = 0);
+  void disarm();
+  bool armed() const;
+  std::string armed_point() const;
+
+  /// Declare-and-maybe-die. Every call records the point in the registry
+  /// and bumps its hit counter; if `point` is armed and this is the
+  /// armed occurrence, disarms and throws CrashTriggered.
+  void hit(const std::string& point);
+
+  /// True when the *next* hit("point") would throw. Lets the WAL write a
+  /// deliberately torn record before dying at a `.torn` point.
+  bool would_crash(const std::string& point) const;
+
+  /// Hits observed for `point` since the last reset (0 if never hit).
+  std::uint64_t hits(const std::string& point) const;
+
+  /// Every point name hit at least once since the last reset_counts().
+  std::vector<std::string> points_seen() const;
+
+  /// Forget hit counters and seen points (armed state is untouched).
+  void reset_counts();
+
+ private:
+  CrashInjector();
+
+  mutable std::mutex mutex_;
+  bool armed_ = false;
+  std::string point_;
+  std::uint64_t fire_at_ = 1;  // hit ordinal that fires (skip + 1)
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace geomap::fault

@@ -5,11 +5,14 @@
 #include <deque>
 #include <limits>
 #include <queue>
+#include <sstream>
 #include <utility>
 
 #include "common/error.h"
+#include "common/json_writer.h"
 #include "fault/degraded_network.h"
 #include "obs/collector.h"
+#include "recover/wal.h"
 #include "sim/netsim.h"
 
 namespace geomap::migrate {
@@ -270,6 +273,48 @@ class Engine {
       elog_->emit(t,
                   trouble ? obs::EventSeverity::kWarn : obs::EventSeverity::kInfo,
                   "migrate", fault::to_string(kind), std::move(fields));
+    }
+    if (options_.wal != nullptr) {
+      // Payload must stay byte-identical to recover::encode_mig (the
+      // round-trip test pins them); non-chunk transitions sync so the
+      // record is durable before the engine acts on it. Chunk records
+      // ride along with the next sync — losing an unsynced chunk tail
+      // only under-counts copy progress, which redo re-sends anyway.
+      recover::WalRecordType wtype = recover::WalRecordType::kMigChunk;
+      switch (kind) {
+        case fault::MigrationEventKind::kReserve:
+          wtype = recover::WalRecordType::kMigReserve;
+          break;
+        case fault::MigrationEventKind::kRelease:
+          wtype = recover::WalRecordType::kMigRelease;
+          break;
+        case fault::MigrationEventKind::kChunk:
+          wtype = recover::WalRecordType::kMigChunk;
+          break;
+        case fault::MigrationEventKind::kCommit:
+          wtype = recover::WalRecordType::kMigCommit;
+          break;
+        case fault::MigrationEventKind::kRollback:
+          wtype = recover::WalRecordType::kMigRollback;
+          break;
+        case fault::MigrationEventKind::kReplan:
+          wtype = recover::WalRecordType::kMigReplan;
+          break;
+      }
+      std::ostringstream os;
+      JsonWriter w(os, /*pretty=*/false);
+      w.begin_object();
+      w.field("tenant", options_.wal_tenant);
+      w.field("process", static_cast<std::int64_t>(p));
+      w.field("from", from);
+      w.field("to", to);
+      w.field("bytes", bytes);
+      if (kind == fault::MigrationEventKind::kCommit) {
+        w.field("downtime", p >= 0 ? record(p).downtime : 0.0);
+      }
+      w.end_object();
+      options_.wal->append(wtype, t, os.str());
+      if (kind != fault::MigrationEventKind::kChunk) options_.wal->sync();
     }
     if (!options_.record_events) return;
     report_.events.push_back({kind, t, p, from, to, bytes});

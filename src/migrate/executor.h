@@ -50,6 +50,10 @@ namespace geomap::obs {
 class Collector;
 }
 
+namespace geomap::recover {
+class Wal;
+}
+
 namespace geomap::migrate {
 
 struct MigrationOptions {
@@ -108,6 +112,15 @@ struct MigrationOptions {
   /// invariant checker's input). Off saves the allocation in benches
   /// that do not audit.
   bool record_events = true;
+
+  /// Opt-in crash consistency (not owned): with a WAL attached every
+  /// protocol transition is appended as a mig_* record tagged with
+  /// `wal_tenant`, and non-chunk transitions sync before the executor
+  /// proceeds — the write-ahead discipline recovery's no-double-commit
+  /// check relies on. nullptr keeps the exact unlogged path
+  /// bit-identical.
+  recover::Wal* wal = nullptr;
+  int wal_tenant = -1;
 
   void validate() const;
 };

@@ -4,11 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <tuple>
 
 #include "common/error.h"
 #include "common/json_writer.h"
 #include "obs/run_meta.h"
+#include "recover/wal.h"
 
 namespace geomap::obs {
 
@@ -57,7 +59,34 @@ DegradationDetector::LinkState& DegradationDetector::state(SiteId src,
   return links_[{src, dst}];
 }
 
+namespace {
+
+/// WAL payload for an episode boundary: the fields re-emission needs to
+/// reproduce the streamed event exactly (recover/records.cpp decodes).
+std::string episode_payload(const DegradationEvent& e, Seconds end) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("src", e.src);
+  w.field("dst", e.dst);
+  w.field("kind", to_string(e.kind));
+  w.field("onset", e.onset_vtime);
+  w.field("detect", e.detect_vtime);
+  if (std::isfinite(end)) w.field("end", end);
+  w.field("severity", e.severity);
+  w.field("confidence", e.confidence);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
+
 void DegradationDetector::emit_onset(const DegradationEvent& e) {
+  if (wal_ != nullptr) {
+    wal_->append(recover::WalRecordType::kDetectorOnset, e.detect_vtime,
+                 episode_payload(e, kInf));
+    wal_->sync();
+  }
   if (event_log_ == nullptr) return;
   event_log_->emit(e.detect_vtime, EventSeverity::kWarn, "detector", "onset",
                    {field("src", e.src), field("dst", e.dst),
@@ -69,6 +98,11 @@ void DegradationDetector::emit_onset(const DegradationEvent& e) {
 }
 
 void DegradationDetector::emit_clear(const DegradationEvent& e, Seconds t) {
+  if (wal_ != nullptr) {
+    wal_->append(recover::WalRecordType::kDetectorClear, t,
+                 episode_payload(e, t));
+    wal_->sync();
+  }
   if (event_log_ == nullptr) return;
   event_log_->emit(t, EventSeverity::kInfo, "detector", "clear",
                    {field("src", e.src), field("dst", e.dst),
@@ -216,31 +250,83 @@ void DegradationDetector::observe_timeout(SiteId src, SiteId dst, Seconds t) {
 }
 
 void DegradationDetector::scan(const TimeSeriesRegistry& timeline) {
-  // Merge each link's latency / retry / timeout series into one
-  // virtual-time-ordered stream, so the cross-signal episode logic
-  // (retry-quiet closing, etc.) sees the same order an in-run observer
-  // would.
-  enum class Signal { kLatency = 0, kRetry = 1, kTimeout = 2 };
-  struct Sample {
-    Seconds t;
-    int signal;
-    double value;
-    bool operator<(const Sample& o) const {
-      return std::tie(t, signal, value) < std::tie(o.t, o.signal, o.value);
-    }
-  };
-  std::map<std::pair<SiteId, SiteId>, std::vector<Sample>> per_link;
+  // Feed each link's merged latency / retry / timeout stream in
+  // virtual-time order, link by link (links in sorted order), so the
+  // cross-signal episode logic (retry-quiet closing, etc.) sees the same
+  // order an in-run observer would. The stable re-sort on (src, dst)
+  // groups the globally-ordered extraction per link while preserving
+  // each link's (t, signal, value) subsequence order.
+  std::vector<LinkSample> samples = collect_link_samples(timeline);
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const LinkSample& a, const LinkSample& b) {
+                     return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+                   });
+  for (const LinkSample& s : samples) feed_sample(*this, s);
+}
+
+std::vector<DegradationEvent> DegradationDetector::events() const {
+  std::vector<DegradationEvent> out = events_;
+  std::sort(out.begin(), out.end(), event_order);
+  return out;
+}
+
+DetectorCheckpoint DegradationDetector::checkpoint() const {
+  DetectorCheckpoint ckpt;
+  ckpt.events = events_;
+  ckpt.links.reserve(links_.size());
+  for (const auto& [link, s] : links_) {
+    DetectorLinkState ls;
+    ls.src = link.first;
+    ls.dst = link.second;
+    ls.cusum = s.cusum;
+    ls.ewma = s.ewma;
+    ls.ewma_primed = s.ewma_primed;
+    ls.excursion_start = s.excursion_start;
+    ls.open_latency = s.open_latency;
+    ls.recent_retries = s.recent_retries;
+    ls.open_down = s.open_down;
+    ls.last_down_signal = s.last_down_signal;
+    ckpt.links.push_back(std::move(ls));
+  }
+  return ckpt;
+}
+
+void DegradationDetector::restore(const DetectorCheckpoint& ckpt) {
+  events_ = ckpt.events;
+  links_.clear();
+  for (const DetectorLinkState& ls : ckpt.links) {
+    GEOMAP_CHECK_ARG(ls.open_latency <
+                             static_cast<std::ptrdiff_t>(ckpt.events.size()) &&
+                         ls.open_down <
+                             static_cast<std::ptrdiff_t>(ckpt.events.size()),
+                     "detector checkpoint open-episode index out of range for "
+                     "link " << ls.src << "->" << ls.dst);
+    LinkState& s = links_[{ls.src, ls.dst}];
+    s.cusum = ls.cusum;
+    s.ewma = ls.ewma;
+    s.ewma_primed = ls.ewma_primed;
+    s.excursion_start = ls.excursion_start;
+    s.open_latency = ls.open_latency;
+    s.recent_retries = ls.recent_retries;
+    s.open_down = ls.open_down;
+    s.last_down_signal = ls.last_down_signal;
+  }
+}
+
+std::vector<LinkSample> collect_link_samples(
+    const TimeSeriesRegistry& timeline) {
+  std::vector<LinkSample> out;
   for (const std::string& key : timeline.keys()) {
     const std::size_t brace = key.find('{');
     if (brace == std::string::npos || key.back() != '}') continue;
     const std::string name = key.substr(0, brace);
-    Signal signal;
+    int signal;
     if (name == "link.latency_ratio") {
-      signal = Signal::kLatency;
+      signal = 0;
     } else if (name == "link.retry") {
-      signal = Signal::kRetry;
+      signal = 1;
     } else if (name == "link.timeout") {
-      signal = Signal::kTimeout;
+      signal = 2;
     } else {
       continue;
     }
@@ -251,33 +337,33 @@ void DegradationDetector::scan(const TimeSeriesRegistry& timeline) {
     }
     const TimeSeries* series = timeline.find(key);
     if (series == nullptr) continue;
-    std::vector<Sample>& stream = per_link[{src, dst}];
     for (const TimePoint& p : series->points()) {
-      stream.push_back(Sample{p.t, static_cast<int>(signal), p.value});
+      out.push_back(LinkSample{src, dst, signal, p.t, p.value});
     }
   }
-  for (auto& [link, stream] : per_link) {
-    std::sort(stream.begin(), stream.end());
-    for (const Sample& s : stream) {
-      switch (static_cast<Signal>(s.signal)) {
-        case Signal::kLatency:
-          observe_latency_ratio(link.first, link.second, s.t, s.value);
-          break;
-        case Signal::kRetry:
-          observe_retry(link.first, link.second, s.t, s.value);
-          break;
-        case Signal::kTimeout:
-          observe_timeout(link.first, link.second, s.t);
-          break;
-      }
-    }
-  }
+  std::sort(out.begin(), out.end(),
+            [](const LinkSample& a, const LinkSample& b) {
+              return std::tie(a.t, a.src, a.dst, a.signal, a.value) <
+                     std::tie(b.t, b.src, b.dst, b.signal, b.value);
+            });
+  return out;
 }
 
-std::vector<DegradationEvent> DegradationDetector::events() const {
-  std::vector<DegradationEvent> out = events_;
-  std::sort(out.begin(), out.end(), event_order);
-  return out;
+void feed_sample(DegradationDetector& detector, const LinkSample& sample) {
+  switch (sample.signal) {
+    case 0:
+      detector.observe_latency_ratio(sample.src, sample.dst, sample.t,
+                                     sample.value);
+      break;
+    case 1:
+      detector.observe_retry(sample.src, sample.dst, sample.t, sample.value);
+      break;
+    case 2:
+      detector.observe_timeout(sample.src, sample.dst, sample.t);
+      break;
+    default:
+      GEOMAP_CHECK_ARG(false, "unknown link sample signal " << sample.signal);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -42,6 +42,10 @@
 #include "obs/eventlog.h"
 #include "obs/timeseries.h"
 
+namespace geomap::recover {
+class Wal;
+}
+
 namespace geomap::obs {
 
 struct RunMeta;
@@ -103,6 +107,45 @@ struct DetectorOptions {
   void validate() const;
 };
 
+/// Serializable snapshot of one link's detector state — the CUSUM,
+/// severity EWMA, retry window and open-episode indices that re-arming
+/// after a crash must restore exactly (indices refer to
+/// DetectorCheckpoint::events, which preserves insertion order).
+struct DetectorLinkState {
+  SiteId src = -1;
+  SiteId dst = -1;
+  double cusum = 0;
+  double ewma = 1.0;
+  bool ewma_primed = false;
+  Seconds excursion_start = -1;
+  std::ptrdiff_t open_latency = -1;
+  std::vector<std::pair<Seconds, double>> recent_retries;
+  std::ptrdiff_t open_down = -1;
+  Seconds last_down_signal = 0;
+};
+
+/// Complete detector state at a point in the sample stream. restore()
+/// re-arms a fresh detector without double-counting: open episodes stay
+/// open (no re-onset when the next sample arrives), closed ones stay
+/// closed.
+struct DetectorCheckpoint {
+  /// Episodes in insertion order (NOT the sorted order events() returns)
+  /// so the per-link open-episode indices stay valid.
+  std::vector<DegradationEvent> events;
+  std::vector<DetectorLinkState> links;
+};
+
+/// One telemetry point destined for the detector, extracted from a
+/// timeline registry. `signal`: 0 = latency ratio, 1 = retry, 2 =
+/// timeout.
+struct LinkSample {
+  SiteId src = -1;
+  SiteId dst = -1;
+  int signal = 0;
+  Seconds t = 0;
+  double value = 0;
+};
+
 class DegradationDetector {
  public:
   explicit DegradationDetector(DetectorOptions options = {});
@@ -134,6 +177,19 @@ class DegradationDetector {
   /// closes. nullptr (the default) keeps the exact unobserved code path.
   void set_event_log(EventLog* log) { event_log_ = log; }
 
+  /// Opt-in crash consistency: with a WAL attached the detector appends
+  /// a detector_onset / detector_clear record (and syncs) alongside each
+  /// streamed emission, so a crashed control plane can re-emit the
+  /// episode history it already announced. nullptr (the default) keeps
+  /// the exact unlogged code path bit-identical.
+  void set_wal(recover::Wal* wal) { wal_ = wal; }
+
+  /// Serialize / restore complete detector state (see
+  /// DetectorCheckpoint). restore() replaces all state and emits
+  /// nothing.
+  DetectorCheckpoint checkpoint() const;
+  void restore(const DetectorCheckpoint& ckpt);
+
   const DetectorOptions& options() const { return options_; }
 
  private:
@@ -160,7 +216,19 @@ class DegradationDetector {
   std::map<std::pair<SiteId, SiteId>, LinkState> links_;
   std::vector<DegradationEvent> events_;
   EventLog* event_log_ = nullptr;
+  recover::Wal* wal_ = nullptr;
 };
+
+/// Extract every link.latency_ratio / link.retry / link.timeout point
+/// from a registry as one stream in a deterministic total order —
+/// (t, src, dst, signal, value) — suitable for incremental feeding with
+/// a resumable watermark (an index into this vector). Per-link relative
+/// order matches what scan() feeds.
+std::vector<LinkSample> collect_link_samples(
+    const TimeSeriesRegistry& timeline);
+
+/// Feed one extracted sample.
+void feed_sample(DegradationDetector& detector, const LinkSample& sample);
 
 // ---------------------------------------------------------------------------
 // Scoring against ground truth (evaluation only)

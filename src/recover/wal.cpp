@@ -1,0 +1,292 @@
+#include "recover/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/json_writer.h"
+#include "fault/crash.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define GEOMAP_HAVE_FSYNC 1
+#endif
+
+namespace geomap::recover {
+
+namespace {
+
+constexpr const char* kTypeNames[] = {
+    "run_begin",     "detector_onset", "detector_clear", "detect_decision",
+    "sched_request", "sched_grant",    "sched_requeue",  "sched_give_up",
+    "sched_finish",  "mig_reserve",    "mig_release",    "mig_chunk",
+    "mig_commit",    "mig_rollback",   "mig_replan",     "snapshot",
+    "recovery_begin", "run_end",
+};
+constexpr int kNumTypes = 18;
+
+std::string segment_name(int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06d.log", index);
+  return buf;
+}
+
+std::string hex8(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+/// Parse "g1 <crc8> <lsn> <type> <t> <payload>". Returns false on any
+/// structural or checksum failure.
+bool parse_wal_line(const std::string& line, WalRecord* out) {
+  if (line.size() < 14 || line.compare(0, 3, "g1 ") != 0) return false;
+  if (line[11] != ' ') return false;
+  const std::string crc_hex = line.substr(3, 8);
+  std::uint32_t crc = 0;
+  for (const char c : crc_hex) {
+    crc <<= 4;
+    if (c >= '0' && c <= '9') {
+      crc |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      crc |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  const std::string body = line.substr(12);
+  if (crc32(body) != crc) return false;
+  std::istringstream is(body);
+  std::uint64_t lsn = 0;
+  std::string type_name;
+  std::string t_str;
+  if (!(is >> lsn >> type_name >> t_str)) return false;
+  WalRecordType type;
+  if (!parse_record_type(type_name, &type)) return false;
+  char* end = nullptr;
+  const double t = std::strtod(t_str.c_str(), &end);
+  if (end == t_str.c_str() || *end != '\0') return false;
+  std::string payload;
+  std::getline(is, payload);
+  if (!payload.empty() && payload.front() == ' ') payload.erase(0, 1);
+  out->lsn = lsn;
+  out->type = type;
+  out->t = t;
+  out->payload = std::move(payload);
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(WalRecordType type) {
+  const int i = static_cast<int>(type);
+  return (i >= 0 && i < kNumTypes) ? kTypeNames[i] : "?";
+}
+
+bool parse_record_type(const std::string& name, WalRecordType* out) {
+  for (int i = 0; i < kNumTypes; ++i) {
+    if (name == kTypeNames[i]) {
+      *out = static_cast<WalRecordType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string encode_wal_line(std::uint64_t lsn, WalRecordType type, Seconds t,
+                            const std::string& payload) {
+  GEOMAP_CHECK_ARG(payload.find('\n') == std::string::npos,
+                   "WAL payload must be single-line");
+  std::string body = std::to_string(lsn);
+  body += ' ';
+  body += to_string(type);
+  body += ' ';
+  body += JsonWriter::format_double(t);
+  body += ' ';
+  body += payload;
+  std::string line = "g1 ";
+  line += hex8(crc32(body));
+  line += ' ';
+  line += body;
+  line += '\n';
+  return line;
+}
+
+Wal::Wal(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  std::filesystem::create_directories(dir_);
+  const WalRecovery existing = read_wal(dir_);
+  next_lsn_ = existing.next_lsn;
+  segment_ = existing.next_segment;
+}
+
+Wal::~Wal() {
+  // Deliberately no flush: buffered records die with the process.
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Wal::open_segment() {
+  if (file_ != nullptr) return;
+  const std::string path =
+      (std::filesystem::path(dir_) / segment_name(segment_)).string();
+  file_ = std::fopen(path.c_str(), "ab");
+  GEOMAP_CHECK_MSG(file_ != nullptr, "cannot open WAL segment " << path);
+}
+
+std::uint64_t Wal::append(WalRecordType type, Seconds t, std::string payload) {
+  fault::CrashInjector& inj = fault::CrashInjector::instance();
+  const std::string name = to_string(type);
+  inj.hit("wal.append." + name + ".before");
+  const std::uint64_t lsn = next_lsn_++;
+  buffered_.push_back(encode_wal_line(lsn, type, t, payload));
+  // Snapshots ARE the folded history; recovery_begin marks a generation
+  // boundary, not control-plane state — neither belongs in the
+  // effective history a later snapshot embeds.
+  if (type != WalRecordType::kSnapshot &&
+      type != WalRecordType::kRecoveryBegin) {
+    history_.push_back(HistRecord{type, t, std::move(payload)});
+  }
+  appended_ += 1;
+  inj.hit("wal.append." + name + ".after");
+  return lsn;
+}
+
+void Wal::flush_lines(const std::vector<std::string>& lines) {
+  open_segment();
+  for (const std::string& line : lines) {
+    const std::size_t n = std::fwrite(line.data(), 1, line.size(), file_);
+    GEOMAP_CHECK_MSG(n == line.size(), "short write to WAL segment");
+  }
+  GEOMAP_CHECK_MSG(std::fflush(file_) == 0, "WAL flush failed");
+#if GEOMAP_HAVE_FSYNC
+  if (options_.fsync) ::fsync(::fileno(file_));
+#endif
+}
+
+void Wal::sync() {
+  fault::CrashInjector& inj = fault::CrashInjector::instance();
+  if (!buffered_.empty()) {
+    if (inj.would_crash("wal.sync.torn")) {
+      // The process dies mid-write: every earlier buffered record lands
+      // whole, the last lands half-written with no newline. Its CRC
+      // fails on replay and read_wal drops it as a torn tail.
+      std::vector<std::string> partial(buffered_.begin(), buffered_.end() - 1);
+      partial.push_back(buffered_.back().substr(0, buffered_.back().size() / 2));
+      flush_lines(partial);
+      inj.hit("wal.sync.torn");  // throws
+    }
+    flush_lines(buffered_);
+    synced_ += buffered_.size();
+    buffered_.clear();
+  }
+  inj.hit("wal.sync.after");
+}
+
+void Wal::snapshot(Seconds t, const std::string& state_payload) {
+  fault::CrashInjector& inj = fault::CrashInjector::instance();
+  sync();  // predecessors first: a snapshot never outruns its history
+  // Rotate: the snapshot opens a fresh segment.
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  segment_ += 1;
+  std::ostringstream os;
+  {
+    JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.key("state").raw(state_payload);
+    w.key("history").begin_array();
+    for (const HistRecord& h : history_) {
+      w.begin_object();
+      w.field("type", to_string(h.type));
+      w.field("t", h.t);
+      // As an escaped string, not raw: decode must recover the payload
+      // byte-exactly for re-emission and re-seeding.
+      w.field("payload", h.payload);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  append(WalRecordType::kSnapshot, t, os.str());
+  sync();
+  snapshots_ += 1;
+  // Compact: everything before the snapshot segment is now redundant.
+  inj.hit("wal.compact.before");
+  for (int i = 1; i < segment_; ++i) {
+    std::error_code ec;
+    std::filesystem::remove(std::filesystem::path(dir_) / segment_name(i), ec);
+  }
+  inj.hit("wal.compact.after");
+}
+
+void Wal::seed_history(std::vector<HistRecord> history) {
+  GEOMAP_CHECK_MSG(history_.empty() && appended_ == 0,
+               "seed_history must run before any append");
+  history_ = std::move(history);
+}
+
+WalRecovery read_wal(const std::string& dir) {
+  WalRecovery out;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return out;
+
+  std::vector<std::pair<int, std::filesystem::path>> segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    int index = 0;
+    if (std::sscanf(name.c_str(), "wal-%d.log", &index) == 1) {
+      segments.emplace_back(index, entry.path());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  std::uint64_t last_lsn = 0;
+  for (const auto& [index, path] : segments) {
+    out.segments_read += 1;
+    out.next_segment = std::max(out.next_segment, index + 1);
+    std::ifstream is(path);
+    GEOMAP_CHECK_MSG(is.good(), "cannot read WAL segment " << path.string());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      WalRecord rec;
+      if (!parse_wal_line(lines[i], &rec)) {
+        if (i + 1 == lines.size()) {
+          out.dropped_torn += 1;  // torn tail of a crashed generation
+          continue;
+        }
+        throw WalCorrupt("corrupt WAL record at " + path.string() + ":" +
+                         std::to_string(i + 1));
+      }
+      if (rec.lsn <= last_lsn) {
+        throw WalCorrupt("non-monotonic lsn " + std::to_string(rec.lsn) +
+                         " at " + path.string() + ":" + std::to_string(i + 1));
+      }
+      last_lsn = rec.lsn;
+      out.records.push_back(std::move(rec));
+    }
+  }
+  out.next_lsn = last_lsn + 1;
+  return out;
+}
+
+std::vector<std::string> crash_point_catalog() {
+  std::vector<std::string> points;
+  for (int i = 0; i < kNumTypes; ++i) {
+    points.push_back(std::string("wal.append.") + kTypeNames[i] + ".before");
+    points.push_back(std::string("wal.append.") + kTypeNames[i] + ".after");
+  }
+  points.push_back("wal.sync.torn");
+  points.push_back("wal.sync.after");
+  points.push_back("wal.compact.before");
+  points.push_back("wal.compact.after");
+  return points;
+}
+
+}  // namespace geomap::recover

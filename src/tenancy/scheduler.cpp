@@ -7,6 +7,8 @@
 
 #include "common/error.h"
 #include "obs/collector.h"
+#include "recover/records.h"
+#include "recover/wal.h"
 
 namespace geomap::tenancy {
 
@@ -113,7 +115,8 @@ struct InFlight {
 StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
                             SiteId failed_site,
                             const std::vector<RemapRequest>& requests,
-                            const SchedulerOptions& options) {
+                            const SchedulerOptions& options,
+                            const StormResume* resume) {
   options.validate();
   const int m = substrate.num_sites();
   GEOMAP_CHECK_ARG(failed_site >= 0 && failed_site < m,
@@ -146,12 +149,54 @@ StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
       options.collector != nullptr ? &options.collector->timeline() : nullptr;
   obs::EventLog* elog =
       options.collector != nullptr ? &options.collector->events() : nullptr;
-  if (elog != nullptr) {
+  if (options.wal != nullptr && resume == nullptr) {
+    for (const PendingRequest& p : pending) {
+      recover::SchedRequestRecord r;
+      r.tenant = p.request.tenant;
+      r.request_time = p.request.request_time;
+      r.severity = p.request.severity;
+      options.wal->append(recover::WalRecordType::kSchedRequest,
+                          r.request_time, recover::encode_sched_request(r));
+    }
+    options.wal->sync();
+  }
+  // A resumed storm emits no queue events: recovery re-emits them from
+  // the durable sched_request records, in the original order.
+  if (elog != nullptr && resume == nullptr) {
     for (const PendingRequest& p : pending) {
       elog->emit(p.request.request_time, obs::EventSeverity::kInfo, "scheduler",
                  "queue",
                  {obs::field("tenant", p.request.tenant),
                   obs::field("severity", p.request.severity)});
+    }
+  }
+
+  if (resume != nullptr) {
+    GEOMAP_CHECK_ARG(resume->pending.size() == pending.size(),
+                     "storm resume has " << resume->pending.size()
+                                         << " queue entries for "
+                                         << pending.size() << " requests");
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const ResumePending& rp = resume->pending[i];
+      PendingRequest& p = pending[i];
+      GEOMAP_CHECK_ARG(rp.tenant == p.request.tenant,
+                       "storm resume queue entry " << i << " names tenant "
+                                                   << rp.tenant << ", expected "
+                                                   << p.request.tenant);
+      p.attempts = rp.attempts;
+      p.next_eligible = std::max(p.next_eligible, rp.next_eligible);
+      p.done = rp.done;
+      TenantRecovery& rec = report.recoveries[p.slot];
+      rec.attempts = rp.attempts;
+      if (rp.gave_up) rec.gave_up = true;
+    }
+    report.requeues = resume->requeues;
+    report.gave_up = resume->gave_up;
+    if (options.collector != nullptr) {
+      for (int i = 0; i < resume->requeues; ++i)
+        options.collector->metrics().counter("tenant.requeues").add();
+      for (int i = 0; i < resume->gave_up; ++i)
+        options.collector->metrics().counter("tenant.gave_up").add();
     }
   }
 
@@ -208,6 +253,134 @@ StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
           f.final_mapping;
     }
   };
+
+  const auto pending_of = [&](int tenant) -> PendingRequest& {
+    for (PendingRequest& p : pending) {
+      if (p.request.tenant == tenant) return p;
+    }
+    GEOMAP_CHECK_ARG(false, "storm resume names tenant "
+                                << tenant << " that filed no request");
+    return pending.front();  // unreachable
+  };
+
+  if (resume != nullptr) {
+    last_activity = std::max(last_activity, resume->last_activity);
+
+    // Replay finished grants into the ledgers — grant order, fair-share
+    // spend, and the in-flight capacity charges with their real finish
+    // times, so the remaining queue sees exactly the occupancy the
+    // uninterrupted run would have at every instant. Their migrations
+    // are not re-executed; retire_until commits the recorded final
+    // mappings as virtual time passes.
+    for (const ResumeFinished& rf : resume->finished) {
+      PendingRequest& p = pending_of(rf.tenant);
+      GEOMAP_CHECK_ARG(p.done, "storm resume finished grant for tenant "
+                                   << rf.tenant
+                                   << " whose queue entry is not done");
+      p.attempts = rf.attempts;
+      TenantRecovery& rec = report.recoveries[p.slot];
+      rec.attempts = rf.attempts;
+      rec.granted = true;
+      rec.granted_at = rf.granted_at;
+      rec.report = rf.report;
+      rec.finish_time = rf.granted_at + rf.report.migration_seconds;
+      report.grant_order.push_back(rf.tenant);
+      if (options.policy == SchedulerPolicy::kFairShare)
+        consumed[static_cast<std::size_t>(rf.tenant)] += grant_cost(rf.tenant);
+      InFlight f;
+      f.tenant = rf.tenant;
+      f.finish = rec.finish_time;
+      f.peak = journal_peaks(rf.report.events, rf.at_grant, m);
+      f.final_mapping = rf.report.final_mapping;
+      inflight.push_back(std::move(f));
+      if (timeline != nullptr) {
+        const std::string label = "t" + std::to_string(rf.tenant);
+        timeline->series("tenant.queue_wait", label)
+            .record(rf.granted_at, rf.granted_at - p.request.request_time);
+        timeline->series("tenant.grant_attempts", label)
+            .record(rf.granted_at, static_cast<double>(rf.attempts));
+      }
+    }
+
+    // Redo the interrupted grant idempotently: same grant instant, same
+    // attempt count, the recorded capacity view and remap target — the
+    // executor is deterministic, so the redone journal extends the
+    // durable prefix instead of double-committing. No new sched_grant
+    // record is written (the original is durable); the finish record and
+    // the streamed grant event land now.
+    if (resume->interrupted.active) {
+      const ResumeInterrupted& ri = resume->interrupted;
+      const int k = ri.tenant;
+      PendingRequest& p = pending_of(k);
+      GEOMAP_CHECK_ARG(!p.done, "storm resume interrupted grant for tenant "
+                                    << k << " whose queue entry is done");
+      p.attempts = ri.attempts;
+      TenantRecovery& rec = report.recoveries[p.slot];
+      rec.attempts = ri.attempts;
+      now = std::max(now, ri.granted_at);
+      last_activity = std::max(last_activity, ri.granted_at);
+
+      mapping::MappingProblem view =
+          substrate.tenants[static_cast<std::size_t>(k)].problem;
+      view.capacities = ri.view_capacities;
+      migrate::MigrationOptions mopts = options.migrate;
+      mopts.record_events = true;
+      mopts.collector = options.collector;
+      if (options.collector != nullptr)
+        mopts.timeline_label_prefix = "t" + std::to_string(k) + ":";
+      mopts.wal = options.wal;
+      mopts.wal_tenant = k;
+      rec.report = execute_migration(view, ri.at_grant, ri.target, plan,
+                                     ri.granted_at, mopts);
+      rec.granted = true;
+      rec.granted_at = ri.granted_at;
+      rec.finish_time = ri.granted_at + rec.report.migration_seconds;
+      p.done = true;
+      report.grant_order.push_back(k);
+      last_activity = std::max(last_activity, rec.finish_time);
+      if (options.policy == SchedulerPolicy::kFairShare)
+        consumed[static_cast<std::size_t>(k)] += grant_cost(k);
+
+      InFlight f;
+      f.tenant = k;
+      f.finish = rec.finish_time;
+      f.peak = journal_peaks(rec.report.events, ri.at_grant, m);
+      f.final_mapping = rec.report.final_mapping;
+      inflight.push_back(std::move(f));
+
+      if (timeline != nullptr) {
+        const std::string label = "t" + std::to_string(k);
+        timeline->series("tenant.queue_wait", label)
+            .record(ri.granted_at, ri.granted_at - p.request.request_time);
+        timeline->series("tenant.grant_attempts", label)
+            .record(ri.granted_at, static_cast<double>(ri.attempts));
+      }
+      if (elog != nullptr) {
+        elog->emit(ri.granted_at, obs::EventSeverity::kInfo, "scheduler",
+                   "grant",
+                   {obs::field("tenant", k),
+                    obs::field("queue_wait",
+                               ri.granted_at - p.request.request_time),
+                    obs::field("attempts", ri.attempts),
+                    obs::field("migration_seconds",
+                               rec.report.migration_seconds)});
+      }
+      if (options.wal != nullptr) {
+        recover::SchedFinishRecord fin;
+        fin.tenant = k;
+        fin.granted_at = ri.granted_at;
+        fin.finish_time = rec.finish_time;
+        fin.migration_seconds = rec.report.migration_seconds;
+        fin.queue_wait = ri.granted_at - p.request.request_time;
+        fin.attempts = ri.attempts;
+        fin.final_mapping = rec.report.final_mapping;
+        options.wal->append(recover::WalRecordType::kSchedFinish,
+                            rec.finish_time,
+                            recover::encode_sched_finish(fin));
+        options.wal->sync();
+      }
+    }
+  }
 
   while (true) {
     bool any_pending = false;
@@ -299,11 +472,31 @@ StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
       const core::RemapResult remap = core::remap_on_outage(
           view, tenant.mapping, plan, failed_site, now, options.remap);
 
+      if (options.wal != nullptr) {
+        // Write-ahead of the decision: the full redo inputs (at-grant
+        // mapping, remap target, capacity view) are durable before the
+        // migration touches anything, so recovery can re-execute this
+        // grant deterministically from the record alone.
+        recover::SchedGrantRecord g;
+        g.tenant = k;
+        g.granted_at = now;
+        g.attempts = p.attempts;
+        g.current = tenant.mapping;
+        g.target = remap.mapping;
+        g.view_capacities.assign(view.capacities.begin(),
+                                 view.capacities.end());
+        options.wal->append(recover::WalRecordType::kSchedGrant, now,
+                            recover::encode_sched_grant(g));
+        options.wal->sync();
+      }
+
       migrate::MigrationOptions mopts = options.migrate;
       mopts.record_events = true;
       mopts.collector = options.collector;
       if (options.collector != nullptr)
         mopts.timeline_label_prefix = "t" + std::to_string(k) + ":";
+      mopts.wal = options.wal;
+      mopts.wal_tenant = k;
       // The executor gets the *view* (failed site's capacity intact —
       // residents legitimately still live there while leaving), not the
       // remap's rebuilt problem, which zeroes it.
@@ -340,6 +533,20 @@ StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
                     obs::field("migration_seconds",
                                rec.report.migration_seconds)});
       }
+      if (options.wal != nullptr) {
+        recover::SchedFinishRecord fin;
+        fin.tenant = k;
+        fin.granted_at = now;
+        fin.finish_time = rec.finish_time;
+        fin.migration_seconds = rec.report.migration_seconds;
+        fin.queue_wait = now - p.request.request_time;
+        fin.attempts = p.attempts;
+        fin.final_mapping = rec.report.final_mapping;
+        options.wal->append(recover::WalRecordType::kSchedFinish,
+                            rec.finish_time,
+                            recover::encode_sched_finish(fin));
+        options.wal->sync();
+      }
     } catch (const core::RemapInfeasible&) {
       if (p.attempts >= options.retry.max_attempts) {
         p.done = true;
@@ -352,6 +559,15 @@ StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
                      {obs::field("tenant", k),
                       obs::field("attempts", p.attempts)});
         }
+        if (options.wal != nullptr) {
+          recover::SchedGiveUpRecord gu;
+          gu.tenant = k;
+          gu.t = now;
+          gu.attempts = p.attempts;
+          options.wal->append(recover::WalRecordType::kSchedGiveUp, now,
+                              recover::encode_sched_give_up(gu));
+          options.wal->sync();
+        }
       } else {
         p.next_eligible = now + options.retry.backoff(p.attempts);
         report.requeues += 1;
@@ -362,6 +578,16 @@ StormReport run_remap_storm(Substrate& substrate, const fault::FaultPlan& plan,
                      {obs::field("tenant", k),
                       obs::field("attempts", p.attempts),
                       obs::field("next_eligible", p.next_eligible)});
+        }
+        if (options.wal != nullptr) {
+          recover::SchedRequeueRecord rq;
+          rq.tenant = k;
+          rq.t = now;
+          rq.attempts = p.attempts;
+          rq.next_eligible = p.next_eligible;
+          options.wal->append(recover::WalRecordType::kSchedRequeue, now,
+                              recover::encode_sched_requeue(rq));
+          options.wal->sync();
         }
       }
     }
